@@ -1,0 +1,83 @@
+// E10a (DESIGN.md 2.5): compiled postfix expression programs vs the
+// tree-walking evaluator on a paper-shaped pose predicate (9 range
+// conjuncts over 3 joints' axes).
+
+#include <benchmark/benchmark.h>
+
+#include "cep/expr.h"
+#include "cep/expr_program.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "kinect/skeleton.h"
+#include "query/parser.h"
+
+namespace epl::cep {
+namespace {
+
+ExprPtr PaperPredicate() {
+  Result<ExprPtr> expr = query::ParseExpression(
+      "abs(rHand_x - 400) < 50 and abs(rHand_y - 150) < 50 and "
+      "abs(rHand_z + 420) < 50 and abs(lHand_x + 185) < 80 and "
+      "abs(lHand_y + 195) < 80 and abs(lHand_z - 0) < 80 and "
+      "abs(head_x - 0) < 120 and abs(head_y - 577) < 120 and "
+      "abs(head_z - 0) < 120");
+  EPL_CHECK(expr.ok()) << expr.status();
+  Status bound = (*expr)->Bind(kinect::KinectSchema());
+  EPL_CHECK(bound.ok()) << bound;
+  return std::move(expr).value();
+}
+
+std::vector<stream::Event> RandomEvents(int count) {
+  Rng rng(7);
+  std::vector<stream::Event> events;
+  events.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    stream::Event event;
+    event.timestamp = i;
+    event.values.resize(
+        static_cast<size_t>(kinect::KinectSchema().num_fields()));
+    for (double& value : event.values) {
+      value = rng.Uniform(-500, 700);
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+void BM_ExprTreeWalk(benchmark::State& state) {
+  ExprPtr expr = PaperPredicate();
+  std::vector<stream::Event> events = RandomEvents(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr->EvalBool(events[i % events.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExprTreeWalk);
+
+void BM_ExprCompiledProgram(benchmark::State& state) {
+  ExprPtr expr = PaperPredicate();
+  Result<ExprProgram> program = ExprProgram::Compile(*expr);
+  EPL_CHECK(program.ok());
+  std::vector<stream::Event> events = RandomEvents(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program->EvalBool(events[i % events.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExprCompiledProgram);
+
+void BM_ExprCompileCost(benchmark::State& state) {
+  ExprPtr expr = PaperPredicate();
+  for (auto _ : state) {
+    Result<ExprProgram> program = ExprProgram::Compile(*expr);
+    benchmark::DoNotOptimize(program.ok());
+  }
+}
+BENCHMARK(BM_ExprCompileCost);
+
+}  // namespace
+}  // namespace epl::cep

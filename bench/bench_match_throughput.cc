@@ -1,0 +1,115 @@
+// E5 (paper Sec. 3.3.1): "using many CEP patterns for describing one
+// gesture increases detection complexity". Matcher throughput as a
+// function of (a) the number of poses per gesture and (b) the number of
+// concurrently deployed gesture queries.
+
+#include <benchmark/benchmark.h>
+
+#include "cep/matcher.h"
+#include "query/compiler.h"
+#include "exp_util.h"
+
+namespace epl {
+namespace {
+
+/// A synthetic n-pose lateral gesture definition.
+core::GestureDefinition ChainDefinition(int poses) {
+  core::GestureDefinition definition;
+  definition.name = "chain";
+  definition.joints = {kinect::JointId::kRightHand};
+  for (int i = 0; i < poses; ++i) {
+    core::PoseWindow pose;
+    core::JointWindow window;
+    window.center = Vec3(640.0 * i / std::max(1, poses - 1), 150.0, -150.0);
+    window.half_width = Vec3(60, 60, 60);
+    pose.joints[kinect::JointId::kRightHand] = window;
+    pose.max_gap = i == 0 ? 0 : kSecond;
+    definition.poses.push_back(pose);
+  }
+  return definition;
+}
+
+/// Pre-rendered kinect_t workload: repeated swipe performances.
+const std::vector<stream::Event>& Workload() {
+  static const std::vector<stream::Event>* events = [] {
+    auto* out = new std::vector<stream::Event>();
+    kinect::SessionBuilder builder(kinect::UserProfile(), 42);
+    for (int i = 0; i < 5; ++i) {
+      builder.Perform(kinect::GestureShapes::SwipeRight(), 0.2);
+      builder.Idle(0.3);
+    }
+    transform::TransformConfig config;
+    for (const kinect::SkeletonFrame& frame : builder.frames()) {
+      out->push_back(kinect::FrameToEvent(
+          transform::TransformFrame(frame, config)));
+    }
+    return out;
+  }();
+  return *events;
+}
+
+void BM_MatcherPosesPerGesture(benchmark::State& state) {
+  int poses = static_cast<int>(state.range(0));
+  core::GestureDefinition definition = ChainDefinition(poses);
+  Result<query::ParsedQuery> parsed = core::GenerateQuery(definition);
+  EPL_CHECK(parsed.ok());
+  Result<query::CompiledQuery> compiled =
+      query::CompileQuery(*parsed, kinect::KinectSchema());
+  EPL_CHECK(compiled.ok());
+  cep::NfaMatcher matcher(&compiled->pattern);
+  const std::vector<stream::Event>& events = Workload();
+  std::vector<cep::PatternMatch> matches;
+  for (auto _ : state) {
+    for (const stream::Event& event : events) {
+      matches.clear();
+      matcher.Process(event, &matches);
+      benchmark::DoNotOptimize(matches.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+  state.counters["poses"] = poses;
+}
+BENCHMARK(BM_MatcherPosesPerGesture)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EngineConcurrentQueries(benchmark::State& state) {
+  int queries = static_cast<int>(state.range(0));
+  stream::StreamEngine engine;
+  EPL_CHECK(engine.RegisterStream("kinect", kinect::KinectSchema()).ok());
+  uint64_t detections = 0;
+  for (int q = 0; q < queries; ++q) {
+    core::GestureDefinition definition = ChainDefinition(4);
+    definition.name = "chain_" + std::to_string(q);
+    definition.source_stream = "kinect";
+    // Spread the start windows so queries differ.
+    for (size_t i = 0; i < definition.poses.size(); ++i) {
+      definition.poses[i]
+          .joints[kinect::JointId::kRightHand]
+          .center.y += 10.0 * q;
+    }
+    EPL_CHECK(core::DeployGesture(
+                  &engine, definition,
+                  [&detections](const cep::Detection&) { ++detections; })
+                  .ok());
+  }
+  const std::vector<stream::Event>& events = Workload();
+  for (auto _ : state) {
+    for (const stream::Event& event : events) {
+      Status status = engine.Push("kinect", event);
+      benchmark::DoNotOptimize(status.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+  state.counters["queries"] = queries;
+  benchmark::DoNotOptimize(detections);
+}
+BENCHMARK(BM_EngineConcurrentQueries)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(128);
+
+}  // namespace
+}  // namespace epl

@@ -1,0 +1,110 @@
+// E10b (DESIGN.md 2.4): dominant-run matcher vs the exhaustive oracle on
+// identical streams, and matcher scaling with pose-region dwell time
+// (events matching a predicate repeatedly).
+
+#include <benchmark/benchmark.h>
+
+#include "cep/matcher.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "query/parser.h"
+
+namespace epl::cep {
+namespace {
+
+CompiledPattern ThreePosePattern(SelectPolicy select, ConsumePolicy consume) {
+  std::vector<PatternExprPtr> children;
+  for (double center : {1.0, 2.0, 3.0}) {
+    children.push_back(
+        PatternExpr::Pose("s", Expr::RangePredicate("v", center, 0.5)));
+  }
+  PatternExprPtr seq = PatternExpr::Sequence(
+      std::move(children), kSecond, WithinMode::kGap, select, consume);
+  Result<CompiledPattern> compiled =
+      CompiledPattern::Compile(*seq, stream::Schema({"v"}));
+  EPL_CHECK(compiled.ok());
+  return std::move(compiled).value();
+}
+
+std::vector<stream::Event> RandomStream(int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<stream::Event> events;
+  TimePoint t = 0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.UniformInt(20, 90) * kMillisecond;
+    events.emplace_back(
+        t, std::vector<double>{static_cast<double>(rng.UniformInt(1, 3))});
+  }
+  return events;
+}
+
+void BM_NfaDominant(benchmark::State& state) {
+  CompiledPattern pattern =
+      ThreePosePattern(SelectPolicy::kFirst, ConsumePolicy::kNone);
+  std::vector<stream::Event> events = RandomStream(512, 11);
+  std::vector<PatternMatch> matches;
+  for (auto _ : state) {
+    NfaMatcher matcher(&pattern);
+    for (const stream::Event& event : events) {
+      matches.clear();
+      matcher.Process(event, &matches);
+      benchmark::DoNotOptimize(matches.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_NfaDominant);
+
+void BM_NfaExhaustive(benchmark::State& state) {
+  CompiledPattern pattern =
+      ThreePosePattern(SelectPolicy::kAll, ConsumePolicy::kNone);
+  std::vector<stream::Event> events = RandomStream(512, 11);
+  MatcherOptions options;
+  options.mode = MatcherOptions::Mode::kExhaustive;
+  options.max_runs = 1 << 14;
+  std::vector<PatternMatch> matches;
+  for (auto _ : state) {
+    NfaMatcher matcher(&pattern, options);
+    for (const stream::Event& event : events) {
+      matches.clear();
+      matcher.Process(event, &matches);
+      benchmark::DoNotOptimize(matches.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_NfaExhaustive);
+
+// Dwell: a 30 Hz sensor keeps producing events inside the same pose
+// region; consume-all resets keep dominant-run state small.
+void BM_NfaDominantDwellHeavy(benchmark::State& state) {
+  CompiledPattern pattern =
+      ThreePosePattern(SelectPolicy::kFirst, ConsumePolicy::kAll);
+  std::vector<stream::Event> events;
+  TimePoint t = 0;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (double center : {1.0, 2.0, 3.0}) {
+      for (int i = 0; i < 20; ++i) {  // ~0.66 s dwell per pose
+        t += 33 * kMillisecond;
+        events.emplace_back(t, std::vector<double>{center});
+      }
+    }
+  }
+  std::vector<PatternMatch> matches;
+  for (auto _ : state) {
+    NfaMatcher matcher(&pattern);
+    for (const stream::Event& event : events) {
+      matches.clear();
+      matcher.Process(event, &matches);
+      benchmark::DoNotOptimize(matches.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_NfaDominantDwellHeavy);
+
+}  // namespace
+}  // namespace epl::cep

@@ -1,0 +1,92 @@
+// E9 supplement: cost decomposition of the kinect_t transformation stage
+// (paper Sec. 3.2) — per-frame cost of the full normalization, its
+// individual stages, and the RPY angle computation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "kinect/body_model.h"
+#include "kinect/gesture_shapes.h"
+#include "kinect/synthesizer.h"
+#include "transform/rpy.h"
+#include "transform/transform.h"
+
+namespace epl::transform {
+namespace {
+
+std::vector<kinect::SkeletonFrame> Frames() {
+  kinect::FrameSynthesizer synth(kinect::UserProfile(), 99);
+  return synth.PerformGesture(kinect::GestureShapes::Circle());
+}
+
+void BM_TransformFrameFull(benchmark::State& state) {
+  std::vector<kinect::SkeletonFrame> frames = Frames();
+  TransformConfig config;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TransformFrame(frames[i % frames.size()], config));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformFrameFull);
+
+void BM_TransformFrameTranslateOnly(benchmark::State& state) {
+  std::vector<kinect::SkeletonFrame> frames = Frames();
+  TransformConfig config;
+  config.rotate = false;
+  config.scale = false;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TransformFrame(frames[i % frames.size()], config));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformFrameTranslateOnly);
+
+void BM_YawEstimation(benchmark::State& state) {
+  std::vector<kinect::SkeletonFrame> frames = Frames();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateYaw(frames[i % frames.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_YawEstimation);
+
+void BM_ForearmRpy(benchmark::State& state) {
+  std::vector<kinect::SkeletonFrame> frames = Frames();
+  TransformConfig config;
+  for (kinect::SkeletonFrame& frame : frames) {
+    frame = TransformFrame(frame, config);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ForearmAngles(frames[i % frames.size()], /*right_side=*/true));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForearmRpy);
+
+void BM_FrameEventConversionRoundTrip(benchmark::State& state) {
+  std::vector<kinect::SkeletonFrame> frames = Frames();
+  size_t i = 0;
+  for (auto _ : state) {
+    stream::Event event =
+        kinect::FrameToEvent(frames[i % frames.size()]);
+    Result<kinect::SkeletonFrame> back = kinect::FrameFromEvent(event);
+    benchmark::DoNotOptimize(back.ok());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameEventConversionRoundTrip);
+
+}  // namespace
+}  // namespace epl::transform

@@ -1,0 +1,148 @@
+// E8 (paper Sec. 1 requirements): the learned patterns must be "robust
+// enough to detect the intended gesture" and "selective enough to
+// distinguish from other patterns". Full confusion matrix over the
+// 8-gesture vocabulary plus false-positive counts on idle and random
+// distractor motion.
+
+#include <cstdio>
+
+#include "exp_util.h"
+
+namespace epl {
+namespace {
+
+struct MatrixResult {
+  int diagonal = 0;
+  int off_diagonal = 0;
+};
+
+MatrixResult PrintMatrix(const std::vector<std::string>& names,
+                         const std::vector<kinect::GestureShape>& shapes,
+                         const std::vector<core::GestureDefinition>& defs,
+                         int trials) {
+  std::printf("%-16s", "");
+  for (const std::string& name : names) {
+    std::printf("%7.6s", name.c_str());
+  }
+  std::printf("\n");
+  MatrixResult result;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    std::vector<int> row(defs.size(), 0);
+    std::vector<kinect::UserProfile> users = bench::TestUsers();
+    for (int t = 0; t < trials; ++t) {
+      std::vector<int> counts = bench::CountDetections(
+          defs,
+          bench::Performance(users[static_cast<size_t>(t) % users.size()],
+                             shapes[i],
+                             21000 + 37 * static_cast<uint64_t>(t) + i));
+      for (size_t j = 0; j < counts.size(); ++j) {
+        row[j] += counts[j] > 0 ? 1 : 0;
+      }
+    }
+    std::printf("%-16s", names[i].c_str());
+    for (size_t j = 0; j < row.size(); ++j) {
+      std::printf("%7d", row[j]);
+      if (i == j) {
+        result.diagonal += row[j];
+      } else {
+        result.off_diagonal += row[j];
+      }
+    }
+    std::printf("\n");
+  }
+  return result;
+}
+
+int Run() {
+  bench::PrintHeader("E8: vocabulary confusion matrix",
+                     "Sec. 1 (robust & selective requirements)");
+
+  std::vector<std::string> names = kinect::GestureShapes::Names();
+  std::vector<kinect::GestureShape> shapes;
+  std::vector<core::GestureDefinition> definitions;
+  for (size_t i = 0; i < names.size(); ++i) {
+    Result<kinect::GestureShape> shape =
+        kinect::GestureShapes::ByName(names[i]);
+    EPL_CHECK(shape.ok());
+    shapes.push_back(*shape);
+    definitions.push_back(bench::TrainDefinition(
+        *shape, 4, 20000 + 100 * static_cast<uint64_t>(i)));
+  }
+
+  const int kTrials = 5;
+  std::printf(
+      "rows: performed gesture; columns: sessions with >=1 detection\n\n"
+      "--- as learned (involved joints only) ---\n");
+  MatrixResult before = PrintMatrix(names, shapes, definitions, kTrials);
+
+  // The paper's remedy for the overlap problem (Sec. 3.3.2): "easily
+  // solved by manually adding additional constraints to generated queries
+  // that separate conflicting gestures". Here: single-hand gestures gain
+  // the constraint that the OTHER hand stays in its neutral region.
+  std::vector<core::GestureDefinition> constrained = definitions;
+  for (size_t i = 0; i < constrained.size(); ++i) {
+    core::GestureDefinition& def = constrained[i];
+    bool has_left = false;
+    for (kinect::JointId joint : def.joints) {
+      if (joint == kinect::JointId::kLeftHand) {
+        has_left = true;
+      }
+    }
+    if (has_left) {
+      continue;  // two-hand gestures already constrain both
+    }
+    def.joints.push_back(kinect::JointId::kLeftHand);
+    for (core::PoseWindow& pose : def.poses) {
+      core::JointWindow neutral;
+      neutral.center = kinect::NeutralLeftHandOffset();
+      neutral.half_width = Vec3(160, 160, 160);
+      pose.joints[kinect::JointId::kLeftHand] = neutral;
+    }
+  }
+  std::printf("\n--- with manual separating constraints "
+              "(other hand near neutral) ---\n");
+  MatrixResult after = PrintMatrix(names, shapes, constrained, kTrials);
+
+  int diagonal_hits = after.diagonal;
+  int off_diagonal = after.off_diagonal;
+  std::printf("\noff-diagonal fires: %d before, %d after the manual "
+              "constraints\n", before.off_diagonal, after.off_diagonal);
+
+  // Negative controls.
+  int idle_fp = 0;
+  int distract_fp = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    kinect::FrameSynthesizer idle_synth(kinect::UserProfile(),
+                                        22000 + static_cast<uint64_t>(t));
+    std::vector<int> idle_counts =
+        bench::CountDetections(definitions, idle_synth.Idle(4.0));
+    kinect::FrameSynthesizer distract_synth(
+        kinect::UserProfile(), 23000 + static_cast<uint64_t>(t));
+    std::vector<int> distract_counts =
+        bench::CountDetections(definitions, distract_synth.Distract(4.0));
+    for (size_t j = 0; j < definitions.size(); ++j) {
+      idle_fp += idle_counts[j];
+      distract_fp += distract_counts[j];
+    }
+  }
+
+  int max_diagonal = static_cast<int>(shapes.size()) * kTrials;
+  std::printf("diagonal (true detections):   %d / %d\n", diagonal_hits,
+              max_diagonal);
+  std::printf("off-diagonal (cross fires):   %d\n", off_diagonal);
+  std::printf("idle false positives:         %d (over %d x 4 s idle)\n",
+              idle_fp, kTrials);
+  std::printf("distractor false positives:   %d (over %d x 4 s random)\n",
+              distract_fp, kTrials);
+  std::printf(
+      "\nexpected shape (paper): a dominant diagonal. Residual cross fires\n"
+      "are genuine containments (hands_up moves the right hand exactly\n"
+      "like raise_hand) — the paper's overlap problem, reduced here by\n"
+      "the manual separating constraints of Sec. 3.3.2.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace epl
+
+int main() { return epl::Run(); }

@@ -1,0 +1,75 @@
+// E6 (paper Sec. 3.3.2): window generalization sweep. Widening the
+// learned rectangles increases robustness "but scaling them too much
+// introduces the overlapping problem, i.e., patterns of different
+// gestures detect the same movement". This harness sweeps the widening
+// factor and reports detection rate, cross-gesture misfires, and the
+// static overlap warnings of the Sec. 3.3.3 validator.
+
+#include <cstdio>
+
+#include "optimize/overlap.h"
+#include "exp_util.h"
+
+namespace epl {
+namespace {
+
+int Run() {
+  bench::PrintHeader("E6: generalization (window widening) sweep",
+                     "Sec. 3.3.2 (scaling step and the overlap problem)");
+
+  std::vector<kinect::GestureShape> shapes = {
+      kinect::GestureShapes::SwipeRight(), kinect::GestureShapes::Circle(),
+      kinect::GestureShapes::RaiseHand(),
+      kinect::GestureShapes::PushForward()};
+  const int kTrials = 6;
+
+  std::printf("%8s %14s %16s %18s\n", "widen", "detect rate",
+              "cross misfires", "overlap warnings");
+
+  for (double widen : {0.6, 1.0, 1.5, 2.5, 4.0, 6.0}) {
+    core::LearnerConfig config;
+    config.generalize.widen_factor = widen;
+    std::vector<core::GestureDefinition> definitions;
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      definitions.push_back(bench::TrainDefinition(
+          shapes[i], 4, 11000 + 100 * static_cast<uint64_t>(i), config));
+    }
+
+    // Detection rate averaged over the vocabulary.
+    double rate_sum = 0.0;
+    int cross_misfires = 0;
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      rate_sum += bench::DetectionRate(definitions[i], shapes[i], kTrials,
+                                       12000 + static_cast<uint64_t>(i));
+      // Performances of gesture i evaluated against all other patterns.
+      for (int t = 0; t < kTrials; ++t) {
+        std::vector<int> counts = bench::CountDetections(
+            definitions,
+            bench::Performance(kinect::UserProfile(), shapes[i],
+                               13000 + static_cast<uint64_t>(t)));
+        for (size_t j = 0; j < definitions.size(); ++j) {
+          if (j != i && counts[j] > 0) {
+            ++cross_misfires;
+          }
+        }
+      }
+    }
+    size_t overlap_warnings =
+        optimize::ValidateVocabulary(definitions).size();
+
+    std::printf("%8.1f %13.0f%% %16d %18zu\n", widen,
+                rate_sum / static_cast<double>(shapes.size()) * 100.0,
+                cross_misfires, overlap_warnings);
+  }
+
+  std::printf(
+      "\nexpected shape (paper): moderate widening keeps detection high\n"
+      "with zero misfires; at large factors other gestures start firing\n"
+      "the pattern, and the static validator flags the overlaps first.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace epl
+
+int main() { return epl::Run(); }

@@ -1,0 +1,120 @@
+// Shared helpers for the experiment harnesses (exp_*.cc). Each harness
+// regenerates one table/figure/claim of the paper; see EXPERIMENTS.md for
+// the index.
+
+#ifndef EPL_BENCH_EXP_UTIL_H_
+#define EPL_BENCH_EXP_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cep/detection.h"
+#include "common/logging.h"
+#include "core/learner.h"
+#include "kinect/sensor.h"
+#include "kinect/synthesizer.h"
+#include "stream/engine.h"
+#include "transform/transform.h"
+#include "transform/view.h"
+
+namespace epl::bench {
+
+/// Trains a gesture definition from `num_samples` synthesized recordings.
+inline core::GestureDefinition TrainDefinition(
+    const kinect::GestureShape& shape, int num_samples, uint64_t seed_base,
+    const core::LearnerConfig& config = core::LearnerConfig(),
+    const kinect::UserProfile& trainer = kinect::UserProfile(),
+    const kinect::MotionParams& motion = kinect::MotionParams()) {
+  core::GestureLearner learner(shape.name, shape.InvolvedJoints(), config);
+  for (int i = 0; i < num_samples; ++i) {
+    std::vector<kinect::SkeletonFrame> frames = kinect::SynthesizeSample(
+        trainer, shape, seed_base + static_cast<uint64_t>(i), motion);
+    for (kinect::SkeletonFrame& frame : frames) {
+      frame = transform::TransformFrame(frame, transform::TransformConfig());
+    }
+    Status status = learner.AddSample(frames);
+    EPL_CHECK(status.ok()) << status;
+  }
+  Result<core::GestureDefinition> definition = learner.Learn();
+  EPL_CHECK(definition.ok()) << definition.status();
+  return std::move(definition).value();
+}
+
+/// One full performance (idle - gesture - idle) in raw camera space.
+inline std::vector<kinect::SkeletonFrame> Performance(
+    const kinect::UserProfile& user, const kinect::GestureShape& shape,
+    uint64_t seed) {
+  kinect::SessionBuilder builder(user, seed);
+  builder.Idle(0.6).Perform(shape, 0.4).Idle(0.6);
+  return builder.TakeFrames();
+}
+
+/// Plays `frames` against the deployed `definitions`; returns the number
+/// of detections per definition.
+inline std::vector<int> CountDetections(
+    const std::vector<core::GestureDefinition>& definitions,
+    const std::vector<kinect::SkeletonFrame>& frames,
+    const transform::TransformConfig& transform_config =
+        transform::TransformConfig()) {
+  stream::StreamEngine engine;
+  EPL_CHECK(kinect::RegisterKinectStream(&engine).ok());
+  EPL_CHECK(transform::RegisterKinectTView(&engine, transform_config).ok());
+  std::vector<int> counts(definitions.size(), 0);
+  for (size_t i = 0; i < definitions.size(); ++i) {
+    int* slot = &counts[i];
+    Result<stream::DeploymentId> id = core::DeployGesture(
+        &engine, definitions[i],
+        [slot](const cep::Detection&) { ++*slot; });
+    EPL_CHECK(id.ok()) << id.status();
+  }
+  EPL_CHECK(kinect::PlayFrames(&engine, frames).ok());
+  return counts;
+}
+
+/// A varied panel of test users (position / size / orientation).
+inline std::vector<kinect::UserProfile> TestUsers() {
+  std::vector<kinect::UserProfile> users(5);
+  users[1].torso_position = Vec3(-500, 250, 2800);
+  users[2].height_mm = 1250;  // child
+  users[3].yaw_rad = 0.5;
+  users[4].height_mm = 1950;
+  users[4].torso_position = Vec3(350, -80, 1700);
+  users[4].yaw_rad = -0.4;
+  return users;
+}
+
+/// Detection rate of `definition` over `trials` performances of `shape`
+/// spread across the test-user panel.
+inline double DetectionRate(const core::GestureDefinition& definition,
+                            const kinect::GestureShape& shape, int trials,
+                            uint64_t seed_base,
+                            const transform::TransformConfig& config =
+                                transform::TransformConfig()) {
+  std::vector<kinect::UserProfile> users = TestUsers();
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    const kinect::UserProfile& user = users[static_cast<size_t>(t) %
+                                            users.size()];
+    std::vector<int> counts =
+        CountDetections({definition},
+                        Performance(user, shape,
+                                    seed_base + static_cast<uint64_t>(t)),
+                        config);
+    if (counts[0] > 0) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& anchor) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper anchor: %s\n", anchor.c_str());
+  std::printf("==================================================\n");
+}
+
+}  // namespace epl::bench
+
+#endif  // EPL_BENCH_EXP_UTIL_H_

@@ -1,0 +1,110 @@
+// Graph navigation demo (paper Sec. 4, ref [1]: "Gesture-Based Navigation
+// in Graph Databases — The Kevin Bacon Game"): gestures walk an
+// actor-movie graph starting at Kevin Bacon.
+
+#include <cstdio>
+
+#include "apps/binding.h"
+#include "apps/graph.h"
+#include "core/learner.h"
+#include "kinect/sensor.h"
+#include "transform/transform.h"
+#include "transform/view.h"
+
+using namespace epl;
+
+namespace {
+
+core::GestureDefinition Train(const kinect::GestureShape& shape,
+                              uint64_t seed) {
+  core::GestureLearner learner(shape.name, shape.InvolvedJoints());
+  for (int i = 0; i < 3; ++i) {
+    std::vector<kinect::SkeletonFrame> sample =
+        kinect::SynthesizeSample(kinect::UserProfile(), shape, seed + i);
+    for (kinect::SkeletonFrame& frame : sample) {
+      frame = transform::TransformFrame(frame, transform::TransformConfig());
+    }
+    EPL_CHECK(learner.AddSample(sample).ok());
+  }
+  Result<core::GestureDefinition> definition = learner.Learn();
+  EPL_CHECK(definition.ok());
+  return std::move(definition).value();
+}
+
+}  // namespace
+
+int main() {
+  apps::MovieGraph graph = apps::MovieGraph::Demo();
+  Result<int> start = graph.FindNode("Kevin Bacon");
+  EPL_CHECK(start.ok());
+  apps::GraphCursor cursor(&graph, *start);
+
+  apps::GestureCommandRouter router;
+  auto show = [&cursor, &graph]() {
+    std::printf("%s", cursor.Describe().c_str());
+    if (cursor.current_node().kind == apps::MovieGraph::NodeKind::kActor) {
+      Result<int> bacon = graph.BaconNumber(cursor.current_node().name);
+      if (bacon.ok()) {
+        std::printf("  (Bacon number %d)\n", *bacon);
+      }
+    }
+  };
+  router.Bind("swipe_right", [&](const cep::Detection&) {
+    cursor.NextNeighbor();
+    std::printf("\n[gesture] next neighbor\n");
+    show();
+  });
+  router.Bind("swipe_left", [&](const cep::Detection&) {
+    cursor.PrevNeighbor();
+    std::printf("\n[gesture] previous neighbor\n");
+    show();
+  });
+  router.Bind("push_forward", [&](const cep::Detection&) {
+    Status status = cursor.Expand();
+    std::printf("\n[gesture] expand -> %s\n",
+                status.ok() ? "ok" : status.ToString().c_str());
+    show();
+  });
+  router.Bind("raise_hand", [&](const cep::Detection&) {
+    Status status = cursor.Back();
+    std::printf("\n[gesture] back -> %s\n",
+                status.ok() ? "ok" : status.ToString().c_str());
+    show();
+  });
+
+  stream::StreamEngine engine;
+  EPL_CHECK(kinect::RegisterKinectStream(&engine).ok());
+  EPL_CHECK(transform::RegisterKinectTView(&engine).ok());
+  std::vector<kinect::GestureShape> shapes = {
+      kinect::GestureShapes::SwipeRight(), kinect::GestureShapes::SwipeLeft(),
+      kinect::GestureShapes::PushForward(),
+      kinect::GestureShapes::RaiseHand()};
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    EPL_CHECK(core::DeployGesture(&engine, Train(shapes[i], 700 + 10 * i),
+                                  router.AsCallback())
+                  .ok());
+  }
+
+  std::printf("start node:\n");
+  std::printf("%s", cursor.Describe().c_str());
+
+  // Play the Kevin Bacon game: into a movie, across to a co-star, back.
+  kinect::UserProfile player;
+  kinect::SessionBuilder session(player, 4711);
+  session.Idle(0.5)
+      .Perform(kinect::GestureShapes::SwipeRight(), 0.3)    // select
+      .Idle(0.4)
+      .Perform(kinect::GestureShapes::PushForward(), 0.3)   // into movie
+      .Idle(0.4)
+      .Perform(kinect::GestureShapes::SwipeRight(), 0.3)    // pick co-star
+      .Idle(0.4)
+      .Perform(kinect::GestureShapes::PushForward(), 0.3)   // to the actor
+      .Idle(0.4)
+      .Perform(kinect::GestureShapes::RaiseHand(), 0.3)     // back
+      .Idle(0.5);
+  EPL_CHECK(kinect::PlayFrames(&engine, session.frames()).ok());
+
+  std::printf("\nrouter: %llu commands dispatched\n",
+              static_cast<unsigned long long>(router.dispatched()));
+  return router.dispatched() >= 5 ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Interactive learning session (paper Sec. 3.1 / Fig. 2): the complete
+// workflow driven purely by gestures — wave to record, perform the
+// gesture between two still poses, repeat, finish with a two-hand swipe,
+// then test the freshly learned gesture. The GUI of the paper maps to
+// status lines on stdout; the gesture database persists to ./gesture_db.
+
+#include <cstdio>
+
+#include "gesturedb/store.h"
+#include "kinect/sensor.h"
+#include "workflow/controller.h"
+
+using namespace epl;
+
+int main() {
+  Result<gesturedb::GestureStore> store =
+      gesturedb::GestureStore::Open("gesture_db");
+  EPL_CHECK(store.ok()) << store.status();
+
+  stream::StreamEngine engine;
+  workflow::ControllerEvents events;
+  events.on_status = [](const std::string& status) {
+    std::printf("[status ] %s\n", status.c_str());
+  };
+  events.on_warning = [](const std::string& warning) {
+    std::printf("[warning] %s\n", warning.c_str());
+  };
+  events.on_sample = [](int index, int poses) {
+    std::printf("[sample ] #%d merged (%d characteristic poses)\n", index,
+                poses);
+  };
+  events.on_deployed = [](const std::string& name,
+                          const std::string& query) {
+    std::printf("[deploy ] gesture '%s' is live; generated query:\n%s\n",
+                name.c_str(), query.c_str());
+  };
+  events.on_detection = [](const cep::Detection& detection) {
+    std::printf("[detect ] \"%s\" fired after %s\n",
+                detection.name.c_str(),
+                FormatDuration(detection.duration()).c_str());
+  };
+
+  workflow::LearningController controller(&engine, &(*store),
+                                          workflow::ControllerConfig(),
+                                          events);
+  EPL_CHECK(controller.Init().ok());
+  EPL_CHECK(controller
+                .BeginGesture("circle", {kinect::JointId::kRightHand})
+                .ok());
+
+  // The simulated user performs the whole session in front of the camera.
+  // Note the deviating third recording: the user absent-mindedly raises
+  // the hand instead of drawing a circle — the incremental merger warns.
+  kinect::UserProfile user;
+  kinect::SessionBuilder session(user, 31415);
+  session.Idle(0.6);
+  for (int round = 0; round < 4; ++round) {
+    session.Perform(kinect::GestureShapes::Wave());  // control: record
+    const kinect::GestureShape shape =
+        round == 2 ? kinect::GestureShapes::RaiseHand()
+                   : kinect::GestureShapes::Circle();
+    session.Perform(shape, /*dwell_s=*/0.9);
+    session.Idle(0.4);
+  }
+  session.Perform(kinect::GestureShapes::TwoHandSwipe());  // control: done
+  session.Idle(0.8);
+  // Testing phase: one clean circle, and one swipe that must NOT fire.
+  session.Perform(kinect::GestureShapes::Circle(), 0.4);
+  session.Idle(0.5);
+  session.Perform(kinect::GestureShapes::SwipeRight(), 0.4);
+  session.Idle(0.5);
+
+  EPL_CHECK(controller.PushFrames(session.frames()).ok());
+
+  std::printf("\nsession finished in phase '%s' with %d samples\n",
+              std::string(
+                  workflow::ControllerPhaseToString(controller.phase()))
+                  .c_str(),
+              controller.sample_count());
+  Result<std::vector<std::string>> stored = store->List();
+  if (stored.ok()) {
+    std::printf("gesture database now contains:");
+    for (const std::string& name : *stored) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  return controller.phase() == workflow::ControllerPhase::kTesting ? 0 : 1;
+}

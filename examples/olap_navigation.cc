@@ -1,0 +1,109 @@
+// OLAP navigation demo (paper Sec. 4, ref [3] "Data3"): gestures drive
+// drill-down / roll-up / pivot / slice on an in-memory sales cube.
+//
+// Four gestures are learned from synthesized samples, bound to cube
+// operators, and then a simulated analyst performs a navigation session
+// in front of the virtual camera. Afterwards the bindings are exchanged
+// at runtime (the paper's closing demonstration).
+
+#include <cstdio>
+
+#include "apps/binding.h"
+#include "apps/olap.h"
+#include "core/learner.h"
+#include "kinect/sensor.h"
+#include "transform/transform.h"
+#include "transform/view.h"
+
+using namespace epl;
+
+namespace {
+
+core::GestureDefinition Train(const kinect::GestureShape& shape,
+                              uint64_t seed) {
+  core::GestureLearner learner(shape.name, shape.InvolvedJoints());
+  for (int i = 0; i < 3; ++i) {
+    std::vector<kinect::SkeletonFrame> sample =
+        kinect::SynthesizeSample(kinect::UserProfile(), shape, seed + i);
+    for (kinect::SkeletonFrame& frame : sample) {
+      frame = transform::TransformFrame(frame, transform::TransformConfig());
+    }
+    EPL_CHECK(learner.AddSample(sample).ok());
+  }
+  Result<core::GestureDefinition> definition = learner.Learn();
+  EPL_CHECK(definition.ok());
+  return std::move(definition).value();
+}
+
+}  // namespace
+
+int main() {
+  apps::OlapCube cube = apps::OlapCube::Demo();
+  apps::GestureCommandRouter router;
+
+  auto report = [&cube](const char* op, const Status& status) {
+    std::printf("\n[gesture] %s -> %s\n", op,
+                status.ok() ? "ok" : status.ToString().c_str());
+    std::printf("%s", cube.Render().c_str());
+  };
+  router.Bind("swipe_right", [&](const cep::Detection&) {
+    report("drill-down(time)", cube.DrillDown(apps::Dimension::kTime));
+  });
+  router.Bind("swipe_left", [&](const cep::Detection&) {
+    report("roll-up(time)", cube.RollUp(apps::Dimension::kTime));
+  });
+  router.Bind("circle", [&](const cep::Detection&) {
+    cube.Pivot();
+    report("pivot", OkStatus());
+  });
+  router.Bind("push_forward", [&](const cep::Detection&) {
+    report("slice-next", cube.SliceNext());
+  });
+
+  stream::StreamEngine engine;
+  EPL_CHECK(kinect::RegisterKinectStream(&engine).ok());
+  EPL_CHECK(transform::RegisterKinectTView(&engine).ok());
+  std::vector<kinect::GestureShape> shapes = {
+      kinect::GestureShapes::SwipeRight(), kinect::GestureShapes::SwipeLeft(),
+      kinect::GestureShapes::Circle(), kinect::GestureShapes::PushForward()};
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    EPL_CHECK(core::DeployGesture(&engine, Train(shapes[i], 300 + 10 * i),
+                                  router.AsCallback())
+                  .ok());
+  }
+
+  std::printf("initial cube:\n%s", cube.Render().c_str());
+
+  // The analyst: drill twice into time, pivot, slice, roll up.
+  kinect::UserProfile analyst;
+  analyst.height_mm = 1680;
+  kinect::SessionBuilder session(analyst, 2024);
+  session.Idle(0.5)
+      .Perform(kinect::GestureShapes::SwipeRight(), 0.3)
+      .Idle(0.4)
+      .Perform(kinect::GestureShapes::SwipeRight(), 0.3)
+      .Idle(0.4)
+      .Perform(kinect::GestureShapes::Circle(), 0.3)
+      .Idle(0.4)
+      .Perform(kinect::GestureShapes::PushForward(), 0.3)
+      .Idle(0.4)
+      .Perform(kinect::GestureShapes::SwipeLeft(), 0.3)
+      .Idle(0.5);
+  EPL_CHECK(kinect::PlayFrames(&engine, session.frames()).ok());
+
+  // Runtime rebinding: the same swipe now navigates the region dimension.
+  std::printf("\n=== rebinding swipe gestures to the region dimension ===\n");
+  router.Bind("swipe_right", [&](const cep::Detection&) {
+    report("drill-down(region)", cube.DrillDown(apps::Dimension::kRegion));
+  });
+  kinect::SessionBuilder second(analyst, 2025);
+  second.Idle(0.5)
+      .Perform(kinect::GestureShapes::SwipeRight(), 0.3)
+      .Idle(0.5);
+  EPL_CHECK(kinect::PlayFrames(&engine, second.frames()).ok());
+
+  std::printf("\nrouter: %llu commands dispatched, %llu unhandled\n",
+              static_cast<unsigned long long>(router.dispatched()),
+              static_cast<unsigned long long>(router.unhandled()));
+  return router.dispatched() >= 6 ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+#include "apps/binding.h"
+
+namespace epl::apps {
+
+void GestureCommandRouter::Bind(const std::string& gesture,
+                                Command command) {
+  bindings_[gesture] = std::move(command);
+}
+
+Status GestureCommandRouter::Unbind(const std::string& gesture) {
+  if (bindings_.erase(gesture) == 0) {
+    return NotFoundError("gesture not bound: " + gesture);
+  }
+  return OkStatus();
+}
+
+bool GestureCommandRouter::IsBound(const std::string& gesture) const {
+  return bindings_.count(gesture) > 0;
+}
+
+void GestureCommandRouter::OnDetection(const cep::Detection& detection) {
+  auto it = bindings_.find(detection.name);
+  if (it == bindings_.end() || !it->second) {
+    ++unhandled_;
+    return;
+  }
+  ++dispatched_;
+  it->second(detection);
+}
+
+cep::DetectionCallback GestureCommandRouter::AsCallback() {
+  return [this](const cep::Detection& detection) { OnDetection(detection); };
+}
+
+std::vector<std::string> GestureCommandRouter::BoundGestures() const {
+  std::vector<std::string> names;
+  names.reserve(bindings_.size());
+  for (const auto& [name, command] : bindings_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace epl::apps

@@ -1,0 +1,50 @@
+// GestureCommandRouter: maps detected gestures to application commands,
+// rebindable at runtime (paper Sec. 4: "exchanging the applications'
+// pre-defined navigation operations during runtime, demonstrating the full
+// flexibility of the declarative gesture detection approach").
+
+#ifndef EPL_APPS_BINDING_H_
+#define EPL_APPS_BINDING_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cep/detection.h"
+#include "common/result.h"
+
+namespace epl::apps {
+
+class GestureCommandRouter {
+ public:
+  using Command = std::function<void(const cep::Detection&)>;
+
+  /// Binds (or rebinds) a gesture name to a command.
+  void Bind(const std::string& gesture, Command command);
+
+  Status Unbind(const std::string& gesture);
+
+  bool IsBound(const std::string& gesture) const;
+
+  /// Dispatches a detection to its bound command; unbound gestures count
+  /// as unhandled.
+  void OnDetection(const cep::Detection& detection);
+
+  /// Adapter usable as cep::DetectionCallback.
+  cep::DetectionCallback AsCallback();
+
+  std::vector<std::string> BoundGestures() const;
+
+  uint64_t dispatched() const { return dispatched_; }
+  uint64_t unhandled() const { return unhandled_; }
+
+ private:
+  std::map<std::string, Command> bindings_;
+  uint64_t dispatched_ = 0;
+  uint64_t unhandled_ = 0;
+};
+
+}  // namespace epl::apps
+
+#endif  // EPL_APPS_BINDING_H_

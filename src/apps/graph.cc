@@ -1,0 +1,197 @@
+#include "apps/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace epl::apps {
+
+int MovieGraph::AddNode(const std::string& name, NodeKind kind) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{name, kind});
+  adjacency_.emplace_back();
+  index_.emplace(name, id);
+  return id;
+}
+
+int MovieGraph::AddActor(const std::string& name) {
+  return AddNode(name, NodeKind::kActor);
+}
+
+int MovieGraph::AddMovie(const std::string& title) {
+  return AddNode(title, NodeKind::kMovie);
+}
+
+Status MovieGraph::AddAppearance(const std::string& actor,
+                                 const std::string& movie) {
+  EPL_ASSIGN_OR_RETURN(int actor_id, FindNode(actor));
+  EPL_ASSIGN_OR_RETURN(int movie_id, FindNode(movie));
+  if (nodes_[static_cast<size_t>(actor_id)].kind != NodeKind::kActor ||
+      nodes_[static_cast<size_t>(movie_id)].kind != NodeKind::kMovie) {
+    return InvalidArgumentError("appearance must connect actor to movie");
+  }
+  adjacency_[static_cast<size_t>(actor_id)].push_back(movie_id);
+  adjacency_[static_cast<size_t>(movie_id)].push_back(actor_id);
+  return OkStatus();
+}
+
+Result<int> MovieGraph::FindNode(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return NotFoundError("unknown node: " + name);
+  }
+  return it->second;
+}
+
+std::vector<int> MovieGraph::Neighbors(int id) const {
+  std::vector<int> neighbors = adjacency_[static_cast<size_t>(id)];
+  std::sort(neighbors.begin(), neighbors.end(), [this](int a, int b) {
+    return nodes_[static_cast<size_t>(a)].name <
+           nodes_[static_cast<size_t>(b)].name;
+  });
+  neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                  neighbors.end());
+  return neighbors;
+}
+
+int MovieGraph::Distance(int from, int to) const {
+  if (from == to) {
+    return 0;
+  }
+  std::vector<int> dist(nodes_.size(), -1);
+  std::deque<int> queue;
+  dist[static_cast<size_t>(from)] = 0;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    for (int next : adjacency_[static_cast<size_t>(node)]) {
+      if (dist[static_cast<size_t>(next)] < 0) {
+        dist[static_cast<size_t>(next)] = dist[static_cast<size_t>(node)] + 1;
+        if (next == to) {
+          return dist[static_cast<size_t>(next)];
+        }
+        queue.push_back(next);
+      }
+    }
+  }
+  return -1;
+}
+
+Result<int> MovieGraph::BaconNumber(const std::string& actor) const {
+  EPL_ASSIGN_OR_RETURN(int actor_id, FindNode(actor));
+  EPL_ASSIGN_OR_RETURN(int bacon_id, FindNode("Kevin Bacon"));
+  int distance = Distance(actor_id, bacon_id);
+  if (distance < 0) {
+    return NotFoundError(actor + " is not connected to Kevin Bacon");
+  }
+  return distance / 2;
+}
+
+MovieGraph MovieGraph::Demo() {
+  MovieGraph graph;
+  struct MovieCast {
+    const char* title;
+    std::vector<const char*> cast;
+  };
+  const std::vector<MovieCast> movies = {
+      {"Apollo 13", {"Kevin Bacon", "Tom Hanks", "Bill Paxton"}},
+      {"Footloose", {"Kevin Bacon", "Lori Singer", "John Lithgow"}},
+      {"A Few Good Men",
+       {"Kevin Bacon", "Tom Cruise", "Jack Nicholson", "Demi Moore"}},
+      {"The Shining", {"Jack Nicholson", "Shelley Duvall"}},
+      {"Forrest Gump", {"Tom Hanks", "Robin Wright", "Gary Sinise"}},
+      {"Cast Away", {"Tom Hanks", "Helen Hunt"}},
+      {"Top Gun", {"Tom Cruise", "Val Kilmer", "Meg Ryan"}},
+      {"Twister", {"Bill Paxton", "Helen Hunt"}},
+      {"The Princess Bride", {"Robin Wright", "Cary Elwes"}},
+      {"Interview with the Vampire", {"Tom Cruise", "Brad Pitt"}},
+      {"Se7en", {"Brad Pitt", "Morgan Freeman", "Gwyneth Paltrow"}},
+      {"Footloose 2011", {"Julianne Hough", "Kenny Wormald"}},
+  };
+  for (const MovieCast& movie : movies) {
+    graph.AddMovie(movie.title);
+    for (const char* actor : movie.cast) {
+      graph.AddActor(actor);
+      EPL_CHECK(graph.AddAppearance(actor, movie.title).ok());
+    }
+  }
+  return graph;
+}
+
+GraphCursor::GraphCursor(const MovieGraph* graph, int start_node)
+    : graph_(graph), current_(start_node) {
+  EPL_CHECK(graph_ != nullptr);
+  EPL_CHECK(start_node >= 0 && start_node < graph_->num_nodes());
+}
+
+const MovieGraph::Node& GraphCursor::current_node() const {
+  return graph_->node(current_);
+}
+
+int GraphCursor::selected_neighbor() const {
+  std::vector<int> neighbors = graph_->Neighbors(current_);
+  if (neighbors.empty()) {
+    return -1;
+  }
+  return neighbors[static_cast<size_t>(selection_) % neighbors.size()];
+}
+
+void GraphCursor::NextNeighbor() {
+  std::vector<int> neighbors = graph_->Neighbors(current_);
+  if (!neighbors.empty()) {
+    selection_ = (selection_ + 1) % static_cast<int>(neighbors.size());
+  }
+}
+
+void GraphCursor::PrevNeighbor() {
+  std::vector<int> neighbors = graph_->Neighbors(current_);
+  if (!neighbors.empty()) {
+    int count = static_cast<int>(neighbors.size());
+    selection_ = (selection_ + count - 1) % count;
+  }
+}
+
+Status GraphCursor::Expand() {
+  int target = selected_neighbor();
+  if (target < 0) {
+    return FailedPreconditionError("current node has no neighbors");
+  }
+  history_.push_back(current_);
+  current_ = target;
+  selection_ = 0;
+  return OkStatus();
+}
+
+Status GraphCursor::Back() {
+  if (history_.empty()) {
+    return FailedPreconditionError("no navigation history");
+  }
+  current_ = history_.back();
+  history_.pop_back();
+  selection_ = 0;
+  return OkStatus();
+}
+
+std::string GraphCursor::Describe() const {
+  const MovieGraph::Node& node = current_node();
+  std::string out = StrFormat(
+      "[%s] %s\n",
+      node.kind == MovieGraph::NodeKind::kActor ? "actor" : "movie",
+      node.name.c_str());
+  std::vector<int> neighbors = graph_->Neighbors(current_);
+  int selected = selected_neighbor();
+  for (int neighbor : neighbors) {
+    out += StrFormat("  %c %s\n", neighbor == selected ? '>' : ' ',
+                     graph_->node(neighbor).name.c_str());
+  }
+  return out;
+}
+
+}  // namespace epl::apps

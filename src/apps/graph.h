@@ -1,0 +1,93 @@
+// Movie-graph substrate for the gesture-controlled graph navigation demo
+// (paper Sec. 4 and ref [1]: "Gesture-Based Navigation in Graph Databases
+// — The Kevin Bacon Game").
+
+#ifndef EPL_APPS_GRAPH_H_
+#define EPL_APPS_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace epl::apps {
+
+/// Undirected bipartite actor-movie graph.
+class MovieGraph {
+ public:
+  /// Small built-in dataset around Kevin Bacon.
+  static MovieGraph Demo();
+
+  enum class NodeKind { kActor, kMovie };
+
+  struct Node {
+    std::string name;
+    NodeKind kind;
+  };
+
+  /// Adds a node; returns its id. Duplicate names return the existing id.
+  int AddActor(const std::string& name);
+  int AddMovie(const std::string& title);
+  /// Connects an actor to a movie they appeared in.
+  Status AddAppearance(const std::string& actor, const std::string& movie);
+
+  Result<int> FindNode(const std::string& name) const;
+  const Node& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Neighbor ids, sorted by name for deterministic navigation.
+  std::vector<int> Neighbors(int id) const;
+
+  /// BFS hop distance between two nodes (-1 when unreachable). The Bacon
+  /// number of an actor is half the distance to Kevin Bacon.
+  int Distance(int from, int to) const;
+
+  /// Bacon number of an actor (movies do not count as hops): -1 when
+  /// unreachable or unknown.
+  Result<int> BaconNumber(const std::string& actor) const;
+
+ private:
+  int AddNode(const std::string& name, NodeKind kind);
+
+  std::vector<Node> nodes_;
+  std::map<std::string, int> index_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+/// Navigation cursor over the graph: the gesture commands of the demo
+/// (next/previous neighbor, expand, back) operate on this.
+class GraphCursor {
+ public:
+  /// `graph` must outlive the cursor.
+  GraphCursor(const MovieGraph* graph, int start_node);
+
+  int current() const { return current_; }
+  const MovieGraph::Node& current_node() const;
+
+  /// The currently highlighted neighbor (empty graph edge case: -1).
+  int selected_neighbor() const;
+
+  /// Cycles the highlighted neighbor.
+  void NextNeighbor();
+  void PrevNeighbor();
+
+  /// Moves to the highlighted neighbor (pushes history).
+  Status Expand();
+
+  /// Returns to the previously visited node.
+  Status Back();
+
+  /// Text rendering of the current node and its neighborhood.
+  std::string Describe() const;
+
+ private:
+  const MovieGraph* graph_;
+  int current_;
+  int selection_ = 0;
+  std::vector<int> history_;
+};
+
+}  // namespace epl::apps
+
+#endif  // EPL_APPS_GRAPH_H_

@@ -1,0 +1,195 @@
+#include "apps/olap.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/string_util.h"
+
+namespace epl::apps {
+
+std::string_view DimensionName(Dimension dim) {
+  switch (dim) {
+    case Dimension::kTime:
+      return "time";
+    case Dimension::kRegion:
+      return "region";
+    case Dimension::kProduct:
+      return "product";
+  }
+  return "?";
+}
+
+OlapCube OlapCube::Demo() {
+  // Deterministic synthetic facts: 2 years x 4 quarters x 3 months,
+  // 2 countries x 2 cities, 2 categories x 2 items.
+  const std::array<std::pair<const char*, const char*>, 4> regions = {
+      std::make_pair("Germany", "Berlin"),
+      std::make_pair("Germany", "Ilmenau"),
+      std::make_pair("France", "Paris"),
+      std::make_pair("France", "Lyon")};
+  const std::array<std::pair<const char*, const char*>, 4> products = {
+      std::make_pair("Books", "Novel"), std::make_pair("Books", "Manual"),
+      std::make_pair("Games", "Puzzle"), std::make_pair("Games", "Arcade")};
+  std::vector<FactRow> facts;
+  int tick = 0;
+  for (int year : {2012, 2013}) {
+    for (int quarter = 1; quarter <= 4; ++quarter) {
+      for (int month_in_quarter = 1; month_in_quarter <= 3;
+           ++month_in_quarter) {
+        int month = (quarter - 1) * 3 + month_in_quarter;
+        for (const auto& [country, city] : regions) {
+          for (const auto& [category, item] : products) {
+            FactRow row;
+            row.year = year;
+            row.quarter = quarter;
+            row.month = month;
+            row.country = country;
+            row.city = city;
+            row.category = category;
+            row.item = item;
+            // Deterministic but varied sales figures.
+            row.sales = 100.0 + (tick * 37) % 400 +
+                        (year == 2013 ? 50.0 : 0.0);
+            ++tick;
+            facts.push_back(std::move(row));
+          }
+        }
+      }
+    }
+  }
+  return OlapCube(std::move(facts));
+}
+
+OlapCube::OlapCube(std::vector<FactRow> facts) : facts_(std::move(facts)) {}
+
+Status OlapCube::DrillDown(Dimension dim) {
+  size_t index = static_cast<size_t>(dim);
+  if (levels_[index] >= max_levels_[index]) {
+    return FailedPreconditionError(
+        std::string(DimensionName(dim)) +
+        " is already at the finest level");
+  }
+  ++levels_[index];
+  return OkStatus();
+}
+
+Status OlapCube::RollUp(Dimension dim) {
+  size_t index = static_cast<size_t>(dim);
+  if (levels_[index] <= 0) {
+    return FailedPreconditionError(
+        std::string(DimensionName(dim)) +
+        " is already at the coarsest level");
+  }
+  --levels_[index];
+  return OkStatus();
+}
+
+void OlapCube::Pivot() {
+  std::rotate(order_.begin(), order_.begin() + 1, order_.end());
+  slice_value_.clear();
+}
+
+std::string OlapCube::GroupKey(const FactRow& row, Dimension dim) const {
+  int level = levels_[static_cast<size_t>(dim)];
+  switch (dim) {
+    case Dimension::kTime:
+      if (level == 0) {
+        return StrFormat("%d", row.year);
+      }
+      if (level == 1) {
+        return StrFormat("%d-Q%d", row.year, row.quarter);
+      }
+      return StrFormat("%d-M%02d", row.year, row.month);
+    case Dimension::kRegion:
+      return level == 0 ? row.country : row.country + "/" + row.city;
+    case Dimension::kProduct:
+      return level == 0 ? row.category : row.category + "/" + row.item;
+  }
+  return "?";
+}
+
+std::string OlapCube::SliceKey(const FactRow& row) const {
+  return GroupKey(row, pivot_dimension());
+}
+
+std::vector<std::string> OlapCube::SliceValues() const {
+  std::vector<std::string> values;
+  for (const FactRow& row : facts_) {
+    std::string key = SliceKey(row);
+    if (std::find(values.begin(), values.end(), key) == values.end()) {
+      values.push_back(key);
+    }
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+Status OlapCube::SliceNext() {
+  std::vector<std::string> values = SliceValues();
+  if (values.empty()) {
+    return FailedPreconditionError("cube has no data to slice");
+  }
+  if (slice_value_.empty()) {
+    slice_value_ = values.front();
+    return OkStatus();
+  }
+  auto it = std::find(values.begin(), values.end(), slice_value_);
+  if (it == values.end() || ++it == values.end()) {
+    slice_value_ = values.front();  // wrap around
+  } else {
+    slice_value_ = *it;
+  }
+  return OkStatus();
+}
+
+void OlapCube::Unslice() { slice_value_.clear(); }
+
+std::map<std::string, double> OlapCube::Aggregate() const {
+  std::map<std::string, double> totals;
+  for (const FactRow& row : facts_) {
+    if (!slice_value_.empty() && SliceKey(row) != slice_value_) {
+      continue;
+    }
+    std::string key;
+    for (Dimension dim : order_) {
+      if (!key.empty()) {
+        key += " | ";
+      }
+      key += GroupKey(row, dim);
+    }
+    totals[key] += row.sales;
+  }
+  return totals;
+}
+
+std::string OlapCube::Render() const {
+  std::map<std::string, double> totals = Aggregate();
+  std::string out = DescribeState() + "\n";
+  size_t shown = 0;
+  for (const auto& [key, total] : totals) {
+    out += StrFormat("  %-40s %10.0f\n", key.c_str(), total);
+    if (++shown >= 12 && totals.size() > 13) {
+      out += StrFormat("  ... (%zu more rows)\n", totals.size() - shown);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string OlapCube::DescribeState() const {
+  std::string out = "cube[";
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (i > 0) {
+      out += " x ";
+    }
+    out += std::string(DimensionName(order_[i])) +
+           StrFormat("@L%d", levels_[static_cast<size_t>(order_[i])]);
+  }
+  out += "]";
+  if (!slice_value_.empty()) {
+    out += " slice=" + slice_value_;
+  }
+  return out;
+}
+
+}  // namespace epl::apps

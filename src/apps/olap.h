@@ -1,0 +1,92 @@
+// Mini OLAP substrate for the gesture-controlled navigation demo
+// (paper Sec. 4 and ref [3]: Data3, a Kinect interface for OLAP).
+//
+// An in-memory cube with three hierarchical dimensions and a sales
+// measure; navigation operators (drill-down, roll-up, pivot, slice) are
+// what detected gestures map to.
+
+#ifndef EPL_APPS_OLAP_H_
+#define EPL_APPS_OLAP_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace epl::apps {
+
+/// One fact row at the finest granularity.
+struct FactRow {
+  // time: year > quarter > month
+  int year;
+  int quarter;
+  int month;
+  // region: country > city
+  std::string country;
+  std::string city;
+  // product: category > item
+  std::string category;
+  std::string item;
+  double sales;
+};
+
+enum class Dimension { kTime = 0, kRegion = 1, kProduct = 2 };
+
+std::string_view DimensionName(Dimension dim);
+
+class OlapCube {
+ public:
+  /// Builds the demo dataset (deterministic synthetic sales facts).
+  static OlapCube Demo();
+
+  explicit OlapCube(std::vector<FactRow> facts);
+
+  /// Navigation operators. Drill/roll move along the dimension hierarchy;
+  /// they fail at the bottom/top.
+  Status DrillDown(Dimension dim);
+  Status RollUp(Dimension dim);
+  /// Rotates the dimension order (which dimension labels the rows).
+  void Pivot();
+  /// Restricts the cube to the next value of the pivot dimension's current
+  /// level (cycles through values; slicing again advances).
+  Status SliceNext();
+  /// Clears the slice filter.
+  void Unslice();
+
+  /// Current grouping level per dimension (0 = coarsest).
+  int level(Dimension dim) const {
+    return levels_[static_cast<size_t>(dim)];
+  }
+  Dimension pivot_dimension() const { return order_.front(); }
+  const std::string& slice_filter() const { return slice_value_; }
+
+  /// Aggregated view at the current levels: label -> total sales. Labels
+  /// concatenate the group-by values of all dimensions.
+  std::map<std::string, double> Aggregate() const;
+
+  /// Text rendering of the current view (the demo's "display").
+  std::string Render() const;
+
+  /// One-line description of the current navigation state.
+  std::string DescribeState() const;
+
+  int num_facts() const { return static_cast<int>(facts_.size()); }
+
+ private:
+  std::string GroupKey(const FactRow& row, Dimension dim) const;
+  std::string SliceKey(const FactRow& row) const;
+  std::vector<std::string> SliceValues() const;
+
+  std::vector<FactRow> facts_;
+  std::array<int, 3> levels_ = {0, 0, 0};   // per Dimension enum index
+  std::array<int, 3> max_levels_ = {2, 1, 1};
+  std::vector<Dimension> order_ = {Dimension::kTime, Dimension::kRegion,
+                                   Dimension::kProduct};
+  std::string slice_value_;  // empty = no slice
+};
+
+}  // namespace epl::apps
+
+#endif  // EPL_APPS_OLAP_H_

@@ -1,0 +1,37 @@
+// Detection: the output tuple produced when a gesture pattern matches.
+
+#ifndef EPL_CEP_DETECTION_H_
+#define EPL_CEP_DETECTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time_util.h"
+
+namespace epl::cep {
+
+/// Sent to the listening application when a gesture query fires
+/// (paper Sec. 2: "a result tuple is produced ... which can be used to
+/// trigger arbitrary actions in any listening application").
+struct Detection {
+  /// The query's output value, e.g. "swipe_right".
+  std::string name;
+  /// Timestamp of the event that completed the match.
+  TimePoint time = 0;
+  /// Entry timestamp of every matched pose, in order.
+  std::vector<TimePoint> pose_times;
+  /// Optional measures computed on the completing event (paper Sec. 3.3.4:
+  /// "some measures that are calculated directly on the stream").
+  std::vector<double> measures;
+
+  Duration duration() const {
+    return pose_times.empty() ? 0 : pose_times.back() - pose_times.front();
+  }
+};
+
+using DetectionCallback = std::function<void(const Detection&)>;
+
+}  // namespace epl::cep
+
+#endif  // EPL_CEP_DETECTION_H_

@@ -1,0 +1,402 @@
+#include "cep/expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace epl::cep {
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Larger binds tighter.
+int Precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return 1;
+    case BinaryOp::kAnd:
+      return 2;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+      return 3;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      return 4;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return 5;
+  }
+  return 0;
+}
+
+constexpr int kUnaryPrecedence = 6;
+
+double ApplyBinary(BinaryOp op, double lhs, double rhs) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return lhs + rhs;
+    case BinaryOp::kSub:
+      return lhs - rhs;
+    case BinaryOp::kMul:
+      return lhs * rhs;
+    case BinaryOp::kDiv:
+      return lhs / rhs;
+    case BinaryOp::kLt:
+      return lhs < rhs ? 1.0 : 0.0;
+    case BinaryOp::kLe:
+      return lhs <= rhs ? 1.0 : 0.0;
+    case BinaryOp::kGt:
+      return lhs > rhs ? 1.0 : 0.0;
+    case BinaryOp::kGe:
+      return lhs >= rhs ? 1.0 : 0.0;
+    case BinaryOp::kEq:
+      return lhs == rhs ? 1.0 : 0.0;
+    case BinaryOp::kNe:
+      return lhs != rhs ? 1.0 : 0.0;
+    case BinaryOp::kAnd:
+      return (lhs != 0.0 && rhs != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::kOr:
+      return (lhs != 0.0 || rhs != 0.0) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ExprPtr Expr::Constant(double value) {
+  auto expr = ExprPtr(new Expr());
+  expr->kind_ = ExprKind::kConst;
+  expr->constant_ = value;
+  return expr;
+}
+
+ExprPtr Expr::Field(std::string name) {
+  auto expr = ExprPtr(new Expr());
+  expr->kind_ = ExprKind::kFieldRef;
+  expr->field_name_ = std::move(name);
+  return expr;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto expr = ExprPtr(new Expr());
+  expr->kind_ = ExprKind::kUnary;
+  expr->unary_op_ = op;
+  expr->args_.push_back(std::move(operand));
+  return expr;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto expr = ExprPtr(new Expr());
+  expr->kind_ = ExprKind::kBinary;
+  expr->binary_op_ = op;
+  expr->args_.push_back(std::move(lhs));
+  expr->args_.push_back(std::move(rhs));
+  return expr;
+}
+
+ExprPtr Expr::Call(std::string function, std::vector<ExprPtr> args) {
+  auto expr = ExprPtr(new Expr());
+  expr->kind_ = ExprKind::kCall;
+  expr->function_ = std::move(function);
+  expr->args_ = std::move(args);
+  return expr;
+}
+
+ExprPtr Expr::Abs(ExprPtr operand) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(operand));
+  return Call("abs", std::move(args));
+}
+
+ExprPtr Expr::RangePredicate(std::string field, double center, double width) {
+  // Emitted in the paper's shape: abs(field - center) < width. A negative
+  // center renders as "field - -120"; the unparser keeps the canonical
+  // "field + 120" by folding the sign into the operator.
+  ExprPtr diff;
+  if (center >= 0.0) {
+    diff = Binary(BinaryOp::kSub, Field(std::move(field)), Constant(center));
+  } else {
+    diff = Binary(BinaryOp::kAdd, Field(std::move(field)), Constant(-center));
+  }
+  return Binary(BinaryOp::kLt, Abs(std::move(diff)), Constant(width));
+}
+
+ExprPtr Expr::And(std::vector<ExprPtr> terms) {
+  if (terms.empty()) {
+    return Constant(1.0);
+  }
+  ExprPtr result = std::move(terms[0]);
+  for (size_t i = 1; i < terms.size(); ++i) {
+    result = Binary(BinaryOp::kAnd, std::move(result), std::move(terms[i]));
+  }
+  return result;
+}
+
+Status Expr::Bind(const stream::Schema& schema) {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return OkStatus();
+    case ExprKind::kFieldRef: {
+      EPL_ASSIGN_OR_RETURN(int index, schema.FieldIndex(field_name_));
+      field_index_ = index;
+      return OkStatus();
+    }
+    case ExprKind::kUnary:
+    case ExprKind::kBinary: {
+      for (const ExprPtr& arg : args_) {
+        EPL_RETURN_IF_ERROR(arg->Bind(schema));
+      }
+      return OkStatus();
+    }
+    case ExprKind::kCall: {
+      EPL_ASSIGN_OR_RETURN(FunctionRegistry::Entry entry,
+                           FunctionRegistry::Global().Lookup(function_));
+      if (entry.arity != static_cast<int>(args_.size())) {
+        return InvalidArgumentError(StrFormat(
+            "function %s expects %d arguments, got %zu", function_.c_str(),
+            entry.arity, args_.size()));
+      }
+      for (const ExprPtr& arg : args_) {
+        EPL_RETURN_IF_ERROR(arg->Bind(schema));
+      }
+      return OkStatus();
+    }
+  }
+  return InternalError("unreachable expr kind");
+}
+
+bool Expr::is_bound() const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return true;
+    case ExprKind::kFieldRef:
+      return field_index_ >= 0;
+    case ExprKind::kUnary:
+    case ExprKind::kBinary:
+    case ExprKind::kCall:
+      return std::all_of(args_.begin(), args_.end(),
+                         [](const ExprPtr& e) { return e->is_bound(); });
+  }
+  return false;
+}
+
+double Expr::Eval(const stream::Event& event) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return constant_;
+    case ExprKind::kFieldRef:
+      EPL_DCHECK(field_index_ >= 0) << "unbound field " << field_name_;
+      EPL_DCHECK(static_cast<size_t>(field_index_) < event.values.size());
+      return event.values[static_cast<size_t>(field_index_)];
+    case ExprKind::kUnary: {
+      double v = args_[0]->Eval(event);
+      return unary_op_ == UnaryOp::kNegate ? -v : (v == 0.0 ? 1.0 : 0.0);
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit logical operators.
+      if (binary_op_ == BinaryOp::kAnd) {
+        return (args_[0]->Eval(event) != 0.0 && args_[1]->Eval(event) != 0.0)
+                   ? 1.0
+                   : 0.0;
+      }
+      if (binary_op_ == BinaryOp::kOr) {
+        return (args_[0]->Eval(event) != 0.0 || args_[1]->Eval(event) != 0.0)
+                   ? 1.0
+                   : 0.0;
+      }
+      return ApplyBinary(binary_op_, args_[0]->Eval(event),
+                         args_[1]->Eval(event));
+    }
+    case ExprKind::kCall: {
+      Result<FunctionRegistry::Entry> entry =
+          FunctionRegistry::Global().Lookup(function_);
+      EPL_DCHECK(entry.ok()) << "unbound function " << function_;
+      double arg_values[8];
+      EPL_DCHECK(args_.size() <= 8);
+      for (size_t i = 0; i < args_.size(); ++i) {
+        arg_values[i] = args_[i]->Eval(event);
+      }
+      return entry->fn(arg_values);
+    }
+  }
+  return 0.0;
+}
+
+ExprPtr Expr::Clone() const {
+  auto expr = ExprPtr(new Expr());
+  expr->kind_ = kind_;
+  expr->constant_ = constant_;
+  expr->field_name_ = field_name_;
+  expr->field_index_ = field_index_;
+  expr->unary_op_ = unary_op_;
+  expr->binary_op_ = binary_op_;
+  expr->function_ = function_;
+  expr->args_.reserve(args_.size());
+  for (const ExprPtr& arg : args_) {
+    expr->args_.push_back(arg->Clone());
+  }
+  return expr;
+}
+
+std::string Expr::ToString() const {
+  std::string out;
+  ToStringImpl(&out, 0);
+  return out;
+}
+
+void Expr::ToStringImpl(std::string* out, int parent_precedence) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      *out += FormatNumber(constant_);
+      return;
+    case ExprKind::kFieldRef:
+      *out += field_name_;
+      return;
+    case ExprKind::kUnary: {
+      *out += unary_op_ == UnaryOp::kNegate ? "-" : "not ";
+      args_[0]->ToStringImpl(out, kUnaryPrecedence);
+      return;
+    }
+    case ExprKind::kBinary: {
+      int precedence = Precedence(binary_op_);
+      bool parens = precedence < parent_precedence;
+      if (parens) {
+        *out += "(";
+      }
+      args_[0]->ToStringImpl(out, precedence);
+      *out += " ";
+      *out += BinaryOpToString(binary_op_);
+      *out += " ";
+      // Right operand of a left-associative operator needs parens when it
+      // has the same precedence.
+      args_[1]->ToStringImpl(out, precedence + 1);
+      if (parens) {
+        *out += ")";
+      }
+      return;
+    }
+    case ExprKind::kCall: {
+      *out += function_;
+      *out += "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) {
+          *out += ", ";
+        }
+        args_[i]->ToStringImpl(out, 0);
+      }
+      *out += ")";
+      return;
+    }
+  }
+}
+
+std::vector<std::string> Expr::ReferencedFields() const {
+  std::vector<std::string> fields;
+  CollectFields(&fields);
+  std::sort(fields.begin(), fields.end());
+  fields.erase(std::unique(fields.begin(), fields.end()), fields.end());
+  return fields;
+}
+
+void Expr::CollectFields(std::vector<std::string>* out) const {
+  if (kind_ == ExprKind::kFieldRef) {
+    out->push_back(field_name_);
+    return;
+  }
+  for (const ExprPtr& arg : args_) {
+    arg->CollectFields(out);
+  }
+}
+
+namespace {
+
+double FnAbs(const double* a) { return std::abs(a[0]); }
+double FnSqrt(const double* a) { return std::sqrt(a[0]); }
+double FnMin(const double* a) { return a[0] < a[1] ? a[0] : a[1]; }
+double FnMax(const double* a) { return a[0] > a[1] ? a[0] : a[1]; }
+double FnFloor(const double* a) { return std::floor(a[0]); }
+double FnCeil(const double* a) { return std::ceil(a[0]); }
+double FnHypot3(const double* a) {
+  return std::sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2]);
+}
+double FnDeg(const double* a) { return a[0] * 180.0 / M_PI; }
+double FnRad(const double* a) { return a[0] * M_PI / 180.0; }
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry() {
+  Register("abs", 1, FnAbs).ok();
+  Register("sqrt", 1, FnSqrt).ok();
+  Register("min", 2, FnMin).ok();
+  Register("max", 2, FnMax).ok();
+  Register("floor", 1, FnFloor).ok();
+  Register("ceil", 1, FnCeil).ok();
+  Register("hypot3", 3, FnHypot3).ok();
+  Register("deg", 1, FnDeg).ok();
+  Register("rad", 1, FnRad).ok();
+}
+
+FunctionRegistry& FunctionRegistry::Global() {
+  static FunctionRegistry* registry = new FunctionRegistry();
+  return *registry;
+}
+
+Status FunctionRegistry::Register(const std::string& name, int arity, Fn fn) {
+  if (arity < 0 || arity > 8) {
+    return InvalidArgumentError("function arity must be in [0, 8]");
+  }
+  for (const auto& [existing, entry] : entries_) {
+    if (existing == name) {
+      return AlreadyExistsError("function already registered: " + name);
+    }
+  }
+  entries_.emplace_back(name, Entry{arity, fn});
+  return OkStatus();
+}
+
+Result<FunctionRegistry::Entry> FunctionRegistry::Lookup(
+    const std::string& name) const {
+  for (const auto& [existing, entry] : entries_) {
+    if (existing == name) {
+      return entry;
+    }
+  }
+  return NotFoundError("unknown function: " + name);
+}
+
+}  // namespace epl::cep

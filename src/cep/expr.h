@@ -1,0 +1,143 @@
+// Scalar expression AST for CEP pose predicates and output measures.
+//
+// Expressions are built by the query parser (query/parser.h) or
+// programmatically by the query generator (core/query_gen.h). Before
+// evaluation an expression must be bound against the schema of the stream
+// it reads from, which resolves field names to indices. The tree-walking
+// evaluator here is the reference implementation; the hot path uses the
+// compiled form in cep/expr_program.h.
+//
+// Booleans are represented as doubles: 0.0 is false, anything else is true.
+// Comparison and logical operators produce exactly 0.0 or 1.0.
+
+#ifndef EPL_CEP_EXPR_H_
+#define EPL_CEP_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/event.h"
+#include "stream/schema.h"
+
+namespace epl::cep {
+
+enum class ExprKind { kConst, kFieldRef, kUnary, kBinary, kCall };
+
+enum class UnaryOp { kNegate, kNot };
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+};
+
+/// Operator token as it appears in query text, e.g. "<" or "and".
+std::string_view BinaryOpToString(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Immutable expression tree node.
+class Expr {
+ public:
+  // Factory functions (the only way to create nodes).
+  static ExprPtr Constant(double value);
+  static ExprPtr Field(std::string name);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Call(std::string function, std::vector<ExprPtr> args);
+
+  // Convenience builders used heavily by the query generator.
+  static ExprPtr Abs(ExprPtr operand);
+  /// abs(field - center) < width  (the paper's range predicate shape).
+  static ExprPtr RangePredicate(std::string field, double center,
+                                double width);
+  /// Conjunction of all `terms` (returns Constant(1) for empty input).
+  static ExprPtr And(std::vector<ExprPtr> terms);
+
+  ExprKind kind() const { return kind_; }
+  double constant_value() const { return constant_; }
+  const std::string& field_name() const { return field_name_; }
+  int field_index() const { return field_index_; }
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  const std::string& function_name() const { return function_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+  const Expr& arg(int i) const { return *args_[i]; }
+
+  /// Resolves every field reference against `schema`. Must be called before
+  /// Eval. Fails on unknown fields or unknown/wrong-arity functions.
+  Status Bind(const stream::Schema& schema);
+
+  bool is_bound() const;
+
+  /// Tree-walking evaluation (reference implementation; the matcher uses
+  /// ExprProgram instead). Requires a successful Bind.
+  double Eval(const stream::Event& event) const;
+  bool EvalBool(const stream::Event& event) const {
+    return Eval(event) != 0.0;
+  }
+
+  /// Deep copy (unbound state is preserved).
+  ExprPtr Clone() const;
+
+  /// Renders query-language text, e.g. "abs(rHand_x - torso_x - 0) < 50".
+  std::string ToString() const;
+
+  /// All distinct field names referenced by this expression.
+  std::vector<std::string> ReferencedFields() const;
+
+ private:
+  Expr() = default;
+
+  void ToStringImpl(std::string* out, int parent_precedence) const;
+  void CollectFields(std::vector<std::string>* out) const;
+
+  ExprKind kind_ = ExprKind::kConst;
+  double constant_ = 0.0;
+  std::string field_name_;
+  int field_index_ = -1;
+  UnaryOp unary_op_ = UnaryOp::kNegate;
+  BinaryOp binary_op_ = BinaryOp::kAdd;
+  std::string function_;
+  std::vector<ExprPtr> args_;
+};
+
+/// Built-in scalar function registry ("user-defined operators" in AnduIN
+/// terms, paper Sec. 3.2). Thread-compatible: registration happens at
+/// startup, lookups afterwards.
+class FunctionRegistry {
+ public:
+  using Fn = double (*)(const double* args);
+
+  struct Entry {
+    int arity;
+    Fn fn;
+  };
+
+  /// Global singleton with builtins preregistered: abs, sqrt, min, max,
+  /// floor, ceil, hypot3, deg, rad.
+  static FunctionRegistry& Global();
+
+  Status Register(const std::string& name, int arity, Fn fn);
+  Result<Entry> Lookup(const std::string& name) const;
+
+ private:
+  FunctionRegistry();
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+}  // namespace epl::cep
+
+#endif  // EPL_CEP_EXPR_H_

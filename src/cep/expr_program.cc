@@ -1,0 +1,228 @@
+#include "cep/expr_program.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace epl::cep {
+
+Result<ExprProgram> ExprProgram::Compile(const Expr& expr) {
+  if (!expr.is_bound()) {
+    return FailedPreconditionError(
+        "expression must be bound before compilation: " + expr.ToString());
+  }
+  ExprProgram program;
+  int depth = 0;
+  EPL_RETURN_IF_ERROR(program.Emit(expr, &depth));
+  if (depth != 1) {
+    return InternalError("expression compilation left bad stack depth");
+  }
+  return program;
+}
+
+Status ExprProgram::Emit(const Expr& expr, int* depth) {
+  auto track_push = [this, depth]() {
+    ++*depth;
+    if (*depth > max_stack_depth_) {
+      max_stack_depth_ = *depth;
+    }
+  };
+
+  switch (expr.kind()) {
+    case ExprKind::kConst: {
+      Instruction instr;
+      instr.op = Op::kPushConst;
+      instr.constant = expr.constant_value();
+      instructions_.push_back(instr);
+      track_push();
+      break;
+    }
+    case ExprKind::kFieldRef: {
+      Instruction instr;
+      instr.op = Op::kPushField;
+      instr.field_index = expr.field_index();
+      instructions_.push_back(instr);
+      track_push();
+      break;
+    }
+    case ExprKind::kUnary: {
+      EPL_RETURN_IF_ERROR(Emit(expr.arg(0), depth));
+      Instruction instr;
+      instr.op =
+          expr.unary_op() == UnaryOp::kNegate ? Op::kNegate : Op::kNot;
+      instructions_.push_back(instr);
+      break;
+    }
+    case ExprKind::kBinary: {
+      // Logical operators compile to short-circuit jumps.
+      if (expr.binary_op() == BinaryOp::kAnd ||
+          expr.binary_op() == BinaryOp::kOr) {
+        EPL_RETURN_IF_ERROR(Emit(expr.arg(0), depth));
+        size_t jump_index = instructions_.size();
+        Instruction jump;
+        jump.op = expr.binary_op() == BinaryOp::kAnd ? Op::kAndJump
+                                                     : Op::kOrJump;
+        instructions_.push_back(jump);
+        --*depth;  // the jump pops the lhs on the fall-through path
+        EPL_RETURN_IF_ERROR(Emit(expr.arg(1), depth));
+        Instruction to_bool;
+        to_bool.op = Op::kToBool;
+        instructions_.push_back(to_bool);
+        instructions_[jump_index].jump_target =
+            static_cast<int32_t>(instructions_.size());
+        break;
+      }
+      EPL_RETURN_IF_ERROR(Emit(expr.arg(0), depth));
+      EPL_RETURN_IF_ERROR(Emit(expr.arg(1), depth));
+      Instruction instr;
+      switch (expr.binary_op()) {
+        case BinaryOp::kAdd:
+          instr.op = Op::kAdd;
+          break;
+        case BinaryOp::kSub:
+          instr.op = Op::kSub;
+          break;
+        case BinaryOp::kMul:
+          instr.op = Op::kMul;
+          break;
+        case BinaryOp::kDiv:
+          instr.op = Op::kDiv;
+          break;
+        case BinaryOp::kLt:
+          instr.op = Op::kLt;
+          break;
+        case BinaryOp::kLe:
+          instr.op = Op::kLe;
+          break;
+        case BinaryOp::kGt:
+          instr.op = Op::kGt;
+          break;
+        case BinaryOp::kGe:
+          instr.op = Op::kGe;
+          break;
+        case BinaryOp::kEq:
+          instr.op = Op::kEq;
+          break;
+        case BinaryOp::kNe:
+          instr.op = Op::kNe;
+          break;
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          return InternalError("logical op reached arithmetic lowering");
+      }
+      instructions_.push_back(instr);
+      --*depth;
+      break;
+    }
+    case ExprKind::kCall: {
+      EPL_ASSIGN_OR_RETURN(
+          FunctionRegistry::Entry entry,
+          FunctionRegistry::Global().Lookup(expr.function_name()));
+      for (const ExprPtr& arg : expr.args()) {
+        EPL_RETURN_IF_ERROR(Emit(*arg, depth));
+      }
+      Instruction instr;
+      instr.op = Op::kCall;
+      instr.arity = static_cast<uint8_t>(expr.args().size());
+      instr.fn = entry.fn;
+      instructions_.push_back(instr);
+      *depth -= static_cast<int>(expr.args().size()) - 1;
+      break;
+    }
+  }
+  if (max_stack_depth_ > kMaxStackDepth) {
+    return ResourceExhaustedError("expression too deep to compile");
+  }
+  return OkStatus();
+}
+
+double ExprProgram::Eval(const stream::Event& event) const {
+  std::array<double, kMaxStackDepth> stack;
+  int top = -1;  // index of top-of-stack
+  const double* values = event.values.data();
+  const size_t count = instructions_.size();
+  for (size_t pc = 0; pc < count; ++pc) {
+    const Instruction& instr = instructions_[pc];
+    switch (instr.op) {
+      case Op::kPushConst:
+        stack[++top] = instr.constant;
+        break;
+      case Op::kPushField:
+        stack[++top] = values[instr.field_index];
+        break;
+      case Op::kNegate:
+        stack[top] = -stack[top];
+        break;
+      case Op::kNot:
+        stack[top] = stack[top] == 0.0 ? 1.0 : 0.0;
+        break;
+      case Op::kAdd:
+        --top;
+        stack[top] += stack[top + 1];
+        break;
+      case Op::kSub:
+        --top;
+        stack[top] -= stack[top + 1];
+        break;
+      case Op::kMul:
+        --top;
+        stack[top] *= stack[top + 1];
+        break;
+      case Op::kDiv:
+        --top;
+        stack[top] /= stack[top + 1];
+        break;
+      case Op::kLt:
+        --top;
+        stack[top] = stack[top] < stack[top + 1] ? 1.0 : 0.0;
+        break;
+      case Op::kLe:
+        --top;
+        stack[top] = stack[top] <= stack[top + 1] ? 1.0 : 0.0;
+        break;
+      case Op::kGt:
+        --top;
+        stack[top] = stack[top] > stack[top + 1] ? 1.0 : 0.0;
+        break;
+      case Op::kGe:
+        --top;
+        stack[top] = stack[top] >= stack[top + 1] ? 1.0 : 0.0;
+        break;
+      case Op::kEq:
+        --top;
+        stack[top] = stack[top] == stack[top + 1] ? 1.0 : 0.0;
+        break;
+      case Op::kNe:
+        --top;
+        stack[top] = stack[top] != stack[top + 1] ? 1.0 : 0.0;
+        break;
+      case Op::kCall: {
+        top -= instr.arity - 1;
+        stack[top] = instr.fn(&stack[top]);
+        break;
+      }
+      case Op::kAndJump:
+        if (stack[top] == 0.0) {
+          pc = static_cast<size_t>(instr.jump_target) - 1;  // ++pc follows
+        } else {
+          --top;
+        }
+        break;
+      case Op::kOrJump:
+        if (stack[top] != 0.0) {
+          stack[top] = 1.0;
+          pc = static_cast<size_t>(instr.jump_target) - 1;
+        } else {
+          --top;
+        }
+        break;
+      case Op::kToBool:
+        stack[top] = stack[top] != 0.0 ? 1.0 : 0.0;
+        break;
+    }
+  }
+  EPL_DCHECK(top == 0) << "program left unbalanced stack";
+  return stack[0];
+}
+
+}  // namespace epl::cep

@@ -1,0 +1,86 @@
+// ExprProgram: expressions compiled to a flat postfix program.
+//
+// The NFA matcher evaluates pose predicates for every event, so predicate
+// evaluation is EPL's hottest code path. Compiling the Expr tree into a
+// linear instruction sequence removes per-node virtual dispatch and pointer
+// chasing. bench_expr measures the gain over the tree-walking evaluator
+// (experiment E10 in DESIGN.md).
+
+#ifndef EPL_CEP_EXPR_PROGRAM_H_
+#define EPL_CEP_EXPR_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cep/expr.h"
+#include "common/result.h"
+#include "stream/event.h"
+
+namespace epl::cep {
+
+class ExprProgram {
+ public:
+  /// Compiles a bound expression. Fails if the expression is unbound or
+  /// its stack depth exceeds kMaxStackDepth.
+  static Result<ExprProgram> Compile(const Expr& expr);
+
+  ExprProgram() = default;
+
+  /// Evaluates against one event. The event must have at least as many
+  /// values as the schema the expression was bound to.
+  double Eval(const stream::Event& event) const;
+  bool EvalBool(const stream::Event& event) const {
+    return Eval(event) != 0.0;
+  }
+
+  size_t num_instructions() const { return instructions_.size(); }
+  int max_stack_depth() const { return max_stack_depth_; }
+
+  /// Maximum operand stack depth supported (compile-time rejected above).
+  static constexpr int kMaxStackDepth = 128;
+
+ private:
+  enum class Op : uint8_t {
+    kPushConst,
+    kPushField,
+    kNegate,
+    kNot,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kEq,
+    kNe,
+    kCall,
+    // Short-circuit logic. kAndJump: when the top of stack is falsy, leave
+    // 0.0 and jump; otherwise pop and continue with the right operand.
+    // kOrJump: when truthy, leave 1.0 and jump; otherwise pop. kToBool
+    // normalizes the right operand to 0/1.
+    kAndJump,
+    kOrJump,
+    kToBool,
+  };
+
+  struct Instruction {
+    Op op;
+    uint8_t arity = 0;            // kCall only
+    int32_t field_index = 0;      // kPushField only
+    int32_t jump_target = 0;      // kAndJump / kOrJump
+    double constant = 0.0;        // kPushConst only
+    FunctionRegistry::Fn fn = nullptr;  // kCall only
+  };
+
+  Status Emit(const Expr& expr, int* depth);
+
+  std::vector<Instruction> instructions_;
+  int max_stack_depth_ = 0;
+};
+
+}  // namespace epl::cep
+
+#endif  // EPL_CEP_EXPR_PROGRAM_H_

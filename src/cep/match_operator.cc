@@ -1,0 +1,34 @@
+#include "cep/match_operator.h"
+
+namespace epl::cep {
+
+MatchOperator::MatchOperator(std::string output_name, CompiledPattern pattern,
+                             DetectionCallback callback,
+                             std::vector<ExprProgram> measure_programs,
+                             MatcherOptions options)
+    : output_name_(std::move(output_name)),
+      pattern_(std::make_unique<CompiledPattern>(std::move(pattern))),
+      matcher_(std::make_unique<NfaMatcher>(pattern_.get(), options)),
+      callback_(std::move(callback)),
+      measure_programs_(std::move(measure_programs)) {}
+
+Status MatchOperator::Process(const stream::Event& event) {
+  scratch_matches_.clear();
+  matcher_->Process(event, &scratch_matches_);
+  for (const PatternMatch& match : scratch_matches_) {
+    Detection detection;
+    detection.name = output_name_;
+    detection.time = match.end_time();
+    detection.pose_times = match.state_times;
+    detection.measures.reserve(measure_programs_.size());
+    for (const ExprProgram& program : measure_programs_) {
+      detection.measures.push_back(program.Eval(event));
+    }
+    if (callback_) {
+      callback_(detection);
+    }
+  }
+  return Forward(event);
+}
+
+}  // namespace epl::cep

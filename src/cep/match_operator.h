@@ -1,0 +1,55 @@
+// MatchOperator: wraps an NfaMatcher as a stream operator.
+//
+// This is the AnduIN `match` operator of paper Sec. 2. Deploy one instance
+// per gesture query on the stream/view the pattern reads from; on every
+// completed match it invokes the detection callback with the query's output
+// tuple.
+
+#ifndef EPL_CEP_MATCH_OPERATOR_H_
+#define EPL_CEP_MATCH_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cep/detection.h"
+#include "cep/matcher.h"
+#include "stream/operator.h"
+
+namespace epl::cep {
+
+class MatchOperator : public stream::Operator {
+ public:
+  /// `measure_programs` are evaluated on the completing event and shipped
+  /// in Detection::measures.
+  MatchOperator(std::string output_name, CompiledPattern pattern,
+                DetectionCallback callback,
+                std::vector<ExprProgram> measure_programs = {},
+                MatcherOptions options = MatcherOptions());
+
+  Status Process(const stream::Event& event) override;
+
+  std::string name() const override { return "match[" + output_name_ + "]"; }
+
+  const std::string& output_name() const { return output_name_; }
+  const MatcherStats& matcher_stats() const { return matcher_->stats(); }
+  const CompiledPattern& pattern() const { return *pattern_; }
+
+  /// Discards partial matches (e.g. when the application loses focus).
+  void ResetMatcher() { matcher_->Reset(); }
+
+ private:
+  std::string output_name_;
+  // The matcher holds a pointer to the pattern, so the pattern is owned by
+  // a stable unique_ptr.
+  std::unique_ptr<CompiledPattern> pattern_;
+  std::unique_ptr<NfaMatcher> matcher_;
+  DetectionCallback callback_;
+  std::vector<ExprProgram> measure_programs_;
+  std::vector<PatternMatch> scratch_matches_;
+};
+
+}  // namespace epl::cep
+
+#endif  // EPL_CEP_MATCH_OPERATOR_H_

@@ -1,0 +1,188 @@
+#include "cep/matcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace epl::cep {
+
+NfaMatcher::NfaMatcher(const CompiledPattern* pattern, MatcherOptions options)
+    : pattern_(pattern), options_(options) {
+  EPL_CHECK(pattern_ != nullptr);
+  EPL_CHECK(pattern_->num_states() > 0) << "empty pattern";
+  dominant_runs_.resize(pattern_->num_states());
+  dominant_active_.assign(pattern_->num_states(), false);
+  predicate_cache_.assign(pattern_->num_states(), -1);
+}
+
+void NfaMatcher::Process(const stream::Event& event,
+                         std::vector<PatternMatch>* out) {
+  ++stats_.events;
+  std::fill(predicate_cache_.begin(), predicate_cache_.end(), -1);
+  if (options_.mode == MatcherOptions::Mode::kDominant) {
+    ProcessDominant(event, out);
+  } else {
+    ProcessExhaustive(event, out);
+  }
+}
+
+void NfaMatcher::Reset() {
+  std::fill(dominant_active_.begin(), dominant_active_.end(), false);
+  runs_.clear();
+}
+
+size_t NfaMatcher::active_run_count() const {
+  if (options_.mode == MatcherOptions::Mode::kExhaustive) {
+    return runs_.size();
+  }
+  return static_cast<size_t>(std::count(dominant_active_.begin(),
+                                        dominant_active_.end(), true));
+}
+
+bool NfaMatcher::EvalPredicate(int state, const stream::Event& event) {
+  int8_t& cached = predicate_cache_[state];
+  if (cached < 0) {
+    ++stats_.predicate_evaluations;
+    cached = pattern_->predicate(state).EvalBool(event) ? 1 : 0;
+  }
+  return cached == 1;
+}
+
+bool NfaMatcher::ConstraintsSatisfied(int state,
+                                      const std::vector<TimePoint>& times,
+                                      TimePoint now) const {
+  for (const TimeConstraint& constraint : pattern_->constraints_into(state)) {
+    // `times` holds entries for states 0..state-1; `now` is the candidate
+    // entry for `state`. from_state < to_state == state always holds.
+    TimePoint from = times[constraint.from_state];
+    if (now - from > constraint.max_gap) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void NfaMatcher::ProcessDominant(const stream::Event& event,
+                                 std::vector<PatternMatch>* out) {
+  const int n = pattern_->num_states();
+  const TimePoint now = event.timestamp;
+  bool completed = false;
+
+  // Advance existing runs, highest state first so one event advances a
+  // given run by at most one state.
+  for (int state = n - 1; state >= 1; --state) {
+    if (!dominant_active_[state - 1]) {
+      continue;
+    }
+    if (!EvalPredicate(state, event)) {
+      continue;
+    }
+    if (!ConstraintsSatisfied(state, dominant_runs_[state - 1], now)) {
+      continue;
+    }
+    dominant_runs_[state] = dominant_runs_[state - 1];
+    dominant_runs_[state].push_back(now);
+    dominant_active_[state] = true;
+    if (state == n - 1) {
+      completed = true;
+    }
+  }
+
+  if (completed) {
+    out->push_back(PatternMatch{dominant_runs_[n - 1]});
+    ++stats_.matches;
+    if (pattern_->consume_policy() == ConsumePolicy::kAll) {
+      // The match consumed every open partial run including the current
+      // event; do not re-seed state 0 from this event.
+      Reset();
+      stats_.peak_runs = std::max(stats_.peak_runs, active_run_count());
+      return;
+    }
+    dominant_active_[n - 1] = false;
+  }
+
+  // Seed a fresh run at state 0.
+  if (EvalPredicate(0, event)) {
+    dominant_runs_[0].assign(1, now);
+    dominant_active_[0] = true;
+    if (n == 1) {
+      out->push_back(PatternMatch{dominant_runs_[0]});
+      ++stats_.matches;
+      if (pattern_->consume_policy() == ConsumePolicy::kAll) {
+        Reset();
+      } else {
+        dominant_active_[0] = false;
+      }
+    }
+  }
+  stats_.peak_runs = std::max(stats_.peak_runs, active_run_count());
+}
+
+void NfaMatcher::ProcessExhaustive(const stream::Event& event,
+                                   std::vector<PatternMatch>* out) {
+  const int n = pattern_->num_states();
+  const TimePoint now = event.timestamp;
+  std::vector<PatternMatch> completions;
+
+  // Branch: every run may either skip this event (stay) or advance.
+  size_t existing = runs_.size();
+  for (size_t i = 0; i < existing; ++i) {
+    Run& run = runs_[i];
+    int next_state = run.state + 1;
+    if (next_state >= n) {
+      continue;  // completed runs are removed below; defensive
+    }
+    if (!EvalPredicate(next_state, event)) {
+      continue;
+    }
+    if (!ConstraintsSatisfied(next_state, run.times, now)) {
+      continue;
+    }
+    Run advanced;
+    advanced.state = next_state;
+    advanced.times = run.times;
+    advanced.times.push_back(now);
+    if (next_state == n - 1) {
+      completions.push_back(PatternMatch{advanced.times});
+    } else {
+      runs_.push_back(std::move(advanced));
+    }
+  }
+
+  // Seed a new run for every event matching the first predicate.
+  if (EvalPredicate(0, event)) {
+    Run seeded;
+    seeded.state = 0;
+    seeded.times.assign(1, now);
+    if (n == 1) {
+      completions.push_back(PatternMatch{seeded.times});
+    } else {
+      runs_.push_back(std::move(seeded));
+    }
+  }
+
+  // Enforce the run cap by dropping the oldest runs.
+  while (runs_.size() > options_.max_runs) {
+    runs_.pop_front();
+    ++stats_.dropped_runs;
+  }
+  stats_.peak_runs = std::max(stats_.peak_runs, runs_.size());
+
+  if (completions.empty()) {
+    return;
+  }
+  if (pattern_->select_policy() == SelectPolicy::kFirst) {
+    out->push_back(completions.front());
+    ++stats_.matches;
+  } else {
+    for (PatternMatch& match : completions) {
+      out->push_back(std::move(match));
+      ++stats_.matches;
+    }
+  }
+  if (pattern_->consume_policy() == ConsumePolicy::kAll) {
+    runs_.clear();
+  }
+}
+
+}  // namespace epl::cep

@@ -1,0 +1,101 @@
+#include "cep/nfa.h"
+
+#include "common/string_util.h"
+
+namespace epl::cep {
+namespace {
+
+// Walks the pattern tree assigning state indices to poses and collecting
+// time constraints. Returns the [first, last] state range of the subtree.
+struct StateRange {
+  int first;
+  int last;
+};
+
+StateRange LowerNode(const PatternExpr& node, int* next_state,
+                     std::vector<const PatternExpr*>* poses,
+                     std::vector<TimeConstraint>* constraints) {
+  if (node.kind() == PatternKind::kPose) {
+    int state = (*next_state)++;
+    poses->push_back(&node);
+    return {state, state};
+  }
+  std::vector<StateRange> child_ranges;
+  child_ranges.reserve(node.children().size());
+  for (const PatternExprPtr& child : node.children()) {
+    child_ranges.push_back(LowerNode(*child, next_state, poses, constraints));
+  }
+  StateRange range{child_ranges.front().first, child_ranges.back().last};
+  if (node.within().has_value()) {
+    if (node.within_mode() == WithinMode::kGap) {
+      for (size_t i = 0; i + 1 < child_ranges.size(); ++i) {
+        constraints->push_back(TimeConstraint{child_ranges[i].last,
+                                              child_ranges[i + 1].last,
+                                              *node.within()});
+      }
+    } else {
+      if (range.last != range.first) {
+        constraints->push_back(
+            TimeConstraint{range.first, range.last, *node.within()});
+      }
+    }
+  }
+  return range;
+}
+
+}  // namespace
+
+Result<CompiledPattern> CompiledPattern::Compile(
+    const PatternExpr& pattern, const stream::Schema& schema) {
+  EPL_RETURN_IF_ERROR(pattern.Validate());
+
+  CompiledPattern compiled;
+  int next_state = 0;
+  std::vector<const PatternExpr*> poses;
+  LowerNode(pattern, &next_state, &poses, &compiled.constraints_);
+
+  compiled.predicates_.reserve(poses.size());
+  compiled.predicate_exprs_.reserve(poses.size());
+  for (const PatternExpr* pose : poses) {
+    ExprPtr bound = pose->predicate().Clone();
+    EPL_RETURN_IF_ERROR(bound->Bind(schema));
+    EPL_ASSIGN_OR_RETURN(ExprProgram program, ExprProgram::Compile(*bound));
+    compiled.predicates_.push_back(std::move(program));
+    compiled.predicate_exprs_.push_back(std::move(bound));
+  }
+
+  compiled.constraints_by_state_.resize(poses.size());
+  for (const TimeConstraint& constraint : compiled.constraints_) {
+    if (constraint.from_state >= constraint.to_state) {
+      return InternalError("constraint lowering produced non-forward edge");
+    }
+    compiled.constraints_by_state_[constraint.to_state].push_back(constraint);
+  }
+
+  compiled.select_ = pattern.kind() == PatternKind::kSequence
+                         ? pattern.select_policy()
+                         : SelectPolicy::kFirst;
+  compiled.consume_ = pattern.kind() == PatternKind::kSequence
+                          ? pattern.consume_policy()
+                          : ConsumePolicy::kAll;
+  compiled.source_stream_ = pattern.SourceStream();
+  return compiled;
+}
+
+std::string CompiledPattern::ToString() const {
+  std::string out = StrFormat("NFA with %d states\n", num_states());
+  for (int i = 0; i < num_states(); ++i) {
+    out += StrFormat("  state %d: %s\n", i,
+                     predicate_exprs_[i]->ToString().c_str());
+  }
+  for (const TimeConstraint& c : constraints_) {
+    out += StrFormat("  constraint: t[%d] - t[%d] <= %s\n", c.to_state,
+                     c.from_state, FormatDuration(c.max_gap).c_str());
+  }
+  out += StrFormat("  policy: select %s consume %s\n",
+                   select_ == SelectPolicy::kFirst ? "first" : "all",
+                   consume_ == ConsumePolicy::kAll ? "all" : "none");
+  return out;
+}
+
+}  // namespace epl::cep

@@ -1,0 +1,74 @@
+// Compilation of a PatternExpr into a linear NFA with time constraints.
+//
+// Pose leaves become NFA states 0..n-1 in sequence order. Every `within`
+// annotation lowers to one or more upper-bound constraints between state
+// entry timestamps:
+//   * kGap on a sequence: for each pair of consecutive children, the time
+//     between the completion of the left child (its last state) and the
+//     completion of the right child is bounded.
+//   * kSpan on a sequence: the time between the sequence's first state and
+//     its last state is bounded.
+// All constraints have the form t[to] - t[from] <= max_gap with from < to,
+// which is what makes the dominant-run matcher correct (DESIGN.md 2.4).
+
+#ifndef EPL_CEP_NFA_H_
+#define EPL_CEP_NFA_H_
+
+#include <string>
+#include <vector>
+
+#include "cep/expr_program.h"
+#include "cep/pattern.h"
+#include "stream/schema.h"
+
+namespace epl::cep {
+
+/// One temporal upper bound between two state-entry timestamps.
+struct TimeConstraint {
+  int from_state = 0;
+  int to_state = 0;
+  Duration max_gap = 0;
+};
+
+class CompiledPattern {
+ public:
+  /// Binds all pose predicates against `schema`, compiles them, and lowers
+  /// the within annotations. The input pattern is not modified.
+  static Result<CompiledPattern> Compile(const PatternExpr& pattern,
+                                         const stream::Schema& schema);
+
+  CompiledPattern() = default;
+
+  int num_states() const { return static_cast<int>(predicates_.size()); }
+  const ExprProgram& predicate(int state) const { return predicates_[state]; }
+  const Expr& predicate_expr(int state) const {
+    return *predicate_exprs_[state];
+  }
+
+  const std::vector<TimeConstraint>& constraints() const {
+    return constraints_;
+  }
+  /// Constraints whose `to_state` equals `state` (checked on entry).
+  const std::vector<TimeConstraint>& constraints_into(int state) const {
+    return constraints_by_state_[state];
+  }
+
+  SelectPolicy select_policy() const { return select_; }
+  ConsumePolicy consume_policy() const { return consume_; }
+  const std::string& source_stream() const { return source_stream_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ExprProgram> predicates_;
+  std::vector<ExprPtr> predicate_exprs_;  // bound copies, for diagnostics
+  std::vector<TimeConstraint> constraints_;
+  std::vector<std::vector<TimeConstraint>> constraints_by_state_;
+  SelectPolicy select_ = SelectPolicy::kFirst;
+  ConsumePolicy consume_ = ConsumePolicy::kAll;
+  std::string source_stream_;
+};
+
+}  // namespace epl::cep
+
+#endif  // EPL_CEP_NFA_H_

@@ -1,0 +1,133 @@
+#include "cep/pattern.h"
+
+#include "common/string_util.h"
+
+namespace epl::cep {
+
+PatternExprPtr PatternExpr::Pose(std::string source, ExprPtr predicate) {
+  auto node = PatternExprPtr(new PatternExpr());
+  node->kind_ = PatternKind::kPose;
+  node->source_ = std::move(source);
+  node->predicate_ = std::move(predicate);
+  return node;
+}
+
+PatternExprPtr PatternExpr::Sequence(std::vector<PatternExprPtr> children,
+                                     std::optional<Duration> within,
+                                     WithinMode within_mode,
+                                     SelectPolicy select,
+                                     ConsumePolicy consume) {
+  auto node = PatternExprPtr(new PatternExpr());
+  node->kind_ = PatternKind::kSequence;
+  node->children_ = std::move(children);
+  node->within_ = within;
+  node->within_mode_ = within_mode;
+  node->select_ = select;
+  node->consume_ = consume;
+  return node;
+}
+
+Status PatternExpr::Validate() const {
+  if (kind_ == PatternKind::kPose) {
+    if (predicate_ == nullptr) {
+      return InvalidArgumentError("pose has no predicate");
+    }
+    if (source_.empty()) {
+      return InvalidArgumentError("pose has no source stream");
+    }
+    return OkStatus();
+  }
+  if (children_.empty()) {
+    return InvalidArgumentError("sequence has no children");
+  }
+  if (within_.has_value() && *within_ <= 0) {
+    return InvalidArgumentError("within duration must be positive");
+  }
+  for (const PatternExprPtr& child : children_) {
+    EPL_RETURN_IF_ERROR(child->Validate());
+  }
+  // All poses must read the same stream: the match operator subscribes to
+  // exactly one stream/view.
+  std::vector<const PatternExpr*> poses = Poses();
+  for (const PatternExpr* pose : poses) {
+    if (pose->source_ != poses[0]->source_) {
+      return InvalidArgumentError(StrFormat(
+          "pattern mixes source streams '%s' and '%s'",
+          poses[0]->source_.c_str(), pose->source_.c_str()));
+    }
+  }
+  return OkStatus();
+}
+
+int PatternExpr::NumPoses() const {
+  if (kind_ == PatternKind::kPose) {
+    return 1;
+  }
+  int count = 0;
+  for (const PatternExprPtr& child : children_) {
+    count += child->NumPoses();
+  }
+  return count;
+}
+
+std::vector<const PatternExpr*> PatternExpr::Poses() const {
+  std::vector<const PatternExpr*> poses;
+  CollectPoses(&poses);
+  return poses;
+}
+
+void PatternExpr::CollectPoses(std::vector<const PatternExpr*>* out) const {
+  if (kind_ == PatternKind::kPose) {
+    out->push_back(this);
+    return;
+  }
+  for (const PatternExprPtr& child : children_) {
+    child->CollectPoses(out);
+  }
+}
+
+std::string PatternExpr::SourceStream() const {
+  std::vector<const PatternExpr*> poses = Poses();
+  return poses.empty() ? std::string() : poses[0]->source_;
+}
+
+PatternExprPtr PatternExpr::Clone() const {
+  auto node = PatternExprPtr(new PatternExpr());
+  node->kind_ = kind_;
+  node->source_ = source_;
+  node->predicate_ = predicate_ ? predicate_->Clone() : nullptr;
+  node->within_ = within_;
+  node->within_mode_ = within_mode_;
+  node->select_ = select_;
+  node->consume_ = consume_;
+  node->children_.reserve(children_.size());
+  for (const PatternExprPtr& child : children_) {
+    node->children_.push_back(child->Clone());
+  }
+  return node;
+}
+
+std::string PatternExpr::ToString() const {
+  if (kind_ == PatternKind::kPose) {
+    return source_ + "(" + predicate_->ToString() + ")";
+  }
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) {
+      out += " -> ";
+    }
+    out += children_[i]->ToString();
+  }
+  if (within_.has_value()) {
+    out += " within " + FormatDuration(*within_);
+    if (within_mode_ == WithinMode::kSpan) {
+      out += " total";
+    }
+  }
+  out += select_ == SelectPolicy::kFirst ? " select first" : " select all";
+  out += consume_ == ConsumePolicy::kAll ? " consume all" : " consume none";
+  out += ")";
+  return out;
+}
+
+}  // namespace epl::cep

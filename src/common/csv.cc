@@ -1,0 +1,116 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace epl {
+
+Result<CsvTable> ParseCsv(const std::string& text, const CsvOptions& options) {
+  CsvTable table;
+  std::istringstream input(text);
+  std::string line;
+  bool header_pending = options.has_header;
+  size_t line_number = 0;
+  size_t expected_columns = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (options.skip_comments &&
+        (stripped.empty() || stripped.front() == '#')) {
+      continue;
+    }
+    std::vector<std::string> fields =
+        StrSplit(std::string(stripped), options.delimiter);
+    if (header_pending) {
+      for (std::string& field : fields) {
+        field = std::string(StripWhitespace(field));
+      }
+      table.header = std::move(fields);
+      expected_columns = table.header.size();
+      header_pending = false;
+      continue;
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const std::string& field : fields) {
+      Result<double> value = ParseDouble(field);
+      if (!value.ok()) {
+        return value.status().WithContext(
+            StrFormat("csv line %zu", line_number));
+      }
+      row.push_back(*value);
+    }
+    if (expected_columns == 0) {
+      expected_columns = row.size();
+    } else if (row.size() != expected_columns) {
+      return DataLossError(
+          StrFormat("csv line %zu has %zu columns, expected %zu", line_number,
+                    row.size(), expected_columns));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  if (header_pending) {
+    return DataLossError("csv input has no header line");
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  EPL_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  Result<CsvTable> table = ParseCsv(content, options);
+  if (!table.ok()) {
+    return table.status().WithContext(path);
+  }
+  return table;
+}
+
+std::string WriteCsv(const CsvTable& table, const CsvOptions& options) {
+  std::string out;
+  if (!table.header.empty()) {
+    out += StrJoin(table.header, std::string(1, options.delimiter));
+    out += '\n';
+  }
+  for (const std::vector<double>& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out += options.delimiter;
+      }
+      out += StrFormat("%.4f", row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    const CsvOptions& options) {
+  return WriteStringToFile(path, WriteCsv(table, options));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return InternalError("cannot open file for writing: " + path);
+  }
+  file << content;
+  if (!file) {
+    return InternalError("write failed: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace epl

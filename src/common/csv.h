@@ -1,0 +1,52 @@
+// Minimal CSV reading/writing with a configurable delimiter.
+//
+// The paper's Fig. 1 sensor trace uses ';' as delimiter; generated traces
+// use the same convention. No quoting support is needed for numeric traces.
+
+#ifndef EPL_COMMON_CSV_H_
+#define EPL_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace epl {
+
+struct CsvTable {
+  std::vector<std::string> header;         // empty if has_header was false
+  std::vector<std::vector<double>> rows;   // numeric payload
+};
+
+struct CsvOptions {
+  char delimiter = ';';
+  bool has_header = true;
+  /// Skip lines that are empty or start with '#'.
+  bool skip_comments = true;
+};
+
+/// Parses `text` as numeric CSV.
+Result<CsvTable> ParseCsv(const std::string& text,
+                          const CsvOptions& options = CsvOptions());
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = CsvOptions());
+
+/// Serializes a table (header omitted when empty).
+std::string WriteCsv(const CsvTable& table,
+                     const CsvOptions& options = CsvOptions());
+
+/// Writes a table to a file, overwriting.
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    const CsvOptions& options = CsvOptions());
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, overwriting.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace epl
+
+#endif  // EPL_COMMON_CSV_H_

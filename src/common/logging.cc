@@ -1,0 +1,116 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace epl {
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+namespace internal_logging {
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+LogSink& CurrentSink() {
+  static LogSink* sink = new LogSink([](LogLevel level, const std::string& m) {
+    std::fprintf(stderr, "[%s] %s\n",
+                 std::string(LogLevelToString(level)).c_str(), m.c_str());
+  });
+  return *sink;
+}
+
+LogLevel& MinLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+}  // namespace
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink previous = CurrentSink();
+  CurrentSink() = std::move(sink);
+  return previous;
+}
+
+void Emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (CurrentSink()) {
+    CurrentSink()(level, message);
+  }
+}
+
+void SetMinLogLevel(LogLevel level) { MinLevel() = level; }
+LogLevel GetMinLogLevel() { return MinLevel(); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  (void)file;
+  (void)line;
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >= static_cast<int>(GetMinLogLevel())) {
+    Emit(level_, stream_.str());
+  }
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  std::string message = stream_.str();
+  Emit(LogLevel::kError, message);
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+
+ScopedLogCapture::ScopedLogCapture() {
+  previous_ = internal_logging::SetLogSink(
+      [this](LogLevel level, const std::string& message) {
+        std::lock_guard<std::mutex> lock(mu_);
+        records_.push_back({level, message});
+      });
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  internal_logging::SetLogSink(previous_);
+}
+
+std::vector<ScopedLogCapture::Record> ScopedLogCapture::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+bool ScopedLogCapture::Contains(std::string_view needle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Record& record : records_) {
+    if (record.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace epl

@@ -1,0 +1,122 @@
+// Minimal leveled logging and CHECK macros.
+//
+// EPL_LOG(INFO) << "message";       -- leveled log line
+// EPL_CHECK(cond) << "detail";      -- aborts with message when cond is false
+//
+// The sink is swappable so tests can capture log output
+// (see ScopedLogCapture).
+
+#ifndef EPL_COMMON_LOGGING_H_
+#define EPL_COMMON_LOGGING_H_
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace epl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+std::string_view LogLevelToString(LogLevel level);
+
+namespace internal_logging {
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Installs `sink` as the global log sink; returns the previous sink.
+LogSink SetLogSink(LogSink sink);
+
+/// Emits one record through the current sink (thread-safe).
+void Emit(LogLevel level, const std::string& message);
+
+/// Minimum level that is emitted (default kInfo).
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+/// Stream-collecting helper behind EPL_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process in the destructor.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// RAII capture of log records, for tests.
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture();
+  ~ScopedLogCapture();
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  struct Record {
+    LogLevel level;
+    std::string message;
+  };
+
+  std::vector<Record> records() const;
+  /// True if any captured record contains `needle`.
+  bool Contains(std::string_view needle) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+  internal_logging::LogSink previous_;
+};
+
+}  // namespace epl
+
+#define EPL_LOG(level)                                                     \
+  ::epl::internal_logging::LogMessage(::epl::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                            \
+      .stream()
+
+#define EPL_CHECK(condition)                                          \
+  (condition) ? (void)0                                               \
+              : ::epl::internal_logging::FatalMessageVoidify() &      \
+                    ::epl::internal_logging::FatalMessage(            \
+                        __FILE__, __LINE__, #condition)               \
+                        .stream()
+
+#ifdef NDEBUG
+#define EPL_DCHECK(condition) EPL_CHECK(true || (condition))
+#else
+#define EPL_DCHECK(condition) EPL_CHECK(condition)
+#endif
+
+namespace epl::internal_logging {
+// Allows EPL_CHECK to appear in expression position with `<<` chaining.
+struct FatalMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace epl::internal_logging
+
+#endif  // EPL_COMMON_LOGGING_H_

@@ -1,0 +1,102 @@
+#include "common/mat3.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace epl {
+
+Mat3::Mat3() : m_({1, 0, 0, 0, 1, 0, 0, 0, 1}) {}
+
+Mat3::Mat3(const std::array<double, 9>& values) : m_(values) {}
+
+Mat3 Mat3::Identity() { return Mat3(); }
+
+Mat3 Mat3::RotationX(double radians) {
+  double c = std::cos(radians);
+  double s = std::sin(radians);
+  return Mat3({1, 0, 0, 0, c, -s, 0, s, c});
+}
+
+Mat3 Mat3::RotationY(double radians) {
+  double c = std::cos(radians);
+  double s = std::sin(radians);
+  return Mat3({c, 0, s, 0, 1, 0, -s, 0, c});
+}
+
+Mat3 Mat3::RotationZ(double radians) {
+  double c = std::cos(radians);
+  double s = std::sin(radians);
+  return Mat3({c, -s, 0, s, c, 0, 0, 0, 1});
+}
+
+Mat3 Mat3::FromYawPitchRoll(double yaw, double pitch, double roll) {
+  return RotationZ(yaw) * RotationY(pitch) * RotationX(roll);
+}
+
+Vec3 Mat3::Apply(const Vec3& v) const {
+  return Vec3(m_[0] * v.x + m_[1] * v.y + m_[2] * v.z,
+              m_[3] * v.x + m_[4] * v.y + m_[5] * v.z,
+              m_[6] * v.x + m_[7] * v.y + m_[8] * v.z);
+}
+
+Mat3 Mat3::operator*(const Mat3& o) const {
+  Mat3 result;
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      double sum = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        sum += At(row, k) * o.At(k, col);
+      }
+      result.At(row, col) = sum;
+    }
+  }
+  return result;
+}
+
+Mat3 Mat3::Transposed() const {
+  Mat3 result;
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      result.At(row, col) = At(col, row);
+    }
+  }
+  return result;
+}
+
+Vec3 Mat3::ToRollPitchYaw() const {
+  // R = Rz(yaw)*Ry(pitch)*Rx(roll):
+  //   R[2][0] = -sin(pitch)
+  //   R[1][0]/R[0][0] = tan(yaw)
+  //   R[2][1]/R[2][2] = tan(roll)
+  double pitch = std::asin(-At(2, 0));
+  double yaw;
+  double roll;
+  if (std::abs(std::cos(pitch)) > 1e-9) {
+    yaw = std::atan2(At(1, 0), At(0, 0));
+    roll = std::atan2(At(2, 1), At(2, 2));
+  } else {
+    // Gimbal lock: yaw and roll are coupled; pick roll = 0.
+    yaw = std::atan2(-At(0, 1), At(1, 1));
+    roll = 0.0;
+  }
+  return Vec3(roll, pitch, yaw);
+}
+
+bool Mat3::ApproxEquals(const Mat3& o, double tolerance) const {
+  for (int i = 0; i < 9; ++i) {
+    if (std::abs(m_[i] - o.m_[i]) > tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Mat3::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "[%.3f %.3f %.3f; %.3f %.3f %.3f; %.3f %.3f %.3f]", m_[0],
+                m_[1], m_[2], m_[3], m_[4], m_[5], m_[6], m_[7], m_[8]);
+  return buffer;
+}
+
+}  // namespace epl

@@ -1,0 +1,54 @@
+// 3x3 matrices for the coordinate rotations of the data transformation
+// stage (paper Sec. 3.2) and Roll-Pitch-Yaw angle computation.
+
+#ifndef EPL_COMMON_MAT3_H_
+#define EPL_COMMON_MAT3_H_
+
+#include <array>
+#include <string>
+
+#include "common/vec3.h"
+
+namespace epl {
+
+/// Row-major 3x3 matrix.
+class Mat3 {
+ public:
+  /// Identity matrix.
+  Mat3();
+  explicit Mat3(const std::array<double, 9>& values);
+
+  static Mat3 Identity();
+  /// Rotation about the +X axis by `radians` (right-handed).
+  static Mat3 RotationX(double radians);
+  /// Rotation about the +Y axis by `radians` (right-handed).
+  static Mat3 RotationY(double radians);
+  /// Rotation about the +Z axis by `radians` (right-handed).
+  static Mat3 RotationZ(double radians);
+  /// Intrinsic yaw (Z), pitch (Y), roll (X) composition: R = Rz*Ry*Rx.
+  static Mat3 FromYawPitchRoll(double yaw, double pitch, double roll);
+
+  double At(int row, int col) const { return m_[row * 3 + col]; }
+  double& At(int row, int col) { return m_[row * 3 + col]; }
+
+  Vec3 Apply(const Vec3& v) const;
+  Mat3 operator*(const Mat3& o) const;
+  Vec3 operator*(const Vec3& v) const { return Apply(v); }
+
+  /// For rotation matrices the transpose is the inverse.
+  Mat3 Transposed() const;
+
+  /// Extracts yaw/pitch/roll assuming this is a rotation built as Rz*Ry*Rx.
+  /// Returned as (roll, pitch, yaw).
+  Vec3 ToRollPitchYaw() const;
+
+  bool ApproxEquals(const Mat3& o, double tolerance = 1e-9) const;
+  std::string ToString() const;
+
+ private:
+  std::array<double, 9> m_;
+};
+
+}  // namespace epl
+
+#endif  // EPL_COMMON_MAT3_H_

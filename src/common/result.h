@@ -1,0 +1,80 @@
+// Result<T>: a value or an error Status (absl::StatusOr-like).
+
+#ifndef EPL_COMMON_RESULT_H_
+#define EPL_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace epl {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing value() on an error aborts the process, so
+/// callers must check ok() first (or use EPL_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// readable (`return value;` / `return InvalidArgumentError(...)`), the
+  /// same convention absl::StatusOr uses.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(OkStatus()), value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    EPL_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EPL_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    EPL_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    EPL_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace epl
+
+#define EPL_RESULT_CONCAT_INNER_(x, y) x##y
+#define EPL_RESULT_CONCAT_(x, y) EPL_RESULT_CONCAT_INNER_(x, y)
+
+/// EPL_ASSIGN_OR_RETURN(auto x, Fn()): assigns on success, propagates the
+/// Status on failure.
+#define EPL_ASSIGN_OR_RETURN(decl, expr)                              \
+  auto EPL_RESULT_CONCAT_(epl_result_tmp_, __LINE__) = (expr);        \
+  if (!EPL_RESULT_CONCAT_(epl_result_tmp_, __LINE__).ok()) {          \
+    return EPL_RESULT_CONCAT_(epl_result_tmp_, __LINE__).status();    \
+  }                                                                   \
+  decl = std::move(EPL_RESULT_CONCAT_(epl_result_tmp_, __LINE__)).value()
+
+#endif  // EPL_COMMON_RESULT_H_

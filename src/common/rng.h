@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the simulator (sensor noise, user variation,
+// distractor motion) draw from a seeded Rng so that tests and experiments
+// are reproducible bit-for-bit.
+
+#ifndef EPL_COMMON_RNG_H_
+#define EPL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace epl {
+
+/// xoshiro256++ with a SplitMix64-seeded state. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Derives an independent generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace epl
+
+#endif  // EPL_COMMON_RNG_H_

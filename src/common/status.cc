@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+namespace epl {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string result(StatusCodeToString(code_));
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) {
+    return *this;
+  }
+  std::string combined(context);
+  combined += ": ";
+  combined += message_;
+  return Status(code_, std::move(combined));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status OkStatus() { return Status(); }
+
+Status InvalidArgumentError(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, std::string(message));
+}
+Status NotFoundError(std::string_view message) {
+  return Status(StatusCode::kNotFound, std::string(message));
+}
+Status AlreadyExistsError(std::string_view message) {
+  return Status(StatusCode::kAlreadyExists, std::string(message));
+}
+Status FailedPreconditionError(std::string_view message) {
+  return Status(StatusCode::kFailedPrecondition, std::string(message));
+}
+Status OutOfRangeError(std::string_view message) {
+  return Status(StatusCode::kOutOfRange, std::string(message));
+}
+Status UnimplementedError(std::string_view message) {
+  return Status(StatusCode::kUnimplemented, std::string(message));
+}
+Status InternalError(std::string_view message) {
+  return Status(StatusCode::kInternal, std::string(message));
+}
+Status DataLossError(std::string_view message) {
+  return Status(StatusCode::kDataLoss, std::string(message));
+}
+Status ResourceExhaustedError(std::string_view message) {
+  return Status(StatusCode::kResourceExhausted, std::string(message));
+}
+
+}  // namespace epl

@@ -1,0 +1,95 @@
+// Status: the error-handling vocabulary type of EPL.
+//
+// EPL does not use C++ exceptions. Every fallible operation returns a Status
+// (or a Result<T>, see common/result.h). Statuses carry a code and a
+// human-readable message. Use the EPL_RETURN_IF_ERROR macro to propagate.
+
+#ifndef EPL_COMMON_STATUS_H_
+#define EPL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace epl {
+
+/// Canonical error codes, modeled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kDataLoss = 8,
+  kResourceExhausted = 9,
+};
+
+/// Returns the canonical name of a status code, e.g., "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status is either OK or an error code plus message. Cheap to copy when
+/// OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with `context` (no-op on OK statuses). Useful when
+  /// propagating errors upward with extra information.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers, mirroring absl's.
+Status OkStatus();
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status InternalError(std::string_view message);
+Status DataLossError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+
+}  // namespace epl
+
+/// Propagates an error Status from the current function.
+#define EPL_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::epl::Status epl_status_macro_tmp = (expr);  \
+    if (!epl_status_macro_tmp.ok()) {             \
+      return epl_status_macro_tmp;                \
+    }                                             \
+  } while (false)
+
+#endif  // EPL_COMMON_STATUS_H_

@@ -1,0 +1,133 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace epl {
+
+std::vector<std::string> StrSplit(std::string_view text, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      break;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      result += separator;
+    }
+    result += pieces[i];
+  }
+  return result;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) {
+    return InvalidArgumentError("cannot parse empty string as double");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE) {
+    return InvalidArgumentError("cannot parse '" + buffer + "' as double");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) {
+    return InvalidArgumentError("cannot parse empty string as int64");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE) {
+    return InvalidArgumentError("cannot parse '" + buffer + "' as int64");
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string result;
+  if (size > 0) {
+    result.resize(static_cast<size_t>(size));
+    std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+std::string FormatNumber(double value) {
+  // Round very-near integers to keep generated queries readable.
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  std::string text = buffer;
+  size_t dot = text.find('.');
+  if (dot != std::string::npos) {
+    size_t last = text.find_last_not_of('0');
+    if (last == dot) {
+      last -= 1;
+    }
+    text.erase(last + 1);
+  }
+  if (text == "-0") {
+    text = "0";
+  }
+  return text;
+}
+
+}  // namespace epl

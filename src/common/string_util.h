@@ -1,0 +1,43 @@
+// Small string helpers (locale-independent parsing, split/join/trim,
+// printf-style formatting into std::string).
+
+#ifndef EPL_COMMON_STRING_UTIL_H_
+#define EPL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace epl {
+
+/// Splits on every occurrence of `delimiter`; keeps empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Joins pieces with `separator`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Locale-independent numeric parsing; the full string must be consumed.
+Result<double> ParseDouble(std::string_view text);
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double for query text: trims trailing zeros ("1.5", "120").
+std::string FormatNumber(double value);
+
+}  // namespace epl
+
+#endif  // EPL_COMMON_STRING_UTIL_H_

@@ -1,0 +1,20 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+
+namespace epl {
+
+std::string FormatDuration(Duration d) {
+  char buffer[64];
+  if (d >= kSecond || d <= -kSecond) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f s", ToSeconds(d));
+  } else if (d >= kMillisecond || d <= -kMillisecond) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f ms", ToMillis(d));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lld us",
+                  static_cast<long long>(d));
+  }
+  return buffer;
+}
+
+}  // namespace epl

@@ -1,0 +1,42 @@
+// Time representation used across EPL.
+//
+// All stream timestamps are microseconds since an arbitrary epoch (the
+// simulation start). Durations are also microsecond counts. Plain integer
+// types keep events trivially copyable and serialization simple.
+
+#ifndef EPL_COMMON_TIME_UTIL_H_
+#define EPL_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace epl {
+
+/// Microseconds since the stream epoch.
+using TimePoint = int64_t;
+/// Microseconds.
+using Duration = int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * 1000;
+
+constexpr Duration DurationFromSeconds(double seconds) {
+  return static_cast<Duration>(seconds * static_cast<double>(kSecond));
+}
+constexpr Duration DurationFromMillis(double millis) {
+  return static_cast<Duration>(millis * static_cast<double>(kMillisecond));
+}
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Human-readable rendering, e.g. "1.500 s" or "33.3 ms".
+std::string FormatDuration(Duration d);
+
+}  // namespace epl
+
+#endif  // EPL_COMMON_TIME_UTIL_H_

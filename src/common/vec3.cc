@@ -1,0 +1,30 @@
+#include "common/vec3.h"
+
+#include <cstdio>
+
+namespace epl {
+
+std::string Vec3::ToString() const {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "(%.3f, %.3f, %.3f)", x, y, z);
+  return buffer;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << v.ToString();
+}
+
+std::string_view AxisName(int axis) {
+  switch (axis) {
+    case 0:
+      return "x";
+    case 1:
+      return "y";
+    case 2:
+      return "z";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace epl

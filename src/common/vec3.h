@@ -1,0 +1,111 @@
+// 3D vector used for skeleton joint positions (millimeters, camera or user
+// coordinate space).
+
+#ifndef EPL_COMMON_VEC3_H_
+#define EPL_COMMON_VEC3_H_
+
+#include <cmath>
+#include <ostream>
+#include <string>
+
+namespace epl {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_in, double y_in, double z_in)
+      : x(x_in), y(y_in), z(z_in) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return Vec3(x + o.x, y + o.y, z + o.z);
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return Vec3(x - o.x, y - o.y, z - o.z);
+  }
+  constexpr Vec3 operator*(double s) const { return Vec3(x * s, y * s, z * s); }
+  constexpr Vec3 operator/(double s) const { return Vec3(x / s, y / s, z / s); }
+  constexpr Vec3 operator-() const { return Vec3(-x, -y, -z); }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return Vec3(y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x);
+  }
+  double Norm() const { return std::sqrt(Dot(*this)); }
+  constexpr double NormSquared() const { return Dot(*this); }
+
+  /// Returns a unit-length copy; the zero vector normalizes to zero.
+  Vec3 Normalized() const {
+    double n = Norm();
+    return n > 0.0 ? *this / n : Vec3();
+  }
+
+  double DistanceTo(const Vec3& o) const { return (*this - o).Norm(); }
+
+  /// Componentwise min/max, used for bounding-rectangle construction.
+  static constexpr Vec3 Min(const Vec3& a, const Vec3& b) {
+    return Vec3(a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+                a.z < b.z ? a.z : b.z);
+  }
+  static constexpr Vec3 Max(const Vec3& a, const Vec3& b) {
+    return Vec3(a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+                a.z > b.z ? a.z : b.z);
+  }
+
+  /// Linear interpolation: t=0 -> a, t=1 -> b.
+  static constexpr Vec3 Lerp(const Vec3& a, const Vec3& b, double t) {
+    return a + (b - a) * t;
+  }
+
+  /// Absolute tolerance comparison on each component.
+  bool ApproxEquals(const Vec3& o, double tolerance = 1e-9) const {
+    return std::abs(x - o.x) <= tolerance && std::abs(y - o.y) <= tolerance &&
+           std::abs(z - o.z) <= tolerance;
+  }
+
+  /// Access component by axis index 0=x, 1=y, 2=z.
+  double operator[](int axis) const {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+  double& operator[](int axis) { return axis == 0 ? x : (axis == 1 ? y : z); }
+
+  std::string ToString() const;
+};
+
+constexpr bool operator==(const Vec3& a, const Vec3& b) {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+inline Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+/// Axis names for query generation: 0 -> "x", 1 -> "y", 2 -> "z".
+std::string_view AxisName(int axis);
+
+}  // namespace epl
+
+#endif  // EPL_COMMON_VEC3_H_

@@ -1,0 +1,77 @@
+#include "core/distance.h"
+
+#include <cmath>
+
+namespace epl::core {
+
+double EuclideanDistance::Distance(const JointPose& reference,
+                                   const JointPose& current,
+                                   int /*tuples_since_ref*/) const {
+  double sum_sq = 0.0;
+  for (const auto& [joint, ref_pos] : reference) {
+    auto it = current.find(joint);
+    if (it != current.end()) {
+      sum_sq += (it->second - ref_pos).NormSquared();
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+double ChebyshevDistance::Distance(const JointPose& reference,
+                                   const JointPose& current,
+                                   int /*tuples_since_ref*/) const {
+  double max_diff = 0.0;
+  for (const auto& [joint, ref_pos] : reference) {
+    auto it = current.find(joint);
+    if (it == current.end()) {
+      continue;
+    }
+    for (int axis = 0; axis < 3; ++axis) {
+      max_diff =
+          std::max(max_diff, std::abs(it->second[axis] - ref_pos[axis]));
+    }
+  }
+  return max_diff;
+}
+
+double TupleCountDistance::Distance(const JointPose& /*reference*/,
+                                    const JointPose& /*current*/,
+                                    int tuples_since_ref) const {
+  return static_cast<double>(tuples_since_ref);
+}
+
+WeightedEuclideanDistance::WeightedEuclideanDistance(
+    std::map<kinect::JointId, double> weights)
+    : weights_(std::move(weights)) {}
+
+double WeightedEuclideanDistance::Distance(const JointPose& reference,
+                                           const JointPose& current,
+                                           int /*tuples_since_ref*/) const {
+  double sum_sq = 0.0;
+  for (const auto& [joint, ref_pos] : reference) {
+    auto it = current.find(joint);
+    if (it == current.end()) {
+      continue;
+    }
+    auto weight_it = weights_.find(joint);
+    double weight = weight_it != weights_.end() ? weight_it->second : 1.0;
+    sum_sq += weight * (it->second - ref_pos).NormSquared();
+  }
+  return std::sqrt(sum_sq);
+}
+
+Result<std::shared_ptr<DistanceMetric>> MakeDistanceMetric(
+    const std::string& name) {
+  if (name == "euclidean") {
+    return std::shared_ptr<DistanceMetric>(new EuclideanDistance());
+  }
+  if (name == "chebyshev") {
+    return std::shared_ptr<DistanceMetric>(new ChebyshevDistance());
+  }
+  if (name == "tuple_count") {
+    return std::shared_ptr<DistanceMetric>(new TupleCountDistance());
+  }
+  return NotFoundError("unknown distance metric: " + name);
+}
+
+}  // namespace epl::core

@@ -1,0 +1,83 @@
+// Distance metrics for the distance-based sampler (paper Sec. 3.3.1: "The
+// distance function is configurable to express several gesture semantics,
+// e.g., the Euclidean distance can be used to express spatial differences
+// between successive poses, or metrics like 'every x tuples' can be used
+// for time-based constraints.").
+
+#ifndef EPL_CORE_DISTANCE_H_
+#define EPL_CORE_DISTANCE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/vec3.h"
+#include "kinect/skeleton.h"
+
+namespace epl::core {
+
+/// Positions of the involved joints at one instant (user space).
+using JointPose = std::map<kinect::JointId, Vec3>;
+
+class DistanceMetric {
+ public:
+  virtual ~DistanceMetric() = default;
+
+  /// Distance between the reference pose of the current cluster and the
+  /// current pose. `tuples_since_ref` is the number of stream tuples seen
+  /// since the reference, which time-based metrics use instead of the
+  /// coordinates.
+  virtual double Distance(const JointPose& reference,
+                          const JointPose& current,
+                          int tuples_since_ref) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Euclidean distance over all involved joint coordinates.
+class EuclideanDistance : public DistanceMetric {
+ public:
+  double Distance(const JointPose& reference, const JointPose& current,
+                  int tuples_since_ref) const override;
+  std::string name() const override { return "euclidean"; }
+};
+
+/// Maximum absolute per-axis difference (Chebyshev / L-infinity), which
+/// pairs naturally with rectangular windows.
+class ChebyshevDistance : public DistanceMetric {
+ public:
+  double Distance(const JointPose& reference, const JointPose& current,
+                  int tuples_since_ref) const override;
+  std::string name() const override { return "chebyshev"; }
+};
+
+/// "Every x tuples": the distance is the tuple count since the reference,
+/// giving time-based sampling.
+class TupleCountDistance : public DistanceMetric {
+ public:
+  double Distance(const JointPose& reference, const JointPose& current,
+                  int tuples_since_ref) const override;
+  std::string name() const override { return "tuple_count"; }
+};
+
+/// Euclidean distance with per-joint weights (emphasize the dominant hand).
+class WeightedEuclideanDistance : public DistanceMetric {
+ public:
+  explicit WeightedEuclideanDistance(
+      std::map<kinect::JointId, double> weights);
+  double Distance(const JointPose& reference, const JointPose& current,
+                  int tuples_since_ref) const override;
+  std::string name() const override { return "weighted_euclidean"; }
+
+ private:
+  std::map<kinect::JointId, double> weights_;
+};
+
+/// Factory by name ("euclidean", "chebyshev", "tuple_count").
+Result<std::shared_ptr<DistanceMetric>> MakeDistanceMetric(
+    const std::string& name);
+
+}  // namespace epl::core
+
+#endif  // EPL_CORE_DISTANCE_H_

@@ -1,0 +1,67 @@
+#include "core/gesture_definition.h"
+
+#include "common/string_util.h"
+
+namespace epl::core {
+
+Status GestureDefinition::Validate() const {
+  if (name.empty()) {
+    return InvalidArgumentError("gesture has no name");
+  }
+  if (source_stream.empty()) {
+    return InvalidArgumentError("gesture has no source stream");
+  }
+  if (joints.empty()) {
+    return InvalidArgumentError("gesture involves no joints");
+  }
+  if (poses.empty()) {
+    return InvalidArgumentError("gesture has no poses");
+  }
+  for (size_t i = 0; i < poses.size(); ++i) {
+    const PoseWindow& pose = poses[i];
+    for (kinect::JointId joint : joints) {
+      auto it = pose.joints.find(joint);
+      if (it == pose.joints.end()) {
+        return InvalidArgumentError(
+            StrFormat("pose %zu does not constrain joint %s", i,
+                      std::string(kinect::JointName(joint)).c_str()));
+      }
+      for (int axis = 0; axis < 3; ++axis) {
+        if (it->second.active[static_cast<size_t>(axis)] &&
+            it->second.half_width[axis] <= 0.0) {
+          return InvalidArgumentError(
+              StrFormat("pose %zu joint %s axis %s has non-positive width",
+                        i, std::string(kinect::JointName(joint)).c_str(),
+                        std::string(AxisName(axis)).c_str()));
+        }
+      }
+    }
+    if (i > 0 && pose.max_gap <= 0) {
+      return InvalidArgumentError(
+          StrFormat("pose %zu has non-positive time budget", i));
+    }
+  }
+  return OkStatus();
+}
+
+int GestureDefinition::NumActiveConstraints() const {
+  int count = 0;
+  for (const PoseWindow& pose : poses) {
+    for (const auto& [joint, window] : pose.joints) {
+      count += window.NumActiveAxes();
+    }
+  }
+  return count;
+}
+
+std::string GestureDefinition::ToString() const {
+  std::string out = StrFormat("gesture '%s' on %s (%d samples, %zu poses)\n",
+                              name.c_str(), source_stream.c_str(),
+                              sample_count, poses.size());
+  for (size_t i = 0; i < poses.size(); ++i) {
+    out += StrFormat("  pose %zu: %s\n", i, poses[i].ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace epl::core

@@ -1,0 +1,43 @@
+// GestureDefinition: the learned, declarative description of one gesture —
+// an ordered list of pose windows with step time budgets. This is what the
+// gesture database stores and what the query generator turns into CEP
+// query text (paper Fig. 2 center/right).
+
+#ifndef EPL_CORE_GESTURE_DEFINITION_H_
+#define EPL_CORE_GESTURE_DEFINITION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/window.h"
+
+namespace epl::core {
+
+struct GestureDefinition {
+  /// Output value of the generated query (e.g. "swipe_right").
+  std::string name;
+  /// Stream/view the gesture is detected on (normally "kinect_t").
+  std::string source_stream = "kinect_t";
+  /// Involved joints in a fixed order.
+  std::vector<kinect::JointId> joints;
+  /// Characteristic poses in sequence order. poses[i].max_gap is the time
+  /// budget between pose i-1 and pose i (ignored for i = 0).
+  std::vector<PoseWindow> poses;
+  /// How many samples were merged into this definition.
+  int sample_count = 0;
+  /// Free-form provenance notes.
+  std::string notes;
+
+  /// Structural checks: non-empty name/joints/poses, every pose constrains
+  /// every involved joint, positive widths on active axes, positive gaps.
+  Status Validate() const;
+
+  /// Total number of active (joint, axis) constraints over all poses.
+  int NumActiveConstraints() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace epl::core
+
+#endif  // EPL_CORE_GESTURE_DEFINITION_H_

@@ -1,0 +1,44 @@
+#include "core/learner.h"
+
+namespace epl::core {
+
+GestureLearner::GestureLearner(std::string gesture_name,
+                               std::vector<kinect::JointId> joints,
+                               LearnerConfig config)
+    : name_(std::move(gesture_name)),
+      joints_(std::move(joints)),
+      config_(std::move(config)),
+      sampler_(config_.sampler),
+      merger_(name_, joints_, config_.merge) {}
+
+Status GestureLearner::AddSample(
+    const std::vector<kinect::SkeletonFrame>& frames) {
+  return AddSamplePoints(PointsFromFrames(frames, joints_));
+}
+
+Status GestureLearner::AddSamplePoints(
+    const std::vector<SamplePoint>& points) {
+  EPL_ASSIGN_OR_RETURN(SampleSummary summary, sampler_.Run(points));
+  EPL_RETURN_IF_ERROR(merger_.AddSample(summary));
+  summaries_.push_back(std::move(summary));
+  return OkStatus();
+}
+
+Result<GestureDefinition> GestureLearner::Learn() const {
+  EPL_ASSIGN_OR_RETURN(GestureDefinition definition,
+                       merger_.Build(config_.generalize));
+  definition.source_stream = config_.source_stream;
+  return definition;
+}
+
+Result<query::ParsedQuery> GestureLearner::GenerateQuery() const {
+  EPL_ASSIGN_OR_RETURN(GestureDefinition definition, Learn());
+  return core::GenerateQuery(definition, config_.query);
+}
+
+Result<std::string> GestureLearner::GenerateQueryText() const {
+  EPL_ASSIGN_OR_RETURN(GestureDefinition definition, Learn());
+  return core::GenerateQueryText(definition, config_.query);
+}
+
+}  // namespace epl::core

@@ -1,0 +1,69 @@
+// GestureLearner: the end-to-end learning facade (paper Sec. 3.3).
+//
+// Feed one or more recorded samples (already transformed into user space,
+// i.e. kinect_t frames); each is reduced by distance-based sampling and
+// merged incrementally. Learn() returns the generalized GestureDefinition;
+// GenerateQuery() additionally emits the CEP query. "Usually, 3-5 samples
+// are sufficient to achieve acceptable results" — experiment E4 measures
+// exactly this.
+
+#ifndef EPL_CORE_LEARNER_H_
+#define EPL_CORE_LEARNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/merger.h"
+#include "core/query_gen.h"
+#include "core/sampler.h"
+
+namespace epl::core {
+
+struct LearnerConfig {
+  SamplerConfig sampler;
+  MergeConfig merge;
+  GeneralizationConfig generalize;
+  QueryGenConfig query;
+  /// Stream the generated query reads from.
+  std::string source_stream = "kinect_t";
+};
+
+class GestureLearner {
+ public:
+  GestureLearner(std::string gesture_name,
+                 std::vector<kinect::JointId> joints,
+                 LearnerConfig config = LearnerConfig());
+
+  /// Adds one recorded sample given as transformed skeleton frames.
+  Status AddSample(const std::vector<kinect::SkeletonFrame>& frames);
+
+  /// Adds one recorded sample given as raw sampler points.
+  Status AddSamplePoints(const std::vector<SamplePoint>& points);
+
+  /// Merged + generalized definition of everything added so far.
+  Result<GestureDefinition> Learn() const;
+
+  /// Learn() and generate the query AST / query text.
+  Result<query::ParsedQuery> GenerateQuery() const;
+  Result<std::string> GenerateQueryText() const;
+
+  int sample_count() const { return merger_.sample_count(); }
+  const std::vector<MergeWarning>& warnings() const {
+    return merger_.warnings();
+  }
+  /// Per-sample sampling summaries (for visualization/debugging).
+  const std::vector<SampleSummary>& summaries() const { return summaries_; }
+  const LearnerConfig& config() const { return config_; }
+
+ private:
+  std::string name_;
+  std::vector<kinect::JointId> joints_;
+  LearnerConfig config_;
+  DistanceSampler sampler_;
+  WindowMerger merger_;
+  std::vector<SampleSummary> summaries_;
+};
+
+}  // namespace epl::core
+
+#endif  // EPL_CORE_LEARNER_H_

@@ -1,0 +1,215 @@
+#include "core/merger.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace epl::core {
+
+using kinect::JointId;
+using kinect::JointName;
+
+void WindowMerger::JointBounds::Extend(const Vec3& point) {
+  if (!initialized) {
+    min = point;
+    max = point;
+    initialized = true;
+    return;
+  }
+  min = Vec3::Min(min, point);
+  max = Vec3::Max(max, point);
+}
+
+WindowMerger::WindowMerger(std::string gesture_name,
+                           std::vector<JointId> joints, MergeConfig config)
+    : name_(std::move(gesture_name)),
+      joints_(std::move(joints)),
+      config_(config) {}
+
+JointPose WindowMerger::InterpolateAt(const SampleSummary& sample, double u) {
+  const std::vector<PoseCentroid>& centroids = sample.centroids;
+  Duration total = centroids.back().time_offset;
+  if (centroids.size() == 1 || total <= 0) {
+    return centroids.front().joints;
+  }
+  Duration target = static_cast<Duration>(u * static_cast<double>(total));
+  size_t hi = 1;
+  while (hi + 1 < centroids.size() && centroids[hi].time_offset < target) {
+    ++hi;
+  }
+  const PoseCentroid& a = centroids[hi - 1];
+  const PoseCentroid& b = centroids[hi];
+  Duration span = b.time_offset - a.time_offset;
+  double t = span > 0 ? static_cast<double>(target - a.time_offset) /
+                            static_cast<double>(span)
+                      : 0.0;
+  t = std::max(0.0, std::min(1.0, t));
+  JointPose result;
+  for (const auto& [joint, pos_a] : a.joints) {
+    auto it = b.joints.find(joint);
+    result[joint] =
+        it != b.joints.end() ? Vec3::Lerp(pos_a, it->second, t) : pos_a;
+  }
+  return result;
+}
+
+Status WindowMerger::AddSample(const SampleSummary& sample) {
+  if (sample.centroids.empty()) {
+    return InvalidArgumentError("sample has no centroids");
+  }
+  for (const PoseCentroid& centroid : sample.centroids) {
+    for (JointId joint : joints_) {
+      if (centroid.joints.find(joint) == centroid.joints.end()) {
+        return InvalidArgumentError(
+            "sample centroid is missing joint " +
+            std::string(JointName(joint)));
+      }
+    }
+  }
+
+  // Align the sample to the reference pose count.
+  std::vector<JointPose> aligned;
+  std::vector<Duration> offsets;
+  if (sample_count_ == 0) {
+    aligned.reserve(sample.centroids.size());
+    for (const PoseCentroid& centroid : sample.centroids) {
+      aligned.push_back(centroid.joints);
+      offsets.push_back(centroid.time_offset);
+    }
+  } else if (sample.centroids.size() == poses_.size()) {
+    for (const PoseCentroid& centroid : sample.centroids) {
+      aligned.push_back(centroid.joints);
+      offsets.push_back(centroid.time_offset);
+    }
+  } else if (config_.alignment == MergeConfig::Alignment::kStrict) {
+    MergeWarning warning;
+    warning.sample_index = sample_count_;
+    warning.message = StrFormat(
+        "sample %d produced %zu poses but the gesture has %zu; rejected "
+        "(strict alignment)",
+        sample_count_ + 1, sample.centroids.size(), poses_.size());
+    warnings_.push_back(warning);
+    return FailedPreconditionError(warnings_.back().message);
+  } else {
+    // Resample the new sample's centroid path at the reference poses'
+    // relative time positions.
+    Duration reference_total = poses_.back().time_offset;
+    Duration sample_total = sample.centroids.back().time_offset;
+    for (size_t i = 0; i < poses_.size(); ++i) {
+      double u = reference_total > 0
+                     ? static_cast<double>(poses_[i].time_offset) /
+                           static_cast<double>(reference_total)
+                     : 0.0;
+      aligned.push_back(InterpolateAt(sample, u));
+      offsets.push_back(
+          static_cast<Duration>(u * static_cast<double>(sample_total)));
+    }
+    MergeWarning warning;
+    warning.sample_index = sample_count_;
+    warning.message = StrFormat(
+        "sample %d produced %zu poses, resampled to %zu", sample_count_ + 1,
+        sample.centroids.size(), poses_.size());
+    warnings_.push_back(warning);
+  }
+
+  // Outlier detection against the windows merged so far.
+  if (sample_count_ > 0) {
+    bool outlier = false;
+    for (size_t i = 0; i < aligned.size(); ++i) {
+      for (JointId joint : joints_) {
+        const JointBounds& bounds = poses_[i].bounds.at(joint);
+        const Vec3& point = aligned[i].at(joint);
+        Vec3 center = (bounds.min + bounds.max) * 0.5;
+        Vec3 half = (bounds.max - bounds.min) * 0.5;
+        double mean_half = (half.x + half.y + half.z) / 3.0;
+        double allowed =
+            config_.outlier_slack_mm + config_.outlier_factor * mean_half;
+        double deviation = 0.0;
+        for (int axis = 0; axis < 3; ++axis) {
+          deviation = std::max(
+              deviation,
+              std::abs(point[axis] - center[axis]) - half[axis]);
+        }
+        if (deviation > allowed) {
+          outlier = true;
+          MergeWarning warning;
+          warning.sample_index = sample_count_;
+          warning.pose_index = static_cast<int>(i);
+          warning.joint = joint;
+          warning.deviation_mm = deviation;
+          warning.message = StrFormat(
+              "sample %d deviates %.0f mm from pose %zu (%s); the gesture "
+              "may have been performed differently",
+              sample_count_ + 1, deviation, i,
+              std::string(JointName(joint)).c_str());
+          warnings_.push_back(warning);
+        }
+      }
+    }
+    if (outlier && config_.reject_outliers) {
+      return FailedPreconditionError(
+          StrFormat("sample %d rejected as outlier", sample_count_ + 1));
+    }
+  }
+
+  // Merge: extend the MBRs and the observed gaps.
+  if (sample_count_ == 0) {
+    poses_.resize(aligned.size());
+  }
+  for (size_t i = 0; i < aligned.size(); ++i) {
+    PoseAccumulator& pose = poses_[i];
+    for (JointId joint : joints_) {
+      pose.bounds[joint].Extend(aligned[i].at(joint));
+    }
+    if (sample_count_ == 0) {
+      pose.time_offset = offsets[i];
+    }
+    if (i > 0) {
+      pose.max_observed_gap =
+          std::max(pose.max_observed_gap, offsets[i] - offsets[i - 1]);
+    }
+  }
+  ++sample_count_;
+  return OkStatus();
+}
+
+Result<GestureDefinition> WindowMerger::Build(
+    const GeneralizationConfig& generalization) const {
+  if (sample_count_ == 0) {
+    return FailedPreconditionError("no samples merged yet");
+  }
+  GestureDefinition definition;
+  definition.name = name_;
+  definition.joints = joints_;
+  definition.sample_count = sample_count_;
+  definition.poses.reserve(poses_.size());
+  for (size_t i = 0; i < poses_.size(); ++i) {
+    const PoseAccumulator& accumulator = poses_[i];
+    PoseWindow window;
+    for (JointId joint : joints_) {
+      const JointBounds& bounds = accumulator.bounds.at(joint);
+      JointWindow jw;
+      jw.center = (bounds.min + bounds.max) * 0.5;
+      jw.half_width = (bounds.max - bounds.min) * 0.5;
+      jw.Widen(generalization.widen_factor, generalization.extra_margin_mm,
+               generalization.min_half_width_mm);
+      window.joints[joint] = jw;
+    }
+    if (i > 0) {
+      double slacked = static_cast<double>(accumulator.max_observed_gap) *
+                       generalization.time_slack;
+      Duration budget = static_cast<Duration>(slacked);
+      if (generalization.time_round > 0) {
+        Duration round = generalization.time_round;
+        budget = ((budget + round - 1) / round) * round;
+      }
+      window.max_gap = std::max(budget, generalization.min_gap);
+    }
+    definition.poses.push_back(std::move(window));
+  }
+  EPL_RETURN_IF_ERROR(definition.Validate());
+  return definition;
+}
+
+}  // namespace epl::core

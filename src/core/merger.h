@@ -1,0 +1,105 @@
+// Window merging (paper Sec. 3.3.2): combines the characteristic poses
+// extracted from multiple recordings of the same gesture into minimal
+// bounding rectangles, incrementally. A sample that deviates strongly from
+// the windows merged so far triggers a warning ("allowing us to issue a
+// warning in this situation").
+
+#ifndef EPL_CORE_MERGER_H_
+#define EPL_CORE_MERGER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/gesture_definition.h"
+#include "core/sampler.h"
+
+namespace epl::core {
+
+struct MergeConfig {
+  /// Pose-count alignment across samples. The paper merges centroids "with
+  /// the same sequence number"; kResample additionally tolerates samples
+  /// whose sampler produced a different number of windows by interpolating
+  /// them at the reference pose's relative path positions.
+  enum class Alignment { kStrict, kResample };
+  Alignment alignment = Alignment::kResample;
+  /// A new centroid farther outside the current window than
+  /// (outlier_slack_mm + outlier_factor * half_width) produces a warning.
+  double outlier_factor = 3.0;
+  double outlier_slack_mm = 80.0;
+  /// When true, outlier samples are rejected instead of merged.
+  bool reject_outliers = false;
+};
+
+struct MergeWarning {
+  int sample_index = 0;
+  int pose_index = 0;
+  kinect::JointId joint = kinect::JointId::kTorso;
+  double deviation_mm = 0.0;
+  std::string message;
+};
+
+/// Widening of the merged MBRs before query generation (paper Sec. 3.3.2:
+/// "another scaling step can be performed by increasing the rectangles'
+/// width in each dimension").
+struct GeneralizationConfig {
+  double widen_factor = 1.0;
+  double extra_margin_mm = 0.0;
+  /// Lower bound on each half-width; the paper's example windows use 50.
+  double min_half_width_mm = 50.0;
+  /// Slack multiplier on the observed inter-pose gaps.
+  double time_slack = 2.0;
+  /// Gap budgets are rounded up to a multiple of this (the paper's queries
+  /// use whole seconds).
+  Duration time_round = kSecond;
+  /// Lower bound for gap budgets.
+  Duration min_gap = kSecond;
+};
+
+class WindowMerger {
+ public:
+  WindowMerger(std::string gesture_name,
+               std::vector<kinect::JointId> joints,
+               MergeConfig config = MergeConfig());
+
+  /// Merges one sampled recording. The first sample fixes the pose count;
+  /// later samples are aligned per MergeConfig::alignment.
+  Status AddSample(const SampleSummary& sample);
+
+  /// Builds the merged definition with `generalization` applied.
+  Result<GestureDefinition> Build(
+      const GeneralizationConfig& generalization =
+          GeneralizationConfig()) const;
+
+  int sample_count() const { return sample_count_; }
+  int pose_count() const { return static_cast<int>(poses_.size()); }
+  const std::vector<MergeWarning>& warnings() const { return warnings_; }
+
+ private:
+  struct JointBounds {
+    Vec3 min;
+    Vec3 max;
+    bool initialized = false;
+
+    void Extend(const Vec3& point);
+  };
+  struct PoseAccumulator {
+    std::map<kinect::JointId, JointBounds> bounds;
+    Duration max_observed_gap = 0;  // from previous pose
+    Duration time_offset = 0;       // from the first sample (for alignment)
+  };
+
+  /// Interpolates a sample's centroid path at relative position u in [0,1].
+  static JointPose InterpolateAt(const SampleSummary& sample, double u);
+
+  std::string name_;
+  std::vector<kinect::JointId> joints_;
+  MergeConfig config_;
+  std::vector<PoseAccumulator> poses_;
+  std::vector<MergeWarning> warnings_;
+  int sample_count_ = 0;
+};
+
+}  // namespace epl::core
+
+#endif  // EPL_CORE_MERGER_H_

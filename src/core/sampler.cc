@@ -1,0 +1,98 @@
+#include "core/sampler.h"
+
+#include "common/logging.h"
+
+namespace epl::core {
+
+DistanceSampler::DistanceSampler(SamplerConfig config)
+    : config_(std::move(config)) {
+  if (config_.metric == nullptr) {
+    config_.metric = std::make_shared<EuclideanDistance>();
+  }
+}
+
+Result<SampleSummary> DistanceSampler::Run(
+    const std::vector<SamplePoint>& points) const {
+  if (points.empty()) {
+    return InvalidArgumentError("cannot sample an empty gesture sample");
+  }
+  const DistanceMetric& metric = *config_.metric;
+
+  SampleSummary summary;
+  summary.frame_count = static_cast<int>(points.size());
+  summary.duration = points.back().timestamp - points.front().timestamp;
+
+  // Pass 1: total path deviation (consecutive distances).
+  for (size_t i = 1; i < points.size(); ++i) {
+    summary.path_length +=
+        metric.Distance(points[i - 1].joints, points[i].joints, 1);
+  }
+  summary.threshold = config_.absolute_threshold > 0.0
+                          ? config_.absolute_threshold
+                          : config_.threshold_pct * summary.path_length;
+  if (summary.threshold <= 0.0) {
+    // Degenerate sample (no movement at all): one cluster.
+    summary.threshold = 1e-9;
+  }
+
+  // Pass 2: cluster. The first tuple seeds the first cluster and serves as
+  // the reference for distance computation.
+  const TimePoint start = points.front().timestamp;
+  size_t cluster_start = 0;
+
+  auto close_cluster = [&](size_t begin, size_t end) {
+    // [begin, end) forms one cluster.
+    PoseCentroid centroid;
+    centroid.sequence = static_cast<int>(summary.centroids.size());
+    centroid.support = static_cast<int>(end - begin);
+    if (config_.centroid_mode == SamplerConfig::CentroidMode::kReference) {
+      centroid.joints = points[begin].joints;
+      centroid.time_offset = points[begin].timestamp - start;
+    } else {
+      JointPose sums;
+      double total_seconds = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        for (const auto& [joint, pos] : points[i].joints) {
+          sums[joint] += pos;
+        }
+        total_seconds += ToSeconds(points[i].timestamp - start);
+      }
+      double n = static_cast<double>(end - begin);
+      for (auto& [joint, sum] : sums) {
+        centroid.joints[joint] = sum / n;
+      }
+      centroid.time_offset = DurationFromSeconds(total_seconds / n);
+    }
+    summary.centroids.push_back(std::move(centroid));
+  };
+
+  for (size_t i = 1; i < points.size(); ++i) {
+    double distance = metric.Distance(points[cluster_start].joints,
+                                      points[i].joints,
+                                      static_cast<int>(i - cluster_start));
+    if (distance > summary.threshold) {
+      close_cluster(cluster_start, i);
+      cluster_start = i;
+    }
+  }
+  close_cluster(cluster_start, points.size());
+  return summary;
+}
+
+std::vector<SamplePoint> PointsFromFrames(
+    const std::vector<kinect::SkeletonFrame>& frames,
+    const std::vector<kinect::JointId>& joints) {
+  std::vector<SamplePoint> points;
+  points.reserve(frames.size());
+  for (const kinect::SkeletonFrame& frame : frames) {
+    SamplePoint point;
+    point.timestamp = frame.timestamp;
+    for (kinect::JointId joint : joints) {
+      point.joints[joint] = frame.joint(joint);
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace epl::core

@@ -1,0 +1,81 @@
+// Distance-based sampling (paper Sec. 3.3.1, Fig. 4): reduces a recorded
+// gesture sample (a dense 30 Hz tuple sequence) to a short sequence of
+// characteristic pose centroids by clustering consecutive similar points,
+// comparable to density-based clustering.
+
+#ifndef EPL_CORE_SAMPLER_H_
+#define EPL_CORE_SAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/distance.h"
+#include "common/time_util.h"
+
+namespace epl::core {
+
+/// One input point of a sample (a transformed sensor tuple restricted to
+/// the involved joints).
+struct SamplePoint {
+  TimePoint timestamp = 0;
+  JointPose joints;
+};
+
+/// One extracted characteristic pose.
+struct PoseCentroid {
+  int sequence = 0;
+  JointPose joints;
+  /// Offset of this pose from the start of the sample.
+  Duration time_offset = 0;
+  /// Number of tuples clustered into this pose.
+  int support = 0;
+};
+
+struct SamplerConfig {
+  /// Distance between cluster reference and current point; a new cluster
+  /// starts when it exceeds the threshold. Defaults to Euclidean.
+  std::shared_ptr<DistanceMetric> metric;
+  /// Threshold as a fraction of the total path deviation of the sample
+  /// (the paper's "at least x% of the total deviation observed").
+  double threshold_pct = 0.12;
+  /// Absolute threshold; when > 0 it overrides threshold_pct.
+  double absolute_threshold = 0.0;
+  /// Cluster centroid: the cluster's first tuple (the paper's reference
+  /// behaviour) or the mean of its members (noise-robust variant).
+  enum class CentroidMode { kReference, kMean };
+  CentroidMode centroid_mode = CentroidMode::kReference;
+};
+
+/// Result of sampling one recorded gesture sample.
+struct SampleSummary {
+  std::vector<PoseCentroid> centroids;
+  /// Total path deviation (sum of consecutive distances).
+  double path_length = 0.0;
+  /// The threshold actually used (absolute units of the metric).
+  double threshold = 0.0;
+  int frame_count = 0;
+  Duration duration = 0;
+};
+
+class DistanceSampler {
+ public:
+  explicit DistanceSampler(SamplerConfig config = SamplerConfig());
+
+  /// Extracts characteristic poses. Fails on an empty sample.
+  Result<SampleSummary> Run(const std::vector<SamplePoint>& points) const;
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  SamplerConfig config_;
+};
+
+/// Restricts transformed skeleton frames to `joints`, producing sampler
+/// input.
+std::vector<SamplePoint> PointsFromFrames(
+    const std::vector<kinect::SkeletonFrame>& frames,
+    const std::vector<kinect::JointId>& joints);
+
+}  // namespace epl::core
+
+#endif  // EPL_CORE_SAMPLER_H_

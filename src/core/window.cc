@@ -1,0 +1,121 @@
+#include "core/window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace epl::core {
+
+bool JointWindow::Intersects(const JointWindow& other) const {
+  for (int axis = 0; axis < 3; ++axis) {
+    size_t a = static_cast<size_t>(axis);
+    if (!active[a] || !other.active[a]) {
+      continue;
+    }
+    double gap = std::abs(center[axis] - other.center[axis]);
+    if (gap >= half_width[axis] + other.half_width[axis]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double JointWindow::ContainmentIn(const JointWindow& other) const {
+  double fraction = 1.0;
+  bool any_active = false;
+  for (int axis = 0; axis < 3; ++axis) {
+    size_t a = static_cast<size_t>(axis);
+    if (!active[a] || !other.active[a]) {
+      continue;
+    }
+    any_active = true;
+    double lo = std::max(center[axis] - half_width[axis],
+                         other.center[axis] - other.half_width[axis]);
+    double hi = std::min(center[axis] + half_width[axis],
+                         other.center[axis] + other.half_width[axis]);
+    double extent = 2.0 * half_width[axis];
+    if (extent <= 0.0) {
+      fraction *= (hi >= lo) ? 1.0 : 0.0;
+    } else {
+      fraction *= std::max(0.0, hi - lo) / extent;
+    }
+  }
+  return any_active ? fraction : 1.0;
+}
+
+void JointWindow::Widen(double factor, double margin, double min_half_width) {
+  for (int axis = 0; axis < 3; ++axis) {
+    half_width[axis] =
+        std::max(half_width[axis] * factor + margin, min_half_width);
+  }
+}
+
+std::string JointWindow::ToString() const {
+  std::string out = "center " + center.ToString() + " width " +
+                    half_width.ToString();
+  if (NumActiveAxes() < 3) {
+    out += " axes[";
+    for (int axis = 0; axis < 3; ++axis) {
+      if (active[static_cast<size_t>(axis)]) {
+        out += AxisName(axis);
+      }
+    }
+    out += "]";
+  }
+  return out;
+}
+
+bool PoseWindow::Contains(
+    const std::map<kinect::JointId, Vec3>& positions) const {
+  for (const auto& [joint, window] : joints) {
+    auto it = positions.find(joint);
+    if (it == positions.end() || !window.Contains(it->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PoseWindow::Intersects(const PoseWindow& other) const {
+  for (const auto& [joint, window] : joints) {
+    auto it = other.joints.find(joint);
+    if (it != other.joints.end() && !window.Intersects(it->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double PoseWindow::ContainmentIn(const PoseWindow& other) const {
+  double fraction = 1.0;
+  for (const auto& [joint, window] : joints) {
+    auto it = other.joints.find(joint);
+    if (it != other.joints.end()) {
+      fraction = std::min(fraction, window.ContainmentIn(it->second));
+    }
+  }
+  return fraction;
+}
+
+void PoseWindow::Widen(double factor, double margin, double min_half_width) {
+  for (auto& [joint, window] : joints) {
+    window.Widen(factor, margin, min_half_width);
+  }
+}
+
+std::string PoseWindow::ToString() const {
+  std::string out;
+  for (const auto& [joint, window] : joints) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += std::string(kinect::JointName(joint)) + " " + window.ToString();
+  }
+  if (max_gap > 0) {
+    out += StrFormat(" (within %s)", FormatDuration(max_gap).c_str());
+  }
+  return out;
+}
+
+}  // namespace epl::core

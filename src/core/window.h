@@ -1,0 +1,81 @@
+// Pose windows: multi-dimensional rectangles describing where involved
+// joints must be for a pose to match (paper Sec. 3.3: "we express these
+// regions as multi-dimensional rectangles ('windows'), having a center
+// point ... and a width in each dimension").
+
+#ifndef EPL_CORE_WINDOW_H_
+#define EPL_CORE_WINDOW_H_
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/time_util.h"
+#include "common/vec3.h"
+#include "kinect/skeleton.h"
+
+namespace epl::core {
+
+/// Axis-aligned box for one joint: |coord - center| < half_width per axis.
+/// Axes can be deactivated by the optimizer (coordinate elimination,
+/// paper Sec. 3.3.3); inactive axes produce no predicate.
+struct JointWindow {
+  Vec3 center;
+  Vec3 half_width;
+  std::array<bool, 3> active = {true, true, true};
+
+  bool Contains(const Vec3& point) const {
+    for (int axis = 0; axis < 3; ++axis) {
+      if (active[static_cast<size_t>(axis)] &&
+          std::abs(point[axis] - center[axis]) >= half_width[axis]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True when the boxes overlap on every active axis (an axis inactive on
+  /// either side is unconstrained and always overlaps).
+  bool Intersects(const JointWindow& other) const;
+
+  /// Fraction of this box's active-axis extent covered by the
+  /// intersection with `other` (1 = fully contained). Returns 1 when no
+  /// axis is active.
+  double ContainmentIn(const JointWindow& other) const;
+
+  /// Grows the box: half_width = max(half_width * factor + margin, min_hw).
+  void Widen(double factor, double margin, double min_half_width);
+
+  int NumActiveAxes() const {
+    return static_cast<int>(active[0]) + static_cast<int>(active[1]) +
+           static_cast<int>(active[2]);
+  }
+
+  std::string ToString() const;
+};
+
+/// One pose of a gesture: a window per involved joint plus the time budget
+/// from the previous pose (the `within` bound of the generated query).
+struct PoseWindow {
+  std::map<kinect::JointId, JointWindow> joints;
+  /// Maximum allowed time since the previous pose (0 for the first pose).
+  Duration max_gap = 0;
+
+  /// True when every involved joint of `positions` lies inside its window.
+  bool Contains(const std::map<kinect::JointId, Vec3>& positions) const;
+
+  bool Intersects(const PoseWindow& other) const;
+
+  /// Minimum containment over joints present in both (1 when disjoint
+  /// joint sets).
+  double ContainmentIn(const PoseWindow& other) const;
+
+  void Widen(double factor, double margin, double min_half_width);
+
+  std::string ToString() const;
+};
+
+}  // namespace epl::core
+
+#endif  // EPL_CORE_WINDOW_H_

@@ -1,0 +1,196 @@
+#include "gesturedb/serialization.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace epl::gesturedb {
+
+using core::GestureDefinition;
+using core::JointWindow;
+using core::PoseWindow;
+using kinect::JointId;
+
+namespace {
+constexpr char kMagic[] = "epl-gesture v1";
+}  // namespace
+
+std::string Serialize(const GestureDefinition& definition) {
+  std::string out = std::string(kMagic) + "\n";
+  out += "name: " + definition.name + "\n";
+  out += "stream: " + definition.source_stream + "\n";
+  out += StrFormat("samples: %d\n", definition.sample_count);
+  out += "joints:";
+  for (JointId joint : definition.joints) {
+    out += " " + std::string(kinect::JointName(joint));
+  }
+  out += "\n";
+  if (!definition.notes.empty()) {
+    out += "notes: " + definition.notes + "\n";
+  }
+  for (const PoseWindow& pose : definition.poses) {
+    out += StrFormat("pose gap_us=%lld\n",
+                     static_cast<long long>(pose.max_gap));
+    for (JointId joint : definition.joints) {
+      const JointWindow& window = pose.joints.at(joint);
+      out += StrFormat(
+          "  joint %s center %s %s %s half %s %s %s axes ",
+          std::string(kinect::JointName(joint)).c_str(),
+          FormatNumber(window.center.x).c_str(),
+          FormatNumber(window.center.y).c_str(),
+          FormatNumber(window.center.z).c_str(),
+          FormatNumber(window.half_width.x).c_str(),
+          FormatNumber(window.half_width.y).c_str(),
+          FormatNumber(window.half_width.z).c_str());
+      bool any = false;
+      for (int axis = 0; axis < 3; ++axis) {
+        if (window.active[static_cast<size_t>(axis)]) {
+          out += AxisName(axis);
+          any = true;
+        }
+      }
+      if (!any) {
+        out += "-";
+      }
+      out += "\n";
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+namespace {
+
+Result<double> TokenToDouble(const std::vector<std::string>& tokens,
+                             size_t index) {
+  if (index >= tokens.size()) {
+    return DataLossError("truncated line in gesture file");
+  }
+  return ParseDouble(tokens[index]);
+}
+
+}  // namespace
+
+Result<GestureDefinition> Deserialize(const std::string& text) {
+  std::istringstream input(text);
+  std::string line;
+  GestureDefinition definition;
+  bool magic_seen = false;
+  bool end_seen = false;
+  PoseWindow* current_pose = nullptr;
+  int line_number = 0;
+
+  while (std::getline(input, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') {
+      continue;
+    }
+    std::string content(stripped);
+    auto error = [&](const std::string& message) {
+      return DataLossError(
+          StrFormat("gesture file line %d: %s", line_number,
+                    message.c_str()));
+    };
+
+    if (!magic_seen) {
+      if (content != kMagic) {
+        return error("expected header '" + std::string(kMagic) + "'");
+      }
+      magic_seen = true;
+      continue;
+    }
+    if (content == "end") {
+      end_seen = true;
+      break;
+    }
+    if (StartsWith(content, "name: ")) {
+      definition.name = content.substr(6);
+      continue;
+    }
+    if (StartsWith(content, "stream: ")) {
+      definition.source_stream = content.substr(8);
+      continue;
+    }
+    if (StartsWith(content, "samples: ")) {
+      EPL_ASSIGN_OR_RETURN(int64_t samples, ParseInt64(content.substr(9)));
+      definition.sample_count = static_cast<int>(samples);
+      continue;
+    }
+    if (StartsWith(content, "notes: ")) {
+      definition.notes = content.substr(7);
+      continue;
+    }
+    if (StartsWith(content, "joints:")) {
+      std::vector<std::string> names =
+          StrSplit(std::string(StripWhitespace(content.substr(7))), ' ');
+      for (const std::string& name : names) {
+        if (name.empty()) {
+          continue;
+        }
+        Result<JointId> joint = kinect::JointFromName(name);
+        if (!joint.ok()) {
+          return error("unknown joint '" + name + "'");
+        }
+        definition.joints.push_back(*joint);
+      }
+      continue;
+    }
+    if (StartsWith(content, "pose gap_us=")) {
+      EPL_ASSIGN_OR_RETURN(int64_t gap, ParseInt64(content.substr(12)));
+      PoseWindow pose;
+      pose.max_gap = gap;
+      definition.poses.push_back(std::move(pose));
+      current_pose = &definition.poses.back();
+      continue;
+    }
+    if (StartsWith(content, "joint ")) {
+      if (current_pose == nullptr) {
+        return error("joint line outside a pose block");
+      }
+      std::vector<std::string> tokens = StrSplit(content, ' ');
+      // joint <name> center x y z half x y z axes <flags>
+      if (tokens.size() != 12 || tokens[2] != "center" ||
+          tokens[6] != "half" || tokens[10] != "axes") {
+        return error("malformed joint line");
+      }
+      Result<JointId> joint = kinect::JointFromName(tokens[1]);
+      if (!joint.ok()) {
+        return error("unknown joint '" + tokens[1] + "'");
+      }
+      JointWindow window;
+      EPL_ASSIGN_OR_RETURN(window.center.x, TokenToDouble(tokens, 3));
+      EPL_ASSIGN_OR_RETURN(window.center.y, TokenToDouble(tokens, 4));
+      EPL_ASSIGN_OR_RETURN(window.center.z, TokenToDouble(tokens, 5));
+      EPL_ASSIGN_OR_RETURN(window.half_width.x, TokenToDouble(tokens, 7));
+      EPL_ASSIGN_OR_RETURN(window.half_width.y, TokenToDouble(tokens, 8));
+      EPL_ASSIGN_OR_RETURN(window.half_width.z, TokenToDouble(tokens, 9));
+      window.active = {false, false, false};
+      for (char axis : tokens[11]) {
+        if (axis == 'x') {
+          window.active[0] = true;
+        } else if (axis == 'y') {
+          window.active[1] = true;
+        } else if (axis == 'z') {
+          window.active[2] = true;
+        } else if (axis != '-') {
+          return error("bad axis flags");
+        }
+      }
+      (*current_pose).joints[*joint] = window;
+      continue;
+    }
+    return error("unrecognized line '" + content + "'");
+  }
+
+  if (!magic_seen) {
+    return DataLossError("gesture file is empty or missing header");
+  }
+  if (!end_seen) {
+    return DataLossError("gesture file truncated (missing 'end')");
+  }
+  EPL_RETURN_IF_ERROR(definition.Validate().WithContext("gesture file"));
+  return definition;
+}
+
+}  // namespace epl::gesturedb

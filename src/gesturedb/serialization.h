@@ -1,0 +1,35 @@
+// Versioned text serialization of GestureDefinitions (the "Gesture
+// Database" persistence format, paper Fig. 2).
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   epl-gesture v1
+//   name: swipe_right
+//   stream: kinect_t
+//   samples: 4
+//   joints: rHand lHand
+//   notes: optional free text
+//   pose gap_us=0
+//     joint rHand center 0 150 -120 half 50 50 50 axes xyz
+//     joint lHand center -185 -195 0 half 50 50 50 axes xy
+//   pose gap_us=1000000
+//     ...
+//   end
+
+#ifndef EPL_GESTUREDB_SERIALIZATION_H_
+#define EPL_GESTUREDB_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/gesture_definition.h"
+
+namespace epl::gesturedb {
+
+std::string Serialize(const core::GestureDefinition& definition);
+
+Result<core::GestureDefinition> Deserialize(const std::string& text);
+
+}  // namespace epl::gesturedb
+
+#endif  // EPL_GESTUREDB_SERIALIZATION_H_

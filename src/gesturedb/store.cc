@@ -1,0 +1,161 @@
+#include "gesturedb/store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "gesturedb/serialization.h"
+#include "kinect/trace_io.h"
+
+namespace epl::gesturedb {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kExtension[] = ".gesture";
+
+Status ValidateName(const std::string& name) {
+  if (name.empty()) {
+    return InvalidArgumentError("gesture name is empty");
+  }
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) {
+      return InvalidArgumentError(
+          "gesture name must be [A-Za-z0-9_-]: '" + name + "'");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+GestureStore::GestureStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+Result<GestureStore> GestureStore::Open(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return InternalError("cannot create store directory: " + directory +
+                         ": " + ec.message());
+  }
+  return GestureStore(directory);
+}
+
+std::string GestureStore::GesturePath(const std::string& name) const {
+  return directory_ + "/" + name + kExtension;
+}
+
+std::string GestureStore::SampleDir(const std::string& name) const {
+  return directory_ + "/samples/" + name;
+}
+
+Status GestureStore::Put(const core::GestureDefinition& definition) {
+  EPL_RETURN_IF_ERROR(ValidateName(definition.name));
+  EPL_RETURN_IF_ERROR(definition.Validate());
+  return WriteStringToFile(GesturePath(definition.name),
+                           Serialize(definition));
+}
+
+Result<core::GestureDefinition> GestureStore::Get(
+    const std::string& name) const {
+  EPL_RETURN_IF_ERROR(ValidateName(name));
+  Result<std::string> text = ReadFileToString(GesturePath(name));
+  if (!text.ok()) {
+    return NotFoundError("gesture not stored: " + name);
+  }
+  Result<core::GestureDefinition> definition = Deserialize(*text);
+  if (!definition.ok()) {
+    return definition.status().WithContext(GesturePath(name));
+  }
+  return definition;
+}
+
+bool GestureStore::Exists(const std::string& name) const {
+  std::error_code ec;
+  return fs::exists(GesturePath(name), ec);
+}
+
+Status GestureStore::Remove(const std::string& name) {
+  EPL_RETURN_IF_ERROR(ValidateName(name));
+  if (!Exists(name)) {
+    return NotFoundError("gesture not stored: " + name);
+  }
+  std::error_code ec;
+  fs::remove(GesturePath(name), ec);
+  if (ec) {
+    return InternalError("cannot remove " + GesturePath(name));
+  }
+  fs::remove_all(SampleDir(name), ec);
+  return OkStatus();
+}
+
+Result<std::vector<std::string>> GestureStore::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string filename = entry.path().filename().string();
+    if (EndsWith(filename, kExtension)) {
+      names.push_back(
+          filename.substr(0, filename.size() - sizeof(kExtension) + 1));
+    }
+  }
+  if (ec) {
+    return InternalError("cannot list store directory: " + ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<int> GestureStore::AddSample(
+    const std::string& gesture_name,
+    const std::vector<kinect::SkeletonFrame>& frames) {
+  EPL_RETURN_IF_ERROR(ValidateName(gesture_name));
+  std::error_code ec;
+  fs::create_directories(SampleDir(gesture_name), ec);
+  if (ec) {
+    return InternalError("cannot create sample directory");
+  }
+  EPL_ASSIGN_OR_RETURN(int index, SampleCount(gesture_name));
+  std::string path =
+      SampleDir(gesture_name) + "/" + std::to_string(index) + ".csv";
+  EPL_RETURN_IF_ERROR(kinect::WriteTrace(path, frames));
+  return index;
+}
+
+Result<std::vector<kinect::SkeletonFrame>> GestureStore::GetSample(
+    const std::string& gesture_name, int index) const {
+  std::string path =
+      SampleDir(gesture_name) + "/" + std::to_string(index) + ".csv";
+  return kinect::ReadTrace(path);
+}
+
+Result<int> GestureStore::SampleCount(
+    const std::string& gesture_name) const {
+  std::error_code ec;
+  if (!fs::exists(SampleDir(gesture_name), ec)) {
+    return 0;
+  }
+  int count = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(SampleDir(gesture_name), ec)) {
+    if (entry.is_regular_file() &&
+        EndsWith(entry.path().filename().string(), ".csv")) {
+      ++count;
+    }
+  }
+  if (ec) {
+    return InternalError("cannot list sample directory");
+  }
+  return count;
+}
+
+}  // namespace epl::gesturedb

@@ -1,0 +1,61 @@
+// GestureStore: directory-backed persistence for gesture definitions and
+// their raw training samples (paper Fig. 2: "All gesture patterns are
+// stored in a database"; "the sample data is stored in a database for
+// further processing and manual debugging").
+//
+// Layout:
+//   <root>/<name>.gesture            serialized definition
+//   <root>/samples/<name>/<k>.csv    raw recorded sample traces
+
+#ifndef EPL_GESTUREDB_STORE_H_
+#define EPL_GESTUREDB_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/gesture_definition.h"
+#include "kinect/skeleton.h"
+
+namespace epl::gesturedb {
+
+class GestureStore {
+ public:
+  /// Opens (and creates if necessary) the store rooted at `directory`.
+  static Result<GestureStore> Open(const std::string& directory);
+
+  /// Writes or overwrites a definition.
+  Status Put(const core::GestureDefinition& definition);
+
+  Result<core::GestureDefinition> Get(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+
+  /// Removes the definition and its samples.
+  Status Remove(const std::string& name);
+
+  /// Sorted names of all stored gestures.
+  Result<std::vector<std::string>> List() const;
+
+  /// Appends a raw training sample for `gesture_name`; returns its index.
+  Result<int> AddSample(const std::string& gesture_name,
+                        const std::vector<kinect::SkeletonFrame>& frames);
+
+  Result<std::vector<kinect::SkeletonFrame>> GetSample(
+      const std::string& gesture_name, int index) const;
+
+  Result<int> SampleCount(const std::string& gesture_name) const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  explicit GestureStore(std::string directory);
+
+  std::string GesturePath(const std::string& name) const;
+  std::string SampleDir(const std::string& name) const;
+
+  std::string directory_;
+};
+
+}  // namespace epl::gesturedb
+
+#endif  // EPL_GESTUREDB_STORE_H_

@@ -1,0 +1,168 @@
+#include "kinect/body_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/mat3.h"
+
+namespace epl::kinect {
+namespace {
+
+// Neutral-pose joint offsets from the torso for the reference body
+// (1750 mm), user space: X lateral (toward the camera's right when facing
+// it), Y up, Z behind the user.
+Vec3 ReferenceNeutralOffset(JointId joint) {
+  switch (joint) {
+    case JointId::kHead:
+      return Vec3(0, 577, 0);
+    case JointId::kNeck:
+      return Vec3(0, 437, 0);
+    case JointId::kTorso:
+      return Vec3(0, 0, 0);
+    case JointId::kLeftShoulder:
+      return Vec3(-165, 385, 0);
+    case JointId::kLeftElbow:
+      return Vec3(-175, 85, 0);
+    case JointId::kLeftHand:
+      return Vec3(-185, -195, 0);
+    case JointId::kRightShoulder:
+      return Vec3(165, 385, 0);
+    case JointId::kRightElbow:
+      return Vec3(175, 85, 0);
+    case JointId::kRightHand:
+      return Vec3(185, -195, 0);
+    case JointId::kLeftHip:
+      return Vec3(-90, -140, 0);
+    case JointId::kLeftKnee:
+      return Vec3(-95, -560, 0);
+    case JointId::kLeftFoot:
+      return Vec3(-100, -1000, 30);
+    case JointId::kRightHip:
+      return Vec3(90, -140, 0);
+    case JointId::kRightKnee:
+      return Vec3(95, -560, 0);
+    case JointId::kRightFoot:
+      return Vec3(100, -1000, 30);
+  }
+  return Vec3();
+}
+
+}  // namespace
+
+BodyModel::BodyModel(const UserProfile& profile) : profile_(profile) {
+  EPL_CHECK(profile.height_mm > 500.0) << "implausible height";
+  size_factor_ = profile.height_mm / kReferenceHeightMm;
+  upper_arm_length_ =
+      kReferenceUpperArmMm * size_factor_ * profile.arm_scale;
+  forearm_length_ = kReferenceForearmMm * size_factor_ * profile.arm_scale;
+}
+
+Vec3 BodyModel::NeutralOffset(JointId joint) const {
+  return ReferenceNeutralOffset(joint) * size_factor_;
+}
+
+Vec3 BodyModel::UserToCamera(const Vec3& user_offset) const {
+  // User space equals camera space for a user facing the camera (yaw 0);
+  // yaw rotates the body about the vertical axis.
+  Mat3 rotation = Mat3::RotationY(profile_.yaw_rad);
+  return profile_.torso_position + rotation.Apply(user_offset);
+}
+
+SkeletonFrame BodyModel::NeutralFrame(TimePoint timestamp) const {
+  SkeletonFrame frame;
+  frame.timestamp = timestamp;
+  for (JointId joint : AllJoints()) {
+    frame.joint(joint) = UserToCamera(NeutralOffset(joint));
+  }
+  return frame;
+}
+
+Vec3 BodyModel::SolveElbow(const Vec3& shoulder, Vec3* hand,
+                           bool right_side) const {
+  const double l1 = upper_arm_length_;
+  const double l2 = forearm_length_;
+  Vec3 to_hand = *hand - shoulder;
+  double d = to_hand.Norm();
+  const double max_reach = l1 + l2 - 1e-6;
+  const double min_reach = std::abs(l1 - l2) + 1e-6;
+  if (d < 1e-9) {
+    // Degenerate: hand on the shoulder. Drop the arm straight down.
+    *hand = shoulder + Vec3(0, -min_reach, 0);
+    to_hand = *hand - shoulder;
+    d = to_hand.Norm();
+  }
+  if (d > max_reach) {
+    *hand = shoulder + to_hand * (max_reach / d);
+    to_hand = *hand - shoulder;
+    d = max_reach;
+  } else if (d < min_reach) {
+    *hand = shoulder + to_hand * (min_reach / d);
+    to_hand = *hand - shoulder;
+    d = min_reach;
+  }
+  Vec3 along = to_hand / d;
+  // Law of cosines: distance from the shoulder to the elbow's projection
+  // onto the shoulder-hand axis.
+  double a = (l1 * l1 - l2 * l2 + d * d) / (2.0 * d);
+  double r_sq = l1 * l1 - a * a;
+  double r = r_sq > 0.0 ? std::sqrt(r_sq) : 0.0;
+  // Bend direction: biased down and slightly outward, orthogonalized
+  // against the shoulder-hand axis.
+  Vec3 bias(right_side ? 0.35 : -0.35, -1.0, 0.1);
+  Vec3 bend = bias - along * bias.Dot(along);
+  double bend_norm = bend.Norm();
+  if (bend_norm < 1e-9) {
+    // Arm points straight down: bend backward.
+    bend = Vec3(0, 0, 1) - along * along.z;
+    bend_norm = bend.Norm();
+    if (bend_norm < 1e-9) {
+      bend = Vec3(0, 0, 1);
+      bend_norm = 1.0;
+    }
+  }
+  bend = bend / bend_norm;
+  return shoulder + along * a + bend * r;
+}
+
+SkeletonFrame BodyModel::PoseFrame(TimePoint timestamp,
+                                   const Vec3& right_hand_offset,
+                                   const Vec3& left_hand_offset) const {
+  SkeletonFrame frame;
+  frame.timestamp = timestamp;
+
+  // Gesture shapes are authored for the reference body; scale them to this
+  // user so that movement amplitude tracks body size.
+  double shape_scale = size_factor_ * profile_.arm_scale;
+  Vec3 right_hand = right_hand_offset * shape_scale;
+  Vec3 left_hand = left_hand_offset * shape_scale;
+
+  Vec3 right_shoulder = NeutralOffset(JointId::kRightShoulder);
+  Vec3 left_shoulder = NeutralOffset(JointId::kLeftShoulder);
+  Vec3 right_elbow = SolveElbow(right_shoulder, &right_hand, true);
+  Vec3 left_elbow = SolveElbow(left_shoulder, &left_hand, false);
+
+  for (JointId joint : AllJoints()) {
+    Vec3 offset;
+    switch (joint) {
+      case JointId::kRightHand:
+        offset = right_hand;
+        break;
+      case JointId::kRightElbow:
+        offset = right_elbow;
+        break;
+      case JointId::kLeftHand:
+        offset = left_hand;
+        break;
+      case JointId::kLeftElbow:
+        offset = left_elbow;
+        break;
+      default:
+        offset = NeutralOffset(joint);
+        break;
+    }
+    frame.joint(joint) = UserToCamera(offset);
+  }
+  return frame;
+}
+
+}  // namespace epl::kinect

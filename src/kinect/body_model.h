@@ -1,0 +1,79 @@
+// Parametric human body model used by the gesture synthesizer.
+//
+// The model produces anatomically plausible skeleton frames for users of
+// different heights, arm lengths, positions and orientations — exactly the
+// user-to-user variation the paper's data transformation stage (Sec. 3.2)
+// must normalize away. Arm bone lengths are rigid: elbows are placed by
+// two-bone inverse kinematics, so the forearm length (the paper's scale
+// factor) stays constant throughout a gesture.
+
+#ifndef EPL_KINECT_BODY_MODEL_H_
+#define EPL_KINECT_BODY_MODEL_H_
+
+#include "common/vec3.h"
+#include "kinect/skeleton.h"
+
+namespace epl::kinect {
+
+/// Who is standing in front of the camera and where.
+struct UserProfile {
+  /// Body height in millimeters (reference adult: 1750).
+  double height_mm = 1750.0;
+  /// Extra arm length factor on top of height scaling (children vs adults
+  /// have slightly different proportions).
+  double arm_scale = 1.0;
+  /// Torso position in camera space (paper trace: roughly (45, 165, 1960)).
+  Vec3 torso_position = Vec3(0.0, 150.0, 2000.0);
+  /// Rotation about the vertical axis; 0 = facing the camera.
+  double yaw_rad = 0.0;
+};
+
+/// Reference proportions (height 1750 mm).
+inline constexpr double kReferenceHeightMm = 1750.0;
+inline constexpr double kReferenceUpperArmMm = 300.0;
+inline constexpr double kReferenceForearmMm = 280.0;
+
+class BodyModel {
+ public:
+  explicit BodyModel(const UserProfile& profile);
+
+  const UserProfile& profile() const { return profile_; }
+
+  /// Overall body scale factor (height / reference height).
+  double size_factor() const { return size_factor_; }
+  /// Rigid forearm length of this user (the paper's scale factor).
+  double forearm_length() const { return forearm_length_; }
+  double upper_arm_length() const { return upper_arm_length_; }
+
+  /// Joint offset from the torso in *user space* for the neutral standing
+  /// pose (arms hanging). User space: X lateral, Y up, Z behind the user.
+  Vec3 NeutralOffset(JointId joint) const;
+
+  /// Full frame for the neutral pose, in camera space.
+  SkeletonFrame NeutralFrame(TimePoint timestamp) const;
+
+  /// Builds a camera-space frame with the hands at the given *user-space*
+  /// offsets from the torso (reference-sized coordinates: the same shape
+  /// values work for every user; they are scaled by size internally).
+  /// Elbows follow by IK; hands beyond reach are clamped to full extension.
+  /// Other joints take their neutral pose.
+  SkeletonFrame PoseFrame(TimePoint timestamp, const Vec3& right_hand_offset,
+                          const Vec3& left_hand_offset) const;
+
+  /// Converts a user-space offset from the torso to camera space.
+  Vec3 UserToCamera(const Vec3& user_offset) const;
+
+ private:
+  /// Two-bone IK: elbow position for a hand at `hand` (user space, this
+  /// user's scale) relative to shoulder at `shoulder`.
+  Vec3 SolveElbow(const Vec3& shoulder, Vec3* hand, bool right_side) const;
+
+  UserProfile profile_;
+  double size_factor_;
+  double upper_arm_length_;
+  double forearm_length_;
+};
+
+}  // namespace epl::kinect
+
+#endif  // EPL_KINECT_BODY_MODEL_H_

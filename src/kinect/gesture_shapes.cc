@@ -1,0 +1,167 @@
+#include "kinect/gesture_shapes.h"
+
+#include <cmath>
+
+namespace epl::kinect {
+
+std::vector<JointId> GestureShape::InvolvedJoints() const {
+  std::vector<JointId> joints;
+  if (uses_right_hand) {
+    joints.push_back(JointId::kRightHand);
+  }
+  if (uses_left_hand) {
+    joints.push_back(JointId::kLeftHand);
+  }
+  return joints;
+}
+
+Vec3 NeutralRightHandOffset() { return Vec3(185, -195, 0); }
+Vec3 NeutralLeftHandOffset() { return Vec3(-185, -195, 0); }
+
+namespace {
+
+GestureShape RightHandShape(std::string name,
+                            std::function<Vec3(double)> path,
+                            double duration_s) {
+  GestureShape shape;
+  shape.name = std::move(name);
+  shape.uses_right_hand = true;
+  shape.uses_left_hand = false;
+  shape.right_path = std::move(path);
+  shape.left_path = [](double) { return NeutralLeftHandOffset(); };
+  shape.nominal_duration_s = duration_s;
+  return shape;
+}
+
+}  // namespace
+
+GestureShape GestureShapes::SwipeRight() {
+  // Lateral sweep with the arm reaching forward mid-path (Fig. 2 left:
+  // x 0 -> 640, constant height above the torso, z dipping forward).
+  return RightHandShape(
+      "swipe_right",
+      [](double t) {
+        return Vec3(640.0 * t - 0.0, 150.0,
+                    -120.0 - 200.0 * std::sin(M_PI * t));
+      },
+      1.0);
+}
+
+GestureShape GestureShapes::SwipeLeft() {
+  return RightHandShape(
+      "swipe_left",
+      [](double t) {
+        return Vec3(640.0 * (1.0 - t), 150.0,
+                    -120.0 - 200.0 * std::sin(M_PI * t));
+      },
+      1.0);
+}
+
+GestureShape GestureShapes::PushForward() {
+  return RightHandShape(
+      "push_forward",
+      [](double t) {
+        return Vec3(160.0, 80.0 + 40.0 * t, -140.0 - 380.0 * t);
+      },
+      1.0);
+}
+
+GestureShape GestureShapes::RaiseHand() {
+  return RightHandShape(
+      "raise_hand",
+      [](double t) {
+        return Vec3(210.0, -250.0 + 750.0 * t, -130.0 - 60.0 * t);
+      },
+      1.0);
+}
+
+GestureShape GestureShapes::Circle() {
+  // Large clockwise circle in the frontal plane, starting at the top
+  // (Fig. 2 right).
+  return RightHandShape(
+      "circle",
+      [](double t) {
+        double angle = 2.0 * M_PI * t;
+        return Vec3(330.0 * std::sin(angle),
+                    250.0 + 330.0 * std::cos(angle), -140.0);
+      },
+      1.8);
+}
+
+GestureShape GestureShapes::Wave() {
+  // Oscillation above the shoulder: two full periods (paper Sec. 3.1:
+  // wave starts the recording of a new sample).
+  return RightHandShape(
+      "wave",
+      [](double t) {
+        return Vec3(260.0 + 140.0 * std::sin(4.0 * M_PI * t),
+                    380.0 + 30.0 * std::sin(2.0 * M_PI * t), -160.0);
+      },
+      1.6);
+}
+
+GestureShape GestureShapes::HandsUp() {
+  GestureShape shape;
+  shape.name = "hands_up";
+  shape.uses_right_hand = true;
+  shape.uses_left_hand = true;
+  shape.right_path = [](double t) {
+    return Vec3(230.0, -220.0 + 700.0 * t, -140.0);
+  };
+  shape.left_path = [](double t) {
+    return Vec3(-230.0, -220.0 + 700.0 * t, -140.0);
+  };
+  shape.nominal_duration_s = 1.0;
+  return shape;
+}
+
+GestureShape GestureShapes::TwoHandSwipe() {
+  GestureShape shape;
+  shape.name = "two_hand_swipe";
+  shape.uses_right_hand = true;
+  shape.uses_left_hand = true;
+  shape.right_path = [](double t) {
+    return Vec3(120.0 + 430.0 * t, 140.0, -150.0 - 120.0 * std::sin(M_PI * t));
+  };
+  shape.left_path = [](double t) {
+    return Vec3(-120.0 - 430.0 * t, 140.0,
+                -150.0 - 120.0 * std::sin(M_PI * t));
+  };
+  shape.nominal_duration_s = 1.0;
+  return shape;
+}
+
+Result<GestureShape> GestureShapes::ByName(const std::string& name) {
+  if (name == "swipe_right") {
+    return SwipeRight();
+  }
+  if (name == "swipe_left") {
+    return SwipeLeft();
+  }
+  if (name == "push_forward") {
+    return PushForward();
+  }
+  if (name == "raise_hand") {
+    return RaiseHand();
+  }
+  if (name == "circle") {
+    return Circle();
+  }
+  if (name == "wave") {
+    return Wave();
+  }
+  if (name == "hands_up") {
+    return HandsUp();
+  }
+  if (name == "two_hand_swipe") {
+    return TwoHandSwipe();
+  }
+  return NotFoundError("unknown gesture shape: " + name);
+}
+
+std::vector<std::string> GestureShapes::Names() {
+  return {"swipe_right", "swipe_left",  "push_forward", "raise_hand",
+          "circle",      "wave",        "hands_up",     "two_hand_swipe"};
+}
+
+}  // namespace epl::kinect

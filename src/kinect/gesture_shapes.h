@@ -1,0 +1,72 @@
+// Parametric gesture shape catalog.
+//
+// A shape defines, for t in [0,1], the user-space offset of each hand from
+// the torso for the *reference* body (1750 mm, forearm 280 mm); the body
+// model rescales for other users. The catalog covers the gestures the
+// paper uses (swipe, circle, wave, two-hand swipe as the control gesture)
+// plus additional vocabulary for the selectivity experiments.
+
+#ifndef EPL_KINECT_GESTURE_SHAPES_H_
+#define EPL_KINECT_GESTURE_SHAPES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/vec3.h"
+#include "kinect/skeleton.h"
+
+namespace epl::kinect {
+
+/// Hand trajectory of one gesture. Offsets are from the torso, user space
+/// (X lateral, Y up, Z behind; "in front of the user" is negative Z).
+struct GestureShape {
+  std::string name;
+  bool uses_right_hand = true;
+  bool uses_left_hand = false;
+  /// Hand offset at path position t in [0,1].
+  std::function<Vec3(double)> right_path;
+  std::function<Vec3(double)> left_path;
+  /// Nominal duration of one performance, seconds.
+  double nominal_duration_s = 1.2;
+
+  /// Joints that move: the involved hands (what the learner should mine).
+  std::vector<JointId> InvolvedJoints() const;
+};
+
+/// Reference neutral hand offsets (arms hanging).
+Vec3 NeutralRightHandOffset();
+Vec3 NeutralLeftHandOffset();
+
+/// Catalog of built-in shapes.
+class GestureShapes {
+ public:
+  /// Right hand sweeps laterally (the paper's running example, Fig. 1/2).
+  static GestureShape SwipeRight();
+  /// Mirror of SwipeRight.
+  static GestureShape SwipeLeft();
+  /// Right hand pushes straight toward the camera.
+  static GestureShape PushForward();
+  /// Right hand rises from hip to over the shoulder.
+  static GestureShape RaiseHand();
+  /// Right hand draws a large circle (paper Fig. 2 right).
+  static GestureShape Circle();
+  /// Right hand waves above the shoulder (the paper's control gesture for
+  /// starting a recording).
+  static GestureShape Wave();
+  /// Both hands rise simultaneously.
+  static GestureShape HandsUp();
+  /// Both hands sweep outward (the paper's control gesture for finishing
+  /// the learning phase).
+  static GestureShape TwoHandSwipe();
+
+  /// Lookup by name ("swipe_right", ...).
+  static Result<GestureShape> ByName(const std::string& name);
+  /// All catalog names.
+  static std::vector<std::string> Names();
+};
+
+}  // namespace epl::kinect
+
+#endif  // EPL_KINECT_GESTURE_SHAPES_H_

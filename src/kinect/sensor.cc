@@ -1,0 +1,54 @@
+#include "kinect/sensor.h"
+
+namespace epl::kinect {
+
+SessionBuilder::SessionBuilder(const UserProfile& profile, uint64_t seed,
+                               MotionParams params)
+    : synth_(profile, seed, params) {}
+
+void SessionBuilder::Append(std::vector<SkeletonFrame> part) {
+  frames_.insert(frames_.end(), part.begin(), part.end());
+}
+
+SessionBuilder& SessionBuilder::Still(double seconds) {
+  Append(synth_.Still(seconds));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::Idle(double seconds) {
+  Append(synth_.Idle(seconds));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::Perform(const GestureShape& shape,
+                                        double dwell_s) {
+  Append(synth_.MoveTo(shape.right_path(0.0), shape.left_path(0.0)));
+  if (dwell_s > 0.0) {
+    Append(synth_.Still(dwell_s));
+  }
+  Append(synth_.PerformGesture(shape));
+  if (dwell_s > 0.0) {
+    Append(synth_.Still(dwell_s));
+  }
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::Distract(double seconds) {
+  Append(synth_.Distract(seconds));
+  return *this;
+}
+
+Status RegisterKinectStream(stream::StreamEngine* engine) {
+  return engine->RegisterStream("kinect", KinectSchema());
+}
+
+Status PlayFrames(stream::StreamEngine* engine,
+                  const std::vector<SkeletonFrame>& frames,
+                  const std::string& stream_name) {
+  for (const SkeletonFrame& frame : frames) {
+    EPL_RETURN_IF_ERROR(engine->Push(stream_name, FrameToEvent(frame)));
+  }
+  return OkStatus();
+}
+
+}  // namespace epl::kinect

@@ -1,0 +1,55 @@
+// Scripted sensor sessions: composes synthesizer segments into a full
+// simulated Kinect session and plays it into a StreamEngine.
+//
+// Used by the interactive-workflow simulation (paper Sec. 3.1): a "user"
+// waves to start recording, holds still, performs the gesture, holds
+// still, and so on.
+
+#ifndef EPL_KINECT_SENSOR_H_
+#define EPL_KINECT_SENSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "kinect/synthesizer.h"
+#include "stream/engine.h"
+
+namespace epl::kinect {
+
+/// Accumulates a frame script.
+class SessionBuilder {
+ public:
+  SessionBuilder(const UserProfile& profile, uint64_t seed,
+                 MotionParams params = MotionParams());
+
+  /// Holds the current pose.
+  SessionBuilder& Still(double seconds);
+  /// Returns to neutral and idles.
+  SessionBuilder& Idle(double seconds);
+  /// Moves to the start pose of `shape`, optionally holds still (dwell),
+  /// performs the gesture, optionally holds again.
+  SessionBuilder& Perform(const GestureShape& shape, double dwell_s = 0.0);
+  /// Random hand wandering (negative control).
+  SessionBuilder& Distract(double seconds);
+
+  const std::vector<SkeletonFrame>& frames() const { return frames_; }
+  std::vector<SkeletonFrame> TakeFrames() { return std::move(frames_); }
+
+ private:
+  void Append(std::vector<SkeletonFrame> part);
+
+  FrameSynthesizer synth_;
+  std::vector<SkeletonFrame> frames_;
+};
+
+/// Registers the raw "kinect" stream in `engine` (no view).
+Status RegisterKinectStream(stream::StreamEngine* engine);
+
+/// Pushes every frame into `stream_name` (default "kinect") synchronously.
+Status PlayFrames(stream::StreamEngine* engine,
+                  const std::vector<SkeletonFrame>& frames,
+                  const std::string& stream_name = "kinect");
+
+}  // namespace epl::kinect
+
+#endif  // EPL_KINECT_SENSOR_H_

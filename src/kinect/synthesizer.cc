@@ -1,0 +1,148 @@
+#include "kinect/synthesizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace epl::kinect {
+namespace {
+
+double SmoothStep(double u) { return u * u * (3.0 - 2.0 * u); }
+
+double Clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+
+}  // namespace
+
+FrameSynthesizer::FrameSynthesizer(const UserProfile& profile, uint64_t seed,
+                                   MotionParams params)
+    : body_(profile),
+      params_(params),
+      rng_(seed),
+      frame_period_(static_cast<Duration>(kSecond / params.fps)),
+      right_offset_(NeutralRightHandOffset()),
+      left_offset_(NeutralLeftHandOffset()) {
+  EPL_CHECK(params.fps > 0.0);
+}
+
+SkeletonFrame FrameSynthesizer::EmitFrame() {
+  SkeletonFrame frame = body_.PoseFrame(now_, right_offset_, left_offset_);
+  // Whole-body sway: slow drift of every joint.
+  double t = ToSeconds(now_);
+  Vec3 sway(params_.sway_mm * std::sin(2.0 * M_PI * 0.31 * t), 0.0,
+            params_.sway_mm * std::cos(2.0 * M_PI * 0.23 * t));
+  for (Vec3& joint : frame.joints) {
+    joint += sway;
+    joint.x += rng_.Gaussian(0.0, params_.noise_stddev_mm);
+    joint.y += rng_.Gaussian(0.0, params_.noise_stddev_mm);
+    joint.z += rng_.Gaussian(0.0, params_.noise_stddev_mm);
+  }
+  now_ += frame_period_;
+  return frame;
+}
+
+std::vector<SkeletonFrame> FrameSynthesizer::Still(double seconds) {
+  int n = std::max(1, static_cast<int>(std::lround(seconds * params_.fps)));
+  std::vector<SkeletonFrame> frames;
+  frames.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    frames.push_back(EmitFrame());
+  }
+  return frames;
+}
+
+std::vector<SkeletonFrame> FrameSynthesizer::Interpolate(const Vec3& right_to,
+                                                         const Vec3& left_to,
+                                                         double seconds) {
+  int n = std::max(1, static_cast<int>(std::lround(seconds * params_.fps)));
+  Vec3 right_from = right_offset_;
+  Vec3 left_from = left_offset_;
+  std::vector<SkeletonFrame> frames;
+  frames.reserve(static_cast<size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    double u = SmoothStep(static_cast<double>(i) / n);
+    right_offset_ = Vec3::Lerp(right_from, right_to, u);
+    left_offset_ = Vec3::Lerp(left_from, left_to, u);
+    frames.push_back(EmitFrame());
+  }
+  return frames;
+}
+
+std::vector<SkeletonFrame> FrameSynthesizer::MoveTo(const Vec3& right_offset,
+                                                    const Vec3& left_offset,
+                                                    double seconds) {
+  if (seconds <= 0.0) {
+    seconds = 0.35;
+  }
+  return Interpolate(right_offset, left_offset, seconds);
+}
+
+std::vector<SkeletonFrame> FrameSynthesizer::PerformGesture(
+    const GestureShape& shape) {
+  std::vector<SkeletonFrame> frames =
+      MoveTo(shape.right_path(0.0), shape.left_path(0.0));
+
+  double duration =
+      params_.duration_s > 0.0 ? params_.duration_s : shape.nominal_duration_s;
+  int n = std::max(2, static_cast<int>(std::lround(duration * params_.fps)));
+  double amplitude = 1.0 + rng_.Gaussian(0.0, params_.amplitude_jitter);
+  double warp = rng_.Gaussian(0.0, params_.time_warp);
+  for (int i = 1; i <= n; ++i) {
+    double u = SmoothStep(static_cast<double>(i) / n);
+    double t = Clamp01(u + warp * std::sin(M_PI * u));
+    right_offset_ = shape.right_path(t) * amplitude;
+    left_offset_ = shape.left_path(t) * amplitude;
+    frames.push_back(EmitFrame());
+  }
+  return frames;
+}
+
+std::vector<SkeletonFrame> FrameSynthesizer::Idle(double seconds) {
+  std::vector<SkeletonFrame> frames =
+      MoveTo(NeutralRightHandOffset(), NeutralLeftHandOffset());
+  double transition = static_cast<double>(frames.size()) / params_.fps;
+  if (seconds > transition) {
+    std::vector<SkeletonFrame> rest = Still(seconds - transition);
+    frames.insert(frames.end(), rest.begin(), rest.end());
+  }
+  return frames;
+}
+
+std::vector<SkeletonFrame> FrameSynthesizer::Distract(double seconds) {
+  std::vector<SkeletonFrame> frames;
+  double remaining = seconds;
+  while (remaining > 0.05) {
+    double segment = std::min(remaining, rng_.Uniform(0.5, 0.9));
+    Vec3 target(rng_.Uniform(-350.0, 650.0), rng_.Uniform(-300.0, 600.0),
+                rng_.Uniform(-450.0, 0.0));
+    std::vector<SkeletonFrame> part =
+        Interpolate(target, left_offset_, segment);
+    frames.insert(frames.end(), part.begin(), part.end());
+    remaining -= segment;
+  }
+  return frames;
+}
+
+std::vector<SkeletonFrame> SynthesizeSample(const UserProfile& profile,
+                                            const GestureShape& shape,
+                                            uint64_t seed, MotionParams params,
+                                            double lead_s) {
+  FrameSynthesizer synth(profile, seed, params);
+  // Jump to the start pose quickly; these frames are discarded so that the
+  // sample contains only the gesture (what the recorder delivers to the
+  // learner), optionally padded with stillness.
+  synth.MoveTo(shape.right_path(0.0), shape.left_path(0.0), 0.05);
+  std::vector<SkeletonFrame> frames;
+  auto append = [&frames](std::vector<SkeletonFrame> part) {
+    frames.insert(frames.end(), part.begin(), part.end());
+  };
+  if (lead_s > 0.0) {
+    append(synth.Still(lead_s));
+  }
+  append(synth.PerformGesture(shape));
+  if (lead_s > 0.0) {
+    append(synth.Still(lead_s));
+  }
+  return frames;
+}
+
+}  // namespace epl::kinect

@@ -1,0 +1,90 @@
+// Gesture synthesizer: produces 30 Hz skeleton frame sequences for a
+// parameterized user performing parametric gesture shapes, with sensor
+// noise, body sway, and per-performance amplitude/timing variation.
+//
+// This module replaces the physical Kinect camera + human demonstrator of
+// the paper (see DESIGN.md "Substitutions"). All randomness is seeded.
+
+#ifndef EPL_KINECT_SYNTHESIZER_H_
+#define EPL_KINECT_SYNTHESIZER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "kinect/body_model.h"
+#include "kinect/gesture_shapes.h"
+
+namespace epl::kinect {
+
+struct MotionParams {
+  /// Gesture duration; 0 uses the shape's nominal duration.
+  double duration_s = 0.0;
+  /// Sensor frame rate.
+  double fps = kSensorFps;
+  /// Per-joint, per-axis Gaussian sensor noise (mm).
+  double noise_stddev_mm = 5.0;
+  /// Std-dev of the per-performance amplitude factor (0.05 = +-5%).
+  double amplitude_jitter = 0.05;
+  /// Strength of the per-performance timing skew.
+  double time_warp = 0.08;
+  /// Low-frequency whole-body sway amplitude (mm).
+  double sway_mm = 3.0;
+};
+
+/// Stateful frame generator: keeps track of simulated time, current hand
+/// pose and the noise stream, so consecutive segments join smoothly.
+class FrameSynthesizer {
+ public:
+  FrameSynthesizer(const UserProfile& profile, uint64_t seed,
+                   MotionParams params = MotionParams());
+
+  const BodyModel& body() const { return body_; }
+  const MotionParams& params() const { return params_; }
+  TimePoint now() const { return now_; }
+
+  /// Holds the current pose for `seconds` (noise and sway continue).
+  std::vector<SkeletonFrame> Still(double seconds);
+
+  /// Smoothly moves the hands to the given user-space offsets over
+  /// `seconds` (default transition time if <= 0).
+  std::vector<SkeletonFrame> MoveTo(const Vec3& right_offset,
+                                    const Vec3& left_offset,
+                                    double seconds = 0.0);
+
+  /// Moves to the shape's start pose, then performs the gesture once.
+  /// The performance gets a random amplitude factor and timing skew.
+  std::vector<SkeletonFrame> PerformGesture(const GestureShape& shape);
+
+  /// Returns to neutral and stays there (with sway/noise).
+  std::vector<SkeletonFrame> Idle(double seconds);
+
+  /// Random smooth hand wandering (negative-control motion for
+  /// false-positive experiments).
+  std::vector<SkeletonFrame> Distract(double seconds);
+
+ private:
+  SkeletonFrame EmitFrame();
+  std::vector<SkeletonFrame> Interpolate(const Vec3& right_to,
+                                         const Vec3& left_to, double seconds);
+
+  BodyModel body_;
+  MotionParams params_;
+  Rng rng_;
+  TimePoint now_ = 0;
+  Duration frame_period_;
+  Vec3 right_offset_;
+  Vec3 left_offset_;
+};
+
+/// Convenience: one gesture performance for `profile` starting at t=0 with
+/// `lead_s` of stillness before and after (what a recorded sample looks
+/// like).
+std::vector<SkeletonFrame> SynthesizeSample(const UserProfile& profile,
+                                            const GestureShape& shape,
+                                            uint64_t seed,
+                                            MotionParams params = {},
+                                            double lead_s = 0.0);
+
+}  // namespace epl::kinect
+
+#endif  // EPL_KINECT_SYNTHESIZER_H_

@@ -1,0 +1,82 @@
+#include "kinect/trace_io.h"
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace epl::kinect {
+
+Status WriteTrace(const std::string& path,
+                  const std::vector<SkeletonFrame>& frames) {
+  CsvTable table;
+  table.header.push_back("timestamp_us");
+  const stream::Schema& schema = KinectSchema();
+  for (const std::string& field : schema.field_names()) {
+    table.header.push_back(field);
+  }
+  table.rows.reserve(frames.size());
+  for (const SkeletonFrame& frame : frames) {
+    stream::Event event = FrameToEvent(frame);
+    std::vector<double> row;
+    row.reserve(1 + event.values.size());
+    row.push_back(static_cast<double>(event.timestamp));
+    row.insert(row.end(), event.values.begin(), event.values.end());
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, table);
+}
+
+Result<std::vector<SkeletonFrame>> ReadTrace(const std::string& path) {
+  EPL_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  const stream::Schema& schema = KinectSchema();
+  if (table.header.size() !=
+      static_cast<size_t>(schema.num_fields()) + 1) {
+    return DataLossError("trace has wrong column count: " + path);
+  }
+  std::vector<SkeletonFrame> frames;
+  frames.reserve(table.rows.size());
+  for (const std::vector<double>& row : table.rows) {
+    stream::Event event;
+    event.timestamp = static_cast<TimePoint>(row[0]);
+    event.values.assign(row.begin() + 1, row.end());
+    EPL_ASSIGN_OR_RETURN(SkeletonFrame frame, FrameFromEvent(event));
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+const stream::Schema& PaperTraceSchema() {
+  static const stream::Schema* schema = [] {
+    auto* built = new stream::Schema(std::vector<std::string>{
+        "torso_x", "torso_y", "torso_z", "rHand_x", "rHand_y", "rHand_z"});
+    EPL_CHECK(built->Validate().ok());
+    return built;
+  }();
+  return *schema;
+}
+
+Result<std::vector<stream::Event>> ParsePaperTrace(const std::string& text) {
+  EPL_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(text));
+  if (table.header.size() != 6) {
+    return DataLossError("paper trace must have 6 columns");
+  }
+  std::vector<stream::Event> events;
+  events.reserve(table.rows.size());
+  TimePoint timestamp = 0;
+  for (const std::vector<double>& row : table.rows) {
+    events.emplace_back(timestamp, row);
+    timestamp += kFramePeriod;
+  }
+  return events;
+}
+
+Result<std::vector<stream::Event>> ReadPaperTrace(const std::string& path) {
+  EPL_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  Result<std::vector<stream::Event>> events = ParsePaperTrace(text);
+  if (!events.ok()) {
+    return events.status().WithContext(path);
+  }
+  return events;
+}
+
+}  // namespace epl::kinect

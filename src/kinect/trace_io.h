@@ -1,0 +1,32 @@
+// Trace I/O: persists skeleton streams as CSV, and reads the paper's
+// Fig. 1 six-column trace format.
+
+#ifndef EPL_KINECT_TRACE_IO_H_
+#define EPL_KINECT_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kinect/skeleton.h"
+
+namespace epl::kinect {
+
+/// Full-skeleton trace: "timestamp_us;player;head_x;...;rFoot_z".
+Status WriteTrace(const std::string& path,
+                  const std::vector<SkeletonFrame>& frames);
+Result<std::vector<SkeletonFrame>> ReadTrace(const std::string& path);
+
+/// Schema of the paper's Fig. 1 sample trace (torso + right hand only):
+/// torso_x, torso_y, torso_z, rHand_x, rHand_y, rHand_z.
+const stream::Schema& PaperTraceSchema();
+
+/// Parses the paper's trace format (header "torsoX;torsoY;...;rHandZ",
+/// one row per 30 Hz frame) into events of PaperTraceSchema(), stamped at
+/// the sensor frame period.
+Result<std::vector<stream::Event>> ReadPaperTrace(const std::string& path);
+Result<std::vector<stream::Event>> ParsePaperTrace(const std::string& text);
+
+}  // namespace epl::kinect
+
+#endif  // EPL_KINECT_TRACE_IO_H_

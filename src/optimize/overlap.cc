@@ -1,0 +1,75 @@
+#include "optimize/overlap.h"
+
+#include "common/string_util.h"
+
+namespace epl::optimize {
+
+using core::GestureDefinition;
+
+std::string OverlapReport::ToString() const {
+  return StrFormat(
+      "%s vs %s: %s (%zu intersecting pose pairs, severity %.2f)",
+      gesture_a.c_str(), gesture_b.c_str(),
+      sequence_overlap ? "SEQUENCE OVERLAP" : "no sequence overlap",
+      intersecting_poses.size(), severity);
+}
+
+OverlapReport CheckOverlap(const GestureDefinition& a,
+                           const GestureDefinition& b) {
+  OverlapReport report;
+  report.gesture_a = a.name;
+  report.gesture_b = b.name;
+
+  const size_t n = a.poses.size();
+  const size_t m = b.poses.size();
+  std::vector<std::vector<bool>> intersects(n, std::vector<bool>(m, false));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (a.poses[i].Intersects(b.poses[j])) {
+        intersects[i][j] = true;
+        report.intersecting_poses.emplace_back(static_cast<int>(i),
+                                               static_cast<int>(j));
+      }
+    }
+  }
+
+  // Greedy monotone matching: each pose of A must intersect a B pose at a
+  // non-decreasing index. Non-decreasing (rather than strictly increasing)
+  // because a single wide B window can cover several A poses.
+  size_t j = 0;
+  bool feasible = true;
+  double severity_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    while (j < m && !intersects[i][j]) {
+      ++j;
+    }
+    if (j >= m) {
+      feasible = false;
+      break;
+    }
+    severity_sum += a.poses[i].ContainmentIn(b.poses[j]);
+  }
+  report.sequence_overlap = feasible;
+  report.severity = feasible && n > 0 ? severity_sum / static_cast<double>(n)
+                                      : 0.0;
+  return report;
+}
+
+std::vector<OverlapReport> ValidateVocabulary(
+    const std::vector<GestureDefinition>& gestures) {
+  std::vector<OverlapReport> reports;
+  for (size_t i = 0; i < gestures.size(); ++i) {
+    for (size_t j = 0; j < gestures.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      OverlapReport report = CheckOverlap(gestures[i], gestures[j]);
+      if (report.sequence_overlap) {
+        reports.push_back(std::move(report));
+      }
+    }
+  }
+  return reports;
+}
+
+}  // namespace epl::optimize

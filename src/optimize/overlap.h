@@ -1,0 +1,43 @@
+// Overlap validation (paper Sec. 3.3.3): "Intersection tests can be
+// performed on windows to determine if the overlap problem occurs" — two
+// gestures overlap when one gesture's pose sequence can be traversed while
+// staying inside the other's windows, so the same movement fires both.
+
+#ifndef EPL_OPTIMIZE_OVERLAP_H_
+#define EPL_OPTIMIZE_OVERLAP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/gesture_definition.h"
+
+namespace epl::optimize {
+
+struct OverlapReport {
+  std::string gesture_a;
+  std::string gesture_b;
+  /// True when every pose of A intersects a monotone subsequence of B's
+  /// poses (A's path can fire while performing B).
+  bool sequence_overlap = false;
+  /// Pairs (pose of A, pose of B) whose windows intersect.
+  std::vector<std::pair<int, int>> intersecting_poses;
+  /// Mean pairwise containment over the matched subsequence in [0, 1].
+  double severity = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Directional check: can gesture A's sequence be matched inside B's
+/// windows?
+OverlapReport CheckOverlap(const core::GestureDefinition& a,
+                           const core::GestureDefinition& b);
+
+/// Pairwise validation of a gesture vocabulary; returns one report per
+/// ordered pair (a != b) that has sequence_overlap (the paper's warning
+/// situation).
+std::vector<OverlapReport> ValidateVocabulary(
+    const std::vector<core::GestureDefinition>& gestures);
+
+}  // namespace epl::optimize
+
+#endif  // EPL_OPTIMIZE_OVERLAP_H_

@@ -1,0 +1,125 @@
+#include "optimize/simplify.h"
+
+#include <algorithm>
+
+namespace epl::optimize {
+
+using core::GestureDefinition;
+using core::JointWindow;
+using core::PoseWindow;
+
+namespace {
+
+/// Union of two joint windows (MBR of both boxes), axis flags ANDed.
+JointWindow UnionWindows(const JointWindow& a, const JointWindow& b) {
+  JointWindow result;
+  for (int axis = 0; axis < 3; ++axis) {
+    double lo = std::min(a.center[axis] - a.half_width[axis],
+                         b.center[axis] - b.half_width[axis]);
+    double hi = std::max(a.center[axis] + a.half_width[axis],
+                         b.center[axis] + b.half_width[axis]);
+    result.center[axis] = (lo + hi) / 2.0;
+    result.half_width[axis] = (hi - lo) / 2.0;
+    size_t index = static_cast<size_t>(axis);
+    result.active[index] = a.active[index] && b.active[index];
+  }
+  return result;
+}
+
+bool MutualOverlap(const PoseWindow& a, const PoseWindow& b,
+                   double threshold) {
+  return a.ContainmentIn(b) >= threshold && b.ContainmentIn(a) >= threshold;
+}
+
+}  // namespace
+
+SimplifyStats MergeAdjacentPoses(GestureDefinition* definition,
+                                 const SimplifyConfig& config) {
+  SimplifyStats stats;
+  stats.poses_before = static_cast<int>(definition->poses.size());
+  bool merged = true;
+  while (merged &&
+         static_cast<int>(definition->poses.size()) > config.min_poses) {
+    merged = false;
+    for (size_t i = 0; i + 1 < definition->poses.size(); ++i) {
+      if (!MutualOverlap(definition->poses[i], definition->poses[i + 1],
+                         config.merge_containment)) {
+        continue;
+      }
+      PoseWindow combined;
+      combined.max_gap = definition->poses[i].max_gap;
+      // The merged pose absorbs the successor's budget: timing feasibility
+      // is preserved.
+      if (i + 2 < definition->poses.size()) {
+        definition->poses[i + 2].max_gap +=
+            definition->poses[i + 1].max_gap;
+      }
+      for (const auto& [joint, window] : definition->poses[i].joints) {
+        auto it = definition->poses[i + 1].joints.find(joint);
+        combined.joints[joint] =
+            it != definition->poses[i + 1].joints.end()
+                ? UnionWindows(window, it->second)
+                : window;
+      }
+      definition->poses[i] = std::move(combined);
+      definition->poses.erase(definition->poses.begin() +
+                              static_cast<long>(i) + 1);
+      merged = true;
+      break;
+    }
+  }
+  stats.poses_after = static_cast<int>(definition->poses.size());
+  return stats;
+}
+
+SimplifyStats EliminateIrrelevantAxes(GestureDefinition* definition,
+                                      const AxisEliminationConfig& config) {
+  SimplifyStats stats;
+  stats.poses_before = static_cast<int>(definition->poses.size());
+  stats.poses_after = stats.poses_before;
+  for (kinect::JointId joint : definition->joints) {
+    // Span of the pose centers along each axis.
+    double span[3] = {0.0, 0.0, 0.0};
+    for (int axis = 0; axis < 3; ++axis) {
+      double lo = 1e300;
+      double hi = -1e300;
+      for (const PoseWindow& pose : definition->poses) {
+        const JointWindow& window = pose.joints.at(joint);
+        lo = std::min(lo, window.center[axis]);
+        hi = std::max(hi, window.center[axis]);
+      }
+      span[axis] = hi - lo;
+    }
+    // Candidate axes to deactivate, keeping the largest-span ones active.
+    int active_axes = 3;
+    while (active_axes > config.min_axes_per_joint) {
+      // Smallest-span still-active axis below the threshold.
+      int candidate = -1;
+      for (int axis = 0; axis < 3; ++axis) {
+        if (!definition->poses.front()
+                 .joints.at(joint)
+                 .active[static_cast<size_t>(axis)]) {
+          continue;
+        }
+        if (span[axis] >= config.min_center_span_mm) {
+          continue;
+        }
+        if (candidate < 0 || span[axis] < span[candidate]) {
+          candidate = axis;
+        }
+      }
+      if (candidate < 0) {
+        break;
+      }
+      for (PoseWindow& pose : definition->poses) {
+        pose.joints.at(joint).active[static_cast<size_t>(candidate)] =
+            false;
+      }
+      ++stats.axes_deactivated;
+      --active_axes;
+    }
+  }
+  return stats;
+}
+
+}  // namespace epl::optimize

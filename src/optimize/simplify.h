@@ -1,0 +1,52 @@
+// Pattern optimization (paper Sec. 3.3.3): "patterns can be optimized,
+// e.g., by merging windows to decrease the detection effort or by
+// eliminating certain coordinates that are not relevant for the recorded
+// gesture". Experiment E7 measures the effect of both on NFA size,
+// throughput, and accuracy.
+
+#ifndef EPL_OPTIMIZE_SIMPLIFY_H_
+#define EPL_OPTIMIZE_SIMPLIFY_H_
+
+#include "core/gesture_definition.h"
+
+namespace epl::optimize {
+
+struct SimplifyConfig {
+  /// Adjacent poses are merged when their windows mutually overlap by at
+  /// least this containment fraction. Containment is the product over the
+  /// active axes, so 0.2 corresponds to roughly 60% overlap per axis.
+  double merge_containment = 0.2;
+  /// Never reduce a gesture below this many poses.
+  int min_poses = 2;
+};
+
+struct AxisEliminationConfig {
+  /// An axis is irrelevant when the pose centers move less than this along
+  /// it over the whole gesture.
+  double min_center_span_mm = 120.0;
+  /// Always keep at least this many active axes per joint (the axis with
+  /// the largest span survives).
+  int min_axes_per_joint = 1;
+};
+
+struct SimplifyStats {
+  int poses_before = 0;
+  int poses_after = 0;
+  int axes_deactivated = 0;
+};
+
+/// Merges adjacent poses whose windows mutually overlap. Gap budgets of
+/// merged poses are added so timing stays feasible.
+SimplifyStats MergeAdjacentPoses(core::GestureDefinition* definition,
+                                 const SimplifyConfig& config =
+                                     SimplifyConfig());
+
+/// Deactivates axes along which the gesture barely moves (their window
+/// predicates are dropped from generated queries).
+SimplifyStats EliminateIrrelevantAxes(core::GestureDefinition* definition,
+                                      const AxisEliminationConfig& config =
+                                          AxisEliminationConfig());
+
+}  // namespace epl::optimize
+
+#endif  // EPL_OPTIMIZE_SIMPLIFY_H_

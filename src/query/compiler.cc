@@ -1,0 +1,60 @@
+#include "query/compiler.h"
+
+namespace epl::query {
+
+Result<CompiledQuery> CompileQuery(const ParsedQuery& parsed,
+                                   const stream::Schema& schema) {
+  if (parsed.pattern == nullptr) {
+    return InvalidArgumentError("query has no pattern");
+  }
+  if (parsed.name.empty()) {
+    return InvalidArgumentError("query has no output name");
+  }
+  CompiledQuery compiled;
+  compiled.name = parsed.name;
+  compiled.source_stream = parsed.pattern->SourceStream();
+  EPL_ASSIGN_OR_RETURN(compiled.pattern,
+                       cep::CompiledPattern::Compile(*parsed.pattern, schema));
+  for (const cep::ExprPtr& measure : parsed.measures) {
+    cep::ExprPtr bound = measure->Clone();
+    Status bind_status = bound->Bind(schema);
+    if (!bind_status.ok()) {
+      return bind_status.WithContext("output measure '" + measure->ToString() +
+                                     "'");
+    }
+    EPL_ASSIGN_OR_RETURN(cep::ExprProgram program,
+                         cep::ExprProgram::Compile(*bound));
+    compiled.measures.push_back(std::move(program));
+  }
+  return compiled;
+}
+
+Result<stream::DeploymentId> DeployQuery(stream::StreamEngine* engine,
+                                         const ParsedQuery& parsed,
+                                         cep::DetectionCallback callback,
+                                         cep::MatcherOptions options) {
+  if (parsed.pattern == nullptr) {
+    return InvalidArgumentError("query has no pattern");
+  }
+  std::string source = parsed.pattern->SourceStream();
+  Result<stream::Schema> schema = engine->GetSchema(source);
+  if (!schema.ok()) {
+    return schema.status().WithContext("query '" + parsed.name +
+                                       "' reads undeclared stream");
+  }
+  EPL_ASSIGN_OR_RETURN(CompiledQuery compiled, CompileQuery(parsed, *schema));
+  auto op = std::make_unique<cep::MatchOperator>(
+      compiled.name, std::move(compiled.pattern), std::move(callback),
+      std::move(compiled.measures), options);
+  return engine->Deploy(source, std::move(op));
+}
+
+Result<stream::DeploymentId> DeployQueryText(stream::StreamEngine* engine,
+                                             const std::string& text,
+                                             cep::DetectionCallback callback,
+                                             cep::MatcherOptions options) {
+  EPL_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+  return DeployQuery(engine, parsed, std::move(callback), options);
+}
+
+}  // namespace epl::query

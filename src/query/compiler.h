@@ -1,0 +1,49 @@
+// Semantic analysis and compilation of parsed queries, plus deployment
+// into a StreamEngine.
+
+#ifndef EPL_QUERY_COMPILER_H_
+#define EPL_QUERY_COMPILER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cep/detection.h"
+#include "cep/match_operator.h"
+#include "cep/nfa.h"
+#include "query/parser.h"
+#include "stream/engine.h"
+
+namespace epl::query {
+
+/// A fully analyzed query, ready to instantiate match operators.
+struct CompiledQuery {
+  std::string name;
+  std::string source_stream;
+  cep::CompiledPattern pattern;
+  std::vector<cep::ExprProgram> measures;
+};
+
+/// Binds the query against `schema` (the schema of its source stream) and
+/// compiles pattern and measures.
+Result<CompiledQuery> CompileQuery(const ParsedQuery& parsed,
+                                   const stream::Schema& schema);
+
+/// Compiles `parsed` against the schema of its source stream in `engine`
+/// and deploys a match operator there. Detections go to `callback`.
+/// Returns the deployment handle (Undeploy to remove the gesture at
+/// runtime).
+Result<stream::DeploymentId> DeployQuery(stream::StreamEngine* engine,
+                                         const ParsedQuery& parsed,
+                                         cep::DetectionCallback callback,
+                                         cep::MatcherOptions options = {});
+
+/// Convenience: parse + deploy query text.
+Result<stream::DeploymentId> DeployQueryText(stream::StreamEngine* engine,
+                                             const std::string& text,
+                                             cep::DetectionCallback callback,
+                                             cep::MatcherOptions options = {});
+
+}  // namespace epl::query
+
+#endif  // EPL_QUERY_COMPILER_H_

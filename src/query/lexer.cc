@@ -1,0 +1,333 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace epl::query {
+
+std::string_view TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kSelect:
+      return "select";
+    case TokenType::kMatching:
+      return "matching";
+    case TokenType::kWithin:
+      return "within";
+    case TokenType::kSeconds:
+      return "seconds";
+    case TokenType::kMilliseconds:
+      return "milliseconds";
+    case TokenType::kTotal:
+      return "total";
+    case TokenType::kFirst:
+      return "first";
+    case TokenType::kAll:
+      return "all";
+    case TokenType::kConsume:
+      return "consume";
+    case TokenType::kNone:
+      return "none";
+    case TokenType::kAnd:
+      return "and";
+    case TokenType::kOr:
+      return "or";
+    case TokenType::kNot:
+      return "not";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kSemicolon:
+      return ";";
+    case TokenType::kArrow:
+      return "->";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+    case TokenType::kEq:
+      return "==";
+    case TokenType::kNe:
+      return "!=";
+    case TokenType::kEof:
+      return "<eof>";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (type == TokenType::kIdentifier || type == TokenType::kNumber ||
+      type == TokenType::kString) {
+    return StrFormat("%s '%s'", std::string(TokenTypeToString(type)).c_str(),
+                     text.c_str());
+  }
+  return StrFormat("'%s'", std::string(TokenTypeToString(type)).c_str());
+}
+
+namespace {
+
+struct Keyword {
+  const char* text;
+  TokenType type;
+};
+
+constexpr Keyword kKeywords[] = {
+    {"select", TokenType::kSelect},
+    {"matching", TokenType::kMatching},
+    {"within", TokenType::kWithin},
+    {"seconds", TokenType::kSeconds},
+    {"second", TokenType::kSeconds},
+    {"sec", TokenType::kSeconds},
+    {"milliseconds", TokenType::kMilliseconds},
+    {"millisecond", TokenType::kMilliseconds},
+    {"ms", TokenType::kMilliseconds},
+    {"total", TokenType::kTotal},
+    {"first", TokenType::kFirst},
+    {"all", TokenType::kAll},
+    {"consume", TokenType::kConsume},
+    {"none", TokenType::kNone},
+    {"and", TokenType::kAnd},
+    {"or", TokenType::kOr},
+    {"not", TokenType::kNot},
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto make = [&](TokenType type, std::string token_text) {
+    Token token;
+    token.type = type;
+    token.text = std::move(token_text);
+    token.line = line;
+    token.column = column;
+    return token;
+  };
+  auto error = [&](const std::string& message) {
+    return InvalidArgumentError(
+        StrFormat("lex error at %d:%d: %s", line, column, message.c_str()));
+  };
+
+  while (i < n) {
+    char c = text[i];
+    // Whitespace and newlines.
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line (SQL style) and # to end of line.
+    if (c == '#' || (c == '-' && i + 1 < n && text[i + 1] == '-')) {
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    // Identifiers and keywords.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(text[i])) {
+        ++i;
+      }
+      std::string word = text.substr(start, i - start);
+      std::string lower = ToLower(word);
+      TokenType type = TokenType::kIdentifier;
+      for (const Keyword& keyword : kKeywords) {
+        if (lower == keyword.text) {
+          type = keyword.type;
+          break;
+        }
+      }
+      tokens.push_back(make(type, word));
+      column += static_cast<int>(word.size());
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.')) {
+        ++i;
+      }
+      // Exponent part.
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (text[exp] == '+' || text[exp] == '-')) {
+          ++exp;
+        }
+        if (exp < n && std::isdigit(static_cast<unsigned char>(text[exp]))) {
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string word = text.substr(start, i - start);
+      Result<double> value = ParseDouble(word);
+      if (!value.ok()) {
+        return error("bad number literal '" + word + "'");
+      }
+      Token token = make(TokenType::kNumber, word);
+      token.number = *value;
+      tokens.push_back(std::move(token));
+      column += static_cast<int>(word.size());
+      continue;
+    }
+    // String literals.
+    if (c == '"') {
+      size_t start = ++i;
+      while (i < n && text[i] != '"' && text[i] != '\n') {
+        ++i;
+      }
+      if (i >= n || text[i] != '"') {
+        return error("unterminated string literal");
+      }
+      std::string value = text.substr(start, i - start);
+      ++i;  // closing quote
+      tokens.push_back(make(TokenType::kString, value));
+      column += static_cast<int>(value.size()) + 2;
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char second) {
+      return i + 1 < n && text[i + 1] == second;
+    };
+    switch (c) {
+      case '(':
+        tokens.push_back(make(TokenType::kLParen, "("));
+        ++i;
+        ++column;
+        continue;
+      case ')':
+        tokens.push_back(make(TokenType::kRParen, ")"));
+        ++i;
+        ++column;
+        continue;
+      case ',':
+        tokens.push_back(make(TokenType::kComma, ","));
+        ++i;
+        ++column;
+        continue;
+      case ';':
+        tokens.push_back(make(TokenType::kSemicolon, ";"));
+        ++i;
+        ++column;
+        continue;
+      case '+':
+        tokens.push_back(make(TokenType::kPlus, "+"));
+        ++i;
+        ++column;
+        continue;
+      case '*':
+        tokens.push_back(make(TokenType::kStar, "*"));
+        ++i;
+        ++column;
+        continue;
+      case '/':
+        tokens.push_back(make(TokenType::kSlash, "/"));
+        ++i;
+        ++column;
+        continue;
+      case '-':
+        if (two('>')) {
+          tokens.push_back(make(TokenType::kArrow, "->"));
+          i += 2;
+          column += 2;
+        } else {
+          tokens.push_back(make(TokenType::kMinus, "-"));
+          ++i;
+          ++column;
+        }
+        continue;
+      case '<':
+        if (two('=')) {
+          tokens.push_back(make(TokenType::kLe, "<="));
+          i += 2;
+          column += 2;
+        } else {
+          tokens.push_back(make(TokenType::kLt, "<"));
+          ++i;
+          ++column;
+        }
+        continue;
+      case '>':
+        if (two('=')) {
+          tokens.push_back(make(TokenType::kGe, ">="));
+          i += 2;
+          column += 2;
+        } else {
+          tokens.push_back(make(TokenType::kGt, ">"));
+          ++i;
+          ++column;
+        }
+        continue;
+      case '=':
+        if (two('=')) {
+          tokens.push_back(make(TokenType::kEq, "=="));
+          i += 2;
+          column += 2;
+        } else {
+          tokens.push_back(make(TokenType::kEq, "="));
+          ++i;
+          ++column;
+        }
+        continue;
+      case '!':
+        if (two('=')) {
+          tokens.push_back(make(TokenType::kNe, "!="));
+          i += 2;
+          column += 2;
+          continue;
+        }
+        return error("unexpected character '!'");
+      default:
+        return error(StrFormat("unexpected character '%c'", c));
+    }
+  }
+  tokens.push_back(make(TokenType::kEof, ""));
+  return tokens;
+}
+
+}  // namespace epl::query

@@ -1,0 +1,71 @@
+// Lexer for the EPL gesture query language (paper Fig. 1 dialect).
+//
+// Keywords are case-insensitive. Tokens carry source positions for error
+// reporting.
+
+#ifndef EPL_QUERY_LEXER_H_
+#define EPL_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace epl::query {
+
+enum class TokenType {
+  // Literals and identifiers.
+  kIdentifier,
+  kNumber,
+  kString,
+  // Keywords.
+  kSelect,
+  kMatching,
+  kWithin,
+  kSeconds,
+  kMilliseconds,
+  kTotal,
+  kFirst,
+  kAll,
+  kConsume,
+  kNone,
+  kAnd,
+  kOr,
+  kNot,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kArrow,  // ->
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,  // == or =
+  kNe,  // !=
+  kEof,
+};
+
+std::string_view TokenTypeToString(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;      // raw text (identifier / keyword / operator)
+  double number = 0.0;   // kNumber only
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+/// Splits `text` into tokens; the last token is always kEof.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace epl::query
+
+#endif  // EPL_QUERY_LEXER_H_

@@ -1,0 +1,326 @@
+#include "query/parser.h"
+
+#include "common/string_util.h"
+
+namespace epl::query {
+
+using cep::BinaryOp;
+using cep::ConsumePolicy;
+using cep::Expr;
+using cep::ExprPtr;
+using cep::PatternExpr;
+using cep::PatternExprPtr;
+using cep::SelectPolicy;
+using cep::UnaryOp;
+using cep::WithinMode;
+
+ParsedQuery ParsedQuery::Clone() const {
+  ParsedQuery copy;
+  copy.name = name;
+  copy.measures.reserve(measures.size());
+  for (const ExprPtr& measure : measures) {
+    copy.measures.push_back(measure->Clone());
+  }
+  copy.pattern = pattern ? pattern->Clone() : nullptr;
+  return copy;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> ParseQuery() {
+    EPL_ASSIGN_OR_RETURN(ParsedQuery query, ParseQueryNoEof());
+    EPL_RETURN_IF_ERROR(Expect(TokenType::kEof));
+    return query;
+  }
+
+  Result<std::vector<ParsedQuery>> ParseQueries() {
+    std::vector<ParsedQuery> queries;
+    while (!Check(TokenType::kEof)) {
+      EPL_ASSIGN_OR_RETURN(ParsedQuery query, ParseQueryNoEof());
+      queries.push_back(std::move(query));
+    }
+    return queries;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    EPL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    EPL_RETURN_IF_ERROR(Expect(TokenType::kEof));
+    return expr;
+  }
+
+ private:
+  Result<ParsedQuery> ParseQueryNoEof() {
+    ParsedQuery query;
+    EPL_RETURN_IF_ERROR(Expect(TokenType::kSelect));
+    EPL_ASSIGN_OR_RETURN(Token name, ExpectToken(TokenType::kString));
+    query.name = name.text;
+    while (Match(TokenType::kComma)) {
+      EPL_ASSIGN_OR_RETURN(ExprPtr measure, ParseExpr());
+      query.measures.push_back(std::move(measure));
+    }
+    EPL_RETURN_IF_ERROR(Expect(TokenType::kMatching));
+    EPL_ASSIGN_OR_RETURN(query.pattern, ParsePattern());
+    EPL_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
+    EPL_RETURN_IF_ERROR(query.pattern->Validate());
+    return query;
+  }
+
+  // pattern := term ('->' term)* [within] [select] [consume]
+  Result<PatternExprPtr> ParsePattern() {
+    std::vector<PatternExprPtr> children;
+    EPL_ASSIGN_OR_RETURN(PatternExprPtr first, ParseTerm());
+    children.push_back(std::move(first));
+    while (Match(TokenType::kArrow)) {
+      EPL_ASSIGN_OR_RETURN(PatternExprPtr term, ParseTerm());
+      children.push_back(std::move(term));
+    }
+
+    std::optional<Duration> within;
+    WithinMode mode = WithinMode::kGap;
+    SelectPolicy select = SelectPolicy::kFirst;
+    ConsumePolicy consume = ConsumePolicy::kAll;
+    bool has_clause = false;
+
+    if (Match(TokenType::kWithin)) {
+      has_clause = true;
+      EPL_ASSIGN_OR_RETURN(Token amount, ExpectToken(TokenType::kNumber));
+      if (Match(TokenType::kSeconds)) {
+        within = DurationFromSeconds(amount.number);
+      } else if (Match(TokenType::kMilliseconds)) {
+        within = DurationFromMillis(amount.number);
+      } else {
+        return ErrorHere("expected time unit (seconds or milliseconds)");
+      }
+      if (Match(TokenType::kTotal)) {
+        mode = WithinMode::kSpan;
+      }
+    }
+    if (Match(TokenType::kSelect)) {
+      has_clause = true;
+      if (Match(TokenType::kFirst)) {
+        select = SelectPolicy::kFirst;
+      } else if (Match(TokenType::kAll)) {
+        select = SelectPolicy::kAll;
+      } else {
+        return ErrorHere("expected 'first' or 'all' after select");
+      }
+    }
+    if (Match(TokenType::kConsume)) {
+      has_clause = true;
+      if (Match(TokenType::kAll)) {
+        consume = ConsumePolicy::kAll;
+      } else if (Match(TokenType::kNone)) {
+        consume = ConsumePolicy::kNone;
+      } else {
+        return ErrorHere("expected 'all' or 'none' after consume");
+      }
+    }
+
+    // Collapse a clause-free single-element "sequence" to its child.
+    if (children.size() == 1 && !has_clause) {
+      return std::move(children[0]);
+    }
+    return PatternExpr::Sequence(std::move(children), within, mode, select,
+                                 consume);
+  }
+
+  // term := ident '(' expr ')' | '(' pattern ')'
+  Result<PatternExprPtr> ParseTerm() {
+    if (Check(TokenType::kIdentifier)) {
+      Token source = Advance();
+      EPL_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      EPL_ASSIGN_OR_RETURN(ExprPtr predicate, ParseExpr());
+      EPL_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return PatternExpr::Pose(source.text, std::move(predicate));
+    }
+    if (Match(TokenType::kLParen)) {
+      EPL_ASSIGN_OR_RETURN(PatternExprPtr pattern, ParsePattern());
+      EPL_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return pattern;
+    }
+    return ErrorHere("expected pose or '(' in pattern");
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    EPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Match(TokenType::kOr)) {
+      EPL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    EPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (Match(TokenType::kAnd)) {
+      EPL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    EPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    BinaryOp op;
+    if (Match(TokenType::kLt)) {
+      op = BinaryOp::kLt;
+    } else if (Match(TokenType::kLe)) {
+      op = BinaryOp::kLe;
+    } else if (Match(TokenType::kGt)) {
+      op = BinaryOp::kGt;
+    } else if (Match(TokenType::kGe)) {
+      op = BinaryOp::kGe;
+    } else if (Match(TokenType::kEq)) {
+      op = BinaryOp::kEq;
+    } else if (Match(TokenType::kNe)) {
+      op = BinaryOp::kNe;
+    } else {
+      return lhs;
+    }
+    EPL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    EPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (Match(TokenType::kPlus)) {
+        EPL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Binary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (Match(TokenType::kMinus)) {
+        EPL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Binary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    EPL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (Match(TokenType::kStar)) {
+        EPL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Binary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (Match(TokenType::kSlash)) {
+        EPL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Binary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenType::kMinus)) {
+      EPL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      // Fold negation of literals so "-120" is a constant.
+      if (operand->kind() == cep::ExprKind::kConst) {
+        return Expr::Constant(-operand->constant_value());
+      }
+      return Expr::Unary(UnaryOp::kNegate, std::move(operand));
+    }
+    if (Match(TokenType::kNot)) {
+      EPL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (Check(TokenType::kNumber)) {
+      Token token = Advance();
+      return Expr::Constant(token.number);
+    }
+    if (Check(TokenType::kIdentifier)) {
+      Token token = Advance();
+      if (Match(TokenType::kLParen)) {
+        std::vector<ExprPtr> args;
+        if (!Check(TokenType::kRParen)) {
+          while (true) {
+            EPL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+            if (!Match(TokenType::kComma)) {
+              break;
+            }
+          }
+        }
+        EPL_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+        return Expr::Call(token.text, std::move(args));
+      }
+      return Expr::Field(token.text);
+    }
+    if (Match(TokenType::kLParen)) {
+      EPL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      EPL_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return expr;
+    }
+    return ErrorHere("expected expression");
+  }
+
+  // Token utilities.
+  const Token& Peek() const { return tokens_[position_]; }
+  Token Advance() { return tokens_[position_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool Match(TokenType type) {
+    if (Check(type)) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType type) {
+    if (!Check(type)) {
+      return ErrorHere(StrFormat("expected %s, found %s",
+                                 std::string(TokenTypeToString(type)).c_str(),
+                                 Peek().Describe().c_str()));
+    }
+    ++position_;
+    return OkStatus();
+  }
+  Result<Token> ExpectToken(TokenType type) {
+    if (!Check(type)) {
+      return ErrorHere(StrFormat("expected %s, found %s",
+                                 std::string(TokenTypeToString(type)).c_str(),
+                                 Peek().Describe().c_str()));
+    }
+    return Advance();
+  }
+  Status ErrorHere(const std::string& message) const {
+    const Token& token = Peek();
+    return InvalidArgumentError(StrFormat("parse error at %d:%d: %s",
+                                          token.line, token.column,
+                                          message.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  EPL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<std::vector<ParsedQuery>> ParseQueries(const std::string& text) {
+  EPL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQueries();
+}
+
+Result<cep::ExprPtr> ParseExpression(const std::string& text) {
+  EPL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace epl::query

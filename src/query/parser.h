@@ -1,0 +1,58 @@
+// Recursive-descent parser for gesture queries.
+//
+// Grammar (keywords case-insensitive):
+//
+//   query    := SELECT string (',' expr)* MATCHING pattern ';'
+//   pattern  := term ('->' term)* [WITHIN number unit [TOTAL]]
+//               [SELECT (FIRST|ALL)] [CONSUME (ALL|NONE)]
+//   term     := ident '(' expr ')'     -- pose on stream `ident`
+//             | '(' pattern ')'        -- nested sequence
+//   unit     := SECONDS | SECOND | SEC | MILLISECONDS | MILLISECOND | MS
+//
+// Expressions use the usual precedence: or < and < comparison < additive <
+// multiplicative < unary, with function calls and parentheses.
+// `WITHIN ... TOTAL` selects span semantics (WithinMode::kSpan); without
+// TOTAL the gap semantics of the paper's generated queries apply
+// (DESIGN.md 2.3).
+
+#ifndef EPL_QUERY_PARSER_H_
+#define EPL_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "cep/pattern.h"
+#include "common/result.h"
+#include "query/lexer.h"
+
+namespace epl::query {
+
+/// A syntactically valid query; expressions are still unbound.
+struct ParsedQuery {
+  /// Output value, e.g. "swipe_right".
+  std::string name;
+  /// Optional output measures (paper Sec. 3.3.4).
+  std::vector<cep::ExprPtr> measures;
+  /// The MATCHING pattern.
+  cep::PatternExprPtr pattern;
+
+  ParsedQuery() = default;
+  ParsedQuery(ParsedQuery&&) = default;
+  ParsedQuery& operator=(ParsedQuery&&) = default;
+
+  /// Deep copy.
+  ParsedQuery Clone() const;
+};
+
+/// Parses one query. Errors carry line:column positions.
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+/// Parses a ';'-separated script of queries.
+Result<std::vector<ParsedQuery>> ParseQueries(const std::string& text);
+
+/// Parses a standalone expression (used by tests and interactive tools).
+Result<cep::ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace epl::query
+
+#endif  // EPL_QUERY_PARSER_H_

@@ -1,0 +1,124 @@
+#include "query/unparser.h"
+
+#include "common/string_util.h"
+
+namespace epl::query {
+
+using cep::ConsumePolicy;
+using cep::Expr;
+using cep::PatternExpr;
+using cep::PatternKind;
+using cep::SelectPolicy;
+using cep::WithinMode;
+
+std::string FormatDurationLiteral(Duration duration) {
+  if (duration % kSecond == 0) {
+    return FormatNumber(ToSeconds(duration)) + " seconds";
+  }
+  return FormatNumber(ToMillis(duration)) + " milliseconds";
+}
+
+namespace {
+
+std::string Indent(int depth) { return std::string(2 * depth, ' '); }
+
+/// Flattens the left spine of an `and` chain into individual conjuncts.
+void CollectConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind() == cep::ExprKind::kBinary &&
+      expr.binary_op() == cep::BinaryOp::kAnd) {
+    CollectConjuncts(expr.arg(0), out);
+    CollectConjuncts(expr.arg(1), out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+std::string FormatPose(const PatternExpr& pose, int depth) {
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(pose.predicate(), &conjuncts);
+  if (conjuncts.size() == 1) {
+    return Indent(depth) + pose.source() + "(" + conjuncts[0]->ToString() +
+           ")";
+  }
+  std::string out = Indent(depth) + pose.source() + "(\n";
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    out += Indent(depth + 1) + conjuncts[i]->ToString();
+    if (i + 1 < conjuncts.size()) {
+      out += " and";
+    }
+    out += "\n";
+  }
+  out += Indent(depth) + ")";
+  return out;
+}
+
+std::string FormatClauses(const PatternExpr& seq) {
+  std::string out;
+  if (seq.within().has_value()) {
+    out += "within " + FormatDurationLiteral(*seq.within());
+    if (seq.within_mode() == WithinMode::kSpan) {
+      out += " total";
+    }
+    out += " ";
+  }
+  out += seq.select_policy() == SelectPolicy::kFirst ? "select first"
+                                                     : "select all";
+  out += seq.consume_policy() == ConsumePolicy::kAll ? " consume all"
+                                                     : " consume none";
+  return out;
+}
+
+/// `top_level` sequences are rendered without surrounding parentheses, the
+/// way Fig. 1 writes the outermost pattern.
+std::string FormatPattern(const PatternExpr& node, int depth,
+                          bool top_level) {
+  if (node.kind() == PatternKind::kPose) {
+    return FormatPose(node, depth);
+  }
+  std::string out;
+  int child_depth = top_level ? depth : depth + 1;
+  if (!top_level) {
+    out += Indent(depth) + "(\n";
+  }
+  for (size_t i = 0; i < node.children().size(); ++i) {
+    out += FormatPattern(*node.children()[i], child_depth, false);
+    if (i + 1 < node.children().size()) {
+      out += " ->";
+    }
+    out += "\n";
+  }
+  out += Indent(child_depth) + FormatClauses(node);
+  if (!top_level) {
+    out += "\n" + Indent(depth) + ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatQuery(const ParsedQuery& query) {
+  std::string out = "SELECT \"" + query.name + "\"";
+  for (const cep::ExprPtr& measure : query.measures) {
+    out += ", " + measure->ToString();
+  }
+  out += "\nMATCHING\n";
+  if (query.pattern->kind() == PatternKind::kPose) {
+    out += FormatPattern(*query.pattern, 1, false);
+    out += ";\n";
+    return out;
+  }
+  out += FormatPattern(*query.pattern, 1, true);
+  out += ";\n";
+  return out;
+}
+
+std::string FormatQueryCompact(const ParsedQuery& query) {
+  std::string out = "SELECT \"" + query.name + "\"";
+  for (const cep::ExprPtr& measure : query.measures) {
+    out += ", " + measure->ToString();
+  }
+  out += " MATCHING " + query.pattern->ToString() + ";";
+  return out;
+}
+
+}  // namespace epl::query

@@ -1,0 +1,25 @@
+// Unparser: renders a ParsedQuery back to query text in the layout of the
+// paper's Fig. 1. FormatQuery output re-parses to a structurally identical
+// query (round-trip tested).
+
+#ifndef EPL_QUERY_UNPARSER_H_
+#define EPL_QUERY_UNPARSER_H_
+
+#include <string>
+
+#include "query/parser.h"
+
+namespace epl::query {
+
+/// Multi-line, indented rendering (the paper's presentation format).
+std::string FormatQuery(const ParsedQuery& query);
+
+/// Single-line rendering (for logs).
+std::string FormatQueryCompact(const ParsedQuery& query);
+
+/// Renders a duration as query text, e.g. "1 seconds" or "250 milliseconds".
+std::string FormatDurationLiteral(Duration duration);
+
+}  // namespace epl::query
+
+#endif  // EPL_QUERY_UNPARSER_H_

@@ -1,0 +1,19 @@
+#include "stream/event.h"
+
+#include "common/string_util.h"
+
+namespace epl::stream {
+
+std::string Event::ToString() const {
+  std::string out = StrFormat("@%lld [", static_cast<long long>(timestamp));
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += StrFormat("%.3f", values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace epl::stream

@@ -1,0 +1,27 @@
+// Event: one tuple of a data stream.
+
+#ifndef EPL_STREAM_EVENT_H_
+#define EPL_STREAM_EVENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time_util.h"
+
+namespace epl::stream {
+
+/// A timestamped tuple. `values` is described by the stream's Schema.
+struct Event {
+  TimePoint timestamp = 0;
+  std::vector<double> values;
+
+  Event() = default;
+  Event(TimePoint ts, std::vector<double> vals)
+      : timestamp(ts), values(std::move(vals)) {}
+
+  std::string ToString() const;
+};
+
+}  // namespace epl::stream
+
+#endif  // EPL_STREAM_EVENT_H_

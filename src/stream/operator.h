@@ -1,0 +1,55 @@
+// Push-based stream operator interface.
+//
+// Operators form a DAG: each operator forwards produced events to its
+// downstream operators. The engine (stream/engine.h) owns operators and
+// wires subscriptions; operators themselves only hold non-owning pointers
+// to their downstreams.
+
+#ifndef EPL_STREAM_OPERATOR_H_
+#define EPL_STREAM_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/event.h"
+
+namespace epl::stream {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Called once before the first event.
+  virtual Status Open() { return OkStatus(); }
+
+  /// Consumes one event. Implementations call Forward() for each produced
+  /// event (possibly zero or several).
+  virtual Status Process(const Event& event) = 0;
+
+  /// Called once after the last event.
+  virtual Status Close() { return OkStatus(); }
+
+  /// Human-readable operator name for diagnostics.
+  virtual std::string name() const { return "operator"; }
+
+  void AddDownstream(Operator* op) { downstream_.push_back(op); }
+  void ClearDownstream() { downstream_.clear(); }
+  const std::vector<Operator*>& downstream() const { return downstream_; }
+
+ protected:
+  /// Pushes `event` to every downstream operator, stopping on first error.
+  Status Forward(const Event& event) {
+    for (Operator* op : downstream_) {
+      EPL_RETURN_IF_ERROR(op->Process(event));
+    }
+    return OkStatus();
+  }
+
+ private:
+  std::vector<Operator*> downstream_;
+};
+
+}  // namespace epl::stream
+
+#endif  // EPL_STREAM_OPERATOR_H_

@@ -1,0 +1,126 @@
+// Basic reusable operators: filter, map, project, and sinks.
+
+#ifndef EPL_STREAM_OPERATORS_H_
+#define EPL_STREAM_OPERATORS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace epl::stream {
+
+/// Forwards events for which `predicate` returns true.
+class FilterOperator : public Operator {
+ public:
+  using Predicate = std::function<bool(const Event&)>;
+
+  explicit FilterOperator(Predicate predicate)
+      : predicate_(std::move(predicate)) {}
+
+  Status Process(const Event& event) override {
+    if (predicate_(event)) {
+      return Forward(event);
+    }
+    return OkStatus();
+  }
+
+  std::string name() const override { return "filter"; }
+
+ private:
+  Predicate predicate_;
+};
+
+/// Applies `fn` to each event and forwards the result.
+class MapOperator : public Operator {
+ public:
+  using MapFn = std::function<Event(const Event&)>;
+
+  explicit MapOperator(MapFn fn) : fn_(std::move(fn)) {}
+
+  Status Process(const Event& event) override { return Forward(fn_(event)); }
+
+  std::string name() const override { return "map"; }
+
+ private:
+  MapFn fn_;
+};
+
+/// Keeps only the fields at `indices` (in the given order).
+class ProjectOperator : public Operator {
+ public:
+  explicit ProjectOperator(std::vector<int> indices)
+      : indices_(std::move(indices)) {}
+
+  Status Process(const Event& event) override {
+    Event out;
+    out.timestamp = event.timestamp;
+    out.values.reserve(indices_.size());
+    for (int index : indices_) {
+      if (index < 0 || static_cast<size_t>(index) >= event.values.size()) {
+        return OutOfRangeError("project index out of range");
+      }
+      out.values.push_back(event.values[index]);
+    }
+    return Forward(out);
+  }
+
+  std::string name() const override { return "project"; }
+
+ private:
+  std::vector<int> indices_;
+};
+
+/// Invokes a callback per event (terminal operator).
+class CallbackSink : public Operator {
+ public:
+  using Callback = std::function<void(const Event&)>;
+
+  explicit CallbackSink(Callback callback) : callback_(std::move(callback)) {}
+
+  Status Process(const Event& event) override {
+    callback_(event);
+    return OkStatus();
+  }
+
+  std::string name() const override { return "callback_sink"; }
+
+ private:
+  Callback callback_;
+};
+
+/// Counts events (terminal operator).
+class CountingSink : public Operator {
+ public:
+  Status Process(const Event&) override {
+    ++count_;
+    return OkStatus();
+  }
+
+  uint64_t count() const { return count_; }
+  std::string name() const override { return "counting_sink"; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Collects events into a vector (terminal operator, for tests).
+class CollectSink : public Operator {
+ public:
+  Status Process(const Event& event) override {
+    events_.push_back(event);
+    return OkStatus();
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::string name() const override { return "collect_sink"; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace epl::stream
+
+#endif  // EPL_STREAM_OPERATORS_H_

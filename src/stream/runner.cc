@@ -1,0 +1,53 @@
+#include "stream/runner.h"
+
+namespace epl::stream {
+
+EngineRunner::EngineRunner(StreamEngine* engine, size_t queue_capacity)
+    : engine_(engine), queue_(queue_capacity) {}
+
+EngineRunner::~EngineRunner() {
+  if (running_.load()) {
+    Stop().ok();
+  }
+}
+
+Status EngineRunner::Start() {
+  if (running_.exchange(true)) {
+    return FailedPreconditionError("runner already started");
+  }
+  worker_status_ = OkStatus();
+  worker_ = std::thread([this] { Run(); });
+  return OkStatus();
+}
+
+bool EngineRunner::Enqueue(const std::string& stream, Event event) {
+  return queue_.Push({stream, std::move(event)});
+}
+
+Status EngineRunner::Stop() {
+  if (!running_.load()) {
+    return FailedPreconditionError("runner not started");
+  }
+  queue_.Close();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+  running_.store(false);
+  return worker_status_;
+}
+
+void EngineRunner::Run() {
+  while (true) {
+    std::optional<std::pair<std::string, Event>> item = queue_.Pop();
+    if (!item.has_value()) {
+      return;
+    }
+    Status status = engine_->Push(item->first, item->second);
+    if (!status.ok() && worker_status_.ok()) {
+      worker_status_ = status;
+    }
+    processed_.fetch_add(1);
+  }
+}
+
+}  // namespace epl::stream

@@ -1,0 +1,56 @@
+// EngineRunner: threaded ingestion wrapper around StreamEngine.
+//
+// Producers enqueue (stream, event) pairs from any thread; a single worker
+// thread drains the queue and pushes into the engine, preserving the
+// engine's single-threaded execution model.
+
+#ifndef EPL_STREAM_RUNNER_H_
+#define EPL_STREAM_RUNNER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "stream/bounded_queue.h"
+#include "stream/engine.h"
+
+namespace epl::stream {
+
+class EngineRunner {
+ public:
+  /// The runner does not own the engine; the engine must outlive it.
+  /// No other thread may call engine->Push while the runner is running.
+  explicit EngineRunner(StreamEngine* engine, size_t queue_capacity = 1024);
+  ~EngineRunner();
+
+  EngineRunner(const EngineRunner&) = delete;
+  EngineRunner& operator=(const EngineRunner&) = delete;
+
+  /// Starts the worker thread. Error if already running.
+  Status Start();
+
+  /// Blocking enqueue; returns false after Stop().
+  bool Enqueue(const std::string& stream, Event event);
+
+  /// Drains the queue, stops the worker, and returns the first engine error
+  /// encountered (if any).
+  Status Stop();
+
+  uint64_t processed() const { return processed_.load(); }
+  bool running() const { return running_.load(); }
+
+ private:
+  void Run();
+
+  StreamEngine* engine_;
+  BoundedQueue<std::pair<std::string, Event>> queue_;
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> processed_{0};
+  Status worker_status_;
+};
+
+}  // namespace epl::stream
+
+#endif  // EPL_STREAM_RUNNER_H_

@@ -1,0 +1,48 @@
+#include "stream/schema.h"
+
+#include "common/string_util.h"
+
+namespace epl::stream {
+
+Schema::Schema(std::vector<std::string> field_names) {
+  for (std::string& name : field_names) {
+    AddField(name);
+  }
+}
+
+int Schema::AddField(const std::string& name) {
+  int index = static_cast<int>(fields_.size());
+  fields_.push_back(name);
+  index_.emplace(name, index);
+  return index;
+}
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return NotFoundError("unknown field: " + name);
+  }
+  return it->second;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+Status Schema::Validate() const {
+  if (index_.size() != fields_.size()) {
+    return InvalidArgumentError("schema has duplicate field names");
+  }
+  for (const std::string& name : fields_) {
+    if (name.empty()) {
+      return InvalidArgumentError("schema has an empty field name");
+    }
+  }
+  return OkStatus();
+}
+
+std::string Schema::ToString() const {
+  return "(" + StrJoin(fields_, ", ") + ")";
+}
+
+}  // namespace epl::stream

@@ -1,0 +1,52 @@
+// Schema: names the fields of a stream's events.
+//
+// The EPL data plane is numeric: every event is a timestamp plus a flat
+// vector of doubles. A Schema maps field names (e.g. "rHand_x") to indices.
+// Queries resolve names to indices once at compile time; the hot path only
+// uses integer indices.
+
+#ifndef EPL_STREAM_SCHEMA_H_
+#define EPL_STREAM_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace epl::stream {
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> field_names);
+
+  /// Appends a field; returns its index. Duplicate names are rejected by
+  /// Validate(), not here, so builders can stay fluent.
+  int AddField(const std::string& name);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const std::vector<std::string>& field_names() const { return fields_; }
+  const std::string& field_name(int index) const { return fields_[index]; }
+
+  /// Index of `name`, or error if absent.
+  Result<int> FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const;
+
+  /// Rejects duplicate or empty field names.
+  Status Validate() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace epl::stream
+
+#endif  // EPL_STREAM_SCHEMA_H_

@@ -1,0 +1,60 @@
+#include "transform/rpy.h"
+
+#include <cmath>
+
+namespace epl::transform {
+
+using kinect::JointId;
+
+RollPitchYaw DirectionAngles(const Vec3& v) {
+  RollPitchYaw angles;
+  double norm = v.Norm();
+  if (norm < 1e-9) {
+    return angles;
+  }
+  Vec3 unit = v / norm;
+  double clamped_y = std::max(-1.0, std::min(1.0, unit.y));
+  angles.pitch = std::asin(clamped_y);
+  // Azimuth: 0 = straight ahead (-Z), +pi/2 = +X (lateral).
+  if (std::abs(unit.x) > 1e-12 || std::abs(unit.z) > 1e-12) {
+    angles.yaw = std::atan2(unit.x, -unit.z);
+  }
+  return angles;
+}
+
+RollPitchYaw ForearmAngles(const kinect::SkeletonFrame& user_frame,
+                           bool right_side) {
+  JointId hand = right_side ? JointId::kRightHand : JointId::kLeftHand;
+  JointId elbow = right_side ? JointId::kRightElbow : JointId::kLeftElbow;
+  JointId shoulder =
+      right_side ? JointId::kRightShoulder : JointId::kLeftShoulder;
+
+  Vec3 forearm = user_frame.joint(hand) - user_frame.joint(elbow);
+  Vec3 upper_arm = user_frame.joint(elbow) - user_frame.joint(shoulder);
+  RollPitchYaw angles = DirectionAngles(forearm);
+
+  // Roll: orientation of the arm plane (spanned by upper arm and forearm)
+  // around the forearm axis, measured against the horizontal reference.
+  double norm = forearm.Norm();
+  if (norm < 1e-9) {
+    return angles;
+  }
+  Vec3 axis = forearm / norm;
+  Vec3 plane_normal = axis.Cross(upper_arm);
+  if (plane_normal.Norm() < 1e-9) {
+    return angles;  // arm fully extended: roll undefined, keep 0
+  }
+  plane_normal = plane_normal.Normalized();
+  Vec3 reference = axis.Cross(Vec3(0, 1, 0));
+  if (reference.Norm() < 1e-9) {
+    return angles;  // forearm vertical: roll undefined
+  }
+  reference = reference.Normalized();
+  double cos_roll =
+      std::max(-1.0, std::min(1.0, plane_normal.Dot(reference)));
+  double sign = plane_normal.Cross(reference).Dot(axis) < 0.0 ? 1.0 : -1.0;
+  angles.roll = sign * std::acos(cos_roll);
+  return angles;
+}
+
+}  // namespace epl::transform

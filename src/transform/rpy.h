@@ -1,0 +1,39 @@
+// Roll-Pitch-Yaw angles of limb segments (paper Sec. 3.2: "The
+// calculation of Roll-Pitch-Yaw (RPY) angles ... implemented as user
+// defined operators in AnduIN. They can be used to easily express
+// movements using any kind of rotations, e.g., a wave gesture.").
+//
+// For a limb direction vector v (child joint minus parent joint) in user
+// space (X lateral, Y up, Z behind):
+//   pitch = elevation above the horizontal plane,
+//   yaw   = azimuth in the horizontal plane, 0 pointing in front of the
+//           user (-Z), positive toward +X,
+//   roll  = rotation of the adjacent body plane about the limb axis
+//           relative to the horizontal reference (0 for a vertical plane).
+
+#ifndef EPL_TRANSFORM_RPY_H_
+#define EPL_TRANSFORM_RPY_H_
+
+#include "common/vec3.h"
+#include "kinect/skeleton.h"
+
+namespace epl::transform {
+
+struct RollPitchYaw {
+  double roll = 0.0;
+  double pitch = 0.0;
+  double yaw = 0.0;
+};
+
+/// Angles of the direction `v` (need not be normalized). Returns zeros for
+/// a near-zero vector.
+RollPitchYaw DirectionAngles(const Vec3& v);
+
+/// RPY of the right/left forearm (elbow -> hand) in a *transformed* frame;
+/// roll is derived from the upper-arm plane.
+RollPitchYaw ForearmAngles(const kinect::SkeletonFrame& user_frame,
+                           bool right_side);
+
+}  // namespace epl::transform
+
+#endif  // EPL_TRANSFORM_RPY_H_

@@ -1,0 +1,83 @@
+#include "transform/transform.h"
+
+#include <cmath>
+
+#include "common/mat3.h"
+
+namespace epl::transform {
+
+using kinect::JointId;
+using kinect::SkeletonFrame;
+
+double EstimateYaw(const SkeletonFrame& frame) {
+  Vec3 shoulder_axis = frame.joint(JointId::kRightShoulder) -
+                       frame.joint(JointId::kLeftShoulder);
+  // For a camera-facing user the shoulder axis is (+2s, 0, 0). A body yaw
+  // of theta rotates it to (2s cos, 0, -2s sin), so theta recovers as
+  // -atan2(z, x).
+  if (std::abs(shoulder_axis.x) < 1e-9 && std::abs(shoulder_axis.z) < 1e-9) {
+    return 0.0;
+  }
+  return -std::atan2(shoulder_axis.z, shoulder_axis.x);
+}
+
+double MeasureForearmLength(const SkeletonFrame& frame) {
+  return frame.joint(JointId::kRightHand)
+      .DistanceTo(frame.joint(JointId::kRightElbow));
+}
+
+SkeletonFrame TransformFrameExplicit(const SkeletonFrame& frame,
+                                     const TransformConfig& config,
+                                     double yaw, double forearm_length) {
+  SkeletonFrame out = frame;
+  const Vec3 torso = frame.joint(JointId::kTorso);
+
+  Mat3 unrotate;
+  if (config.rotate) {
+    unrotate = Mat3::RotationY(-yaw);
+  }
+
+  double scale = 1.0;
+  if (config.scale && forearm_length >= config.min_forearm_mm) {
+    scale = config.reference_forearm_mm / forearm_length;
+  }
+
+  for (Vec3& joint : out.joints) {
+    Vec3 p = joint;
+    if (config.translate) {
+      p -= torso;
+    }
+    if (config.rotate) {
+      p = unrotate.Apply(p);
+    }
+    p *= scale;
+    joint = p;
+  }
+  return out;
+}
+
+SkeletonFrame TransformFrame(const SkeletonFrame& frame,
+                             const TransformConfig& config) {
+  return TransformFrameExplicit(frame, config, EstimateYaw(frame),
+                                MeasureForearmLength(frame));
+}
+
+Vec3 TransformPoint(const Vec3& point, const SkeletonFrame& frame,
+                    const TransformConfig& config) {
+  Vec3 p = point;
+  if (config.translate) {
+    p -= frame.joint(JointId::kTorso);
+  }
+  if (config.rotate) {
+    p = Mat3::RotationY(-EstimateYaw(frame)).Apply(p);
+  }
+  if (config.scale) {
+    double forearm = MeasureForearmLength(frame);
+    if (forearm >= config.min_forearm_mm) {
+      p *= config.reference_forearm_mm / forearm;
+    }
+  }
+  return p;
+}
+
+}  // namespace epl::transform

@@ -1,0 +1,59 @@
+#include "workflow/control_gestures.h"
+
+namespace epl::workflow {
+
+using core::GestureDefinition;
+using core::JointWindow;
+using core::PoseWindow;
+using kinect::JointId;
+
+namespace {
+
+JointWindow Box(double cx, double cy, double cz, double hx, double hy,
+                double hz) {
+  JointWindow window;
+  window.center = Vec3(cx, cy, cz);
+  window.half_width = Vec3(hx, hy, hz);
+  return window;
+}
+
+}  // namespace
+
+GestureDefinition ControlWaveDefinition() {
+  GestureDefinition definition;
+  definition.name = kControlWaveName;
+  definition.joints = {JointId::kRightHand};
+  definition.notes = "built-in control gesture: wave starts recording";
+
+  // Hand above the shoulder oscillating right - left - right (matching
+  // the Wave shape: x 120..400 around 260, y ~380, z ~-160).
+  PoseWindow right1;
+  right1.joints[JointId::kRightHand] = Box(400, 380, -160, 90, 170, 180);
+  PoseWindow left;
+  left.joints[JointId::kRightHand] = Box(120, 380, -160, 90, 170, 180);
+  left.max_gap = kSecond;
+  PoseWindow right2 = right1;
+  right2.max_gap = kSecond;
+  definition.poses = {right1, left, right2};
+  return definition;
+}
+
+GestureDefinition ControlFinishDefinition() {
+  GestureDefinition definition;
+  definition.name = kControlFinishName;
+  definition.joints = {JointId::kRightHand, JointId::kLeftHand};
+  definition.notes =
+      "built-in control gesture: two-hand swipe finishes learning";
+
+  PoseWindow inward;
+  inward.joints[JointId::kRightHand] = Box(120, 140, -180, 100, 120, 180);
+  inward.joints[JointId::kLeftHand] = Box(-120, 140, -180, 100, 120, 180);
+  PoseWindow outward;
+  outward.joints[JointId::kRightHand] = Box(550, 140, -170, 130, 130, 190);
+  outward.joints[JointId::kLeftHand] = Box(-550, 140, -170, 130, 130, 190);
+  outward.max_gap = 2 * kSecond;
+  definition.poses = {inward, outward};
+  return definition;
+}
+
+}  // namespace epl::workflow

@@ -1,0 +1,29 @@
+// Built-in control gestures (paper Sec. 3.1): "we make use of pre-defined,
+// but configurable gestures to control the learning tool itself". A wave
+// starts the recording of a new sample; a swipe with both hands finalizes
+// the learning process.
+//
+// The control gestures are themselves expressed as GestureDefinitions and
+// deployed as CEP queries on kinect_t — the learning tool eats its own
+// dog food.
+
+#ifndef EPL_WORKFLOW_CONTROL_GESTURES_H_
+#define EPL_WORKFLOW_CONTROL_GESTURES_H_
+
+#include "core/gesture_definition.h"
+
+namespace epl::workflow {
+
+/// Reserved names of the control gestures.
+inline constexpr char kControlWaveName[] = "__control_wave";
+inline constexpr char kControlFinishName[] = "__control_finish";
+
+/// Right hand oscillating above the shoulder: right - left - right.
+core::GestureDefinition ControlWaveDefinition();
+
+/// Both hands sweeping outward simultaneously.
+core::GestureDefinition ControlFinishDefinition();
+
+}  // namespace epl::workflow
+
+#endif  // EPL_WORKFLOW_CONTROL_GESTURES_H_

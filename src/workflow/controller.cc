@@ -1,0 +1,265 @@
+#include "workflow/controller.h"
+
+#include "common/string_util.h"
+#include "kinect/sensor.h"
+#include "stream/operators.h"
+
+namespace epl::workflow {
+
+using core::DeployGesture;
+using kinect::SkeletonFrame;
+
+std::string_view ControllerPhaseToString(ControllerPhase phase) {
+  switch (phase) {
+    case ControllerPhase::kIdle:
+      return "idle";
+    case ControllerPhase::kLearning:
+      return "learning";
+    case ControllerPhase::kTesting:
+      return "testing";
+  }
+  return "?";
+}
+
+LearningController::LearningController(stream::StreamEngine* engine,
+                                       gesturedb::GestureStore* store,
+                                       ControllerConfig config,
+                                       ControllerEvents events)
+    : engine_(engine),
+      store_(store),
+      config_(std::move(config)),
+      events_(std::move(events)),
+      recorder_(config_.recorder) {}
+
+void LearningController::Emit(const std::string& status) {
+  if (events_.on_status) {
+    events_.on_status(status);
+  }
+}
+
+void LearningController::Warn(const std::string& warning) {
+  if (events_.on_warning) {
+    events_.on_warning(warning);
+  }
+}
+
+Status LearningController::Init() {
+  if (initialized_) {
+    return FailedPreconditionError("controller already initialized");
+  }
+  if (!engine_->HasStream("kinect")) {
+    EPL_RETURN_IF_ERROR(kinect::RegisterKinectStream(engine_));
+  }
+  if (!engine_->HasStream(transform::kKinectTViewName)) {
+    EPL_RETURN_IF_ERROR(
+        transform::RegisterKinectTView(engine_, config_.transform));
+  }
+  if (config_.deploy_control_gestures) {
+    EPL_RETURN_IF_ERROR(
+        DeployGesture(engine_, ControlWaveDefinition(),
+                      [this](const cep::Detection&) { OnControlWave(); })
+            .status());
+    EPL_RETURN_IF_ERROR(
+        DeployGesture(engine_, ControlFinishDefinition(),
+                      [this](const cep::Detection&) { OnControlFinish(); })
+            .status());
+  }
+  // Frame tap: drives the recorder with transformed frames. Deployed after
+  // the control matchers so control actions precede recorder updates for
+  // the same frame.
+  auto tap = std::make_unique<stream::CallbackSink>(
+      [this](const stream::Event& event) { OnTransformedEvent(event); });
+  EPL_RETURN_IF_ERROR(
+      engine_->Deploy(transform::kKinectTViewName, std::move(tap)).status());
+  initialized_ = true;
+  Emit("controller initialized");
+  return OkStatus();
+}
+
+Status LearningController::BeginGesture(
+    const std::string& name, std::vector<kinect::JointId> joints) {
+  if (!initialized_) {
+    return FailedPreconditionError("call Init() first");
+  }
+  if (name.empty() || joints.empty()) {
+    return InvalidArgumentError("gesture needs a name and involved joints");
+  }
+  core::LearnerConfig learner_config = config_.learner;
+  learner_config.source_stream = transform::kKinectTViewName;
+  learner_ =
+      std::make_unique<core::GestureLearner>(name, joints, learner_config);
+  gesture_name_ = name;
+  gesture_joints_ = std::move(joints);
+  warnings_reported_ = 0;
+  recorder_.Reset();
+  phase_ = ControllerPhase::kLearning;
+  Emit(StrFormat("defining gesture '%s'; wave to record a sample",
+                 name.c_str()));
+  return OkStatus();
+}
+
+Status LearningController::TriggerRecording() {
+  if (phase_ != ControllerPhase::kLearning) {
+    return FailedPreconditionError("not in the learning phase");
+  }
+  OnControlWave();
+  return OkStatus();
+}
+
+void LearningController::OnControlWave() {
+  if (phase_ != ControllerPhase::kLearning || learner_ == nullptr) {
+    return;
+  }
+  if (recorder_.state() != RecorderState::kIdle) {
+    return;  // already recording
+  }
+  recorder_.Start(last_timestamp_);
+  Emit("recording armed: move to the start pose and hold still");
+}
+
+void LearningController::OnControlFinish() {
+  if (phase_ != ControllerPhase::kLearning ||
+      recorder_.state() == RecorderState::kRecording) {
+    return;
+  }
+  Status status = FinishLearning();
+  if (!status.ok()) {
+    Warn("finish failed: " + status.ToString());
+  }
+}
+
+Status LearningController::FinishLearning() {
+  if (phase_ != ControllerPhase::kLearning || learner_ == nullptr) {
+    return FailedPreconditionError("no gesture being learned");
+  }
+  if (learner_->sample_count() == 0) {
+    return FailedPreconditionError(
+        "record at least one sample before finishing");
+  }
+  EPL_ASSIGN_OR_RETURN(core::GestureDefinition definition, learner_->Learn());
+  EPL_ASSIGN_OR_RETURN(std::string query_text,
+                       core::GenerateQueryText(definition,
+                                               config_.learner.query));
+  if (store_ != nullptr) {
+    EPL_RETURN_IF_ERROR(store_->Put(definition));
+  }
+  // Re-learning an existing gesture: retire the old deployment between
+  // frames (Undeploy must not run inside a dispatch).
+  auto existing = deployments_.find(definition.name);
+  if (existing != deployments_.end()) {
+    pending_undeploys_.push_back(existing->second);
+    deployments_.erase(existing);
+  }
+  std::string name = definition.name;
+  EPL_ASSIGN_OR_RETURN(
+      stream::DeploymentId id,
+      DeployGesture(engine_, definition,
+                    [this](const cep::Detection& detection) {
+                      if (phase_ == ControllerPhase::kTesting &&
+                          events_.on_detection) {
+                        events_.on_detection(detection);
+                      }
+                    },
+                    config_.learner.query));
+  deployments_[name] = id;
+  last_query_text_ = query_text;
+  phase_ = ControllerPhase::kTesting;
+  Emit(StrFormat("gesture '%s' deployed; entering the testing phase",
+                 name.c_str()));
+  if (events_.on_deployed) {
+    events_.on_deployed(name, query_text);
+  }
+  return OkStatus();
+}
+
+Status LearningController::PushFrame(const SkeletonFrame& frame) {
+  if (!initialized_) {
+    return FailedPreconditionError("call Init() first");
+  }
+  EPL_RETURN_IF_ERROR(ApplyPendingUndeploys());
+  return engine_->Push("kinect", kinect::FrameToEvent(frame));
+}
+
+Status LearningController::PushFrames(
+    const std::vector<SkeletonFrame>& frames) {
+  for (const SkeletonFrame& frame : frames) {
+    EPL_RETURN_IF_ERROR(PushFrame(frame));
+  }
+  return OkStatus();
+}
+
+Status LearningController::ApplyPendingUndeploys() {
+  for (stream::DeploymentId id : pending_undeploys_) {
+    EPL_RETURN_IF_ERROR(engine_->Undeploy(id));
+  }
+  pending_undeploys_.clear();
+  return OkStatus();
+}
+
+void LearningController::OnTransformedEvent(const stream::Event& event) {
+  last_timestamp_ = event.timestamp;
+  if (recorder_.state() == RecorderState::kIdle) {
+    return;
+  }
+  // kinect_t events carry the kinect fields plus derived angles; the
+  // recorder consumes the skeleton part.
+  stream::Event kinect_part;
+  kinect_part.timestamp = event.timestamp;
+  kinect_part.values.assign(
+      event.values.begin(),
+      event.values.begin() + kinect::KinectSchema().num_fields());
+  Result<SkeletonFrame> frame = kinect::FrameFromEvent(kinect_part);
+  if (!frame.ok()) {
+    Warn("bad kinect_t event: " + frame.status().ToString());
+    return;
+  }
+  recorder_.Update(*frame);
+  HandleRecorderResult();
+}
+
+void LearningController::HandleRecorderResult() {
+  switch (recorder_.state()) {
+    case RecorderState::kComplete: {
+      std::vector<SkeletonFrame> sample = recorder_.TakeSample();
+      recorder_.Reset();
+      Status status = learner_->AddSample(sample);
+      if (!status.ok()) {
+        Warn("sample rejected: " + status.ToString());
+        break;
+      }
+      // Surface any new merge warnings.
+      const std::vector<core::MergeWarning>& warnings = learner_->warnings();
+      for (; warnings_reported_ < warnings.size(); ++warnings_reported_) {
+        Warn(warnings[warnings_reported_].message);
+      }
+      int poses = learner_->summaries().empty()
+                      ? 0
+                      : static_cast<int>(
+                            learner_->summaries().back().centroids.size());
+      Emit(StrFormat("sample %d recorded (%d characteristic poses)",
+                     learner_->sample_count(), poses));
+      if (events_.on_sample) {
+        events_.on_sample(learner_->sample_count(), poses);
+      }
+      break;
+    }
+    case RecorderState::kFailed: {
+      Warn("recording failed: " + recorder_.failure_reason());
+      recorder_.Reset();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::vector<std::string> LearningController::deployed_gestures() const {
+  std::vector<std::string> names;
+  names.reserve(deployments_.size());
+  for (const auto& [name, id] : deployments_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace epl::workflow

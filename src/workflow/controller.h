@@ -1,0 +1,126 @@
+// LearningController: the interactive gesture-learning workflow of paper
+// Sec. 3.1 / Fig. 2, wired end to end:
+//
+//   * raw "kinect" frames stream through the engine into the "kinect_t"
+//     transformation view;
+//   * built-in control gestures run as CEP queries on kinect_t — a wave
+//     starts the recording of a new sample, a two-hand swipe finishes the
+//     learning phase;
+//   * the stillness-delimited recorder captures samples and feeds the
+//     incremental learner (warnings surface when a sample deviates);
+//   * on finish, the learned query is generated, stored in the gesture
+//     database, and deployed; the session enters the testing phase where
+//     detections of the new gesture are reported back.
+//
+// Visual feedback of the paper's GUI maps to the callback events below.
+
+#ifndef EPL_WORKFLOW_CONTROLLER_H_
+#define EPL_WORKFLOW_CONTROLLER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/learner.h"
+#include "gesturedb/store.h"
+#include "stream/engine.h"
+#include "transform/view.h"
+#include "workflow/control_gestures.h"
+#include "workflow/recorder.h"
+
+namespace epl::workflow {
+
+enum class ControllerPhase { kIdle, kLearning, kTesting };
+
+std::string_view ControllerPhaseToString(ControllerPhase phase);
+
+struct ControllerEvents {
+  /// Human-readable progress lines (the GUI's status display).
+  std::function<void(const std::string&)> on_status;
+  /// A sample was recorded and merged (sample index, current pose count).
+  std::function<void(int, int)> on_sample;
+  /// Learner / recorder warnings (e.g. deviating samples).
+  std::function<void(const std::string&)> on_warning;
+  /// A gesture was learned and deployed (name, generated query text).
+  std::function<void(const std::string&, const std::string&)> on_deployed;
+  /// Detections of learned gestures during the testing phase.
+  cep::DetectionCallback on_detection;
+};
+
+struct ControllerConfig {
+  core::LearnerConfig learner;
+  RecorderConfig recorder;
+  transform::TransformConfig transform;
+  /// Deploy the wave / two-hand-swipe control queries.
+  bool deploy_control_gestures = true;
+};
+
+class LearningController {
+ public:
+  /// `engine` must outlive the controller. `store` may be null (no
+  /// persistence).
+  LearningController(stream::StreamEngine* engine,
+                     gesturedb::GestureStore* store,
+                     ControllerConfig config = ControllerConfig(),
+                     ControllerEvents events = ControllerEvents());
+
+  /// Registers streams/views (if absent) and deploys control queries and
+  /// the internal frame tap. Call once.
+  Status Init();
+
+  /// Starts defining a new gesture; subsequent recordings feed it.
+  Status BeginGesture(const std::string& name,
+                      std::vector<kinect::JointId> joints);
+
+  /// Equivalent to the wave control gesture.
+  Status TriggerRecording();
+
+  /// Equivalent to the two-hand-swipe control gesture: learn, store,
+  /// deploy, enter the testing phase.
+  Status FinishLearning();
+
+  /// Entry point for the sensor feed (raw camera-space frames).
+  Status PushFrame(const kinect::SkeletonFrame& frame);
+  Status PushFrames(const std::vector<kinect::SkeletonFrame>& frames);
+
+  ControllerPhase phase() const { return phase_; }
+  RecorderState recorder_state() const { return recorder_.state(); }
+  int sample_count() const {
+    return learner_ ? learner_->sample_count() : 0;
+  }
+  /// Query text of the most recently deployed gesture.
+  const std::string& last_query_text() const { return last_query_text_; }
+  /// Names of gestures deployed by this controller.
+  std::vector<std::string> deployed_gestures() const;
+
+ private:
+  void Emit(const std::string& status);
+  void Warn(const std::string& warning);
+  void OnControlWave();
+  void OnControlFinish();
+  void OnTransformedEvent(const stream::Event& event);
+  void HandleRecorderResult();
+  Status ApplyPendingUndeploys();
+
+  stream::StreamEngine* engine_;
+  gesturedb::GestureStore* store_;
+  ControllerConfig config_;
+  ControllerEvents events_;
+
+  ControllerPhase phase_ = ControllerPhase::kIdle;
+  std::unique_ptr<core::GestureLearner> learner_;
+  std::string gesture_name_;
+  std::vector<kinect::JointId> gesture_joints_;
+  SampleRecorder recorder_;
+  size_t warnings_reported_ = 0;
+  TimePoint last_timestamp_ = 0;
+  std::string last_query_text_;
+  std::map<std::string, stream::DeploymentId> deployments_;
+  std::vector<stream::DeploymentId> pending_undeploys_;
+  bool initialized_ = false;
+};
+
+}  // namespace epl::workflow
+
+#endif  // EPL_WORKFLOW_CONTROLLER_H_

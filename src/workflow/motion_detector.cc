@@ -1,0 +1,47 @@
+#include "workflow/motion_detector.h"
+
+#include <algorithm>
+
+namespace epl::workflow {
+
+StillnessDetector::StillnessDetector(StillnessConfig config)
+    : config_(std::move(config)) {}
+
+void StillnessDetector::Reset() {
+  history_.clear();
+  still_ = false;
+}
+
+bool StillnessDetector::Update(const kinect::SkeletonFrame& frame) {
+  history_.push_back(frame);
+  TimePoint cutoff = frame.timestamp - config_.window;
+  while (!history_.empty() && history_.front().timestamp < cutoff) {
+    history_.pop_front();
+  }
+  // The window must actually span the configured duration.
+  if (history_.size() < 2 ||
+      history_.back().timestamp - history_.front().timestamp <
+          config_.window - kinect::kFramePeriod) {
+    still_ = false;
+    return still_;
+  }
+  double max_extent = 0.0;
+  for (kinect::JointId joint : config_.joints) {
+    Vec3 lo = history_.front().joint(joint);
+    Vec3 hi = lo;
+    for (const kinect::SkeletonFrame& past : history_) {
+      lo = Vec3::Min(lo, past.joint(joint));
+      hi = Vec3::Max(hi, past.joint(joint));
+    }
+    max_extent = std::max(max_extent, (hi - lo).Norm());
+  }
+  if (still_) {
+    // Hysteresis: leave the still state only on clear movement.
+    still_ = max_extent <= config_.motion_epsilon_mm;
+  } else {
+    still_ = max_extent <= config_.epsilon_mm;
+  }
+  return still_;
+}
+
+}  // namespace epl::workflow

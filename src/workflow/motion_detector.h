@@ -1,0 +1,51 @@
+// Stillness detection (paper Sec. 3.1: "The actual recording is triggered
+// after the user did not move for some time and lasts until the user stops
+// at the end pose.").
+
+#ifndef EPL_WORKFLOW_MOTION_DETECTOR_H_
+#define EPL_WORKFLOW_MOTION_DETECTOR_H_
+
+#include <deque>
+#include <vector>
+
+#include "kinect/skeleton.h"
+
+namespace epl::workflow {
+
+struct StillnessConfig {
+  /// The user counts as still when the observed joints stayed within a
+  /// box of this diagonal for `window` time. Sized for transformed
+  /// (kinect_t) coordinates where scale normalization amplifies sensor
+  /// noise at outstretched joints.
+  double epsilon_mm = 80.0;
+  /// Hysteresis: once still, the user counts as moving only when the box
+  /// exceeds this larger bound, so noise excursions around epsilon_mm do
+  /// not flicker the state (which would start and instantly abort
+  /// recordings). Must be >= epsilon_mm.
+  double motion_epsilon_mm = 130.0;
+  Duration window = 500 * kMillisecond;
+  /// Joints that must hold still (hands by default — the body may sway).
+  std::vector<kinect::JointId> joints = {kinect::JointId::kRightHand,
+                                         kinect::JointId::kLeftHand};
+};
+
+class StillnessDetector {
+ public:
+  explicit StillnessDetector(StillnessConfig config = StillnessConfig());
+
+  /// Feeds one frame; returns true when the user is currently still (the
+  /// trailing window is full and movement stayed below epsilon).
+  bool Update(const kinect::SkeletonFrame& frame);
+
+  bool IsStill() const { return still_; }
+  void Reset();
+
+ private:
+  StillnessConfig config_;
+  std::deque<kinect::SkeletonFrame> history_;
+  bool still_ = false;
+};
+
+}  // namespace epl::workflow
+
+#endif  // EPL_WORKFLOW_MOTION_DETECTOR_H_

@@ -1,0 +1,114 @@
+#include "workflow/recorder.h"
+
+namespace epl::workflow {
+
+std::string_view RecorderStateToString(RecorderState state) {
+  switch (state) {
+    case RecorderState::kIdle:
+      return "idle";
+    case RecorderState::kAwaitingStill:
+      return "awaiting_still";
+    case RecorderState::kAwaitingMotion:
+      return "awaiting_motion";
+    case RecorderState::kRecording:
+      return "recording";
+    case RecorderState::kComplete:
+      return "complete";
+    case RecorderState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+SampleRecorder::SampleRecorder(RecorderConfig config)
+    : config_(config), stillness_(config.stillness) {}
+
+void SampleRecorder::Start(TimePoint now) {
+  state_ = RecorderState::kAwaitingStill;
+  armed_at_ = now;
+  stillness_.Reset();
+  sample_.clear();
+  onset_buffer_.clear();
+  failure_reason_.clear();
+}
+
+void SampleRecorder::Reset() {
+  state_ = RecorderState::kIdle;
+  stillness_.Reset();
+  sample_.clear();
+  onset_buffer_.clear();
+  failure_reason_.clear();
+}
+
+void SampleRecorder::Fail(const std::string& reason) {
+  state_ = RecorderState::kFailed;
+  failure_reason_ = reason;
+  sample_.clear();
+}
+
+RecorderState SampleRecorder::Update(const kinect::SkeletonFrame& frame) {
+  switch (state_) {
+    case RecorderState::kIdle:
+    case RecorderState::kComplete:
+    case RecorderState::kFailed:
+      return state_;
+
+    case RecorderState::kAwaitingStill: {
+      if (stillness_.Update(frame)) {
+        state_ = RecorderState::kAwaitingMotion;
+      } else if (frame.timestamp - armed_at_ > config_.start_timeout) {
+        Fail("user never settled at a start pose");
+      }
+      return state_;
+    }
+
+    case RecorderState::kAwaitingMotion: {
+      // Keep the trailing window of still frames: when motion is detected
+      // the true gesture onset lies up to one stillness window in the
+      // past, so those frames belong to the sample.
+      onset_buffer_.push_back(frame);
+      while (!onset_buffer_.empty() &&
+             onset_buffer_.front().timestamp <
+                 frame.timestamp - config_.stillness.window) {
+        onset_buffer_.pop_front();
+      }
+      if (!stillness_.Update(frame)) {
+        state_ = RecorderState::kRecording;
+        recording_since_ = frame.timestamp;
+        sample_.assign(onset_buffer_.begin(), onset_buffer_.end());
+        onset_buffer_.clear();
+      } else if (frame.timestamp - armed_at_ > config_.start_timeout) {
+        Fail("user held the start pose but never moved");
+      }
+      return state_;
+    }
+
+    case RecorderState::kRecording: {
+      sample_.push_back(frame);
+      bool still = stillness_.Update(frame);
+      if (still) {
+        // Gesture ended: drop the trailing stillness window.
+        TimePoint cutoff = frame.timestamp - config_.stillness.window;
+        while (!sample_.empty() && sample_.back().timestamp > cutoff) {
+          sample_.pop_back();
+        }
+        // Judge the minimum length on the motion portion only (the
+        // prepended onset frames are mostly still).
+        if (sample_.empty() ||
+            sample_.back().timestamp - recording_since_ <
+                config_.min_gesture) {
+          Fail("recorded gesture too short");
+        } else {
+          state_ = RecorderState::kComplete;
+        }
+      } else if (frame.timestamp - recording_since_ >
+                 config_.max_recording) {
+        Fail("gesture recording exceeded the time limit");
+      }
+      return state_;
+    }
+  }
+  return state_;
+}
+
+}  // namespace epl::workflow

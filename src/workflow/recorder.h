@@ -1,0 +1,83 @@
+// Sample recording state machine (paper Sec. 3.1): after the control
+// gesture, the user moves to the start pose; recording begins once they
+// hold still, captures everything while they move, and ends when they hold
+// still again at the end pose.
+
+#ifndef EPL_WORKFLOW_RECORDER_H_
+#define EPL_WORKFLOW_RECORDER_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workflow/motion_detector.h"
+
+namespace epl::workflow {
+
+enum class RecorderState {
+  kIdle,            // not recording
+  kAwaitingStill,   // user moving to the start pose
+  kAwaitingMotion,  // user holding the start pose; gesture not begun
+  kRecording,       // capturing the gesture
+  kComplete,        // sample finished (terminal until Reset/Start)
+  kFailed,          // timed out or sample too short
+};
+
+std::string_view RecorderStateToString(RecorderState state);
+
+struct RecorderConfig {
+  StillnessConfig stillness;
+  /// Give up when the user never settles at a start pose.
+  Duration start_timeout = 10 * kSecond;
+  /// Give up when a gesture never ends.
+  Duration max_recording = 15 * kSecond;
+  /// Recordings whose motion portion is shorter than this fail.
+  Duration min_gesture = 250 * kMillisecond;
+};
+
+class SampleRecorder {
+ public:
+  explicit SampleRecorder(RecorderConfig config = RecorderConfig());
+
+  /// Arms the recorder (state kAwaitingStill).
+  void Start(TimePoint now);
+
+  /// Feeds one frame; returns the state after consuming it.
+  RecorderState Update(const kinect::SkeletonFrame& frame);
+
+  RecorderState state() const { return state_; }
+
+  /// The captured sample (valid in kComplete): frames from the end of the
+  /// initial stillness to the start of the final stillness.
+  const std::vector<kinect::SkeletonFrame>& sample() const {
+    return sample_;
+  }
+  std::vector<kinect::SkeletonFrame> TakeSample() {
+    return std::move(sample_);
+  }
+
+  /// Why the recorder entered kFailed.
+  const std::string& failure_reason() const { return failure_reason_; }
+
+  void Reset();
+
+ private:
+  void Fail(const std::string& reason);
+
+  RecorderConfig config_;
+  StillnessDetector stillness_;
+  RecorderState state_ = RecorderState::kIdle;
+  TimePoint armed_at_ = 0;
+  TimePoint recording_since_ = 0;
+  std::vector<kinect::SkeletonFrame> sample_;
+  /// Trailing frames buffered while awaiting motion: stillness detection
+  /// lags the true gesture onset by up to its window, so these frames are
+  /// prepended to the sample when recording starts.
+  std::deque<kinect::SkeletonFrame> onset_buffer_;
+  std::string failure_reason_;
+};
+
+}  // namespace epl::workflow
+
+#endif  // EPL_WORKFLOW_RECORDER_H_

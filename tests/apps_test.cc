@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "apps/binding.h"
+#include "apps/graph.h"
+#include "apps/olap.h"
+#include "test_util.h"
+
+namespace epl::apps {
+namespace {
+
+TEST(OlapTest, DemoCubeHasFacts) {
+  OlapCube cube = OlapCube::Demo();
+  EXPECT_EQ(cube.num_facts(), 2 * 4 * 3 * 4 * 4);
+  std::map<std::string, double> totals = cube.Aggregate();
+  // Coarsest levels: year x country x category = 2*2*2 = 8 rows.
+  EXPECT_EQ(totals.size(), 8u);
+}
+
+TEST(OlapTest, DrillDownRefinesGrouping) {
+  OlapCube cube = OlapCube::Demo();
+  size_t before = cube.Aggregate().size();
+  EPL_ASSERT_OK(cube.DrillDown(Dimension::kTime));
+  size_t after = cube.Aggregate().size();
+  EXPECT_GT(after, before);
+  EXPECT_EQ(cube.level(Dimension::kTime), 1);
+}
+
+TEST(OlapTest, DrillPastBottomFails) {
+  OlapCube cube = OlapCube::Demo();
+  EPL_ASSERT_OK(cube.DrillDown(Dimension::kRegion));
+  EXPECT_EQ(cube.DrillDown(Dimension::kRegion).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(OlapTest, RollUpInvertsDrillDown) {
+  OlapCube cube = OlapCube::Demo();
+  double total_before = 0.0;
+  for (const auto& [key, value] : cube.Aggregate()) {
+    total_before += value;
+  }
+  EPL_ASSERT_OK(cube.DrillDown(Dimension::kProduct));
+  EPL_ASSERT_OK(cube.RollUp(Dimension::kProduct));
+  EXPECT_EQ(cube.level(Dimension::kProduct), 0);
+  EXPECT_EQ(cube.RollUp(Dimension::kProduct).code(),
+            StatusCode::kFailedPrecondition);
+  // Aggregation totals are preserved by navigation.
+  double total_after = 0.0;
+  for (const auto& [key, value] : cube.Aggregate()) {
+    total_after += value;
+  }
+  EXPECT_NEAR(total_before, total_after, 1e-6);
+}
+
+TEST(OlapTest, PivotRotatesDimensions) {
+  OlapCube cube = OlapCube::Demo();
+  EXPECT_EQ(cube.pivot_dimension(), Dimension::kTime);
+  cube.Pivot();
+  EXPECT_EQ(cube.pivot_dimension(), Dimension::kRegion);
+  cube.Pivot();
+  cube.Pivot();
+  EXPECT_EQ(cube.pivot_dimension(), Dimension::kTime);
+}
+
+TEST(OlapTest, SliceFiltersAndCycles) {
+  OlapCube cube = OlapCube::Demo();
+  EPL_ASSERT_OK(cube.SliceNext());
+  EXPECT_EQ(cube.slice_filter(), "2012");
+  std::map<std::string, double> sliced = cube.Aggregate();
+  for (const auto& [key, value] : sliced) {
+    EXPECT_NE(key.find("2012"), std::string::npos);
+  }
+  EPL_ASSERT_OK(cube.SliceNext());
+  EXPECT_EQ(cube.slice_filter(), "2013");
+  EPL_ASSERT_OK(cube.SliceNext());  // wraps
+  EXPECT_EQ(cube.slice_filter(), "2012");
+  cube.Unslice();
+  EXPECT_TRUE(cube.slice_filter().empty());
+}
+
+TEST(OlapTest, RenderShowsState) {
+  OlapCube cube = OlapCube::Demo();
+  std::string rendered = cube.Render();
+  EXPECT_NE(rendered.find("cube[time@L0 x region@L0 x product@L0]"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("2012"), std::string::npos);
+}
+
+TEST(GraphTest, BaconNumbers) {
+  MovieGraph graph = MovieGraph::Demo();
+  EPL_ASSERT_OK_AND_ASSIGN(int bacon, graph.BaconNumber("Kevin Bacon"));
+  EXPECT_EQ(bacon, 0);
+  EPL_ASSERT_OK_AND_ASSIGN(int hanks, graph.BaconNumber("Tom Hanks"));
+  EXPECT_EQ(hanks, 1);  // Apollo 13
+  EPL_ASSERT_OK_AND_ASSIGN(int wright, graph.BaconNumber("Robin Wright"));
+  EXPECT_EQ(wright, 2);  // Forrest Gump -> Tom Hanks -> Apollo 13
+  EPL_ASSERT_OK_AND_ASSIGN(int pitt, graph.BaconNumber("Brad Pitt"));
+  EXPECT_EQ(pitt, 2);  // Interview -> Tom Cruise -> A Few Good Men
+}
+
+TEST(GraphTest, DisconnectedActorHasNoBaconNumber) {
+  MovieGraph graph = MovieGraph::Demo();
+  Result<int> r = graph.BaconNumber("Julianne Hough");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphTest, UnknownActorFails) {
+  MovieGraph graph = MovieGraph::Demo();
+  EXPECT_FALSE(graph.BaconNumber("Nobody").ok());
+}
+
+TEST(GraphTest, NeighborsSortedAndDeduplicated) {
+  MovieGraph graph = MovieGraph::Demo();
+  EPL_ASSERT_OK_AND_ASSIGN(int bacon, graph.FindNode("Kevin Bacon"));
+  std::vector<int> neighbors = graph.Neighbors(bacon);
+  ASSERT_EQ(neighbors.size(), 3u);  // three movies
+  for (size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_LT(graph.node(neighbors[i - 1]).name,
+              graph.node(neighbors[i]).name);
+  }
+}
+
+TEST(GraphCursorTest, NavigationAndBack) {
+  MovieGraph graph = MovieGraph::Demo();
+  EPL_ASSERT_OK_AND_ASSIGN(int bacon, graph.FindNode("Kevin Bacon"));
+  GraphCursor cursor(&graph, bacon);
+  EXPECT_EQ(cursor.current_node().name, "Kevin Bacon");
+
+  // Cycle selection and expand into a movie.
+  int first_selected = cursor.selected_neighbor();
+  cursor.NextNeighbor();
+  EXPECT_NE(cursor.selected_neighbor(), first_selected);
+  cursor.PrevNeighbor();
+  EXPECT_EQ(cursor.selected_neighbor(), first_selected);
+
+  EPL_ASSERT_OK(cursor.Expand());
+  EXPECT_EQ(cursor.current_node().kind, MovieGraph::NodeKind::kMovie);
+  EPL_ASSERT_OK(cursor.Expand());  // into some actor of that movie
+  EXPECT_EQ(cursor.current_node().kind, MovieGraph::NodeKind::kActor);
+
+  EPL_ASSERT_OK(cursor.Back());
+  EPL_ASSERT_OK(cursor.Back());
+  EXPECT_EQ(cursor.current_node().name, "Kevin Bacon");
+  EXPECT_EQ(cursor.Back().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphCursorTest, DescribeHighlightsSelection) {
+  MovieGraph graph = MovieGraph::Demo();
+  EPL_ASSERT_OK_AND_ASSIGN(int bacon, graph.FindNode("Kevin Bacon"));
+  GraphCursor cursor(&graph, bacon);
+  std::string description = cursor.Describe();
+  EXPECT_NE(description.find("[actor] Kevin Bacon"), std::string::npos);
+  EXPECT_NE(description.find("> "), std::string::npos);
+}
+
+cep::Detection Detect(const std::string& name) {
+  cep::Detection detection;
+  detection.name = name;
+  return detection;
+}
+
+TEST(RouterTest, DispatchesToBoundCommand) {
+  GestureCommandRouter router;
+  int drills = 0;
+  router.Bind("swipe_right", [&drills](const cep::Detection&) { ++drills; });
+  router.OnDetection(Detect("swipe_right"));
+  router.OnDetection(Detect("swipe_right"));
+  EXPECT_EQ(drills, 2);
+  EXPECT_EQ(router.dispatched(), 2u);
+  EXPECT_EQ(router.unhandled(), 0u);
+}
+
+TEST(RouterTest, UnboundGestureCountsUnhandled) {
+  GestureCommandRouter router;
+  router.OnDetection(Detect("mystery"));
+  EXPECT_EQ(router.unhandled(), 1u);
+}
+
+TEST(RouterTest, RebindReplacesCommand) {
+  GestureCommandRouter router;
+  std::string last;
+  router.Bind("g", [&last](const cep::Detection&) { last = "first"; });
+  router.OnDetection(Detect("g"));
+  EXPECT_EQ(last, "first");
+  // Runtime rebinding (the paper's demo finale).
+  router.Bind("g", [&last](const cep::Detection&) { last = "second"; });
+  router.OnDetection(Detect("g"));
+  EXPECT_EQ(last, "second");
+}
+
+TEST(RouterTest, UnbindRemovesCommand) {
+  GestureCommandRouter router;
+  router.Bind("g", [](const cep::Detection&) {});
+  EXPECT_TRUE(router.IsBound("g"));
+  EPL_ASSERT_OK(router.Unbind("g"));
+  EXPECT_FALSE(router.IsBound("g"));
+  EXPECT_EQ(router.Unbind("g").code(), StatusCode::kNotFound);
+}
+
+TEST(RouterTest, DrivesOlapCube) {
+  OlapCube cube = OlapCube::Demo();
+  GestureCommandRouter router;
+  router.Bind("swipe_right", [&cube](const cep::Detection&) {
+    cube.DrillDown(Dimension::kTime).ok();
+  });
+  router.Bind("swipe_left", [&cube](const cep::Detection&) {
+    cube.RollUp(Dimension::kTime).ok();
+  });
+  router.OnDetection(Detect("swipe_right"));
+  EXPECT_EQ(cube.level(Dimension::kTime), 1);
+  router.OnDetection(Detect("swipe_left"));
+  EXPECT_EQ(cube.level(Dimension::kTime), 0);
+}
+
+}  // namespace
+}  // namespace epl::apps

@@ -1,0 +1,152 @@
+// Focused tests for the compiled expression VM, especially the
+// short-circuit jump lowering of `and` / `or`.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cep/expr_program.h"
+#include "query/parser.h"
+#include "stream/schema.h"
+#include "test_util.h"
+
+namespace epl::cep {
+namespace {
+
+using stream::Event;
+using stream::Schema;
+
+ExprProgram CompileText(const std::string& text, const Schema& schema) {
+  Result<ExprPtr> expr = query::ParseExpression(text);
+  EPL_CHECK(expr.ok()) << expr.status();
+  EPL_CHECK((*expr)->Bind(schema).ok());
+  Result<ExprProgram> program = ExprProgram::Compile(**expr);
+  EPL_CHECK(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+Schema AbcSchema() { return Schema({"a", "b", "c"}); }
+
+Event E(double a, double b = 0, double c = 0) { return Event(0, {a, b, c}); }
+
+TEST(ExprProgramJumpTest, AndShortCircuits) {
+  // 1/a > 0 would divide by zero when a == 0; the guard must prevent the
+  // rhs from mattering (no trap either way, but the value must be exact).
+  ExprProgram program = CompileText("a != 0 and 1 / a > 0", AbcSchema());
+  EXPECT_DOUBLE_EQ(program.Eval(E(2)), 1.0);
+  EXPECT_DOUBLE_EQ(program.Eval(E(0)), 0.0);   // short-circuit: false
+  EXPECT_DOUBLE_EQ(program.Eval(E(-2)), 0.0);  // rhs false
+}
+
+TEST(ExprProgramJumpTest, OrShortCircuits) {
+  ExprProgram program = CompileText("a > 0 or b > 0", AbcSchema());
+  EXPECT_DOUBLE_EQ(program.Eval(E(1, -1)), 1.0);
+  EXPECT_DOUBLE_EQ(program.Eval(E(-1, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(program.Eval(E(-1, -1)), 0.0);
+}
+
+TEST(ExprProgramJumpTest, TruthyNonOneValuesNormalize) {
+  // `a and b` where a=5, b=7: result must be exactly 1.0, not 7.0.
+  ExprProgram and_program = CompileText("a and b", AbcSchema());
+  EXPECT_DOUBLE_EQ(and_program.Eval(E(5, 7)), 1.0);
+  EXPECT_DOUBLE_EQ(and_program.Eval(E(5, 0)), 0.0);
+  EXPECT_DOUBLE_EQ(and_program.Eval(E(0, 7)), 0.0);
+  // `a or b` with truthy lhs 5: result 1.0.
+  ExprProgram or_program = CompileText("a or b", AbcSchema());
+  EXPECT_DOUBLE_EQ(or_program.Eval(E(5, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(or_program.Eval(E(0, 9)), 1.0);
+  EXPECT_DOUBLE_EQ(or_program.Eval(E(0, 0)), 0.0);
+}
+
+TEST(ExprProgramJumpTest, LongConjunctionChains) {
+  ExprProgram program = CompileText(
+      "a > 0 and a > 1 and a > 2 and a > 3 and a > 4 and a > 5",
+      AbcSchema());
+  EXPECT_DOUBLE_EQ(program.Eval(E(6)), 1.0);
+  EXPECT_DOUBLE_EQ(program.Eval(E(3)), 0.0);   // fails mid-chain
+  EXPECT_DOUBLE_EQ(program.Eval(E(-1)), 0.0);  // fails at first conjunct
+}
+
+TEST(ExprProgramJumpTest, MixedAndOrNesting) {
+  ExprProgram program = CompileText(
+      "(a > 0 and b > 0) or (a < 0 and c > 0)", AbcSchema());
+  EXPECT_DOUBLE_EQ(program.Eval(E(1, 1, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(program.Eval(E(-1, 0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(program.Eval(E(1, 0, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(program.Eval(E(0, 1, 1)), 0.0);
+}
+
+TEST(ExprProgramJumpTest, NotOverLogical) {
+  ExprProgram program = CompileText("not (a > 0 and b > 0)", AbcSchema());
+  EXPECT_DOUBLE_EQ(program.Eval(E(1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(program.Eval(E(1, -1)), 1.0);
+}
+
+TEST(ExprProgramJumpTest, NanIsTruthy) {
+  // NaN != 0.0, so NaN is truthy in both evaluators (documented).
+  Schema schema({"a", "b", "c"});
+  Result<ExprPtr> expr = query::ParseExpression("a and b");
+  EPL_ASSERT_OK((*expr)->Bind(schema));
+  EPL_ASSERT_OK_AND_ASSIGN(ExprProgram program,
+                           ExprProgram::Compile(**expr));
+  double nan = std::nan("");
+  Event event(0, {nan, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(program.Eval(event), (*expr)->Eval(event));
+  EXPECT_DOUBLE_EQ(program.Eval(event), 1.0);
+}
+
+TEST(ExprProgramJumpTest, LogicalInsideArithmetic) {
+  // (a > 0 and b > 0) * 10 + 1 — the normalized bool feeds arithmetic.
+  ExprProgram program =
+      CompileText("(a > 0 and b > 0) * 10 + 1", AbcSchema());
+  EXPECT_DOUBLE_EQ(program.Eval(E(1, 1)), 11.0);
+  EXPECT_DOUBLE_EQ(program.Eval(E(1, -1)), 1.0);
+}
+
+TEST(ExprProgramJumpTest, PaperPredicateAgainstTreeWalk) {
+  Schema schema({"rHand_x", "rHand_y", "rHand_z", "torso_x", "torso_y",
+                 "torso_z"});
+  Result<ExprPtr> expr = query::ParseExpression(
+      "abs(rHand_x - torso_x - 400) < 50 and "
+      "abs(rHand_y - torso_y - 150) < 50 and "
+      "abs(rHand_z - torso_z + 420) < 50");
+  EPL_ASSERT_OK((*expr)->Bind(schema));
+  EPL_ASSERT_OK_AND_ASSIGN(ExprProgram program,
+                           ExprProgram::Compile(**expr));
+  Event inside(0, {420.0, 160.0, -400.0, 10.0, 20.0, 30.0});
+  Event outside(0, {900.0, 160.0, -400.0, 10.0, 20.0, 30.0});
+  EXPECT_EQ(program.EvalBool(inside), (*expr)->EvalBool(inside));
+  EXPECT_TRUE(program.EvalBool(inside));
+  EXPECT_EQ(program.EvalBool(outside), (*expr)->EvalBool(outside));
+  EXPECT_FALSE(program.EvalBool(outside));
+}
+
+TEST(ExprProgramJumpTest, DepthLimitEnforced) {
+  // Build a deeply right-nested arithmetic chain exceeding the VM stack.
+  ExprPtr expr = Expr::Constant(1.0);
+  for (int i = 0; i < ExprProgram::kMaxStackDepth + 10; ++i) {
+    expr = Expr::Binary(BinaryOp::kAdd, Expr::Constant(1.0),
+                        std::move(expr));
+  }
+  stream::Schema empty;
+  EPL_ASSERT_OK(expr->Bind(empty));
+  Result<ExprProgram> program = ExprProgram::Compile(*expr);
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExprProgramJumpTest, LeftDeepChainsStayShallow) {
+  // Left-deep `and` chains (what Expr::And builds) need constant stack.
+  std::vector<ExprPtr> terms;
+  for (int i = 0; i < 200; ++i) {
+    terms.push_back(Expr::RangePredicate("a", i, 1000.0));
+  }
+  ExprPtr expr = Expr::And(std::move(terms));
+  EPL_ASSERT_OK(expr->Bind(AbcSchema()));
+  EPL_ASSERT_OK_AND_ASSIGN(ExprProgram program, ExprProgram::Compile(*expr));
+  EXPECT_LE(program.max_stack_depth(), 4);
+  EXPECT_DOUBLE_EQ(program.Eval(E(50)), 1.0);
+}
+
+}  // namespace
+}  // namespace epl::cep

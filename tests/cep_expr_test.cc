@@ -1,0 +1,272 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cep/expr.h"
+#include "cep/expr_program.h"
+#include "common/rng.h"
+#include "stream/schema.h"
+#include "test_util.h"
+
+namespace epl::cep {
+namespace {
+
+using stream::Event;
+using stream::Schema;
+
+Schema AbSchema() { return Schema({"a", "b"}); }
+
+Event MakeEvent(double a, double b) { return Event(0, {a, b}); }
+
+ExprPtr Bound(ExprPtr expr, const Schema& schema) {
+  EPL_CHECK(expr->Bind(schema).ok());
+  return expr;
+}
+
+TEST(ExprTest, ConstantEval) {
+  ExprPtr e = Expr::Constant(3.5);
+  EXPECT_DOUBLE_EQ(e->Eval(MakeEvent(0, 0)), 3.5);
+  EXPECT_EQ(e->ToString(), "3.5");
+}
+
+TEST(ExprTest, FieldEvalAfterBind) {
+  ExprPtr e = Bound(Expr::Field("b"), AbSchema());
+  EXPECT_DOUBLE_EQ(e->Eval(MakeEvent(1, 2)), 2.0);
+  EXPECT_EQ(e->ToString(), "b");
+}
+
+TEST(ExprTest, BindFailsOnUnknownField) {
+  ExprPtr e = Expr::Field("missing");
+  Status s = e->Bind(AbSchema());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(e->is_bound());
+}
+
+TEST(ExprTest, ArithmeticEval) {
+  // (a + 2) * b - 1
+  ExprPtr e = Expr::Binary(
+      BinaryOp::kSub,
+      Expr::Binary(BinaryOp::kMul,
+                   Expr::Binary(BinaryOp::kAdd, Expr::Field("a"),
+                                Expr::Constant(2)),
+                   Expr::Field("b")),
+      Expr::Constant(1));
+  e = Bound(std::move(e), AbSchema());
+  EXPECT_DOUBLE_EQ(e->Eval(MakeEvent(3, 4)), 19.0);
+}
+
+TEST(ExprTest, ComparisonProducesZeroOrOne) {
+  ExprPtr lt = Bound(
+      Expr::Binary(BinaryOp::kLt, Expr::Field("a"), Expr::Field("b")),
+      AbSchema());
+  EXPECT_DOUBLE_EQ(lt->Eval(MakeEvent(1, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(lt->Eval(MakeEvent(2, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(lt->Eval(MakeEvent(2, 2)), 0.0);
+}
+
+TEST(ExprTest, LogicalOps) {
+  ExprPtr e = Bound(
+      Expr::Binary(BinaryOp::kAnd,
+                   Expr::Binary(BinaryOp::kGt, Expr::Field("a"),
+                                Expr::Constant(0)),
+                   Expr::Binary(BinaryOp::kLt, Expr::Field("b"),
+                                Expr::Constant(10))),
+      AbSchema());
+  EXPECT_TRUE(e->EvalBool(MakeEvent(1, 5)));
+  EXPECT_FALSE(e->EvalBool(MakeEvent(-1, 5)));
+  EXPECT_FALSE(e->EvalBool(MakeEvent(1, 15)));
+
+  ExprPtr o = Bound(
+      Expr::Binary(BinaryOp::kOr,
+                   Expr::Binary(BinaryOp::kGt, Expr::Field("a"),
+                                Expr::Constant(0)),
+                   Expr::Binary(BinaryOp::kGt, Expr::Field("b"),
+                                Expr::Constant(0))),
+      AbSchema());
+  EXPECT_TRUE(o->EvalBool(MakeEvent(1, -1)));
+  EXPECT_TRUE(o->EvalBool(MakeEvent(-1, 1)));
+  EXPECT_FALSE(o->EvalBool(MakeEvent(-1, -1)));
+}
+
+TEST(ExprTest, UnaryOps) {
+  ExprPtr neg = Bound(Expr::Unary(UnaryOp::kNegate, Expr::Field("a")),
+                      AbSchema());
+  EXPECT_DOUBLE_EQ(neg->Eval(MakeEvent(7, 0)), -7.0);
+  ExprPtr nt = Bound(Expr::Unary(UnaryOp::kNot, Expr::Field("a")), AbSchema());
+  EXPECT_DOUBLE_EQ(nt->Eval(MakeEvent(0, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(nt->Eval(MakeEvent(3, 0)), 0.0);
+}
+
+TEST(ExprTest, FunctionCalls) {
+  ExprPtr abs_expr = Bound(Expr::Abs(Expr::Field("a")), AbSchema());
+  EXPECT_DOUBLE_EQ(abs_expr->Eval(MakeEvent(-4, 0)), 4.0);
+
+  std::vector<ExprPtr> args;
+  args.push_back(Expr::Field("a"));
+  args.push_back(Expr::Field("b"));
+  ExprPtr mx = Bound(Expr::Call("max", std::move(args)), AbSchema());
+  EXPECT_DOUBLE_EQ(mx->Eval(MakeEvent(3, 9)), 9.0);
+}
+
+TEST(ExprTest, BindRejectsUnknownFunction) {
+  std::vector<ExprPtr> args;
+  args.push_back(Expr::Constant(1));
+  ExprPtr e = Expr::Call("no_such_fn", std::move(args));
+  EXPECT_EQ(e->Bind(AbSchema()).code(), StatusCode::kNotFound);
+}
+
+TEST(ExprTest, BindRejectsWrongArity) {
+  std::vector<ExprPtr> args;
+  args.push_back(Expr::Constant(1));
+  args.push_back(Expr::Constant(2));
+  ExprPtr e = Expr::Call("abs", std::move(args));
+  EXPECT_EQ(e->Bind(AbSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExprTest, RangePredicateShape) {
+  ExprPtr e = Expr::RangePredicate("rHand_x", 400.0, 50.0);
+  EXPECT_EQ(e->ToString(), "abs(rHand_x - 400) < 50");
+  ExprPtr neg_center = Expr::RangePredicate("rHand_z", -120.0, 50.0);
+  EXPECT_EQ(neg_center->ToString(), "abs(rHand_z + 120) < 50");
+}
+
+TEST(ExprTest, RangePredicateEval) {
+  Schema schema({"rHand_x"});
+  ExprPtr e = Bound(Expr::RangePredicate("rHand_x", 400.0, 50.0), schema);
+  EXPECT_TRUE(e->EvalBool(Event(0, {420.0})));
+  EXPECT_TRUE(e->EvalBool(Event(0, {360.0})));
+  EXPECT_FALSE(e->EvalBool(Event(0, {451.0})));
+  EXPECT_FALSE(e->EvalBool(Event(0, {349.0})));
+}
+
+TEST(ExprTest, AndOfTerms) {
+  std::vector<ExprPtr> terms;
+  terms.push_back(Expr::Binary(BinaryOp::kGt, Expr::Field("a"),
+                               Expr::Constant(0)));
+  terms.push_back(Expr::Binary(BinaryOp::kGt, Expr::Field("b"),
+                               Expr::Constant(0)));
+  ExprPtr e = Bound(Expr::And(std::move(terms)), AbSchema());
+  EXPECT_TRUE(e->EvalBool(MakeEvent(1, 1)));
+  EXPECT_FALSE(e->EvalBool(MakeEvent(1, -1)));
+  // Empty conjunction is true.
+  ExprPtr empty = Expr::And({});
+  EXPECT_TRUE(empty->EvalBool(MakeEvent(0, 0)));
+}
+
+TEST(ExprTest, ToStringPrecedence) {
+  // (a + b) * 2 needs parens; a + b * 2 does not.
+  ExprPtr e1 = Expr::Binary(
+      BinaryOp::kMul,
+      Expr::Binary(BinaryOp::kAdd, Expr::Field("a"), Expr::Field("b")),
+      Expr::Constant(2));
+  EXPECT_EQ(e1->ToString(), "(a + b) * 2");
+  ExprPtr e2 = Expr::Binary(
+      BinaryOp::kAdd, Expr::Field("a"),
+      Expr::Binary(BinaryOp::kMul, Expr::Field("b"), Expr::Constant(2)));
+  EXPECT_EQ(e2->ToString(), "a + b * 2");
+  // Left-associative subtraction: a - (b - 1) keeps parens.
+  ExprPtr e3 = Expr::Binary(
+      BinaryOp::kSub, Expr::Field("a"),
+      Expr::Binary(BinaryOp::kSub, Expr::Field("b"), Expr::Constant(1)));
+  EXPECT_EQ(e3->ToString(), "a - (b - 1)");
+}
+
+TEST(ExprTest, CloneIsDeepAndPreservesBinding) {
+  ExprPtr e = Bound(
+      Expr::Binary(BinaryOp::kAdd, Expr::Field("a"), Expr::Field("b")),
+      AbSchema());
+  ExprPtr clone = e->Clone();
+  EXPECT_TRUE(clone->is_bound());
+  EXPECT_DOUBLE_EQ(clone->Eval(MakeEvent(2, 3)), 5.0);
+  EXPECT_EQ(clone->ToString(), e->ToString());
+}
+
+TEST(ExprTest, ReferencedFields) {
+  ExprPtr e = Expr::Binary(
+      BinaryOp::kAdd,
+      Expr::Binary(BinaryOp::kMul, Expr::Field("b"), Expr::Field("a")),
+      Expr::Field("a"));
+  EXPECT_EQ(e->ReferencedFields(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FunctionRegistryTest, RegisterAndLookup) {
+  FunctionRegistry& registry = FunctionRegistry::Global();
+  EPL_ASSERT_OK_AND_ASSIGN(FunctionRegistry::Entry abs_entry,
+                           registry.Lookup("abs"));
+  EXPECT_EQ(abs_entry.arity, 1);
+  EXPECT_FALSE(registry.Lookup("nope").ok());
+  EXPECT_EQ(registry.Register("abs", 1, nullptr).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ExprProgramTest, RejectsUnboundExpr) {
+  ExprPtr e = Expr::Field("a");
+  Result<ExprProgram> program = ExprProgram::Compile(*e);
+  EXPECT_EQ(program.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExprProgramTest, EvaluatesSimpleProgram) {
+  ExprPtr e = Bound(Expr::RangePredicate("a", 10.0, 2.0), AbSchema());
+  EPL_ASSERT_OK_AND_ASSIGN(ExprProgram program, ExprProgram::Compile(*e));
+  EXPECT_TRUE(program.EvalBool(MakeEvent(11.0, 0)));
+  EXPECT_FALSE(program.EvalBool(MakeEvent(13.0, 0)));
+  EXPECT_GT(program.num_instructions(), 0u);
+  EXPECT_LE(program.max_stack_depth(), ExprProgram::kMaxStackDepth);
+}
+
+// Property test: the compiled program must agree with the tree-walking
+// evaluator on randomly generated expressions and events.
+class ExprProgramEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+ExprPtr RandomExpr(Rng& rng, int depth) {
+  if (depth == 0 || rng.Bernoulli(0.3)) {
+    if (rng.Bernoulli(0.5)) {
+      return Expr::Constant(rng.Uniform(-20, 20));
+    }
+    return Expr::Field(rng.Bernoulli(0.5) ? "a" : "b");
+  }
+  switch (rng.UniformInt(0, 3)) {
+    case 0: {
+      static const BinaryOp kOps[] = {
+          BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kLt,
+          BinaryOp::kLe,  BinaryOp::kGt,  BinaryOp::kGe,  BinaryOp::kEq,
+          BinaryOp::kNe,  BinaryOp::kAnd, BinaryOp::kOr};
+      BinaryOp op = kOps[rng.UniformInt(0, 10)];
+      return Expr::Binary(op, RandomExpr(rng, depth - 1),
+                          RandomExpr(rng, depth - 1));
+    }
+    case 1:
+      return Expr::Unary(rng.Bernoulli(0.5) ? UnaryOp::kNegate : UnaryOp::kNot,
+                         RandomExpr(rng, depth - 1));
+    case 2:
+      return Expr::Abs(RandomExpr(rng, depth - 1));
+    default: {
+      std::vector<ExprPtr> args;
+      args.push_back(RandomExpr(rng, depth - 1));
+      args.push_back(RandomExpr(rng, depth - 1));
+      return Expr::Call(rng.Bernoulli(0.5) ? "min" : "max", std::move(args));
+    }
+  }
+}
+
+TEST_P(ExprProgramEquivalenceTest, CompiledMatchesTreeWalk) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  ExprPtr expr = RandomExpr(rng, 4);
+  EPL_ASSERT_OK(expr->Bind(AbSchema()));
+  EPL_ASSERT_OK_AND_ASSIGN(ExprProgram program, ExprProgram::Compile(*expr));
+  for (int i = 0; i < 50; ++i) {
+    Event event = MakeEvent(rng.Uniform(-30, 30), rng.Uniform(-30, 30));
+    double tree = expr->Eval(event);
+    double compiled = program.Eval(event);
+    bool both_nan = std::isnan(tree) && std::isnan(compiled);
+    EXPECT_TRUE(both_nan || tree == compiled)
+        << expr->ToString() << " tree=" << tree << " compiled=" << compiled;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomExprs, ExprProgramEquivalenceTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace epl::cep

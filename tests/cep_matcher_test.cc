@@ -1,0 +1,428 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cep/match_operator.h"
+#include "cep/matcher.h"
+#include "common/rng.h"
+#include "stream/operators.h"
+#include "stream/schema.h"
+#include "test_util.h"
+
+namespace epl::cep {
+namespace {
+
+using stream::Event;
+using stream::Schema;
+
+Schema VSchema() { return Schema({"v"}); }
+
+Event At(TimePoint ms, double v) { return Event(ms * kMillisecond, {v}); }
+
+// Pattern over field v: poses at centers with width 0.5.
+PatternExprPtr ChainPattern(std::vector<double> centers,
+                            std::optional<Duration> within,
+                            WithinMode mode = WithinMode::kGap,
+                            SelectPolicy select = SelectPolicy::kFirst,
+                            ConsumePolicy consume = ConsumePolicy::kAll) {
+  std::vector<PatternExprPtr> children;
+  for (double center : centers) {
+    children.push_back(
+        PatternExpr::Pose("s", Expr::RangePredicate("v", center, 0.5)));
+  }
+  if (children.size() == 1) {
+    return std::move(children[0]);
+  }
+  return PatternExpr::Sequence(std::move(children), within, mode, select,
+                               consume);
+}
+
+CompiledPattern Compile(const PatternExprPtr& pattern) {
+  Result<CompiledPattern> compiled =
+      CompiledPattern::Compile(*pattern, VSchema());
+  EPL_CHECK(compiled.ok()) << compiled.status();
+  return std::move(compiled).value();
+}
+
+std::vector<PatternMatch> Feed(NfaMatcher& matcher,
+                               const std::vector<Event>& events) {
+  std::vector<PatternMatch> matches;
+  for (const Event& event : events) {
+    matcher.Process(event, &matches);
+  }
+  return matches;
+}
+
+TEST(MatcherTest, DetectsSimpleSequence) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2, 3}, kSecond));
+  NfaMatcher matcher(&pattern);
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 1), At(100, 2), At(200, 3)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].state_times,
+            (std::vector<TimePoint>{0, 100 * kMillisecond,
+                                    200 * kMillisecond}));
+}
+
+TEST(MatcherTest, SkipsNonMatchingEvents) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, kSecond));
+  NfaMatcher matcher(&pattern);
+  std::vector<PatternMatch> matches = Feed(
+      matcher, {At(0, 1), At(100, 9), At(200, 9), At(300, 2)});
+  ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(MatcherTest, OutOfOrderPosesDoNotMatch) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2, 3}, kSecond));
+  NfaMatcher matcher(&pattern);
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 3), At(100, 2), At(200, 1)});
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(MatcherTest, GapConstraintEnforced) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, kSecond));
+  NfaMatcher matcher(&pattern);
+  // Second pose arrives 1.5 s after the first: too late.
+  std::vector<PatternMatch> matches = Feed(matcher, {At(0, 1), At(1500, 2)});
+  EXPECT_TRUE(matches.empty());
+  // Within the budget it matches.
+  matches = Feed(matcher, {At(2000, 1), At(2900, 2)});
+  ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(MatcherTest, GapMeasuredBetweenConsecutivePoses) {
+  // Three poses, 1 s budget per step: total may exceed 1 s.
+  CompiledPattern pattern = Compile(ChainPattern({1, 2, 3}, kSecond));
+  NfaMatcher matcher(&pattern);
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 1), At(900, 2), At(1800, 3)});
+  ASSERT_EQ(matches.size(), 1u);  // each gap 0.9 s <= 1 s
+}
+
+TEST(MatcherTest, SpanConstraintEnforced) {
+  CompiledPattern pattern =
+      Compile(ChainPattern({1, 2, 3}, kSecond, WithinMode::kSpan));
+  NfaMatcher matcher(&pattern);
+  // Each gap is 0.6 s but the total span is 1.2 s > 1 s.
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 1), At(600, 2), At(1200, 3)});
+  EXPECT_TRUE(matches.empty());
+  matches = Feed(matcher, {At(2000, 1), At(2400, 2), At(2900, 3)});
+  ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(MatcherTest, LateRestartRescuesMatch) {
+  // The dominance-critical scenario: an early partial run would expire, a
+  // later start must take over.
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, kSecond));
+  NfaMatcher matcher(&pattern);
+  std::vector<PatternMatch> matches = Feed(
+      matcher,
+      {At(0, 1), At(800, 1), At(1500, 2)});  // 1500-0 > 1s, 1500-800 <= 1s
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].state_times[0], 800 * kMillisecond);
+}
+
+TEST(MatcherTest, SameEventCannotFillTwoStates) {
+  // Poses 1 and 2 both match v=1.5 (width 0.5 around 1 and 2); a single
+  // event must not complete the sequence alone.
+  CompiledPattern pattern = Compile(ChainPattern({1.2, 1.8}, kSecond));
+  NfaMatcher matcher(&pattern);
+  std::vector<PatternMatch> matches = Feed(matcher, {At(0, 1.5)});
+  EXPECT_TRUE(matches.empty());
+  // A second event completes it.
+  matches = Feed(matcher, {At(100, 1.5)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].state_times,
+            (std::vector<TimePoint>{0, 100 * kMillisecond}));
+}
+
+TEST(MatcherTest, ConsumeAllClearsPartialRuns) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, std::nullopt));
+  NfaMatcher matcher(&pattern);
+  // Two starts, one completion; consume-all wipes the second partial run.
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 1), At(100, 1), At(200, 2)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matcher.active_run_count(), 0u);
+  // Next completion needs a fresh start.
+  matches = Feed(matcher, {At(300, 2)});
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(MatcherTest, ConsumeNoneKeepsRunsAlive) {
+  CompiledPattern pattern = Compile(
+      ChainPattern({1, 2}, std::nullopt, WithinMode::kGap,
+                   SelectPolicy::kFirst, ConsumePolicy::kNone));
+  NfaMatcher matcher(&pattern);
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 1), At(100, 2), At(200, 2)});
+  // The run from t=0 completes at t=100; with consume none the state-0 run
+  // survives and completes again at t=200.
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(MatcherTest, SingleStatePattern) {
+  CompiledPattern pattern = Compile(ChainPattern({5}, std::nullopt));
+  NfaMatcher matcher(&pattern);
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 5), At(100, 4), At(200, 5)});
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(MatcherTest, ResetDiscardsPartialRuns) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, std::nullopt));
+  NfaMatcher matcher(&pattern);
+  std::vector<PatternMatch> matches = Feed(matcher, {At(0, 1)});
+  EXPECT_EQ(matcher.active_run_count(), 1u);
+  matcher.Reset();
+  EXPECT_EQ(matcher.active_run_count(), 0u);
+  matches = Feed(matcher, {At(100, 2)});
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(MatcherTest, StatsTrackEventsAndEvaluations) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, std::nullopt));
+  NfaMatcher matcher(&pattern);
+  Feed(matcher, {At(0, 9), At(100, 9)});
+  EXPECT_EQ(matcher.stats().events, 2u);
+  // Only predicate 0 is evaluated while no run is active.
+  EXPECT_EQ(matcher.stats().predicate_evaluations, 2u);
+  EXPECT_EQ(matcher.stats().matches, 0u);
+}
+
+TEST(MatcherTest, ExhaustiveSelectAllFindsAllCombinations) {
+  CompiledPattern pattern = Compile(
+      ChainPattern({1, 2}, std::nullopt, WithinMode::kGap, SelectPolicy::kAll,
+                   ConsumePolicy::kNone));
+  MatcherOptions options;
+  options.mode = MatcherOptions::Mode::kExhaustive;
+  NfaMatcher matcher(&pattern, options);
+  // Starts at t=0 and t=100; ends at t=200 and t=300: 2x2 combinations.
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 1), At(100, 1), At(200, 2), At(300, 2)});
+  EXPECT_EQ(matches.size(), 4u);
+}
+
+TEST(MatcherTest, ExhaustiveConsumeAllStopsAfterFirst) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, std::nullopt));
+  MatcherOptions options;
+  options.mode = MatcherOptions::Mode::kExhaustive;
+  NfaMatcher matcher(&pattern, options);
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 1), At(100, 1), At(200, 2), At(300, 2)});
+  // First completion at t=200 consumes everything; t=300 has no partner.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].state_times.back(), 200 * kMillisecond);
+}
+
+TEST(MatcherTest, ExhaustiveRunCapDropsOldest) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, std::nullopt));
+  MatcherOptions options;
+  options.mode = MatcherOptions::Mode::kExhaustive;
+  options.max_runs = 4;
+  NfaMatcher matcher(&pattern, options);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<PatternMatch> matches;
+    matcher.Process(At(i * 100, 1), &matches);
+  }
+  EXPECT_LE(matcher.active_run_count(), 4u);
+  EXPECT_GT(matcher.stats().dropped_runs, 0u);
+}
+
+// Property test: dominant mode detects a completion at exactly the same
+// events as the exhaustive oracle (consume none so runs are never cleared).
+class DominanceEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominanceEquivalenceTest, CompletionEventsAgree) {
+  Rng rng(500 + static_cast<uint64_t>(GetParam()));
+  int num_states = static_cast<int>(rng.UniformInt(2, 4));
+  std::vector<double> centers;
+  for (int i = 0; i < num_states; ++i) {
+    centers.push_back(static_cast<double>(rng.UniformInt(1, 3)));
+  }
+  bool use_within = rng.Bernoulli(0.7);
+  WithinMode mode =
+      rng.Bernoulli(0.5) ? WithinMode::kGap : WithinMode::kSpan;
+  std::optional<Duration> within =
+      use_within ? std::optional<Duration>(
+                       rng.UniformInt(200, 900) * kMillisecond)
+                 : std::nullopt;
+
+  CompiledPattern dominant_pattern =
+      Compile(ChainPattern(centers, within, mode, SelectPolicy::kFirst,
+                           ConsumePolicy::kNone));
+  CompiledPattern exhaustive_pattern =
+      Compile(ChainPattern(centers, within, mode, SelectPolicy::kAll,
+                           ConsumePolicy::kNone));
+
+  NfaMatcher dominant(&dominant_pattern);
+  MatcherOptions exhaustive_options;
+  exhaustive_options.mode = MatcherOptions::Mode::kExhaustive;
+  NfaMatcher exhaustive(&exhaustive_pattern, exhaustive_options);
+
+  std::set<TimePoint> dominant_completions;
+  std::set<TimePoint> exhaustive_completions;
+  TimePoint t = 0;
+  for (int i = 0; i < 40; ++i) {
+    t += rng.UniformInt(50, 250) * kMillisecond;
+    Event event(t, {static_cast<double>(rng.UniformInt(1, 3))});
+    std::vector<PatternMatch> dominant_matches;
+    dominant.Process(event, &dominant_matches);
+    for (const PatternMatch& match : dominant_matches) {
+      dominant_completions.insert(match.end_time());
+    }
+    std::vector<PatternMatch> exhaustive_matches;
+    exhaustive.Process(event, &exhaustive_matches);
+    for (const PatternMatch& match : exhaustive_matches) {
+      exhaustive_completions.insert(match.end_time());
+    }
+  }
+  EXPECT_EQ(exhaustive.stats().dropped_runs, 0u);
+  EXPECT_EQ(dominant_completions, exhaustive_completions)
+      << "states=" << num_states
+      << " within=" << (within ? FormatDuration(*within) : "none")
+      << " mode=" << (mode == WithinMode::kGap ? "gap" : "span");
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, DominanceEquivalenceTest,
+                         ::testing::Range(0, 40));
+
+// Stronger property: random *nested* sequence trees with independently
+// chosen within/gap/span annotations at every level (the shape the query
+// generator emits) must also agree between dominant and exhaustive modes.
+class NestedDominanceEquivalenceTest : public ::testing::TestWithParam<int> {
+};
+
+PatternExprPtr RandomNestedPattern(Rng& rng, int* poses_left,
+                                   SelectPolicy select,
+                                   ConsumePolicy consume, int depth) {
+  if (*poses_left <= 1 || depth >= 3 || rng.Bernoulli(0.3)) {
+    *poses_left -= 1;
+    double center = static_cast<double>(rng.UniformInt(1, 3));
+    return PatternExpr::Pose("s", Expr::RangePredicate("v", center, 0.5));
+  }
+  int arity = static_cast<int>(rng.UniformInt(2, std::min(*poses_left, 3)));
+  std::vector<PatternExprPtr> children;
+  for (int i = 0; i < arity && *poses_left > 0; ++i) {
+    children.push_back(RandomNestedPattern(rng, poses_left, select, consume,
+                                           depth + 1));
+  }
+  std::optional<Duration> within;
+  if (rng.Bernoulli(0.8)) {
+    within = rng.UniformInt(300, 1200) * kMillisecond;
+  }
+  WithinMode mode =
+      rng.Bernoulli(0.5) ? WithinMode::kGap : WithinMode::kSpan;
+  return PatternExpr::Sequence(std::move(children), within, mode, select,
+                               consume);
+}
+
+TEST_P(NestedDominanceEquivalenceTest, CompletionEventsAgree) {
+  Rng rng(7000 + static_cast<uint64_t>(GetParam()));
+  int poses = static_cast<int>(rng.UniformInt(3, 6));
+  Rng tree_rng = rng.Fork();
+
+  auto build = [&](SelectPolicy select, ConsumePolicy consume) {
+    Rng local = tree_rng;  // identical tree for both modes
+    int budget = poses;
+    PatternExprPtr pattern =
+        RandomNestedPattern(local, &budget, select, consume, 0);
+    // Ensure the root is a sequence so policies apply.
+    if (pattern->kind() == PatternKind::kPose) {
+      std::vector<PatternExprPtr> children;
+      children.push_back(std::move(pattern));
+      children.push_back(
+          PatternExpr::Pose("s", Expr::RangePredicate("v", 2, 0.5)));
+      pattern = PatternExpr::Sequence(std::move(children), kSecond,
+                                      WithinMode::kGap, select, consume);
+    }
+    return Compile(pattern);
+  };
+  CompiledPattern dominant_pattern =
+      build(SelectPolicy::kFirst, ConsumePolicy::kNone);
+  CompiledPattern exhaustive_pattern =
+      build(SelectPolicy::kAll, ConsumePolicy::kNone);
+  ASSERT_EQ(dominant_pattern.num_states(),
+            exhaustive_pattern.num_states());
+
+  NfaMatcher dominant(&dominant_pattern);
+  MatcherOptions options;
+  options.mode = MatcherOptions::Mode::kExhaustive;
+  NfaMatcher exhaustive(&exhaustive_pattern, options);
+
+  std::set<TimePoint> dominant_completions;
+  std::set<TimePoint> exhaustive_completions;
+  TimePoint t = 0;
+  for (int i = 0; i < 45; ++i) {
+    t += rng.UniformInt(40, 220) * kMillisecond;
+    Event event(t, {static_cast<double>(rng.UniformInt(1, 3))});
+    std::vector<PatternMatch> matches;
+    dominant.Process(event, &matches);
+    for (const PatternMatch& match : matches) {
+      dominant_completions.insert(match.end_time());
+    }
+    matches.clear();
+    exhaustive.Process(event, &matches);
+    for (const PatternMatch& match : matches) {
+      exhaustive_completions.insert(match.end_time());
+    }
+  }
+  EXPECT_EQ(exhaustive.stats().dropped_runs, 0u);
+  EXPECT_EQ(dominant_completions, exhaustive_completions)
+      << dominant_pattern.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNestedPatterns,
+                         NestedDominanceEquivalenceTest,
+                         ::testing::Range(0, 40));
+
+TEST(MatchOperatorTest, InvokesCallbackWithDetection) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, kSecond));
+  std::vector<Detection> detections;
+  MatchOperator op(
+      "swipe", std::move(pattern),
+      [&detections](const Detection& d) { detections.push_back(d); });
+  EPL_ASSERT_OK(op.Process(At(0, 1)));
+  EPL_ASSERT_OK(op.Process(At(500, 2)));
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].name, "swipe");
+  EXPECT_EQ(detections[0].time, 500 * kMillisecond);
+  EXPECT_EQ(detections[0].pose_times.size(), 2u);
+  EXPECT_EQ(detections[0].duration(), 500 * kMillisecond);
+}
+
+TEST(MatchOperatorTest, ComputesMeasuresOnCompletingEvent) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, kSecond));
+  ExprPtr measure = Expr::Binary(BinaryOp::kMul, Expr::Field("v"),
+                                 Expr::Constant(10));
+  EPL_ASSERT_OK(measure->Bind(VSchema()));
+  EPL_ASSERT_OK_AND_ASSIGN(ExprProgram program,
+                           ExprProgram::Compile(*measure));
+  std::vector<ExprProgram> measures;
+  measures.push_back(std::move(program));
+  std::vector<Detection> detections;
+  MatchOperator op(
+      "g", std::move(pattern),
+      [&detections](const Detection& d) { detections.push_back(d); },
+      std::move(measures));
+  EPL_ASSERT_OK(op.Process(At(0, 1)));
+  EPL_ASSERT_OK(op.Process(At(100, 2)));
+  ASSERT_EQ(detections.size(), 1u);
+  ASSERT_EQ(detections[0].measures.size(), 1u);
+  EXPECT_DOUBLE_EQ(detections[0].measures[0], 20.0);
+}
+
+TEST(MatchOperatorTest, ForwardsEventsDownstream) {
+  CompiledPattern pattern = Compile(ChainPattern({1}, std::nullopt));
+  MatchOperator op("g", std::move(pattern), nullptr);
+  stream::CollectSink sink;
+  op.AddDownstream(&sink);
+  EPL_ASSERT_OK(op.Process(At(0, 1)));
+  EPL_ASSERT_OK(op.Process(At(100, 7)));
+  EXPECT_EQ(sink.events().size(), 2u);
+}
+
+}  // namespace
+}  // namespace epl::cep

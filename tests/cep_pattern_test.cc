@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "cep/nfa.h"
+#include "cep/pattern.h"
+#include "stream/schema.h"
+#include "test_util.h"
+
+namespace epl::cep {
+namespace {
+
+using stream::Schema;
+
+Schema VSchema() { return Schema({"v"}); }
+
+ExprPtr VInRange(double center, double width) {
+  return Expr::RangePredicate("v", center, width);
+}
+
+PatternExprPtr SimplePose(double center) {
+  return PatternExpr::Pose("s", VInRange(center, 0.5));
+}
+
+TEST(PatternTest, PoseValidation) {
+  PatternExprPtr pose = SimplePose(1.0);
+  EPL_EXPECT_OK(pose->Validate());
+  EXPECT_EQ(pose->kind(), PatternKind::kPose);
+  EXPECT_EQ(pose->NumPoses(), 1);
+  EXPECT_EQ(pose->SourceStream(), "s");
+}
+
+TEST(PatternTest, PoseWithoutPredicateInvalid) {
+  PatternExprPtr pose = PatternExpr::Pose("s", nullptr);
+  EXPECT_EQ(pose->Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternTest, PoseWithoutSourceInvalid) {
+  PatternExprPtr pose = PatternExpr::Pose("", VInRange(0, 1));
+  EXPECT_EQ(pose->Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternTest, EmptySequenceInvalid) {
+  PatternExprPtr seq = PatternExpr::Sequence({}, std::nullopt);
+  EXPECT_EQ(seq->Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternTest, NonPositiveWithinInvalid) {
+  std::vector<PatternExprPtr> children;
+  children.push_back(SimplePose(1));
+  children.push_back(SimplePose(2));
+  PatternExprPtr seq = PatternExpr::Sequence(std::move(children), Duration{0});
+  EXPECT_EQ(seq->Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternTest, MixedSourcesInvalid) {
+  std::vector<PatternExprPtr> children;
+  children.push_back(PatternExpr::Pose("s1", VInRange(0, 1)));
+  children.push_back(PatternExpr::Pose("s2", VInRange(0, 1)));
+  PatternExprPtr seq =
+      PatternExpr::Sequence(std::move(children), std::nullopt);
+  EXPECT_EQ(seq->Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternTest, NestedPosesCollectedInOrder) {
+  // ((p1 -> p2) -> p3)
+  std::vector<PatternExprPtr> inner;
+  inner.push_back(SimplePose(1));
+  inner.push_back(SimplePose(2));
+  std::vector<PatternExprPtr> outer;
+  outer.push_back(PatternExpr::Sequence(std::move(inner), kSecond));
+  outer.push_back(SimplePose(3));
+  PatternExprPtr pattern = PatternExpr::Sequence(std::move(outer), kSecond);
+  EPL_EXPECT_OK(pattern->Validate());
+  EXPECT_EQ(pattern->NumPoses(), 3);
+  std::vector<const PatternExpr*> poses = pattern->Poses();
+  ASSERT_EQ(poses.size(), 3u);
+  EXPECT_EQ(poses[0]->predicate().ToString(), "abs(v - 1) < 0.5");
+  EXPECT_EQ(poses[2]->predicate().ToString(), "abs(v - 3) < 0.5");
+}
+
+TEST(PatternTest, CloneIsDeep) {
+  std::vector<PatternExprPtr> children;
+  children.push_back(SimplePose(1));
+  children.push_back(SimplePose(2));
+  PatternExprPtr seq = PatternExpr::Sequence(
+      std::move(children), kSecond, WithinMode::kSpan, SelectPolicy::kAll,
+      ConsumePolicy::kNone);
+  PatternExprPtr clone = seq->Clone();
+  EXPECT_EQ(clone->ToString(), seq->ToString());
+  EXPECT_EQ(clone->within(), seq->within());
+  EXPECT_EQ(clone->within_mode(), WithinMode::kSpan);
+  EXPECT_EQ(clone->select_policy(), SelectPolicy::kAll);
+  EXPECT_EQ(clone->consume_policy(), ConsumePolicy::kNone);
+}
+
+TEST(PatternTest, ToStringRendersStructure) {
+  std::vector<PatternExprPtr> children;
+  children.push_back(SimplePose(1));
+  children.push_back(SimplePose(2));
+  PatternExprPtr seq = PatternExpr::Sequence(std::move(children), kSecond);
+  std::string text = seq->ToString();
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_NE(text.find("within"), std::string::npos);
+  EXPECT_NE(text.find("select first"), std::string::npos);
+}
+
+TEST(CompiledPatternTest, SinglePose) {
+  PatternExprPtr pose = SimplePose(5);
+  EPL_ASSERT_OK_AND_ASSIGN(CompiledPattern compiled,
+                           CompiledPattern::Compile(*pose, VSchema()));
+  EXPECT_EQ(compiled.num_states(), 1);
+  EXPECT_TRUE(compiled.constraints().empty());
+  EXPECT_EQ(compiled.source_stream(), "s");
+}
+
+TEST(CompiledPatternTest, FlatSequenceGapConstraints) {
+  std::vector<PatternExprPtr> children;
+  children.push_back(SimplePose(1));
+  children.push_back(SimplePose(2));
+  children.push_back(SimplePose(3));
+  PatternExprPtr seq = PatternExpr::Sequence(std::move(children), kSecond);
+  EPL_ASSERT_OK_AND_ASSIGN(CompiledPattern compiled,
+                           CompiledPattern::Compile(*seq, VSchema()));
+  EXPECT_EQ(compiled.num_states(), 3);
+  // Gap mode on a 3-element sequence: constraints 0->1 and 1->2.
+  ASSERT_EQ(compiled.constraints().size(), 2u);
+  EXPECT_EQ(compiled.constraints()[0].from_state, 0);
+  EXPECT_EQ(compiled.constraints()[0].to_state, 1);
+  EXPECT_EQ(compiled.constraints()[0].max_gap, kSecond);
+  EXPECT_EQ(compiled.constraints()[1].from_state, 1);
+  EXPECT_EQ(compiled.constraints()[1].to_state, 2);
+  EXPECT_EQ(compiled.constraints_into(1).size(), 1u);
+  EXPECT_EQ(compiled.constraints_into(0).size(), 0u);
+}
+
+TEST(CompiledPatternTest, SpanConstraint) {
+  std::vector<PatternExprPtr> children;
+  children.push_back(SimplePose(1));
+  children.push_back(SimplePose(2));
+  children.push_back(SimplePose(3));
+  PatternExprPtr seq = PatternExpr::Sequence(std::move(children),
+                                             2 * kSecond, WithinMode::kSpan);
+  EPL_ASSERT_OK_AND_ASSIGN(CompiledPattern compiled,
+                           CompiledPattern::Compile(*seq, VSchema()));
+  ASSERT_EQ(compiled.constraints().size(), 1u);
+  EXPECT_EQ(compiled.constraints()[0].from_state, 0);
+  EXPECT_EQ(compiled.constraints()[0].to_state, 2);
+  EXPECT_EQ(compiled.constraints()[0].max_gap, 2 * kSecond);
+}
+
+TEST(CompiledPatternTest, NestedPaperShape) {
+  // ((p1 -> p2 within 1s) -> p3 within 1s): the paper's Fig. 1 structure.
+  std::vector<PatternExprPtr> inner;
+  inner.push_back(SimplePose(1));
+  inner.push_back(SimplePose(2));
+  std::vector<PatternExprPtr> outer;
+  outer.push_back(PatternExpr::Sequence(std::move(inner), kSecond));
+  outer.push_back(SimplePose(3));
+  PatternExprPtr pattern = PatternExpr::Sequence(std::move(outer), kSecond);
+  EPL_ASSERT_OK_AND_ASSIGN(CompiledPattern compiled,
+                           CompiledPattern::Compile(*pattern, VSchema()));
+  EXPECT_EQ(compiled.num_states(), 3);
+  // Inner gap 0->1 (emitted first, depth-first); outer gap between the
+  // completion of the inner sequence (state 1) and p3 (state 2).
+  ASSERT_EQ(compiled.constraints().size(), 2u);
+  EXPECT_EQ(compiled.constraints()[0].from_state, 0);
+  EXPECT_EQ(compiled.constraints()[0].to_state, 1);
+  EXPECT_EQ(compiled.constraints()[1].from_state, 1);
+  EXPECT_EQ(compiled.constraints()[1].to_state, 2);
+}
+
+TEST(CompiledPatternTest, SequenceWithoutWithinHasNoConstraints) {
+  std::vector<PatternExprPtr> children;
+  children.push_back(SimplePose(1));
+  children.push_back(SimplePose(2));
+  PatternExprPtr seq =
+      PatternExpr::Sequence(std::move(children), std::nullopt);
+  EPL_ASSERT_OK_AND_ASSIGN(CompiledPattern compiled,
+                           CompiledPattern::Compile(*seq, VSchema()));
+  EXPECT_TRUE(compiled.constraints().empty());
+}
+
+TEST(CompiledPatternTest, CompileFailsOnUnknownField) {
+  PatternExprPtr pose =
+      PatternExpr::Pose("s", Expr::RangePredicate("nope", 0, 1));
+  Result<CompiledPattern> compiled = CompiledPattern::Compile(*pose, VSchema());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CompiledPatternTest, PoliciesPropagated) {
+  std::vector<PatternExprPtr> children;
+  children.push_back(SimplePose(1));
+  children.push_back(SimplePose(2));
+  PatternExprPtr seq = PatternExpr::Sequence(
+      std::move(children), std::nullopt, WithinMode::kGap, SelectPolicy::kAll,
+      ConsumePolicy::kNone);
+  EPL_ASSERT_OK_AND_ASSIGN(CompiledPattern compiled,
+                           CompiledPattern::Compile(*seq, VSchema()));
+  EXPECT_EQ(compiled.select_policy(), SelectPolicy::kAll);
+  EXPECT_EQ(compiled.consume_policy(), ConsumePolicy::kNone);
+}
+
+TEST(CompiledPatternTest, ToStringListsStatesAndConstraints) {
+  std::vector<PatternExprPtr> children;
+  children.push_back(SimplePose(1));
+  children.push_back(SimplePose(2));
+  PatternExprPtr seq = PatternExpr::Sequence(std::move(children), kSecond);
+  EPL_ASSERT_OK_AND_ASSIGN(CompiledPattern compiled,
+                           CompiledPattern::Compile(*seq, VSchema()));
+  std::string text = compiled.ToString();
+  EXPECT_NE(text.find("NFA with 2 states"), std::string::npos);
+  EXPECT_NE(text.find("constraint"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epl::cep

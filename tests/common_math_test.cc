@@ -1,0 +1,199 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/mat3.h"
+#include "common/rng.h"
+#include "common/vec3.h"
+
+namespace epl {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(Vec3Test, Arithmetic) {
+  Vec3 a(1, 2, 3);
+  Vec3 b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3Test, DotCrossNorm) {
+  Vec3 a(1, 0, 0);
+  Vec3 b(0, 1, 0);
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_EQ(a.Cross(b), Vec3(0, 0, 1));
+  EXPECT_EQ(b.Cross(a), Vec3(0, 0, -1));
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(Vec3(1, 1, 1).DistanceTo(Vec3(1, 1, 3)), 2.0);
+}
+
+TEST(Vec3Test, NormalizedHandlesZero) {
+  EXPECT_EQ(Vec3().Normalized(), Vec3());
+  Vec3 unit = Vec3(0, 3, 0).Normalized();
+  EXPECT_TRUE(unit.ApproxEquals(Vec3(0, 1, 0), kTol));
+}
+
+TEST(Vec3Test, MinMaxLerp) {
+  Vec3 a(1, 5, -2);
+  Vec3 b(3, 2, -4);
+  EXPECT_EQ(Vec3::Min(a, b), Vec3(1, 2, -4));
+  EXPECT_EQ(Vec3::Max(a, b), Vec3(3, 5, -2));
+  EXPECT_TRUE(Vec3::Lerp(a, b, 0.0).ApproxEquals(a, kTol));
+  EXPECT_TRUE(Vec3::Lerp(a, b, 1.0).ApproxEquals(b, kTol));
+  EXPECT_TRUE(Vec3::Lerp(a, b, 0.5).ApproxEquals(Vec3(2, 3.5, -3), kTol));
+}
+
+TEST(Vec3Test, IndexAccess) {
+  Vec3 v(7, 8, 9);
+  EXPECT_DOUBLE_EQ(v[0], 7);
+  EXPECT_DOUBLE_EQ(v[1], 8);
+  EXPECT_DOUBLE_EQ(v[2], 9);
+  v[1] = 10;
+  EXPECT_DOUBLE_EQ(v.y, 10);
+  EXPECT_EQ(AxisName(0), "x");
+  EXPECT_EQ(AxisName(1), "y");
+  EXPECT_EQ(AxisName(2), "z");
+}
+
+TEST(Mat3Test, IdentityIsNeutral) {
+  Mat3 identity;
+  Vec3 v(1, 2, 3);
+  EXPECT_TRUE(identity.Apply(v).ApproxEquals(v, kTol));
+  EXPECT_TRUE((identity * Mat3::RotationY(0.7))
+                  .ApproxEquals(Mat3::RotationY(0.7), kTol));
+}
+
+TEST(Mat3Test, RotationZQuarterTurn) {
+  Mat3 rot = Mat3::RotationZ(M_PI / 2);
+  EXPECT_TRUE(rot.Apply(Vec3(1, 0, 0)).ApproxEquals(Vec3(0, 1, 0), kTol));
+  EXPECT_TRUE(rot.Apply(Vec3(0, 1, 0)).ApproxEquals(Vec3(-1, 0, 0), kTol));
+}
+
+TEST(Mat3Test, RotationYQuarterTurn) {
+  Mat3 rot = Mat3::RotationY(M_PI / 2);
+  EXPECT_TRUE(rot.Apply(Vec3(1, 0, 0)).ApproxEquals(Vec3(0, 0, -1), kTol));
+  EXPECT_TRUE(rot.Apply(Vec3(0, 0, 1)).ApproxEquals(Vec3(1, 0, 0), kTol));
+}
+
+TEST(Mat3Test, RotationXQuarterTurn) {
+  Mat3 rot = Mat3::RotationX(M_PI / 2);
+  EXPECT_TRUE(rot.Apply(Vec3(0, 1, 0)).ApproxEquals(Vec3(0, 0, 1), kTol));
+}
+
+TEST(Mat3Test, TransposeInvertsRotation) {
+  Mat3 rot = Mat3::FromYawPitchRoll(0.3, -0.5, 1.1);
+  Vec3 v(10, -4, 2);
+  Vec3 back = rot.Transposed().Apply(rot.Apply(v));
+  EXPECT_TRUE(back.ApproxEquals(v, 1e-9));
+}
+
+TEST(Mat3Test, RotationPreservesNorm) {
+  Mat3 rot = Mat3::FromYawPitchRoll(0.9, 0.2, -0.4);
+  Vec3 v(3, -7, 2);
+  EXPECT_NEAR(rot.Apply(v).Norm(), v.Norm(), 1e-9);
+}
+
+// Property sweep: RPY extraction must invert composition over a grid of
+// angles away from gimbal lock.
+class RpyRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RpyRoundTripTest, ExtractionInvertsComposition) {
+  Rng rng(1234 + static_cast<uint64_t>(GetParam()));
+  double yaw = rng.Uniform(-3.0, 3.0);
+  double pitch = rng.Uniform(-1.4, 1.4);  // stay away from +-pi/2
+  double roll = rng.Uniform(-3.0, 3.0);
+  Mat3 rot = Mat3::FromYawPitchRoll(yaw, pitch, roll);
+  Vec3 rpy = rot.ToRollPitchYaw();
+  Mat3 rebuilt = Mat3::FromYawPitchRoll(rpy.z, rpy.y, rpy.x);
+  EXPECT_TRUE(rebuilt.ApproxEquals(rot, 1e-8))
+      << "yaw=" << yaw << " pitch=" << pitch << " roll=" << roll;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomAngles, RpyRoundTripTest,
+                         ::testing::Range(0, 25));
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformWithinRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(variance), 2.0, 0.1);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(5);
+  Rng fork = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng reference(5);
+  reference.NextUint64();  // advance like the fork derivation did
+  EXPECT_NE(fork.NextUint64(), reference.NextUint64());
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace epl

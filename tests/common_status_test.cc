@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "test_util.h"
+
+namespace epl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  Status s = NotFoundError("file.csv").WithContext("loading trace");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "loading trace: file.csv");
+}
+
+TEST(StatusTest, WithContextIsNoOpOnOk) {
+  Status s = OkStatus().WithContext("context");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+Status FailingFunction() { return InternalError("inner"); }
+
+Status PropagatingFunction() {
+  EPL_RETURN_IF_ERROR(FailingFunction());
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = PropagatingFunction();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  EPL_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EPL_ASSERT_OK_AND_ASSIGN(int q, QuarterOf(8));
+  EXPECT_EQ(q, 2);
+  Result<int> failure = QuarterOf(6);  // 6/2 = 3 is odd.
+  ASSERT_FALSE(failure.ok());
+  EXPECT_EQ(failure.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(LoggingTest, CaptureRecordsMessages) {
+  ScopedLogCapture capture;
+  EPL_LOG(Info) << "hello " << 42;
+  EXPECT_TRUE(capture.Contains("hello 42"));
+  ASSERT_EQ(capture.records().size(), 1u);
+  EXPECT_EQ(capture.records()[0].level, LogLevel::kInfo);
+}
+
+TEST(LoggingTest, WarningLevelRecorded) {
+  ScopedLogCapture capture;
+  EPL_LOG(Warning) << "careful";
+  ASSERT_EQ(capture.records().size(), 1u);
+  EXPECT_EQ(capture.records()[0].level, LogLevel::kWarning);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  EPL_CHECK(1 + 1 == 2) << "should not fire";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ EPL_CHECK(false) << "boom"; }, "boom");
+}
+
+}  // namespace
+}  // namespace epl

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "test_util.h"
+
+namespace epl {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a;b;;c", ';'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ';'), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ';'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(pieces, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StringUtilTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLower("SwIpE_Right"), "swipe_right");
+  EXPECT_TRUE(StartsWith("kinect_t", "kinect"));
+  EXPECT_FALSE(StartsWith("kin", "kinect"));
+  EXPECT_TRUE(EndsWith("trace.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "trace.csv"));
+}
+
+TEST(StringUtilTest, ParseDoubleAcceptsValid) {
+  EPL_ASSERT_OK_AND_ASSIGN(double v, ParseDouble(" -38.80 "));
+  EXPECT_DOUBLE_EQ(v, -38.80);
+  EPL_ASSERT_OK_AND_ASSIGN(double w, ParseDouble("1e3"));
+  EXPECT_DOUBLE_EQ(w, 1000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EPL_ASSERT_OK_AND_ASSIGN(int64_t v, ParseInt64("-42"));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(StringUtilTest, FormatNumberTrimsZeros) {
+  EXPECT_EQ(FormatNumber(120.0), "120");
+  EXPECT_EQ(FormatNumber(1.5), "1.5");
+  EXPECT_EQ(FormatNumber(-0.25), "-0.25");
+  EXPECT_EQ(FormatNumber(0.0), "0");
+}
+
+TEST(TimeUtilTest, Conversions) {
+  EXPECT_EQ(DurationFromSeconds(1.5), 1500000);
+  EXPECT_EQ(DurationFromMillis(33.0), 33000);
+  EXPECT_DOUBLE_EQ(ToSeconds(2500000), 2.5);
+  EXPECT_DOUBLE_EQ(ToMillis(1500), 1.5);
+}
+
+TEST(TimeUtilTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(1500000), "1.500 s");
+  EXPECT_EQ(FormatDuration(33300), "33.300 ms");
+  EXPECT_EQ(FormatDuration(42), "42 us");
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  std::string text = "a;b;c\n1;2;3\n4.5;5.5;6.5\n";
+  EPL_ASSERT_OK_AND_ASSIGN(CsvTable table, ParseCsv(text));
+  EXPECT_EQ(table.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][2], 6.5);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  std::string text = "# comment\na;b\n\n1;2\n# another\n3;4\n";
+  EPL_ASSERT_OK_AND_ASSIGN(CsvTable table, ParseCsv(text));
+  EXPECT_EQ(table.rows.size(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  Result<CsvTable> r = ParseCsv("a;b\n1;2\n1;2;3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CsvTest, RejectsNonNumericCell) {
+  Result<CsvTable> r = ParseCsv("a;b\n1;x\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsMissingHeader) {
+  Result<CsvTable> r = ParseCsv("");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  table.rows = {{1.25, -3.5}, {0.0, 42.0}};
+  std::string text = WriteCsv(table);
+  EPL_ASSERT_OK_AND_ASSIGN(CsvTable parsed, ParseCsv(text));
+  EXPECT_EQ(parsed.header, table.header);
+  ASSERT_EQ(parsed.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.rows[0][0], 1.25);
+  EXPECT_DOUBLE_EQ(parsed.rows[1][1], 42.0);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  testing::ScopedTempDir dir;
+  std::string path = dir.path() + "/table.csv";
+  CsvTable table;
+  table.header = {"a"};
+  table.rows = {{7.0}};
+  EPL_ASSERT_OK(WriteCsvFile(path, table));
+  EPL_ASSERT_OK_AND_ASSIGN(CsvTable parsed, ReadCsvFile(path));
+  ASSERT_EQ(parsed.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.rows[0][0], 7.0);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  Result<CsvTable> r = ReadCsvFile("/nonexistent/path/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, ParsesPaperTraceFormat) {
+  // Verbatim prefix of the Fig. 1 sensor trace.
+  std::string text =
+      "torsoX;torsoY;torsoZ;rHandX;rHandY;rHandZ\n"
+      "45.21;166.36;1961.27;-38.80;238.82;1822.28\n"
+      "45.52;165.01;1961.72;-34.19;242.18;1809.85\n";
+  EPL_ASSERT_OK_AND_ASSIGN(CsvTable table, ParseCsv(text));
+  EXPECT_EQ(table.header[3], "rHandX");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[0][3], -38.80);
+}
+
+}  // namespace
+}  // namespace epl

@@ -1,0 +1,278 @@
+// End-to-end tests of the learning pipeline (paper Sec. 3.3): synthesize
+// samples -> transform -> distance-based sampling -> window merging ->
+// query generation -> deployment -> detection on unseen users.
+
+#include <gtest/gtest.h>
+
+#include "core/learner.h"
+#include "kinect/sensor.h"
+#include "kinect/synthesizer.h"
+#include "query/compiler.h"
+#include "query/unparser.h"
+#include "test_util.h"
+#include "transform/transform.h"
+#include "transform/view.h"
+
+namespace epl::core {
+namespace {
+
+using kinect::GestureShape;
+using kinect::GestureShapes;
+using kinect::JointId;
+using kinect::MotionParams;
+using kinect::SkeletonFrame;
+using kinect::SynthesizeSample;
+using kinect::UserProfile;
+
+std::vector<SkeletonFrame> TransformedSample(const UserProfile& profile,
+                                             const GestureShape& shape,
+                                             uint64_t seed) {
+  MotionParams params;  // defaults: noisy, jittered
+  std::vector<SkeletonFrame> frames =
+      SynthesizeSample(profile, shape, seed, params);
+  for (SkeletonFrame& frame : frames) {
+    frame = transform::TransformFrame(frame, transform::TransformConfig());
+  }
+  return frames;
+}
+
+/// Trains a learner on `num_samples` recordings of `shape`.
+GestureLearner TrainedLearner(const GestureShape& shape, int num_samples,
+                              uint64_t seed_base = 1000) {
+  GestureLearner learner(shape.name, shape.InvolvedJoints());
+  UserProfile trainer;
+  for (int i = 0; i < num_samples; ++i) {
+    Status status = learner.AddSample(
+        TransformedSample(trainer, shape, seed_base + i));
+    EPL_CHECK(status.ok()) << status;
+  }
+  return learner;
+}
+
+TEST(LearnerTest, LearnsSwipeRightDefinition) {
+  GestureLearner learner = TrainedLearner(GestureShapes::SwipeRight(), 4);
+  EXPECT_EQ(learner.sample_count(), 4);
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, learner.Learn());
+  EPL_ASSERT_OK(def.Validate());
+  EXPECT_EQ(def.name, "swipe_right");
+  EXPECT_EQ(def.source_stream, "kinect_t");
+  // A handful of characteristic poses, not one per 30 Hz tuple.
+  EXPECT_GE(def.poses.size(), 3u);
+  EXPECT_LE(def.poses.size(), 12u);
+  // The path runs left-to-right: the last pose center is far to the right
+  // of the first.
+  double first_x = def.poses.front().joints.at(JointId::kRightHand).center.x;
+  double last_x = def.poses.back().joints.at(JointId::kRightHand).center.x;
+  EXPECT_GT(last_x - first_x, 400.0);
+  // Heights stay near the shape's 150 mm above the torso.
+  for (const PoseWindow& pose : def.poses) {
+    EXPECT_NEAR(pose.joints.at(JointId::kRightHand).center.y, 150.0, 80.0);
+  }
+}
+
+TEST(LearnerTest, CleanSamplesYieldNoWarnings) {
+  GestureLearner learner = TrainedLearner(GestureShapes::SwipeRight(), 5);
+  for (const MergeWarning& warning : learner.warnings()) {
+    // Pose-count resampling notices are fine; deviation warnings are not.
+    EXPECT_EQ(warning.message.find("deviates"), std::string::npos)
+        << warning.message;
+  }
+}
+
+TEST(LearnerTest, WrongGestureSampleTriggersDeviationWarning) {
+  GestureShape swipe = GestureShapes::SwipeRight();
+  GestureLearner learner(swipe.name, swipe.InvolvedJoints());
+  UserProfile trainer;
+  EPL_ASSERT_OK(
+      learner.AddSample(TransformedSample(trainer, swipe, 2000)));
+  EPL_ASSERT_OK(
+      learner.AddSample(TransformedSample(trainer, swipe, 2001)));
+  // The user accidentally performs raise_hand while recording swipe_right.
+  Status status = learner.AddSample(
+      TransformedSample(trainer, GestureShapes::RaiseHand(), 2002));
+  EPL_ASSERT_OK(status);  // default config merges but warns
+  bool deviation = false;
+  for (const MergeWarning& warning : learner.warnings()) {
+    if (warning.message.find("deviates") != std::string::npos) {
+      deviation = true;
+    }
+  }
+  EXPECT_TRUE(deviation);
+}
+
+TEST(LearnerTest, GeneratedQueryHasPaperShape) {
+  GestureLearner learner = TrainedLearner(GestureShapes::SwipeRight(), 3);
+  EPL_ASSERT_OK_AND_ASSIGN(std::string text, learner.GenerateQueryText());
+  EXPECT_NE(text.find("SELECT \"swipe_right\""), std::string::npos);
+  EXPECT_NE(text.find("kinect_t("), std::string::npos);
+  EXPECT_NE(text.find("abs(rHand_x"), std::string::npos);
+  EXPECT_NE(text.find("within"), std::string::npos);
+  EXPECT_NE(text.find("select first consume all"), std::string::npos);
+  // The generated text re-parses and compiles against the kinect_t schema.
+  EPL_ASSERT_OK_AND_ASSIGN(query::ParsedQuery parsed,
+                           query::ParseQuery(text));
+  EPL_ASSERT_OK_AND_ASSIGN(
+      query::CompiledQuery compiled,
+      query::CompileQuery(parsed, transform::KinectTSchema()));
+  EXPECT_EQ(compiled.source_stream, "kinect_t");
+  EXPECT_GE(compiled.pattern.num_states(), 3);
+}
+
+TEST(LearnerTest, FlatQueryModeWhenGapsUniform) {
+  GestureLearner learner = TrainedLearner(GestureShapes::SwipeRight(), 3);
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, learner.Learn());
+  // Force uniform step budgets, then the flat (un-nested) form applies.
+  for (size_t i = 1; i < def.poses.size(); ++i) {
+    def.poses[i].max_gap = kSecond;
+  }
+  QueryGenConfig config;
+  config.nest_like_paper = false;
+  EPL_ASSERT_OK_AND_ASSIGN(query::ParsedQuery parsed,
+                           GenerateQuery(def, config));
+  EXPECT_EQ(parsed.pattern->children().size(), def.poses.size());
+  // Non-uniform budgets fall back to nesting even in flat mode.
+  def.poses.back().max_gap = 2 * kSecond;
+  EPL_ASSERT_OK_AND_ASSIGN(query::ParsedQuery nested,
+                           GenerateQuery(def, config));
+  EXPECT_EQ(nested.pattern->children().size(), 2u);
+}
+
+struct DetectionCounts {
+  int true_positives = 0;
+  int detections = 0;
+};
+
+/// Deploys `def` and plays `sessions` through the engine; returns how many
+/// sessions produced >= 1 detection and the total detection count.
+DetectionCounts RunDetection(
+    const GestureDefinition& def,
+    const std::vector<std::vector<SkeletonFrame>>& sessions) {
+  DetectionCounts counts;
+  for (const std::vector<SkeletonFrame>& frames : sessions) {
+    stream::StreamEngine engine;
+    EPL_CHECK(kinect::RegisterKinectStream(&engine).ok());
+    EPL_CHECK(transform::RegisterKinectTView(&engine).ok());
+    int session_detections = 0;
+    Result<stream::DeploymentId> id = DeployGesture(
+        &engine, def,
+        [&session_detections](const cep::Detection&) {
+          ++session_detections;
+        });
+    EPL_CHECK(id.ok()) << id.status();
+    EPL_CHECK(kinect::PlayFrames(&engine, frames).ok());
+    counts.detections += session_detections;
+    if (session_detections > 0) {
+      ++counts.true_positives;
+    }
+  }
+  return counts;
+}
+
+std::vector<SkeletonFrame> RawPerformance(const UserProfile& profile,
+                                          const GestureShape& shape,
+                                          uint64_t seed) {
+  kinect::SessionBuilder builder(profile, seed);
+  builder.Idle(0.6).Perform(shape, 0.4).Idle(0.6);
+  return builder.TakeFrames();
+}
+
+TEST(LearnerTest, DetectsGestureFromUnseenUsers) {
+  GestureShape shape = GestureShapes::SwipeRight();
+  GestureLearner learner = TrainedLearner(shape, 4);
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, learner.Learn());
+
+  // Test users differ from the trainer in position, size, orientation.
+  std::vector<UserProfile> users(4);
+  users[1].torso_position = Vec3(-500, 250, 2800);
+  users[2].height_mm = 1250;
+  users[3].yaw_rad = 0.5;
+  users[3].torso_position = Vec3(300, 0, 1700);
+
+  std::vector<std::vector<SkeletonFrame>> sessions;
+  uint64_t seed = 7000;
+  for (const UserProfile& user : users) {
+    sessions.push_back(RawPerformance(user, shape, seed++));
+  }
+  DetectionCounts counts = RunDetection(def, sessions);
+  EXPECT_EQ(counts.true_positives, 4) << "every user must be detected";
+}
+
+TEST(LearnerTest, DoesNotDetectOtherGestures) {
+  GestureLearner learner = TrainedLearner(GestureShapes::SwipeRight(), 4);
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, learner.Learn());
+
+  UserProfile user;
+  std::vector<std::vector<SkeletonFrame>> sessions;
+  sessions.push_back(
+      RawPerformance(user, GestureShapes::RaiseHand(), 8100));
+  sessions.push_back(RawPerformance(user, GestureShapes::Circle(), 8101));
+  sessions.push_back(
+      RawPerformance(user, GestureShapes::PushForward(), 8102));
+  DetectionCounts counts = RunDetection(def, sessions);
+  EXPECT_EQ(counts.true_positives, 0)
+      << "selectivity: other gestures must not fire swipe_right";
+}
+
+TEST(LearnerTest, SwipeLeftIsNotSwipeRight) {
+  // The mirrored gesture traverses the same region in the opposite order;
+  // the sequence operator must reject it.
+  GestureLearner learner = TrainedLearner(GestureShapes::SwipeRight(), 4);
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, learner.Learn());
+  UserProfile user;
+  DetectionCounts counts = RunDetection(
+      def, {RawPerformance(user, GestureShapes::SwipeLeft(), 8200)});
+  EXPECT_EQ(counts.true_positives, 0);
+}
+
+TEST(LearnerTest, TwoHandGestureLearnsBothHands) {
+  GestureShape shape = GestureShapes::TwoHandSwipe();
+  GestureLearner learner = TrainedLearner(shape, 3, 3000);
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, learner.Learn());
+  EXPECT_EQ(def.joints.size(), 2u);
+  for (const PoseWindow& pose : def.poses) {
+    EXPECT_TRUE(pose.joints.count(JointId::kRightHand));
+    EXPECT_TRUE(pose.joints.count(JointId::kLeftHand));
+  }
+  // Detection fires for a new performance.
+  UserProfile user;
+  user.height_mm = 1600;
+  DetectionCounts counts =
+      RunDetection(def, {RawPerformance(user, shape, 9000)});
+  EXPECT_EQ(counts.true_positives, 1);
+  // A single-hand swipe must not fire the two-hand gesture.
+  counts = RunDetection(
+      def, {RawPerformance(user, GestureShapes::SwipeRight(), 9001)});
+  EXPECT_EQ(counts.true_positives, 0);
+}
+
+TEST(LearnerTest, MoreSamplesWidenWindows) {
+  GestureShape shape = GestureShapes::SwipeRight();
+  GeneralizationConfig tight;
+  tight.min_half_width_mm = 1.0;
+  LearnerConfig config;
+  config.generalize = tight;
+
+  GestureLearner one(shape.name, shape.InvolvedJoints(), config);
+  GestureLearner five(shape.name, shape.InvolvedJoints(), config);
+  UserProfile trainer;
+  EPL_ASSERT_OK(one.AddSample(TransformedSample(trainer, shape, 4000)));
+  for (int i = 0; i < 5; ++i) {
+    EPL_ASSERT_OK(five.AddSample(TransformedSample(trainer, shape, 4000 + i)));
+  }
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def_one, one.Learn());
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def_five, five.Learn());
+  auto total_width = [](const GestureDefinition& def) {
+    double sum = 0.0;
+    for (const PoseWindow& pose : def.poses) {
+      for (const auto& [joint, window] : pose.joints) {
+        sum += window.half_width.x + window.half_width.y +
+               window.half_width.z;
+      }
+    }
+    return sum;
+  };
+  EXPECT_GT(total_width(def_five), total_width(def_one));
+}
+
+}  // namespace
+}  // namespace epl::core

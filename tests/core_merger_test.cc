@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/merger.h"
+#include "test_util.h"
+
+namespace epl::core {
+namespace {
+
+using kinect::JointId;
+
+SampleSummary MakeSummary(const std::vector<double>& xs,
+                          Duration step = 200 * kMillisecond) {
+  SampleSummary summary;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    PoseCentroid centroid;
+    centroid.sequence = static_cast<int>(i);
+    centroid.joints[JointId::kRightHand] = Vec3(xs[i], 100.0, -100.0);
+    centroid.time_offset = static_cast<Duration>(i) * step;
+    centroid.support = 5;
+    summary.centroids.push_back(centroid);
+  }
+  summary.frame_count = static_cast<int>(xs.size()) * 5;
+  summary.duration = static_cast<Duration>(xs.size() - 1) * step;
+  return summary;
+}
+
+GeneralizationConfig TightGeneralization() {
+  GeneralizationConfig config;
+  config.min_half_width_mm = 1.0;
+  config.widen_factor = 1.0;
+  config.time_slack = 1.0;
+  config.time_round = 0;
+  config.min_gap = 1;
+  return config;
+}
+
+TEST(MergerTest, BuildWithoutSamplesFails) {
+  WindowMerger merger("g", {JointId::kRightHand});
+  EXPECT_FALSE(merger.Build().ok());
+}
+
+TEST(MergerTest, SingleSampleProducesDegenerateBoxes) {
+  WindowMerger merger("g", {JointId::kRightHand});
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300, 600})));
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, merger.Build());
+  ASSERT_EQ(def.poses.size(), 3u);
+  // Default generalization enforces the paper's 50 mm minimum half width.
+  const JointWindow& w0 = def.poses[0].joints.at(JointId::kRightHand);
+  EXPECT_DOUBLE_EQ(w0.half_width.x, 50.0);
+  EXPECT_DOUBLE_EQ(w0.center.x, 0.0);
+  EXPECT_EQ(def.sample_count, 1);
+}
+
+TEST(MergerTest, MbrSpansAllSamples) {
+  WindowMerger merger("g", {JointId::kRightHand});
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300, 600})));
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({20, 340, 580})));
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({-10, 320, 610})));
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def,
+                           merger.Build(TightGeneralization()));
+  const JointWindow& w0 = def.poses[0].joints.at(JointId::kRightHand);
+  EXPECT_DOUBLE_EQ(w0.center.x, 5.0);       // (-10 + 20) / 2
+  EXPECT_DOUBLE_EQ(w0.half_width.x, 15.0);  // (20 - -10) / 2
+  const JointWindow& w1 = def.poses[1].joints.at(JointId::kRightHand);
+  EXPECT_DOUBLE_EQ(w1.center.x, 320.0);
+  EXPECT_DOUBLE_EQ(w1.half_width.x, 20.0);
+}
+
+TEST(MergerTest, CentroidsContainedInBuiltWindows) {
+  // Property: every merged centroid lies inside the built windows (when a
+  // small positive margin is applied).
+  WindowMerger merger("g", {JointId::kRightHand});
+  std::vector<SampleSummary> samples = {MakeSummary({0, 290, 615}),
+                                        MakeSummary({25, 310, 600}),
+                                        MakeSummary({-15, 305, 590})};
+  for (const SampleSummary& sample : samples) {
+    EPL_ASSERT_OK(merger.AddSample(sample));
+  }
+  GeneralizationConfig config = TightGeneralization();
+  config.extra_margin_mm = 0.5;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, merger.Build(config));
+  for (const SampleSummary& sample : samples) {
+    for (size_t i = 0; i < sample.centroids.size(); ++i) {
+      EXPECT_TRUE(def.poses[i].Contains(sample.centroids[i].joints))
+          << "pose " << i;
+    }
+  }
+}
+
+TEST(MergerTest, GapBudgetsUseSlackAndRounding) {
+  WindowMerger merger("g", {JointId::kRightHand});
+  // Gaps of 200 ms between poses.
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300, 600})));
+  GeneralizationConfig config;
+  config.time_slack = 2.0;
+  config.time_round = kSecond;
+  config.min_gap = kSecond;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, merger.Build(config));
+  // 200 ms * 2.0 = 400 ms, rounded up to 1 s (paper-style whole seconds).
+  EXPECT_EQ(def.poses[1].max_gap, kSecond);
+  EXPECT_EQ(def.poses[0].max_gap, 0);
+}
+
+TEST(MergerTest, GapBudgetTracksSlowestSample) {
+  WindowMerger merger("g", {JointId::kRightHand});
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300}, 200 * kMillisecond)));
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300}, 900 * kMillisecond)));
+  GeneralizationConfig config = TightGeneralization();
+  config.time_slack = 1.5;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def, merger.Build(config));
+  EXPECT_EQ(def.poses[1].max_gap,
+            static_cast<Duration>(900 * kMillisecond * 1.5));
+}
+
+TEST(MergerTest, ResampleAlignsDifferentPoseCounts) {
+  WindowMerger merger("g", {JointId::kRightHand});
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300, 600})));
+  // Five poses over the same path: resampled onto three.
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 150, 300, 450, 600})));
+  EXPECT_EQ(merger.pose_count(), 3);
+  ASSERT_FALSE(merger.warnings().empty());
+  EXPECT_NE(merger.warnings()[0].message.find("resampled"),
+            std::string::npos);
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def,
+                           merger.Build(TightGeneralization()));
+  // Resampled positions coincide: windows stay narrow.
+  EXPECT_LT(def.poses[1].joints.at(JointId::kRightHand).half_width.x, 20.0);
+}
+
+TEST(MergerTest, StrictAlignmentRejectsMismatch) {
+  MergeConfig config;
+  config.alignment = MergeConfig::Alignment::kStrict;
+  WindowMerger merger("g", {JointId::kRightHand}, config);
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300, 600})));
+  Status status = merger.AddSample(MakeSummary({0, 300}));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(merger.sample_count(), 1);
+  EXPECT_FALSE(merger.warnings().empty());
+}
+
+TEST(MergerTest, OutlierSampleWarns) {
+  WindowMerger merger("g", {JointId::kRightHand});
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300, 600})));
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({10, 310, 590})));
+  // Third sample is a very different movement.
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({500, -200, 900})));
+  bool deviation_warning = false;
+  for (const MergeWarning& warning : merger.warnings()) {
+    if (warning.message.find("deviates") != std::string::npos) {
+      deviation_warning = true;
+    }
+  }
+  EXPECT_TRUE(deviation_warning);
+  EXPECT_EQ(merger.sample_count(), 3);  // still merged (warn-only default)
+}
+
+TEST(MergerTest, RejectOutliersKeepsDefinitionClean) {
+  MergeConfig config;
+  config.reject_outliers = true;
+  WindowMerger merger("g", {JointId::kRightHand}, config);
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300, 600})));
+  Status status = merger.AddSample(MakeSummary({500, -200, 900}));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(merger.sample_count(), 1);
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition def,
+                           merger.Build(TightGeneralization()));
+  EXPECT_DOUBLE_EQ(def.poses[0].joints.at(JointId::kRightHand).center.x,
+                   0.0);
+}
+
+TEST(MergerTest, SimilarSamplesProduceNoWarnings) {
+  WindowMerger merger("g", {JointId::kRightHand});
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({0, 300, 600})));
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({15, 290, 610})));
+  EPL_ASSERT_OK(merger.AddSample(MakeSummary({-20, 315, 595})));
+  EXPECT_TRUE(merger.warnings().empty());
+}
+
+TEST(MergerTest, MissingJointRejected) {
+  WindowMerger merger("g", {JointId::kRightHand, JointId::kLeftHand});
+  Status status = merger.AddSample(MakeSummary({0, 300}));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace epl::core

@@ -1,0 +1,218 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/sampler.h"
+#include "kinect/gesture_shapes.h"
+#include "kinect/synthesizer.h"
+#include "test_util.h"
+#include "transform/transform.h"
+
+namespace epl::core {
+namespace {
+
+using kinect::JointId;
+
+JointPose HandAt(double x, double y, double z) {
+  return {{JointId::kRightHand, Vec3(x, y, z)}};
+}
+
+std::vector<SamplePoint> LinearPath(int n, double step_mm) {
+  std::vector<SamplePoint> points;
+  for (int i = 0; i < n; ++i) {
+    SamplePoint point;
+    point.timestamp = i * kinect::kFramePeriod;
+    point.joints = HandAt(i * step_mm, 0, 0);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+TEST(DistanceTest, EuclideanOverJoints) {
+  EuclideanDistance metric;
+  JointPose a = {{JointId::kRightHand, Vec3(0, 0, 0)},
+                 {JointId::kLeftHand, Vec3(0, 0, 0)}};
+  JointPose b = {{JointId::kRightHand, Vec3(3, 0, 0)},
+                 {JointId::kLeftHand, Vec3(0, 4, 0)}};
+  EXPECT_DOUBLE_EQ(metric.Distance(a, b, 1), 5.0);
+}
+
+TEST(DistanceTest, ChebyshevTakesMaxAxis) {
+  ChebyshevDistance metric;
+  EXPECT_DOUBLE_EQ(
+      metric.Distance(HandAt(0, 0, 0), HandAt(3, -7, 2), 1), 7.0);
+}
+
+TEST(DistanceTest, TupleCountIgnoresPositions) {
+  TupleCountDistance metric;
+  EXPECT_DOUBLE_EQ(metric.Distance(HandAt(0, 0, 0), HandAt(999, 0, 0), 4),
+                   4.0);
+}
+
+TEST(DistanceTest, WeightedEuclidean) {
+  WeightedEuclideanDistance metric({{JointId::kRightHand, 4.0}});
+  EXPECT_DOUBLE_EQ(
+      metric.Distance(HandAt(0, 0, 0), HandAt(3, 4, 0), 1), 10.0);
+}
+
+TEST(DistanceTest, FactoryByName) {
+  EPL_ASSERT_OK_AND_ASSIGN(std::shared_ptr<DistanceMetric> metric,
+                           MakeDistanceMetric("chebyshev"));
+  EXPECT_EQ(metric->name(), "chebyshev");
+  EXPECT_FALSE(MakeDistanceMetric("bogus").ok());
+}
+
+TEST(SamplerTest, EmptySampleFails) {
+  DistanceSampler sampler;
+  EXPECT_FALSE(sampler.Run({}).ok());
+}
+
+TEST(SamplerTest, SinglePointYieldsOneCentroid) {
+  DistanceSampler sampler;
+  EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary,
+                           sampler.Run({SamplePoint{0, HandAt(1, 2, 3)}}));
+  ASSERT_EQ(summary.centroids.size(), 1u);
+  EXPECT_EQ(summary.centroids[0].support, 1);
+  EXPECT_DOUBLE_EQ(summary.path_length, 0.0);
+}
+
+TEST(SamplerTest, StationarySampleYieldsOneCentroid) {
+  DistanceSampler sampler;
+  std::vector<SamplePoint> points = LinearPath(30, 0.0);
+  EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary, sampler.Run(points));
+  EXPECT_EQ(summary.centroids.size(), 1u);
+  EXPECT_EQ(summary.centroids[0].support, 30);
+}
+
+TEST(SamplerTest, PathLengthIsSumOfSteps) {
+  DistanceSampler sampler;
+  std::vector<SamplePoint> points = LinearPath(11, 10.0);
+  EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary, sampler.Run(points));
+  EXPECT_DOUBLE_EQ(summary.path_length, 100.0);
+  EXPECT_DOUBLE_EQ(summary.threshold, 12.0);  // default 12%
+}
+
+TEST(SamplerTest, ThresholdPctControlsWindowCount) {
+  // 100 points moving 10 mm each: path length 990.
+  std::vector<SamplePoint> points = LinearPath(100, 10.0);
+  SamplerConfig config;
+  config.threshold_pct = 0.25;  // threshold 247.5 -> new window every 25
+  DistanceSampler sampler(config);
+  EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary, sampler.Run(points));
+  EXPECT_EQ(summary.centroids.size(), 4u);
+  // Reference-mode centroids sit at the cluster starts.
+  EXPECT_DOUBLE_EQ(summary.centroids[0].joints.at(JointId::kRightHand).x,
+                   0.0);
+  EXPECT_DOUBLE_EQ(summary.centroids[1].joints.at(JointId::kRightHand).x,
+                   250.0);  // first point farther than 247.5 from 0
+}
+
+TEST(SamplerTest, AbsoluteThresholdOverridesPct) {
+  std::vector<SamplePoint> points = LinearPath(100, 10.0);
+  SamplerConfig config;
+  config.threshold_pct = 0.9;
+  config.absolute_threshold = 100.0;
+  DistanceSampler sampler(config);
+  EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary, sampler.Run(points));
+  EXPECT_DOUBLE_EQ(summary.threshold, 100.0);
+  EXPECT_EQ(summary.centroids.size(), 10u);
+}
+
+TEST(SamplerTest, EndPoseAlwaysRepresented) {
+  // Path ends mid-cluster: final partial cluster must still be emitted.
+  std::vector<SamplePoint> points = LinearPath(95, 10.0);
+  SamplerConfig config;
+  config.absolute_threshold = 300.0;
+  DistanceSampler sampler(config);
+  EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary, sampler.Run(points));
+  const PoseCentroid& last = summary.centroids.back();
+  // The final centroid references a point near the end of the path.
+  EXPECT_GE(last.joints.at(JointId::kRightHand).x, 900.0);
+}
+
+TEST(SamplerTest, MeanCentroidModeAverages) {
+  std::vector<SamplePoint> points = LinearPath(10, 10.0);  // 0..90
+  SamplerConfig config;
+  config.absolute_threshold = 1000.0;  // single cluster
+  config.centroid_mode = SamplerConfig::CentroidMode::kMean;
+  DistanceSampler sampler(config);
+  EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary, sampler.Run(points));
+  ASSERT_EQ(summary.centroids.size(), 1u);
+  EXPECT_DOUBLE_EQ(summary.centroids[0].joints.at(JointId::kRightHand).x,
+                   45.0);
+}
+
+TEST(SamplerTest, TupleCountMetricSamplesEveryX) {
+  std::vector<SamplePoint> points = LinearPath(30, 5.0);
+  SamplerConfig config;
+  config.metric = std::make_shared<TupleCountDistance>();
+  config.absolute_threshold = 10.0;  // every 10 tuples
+  DistanceSampler sampler(config);
+  EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary, sampler.Run(points));
+  EXPECT_EQ(summary.centroids.size(), 3u);
+  EXPECT_EQ(summary.centroids[1].sequence, 1);
+}
+
+TEST(SamplerTest, SupportSumsToFrameCount) {
+  std::vector<SamplePoint> points = LinearPath(77, 10.0);
+  DistanceSampler sampler;
+  EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary, sampler.Run(points));
+  int total_support = 0;
+  for (const PoseCentroid& centroid : summary.centroids) {
+    total_support += centroid.support;
+  }
+  EXPECT_EQ(total_support, 77);
+}
+
+// Property: raising the threshold never increases the number of windows
+// (coarser sampling), over randomized synthetic gestures.
+class SamplerMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplerMonotonicityTest, HigherThresholdNoMoreWindows) {
+  kinect::UserProfile profile;
+  kinect::MotionParams params;
+  params.noise_stddev_mm = 4.0;
+  uint64_t seed = 100 + static_cast<uint64_t>(GetParam());
+  const char* shapes[] = {"swipe_right", "circle", "raise_hand",
+                          "push_forward"};
+  kinect::GestureShape shape =
+      kinect::GestureShapes::ByName(shapes[GetParam() % 4]).value();
+  std::vector<kinect::SkeletonFrame> frames =
+      kinect::SynthesizeSample(profile, shape, seed, params);
+  for (kinect::SkeletonFrame& frame : frames) {
+    frame = transform::TransformFrame(frame, transform::TransformConfig());
+  }
+  std::vector<SamplePoint> points =
+      PointsFromFrames(frames, {JointId::kRightHand});
+
+  size_t previous_count = SIZE_MAX;
+  for (double pct : {0.04, 0.08, 0.15, 0.25, 0.4, 0.7}) {
+    SamplerConfig config;
+    config.threshold_pct = pct;
+    DistanceSampler sampler(config);
+    EPL_ASSERT_OK_AND_ASSIGN(SampleSummary summary, sampler.Run(points));
+    EXPECT_LE(summary.centroids.size(), previous_count)
+        << shape.name << " pct=" << pct;
+    previous_count = summary.centroids.size();
+  }
+  EXPECT_GE(previous_count, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SamplerMonotonicityTest,
+                         ::testing::Range(0, 12));
+
+TEST(SamplerTest, PointsFromFramesRestrictsJoints) {
+  kinect::UserProfile profile;
+  kinect::BodyModel model(profile);
+  std::vector<kinect::SkeletonFrame> frames = {model.NeutralFrame(0)};
+  std::vector<SamplePoint> points =
+      PointsFromFrames(frames, {JointId::kRightHand, JointId::kLeftHand});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].joints.size(), 2u);
+  EXPECT_TRUE(points[0].joints.count(JointId::kRightHand));
+  EXPECT_FALSE(points[0].joints.count(JointId::kTorso));
+}
+
+}  // namespace
+}  // namespace epl::core

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/gesture_definition.h"
+#include "core/window.h"
+#include "test_util.h"
+
+namespace epl::core {
+namespace {
+
+using kinect::JointId;
+
+JointWindow MakeWindow(Vec3 center, Vec3 half_width) {
+  JointWindow window;
+  window.center = center;
+  window.half_width = half_width;
+  return window;
+}
+
+TEST(JointWindowTest, ContainsInterior) {
+  JointWindow w = MakeWindow(Vec3(100, 0, -100), Vec3(50, 50, 50));
+  EXPECT_TRUE(w.Contains(Vec3(100, 0, -100)));
+  EXPECT_TRUE(w.Contains(Vec3(149, 49, -51)));
+  EXPECT_FALSE(w.Contains(Vec3(150, 0, -100)));  // boundary is exclusive
+  EXPECT_FALSE(w.Contains(Vec3(100, 51, -100)));
+  EXPECT_FALSE(w.Contains(Vec3(100, 0, -151)));
+}
+
+TEST(JointWindowTest, InactiveAxisUnconstrained) {
+  JointWindow w = MakeWindow(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  w.active[2] = false;
+  EXPECT_TRUE(w.Contains(Vec3(5, 5, 99999)));
+  EXPECT_FALSE(w.Contains(Vec3(11, 5, 0)));
+  EXPECT_EQ(w.NumActiveAxes(), 2);
+}
+
+TEST(JointWindowTest, Intersects) {
+  JointWindow a = MakeWindow(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  JointWindow b = MakeWindow(Vec3(80, 0, 0), Vec3(40, 40, 40));
+  EXPECT_TRUE(a.Intersects(b));
+  JointWindow c = MakeWindow(Vec3(200, 0, 0), Vec3(40, 40, 40));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching boxes (gap == sum of half widths) do not intersect.
+  JointWindow d = MakeWindow(Vec3(90, 0, 0), Vec3(40, 40, 40));
+  EXPECT_FALSE(a.Intersects(d));
+}
+
+TEST(JointWindowTest, IntersectsIgnoresInactiveAxes) {
+  JointWindow a = MakeWindow(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  JointWindow b = MakeWindow(Vec3(0, 0, 500), Vec3(10, 10, 10));
+  EXPECT_FALSE(a.Intersects(b));
+  a.active[2] = false;
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(JointWindowTest, ContainmentFraction) {
+  JointWindow a = MakeWindow(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  // Identical box: fully contained.
+  EXPECT_DOUBLE_EQ(a.ContainmentIn(a), 1.0);
+  // Disjoint box: zero.
+  JointWindow far = MakeWindow(Vec3(500, 0, 0), Vec3(50, 50, 50));
+  EXPECT_DOUBLE_EQ(a.ContainmentIn(far), 0.0);
+  // Half-overlapping on one axis.
+  JointWindow half = MakeWindow(Vec3(50, 0, 0), Vec3(50, 50, 50));
+  EXPECT_NEAR(a.ContainmentIn(half), 0.5, 1e-12);
+}
+
+TEST(JointWindowTest, WidenAppliesFactorMarginAndFloor) {
+  JointWindow w = MakeWindow(Vec3(0, 0, 0), Vec3(10, 40, 0));
+  w.Widen(2.0, 5.0, 30.0);
+  EXPECT_DOUBLE_EQ(w.half_width.x, 30.0);  // 10*2+5=25 -> floor 30
+  EXPECT_DOUBLE_EQ(w.half_width.y, 85.0);  // 40*2+5
+  EXPECT_DOUBLE_EQ(w.half_width.z, 30.0);  // 0*2+5=5 -> floor 30
+}
+
+TEST(PoseWindowTest, ContainsRequiresAllJoints) {
+  PoseWindow pose;
+  pose.joints[JointId::kRightHand] =
+      MakeWindow(Vec3(100, 100, -100), Vec3(50, 50, 50));
+  pose.joints[JointId::kLeftHand] =
+      MakeWindow(Vec3(-100, 100, -100), Vec3(50, 50, 50));
+  std::map<JointId, Vec3> ok = {{JointId::kRightHand, Vec3(110, 90, -110)},
+                                {JointId::kLeftHand, Vec3(-90, 110, -90)}};
+  EXPECT_TRUE(pose.Contains(ok));
+  std::map<JointId, Vec3> bad = {{JointId::kRightHand, Vec3(110, 90, -110)},
+                                 {JointId::kLeftHand, Vec3(100, 110, -90)}};
+  EXPECT_FALSE(pose.Contains(bad));
+  // Missing joint: not contained.
+  std::map<JointId, Vec3> partial = {
+      {JointId::kRightHand, Vec3(110, 90, -110)}};
+  EXPECT_FALSE(pose.Contains(partial));
+}
+
+TEST(PoseWindowTest, IntersectsPerJoint) {
+  PoseWindow a;
+  a.joints[JointId::kRightHand] = MakeWindow(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  PoseWindow b;
+  b.joints[JointId::kRightHand] =
+      MakeWindow(Vec3(60, 0, 0), Vec3(50, 50, 50));
+  EXPECT_TRUE(a.Intersects(b));
+  b.joints[JointId::kRightHand].center = Vec3(200, 0, 0);
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(GestureDefinitionTest, ValidateAcceptsWellFormed) {
+  GestureDefinition def;
+  def.name = "g";
+  def.joints = {JointId::kRightHand};
+  PoseWindow p1;
+  p1.joints[JointId::kRightHand] =
+      MakeWindow(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  PoseWindow p2 = p1;
+  p2.joints[JointId::kRightHand].center = Vec3(400, 0, 0);
+  p2.max_gap = kSecond;
+  def.poses = {p1, p2};
+  EPL_EXPECT_OK(def.Validate());
+  EXPECT_EQ(def.NumActiveConstraints(), 6);
+}
+
+TEST(GestureDefinitionTest, ValidateRejectsDefects) {
+  GestureDefinition def;
+  def.joints = {JointId::kRightHand};
+  PoseWindow pose;
+  pose.joints[JointId::kRightHand] =
+      MakeWindow(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  def.poses = {pose};
+  EXPECT_FALSE(def.Validate().ok());  // no name
+  def.name = "g";
+  EPL_EXPECT_OK(def.Validate());
+
+  // Pose missing the involved joint.
+  GestureDefinition missing = def;
+  missing.poses[0].joints.clear();
+  EXPECT_FALSE(missing.Validate().ok());
+
+  // Zero width on an active axis.
+  GestureDefinition zero_width = def;
+  zero_width.poses[0].joints[JointId::kRightHand].half_width = Vec3(0, 5, 5);
+  EXPECT_FALSE(zero_width.Validate().ok());
+  // ... but fine when that axis is inactive.
+  zero_width.poses[0].joints[JointId::kRightHand].active[0] = false;
+  EPL_EXPECT_OK(zero_width.Validate());
+
+  // Second pose without a time budget.
+  GestureDefinition no_gap = def;
+  no_gap.poses.push_back(def.poses[0]);
+  EXPECT_FALSE(no_gap.Validate().ok());
+}
+
+}  // namespace
+}  // namespace epl::core

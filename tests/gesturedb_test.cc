@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "gesturedb/serialization.h"
+#include "gesturedb/store.h"
+#include "kinect/synthesizer.h"
+#include "test_util.h"
+
+namespace epl::gesturedb {
+namespace {
+
+using core::GestureDefinition;
+using core::JointWindow;
+using core::PoseWindow;
+using kinect::JointId;
+
+GestureDefinition SampleDefinition() {
+  GestureDefinition def;
+  def.name = "swipe_right";
+  def.source_stream = "kinect_t";
+  def.sample_count = 4;
+  def.joints = {JointId::kRightHand, JointId::kLeftHand};
+  def.notes = "learned from 4 samples";
+  for (int i = 0; i < 3; ++i) {
+    PoseWindow pose;
+    JointWindow right;
+    right.center = Vec3(i * 400.0, 150.0, -120.5);
+    right.half_width = Vec3(50, 60, 70);
+    if (i == 1) {
+      right.active[2] = false;  // exercise axis flags
+    }
+    pose.joints[JointId::kRightHand] = right;
+    JointWindow left;
+    left.center = Vec3(-185, -195, 0);
+    left.half_width = Vec3(80, 80, 80);
+    pose.joints[JointId::kLeftHand] = left;
+    pose.max_gap = i == 0 ? 0 : kSecond;
+    def.poses.push_back(pose);
+  }
+  return def;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  GestureDefinition def = SampleDefinition();
+  std::string text = Serialize(def);
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition loaded, Deserialize(text));
+  EXPECT_EQ(loaded.name, def.name);
+  EXPECT_EQ(loaded.source_stream, def.source_stream);
+  EXPECT_EQ(loaded.sample_count, def.sample_count);
+  EXPECT_EQ(loaded.joints, def.joints);
+  EXPECT_EQ(loaded.notes, def.notes);
+  ASSERT_EQ(loaded.poses.size(), def.poses.size());
+  for (size_t i = 0; i < def.poses.size(); ++i) {
+    EXPECT_EQ(loaded.poses[i].max_gap, def.poses[i].max_gap);
+    for (JointId joint : def.joints) {
+      const JointWindow& original = def.poses[i].joints.at(joint);
+      const JointWindow& restored = loaded.poses[i].joints.at(joint);
+      EXPECT_TRUE(restored.center.ApproxEquals(original.center, 1e-6));
+      EXPECT_TRUE(
+          restored.half_width.ApproxEquals(original.half_width, 1e-6));
+      EXPECT_EQ(restored.active, original.active);
+    }
+  }
+}
+
+TEST(SerializationTest, RejectsMissingHeader) {
+  Result<GestureDefinition> r = Deserialize("name: x\nend\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializationTest, RejectsTruncatedFile) {
+  std::string text = Serialize(SampleDefinition());
+  // Drop the trailing "end\n".
+  text.resize(text.size() - 4);
+  Result<GestureDefinition> r = Deserialize(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(SerializationTest, RejectsMalformedJointLine) {
+  std::string text =
+      "epl-gesture v1\nname: g\njoints: rHand\n"
+      "pose gap_us=0\n  joint rHand center 1 2\nend\n";
+  EXPECT_FALSE(Deserialize(text).ok());
+}
+
+TEST(SerializationTest, RejectsUnknownJoint) {
+  std::string text =
+      "epl-gesture v1\nname: g\njoints: tentacle\nend\n";
+  EXPECT_FALSE(Deserialize(text).ok());
+}
+
+TEST(SerializationTest, RejectsGarbageLine) {
+  std::string text = "epl-gesture v1\nname: g\nflux capacitor\nend\n";
+  EXPECT_FALSE(Deserialize(text).ok());
+}
+
+TEST(SerializationTest, ValidatesDeserializedDefinition) {
+  // Structurally parseable but semantically invalid (no poses).
+  std::string text = "epl-gesture v1\nname: g\njoints: rHand\nend\n";
+  Result<GestureDefinition> r = Deserialize(text);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(StoreTest, PutGetListRemove) {
+  testing::ScopedTempDir dir;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureStore store, GestureStore::Open(dir.path()));
+  GestureDefinition def = SampleDefinition();
+  EPL_ASSERT_OK(store.Put(def));
+  EXPECT_TRUE(store.Exists("swipe_right"));
+
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition loaded,
+                           store.Get("swipe_right"));
+  EXPECT_EQ(loaded.name, "swipe_right");
+  EXPECT_EQ(loaded.poses.size(), 3u);
+
+  GestureDefinition second = def;
+  second.name = "circle";
+  EPL_ASSERT_OK(store.Put(second));
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<std::string> names, store.List());
+  EXPECT_EQ(names, (std::vector<std::string>{"circle", "swipe_right"}));
+
+  EPL_ASSERT_OK(store.Remove("circle"));
+  EXPECT_FALSE(store.Exists("circle"));
+  EPL_ASSERT_OK_AND_ASSIGN(names, store.List());
+  EXPECT_EQ(names, (std::vector<std::string>{"swipe_right"}));
+}
+
+TEST(StoreTest, GetMissingFails) {
+  testing::ScopedTempDir dir;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureStore store, GestureStore::Open(dir.path()));
+  Result<GestureDefinition> r = store.Get("ghost");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Remove("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST(StoreTest, RejectsBadNames) {
+  testing::ScopedTempDir dir;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureStore store, GestureStore::Open(dir.path()));
+  GestureDefinition def = SampleDefinition();
+  def.name = "../evil";
+  EXPECT_EQ(store.Put(def).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Get("a b").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreTest, OverwriteUpdatesDefinition) {
+  testing::ScopedTempDir dir;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureStore store, GestureStore::Open(dir.path()));
+  GestureDefinition def = SampleDefinition();
+  EPL_ASSERT_OK(store.Put(def));
+  def.sample_count = 9;
+  EPL_ASSERT_OK(store.Put(def));
+  EPL_ASSERT_OK_AND_ASSIGN(GestureDefinition loaded,
+                           store.Get("swipe_right"));
+  EXPECT_EQ(loaded.sample_count, 9);
+}
+
+TEST(StoreTest, CorruptFileSurfacesParseError) {
+  testing::ScopedTempDir dir;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureStore store, GestureStore::Open(dir.path()));
+  EPL_ASSERT_OK(WriteStringToFile(dir.path() + "/broken.gesture",
+                                  "not a gesture file"));
+  Result<GestureDefinition> r = store.Get("broken");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StoreTest, SamplesRoundTrip) {
+  testing::ScopedTempDir dir;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureStore store, GestureStore::Open(dir.path()));
+  kinect::UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 21);
+  std::vector<kinect::SkeletonFrame> frames = synth.Still(0.3);
+
+  EPL_ASSERT_OK_AND_ASSIGN(int index0, store.AddSample("swipe_right", frames));
+  EXPECT_EQ(index0, 0);
+  EPL_ASSERT_OK_AND_ASSIGN(int index1, store.AddSample("swipe_right", frames));
+  EXPECT_EQ(index1, 1);
+  EPL_ASSERT_OK_AND_ASSIGN(int count, store.SampleCount("swipe_right"));
+  EXPECT_EQ(count, 2);
+
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<kinect::SkeletonFrame> loaded,
+                           store.GetSample("swipe_right", 0));
+  ASSERT_EQ(loaded.size(), frames.size());
+  EXPECT_EQ(loaded[0].timestamp, frames[0].timestamp);
+}
+
+TEST(StoreTest, RemoveDropsSamplesToo) {
+  testing::ScopedTempDir dir;
+  EPL_ASSERT_OK_AND_ASSIGN(GestureStore store, GestureStore::Open(dir.path()));
+  EPL_ASSERT_OK(store.Put(SampleDefinition()));
+  kinect::UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 22);
+  EPL_ASSERT_OK(store.AddSample("swipe_right", synth.Still(0.2)).status());
+  EPL_ASSERT_OK(store.Remove("swipe_right"));
+  EPL_ASSERT_OK_AND_ASSIGN(int count, store.SampleCount("swipe_right"));
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace epl::gesturedb

@@ -1,0 +1,343 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kinect/body_model.h"
+#include "kinect/gesture_shapes.h"
+#include "kinect/sensor.h"
+#include "kinect/skeleton.h"
+#include "kinect/synthesizer.h"
+#include "kinect/trace_io.h"
+#include "stream/operators.h"
+#include "test_util.h"
+
+namespace epl::kinect {
+namespace {
+
+MotionParams NoiselessParams() {
+  MotionParams params;
+  params.noise_stddev_mm = 0.0;
+  params.amplitude_jitter = 0.0;
+  params.time_warp = 0.0;
+  params.sway_mm = 0.0;
+  return params;
+}
+
+TEST(SkeletonTest, JointNamesRoundTrip) {
+  for (JointId joint : AllJoints()) {
+    EPL_ASSERT_OK_AND_ASSIGN(JointId parsed, JointFromName(JointName(joint)));
+    EXPECT_EQ(parsed, joint);
+  }
+  EXPECT_FALSE(JointFromName("noSuchJoint").ok());
+}
+
+TEST(SkeletonTest, SchemaHas46Fields) {
+  const stream::Schema& schema = KinectSchema();
+  EXPECT_EQ(schema.num_fields(), 1 + 3 * kNumJoints);
+  EXPECT_TRUE(schema.HasField("player"));
+  EXPECT_TRUE(schema.HasField("rHand_x"));
+  EXPECT_TRUE(schema.HasField("torso_z"));
+  EXPECT_TRUE(schema.HasField("lFoot_y"));
+}
+
+TEST(SkeletonTest, FrameEventRoundTrip) {
+  SkeletonFrame frame;
+  frame.timestamp = 42 * kMillisecond;
+  frame.player = 2;
+  for (int i = 0; i < kNumJoints; ++i) {
+    frame.joints[i] = Vec3(i * 1.5, -i * 2.0, 1000.0 + i);
+  }
+  stream::Event event = FrameToEvent(frame);
+  EXPECT_EQ(event.values.size(), 46u);
+  EPL_ASSERT_OK_AND_ASSIGN(SkeletonFrame back, FrameFromEvent(event));
+  EXPECT_EQ(back.timestamp, frame.timestamp);
+  EXPECT_EQ(back.player, 2);
+  for (int i = 0; i < kNumJoints; ++i) {
+    EXPECT_TRUE(back.joints[i].ApproxEquals(frame.joints[i]));
+  }
+}
+
+TEST(SkeletonTest, FrameFromBadEventFails) {
+  stream::Event event(0, {1.0, 2.0});
+  EXPECT_FALSE(FrameFromEvent(event).ok());
+}
+
+TEST(BodyModelTest, NeutralFramePlausible) {
+  UserProfile profile;
+  BodyModel model(profile);
+  SkeletonFrame frame = model.NeutralFrame(0);
+  // Torso at the configured position.
+  EXPECT_TRUE(frame.joint(JointId::kTorso)
+                  .ApproxEquals(profile.torso_position, 1e-9));
+  // Head above torso, feet below.
+  EXPECT_GT(frame.joint(JointId::kHead).y, frame.joint(JointId::kTorso).y);
+  EXPECT_LT(frame.joint(JointId::kLeftFoot).y,
+            frame.joint(JointId::kLeftKnee).y);
+  // Right side at larger x than left when facing the camera.
+  EXPECT_GT(frame.joint(JointId::kRightShoulder).x,
+            frame.joint(JointId::kLeftShoulder).x);
+}
+
+TEST(BodyModelTest, SizeFactorScalesOffsets) {
+  UserProfile adult;
+  UserProfile child;
+  child.height_mm = 1200.0;
+  BodyModel adult_model(adult);
+  BodyModel child_model(child);
+  EXPECT_NEAR(child_model.size_factor(), 1200.0 / 1750.0, 1e-12);
+  Vec3 adult_head = adult_model.NeutralOffset(JointId::kHead);
+  Vec3 child_head = child_model.NeutralOffset(JointId::kHead);
+  EXPECT_NEAR(child_head.y / adult_head.y, child_model.size_factor(), 1e-9);
+  EXPECT_LT(child_model.forearm_length(), adult_model.forearm_length());
+}
+
+TEST(BodyModelTest, PoseFrameKeepsForearmRigid) {
+  UserProfile profile;
+  BodyModel model(profile);
+  GestureShape shape = GestureShapes::SwipeRight();
+  for (double t = 0.0; t <= 1.0; t += 0.1) {
+    SkeletonFrame frame = model.PoseFrame(0, shape.right_path(t),
+                                          shape.left_path(t));
+    double forearm = frame.joint(JointId::kRightHand)
+                         .DistanceTo(frame.joint(JointId::kRightElbow));
+    EXPECT_NEAR(forearm, model.forearm_length(), 1e-6) << "t=" << t;
+    double upper = frame.joint(JointId::kRightElbow)
+                       .DistanceTo(frame.joint(JointId::kRightShoulder));
+    EXPECT_NEAR(upper, model.upper_arm_length(), 1e-6) << "t=" << t;
+  }
+}
+
+TEST(BodyModelTest, UnreachableHandClampedToFullExtension) {
+  UserProfile profile;
+  BodyModel model(profile);
+  SkeletonFrame frame = model.PoseFrame(0, Vec3(5000, 0, 0),
+                                        NeutralLeftHandOffset());
+  double reach = model.upper_arm_length() + model.forearm_length();
+  double dist = frame.joint(JointId::kRightHand)
+                    .DistanceTo(frame.joint(JointId::kRightShoulder));
+  EXPECT_LE(dist, reach + 1e-6);
+  EXPECT_NEAR(dist, reach, 1e-3);
+}
+
+TEST(BodyModelTest, YawRotatesWholeBody) {
+  UserProfile facing;
+  UserProfile turned;
+  turned.yaw_rad = M_PI / 2;
+  BodyModel facing_model(facing);
+  BodyModel turned_model(turned);
+  SkeletonFrame f0 = facing_model.NeutralFrame(0);
+  SkeletonFrame f90 = turned_model.NeutralFrame(0);
+  // Shoulder separation is preserved.
+  double sep0 = f0.joint(JointId::kRightShoulder)
+                    .DistanceTo(f0.joint(JointId::kLeftShoulder));
+  double sep90 = f90.joint(JointId::kRightShoulder)
+                     .DistanceTo(f90.joint(JointId::kLeftShoulder));
+  EXPECT_NEAR(sep0, sep90, 1e-9);
+  // After a quarter turn the shoulder axis lies along Z instead of X.
+  Vec3 axis = f90.joint(JointId::kRightShoulder) -
+              f90.joint(JointId::kLeftShoulder);
+  EXPECT_NEAR(axis.x, 0.0, 1e-9);
+  EXPECT_GT(std::abs(axis.z), 100.0);
+}
+
+TEST(GestureShapesTest, CatalogLookup) {
+  for (const std::string& name : GestureShapes::Names()) {
+    EPL_ASSERT_OK_AND_ASSIGN(GestureShape shape, GestureShapes::ByName(name));
+    EXPECT_EQ(shape.name, name);
+    EXPECT_FALSE(shape.InvolvedJoints().empty());
+    // Paths are finite over [0, 1].
+    for (double t = 0.0; t <= 1.0; t += 0.25) {
+      Vec3 r = shape.right_path(t);
+      EXPECT_TRUE(std::isfinite(r.x) && std::isfinite(r.y) &&
+                  std::isfinite(r.z));
+    }
+  }
+  EXPECT_FALSE(GestureShapes::ByName("bogus").ok());
+}
+
+TEST(GestureShapesTest, SwipeRightMovesLaterally) {
+  GestureShape shape = GestureShapes::SwipeRight();
+  EXPECT_LT(shape.right_path(0.0).x, shape.right_path(1.0).x);
+  EXPECT_NEAR(shape.right_path(0.0).y, shape.right_path(1.0).y, 1.0);
+}
+
+TEST(GestureShapesTest, TwoHandShapesInvolveBothHands) {
+  GestureShape shape = GestureShapes::TwoHandSwipe();
+  EXPECT_EQ(shape.InvolvedJoints().size(), 2u);
+  // Hands move in opposite lateral directions.
+  EXPECT_GT(shape.right_path(1.0).x, shape.right_path(0.0).x);
+  EXPECT_LT(shape.left_path(1.0).x, shape.left_path(0.0).x);
+}
+
+TEST(SynthesizerTest, DeterministicWithSameSeed) {
+  UserProfile profile;
+  GestureShape shape = GestureShapes::SwipeRight();
+  std::vector<SkeletonFrame> a = SynthesizeSample(profile, shape, 7);
+  std::vector<SkeletonFrame> b = SynthesizeSample(profile, shape, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].joint(JointId::kRightHand)
+                    .ApproxEquals(b[i].joint(JointId::kRightHand), 1e-12));
+  }
+}
+
+TEST(SynthesizerTest, DifferentSeedsDiffer) {
+  UserProfile profile;
+  GestureShape shape = GestureShapes::SwipeRight();
+  std::vector<SkeletonFrame> a = SynthesizeSample(profile, shape, 1);
+  std::vector<SkeletonFrame> b = SynthesizeSample(profile, shape, 2);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_difference = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].joint(JointId::kRightHand)
+             .ApproxEquals(b[i].joint(JointId::kRightHand), 1e-9)) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SynthesizerTest, FramesAt30Hz) {
+  UserProfile profile;
+  FrameSynthesizer synth(profile, 1, NoiselessParams());
+  std::vector<SkeletonFrame> frames = synth.Still(1.0);
+  EXPECT_EQ(frames.size(), 30u);
+  for (size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].timestamp - frames[i - 1].timestamp, kFramePeriod);
+  }
+}
+
+TEST(SynthesizerTest, StillHoldsPose) {
+  UserProfile profile;
+  FrameSynthesizer synth(profile, 1, NoiselessParams());
+  std::vector<SkeletonFrame> frames = synth.Still(0.5);
+  for (size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_TRUE(frames[i]
+                    .joint(JointId::kRightHand)
+                    .ApproxEquals(frames[0].joint(JointId::kRightHand), 1e-9));
+  }
+}
+
+TEST(SynthesizerTest, GestureTracksShapeEndpoints) {
+  UserProfile profile;
+  FrameSynthesizer synth(profile, 1, NoiselessParams());
+  GestureShape shape = GestureShapes::RaiseHand();
+  std::vector<SkeletonFrame> frames = synth.PerformGesture(shape);
+  ASSERT_GT(frames.size(), 10u);
+  // End pose: hand high above the torso.
+  Vec3 end_offset = frames.back().joint(JointId::kRightHand) -
+                    frames.back().joint(JointId::kTorso);
+  EXPECT_GT(end_offset.y, 350.0);
+}
+
+TEST(SynthesizerTest, NoiseMagnitudeMatchesConfig) {
+  UserProfile profile;
+  MotionParams params = NoiselessParams();
+  params.noise_stddev_mm = 8.0;
+  FrameSynthesizer noisy(profile, 3, params);
+  FrameSynthesizer clean(profile, 3, NoiselessParams());
+  std::vector<SkeletonFrame> noisy_frames = noisy.Still(4.0);
+  std::vector<SkeletonFrame> clean_frames = clean.Still(4.0);
+  double sum_sq = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < noisy_frames.size(); ++i) {
+    Vec3 diff = noisy_frames[i].joint(JointId::kHead) -
+                clean_frames[i].joint(JointId::kHead);
+    sum_sq += diff.x * diff.x + diff.y * diff.y + diff.z * diff.z;
+    count += 3;
+  }
+  double stddev = std::sqrt(sum_sq / count);
+  EXPECT_NEAR(stddev, 8.0, 1.5);
+}
+
+TEST(SynthesizerTest, DistractMovesHand) {
+  UserProfile profile;
+  FrameSynthesizer synth(profile, 5, NoiselessParams());
+  std::vector<SkeletonFrame> frames = synth.Distract(2.0);
+  ASSERT_GT(frames.size(), 30u);
+  double total_path = 0.0;
+  for (size_t i = 1; i < frames.size(); ++i) {
+    total_path += frames[i]
+                      .joint(JointId::kRightHand)
+                      .DistanceTo(frames[i - 1].joint(JointId::kRightHand));
+  }
+  EXPECT_GT(total_path, 300.0);
+}
+
+TEST(SessionBuilderTest, SegmentsJoinContinuously) {
+  UserProfile profile;
+  SessionBuilder builder(profile, 9, NoiselessParams());
+  builder.Idle(0.5)
+      .Perform(GestureShapes::SwipeRight(), 0.3)
+      .Idle(0.5);
+  const std::vector<SkeletonFrame>& frames = builder.frames();
+  ASSERT_GT(frames.size(), 60u);
+  // No teleporting: consecutive right-hand positions move less than 150 mm
+  // per 33 ms frame.
+  for (size_t i = 1; i < frames.size(); ++i) {
+    double step = frames[i]
+                      .joint(JointId::kRightHand)
+                      .DistanceTo(frames[i - 1].joint(JointId::kRightHand));
+    EXPECT_LT(step, 150.0) << "at frame " << i;
+  }
+  // Timestamps strictly increase.
+  for (size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_GT(frames[i].timestamp, frames[i - 1].timestamp);
+  }
+}
+
+TEST(SensorTest, PlayFramesIntoEngine) {
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(RegisterKinectStream(&engine));
+  auto sink = std::make_unique<stream::CountingSink>();
+  stream::CountingSink* sink_ptr = sink.get();
+  EPL_ASSERT_OK(engine.Deploy("kinect", std::move(sink)).status());
+  UserProfile profile;
+  FrameSynthesizer synth(profile, 1, NoiselessParams());
+  EPL_ASSERT_OK(PlayFrames(&engine, synth.Still(1.0)));
+  EXPECT_EQ(sink_ptr->count(), 30u);
+}
+
+TEST(TraceIoTest, WriteReadRoundTrip) {
+  testing::ScopedTempDir dir;
+  UserProfile profile;
+  FrameSynthesizer synth(profile, 11, NoiselessParams());
+  std::vector<SkeletonFrame> frames = synth.Still(0.3);
+  std::string path = dir.path() + "/trace.csv";
+  EPL_ASSERT_OK(WriteTrace(path, frames));
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<SkeletonFrame> loaded,
+                           ReadTrace(path));
+  ASSERT_EQ(loaded.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(loaded[i].timestamp, frames[i].timestamp);
+    EXPECT_TRUE(loaded[i]
+                    .joint(JointId::kRightHand)
+                    .ApproxEquals(frames[i].joint(JointId::kRightHand),
+                                  0.01));
+  }
+}
+
+TEST(TraceIoTest, ReadPaperTraceFromDataDir) {
+  std::string path = testing::TestDataDir() + "/fig1_swipe_right.csv";
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<stream::Event> events,
+                           ReadPaperTrace(path));
+  ASSERT_EQ(events.size(), 19u);
+  // First row of Fig. 1.
+  EXPECT_NEAR(events[0].values[0], 45.21, 1e-9);   // torso_x
+  EXPECT_NEAR(events[0].values[3], -38.80, 1e-9);  // rHand_x
+  // Timestamps spaced at the 30 Hz frame period.
+  EXPECT_EQ(events[1].timestamp - events[0].timestamp, kFramePeriod);
+  // Last row.
+  EXPECT_NEAR(events.back().values[5], 1997.73, 1e-9);
+}
+
+TEST(TraceIoTest, PaperTraceRejectsWrongColumnCount) {
+  Result<std::vector<stream::Event>> r =
+      ParsePaperTrace("a;b\n1;2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace epl::kinect

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "core/learner.h"
+#include "kinect/sensor.h"
+#include "kinect/synthesizer.h"
+#include "optimize/overlap.h"
+#include "optimize/simplify.h"
+#include "test_util.h"
+#include "transform/transform.h"
+#include "transform/view.h"
+
+namespace epl::optimize {
+namespace {
+
+using core::GestureDefinition;
+using core::JointWindow;
+using core::PoseWindow;
+using kinect::JointId;
+
+GestureDefinition LineGesture(const std::string& name,
+                              std::vector<double> xs, double half = 50.0) {
+  GestureDefinition def;
+  def.name = name;
+  def.joints = {JointId::kRightHand};
+  for (size_t i = 0; i < xs.size(); ++i) {
+    PoseWindow pose;
+    JointWindow window;
+    window.center = Vec3(xs[i], 150.0, -120.0);
+    window.half_width = Vec3(half, half, half);
+    pose.joints[JointId::kRightHand] = window;
+    pose.max_gap = i == 0 ? 0 : kSecond;
+    def.poses.push_back(pose);
+  }
+  return def;
+}
+
+TEST(OverlapTest, IdenticalGesturesOverlap) {
+  GestureDefinition a = LineGesture("a", {0, 300, 600});
+  GestureDefinition b = LineGesture("b", {0, 300, 600});
+  OverlapReport report = CheckOverlap(a, b);
+  EXPECT_TRUE(report.sequence_overlap);
+  EXPECT_GT(report.severity, 0.9);
+  EXPECT_EQ(report.intersecting_poses.size(), 3u);
+}
+
+TEST(OverlapTest, DisjointGesturesDoNotOverlap) {
+  GestureDefinition a = LineGesture("a", {0, 300, 600});
+  GestureDefinition b = LineGesture("b", {5000, 5300, 5600});
+  OverlapReport report = CheckOverlap(a, b);
+  EXPECT_FALSE(report.sequence_overlap);
+  EXPECT_TRUE(report.intersecting_poses.empty());
+  EXPECT_DOUBLE_EQ(report.severity, 0.0);
+}
+
+TEST(OverlapTest, ReversedOrderDoesNotSequenceOverlap) {
+  // Same regions, opposite order: pose intersections exist but no monotone
+  // traversal does.
+  GestureDefinition a = LineGesture("a", {0, 300, 600});
+  GestureDefinition b = LineGesture("b", {600, 300, 0});
+  OverlapReport report = CheckOverlap(a, b);
+  EXPECT_FALSE(report.sequence_overlap);
+  EXPECT_FALSE(report.intersecting_poses.empty());
+}
+
+TEST(OverlapTest, SubPathOverlapsWiderGesture) {
+  // A short prefix movement overlaps a longer gesture that starts the
+  // same way (the paper's overlap problem).
+  GestureDefinition shorter = LineGesture("short", {0, 300});
+  GestureDefinition longer = LineGesture("long", {0, 300, 600});
+  OverlapReport report = CheckOverlap(shorter, longer);
+  EXPECT_TRUE(report.sequence_overlap);
+  // The reverse direction does not hold: the long gesture leaves the
+  // short one's windows.
+  EXPECT_FALSE(CheckOverlap(longer, shorter).sequence_overlap);
+}
+
+TEST(OverlapTest, WideningCreatesOverlap) {
+  // Fig. 2's two vocabulary gestures: disjoint at +-50 mm windows.
+  GestureDefinition a = LineGesture("a", {0, 300, 600}, 50);
+  GestureDefinition b = LineGesture("b", {150, 450, 750}, 50);
+  EXPECT_FALSE(CheckOverlap(a, b).sequence_overlap);
+  // Scaling the windows too much introduces the overlapping problem
+  // (paper Sec. 3.3.2).
+  GestureDefinition a_wide = LineGesture("a", {0, 300, 600}, 200);
+  GestureDefinition b_wide = LineGesture("b", {150, 450, 750}, 200);
+  EXPECT_TRUE(CheckOverlap(a_wide, b_wide).sequence_overlap);
+}
+
+TEST(OverlapTest, ValidateVocabularyReportsPairs) {
+  std::vector<GestureDefinition> vocabulary = {
+      LineGesture("a", {0, 300, 600}),
+      LineGesture("b", {10, 310, 590}),  // near-duplicate of a
+      LineGesture("c", {5000, 5500, 6000}),
+  };
+  std::vector<OverlapReport> reports = ValidateVocabulary(vocabulary);
+  ASSERT_EQ(reports.size(), 2u);  // a-in-b and b-in-a
+  EXPECT_EQ(reports[0].gesture_a, "a");
+  EXPECT_EQ(reports[0].gesture_b, "b");
+}
+
+TEST(SimplifyTest, MergesHeavilyOverlappingAdjacentPoses) {
+  // Poses 1 and 2 nearly coincide.
+  GestureDefinition def = LineGesture("g", {0, 300, 310, 600});
+  SimplifyConfig config;
+  SimplifyStats stats = MergeAdjacentPoses(&def, config);
+  EXPECT_EQ(stats.poses_before, 4);
+  EXPECT_EQ(stats.poses_after, 3);
+  ASSERT_EQ(def.poses.size(), 3u);
+  // The merged pose covers both originals.
+  const JointWindow& merged = def.poses[1].joints.at(JointId::kRightHand);
+  EXPECT_TRUE(merged.Contains(Vec3(300, 150, -120)));
+  EXPECT_TRUE(merged.Contains(Vec3(310, 150, -120)));
+  // Budgets are preserved: the pose after the merge absorbed the gap.
+  EXPECT_EQ(def.poses[2].max_gap, 2 * kSecond);
+  EPL_EXPECT_OK(def.Validate());
+}
+
+TEST(SimplifyTest, DistinctPosesAreKept) {
+  GestureDefinition def = LineGesture("g", {0, 300, 600});
+  SimplifyStats stats = MergeAdjacentPoses(&def);
+  EXPECT_EQ(stats.poses_after, 3);
+}
+
+TEST(SimplifyTest, NeverDropsBelowMinPoses) {
+  GestureDefinition def = LineGesture("g", {0, 5, 10, 15});
+  SimplifyConfig config;
+  config.min_poses = 2;
+  MergeAdjacentPoses(&def, config);
+  EXPECT_GE(def.poses.size(), 2u);
+}
+
+TEST(AxisEliminationTest, DropsConstantAxes) {
+  // The gesture moves only along x; y and z centers are constant.
+  GestureDefinition def = LineGesture("g", {0, 300, 600});
+  AxisEliminationConfig config;
+  config.min_center_span_mm = 120.0;
+  config.min_axes_per_joint = 1;
+  SimplifyStats stats = EliminateIrrelevantAxes(&def, config);
+  EXPECT_EQ(stats.axes_deactivated, 2);
+  for (const PoseWindow& pose : def.poses) {
+    const JointWindow& window = pose.joints.at(JointId::kRightHand);
+    EXPECT_TRUE(window.active[0]);   // x spans 600
+    EXPECT_FALSE(window.active[1]);  // y constant
+    EXPECT_FALSE(window.active[2]);  // z constant
+  }
+  EPL_EXPECT_OK(def.Validate());
+}
+
+TEST(AxisEliminationTest, KeepsAtLeastConfiguredAxes) {
+  // Nothing moves: even then, min_axes_per_joint survive.
+  GestureDefinition def = LineGesture("g", {0, 10, 20});
+  AxisEliminationConfig config;
+  config.min_center_span_mm = 1000.0;
+  config.min_axes_per_joint = 2;
+  EliminateIrrelevantAxes(&def, config);
+  EXPECT_EQ(def.poses[0].joints.at(JointId::kRightHand).NumActiveAxes(), 2);
+}
+
+TEST(AxisEliminationTest, QueryOmitsInactiveAxes) {
+  GestureDefinition def = LineGesture("g", {0, 300, 600});
+  EliminateIrrelevantAxes(&def);
+  EPL_ASSERT_OK_AND_ASSIGN(std::string text, core::GenerateQueryText(def));
+  EXPECT_NE(text.find("rHand_x"), std::string::npos);
+  EXPECT_EQ(text.find("rHand_y"), std::string::npos);
+  EXPECT_EQ(text.find("rHand_z"), std::string::npos);
+}
+
+TEST(AxisEliminationTest, OptimizedGestureStillDetects) {
+  // End-to-end: learn swipe_right, simplify + eliminate axes, verify the
+  // optimized pattern still detects the gesture (E7's accuracy side).
+  kinect::GestureShape shape = kinect::GestureShapes::SwipeRight();
+  core::GestureLearner learner(shape.name, shape.InvolvedJoints());
+  kinect::UserProfile trainer;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<kinect::SkeletonFrame> frames = kinect::SynthesizeSample(
+        trainer, shape, 600 + static_cast<uint64_t>(i));
+    for (kinect::SkeletonFrame& frame : frames) {
+      frame = transform::TransformFrame(frame, transform::TransformConfig());
+    }
+    EPL_ASSERT_OK(learner.AddSample(frames));
+  }
+  EPL_ASSERT_OK_AND_ASSIGN(core::GestureDefinition def, learner.Learn());
+  MergeAdjacentPoses(&def);
+  EliminateIrrelevantAxes(&def);
+  ASSERT_GE(def.poses.size(), 2u);
+
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  EPL_ASSERT_OK(transform::RegisterKinectTView(&engine));
+  int detections = 0;
+  EPL_ASSERT_OK(core::DeployGesture(
+                    &engine, def,
+                    [&detections](const cep::Detection&) { ++detections; })
+                    .status());
+  kinect::UserProfile user;
+  user.height_mm = 1500;
+  kinect::SessionBuilder builder(user, 77);
+  builder.Idle(0.5).Perform(shape, 0.4).Idle(0.5);
+  EPL_ASSERT_OK(kinect::PlayFrames(&engine, builder.frames()));
+  EXPECT_GE(detections, 1);
+}
+
+}  // namespace
+}  // namespace epl::optimize

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+#include "test_util.h"
+
+namespace epl::query {
+namespace {
+
+std::vector<TokenType> Types(const std::vector<Token>& tokens) {
+  std::vector<TokenType> types;
+  for (const Token& token : tokens) {
+    types.push_back(token.type);
+  }
+  return types;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize(""));
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                           Tokenize("SELECT select SeLeCt MATCHING wiThIn"));
+  EXPECT_EQ(Types(tokens),
+            (std::vector<TokenType>{TokenType::kSelect, TokenType::kSelect,
+                                    TokenType::kSelect, TokenType::kMatching,
+                                    TokenType::kWithin, TokenType::kEof}));
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                           Tokenize("rHand_x torso_z kinect_t"));
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "rHand_x");
+  EXPECT_EQ(tokens[2].text, "kinect_t");
+}
+
+TEST(LexerTest, NumbersIncludingFloatsAndExponents) {
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                           Tokenize("42 3.14 0.5 1e3 2.5e-2"));
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 3.14);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 0.025);
+}
+
+TEST(LexerTest, StringLiterals) {
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                           Tokenize("\"swipe_right\""));
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "swipe_right");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+  EXPECT_FALSE(Tokenize("\"oops\nnext\"").ok());
+}
+
+TEST(LexerTest, OperatorsAndArrow) {
+  EPL_ASSERT_OK_AND_ASSIGN(
+      std::vector<Token> tokens,
+      Tokenize("( ) , ; -> + - * / < <= > >= == = != "));
+  EXPECT_EQ(Types(tokens),
+            (std::vector<TokenType>{
+                TokenType::kLParen, TokenType::kRParen, TokenType::kComma,
+                TokenType::kSemicolon, TokenType::kArrow, TokenType::kPlus,
+                TokenType::kMinus, TokenType::kStar, TokenType::kSlash,
+                TokenType::kLt, TokenType::kLe, TokenType::kGt, TokenType::kGe,
+                TokenType::kEq, TokenType::kEq, TokenType::kNe,
+                TokenType::kEof}));
+}
+
+TEST(LexerTest, ArrowVersusMinus) {
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("a->b a-b"));
+  EXPECT_EQ(Types(tokens),
+            (std::vector<TokenType>{
+                TokenType::kIdentifier, TokenType::kArrow,
+                TokenType::kIdentifier, TokenType::kIdentifier,
+                TokenType::kMinus, TokenType::kIdentifier, TokenType::kEof}));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  EPL_ASSERT_OK_AND_ASSIGN(
+      std::vector<Token> tokens,
+      Tokenize("select -- a comment\n# another\nmatching"));
+  EXPECT_EQ(Types(tokens),
+            (std::vector<TokenType>{TokenType::kSelect, TokenType::kMatching,
+                                    TokenType::kEof}));
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                           Tokenize("select\nmatching\n  within"));
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  Result<std::vector<Token>> r = Tokenize("a $ b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(LexerTest, TimeUnitAliases) {
+  EPL_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                           Tokenize("seconds second sec ms milliseconds"));
+  EXPECT_EQ(Types(tokens),
+            (std::vector<TokenType>{
+                TokenType::kSeconds, TokenType::kSeconds, TokenType::kSeconds,
+                TokenType::kMilliseconds, TokenType::kMilliseconds,
+                TokenType::kEof}));
+}
+
+}  // namespace
+}  // namespace epl::query

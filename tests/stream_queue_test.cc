@@ -1,0 +1,123 @@
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/bounded_queue.h"
+
+namespace epl::stream {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> queue(10);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.Push(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::optional<int> value = queue.Pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  queue.Pop();
+  EXPECT_TRUE(queue.TryPush(3));
+}
+
+TEST(BoundedQueueTest, CloseUnblocksConsumer) {
+  BoundedQueue<int> queue(4);
+  std::optional<int> result = std::make_optional(0);
+  std::thread consumer([&queue, &result] { result = queue.Pop(); });
+  queue.Close();
+  consumer.join();
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItems) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(42));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(43));
+  std::optional<int> value = queue.Pop();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 42);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilSpace) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&queue, &pushed] {
+    queue.Push(2);
+    pushed.store(true);
+  });
+  // Producer must be blocked while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  queue.Pop();
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedQueueTest, MultiProducerMultiConsumerConservesItems) {
+  BoundedQueue<int> queue(64);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&queue, &sum, &consumed] {
+      while (true) {
+        std::optional<int> value = queue.Pop();
+        if (!value.has_value()) {
+          return;
+        }
+        sum.fetch_add(*value);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[static_cast<size_t>(p)].join();
+  }
+  queue.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  long long expected = 0;
+  for (int i = 0; i < total; ++i) {
+    expected += i;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(BoundedQueueTest, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> queue(4);
+  EXPECT_TRUE(queue.Push(std::make_unique<int>(7)));
+  std::optional<std::unique_ptr<int>> value = queue.Pop();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(**value, 7);
+}
+
+}  // namespace
+}  // namespace epl::stream

@@ -1,0 +1,34 @@
+#include "test_util.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+
+namespace epl::testing {
+
+std::string TestDataDir() {
+  const char* dir = std::getenv("EPL_TEST_DATA_DIR");
+  return dir != nullptr ? dir : "data";
+}
+
+namespace {
+std::atomic<int> temp_dir_counter{0};
+}  // namespace
+
+ScopedTempDir::ScopedTempDir() {
+  int id = temp_dir_counter.fetch_add(1);
+  std::filesystem::path base = std::filesystem::temp_directory_path();
+  path_ = (base / ("epl_test_" + std::to_string(::getpid()) + "_" +
+                   std::to_string(id)))
+              .string();
+  std::filesystem::create_directories(path_);
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+}
+
+}  // namespace epl::testing

@@ -1,0 +1,54 @@
+// Shared helpers for EPL tests.
+
+#ifndef EPL_TESTS_TEST_UTIL_H_
+#define EPL_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace epl::testing {
+
+/// Path of the repository data/ directory (from EPL_TEST_DATA_DIR env var).
+std::string TestDataDir();
+
+/// Creates a unique writable temp directory for a test; removed on
+/// destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir();
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace epl::testing
+
+#define EPL_EXPECT_OK(expr)                                 \
+  do {                                                      \
+    const ::epl::Status epl_test_status = (expr);           \
+    EXPECT_TRUE(epl_test_status.ok()) << epl_test_status;   \
+  } while (false)
+
+#define EPL_ASSERT_OK(expr)                                 \
+  do {                                                      \
+    const ::epl::Status epl_test_status = (expr);           \
+    ASSERT_TRUE(epl_test_status.ok()) << epl_test_status;   \
+  } while (false)
+
+#define EPL_ASSERT_OK_AND_ASSIGN(decl, expr)            \
+  auto EPL_RESULT_CONCAT_(epl_test_result_, __LINE__) = (expr);          \
+  ASSERT_TRUE(EPL_RESULT_CONCAT_(epl_test_result_, __LINE__).ok())       \
+      << EPL_RESULT_CONCAT_(epl_test_result_, __LINE__).status();        \
+  decl = std::move(EPL_RESULT_CONCAT_(epl_test_result_, __LINE__)).value()
+
+#endif  // EPL_TESTS_TEST_UTIL_H_

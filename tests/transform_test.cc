@@ -1,0 +1,251 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kinect/gesture_shapes.h"
+#include "kinect/sensor.h"
+#include "kinect/synthesizer.h"
+#include "stream/operators.h"
+#include "test_util.h"
+#include "transform/rpy.h"
+#include "transform/transform.h"
+#include "transform/view.h"
+
+namespace epl::transform {
+namespace {
+
+using kinect::BodyModel;
+using kinect::GestureShape;
+using kinect::GestureShapes;
+using kinect::JointId;
+using kinect::MotionParams;
+using kinect::SkeletonFrame;
+using kinect::SynthesizeSample;
+using kinect::UserProfile;
+
+MotionParams Deterministic() {
+  MotionParams params;
+  params.noise_stddev_mm = 0.0;
+  params.amplitude_jitter = 0.0;
+  params.time_warp = 0.0;
+  params.sway_mm = 0.0;
+  return params;
+}
+
+TEST(TransformTest, TorsoBecomesOrigin) {
+  UserProfile profile;
+  profile.torso_position = Vec3(321.0, 88.0, 2500.0);
+  BodyModel model(profile);
+  SkeletonFrame frame = model.NeutralFrame(0);
+  SkeletonFrame transformed = TransformFrame(frame, TransformConfig());
+  EXPECT_TRUE(transformed.joint(JointId::kTorso).ApproxEquals(Vec3(), 1e-9));
+}
+
+TEST(TransformTest, EstimateYawExactForRigidBody) {
+  for (double yaw : {-1.2, -0.5, 0.0, 0.3, 0.9}) {
+    UserProfile profile;
+    profile.yaw_rad = yaw;
+    BodyModel model(profile);
+    SkeletonFrame frame = model.NeutralFrame(0);
+    EXPECT_NEAR(EstimateYaw(frame), yaw, 1e-9) << "yaw=" << yaw;
+  }
+}
+
+TEST(TransformTest, MeasureForearmMatchesModel) {
+  UserProfile profile;
+  profile.height_mm = 1430.0;
+  BodyModel model(profile);
+  SkeletonFrame frame = model.PoseFrame(
+      0, GestureShapes::SwipeRight().right_path(0.5),
+      kinect::NeutralLeftHandOffset());
+  EXPECT_NEAR(MeasureForearmLength(frame), model.forearm_length(), 1e-6);
+}
+
+TEST(TransformTest, DegenerateForearmDoesNotExplode) {
+  SkeletonFrame frame;  // all joints at the origin
+  TransformConfig config;
+  SkeletonFrame out = TransformFrame(frame, config);
+  for (const Vec3& joint : out.joints) {
+    EXPECT_TRUE(std::isfinite(joint.x));
+  }
+}
+
+TEST(TransformTest, AblationTranslateOffKeepsAbsolutePosition) {
+  UserProfile profile;
+  profile.torso_position = Vec3(500.0, 0.0, 3000.0);
+  BodyModel model(profile);
+  SkeletonFrame frame = model.NeutralFrame(0);
+  TransformConfig config;
+  config.translate = false;
+  config.rotate = false;
+  config.scale = false;
+  SkeletonFrame out = TransformFrame(frame, config);
+  EXPECT_TRUE(out.joint(JointId::kTorso)
+                  .ApproxEquals(profile.torso_position, 1e-9));
+}
+
+// Invariance property suite (paper Sec. 3.2): the transformed right-hand
+// trajectory must be identical for users who differ in position,
+// orientation, and size. Deterministic synthesis, same seed.
+struct InvarianceCase {
+  const char* label;
+  UserProfile profile;
+};
+
+class TransformInvarianceTest
+    : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<InvarianceCase> Cases() {
+    std::vector<InvarianceCase> cases;
+    cases.push_back({"reference", UserProfile()});
+    UserProfile shifted;
+    shifted.torso_position = Vec3(-600.0, 320.0, 3200.0);
+    cases.push_back({"shifted", shifted});
+    UserProfile rotated;
+    rotated.yaw_rad = 0.8;
+    cases.push_back({"rotated", rotated});
+    UserProfile child;
+    child.height_mm = 1150.0;
+    cases.push_back({"child", child});
+    UserProfile tall_turned;
+    tall_turned.height_mm = 2000.0;
+    tall_turned.yaw_rad = -0.6;
+    tall_turned.torso_position = Vec3(400.0, -100.0, 1500.0);
+    cases.push_back({"tall_turned", tall_turned});
+    UserProfile long_arms;
+    long_arms.arm_scale = 1.15;
+    cases.push_back({"long_arms", long_arms});
+    return cases;
+  }
+};
+
+TEST_P(TransformInvarianceTest, RightHandTrajectoryInvariant) {
+  std::vector<InvarianceCase> cases = Cases();
+  const InvarianceCase& test_case = cases[static_cast<size_t>(GetParam())];
+  GestureShape shape = GestureShapes::SwipeRight();
+
+  std::vector<SkeletonFrame> reference =
+      SynthesizeSample(UserProfile(), shape, 17, Deterministic());
+  std::vector<SkeletonFrame> variant =
+      SynthesizeSample(test_case.profile, shape, 17, Deterministic());
+  ASSERT_EQ(reference.size(), variant.size());
+
+  TransformConfig config;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    Vec3 ref_hand = TransformFrame(reference[i], config)
+                        .joint(JointId::kRightHand);
+    Vec3 var_hand = TransformFrame(variant[i], config)
+                        .joint(JointId::kRightHand);
+    EXPECT_TRUE(ref_hand.ApproxEquals(var_hand, 1e-5))
+        << test_case.label << " frame " << i << ": " << ref_hand.ToString()
+        << " vs " << var_hand.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Users, TransformInvarianceTest,
+                         ::testing::Range(0, 6));
+
+TEST(TransformTest, WithoutTransformTrajectoriesDiffer) {
+  // Negative control for E2: raw camera-space trajectories of different
+  // users are far apart.
+  GestureShape shape = GestureShapes::SwipeRight();
+  UserProfile shifted;
+  shifted.torso_position = Vec3(-600.0, 320.0, 3200.0);
+  std::vector<SkeletonFrame> a =
+      SynthesizeSample(UserProfile(), shape, 17, Deterministic());
+  std::vector<SkeletonFrame> b =
+      SynthesizeSample(shifted, shape, 17, Deterministic());
+  double max_gap = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_gap = std::max(max_gap, a[i].joint(JointId::kRightHand)
+                                    .DistanceTo(b[i].joint(JointId::kRightHand)));
+  }
+  EXPECT_GT(max_gap, 500.0);
+}
+
+TEST(RpyTest, DirectionAnglesBasics) {
+  // Straight ahead (-Z): yaw 0, pitch 0.
+  RollPitchYaw ahead = DirectionAngles(Vec3(0, 0, -1));
+  EXPECT_NEAR(ahead.yaw, 0.0, 1e-9);
+  EXPECT_NEAR(ahead.pitch, 0.0, 1e-9);
+  // Lateral (+X): yaw pi/2.
+  RollPitchYaw lateral = DirectionAngles(Vec3(1, 0, 0));
+  EXPECT_NEAR(lateral.yaw, M_PI / 2, 1e-9);
+  // Straight up: pitch pi/2.
+  RollPitchYaw up = DirectionAngles(Vec3(0, 1, 0));
+  EXPECT_NEAR(up.pitch, M_PI / 2, 1e-9);
+  // Down-forward diagonal.
+  RollPitchYaw diag = DirectionAngles(Vec3(0, -1, -1));
+  EXPECT_NEAR(diag.pitch, -M_PI / 4, 1e-9);
+  // Zero vector: all zeros.
+  RollPitchYaw zero = DirectionAngles(Vec3());
+  EXPECT_EQ(zero.pitch, 0.0);
+  EXPECT_EQ(zero.yaw, 0.0);
+}
+
+TEST(RpyTest, RaisedArmHasHighPitch) {
+  UserProfile profile;
+  BodyModel model(profile);
+  SkeletonFrame frame =
+      model.PoseFrame(0, Vec3(200, 500, -120), kinect::NeutralLeftHandOffset());
+  SkeletonFrame user = TransformFrame(frame, TransformConfig());
+  RollPitchYaw angles = ForearmAngles(user, /*right_side=*/true);
+  EXPECT_GT(angles.pitch, 0.5);
+}
+
+TEST(RpyTest, WaveOscillatesYaw) {
+  UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 3, Deterministic());
+  std::vector<SkeletonFrame> frames =
+      synth.PerformGesture(GestureShapes::Wave());
+  TransformConfig config;
+  double min_yaw = 10.0;
+  double max_yaw = -10.0;
+  for (const SkeletonFrame& frame : frames) {
+    RollPitchYaw angles =
+        ForearmAngles(TransformFrame(frame, config), /*right_side=*/true);
+    min_yaw = std::min(min_yaw, angles.yaw);
+    max_yaw = std::max(max_yaw, angles.yaw);
+  }
+  EXPECT_GT(max_yaw - min_yaw, 0.4);
+}
+
+TEST(ViewTest, KinectTSchemaExtendsKinect) {
+  const stream::Schema& schema = KinectTSchema();
+  EXPECT_EQ(schema.num_fields(), kinect::KinectSchema().num_fields() + 6);
+  EXPECT_TRUE(schema.HasField("rForearm_yaw"));
+  EXPECT_TRUE(schema.HasField("lForearm_roll"));
+}
+
+TEST(ViewTest, EndToEndTransformedEvents) {
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  EPL_ASSERT_OK(RegisterKinectTView(&engine));
+  auto sink = std::make_unique<stream::CollectSink>();
+  stream::CollectSink* sink_ptr = sink.get();
+  EPL_ASSERT_OK(engine.Deploy(kKinectTViewName, std::move(sink)).status());
+
+  UserProfile profile;
+  profile.torso_position = Vec3(200.0, 100.0, 2200.0);
+  BodyModel model(profile);
+  EPL_ASSERT_OK(engine.Push("kinect",
+                            kinect::FrameToEvent(model.NeutralFrame(5))));
+  ASSERT_EQ(sink_ptr->events().size(), 1u);
+  const stream::Event& event = sink_ptr->events()[0];
+  EXPECT_EQ(event.values.size(),
+            static_cast<size_t>(KinectTSchema().num_fields()));
+  EXPECT_EQ(event.timestamp, 5);
+  // Torso fields are ~0 in the transformed view.
+  EPL_ASSERT_OK_AND_ASSIGN(int torso_x,
+                           KinectTSchema().FieldIndex("torso_x"));
+  EXPECT_NEAR(event.values[static_cast<size_t>(torso_x)], 0.0, 1e-9);
+}
+
+TEST(ViewTest, ViewRegistrationRequiresKinectStream) {
+  stream::StreamEngine engine;
+  Status status = RegisterKinectTView(&engine);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace epl::transform

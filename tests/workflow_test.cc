@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "gesturedb/store.h"
+#include "kinect/sensor.h"
+#include "kinect/synthesizer.h"
+#include "test_util.h"
+#include "transform/transform.h"
+#include "workflow/control_gestures.h"
+#include "workflow/controller.h"
+#include "workflow/motion_detector.h"
+#include "workflow/recorder.h"
+
+namespace epl::workflow {
+namespace {
+
+using kinect::GestureShape;
+using kinect::GestureShapes;
+using kinect::JointId;
+using kinect::MotionParams;
+using kinect::SkeletonFrame;
+using kinect::UserProfile;
+
+TEST(StillnessDetectorTest, StillUserDetected) {
+  UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 1);
+  StillnessDetector detector;
+  bool still = false;
+  for (const SkeletonFrame& frame : synth.Still(1.0)) {
+    still = detector.Update(frame);
+  }
+  EXPECT_TRUE(still);
+}
+
+TEST(StillnessDetectorTest, MovingUserNotStill) {
+  UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 2);
+  StillnessDetector detector;
+  std::vector<SkeletonFrame> frames =
+      synth.PerformGesture(GestureShapes::SwipeRight());
+  bool was_still_mid_gesture = false;
+  // Skip the initial move-to-start ramp; check the core movement.
+  for (size_t i = frames.size() / 3; i < 2 * frames.size() / 3; ++i) {
+    if (detector.Update(frames[i])) {
+      was_still_mid_gesture = true;
+    }
+  }
+  EXPECT_FALSE(was_still_mid_gesture);
+}
+
+TEST(StillnessDetectorTest, NeedsFullWindow) {
+  UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 3);
+  StillnessDetector detector;
+  std::vector<SkeletonFrame> frames = synth.Still(0.2);  // shorter than 0.5 s
+  bool still = false;
+  for (const SkeletonFrame& frame : frames) {
+    still = detector.Update(frame);
+  }
+  EXPECT_FALSE(still);
+}
+
+TEST(StillnessDetectorTest, ResetClearsHistory) {
+  UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 4);
+  StillnessDetector detector;
+  for (const SkeletonFrame& frame : synth.Still(1.0)) {
+    detector.Update(frame);
+  }
+  EXPECT_TRUE(detector.IsStill());
+  detector.Reset();
+  EXPECT_FALSE(detector.IsStill());
+}
+
+std::vector<SkeletonFrame> RecordingScript(double dwell_s,
+                                           uint64_t seed = 50) {
+  UserProfile profile;
+  kinect::SessionBuilder builder(profile, seed);
+  builder.Perform(GestureShapes::SwipeRight(), dwell_s);
+  return builder.TakeFrames();
+}
+
+TEST(RecorderTest, CapturesStillnessDelimitedSample) {
+  SampleRecorder recorder;
+  std::vector<SkeletonFrame> frames = RecordingScript(0.9);
+  recorder.Start(frames.front().timestamp);
+  RecorderState state = RecorderState::kIdle;
+  for (const SkeletonFrame& frame : frames) {
+    state = recorder.Update(frame);
+    if (state == RecorderState::kComplete) {
+      break;
+    }
+  }
+  ASSERT_EQ(state, RecorderState::kComplete);
+  const std::vector<SkeletonFrame>& sample = recorder.sample();
+  ASSERT_GT(sample.size(), 10u);
+  // The sample spans roughly the gesture duration (1 s nominal).
+  Duration span = sample.back().timestamp - sample.front().timestamp;
+  EXPECT_GT(span, 400 * kMillisecond);
+  EXPECT_LT(span, 3 * kSecond);
+  // The sampled right hand actually moved (it is the gesture, not dwell).
+  double path = 0.0;
+  for (size_t i = 1; i < sample.size(); ++i) {
+    path += sample[i]
+                .joint(JointId::kRightHand)
+                .DistanceTo(sample[i - 1].joint(JointId::kRightHand));
+  }
+  EXPECT_GT(path, 400.0);
+}
+
+TEST(RecorderTest, FailsWhenUserNeverSettles) {
+  RecorderConfig config;
+  config.start_timeout = 2 * kSecond;
+  SampleRecorder recorder(config);
+  UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 51);
+  std::vector<SkeletonFrame> frames = synth.Distract(4.0);
+  recorder.Start(frames.front().timestamp);
+  RecorderState state = RecorderState::kIdle;
+  for (const SkeletonFrame& frame : frames) {
+    state = recorder.Update(frame);
+  }
+  EXPECT_EQ(state, RecorderState::kFailed);
+  EXPECT_NE(recorder.failure_reason().find("never settled"),
+            std::string::npos);
+}
+
+TEST(RecorderTest, FailsWhenUserNeverMoves) {
+  RecorderConfig config;
+  config.start_timeout = 2 * kSecond;
+  SampleRecorder recorder(config);
+  UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 52);
+  std::vector<SkeletonFrame> frames = synth.Still(4.0);
+  recorder.Start(frames.front().timestamp);
+  for (const SkeletonFrame& frame : frames) {
+    recorder.Update(frame);
+  }
+  EXPECT_EQ(recorder.state(), RecorderState::kFailed);
+  EXPECT_NE(recorder.failure_reason().find("never moved"),
+            std::string::npos);
+}
+
+TEST(RecorderTest, IgnoresFramesWhenIdle) {
+  SampleRecorder recorder;
+  UserProfile profile;
+  kinect::FrameSynthesizer synth(profile, 53);
+  for (const SkeletonFrame& frame : synth.Still(1.0)) {
+    EXPECT_EQ(recorder.Update(frame), RecorderState::kIdle);
+  }
+}
+
+TEST(ControlGesturesTest, DefinitionsValidate) {
+  EPL_EXPECT_OK(ControlWaveDefinition().Validate());
+  EPL_EXPECT_OK(ControlFinishDefinition().Validate());
+}
+
+TEST(ControlGesturesTest, WaveShapeTriggersWaveQuery) {
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  EPL_ASSERT_OK(transform::RegisterKinectTView(&engine));
+  int wave_detections = 0;
+  int finish_detections = 0;
+  EPL_ASSERT_OK(core::DeployGesture(&engine, ControlWaveDefinition(),
+                                    [&](const cep::Detection&) {
+                                      ++wave_detections;
+                                    })
+                    .status());
+  EPL_ASSERT_OK(core::DeployGesture(&engine, ControlFinishDefinition(),
+                                    [&](const cep::Detection&) {
+                                      ++finish_detections;
+                                    })
+                    .status());
+  UserProfile profile;
+  kinect::SessionBuilder builder(profile, 60);
+  builder.Idle(0.5).Perform(GestureShapes::Wave()).Idle(0.5);
+  EPL_ASSERT_OK(kinect::PlayFrames(&engine, builder.frames()));
+  EXPECT_GE(wave_detections, 1);
+  EXPECT_EQ(finish_detections, 0);
+
+  kinect::SessionBuilder finish_builder(profile, 61);
+  finish_builder.Idle(0.5).Perform(GestureShapes::TwoHandSwipe()).Idle(0.5);
+  EPL_ASSERT_OK(kinect::PlayFrames(&engine, finish_builder.frames()));
+  EXPECT_GE(finish_detections, 1);
+}
+
+TEST(ControlGesturesTest, OtherGesturesDoNotTriggerControls) {
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  EPL_ASSERT_OK(transform::RegisterKinectTView(&engine));
+  int control_detections = 0;
+  EPL_ASSERT_OK(core::DeployGesture(&engine, ControlWaveDefinition(),
+                                    [&](const cep::Detection&) {
+                                      ++control_detections;
+                                    })
+                    .status());
+  EPL_ASSERT_OK(core::DeployGesture(&engine, ControlFinishDefinition(),
+                                    [&](const cep::Detection&) {
+                                      ++control_detections;
+                                    })
+                    .status());
+  UserProfile profile;
+  kinect::SessionBuilder builder(profile, 62);
+  builder.Idle(0.4)
+      .Perform(GestureShapes::SwipeRight())
+      .Perform(GestureShapes::RaiseHand())
+      .Perform(GestureShapes::Circle())
+      .Idle(0.4);
+  EPL_ASSERT_OK(kinect::PlayFrames(&engine, builder.frames()));
+  EXPECT_EQ(control_detections, 0);
+}
+
+// The full paper Sec. 3.1 session: define gesture, wave to record three
+// samples, two-hand swipe to finish, then verify the testing phase
+// detects the freshly learned gesture.
+TEST(ControllerTest, FullInteractiveLearningSession) {
+  testing::ScopedTempDir dir;
+  EPL_ASSERT_OK_AND_ASSIGN(gesturedb::GestureStore store,
+                           gesturedb::GestureStore::Open(dir.path()));
+  stream::StreamEngine engine;
+
+  std::vector<std::string> statuses;
+  std::vector<std::string> warnings;
+  std::vector<std::string> deployed;
+  std::vector<cep::Detection> detections;
+  int samples_recorded = 0;
+
+  ControllerEvents events;
+  events.on_status = [&](const std::string& s) { statuses.push_back(s); };
+  events.on_warning = [&](const std::string& w) { warnings.push_back(w); };
+  events.on_sample = [&](int index, int) { samples_recorded = index; };
+  events.on_deployed = [&](const std::string& name, const std::string&) {
+    deployed.push_back(name);
+  };
+  events.on_detection = [&](const cep::Detection& d) {
+    detections.push_back(d);
+  };
+
+  LearningController controller(&engine, &store, ControllerConfig(), events);
+  EPL_ASSERT_OK(controller.Init());
+  EPL_ASSERT_OK(
+      controller.BeginGesture("push_forward", {JointId::kRightHand}));
+
+  GestureShape shape = GestureShapes::PushForward();
+  UserProfile user;
+  kinect::SessionBuilder session(user, 70);
+  session.Idle(0.6);
+  for (int i = 0; i < 3; ++i) {
+    session.Perform(GestureShapes::Wave());       // control: arm recording
+    session.Perform(shape, /*dwell_s=*/0.9);      // dwell-gesture-dwell
+    session.Idle(0.4);
+  }
+  session.Perform(GestureShapes::TwoHandSwipe());  // control: finish
+  session.Idle(0.6);
+  session.Perform(shape, 0.4);                     // testing phase
+  session.Idle(0.6);
+
+  EPL_ASSERT_OK(controller.PushFrames(session.frames()));
+
+  EXPECT_EQ(controller.phase(), ControllerPhase::kTesting);
+  EXPECT_EQ(samples_recorded, 3);
+  ASSERT_EQ(deployed.size(), 1u);
+  EXPECT_EQ(deployed[0], "push_forward");
+  EXPECT_GE(detections.size(), 1u);
+  EXPECT_EQ(detections[0].name, "push_forward");
+  // The gesture landed in the database.
+  EXPECT_TRUE(store.Exists("push_forward"));
+  EPL_ASSERT_OK_AND_ASSIGN(core::GestureDefinition stored,
+                           store.Get("push_forward"));
+  EXPECT_EQ(stored.sample_count, 3);
+  // The generated query text is available.
+  EXPECT_NE(controller.last_query_text().find("SELECT \"push_forward\""),
+            std::string::npos);
+}
+
+TEST(ControllerTest, ManualTriggersWork) {
+  stream::StreamEngine engine;
+  LearningController controller(&engine, nullptr);
+  EPL_ASSERT_OK(controller.Init());
+  EPL_ASSERT_OK(controller.BeginGesture("g", {JointId::kRightHand}));
+
+  // Manual trigger instead of the wave gesture.
+  EPL_ASSERT_OK(controller.TriggerRecording());
+  UserProfile user;
+  kinect::SessionBuilder session(user, 71);
+  session.Perform(GestureShapes::SwipeRight(), 0.9);
+  EPL_ASSERT_OK(controller.PushFrames(session.frames()));
+  EXPECT_EQ(controller.sample_count(), 1);
+
+  EPL_ASSERT_OK(controller.FinishLearning());
+  EXPECT_EQ(controller.phase(), ControllerPhase::kTesting);
+  EXPECT_EQ(controller.deployed_gestures(),
+            (std::vector<std::string>{"g"}));
+}
+
+TEST(ControllerTest, FinishWithoutSamplesFails) {
+  stream::StreamEngine engine;
+  LearningController controller(&engine, nullptr);
+  EPL_ASSERT_OK(controller.Init());
+  EPL_ASSERT_OK(controller.BeginGesture("g", {JointId::kRightHand}));
+  Status status = controller.FinishLearning();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ControllerTest, BeginRequiresInit) {
+  stream::StreamEngine engine;
+  LearningController controller(&engine, nullptr);
+  EXPECT_EQ(controller.BeginGesture("g", {JointId::kRightHand}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ControllerTest, RelearningReplacesDeployment) {
+  stream::StreamEngine engine;
+  LearningController controller(&engine, nullptr);
+  EPL_ASSERT_OK(controller.Init());
+
+  UserProfile user;
+  for (int round = 0; round < 2; ++round) {
+    EPL_ASSERT_OK(controller.BeginGesture("g", {JointId::kRightHand}));
+    EPL_ASSERT_OK(controller.TriggerRecording());
+    kinect::SessionBuilder session(user, 72 + static_cast<uint64_t>(round));
+    session.Perform(GestureShapes::SwipeRight(), 0.9);
+    EPL_ASSERT_OK(controller.PushFrames(session.frames()));
+    EPL_ASSERT_OK(controller.FinishLearning());
+  }
+  EXPECT_EQ(controller.deployed_gestures().size(), 1u);
+  // The pending undeploy is applied on the next frame push.
+  kinect::SessionBuilder tail(user, 99);
+  tail.Idle(0.2);
+  EPL_ASSERT_OK(controller.PushFrames(tail.frames()));
+  // Engine holds: 2 control matchers + tap + 1 learned gesture.
+  EXPECT_EQ(engine.deployment_count(), 4u);
+}
+
+}  // namespace
+}  // namespace epl::workflow
