@@ -1,11 +1,18 @@
 // E5 (paper Sec. 3.3.1): "using many CEP patterns for describing one
 // gesture increases detection complexity". Matcher throughput as a
 // function of (a) the number of poses per gesture and (b) the number of
-// concurrently deployed gesture queries.
+// concurrently deployed gesture queries, and (c) the shared multi-pattern
+// engine (MultiMatchOperator + PredicateBank) against the per-query
+// baseline at 16/64/256 concurrent learned queries.
+
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "cep/matcher.h"
+#include "cep/multi_match_operator.h"
 #include "query/compiler.h"
 #include "exp_util.h"
 
@@ -109,7 +116,144 @@ BENCHMARK(BM_EngineConcurrentQueries)
     ->Arg(4)
     ->Arg(16)
     ->Arg(64)
-    ->Arg(128);
+    ->Arg(128)
+    ->Arg(256);
+
+/// `count` learned gesture queries: variants of definitions trained from
+/// synthesized recordings, windows jittered so queries are mostly distinct.
+/// Reads the raw "kinect" stream (the workload is pre-transformed).
+std::vector<core::GestureDefinition> LearnedVariants(int count) {
+  static const std::vector<core::GestureDefinition>* bases = [] {
+    auto* out = new std::vector<core::GestureDefinition>();
+    out->push_back(bench::TrainDefinition(kinect::GestureShapes::SwipeRight(),
+                                          3, 100));
+    out->push_back(bench::TrainDefinition(kinect::GestureShapes::RaiseHand(),
+                                          3, 200));
+    return out;
+  }();
+  std::vector<core::GestureDefinition> definitions;
+  definitions.reserve(static_cast<size_t>(count));
+  for (int q = 0; q < count; ++q) {
+    core::GestureDefinition variant = (*bases)[q % bases->size()];
+    variant.name = variant.name + "_" + std::to_string(q);
+    variant.source_stream = "kinect";
+    // Small distinct 2-D jitter per query: the (dy, dx) pair alone is
+    // unique for q < 24*24 = 576 (dy cycles with q % 24, dx with
+    // (q/24) % 24), yet stays well inside the learned half-widths
+    // (>= 50 mm), so the benchmark measures many DISTINCT queries that
+    // all still fire on the workload.
+    double dy = 0.5 * (q % 24);
+    double dx = 0.5 * ((q / 24) % 24);
+    for (core::PoseWindow& pose : variant.poses) {
+      for (auto& [joint, window] : pose.joints) {
+        (void)joint;
+        window.center.y += dy;
+        window.center.x += dx;
+      }
+    }
+    definitions.push_back(std::move(variant));
+  }
+  return definitions;
+}
+
+/// One-shot cross-check (run once per benchmark registration): the fused
+/// deployment must produce exactly the detections of per-query deployment.
+void VerifyFusedEquivalence(
+    const std::vector<core::GestureDefinition>& definitions,
+    const std::vector<stream::Event>& events) {
+  using Record = std::tuple<std::string, TimePoint, std::vector<TimePoint>>;
+  std::vector<Record> fused, per_query;
+  {
+    stream::StreamEngine engine;
+    EPL_CHECK(engine.RegisterStream("kinect", kinect::KinectSchema()).ok());
+    EPL_CHECK(core::DeployGesturesFused(
+                  &engine, definitions,
+                  [&fused](const cep::Detection& d) {
+                    fused.emplace_back(d.name, d.time, d.pose_times);
+                  })
+                  .ok());
+    for (const stream::Event& event : events) {
+      EPL_CHECK(engine.Push("kinect", event).ok());
+    }
+  }
+  {
+    stream::StreamEngine engine;
+    EPL_CHECK(engine.RegisterStream("kinect", kinect::KinectSchema()).ok());
+    for (const core::GestureDefinition& definition : definitions) {
+      EPL_CHECK(core::DeployGesture(&engine, definition,
+                                    [&per_query](const cep::Detection& d) {
+                                      per_query.emplace_back(d.name, d.time,
+                                                             d.pose_times);
+                                    })
+                    .ok());
+    }
+    for (const stream::Event& event : events) {
+      EPL_CHECK(engine.Push("kinect", event).ok());
+    }
+  }
+  EPL_CHECK(fused == per_query)
+      << "fused deployment diverged from per-query deployment ("
+      << fused.size() << " vs " << per_query.size() << " detections)";
+  EPL_CHECK(!fused.empty()) << "equivalence workload produced no detections";
+}
+
+/// Per-query baseline over the learned workload: N independent
+/// MatchOperator subscribers.
+void BM_PerQueryMatchersConcurrentQueries(benchmark::State& state) {
+  int queries = static_cast<int>(state.range(0));
+  std::vector<core::GestureDefinition> definitions = LearnedVariants(queries);
+  stream::StreamEngine engine;
+  EPL_CHECK(engine.RegisterStream("kinect", kinect::KinectSchema()).ok());
+  uint64_t detections = 0;
+  for (const core::GestureDefinition& definition : definitions) {
+    EPL_CHECK(core::DeployGesture(
+                  &engine, definition,
+                  [&detections](const cep::Detection&) { ++detections; })
+                  .ok());
+  }
+  const std::vector<stream::Event>& events = Workload();
+  for (auto _ : state) {
+    for (const stream::Event& event : events) {
+      Status status = engine.Push("kinect", event);
+      benchmark::DoNotOptimize(status.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+  state.counters["queries"] = queries;
+  benchmark::DoNotOptimize(detections);
+}
+BENCHMARK(BM_PerQueryMatchersConcurrentQueries)->Arg(16)->Arg(64)->Arg(256);
+
+/// The shared engine: one fused MultiMatchOperator over a PredicateBank.
+void BM_MultiMatcherConcurrentQueries(benchmark::State& state) {
+  int queries = static_cast<int>(state.range(0));
+  std::vector<core::GestureDefinition> definitions = LearnedVariants(queries);
+  static bool verified = [] {
+    VerifyFusedEquivalence(LearnedVariants(16), Workload());
+    return true;
+  }();
+  (void)verified;
+  stream::StreamEngine engine;
+  EPL_CHECK(engine.RegisterStream("kinect", kinect::KinectSchema()).ok());
+  uint64_t detections = 0;
+  EPL_CHECK(core::DeployGesturesFused(
+                &engine, definitions,
+                [&detections](const cep::Detection&) { ++detections; })
+                .ok());
+  const std::vector<stream::Event>& events = Workload();
+  for (auto _ : state) {
+    for (const stream::Event& event : events) {
+      Status status = engine.Push("kinect", event);
+      benchmark::DoNotOptimize(status.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+  state.counters["queries"] = queries;
+  benchmark::DoNotOptimize(detections);
+}
+BENCHMARK(BM_MultiMatcherConcurrentQueries)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace epl

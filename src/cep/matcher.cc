@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cep/predicate_bank.h"
 #include "common/logging.h"
 
 namespace epl::cep {
@@ -10,9 +11,15 @@ NfaMatcher::NfaMatcher(const CompiledPattern* pattern, MatcherOptions options)
     : pattern_(pattern), options_(options) {
   EPL_CHECK(pattern_ != nullptr);
   EPL_CHECK(pattern_->num_states() > 0) << "empty pattern";
-  dominant_runs_.resize(pattern_->num_states());
-  dominant_active_.assign(pattern_->num_states(), false);
-  predicate_cache_.assign(pattern_->num_states(), -1);
+  const int n = pattern_->num_states();
+  dominant_runs_.resize(n);
+  for (std::vector<TimePoint>& run : dominant_runs_) {
+    // A run holds at most one entry per state; reserving up front keeps
+    // ProcessDominant free of heap allocation.
+    run.reserve(n);
+  }
+  dominant_active_.assign(n, false);
+  predicate_cache_.assign(pattern_->num_distinct_predicates(), -1);
 }
 
 void NfaMatcher::Process(const stream::Event& event,
@@ -24,6 +31,23 @@ void NfaMatcher::Process(const stream::Event& event,
   } else {
     ProcessExhaustive(event, out);
   }
+}
+
+void NfaMatcher::ProcessShared(const stream::Event& event,
+                               const PredicateBank& bank, const int* bank_ids,
+                               std::vector<PatternMatch>* out) {
+  shared_bank_ = &bank;
+  shared_bank_ids_ = bank_ids;
+  // Clear the shared context even if Process throws, so a later plain
+  // Process does not read stale bank state.
+  struct ClearSharedContext {
+    NfaMatcher* matcher;
+    ~ClearSharedContext() {
+      matcher->shared_bank_ = nullptr;
+      matcher->shared_bank_ids_ = nullptr;
+    }
+  } clear{this};
+  Process(event, out);
 }
 
 void NfaMatcher::Reset() {
@@ -40,10 +64,18 @@ size_t NfaMatcher::active_run_count() const {
 }
 
 bool NfaMatcher::EvalPredicate(int state, const stream::Event& event) {
-  int8_t& cached = predicate_cache_[state];
+  const int slot = pattern_->predicate_id(state);
+  int8_t& cached = predicate_cache_[slot];
   if (cached < 0) {
-    ++stats_.predicate_evaluations;
-    cached = pattern_->predicate(state).EvalBool(event) ? 1 : 0;
+    if (shared_bank_ != nullptr) {
+      ++stats_.predicate_cache_hits;
+      cached = shared_bank_->value(shared_bank_ids_[slot]) ? 1 : 0;
+    } else {
+      ++stats_.predicate_evaluations;
+      cached = pattern_->predicate(state).EvalBool(event) ? 1 : 0;
+    }
+  } else {
+    ++stats_.predicate_cache_hits;
   }
   return cached == 1;
 }
@@ -89,7 +121,11 @@ void NfaMatcher::ProcessDominant(const stream::Event& event,
   }
 
   if (completed) {
-    out->push_back(PatternMatch{dominant_runs_[n - 1]});
+    PatternMatch match;
+    match.state_times.reserve(n);
+    match.state_times.assign(dominant_runs_[n - 1].begin(),
+                             dominant_runs_[n - 1].end());
+    out->push_back(std::move(match));
     ++stats_.matches;
     if (pattern_->consume_policy() == ConsumePolicy::kAll) {
       // The match consumed every open partial run including the current
@@ -106,7 +142,9 @@ void NfaMatcher::ProcessDominant(const stream::Event& event,
     dominant_runs_[0].assign(1, now);
     dominant_active_[0] = true;
     if (n == 1) {
-      out->push_back(PatternMatch{dominant_runs_[0]});
+      PatternMatch match;
+      match.state_times.assign(1, now);
+      out->push_back(std::move(match));
       ++stats_.matches;
       if (pattern_->consume_policy() == ConsumePolicy::kAll) {
         Reset();
@@ -140,7 +178,8 @@ void NfaMatcher::ProcessExhaustive(const stream::Event& event,
     }
     Run advanced;
     advanced.state = next_state;
-    advanced.times = run.times;
+    advanced.times.reserve(n);
+    advanced.times.assign(run.times.begin(), run.times.end());
     advanced.times.push_back(now);
     if (next_state == n - 1) {
       completions.push_back(PatternMatch{advanced.times});

@@ -34,6 +34,8 @@
 
 namespace epl::cep {
 
+class PredicateBank;
+
 /// One completed match: entry timestamp of every state.
 struct PatternMatch {
   std::vector<TimePoint> state_times;
@@ -53,6 +55,10 @@ struct MatcherOptions {
 struct MatcherStats {
   uint64_t events = 0;
   uint64_t predicate_evaluations = 0;
+  /// Predicate lookups answered without running an ExprProgram: per-event
+  /// memoization hits (states sharing a distinct predicate) and values
+  /// served by a shared PredicateBank via ProcessShared.
+  uint64_t predicate_cache_hits = 0;
   uint64_t matches = 0;
   uint64_t dropped_runs = 0;
   size_t peak_runs = 0;
@@ -71,6 +77,17 @@ class NfaMatcher {
   /// Feeds one event; appends completed matches to `out` (not cleared).
   /// Events must arrive in non-decreasing timestamp order.
   void Process(const stream::Event& event, std::vector<PatternMatch>* out);
+
+  /// Like Process, but predicate truth is read from `bank` (which must
+  /// already have Evaluate()d this event) instead of evaluated here:
+  /// `bank_ids[i]` is the bank predicate id of distinct predicate `i` (see
+  /// CompiledPattern::predicate_id), with num_distinct_predicates()
+  /// entries. Lookups stay lazy -- only predicates the NFA actually
+  /// consults are read -- and count as predicate_cache_hits. Used by
+  /// MultiPatternMatcher, which evaluates one shared PredicateBank per
+  /// event for all deployed patterns.
+  void ProcessShared(const stream::Event& event, const PredicateBank& bank,
+                     const int* bank_ids, std::vector<PatternMatch>* out);
 
   /// Discards all partial runs.
   void Reset();
@@ -98,6 +115,10 @@ class NfaMatcher {
   MatcherOptions options_;
   MatcherStats stats_;
 
+  // Shared-bank evaluation context, set for the duration of ProcessShared.
+  const PredicateBank* shared_bank_ = nullptr;
+  const int* shared_bank_ids_ = nullptr;
+
   // Dominant mode: one run per state (runs_[k] holds entries 0..k).
   std::vector<std::vector<TimePoint>> dominant_runs_;
   std::vector<bool> dominant_active_;
@@ -105,7 +126,8 @@ class NfaMatcher {
   // Exhaustive mode.
   std::deque<Run> runs_;
 
-  // Per-event predicate memoization: -1 unknown, 0 false, 1 true.
+  // Per-event predicate memoization, indexed by distinct predicate id
+  // (CompiledPattern::predicate_id): -1 unknown, 0 false, 1 true.
   std::vector<int8_t> predicate_cache_;
 };
 

@@ -1,0 +1,39 @@
+#include "cep/multi_match_operator.h"
+
+namespace epl::cep {
+
+MultiMatchOperator::MultiMatchOperator(MatcherOptions options)
+    : matcher_(options) {}
+
+int MultiMatchOperator::AddQuery(QuerySpec spec) {
+  Query query;
+  query.output_name = std::move(spec.output_name);
+  query.pattern = std::make_unique<CompiledPattern>(std::move(spec.pattern));
+  query.measures = std::move(spec.measures);
+  query.callback = std::move(spec.callback);
+  int index = matcher_.AddPattern(query.pattern.get());
+  queries_.push_back(std::move(query));
+  return index;
+}
+
+Status MultiMatchOperator::Process(const stream::Event& event) {
+  scratch_matches_.clear();
+  matcher_.Process(event, &scratch_matches_);
+  for (const MultiPatternMatcher::MultiMatch& multi_match : scratch_matches_) {
+    const Query& query = queries_[multi_match.pattern_index];
+    Detection detection;
+    detection.name = query.output_name;
+    detection.time = multi_match.match.end_time();
+    detection.pose_times = multi_match.match.state_times;
+    detection.measures.reserve(query.measures.size());
+    for (const ExprProgram& program : query.measures) {
+      detection.measures.push_back(program.Eval(event));
+    }
+    if (query.callback) {
+      query.callback(detection);
+    }
+  }
+  return Forward(event);
+}
+
+}  // namespace epl::cep

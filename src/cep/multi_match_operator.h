@@ -1,0 +1,76 @@
+// MultiMatchOperator: one fused stream operator serving many gesture
+// queries.
+//
+// Deploying N gesture queries as N MatchOperator subscribers costs
+// O(N x states) predicate evaluations per event. This operator subscribes
+// once and routes every event through a MultiPatternMatcher, so all queries
+// share one PredicateBank evaluation; detections are dispatched to each
+// query's callback exactly as MatchOperator would.
+
+#ifndef EPL_CEP_MULTI_MATCH_OPERATOR_H_
+#define EPL_CEP_MULTI_MATCH_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cep/detection.h"
+#include "cep/multi_matcher.h"
+#include "stream/operator.h"
+
+namespace epl::cep {
+
+class MultiMatchOperator : public stream::Operator {
+ public:
+  explicit MultiMatchOperator(MatcherOptions options = MatcherOptions());
+
+  /// One gesture query: compiled pattern, optional output measures
+  /// (evaluated on the completing event), and the detection callback.
+  struct QuerySpec {
+    std::string output_name;
+    CompiledPattern pattern;
+    std::vector<ExprProgram> measures;
+    DetectionCallback callback;
+  };
+
+  /// Adds a query; returns its index. Must be called before the first
+  /// event is processed.
+  int AddQuery(QuerySpec spec);
+
+  Status Process(const stream::Event& event) override;
+
+  std::string name() const override {
+    return "multi_match[" + std::to_string(queries_.size()) + " queries]";
+  }
+
+  size_t num_queries() const { return queries_.size(); }
+  const std::string& output_name(int query_index) const {
+    return queries_[query_index].output_name;
+  }
+  const MatcherStats& matcher_stats(int query_index) const {
+    return matcher_.matcher(query_index).stats();
+  }
+  const MultiPatternMatcher& matcher() const { return matcher_; }
+
+  /// Discards partial matches of every query.
+  void ResetMatchers() { matcher_.Reset(); }
+
+ private:
+  struct Query {
+    std::string output_name;
+    // The NFA matcher holds a pointer to the pattern, so the pattern is
+    // owned by a stable unique_ptr.
+    std::unique_ptr<CompiledPattern> pattern;
+    std::vector<ExprProgram> measures;
+    DetectionCallback callback;
+  };
+
+  MultiPatternMatcher matcher_;
+  std::vector<Query> queries_;
+  std::vector<MultiPatternMatcher::MultiMatch> scratch_matches_;
+};
+
+}  // namespace epl::cep
+
+#endif  // EPL_CEP_MULTI_MATCH_OPERATOR_H_

@@ -1,0 +1,42 @@
+#include "cep/multi_matcher.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace epl::cep {
+
+MultiPatternMatcher::MultiPatternMatcher(MatcherOptions options)
+    : options_(options) {}
+
+int MultiPatternMatcher::AddPattern(const CompiledPattern* pattern) {
+  EPL_CHECK(pattern != nullptr);
+  EPL_CHECK(!bank_.built()) << "AddPattern after the first Process";
+  Entry entry;
+  entry.matcher = std::make_unique<NfaMatcher>(pattern, options_);
+  entry.bank_ids = bank_.RegisterPattern(*pattern);
+  entries_.push_back(std::move(entry));
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+void MultiPatternMatcher::Process(const stream::Event& event,
+                                  std::vector<MultiMatch>* out) {
+  bank_.Evaluate(event);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    scratch_matches_.clear();
+    entry.matcher->ProcessShared(event, bank_, entry.bank_ids.data(),
+                                 &scratch_matches_);
+    for (PatternMatch& match : scratch_matches_) {
+      out->push_back(MultiMatch{static_cast<int>(i), std::move(match)});
+    }
+  }
+}
+
+void MultiPatternMatcher::Reset() {
+  for (Entry& entry : entries_) {
+    entry.matcher->Reset();
+  }
+}
+
+}  // namespace epl::cep

@@ -1,0 +1,70 @@
+// MultiPatternMatcher: many concurrent patterns over one shared
+// PredicateBank.
+//
+// Each registered CompiledPattern keeps its own NfaMatcher (so run state,
+// policies and statistics behave exactly as if deployed standalone), but
+// per-event predicate evaluation happens once in the shared bank: the bank
+// produces a satisfied-predicate bitset, and every NFA lazily reads its
+// slice of it via NfaMatcher::ProcessShared. Match output is therefore
+// identical to N independent matchers -- the equivalence property tests in
+// tests/cep_multi_matcher_test.cc assert exactly that.
+
+#ifndef EPL_CEP_MULTI_MATCHER_H_
+#define EPL_CEP_MULTI_MATCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cep/matcher.h"
+#include "cep/predicate_bank.h"
+#include "stream/event.h"
+
+namespace epl::cep {
+
+class MultiPatternMatcher {
+ public:
+  explicit MultiPatternMatcher(MatcherOptions options = MatcherOptions());
+
+  MultiPatternMatcher(const MultiPatternMatcher&) = delete;
+  MultiPatternMatcher& operator=(const MultiPatternMatcher&) = delete;
+
+  /// Registers `pattern` (must outlive the matcher and share the schema of
+  /// every other registered pattern); returns the pattern's index. Must be
+  /// called before the first Process().
+  int AddPattern(const CompiledPattern* pattern);
+
+  /// One completed match of one registered pattern.
+  struct MultiMatch {
+    int pattern_index = 0;
+    PatternMatch match;
+  };
+
+  /// Feeds one event to every pattern; appends completed matches to `out`
+  /// (not cleared), grouped by pattern index in registration order.
+  void Process(const stream::Event& event, std::vector<MultiMatch>* out);
+
+  /// Discards all partial runs of every pattern.
+  void Reset();
+
+  size_t num_patterns() const { return entries_.size(); }
+  const NfaMatcher& matcher(int pattern_index) const {
+    return *entries_[pattern_index].matcher;
+  }
+  const PredicateBank& bank() const { return bank_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<NfaMatcher> matcher;
+    /// Local distinct predicate id -> bank predicate id.
+    std::vector<int> bank_ids;
+  };
+
+  MatcherOptions options_;
+  PredicateBank bank_;
+  std::vector<Entry> entries_;
+  std::vector<PatternMatch> scratch_matches_;
+};
+
+}  // namespace epl::cep
+
+#endif  // EPL_CEP_MULTI_MATCHER_H_

@@ -1,5 +1,7 @@
 #include "cep/nfa.h"
 
+#include <cstdio>
+
 #include "common/string_util.h"
 
 namespace epl::cep {
@@ -43,6 +45,59 @@ StateRange LowerNode(const PatternExpr& node, int* next_state,
   return range;
 }
 
+// Exact canonical rendering of a bound predicate, used as the dedup key.
+// Unlike Expr::ToString (which truncates constants to 6 decimals for
+// readability), constants render as hexfloats and fields as bound indices,
+// so predicates merge only when they are bit-identical.
+void AppendCanonicalKey(const Expr& expr, std::string* out) {
+  switch (expr.kind()) {
+    case ExprKind::kConst: {
+      char buffer[40];
+      std::snprintf(buffer, sizeof(buffer), "%a", expr.constant_value());
+      out->append(buffer);
+      return;
+    }
+    case ExprKind::kFieldRef:
+      out->push_back('f');
+      out->append(std::to_string(expr.field_index()));
+      return;
+    case ExprKind::kUnary:
+      out->push_back('u');
+      out->append(std::to_string(static_cast<int>(expr.unary_op())));
+      out->push_back('(');
+      AppendCanonicalKey(expr.arg(0), out);
+      out->push_back(')');
+      return;
+    case ExprKind::kBinary:
+      out->push_back('b');
+      out->append(std::to_string(static_cast<int>(expr.binary_op())));
+      out->push_back('(');
+      AppendCanonicalKey(expr.arg(0), out);
+      out->push_back(',');
+      AppendCanonicalKey(expr.arg(1), out);
+      out->push_back(')');
+      return;
+    case ExprKind::kCall:
+      out->push_back('c');
+      out->append(expr.function_name());
+      out->push_back('(');
+      for (size_t i = 0; i < expr.args().size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        AppendCanonicalKey(expr.arg(static_cast<int>(i)), out);
+      }
+      out->push_back(')');
+      return;
+  }
+}
+
+std::string CanonicalKey(const Expr& expr) {
+  std::string key;
+  AppendCanonicalKey(expr, &key);
+  return key;
+}
+
 }  // namespace
 
 Result<CompiledPattern> CompiledPattern::Compile(
@@ -54,13 +109,28 @@ Result<CompiledPattern> CompiledPattern::Compile(
   std::vector<const PatternExpr*> poses;
   LowerNode(pattern, &next_state, &poses, &compiled.constraints_);
 
-  compiled.predicates_.reserve(poses.size());
   compiled.predicate_exprs_.reserve(poses.size());
+  compiled.predicate_ids_.reserve(poses.size());
   for (const PatternExpr* pose : poses) {
     ExprPtr bound = pose->predicate().Clone();
     EPL_RETURN_IF_ERROR(bound->Bind(schema));
-    EPL_ASSIGN_OR_RETURN(ExprProgram program, ExprProgram::Compile(*bound));
-    compiled.predicates_.push_back(std::move(program));
+    // States with structurally identical predicates share one compiled
+    // program (and one memoization slot in the matcher).
+    std::string key = CanonicalKey(*bound);
+    int slot = -1;
+    for (size_t i = 0; i < compiled.predicate_keys_.size(); ++i) {
+      if (compiled.predicate_keys_[i] == key) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) {
+      EPL_ASSIGN_OR_RETURN(ExprProgram program, ExprProgram::Compile(*bound));
+      slot = static_cast<int>(compiled.predicates_.size());
+      compiled.predicates_.push_back(std::move(program));
+      compiled.predicate_keys_.push_back(std::move(key));
+    }
+    compiled.predicate_ids_.push_back(slot);
     compiled.predicate_exprs_.push_back(std::move(bound));
   }
 

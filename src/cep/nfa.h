@@ -39,10 +39,28 @@ class CompiledPattern {
 
   CompiledPattern() = default;
 
-  int num_states() const { return static_cast<int>(predicates_.size()); }
-  const ExprProgram& predicate(int state) const { return predicates_[state]; }
+  int num_states() const { return static_cast<int>(predicate_exprs_.size()); }
+  const ExprProgram& predicate(int state) const {
+    return predicates_[predicate_ids_[state]];
+  }
   const Expr& predicate_expr(int state) const {
     return *predicate_exprs_[state];
+  }
+
+  /// Distinct-predicate slot of `state`. States whose bound predicates
+  /// are structurally bit-identical (exact canonical rendering: hexfloat
+  /// constants, bound field indices) share one slot and one compiled
+  /// ExprProgram; the matcher memoizes per-event predicate results by slot
+  /// and the PredicateBank deduplicates across patterns by the same
+  /// canonical key.
+  int predicate_id(int state) const { return predicate_ids_[state]; }
+  int num_distinct_predicates() const {
+    return static_cast<int>(predicates_.size());
+  }
+  /// Canonical dedup key of distinct predicate `id` (exact, not
+  /// human-readable; see predicate_id).
+  const std::string& predicate_key(int id) const {
+    return predicate_keys_[id];
   }
 
   const std::vector<TimeConstraint>& constraints() const {
@@ -60,8 +78,12 @@ class CompiledPattern {
   std::string ToString() const;
 
  private:
-  std::vector<ExprProgram> predicates_;
-  std::vector<ExprPtr> predicate_exprs_;  // bound copies, for diagnostics
+  std::vector<ExprProgram> predicates_;   // one per distinct predicate
+  std::vector<std::string> predicate_keys_;  // parallel to predicates_
+  std::vector<int> predicate_ids_;        // state -> distinct slot
+  // Bound per-state trees: diagnostics (ToString) and the source for
+  // PredicateBank interval decomposition -- must stay bound.
+  std::vector<ExprPtr> predicate_exprs_;
   std::vector<TimeConstraint> constraints_;
   std::vector<std::vector<TimeConstraint>> constraints_by_state_;
   SelectPolicy select_ = SelectPolicy::kFirst;

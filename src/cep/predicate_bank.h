@@ -1,0 +1,147 @@
+// PredicateBank: shared per-event predicate evaluation for many patterns.
+//
+// Deploying hundreds of learned gesture queries naively costs
+// O(patterns x states) ExprProgram interpretations per event even though
+// learned predicates all share one shape: conjunctions of range predicates
+// `abs(field - center) < width` (core/query_gen.h). The bank exploits that:
+//
+//  1. Dedup: state predicates of every registered CompiledPattern are
+//     collected and deduplicated by exact canonical key
+//     (CompiledPattern::predicate_key), so structurally identical
+//     predicates are evaluated once per event no matter how many patterns
+//     and states reference them.
+//  2. Interval decomposition: each distinct predicate is decomposed, when
+//     possible, into per-field interval constraints (a conjunction of
+//     range/comparison atoms has at most one interval per field after
+//     intersection). Non-decomposable predicates fall back to their
+//     ExprProgram.
+//  3. Interval index: per referenced field the bank precomputes, for every
+//     elementary region between sorted interval endpoints, a bitset over
+//     decomposable predicates whose constraint on that field holds there.
+//     Evaluating an event is then one binary search plus a bitset AND per
+//     field -- O(distinct fields * (log intervals + D/64)) instead of
+//     O(patterns x states) program interpretations.
+//
+// All registered patterns must be compiled against the same schema (they
+// are subscribers of one stream); the canonical-key dedup assumes field
+// names resolve to the same indices.
+
+#ifndef EPL_CEP_PREDICATE_BANK_H_
+#define EPL_CEP_PREDICATE_BANK_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cep/nfa.h"
+#include "stream/event.h"
+
+namespace epl::cep {
+
+struct PredicateBankStats {
+  uint64_t events = 0;
+  /// ExprProgram interpretations of fallback (non-decomposable) predicates.
+  uint64_t program_evaluations = 0;
+};
+
+class PredicateBank {
+ public:
+  PredicateBank() = default;
+
+  PredicateBank(const PredicateBank&) = delete;
+  PredicateBank& operator=(const PredicateBank&) = delete;
+
+  /// Registers every state predicate of `pattern` (which must outlive the
+  /// bank) and returns the bank predicate id for each distinct predicate
+  /// slot of the pattern, i.e. `result[pattern.predicate_id(state)]` is the
+  /// bank id of `state`'s predicate. Must not be called after Build().
+  std::vector<int> RegisterPattern(const CompiledPattern& pattern);
+
+  /// Decomposes predicates and builds the per-field interval indexes.
+  /// Called automatically by the first Evaluate().
+  void Build();
+  bool built() const { return built_; }
+
+  /// Evaluates the interval index against `event`; results are read back
+  /// with value() / CopyValues(). Fallback (non-decomposable) predicates
+  /// are interpreted lazily on first read (the bank keeps its own copy of
+  /// the event, reusing capacity). Thread-compatible, not thread-safe:
+  /// the lazy fallback cache mutates under value().
+  void Evaluate(const stream::Event& event);
+
+  /// Truth of bank predicate `id` for the last evaluated event.
+  bool value(int id) const;
+
+  int num_predicates() const { return static_cast<int>(predicates_.size()); }
+  /// Predicates served by the interval index.
+  int num_decomposable() const { return num_decomposable_; }
+  /// Predicates evaluated via their ExprProgram.
+  int num_fallback() const {
+    return num_predicates() - num_decomposable_;
+  }
+  /// Total states registered across all patterns (before dedup).
+  size_t registered_states() const { return registered_states_; }
+
+  const PredicateBankStats& stats() const { return stats_; }
+
+  /// One per-field interval constraint: lo <= v <= hi. Bounds are always
+  /// inclusive -- refinement stores the exact largest/smallest satisfying
+  /// double (see predicate_bank.cc). Exposed for tests.
+  struct Interval {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+  };
+
+  /// Decomposes a bound predicate into per-field intervals (field index ->
+  /// intersected interval). Returns false when the expression is not a
+  /// conjunction of single-field range/comparison atoms. Exposed for tests.
+  static bool Decompose(const Expr& expr, std::map<int, Interval>* out);
+
+ private:
+  struct Predicate {
+    const ExprProgram* program = nullptr;  // owned by a registered pattern
+    const Expr* expr = nullptr;            // bound tree, for decomposition
+    bool decomposable = false;
+    int slot = -1;  // bit index (decomposable) or fallback_values_ index
+    std::map<int, Interval> intervals;     // filled by Build()
+  };
+
+  /// Sorted-endpoint stabbing index for one field. The 2k+1 elementary
+  /// regions of k sorted endpoints ((-inf,b0), [b0,b0], (b0,b1), ...) each
+  /// precompute a bitset over decomposable predicates: bit d is set iff
+  /// predicate d has no constraint on the field or its constraint holds
+  /// everywhere in the region.
+  struct FieldIndex {
+    int field = -1;
+    std::vector<double> bounds;        // sorted unique finite endpoints
+    std::vector<uint64_t> region_bits; // (2*bounds.size()+1) * words
+    std::vector<uint64_t> constrained; // bit d: predicate d constrains field
+  };
+
+  size_t words() const { return (num_decomposable_ + 63) / 64; }
+
+  std::unordered_map<std::string, int> key_to_id_;
+  std::vector<Predicate> predicates_;
+  size_t registered_states_ = 0;
+
+  bool built_ = false;
+  int num_decomposable_ = 0;
+  std::vector<FieldIndex> fields_;
+  std::vector<const ExprProgram*> fallback_programs_;
+
+  // Last Evaluate() results. Fallback values are memoized lazily:
+  // -1 unknown, 0 false, 1 true. current_event_ is a capacity-reusing
+  // copy for those lazy interpretations.
+  std::vector<uint64_t> result_words_;
+  mutable std::vector<int8_t> fallback_values_;
+  stream::Event current_event_;
+
+  mutable PredicateBankStats stats_;
+};
+
+}  // namespace epl::cep
+
+#endif  // EPL_CEP_PREDICATE_BANK_H_

@@ -102,4 +102,20 @@ Result<stream::DeploymentId> DeployGesture(
                             matcher_options);
 }
 
+Result<stream::DeploymentId> DeployGesturesFused(
+    stream::StreamEngine* engine,
+    const std::vector<GestureDefinition>& definitions,
+    cep::DetectionCallback callback, const QueryGenConfig& config,
+    cep::MatcherOptions matcher_options) {
+  std::vector<query::ParsedQuery> queries;
+  queries.reserve(definitions.size());
+  for (const GestureDefinition& definition : definitions) {
+    EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
+                         GenerateQuery(definition, config));
+    queries.push_back(std::move(parsed));
+  }
+  return query::DeployQueriesFused(engine, queries, std::move(callback),
+                                   matcher_options);
+}
+
 }  // namespace epl::core

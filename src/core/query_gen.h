@@ -42,6 +42,17 @@ Result<stream::DeploymentId> DeployGesture(
     const QueryGenConfig& config = QueryGenConfig(),
     cep::MatcherOptions matcher_options = cep::MatcherOptions());
 
+/// Generates queries for all `definitions` (which must share one source
+/// stream) and deploys them as ONE fused MultiMatchOperator sharing a
+/// predicate bank (query::DeployQueriesFused), instead of one match
+/// operator per gesture.
+Result<stream::DeploymentId> DeployGesturesFused(
+    stream::StreamEngine* engine,
+    const std::vector<GestureDefinition>& definitions,
+    cep::DetectionCallback callback,
+    const QueryGenConfig& config = QueryGenConfig(),
+    cep::MatcherOptions matcher_options = cep::MatcherOptions());
+
 }  // namespace epl::core
 
 #endif  // EPL_CORE_QUERY_GEN_H_

@@ -1,5 +1,7 @@
 #include "query/compiler.h"
 
+#include "cep/multi_match_operator.h"
+
 namespace epl::query {
 
 Result<CompiledQuery> CompileQuery(const ParsedQuery& parsed,
@@ -46,6 +48,43 @@ Result<stream::DeploymentId> DeployQuery(stream::StreamEngine* engine,
   auto op = std::make_unique<cep::MatchOperator>(
       compiled.name, std::move(compiled.pattern), std::move(callback),
       std::move(compiled.measures), options);
+  return engine->Deploy(source, std::move(op));
+}
+
+Result<stream::DeploymentId> DeployQueriesFused(
+    stream::StreamEngine* engine, const std::vector<ParsedQuery>& parsed,
+    cep::DetectionCallback callback, cep::MatcherOptions options) {
+  if (parsed.empty()) {
+    return InvalidArgumentError("fused deployment needs at least one query");
+  }
+  std::string source;
+  for (const ParsedQuery& query : parsed) {
+    if (query.pattern == nullptr) {
+      return InvalidArgumentError("query '" + query.name + "' has no pattern");
+    }
+    std::string query_source = query.pattern->SourceStream();
+    if (source.empty()) {
+      source = query_source;
+    } else if (query_source != source) {
+      return InvalidArgumentError(
+          "fused queries must share a source stream: '" + source + "' vs '" +
+          query_source + "' (query '" + query.name + "')");
+    }
+  }
+  Result<stream::Schema> schema = engine->GetSchema(source);
+  if (!schema.ok()) {
+    return schema.status().WithContext("fused queries read undeclared stream");
+  }
+  auto op = std::make_unique<cep::MultiMatchOperator>(options);
+  for (const ParsedQuery& query : parsed) {
+    EPL_ASSIGN_OR_RETURN(CompiledQuery compiled, CompileQuery(query, *schema));
+    cep::MultiMatchOperator::QuerySpec spec;
+    spec.output_name = std::move(compiled.name);
+    spec.pattern = std::move(compiled.pattern);
+    spec.measures = std::move(compiled.measures);
+    spec.callback = callback;
+    op->AddQuery(std::move(spec));
+  }
   return engine->Deploy(source, std::move(op));
 }
 

@@ -44,6 +44,16 @@ Result<stream::DeploymentId> DeployQueryText(stream::StreamEngine* engine,
                                              cep::DetectionCallback callback,
                                              cep::MatcherOptions options = {});
 
+/// Compiles every query in `parsed` (all must read the same source stream)
+/// and deploys ONE fused MultiMatchOperator subscribing to that stream, so
+/// all queries share a PredicateBank evaluation per event instead of
+/// running independent match operators. Detections from every query go to
+/// `callback` (distinguished by Detection::name). Returns the single
+/// deployment handle; undeploying it removes all the queries at once.
+Result<stream::DeploymentId> DeployQueriesFused(
+    stream::StreamEngine* engine, const std::vector<ParsedQuery>& parsed,
+    cep::DetectionCallback callback, cep::MatcherOptions options = {});
+
 }  // namespace epl::query
 
 #endif  // EPL_QUERY_COMPILER_H_

@@ -192,6 +192,39 @@ TEST(MatcherTest, StatsTrackEventsAndEvaluations) {
   EXPECT_EQ(matcher.stats().matches, 0u);
 }
 
+TEST(MatcherTest, SharedPredicateMemoizationFires) {
+  // Two states with structurally identical predicates share one compiled
+  // program and one per-event memoization slot.
+  CompiledPattern pattern =
+      Compile(ChainPattern({1, 1}, std::nullopt, WithinMode::kGap,
+                           SelectPolicy::kFirst, ConsumePolicy::kNone));
+  EXPECT_EQ(pattern.num_states(), 2);
+  EXPECT_EQ(pattern.num_distinct_predicates(), 1);
+  NfaMatcher matcher(&pattern);
+  Feed(matcher, {At(0, 1), At(100, 1)});
+  // Event 1 evaluates the predicate once (state-0 seed). Event 2 evaluates
+  // it once for the state-1 advance; the subsequent state-0 seed then hits
+  // the per-event memo instead of re-running the program.
+  EXPECT_EQ(matcher.stats().predicate_evaluations, 2u);
+  EXPECT_EQ(matcher.stats().predicate_cache_hits, 1u);
+}
+
+TEST(MatcherTest, DistinctPredicatesKeepSeparateSlots) {
+  CompiledPattern pattern = Compile(ChainPattern({1, 2}, std::nullopt));
+  EXPECT_EQ(pattern.num_distinct_predicates(), 2);
+  NfaMatcher matcher(&pattern);
+  Feed(matcher, {At(0, 1), At(100, 2)});
+  EXPECT_EQ(matcher.stats().predicate_cache_hits, 0u);
+}
+
+TEST(MatcherTest, NearIdenticalPredicatesAreNotMerged) {
+  // Centers differing below the 6-decimal ToString print precision keep
+  // separate slots (the dedup key is exact).
+  CompiledPattern pattern =
+      Compile(ChainPattern({1.0, 1.0 + 1e-9}, std::nullopt));
+  EXPECT_EQ(pattern.num_distinct_predicates(), 2);
+}
+
 TEST(MatcherTest, ExhaustiveSelectAllFindsAllCombinations) {
   CompiledPattern pattern = Compile(
       ChainPattern({1, 2}, std::nullopt, WithinMode::kGap, SelectPolicy::kAll,

@@ -1,0 +1,308 @@
+// Equivalence properties of the shared multi-pattern engine: a
+// MultiPatternMatcher / MultiMatchOperator fed a synthesized kinect
+// workload must produce exactly the matches of N independent NfaMatchers /
+// MatchOperators, in both dominant and exhaustive mode.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cep/multi_match_operator.h"
+#include "cep/multi_matcher.h"
+#include "core/learner.h"
+#include "core/query_gen.h"
+#include "kinect/gesture_shapes.h"
+#include "kinect/sensor.h"
+#include "kinect/synthesizer.h"
+#include "query/compiler.h"
+#include "test_util.h"
+#include "transform/transform.h"
+
+namespace epl::cep {
+namespace {
+
+using stream::Event;
+
+/// Pre-rendered kinect workload: swipes interleaved with idle and
+/// distractor motion, in raw sensor space (queries below read "kinect").
+std::vector<Event> Workload(uint64_t seed) {
+  kinect::SessionBuilder builder(kinect::UserProfile(), seed);
+  for (int i = 0; i < 3; ++i) {
+    builder.Perform(kinect::GestureShapes::SwipeRight(), 0.2);
+    builder.Idle(0.2);
+    builder.Perform(kinect::GestureShapes::RaiseHand(), 0.1);
+    builder.Distract(0.3);
+  }
+  transform::TransformConfig config;
+  std::vector<Event> events;
+  events.reserve(builder.frames().size());
+  for (const kinect::SkeletonFrame& frame : builder.frames()) {
+    events.push_back(
+        kinect::FrameToEvent(transform::TransformFrame(frame, config)));
+  }
+  return events;
+}
+
+/// Learns a gesture definition from synthesized recordings, reading the
+/// raw "kinect" stream (the workload above is already transformed).
+core::GestureDefinition Train(const kinect::GestureShape& shape,
+                              uint64_t seed) {
+  core::GestureLearner learner(shape.name, shape.InvolvedJoints());
+  for (int i = 0; i < 3; ++i) {
+    std::vector<kinect::SkeletonFrame> frames = kinect::SynthesizeSample(
+        kinect::UserProfile(), shape, seed + static_cast<uint64_t>(i));
+    for (kinect::SkeletonFrame& frame : frames) {
+      frame = transform::TransformFrame(frame, transform::TransformConfig());
+    }
+    Status status = learner.AddSample(frames);
+    EPL_CHECK(status.ok()) << status;
+  }
+  Result<core::GestureDefinition> definition = learner.Learn();
+  EPL_CHECK(definition.ok()) << definition.status();
+  definition->source_stream = "kinect";
+  return std::move(definition).value();
+}
+
+/// `count` deployed queries derived from learned definitions: variants of
+/// each base gesture with slightly jittered windows, so queries are mostly
+/// distinct yet all fire on the workload. Every third variant repeats the
+/// base exactly, exercising cross-pattern predicate dedup.
+std::vector<core::GestureDefinition> TrainedDefinitions(int count) {
+  std::vector<core::GestureDefinition> bases;
+  bases.push_back(Train(kinect::GestureShapes::SwipeRight(), 100));
+  bases.push_back(Train(kinect::GestureShapes::RaiseHand(), 200));
+  std::vector<core::GestureDefinition> definitions;
+  definitions.reserve(static_cast<size_t>(count));
+  for (int q = 0; q < count; ++q) {
+    core::GestureDefinition variant = bases[q % bases.size()];
+    variant.name = variant.name + "_" + std::to_string(q);
+    double jitter = 4.0 * ((q / 2) % 3);
+    for (core::PoseWindow& pose : variant.poses) {
+      for (auto& [joint, window] : pose.joints) {
+        (void)joint;
+        window.center.y += jitter;
+      }
+    }
+    definitions.push_back(std::move(variant));
+  }
+  return definitions;
+}
+
+std::vector<query::CompiledQuery> CompileQueries(
+    const std::vector<core::GestureDefinition>& definitions) {
+  std::vector<query::CompiledQuery> compiled;
+  compiled.reserve(definitions.size() + 1);
+  for (const core::GestureDefinition& definition : definitions) {
+    Result<query::ParsedQuery> parsed = core::GenerateQuery(definition);
+    EPL_CHECK(parsed.ok()) << parsed.status();
+    Result<query::CompiledQuery> query =
+        query::CompileQuery(*parsed, kinect::KinectSchema());
+    EPL_CHECK(query.ok()) << query.status();
+    compiled.push_back(std::move(query).value());
+  }
+  return compiled;
+}
+
+/// A minimal 2-pose definition for deployment plumbing tests (does not
+/// need to fire on the workload).
+core::GestureDefinition SyntheticDefinition(const std::string& name,
+                                            const std::string& source) {
+  core::GestureDefinition definition;
+  definition.name = name;
+  definition.source_stream = source;
+  definition.joints = {kinect::JointId::kRightHand};
+  for (int i = 0; i < 2; ++i) {
+    core::PoseWindow pose;
+    core::JointWindow window;
+    window.center = Vec3(640.0 * i, 150.0, -150.0);
+    window.half_width = Vec3(60, 60, 60);
+    pose.joints[kinect::JointId::kRightHand] = window;
+    pose.max_gap = i == 0 ? 0 : kSecond;
+    definition.poses.push_back(pose);
+  }
+  return definition;
+}
+
+/// A pattern whose first pose is NOT interval-decomposable (a disjunction
+/// of two lateral zones), exercising the bank's fallback path.
+query::CompiledQuery CompileFancyQuery() {
+  ExprPtr zones = Expr::Binary(
+      BinaryOp::kOr, Expr::RangePredicate("rHand_x", -300, 150),
+      Expr::RangePredicate("rHand_x", 300, 150));
+  std::vector<PatternExprPtr> children;
+  children.push_back(PatternExpr::Pose("kinect", std::move(zones)));
+  children.push_back(PatternExpr::Pose(
+      "kinect", Expr::RangePredicate("rHand_y", 150, 120)));
+  query::ParsedQuery parsed;
+  parsed.name = "fancy";
+  parsed.pattern =
+      PatternExpr::Sequence(std::move(children), 2 * kSecond);
+  Result<query::CompiledQuery> query =
+      query::CompileQuery(parsed, kinect::KinectSchema());
+  EPL_CHECK(query.ok()) << query.status();
+  return std::move(query).value();
+}
+
+std::vector<TimePoint> Flatten(const std::vector<PatternMatch>& matches) {
+  std::vector<TimePoint> flat;
+  for (const PatternMatch& match : matches) {
+    flat.insert(flat.end(), match.state_times.begin(),
+                match.state_times.end());
+    flat.push_back(-1);  // separator
+  }
+  return flat;
+}
+
+class MultiMatcherEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MultiMatcherEquivalence, MatchesIndependentMatchers) {
+  const int seed = std::get<0>(GetParam());
+  const bool exhaustive = std::get<1>(GetParam()) != 0;
+
+  std::vector<query::CompiledQuery> queries =
+      CompileQueries(TrainedDefinitions(12));
+  queries.push_back(CompileFancyQuery());
+
+  MatcherOptions options;
+  options.mode = exhaustive ? MatcherOptions::Mode::kExhaustive
+                            : MatcherOptions::Mode::kDominant;
+  MultiPatternMatcher multi(options);
+  std::vector<std::unique_ptr<NfaMatcher>> independent;
+  for (const query::CompiledQuery& query : queries) {
+    multi.AddPattern(&query.pattern);
+    independent.push_back(
+        std::make_unique<NfaMatcher>(&query.pattern, options));
+  }
+
+  std::vector<std::vector<PatternMatch>> multi_matches(queries.size());
+  std::vector<std::vector<PatternMatch>> independent_matches(queries.size());
+  std::vector<MultiPatternMatcher::MultiMatch> scratch;
+  for (const Event& event : Workload(static_cast<uint64_t>(seed))) {
+    scratch.clear();
+    multi.Process(event, &scratch);
+    for (MultiPatternMatcher::MultiMatch& match : scratch) {
+      multi_matches[match.pattern_index].push_back(std::move(match.match));
+    }
+    for (size_t q = 0; q < queries.size(); ++q) {
+      independent[q]->Process(event, &independent_matches[q]);
+    }
+  }
+
+  // The chain queries are all served by the interval index; only the
+  // disjunction pose of the fancy query falls back to its program.
+  EXPECT_EQ(multi.bank().num_fallback(), 1);
+  EXPECT_GT(multi.bank().num_decomposable(), 0);
+
+  size_t total = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(Flatten(multi_matches[q]), Flatten(independent_matches[q]))
+        << "query " << queries[q].name;
+    // The fused matchers never ran an ExprProgram themselves.
+    EXPECT_EQ(multi.matcher(static_cast<int>(q)).stats()
+                  .predicate_evaluations,
+              0u);
+    total += multi_matches[q].size();
+  }
+  // The workload must actually trigger matches for the test to mean
+  // anything.
+  EXPECT_GT(total, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndModes, MultiMatcherEquivalence,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Values(0, 1)));
+
+struct DetectionRecord {
+  std::string name;
+  TimePoint time;
+  std::vector<TimePoint> pose_times;
+
+  bool operator==(const DetectionRecord& other) const {
+    return name == other.name && time == other.time &&
+           pose_times == other.pose_times;
+  }
+};
+
+TEST(MultiMatchOperatorTest, FusedDeploymentMatchesPerQueryDeployment) {
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(8);
+  std::vector<Event> events = Workload(11);
+
+  std::vector<DetectionRecord> per_query;
+  {
+    stream::StreamEngine engine;
+    EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+    for (const core::GestureDefinition& definition : definitions) {
+      EPL_ASSERT_OK(core::DeployGesture(
+                        &engine, definition,
+                        [&per_query](const Detection& detection) {
+                          per_query.push_back({detection.name,
+                                               detection.time,
+                                               detection.pose_times});
+                        })
+                        .status());
+    }
+    EXPECT_EQ(engine.deployment_count(), definitions.size());
+    for (const Event& event : events) {
+      EPL_ASSERT_OK(engine.Push("kinect", event));
+    }
+  }
+
+  std::vector<DetectionRecord> fused;
+  {
+    stream::StreamEngine engine;
+    EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+    EPL_ASSERT_OK(core::DeployGesturesFused(
+                      &engine, definitions,
+                      [&fused](const Detection& detection) {
+                        fused.push_back({detection.name, detection.time,
+                                         detection.pose_times});
+                      })
+                      .status());
+    // One subscriber serves all queries.
+    EXPECT_EQ(engine.deployment_count(), 1u);
+    for (const Event& event : events) {
+      EPL_ASSERT_OK(engine.Push("kinect", event));
+    }
+  }
+
+  EXPECT_GT(per_query.size(), 0u);
+  EXPECT_EQ(per_query.size(), fused.size());
+  ASSERT_TRUE(per_query == fused);
+}
+
+TEST(MultiMatchOperatorTest, RejectsMixedSourceStreams) {
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  std::vector<query::ParsedQuery> parsed;
+  core::GestureDefinition a = SyntheticDefinition("a", "kinect");
+  core::GestureDefinition b = SyntheticDefinition("b", "other");
+  EPL_ASSERT_OK_AND_ASSIGN(query::ParsedQuery qa, core::GenerateQuery(a));
+  EPL_ASSERT_OK_AND_ASSIGN(query::ParsedQuery qb, core::GenerateQuery(b));
+  parsed.push_back(std::move(qa));
+  parsed.push_back(std::move(qb));
+  Result<stream::DeploymentId> deployed =
+      query::DeployQueriesFused(&engine, parsed, nullptr);
+  ASSERT_FALSE(deployed.ok());
+  EXPECT_EQ(deployed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MultiMatchOperatorTest, UndeployRemovesAllQueries) {
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  std::vector<core::GestureDefinition> definitions = {
+      SyntheticDefinition("a", "kinect"), SyntheticDefinition("b", "kinect")};
+  EPL_ASSERT_OK_AND_ASSIGN(
+      stream::DeploymentId id,
+      core::DeployGesturesFused(&engine, definitions, nullptr));
+  EXPECT_EQ(engine.deployment_count(), 1u);
+  EPL_ASSERT_OK(engine.Undeploy(id));
+  EXPECT_EQ(engine.deployment_count(), 0u);
+}
+
+}  // namespace
+}  // namespace epl::cep

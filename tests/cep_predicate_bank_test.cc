@@ -1,0 +1,310 @@
+#include "cep/predicate_bank.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cep/pattern.h"
+#include "common/rng.h"
+#include "stream/schema.h"
+#include "test_util.h"
+
+namespace epl::cep {
+namespace {
+
+using stream::Event;
+using stream::Schema;
+
+Schema XyzSchema() {
+  return Schema(std::vector<std::string>{"x", "y", "z"});
+}
+
+ExprPtr Bound(ExprPtr expr) {
+  Status status = expr->Bind(XyzSchema());
+  EPL_CHECK(status.ok()) << status;
+  return expr;
+}
+
+std::map<int, PredicateBank::Interval> DecomposeOrDie(const Expr& expr) {
+  std::map<int, PredicateBank::Interval> intervals;
+  EXPECT_TRUE(PredicateBank::Decompose(expr, &intervals))
+      << expr.ToString();
+  return intervals;
+}
+
+CompiledPattern CompilePose(ExprPtr predicate) {
+  PatternExprPtr pose = PatternExpr::Pose("s", std::move(predicate));
+  Result<CompiledPattern> compiled =
+      CompiledPattern::Compile(*pose, XyzSchema());
+  EPL_CHECK(compiled.ok()) << compiled.status();
+  return std::move(compiled).value();
+}
+
+Event At(double x, double y = 0.0, double z = 0.0) {
+  return Event(0, {x, y, z});
+}
+
+TEST(DecomposeTest, RangePredicateBecomesOneInterval) {
+  ExprPtr expr = Bound(Expr::RangePredicate("x", 100, 50));
+  auto intervals = DecomposeOrDie(*expr);
+  ASSERT_EQ(intervals.size(), 1u);
+  const PredicateBank::Interval& interval = intervals.at(0);
+  // Bounds are refined to the exact inclusive floating-point boundary,
+  // within an ulp of the symbolic endpoints.
+  EXPECT_DOUBLE_EQ(interval.lo, 50.0);
+  EXPECT_DOUBLE_EQ(interval.hi, 150.0);
+  EXPECT_GT(interval.lo, 50.0);
+  EXPECT_LT(interval.hi, 150.0);
+}
+
+TEST(DecomposeTest, NegativeCenterRendersAsAddition) {
+  // RangePredicate folds a negative center into "x + 120".
+  ExprPtr expr = Bound(Expr::RangePredicate("x", -120, 50));
+  auto intervals = DecomposeOrDie(*expr);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_DOUBLE_EQ(intervals.at(0).lo, -170.0);
+  EXPECT_DOUBLE_EQ(intervals.at(0).hi, -70.0);
+}
+
+TEST(DecomposeTest, ConjunctionCoversAllFields) {
+  std::vector<ExprPtr> terms;
+  terms.push_back(Expr::RangePredicate("x", 10, 1));
+  terms.push_back(Expr::RangePredicate("y", 20, 2));
+  terms.push_back(Expr::RangePredicate("z", 30, 3));
+  ExprPtr expr = Bound(Expr::And(std::move(terms)));
+  auto intervals = DecomposeOrDie(*expr);
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_DOUBLE_EQ(intervals.at(1).lo, 18.0);
+  EXPECT_DOUBLE_EQ(intervals.at(2).hi, 33.0);
+}
+
+TEST(DecomposeTest, PlainComparisonsAndEquality) {
+  auto lt = DecomposeOrDie(*Bound(
+      Expr::Binary(BinaryOp::kLt, Expr::Field("x"), Expr::Constant(5))));
+  // x < 5 refines to the inclusive bound just below 5.
+  EXPECT_DOUBLE_EQ(lt.at(0).hi, 5.0);
+  EXPECT_LT(lt.at(0).hi, 5.0);
+
+  // Constant on the left mirrors the comparison: 5 < x is a lower bound.
+  auto gt = DecomposeOrDie(*Bound(
+      Expr::Binary(BinaryOp::kLt, Expr::Constant(5), Expr::Field("x"))));
+  EXPECT_DOUBLE_EQ(gt.at(0).lo, 5.0);
+
+  auto eq = DecomposeOrDie(*Bound(
+      Expr::Binary(BinaryOp::kEq, Expr::Field("x"), Expr::Constant(7))));
+  EXPECT_DOUBLE_EQ(eq.at(0).lo, 7.0);
+  EXPECT_DOUBLE_EQ(eq.at(0).hi, 7.0);
+}
+
+TEST(DecomposeTest, IntersectsBoundsOnOneField) {
+  ExprPtr expr = Bound(Expr::Binary(
+      BinaryOp::kAnd, Expr::RangePredicate("x", 100, 50),
+      Expr::RangePredicate("x", 120, 50)));
+  auto intervals = DecomposeOrDie(*expr);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_DOUBLE_EQ(intervals.at(0).lo, 70.0);
+  EXPECT_DOUBLE_EQ(intervals.at(0).hi, 150.0);
+}
+
+TEST(DecomposeTest, RejectsNonConjunctiveShapes) {
+  std::map<int, PredicateBank::Interval> intervals;
+  // Disjunction.
+  EXPECT_FALSE(PredicateBank::Decompose(
+      *Bound(Expr::Binary(BinaryOp::kOr, Expr::RangePredicate("x", 0, 1),
+                          Expr::RangePredicate("x", 10, 1))),
+      &intervals));
+  // Two fields in one atom.
+  EXPECT_FALSE(PredicateBank::Decompose(
+      *Bound(Expr::Binary(
+          BinaryOp::kLt,
+          Expr::Binary(BinaryOp::kAdd, Expr::Field("x"), Expr::Field("y")),
+          Expr::Constant(3))),
+      &intervals));
+  // abs(x) > c is a disjunction of rays.
+  EXPECT_FALSE(PredicateBank::Decompose(
+      *Bound(Expr::Binary(BinaryOp::kGt, Expr::Abs(Expr::Field("x")),
+                          Expr::Constant(2))),
+      &intervals));
+  // Function calls other than abs.
+  std::vector<ExprPtr> args;
+  args.push_back(Expr::Field("x"));
+  args.push_back(Expr::Field("y"));
+  args.push_back(Expr::Field("z"));
+  EXPECT_FALSE(PredicateBank::Decompose(
+      *Bound(Expr::Binary(BinaryOp::kLt,
+                          Expr::Call("hypot3", std::move(args)),
+                          Expr::Constant(10))),
+      &intervals));
+}
+
+TEST(PredicateBankTest, BoundaryStrictnessIsExact) {
+  std::vector<CompiledPattern> patterns;
+  patterns.push_back(CompilePose(
+      Expr::Binary(BinaryOp::kLt, Expr::Field("x"), Expr::Constant(5))));
+  patterns.push_back(CompilePose(
+      Expr::Binary(BinaryOp::kLe, Expr::Field("x"), Expr::Constant(5))));
+  patterns.push_back(CompilePose(
+      Expr::Binary(BinaryOp::kGt, Expr::Field("x"), Expr::Constant(5))));
+  patterns.push_back(CompilePose(
+      Expr::Binary(BinaryOp::kGe, Expr::Field("x"), Expr::Constant(5))));
+
+  PredicateBank bank;
+  std::vector<int> ids;
+  for (const CompiledPattern& pattern : patterns) {
+    ids.push_back(bank.RegisterPattern(pattern)[0]);
+  }
+  bank.Build();
+  EXPECT_EQ(bank.num_fallback(), 0);
+
+  bank.Evaluate(At(5.0));  // exactly on the shared endpoint
+  EXPECT_FALSE(bank.value(ids[0]));  // x < 5
+  EXPECT_TRUE(bank.value(ids[1]));   // x <= 5
+  EXPECT_FALSE(bank.value(ids[2]));  // x > 5
+  EXPECT_TRUE(bank.value(ids[3]));   // x >= 5
+
+  bank.Evaluate(At(4.999));
+  EXPECT_TRUE(bank.value(ids[0]));
+  EXPECT_TRUE(bank.value(ids[1]));
+  EXPECT_FALSE(bank.value(ids[2]));
+  EXPECT_FALSE(bank.value(ids[3]));
+}
+
+TEST(PredicateBankTest, DeduplicatesAcrossPatterns) {
+  CompiledPattern a = CompilePose(Expr::RangePredicate("x", 100, 50));
+  CompiledPattern b = CompilePose(Expr::RangePredicate("x", 100, 50));
+  CompiledPattern c = CompilePose(Expr::RangePredicate("x", 200, 50));
+  PredicateBank bank;
+  int id_a = bank.RegisterPattern(a)[0];
+  int id_b = bank.RegisterPattern(b)[0];
+  int id_c = bank.RegisterPattern(c)[0];
+  EXPECT_EQ(id_a, id_b);
+  EXPECT_NE(id_a, id_c);
+  EXPECT_EQ(bank.num_predicates(), 2);
+  EXPECT_EQ(bank.registered_states(), 3u);
+}
+
+TEST(PredicateBankTest, DedupKeyIsExactBeyondPrintPrecision) {
+  // Centers differing below Expr::ToString's 6-decimal print precision
+  // must NOT merge: the dedup key is an exact rendering.
+  CompiledPattern a = CompilePose(Expr::RangePredicate("x", 100.0, 50));
+  CompiledPattern b =
+      CompilePose(Expr::RangePredicate("x", 100.0 + 1e-9, 50));
+  PredicateBank bank;
+  int id_a = bank.RegisterPattern(a)[0];
+  int id_b = bank.RegisterPattern(b)[0];
+  EXPECT_NE(id_a, id_b);
+  EXPECT_EQ(bank.num_predicates(), 2);
+}
+
+TEST(PredicateBankTest, FallbackPredicatesUseTheirProgram) {
+  CompiledPattern fancy = CompilePose(Expr::Binary(
+      BinaryOp::kOr, Expr::RangePredicate("x", -100, 10),
+      Expr::RangePredicate("x", 100, 10)));
+  CompiledPattern plain = CompilePose(Expr::RangePredicate("y", 0, 1));
+  PredicateBank bank;
+  int fancy_id = bank.RegisterPattern(fancy)[0];
+  int plain_id = bank.RegisterPattern(plain)[0];
+  bank.Build();
+  EXPECT_EQ(bank.num_decomposable(), 1);
+  EXPECT_EQ(bank.num_fallback(), 1);
+
+  bank.Evaluate(At(-105.0, 0.5));
+  EXPECT_TRUE(bank.value(fancy_id));
+  EXPECT_TRUE(bank.value(plain_id));
+  bank.Evaluate(At(0.0, 5.0));
+  EXPECT_FALSE(bank.value(fancy_id));
+  EXPECT_FALSE(bank.value(plain_id));
+  EXPECT_EQ(bank.stats().events, 2u);
+  EXPECT_EQ(bank.stats().program_evaluations, 2u);  // fallback only
+}
+
+TEST(PredicateBankTest, EmptyIntersectionNeverMatches) {
+  CompiledPattern empty = CompilePose(Expr::Binary(
+      BinaryOp::kAnd,
+      Expr::Binary(BinaryOp::kLt, Expr::Field("x"), Expr::Constant(1)),
+      Expr::Binary(BinaryOp::kGt, Expr::Field("x"), Expr::Constant(2))));
+  PredicateBank bank;
+  int id = bank.RegisterPattern(empty)[0];
+  bank.Build();
+  EXPECT_EQ(bank.num_fallback(), 0);
+  for (double v : {0.0, 1.0, 1.5, 2.0, 3.0}) {
+    bank.Evaluate(At(v));
+    EXPECT_FALSE(bank.value(id)) << v;
+  }
+}
+
+TEST(PredicateBankTest, NanMatchesNothingConstrained) {
+  CompiledPattern on_x = CompilePose(Expr::RangePredicate("x", 0, 1e9));
+  CompiledPattern on_y = CompilePose(Expr::RangePredicate("y", 0, 10));
+  PredicateBank bank;
+  int x_id = bank.RegisterPattern(on_x)[0];
+  int y_id = bank.RegisterPattern(on_y)[0];
+  bank.Build();
+  bank.Evaluate(At(std::numeric_limits<double>::quiet_NaN(), 0.0));
+  EXPECT_FALSE(bank.value(x_id));
+  EXPECT_TRUE(bank.value(y_id));
+}
+
+// Property: for random range-conjunction predicates the interval index
+// agrees with ExprProgram evaluation everywhere, including exactly on
+// interval endpoints.
+class PredicateBankProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredicateBankProperty, AgreesWithProgramEvaluation) {
+  Rng rng(17 + static_cast<uint64_t>(GetParam()) * 1009);
+  const char* kFields[] = {"x", "y", "z"};
+
+  std::vector<CompiledPattern> patterns;
+  std::vector<double> endpoints;
+  for (int p = 0; p < 40; ++p) {
+    std::vector<ExprPtr> terms;
+    int num_terms = static_cast<int>(rng.UniformInt(1, 3));
+    for (int t = 0; t < num_terms; ++t) {
+      std::string field = kFields[rng.UniformInt(0, 2)];
+      double center = rng.Uniform(-100, 100);
+      double width = rng.Uniform(0.5, 50);
+      endpoints.push_back(center - width);
+      endpoints.push_back(center + width);
+      terms.push_back(Expr::RangePredicate(field, center, width));
+    }
+    patterns.push_back(CompilePose(Expr::And(std::move(terms))));
+  }
+
+  PredicateBank bank;
+  std::vector<int> ids;
+  for (const CompiledPattern& pattern : patterns) {
+    ids.push_back(bank.RegisterPattern(pattern)[0]);
+  }
+  bank.Build();
+  EXPECT_EQ(bank.num_fallback(), 0);
+
+  for (int e = 0; e < 300; ++e) {
+    std::vector<double> values(3);
+    for (double& v : values) {
+      if (rng.Bernoulli(0.3) && !endpoints.empty()) {
+        // Stab exactly on an interval endpoint.
+        v = endpoints[rng.UniformInt(
+            0, static_cast<int64_t>(endpoints.size()) - 1)];
+      } else {
+        v = rng.Uniform(-160, 160);
+      }
+    }
+    Event event(0, values);
+    bank.Evaluate(event);
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      EXPECT_EQ(bank.value(ids[p]),
+                patterns[p].predicate(0).EvalBool(event))
+          << "pattern " << p << ": "
+          << patterns[p].predicate_expr(0).ToString() << " at event "
+          << event.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateBankProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace epl::cep
