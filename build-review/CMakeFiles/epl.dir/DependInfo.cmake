@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/binding.cc" "CMakeFiles/epl.dir/src/apps/binding.cc.o" "gcc" "CMakeFiles/epl.dir/src/apps/binding.cc.o.d"
+  "/root/repo/src/apps/graph.cc" "CMakeFiles/epl.dir/src/apps/graph.cc.o" "gcc" "CMakeFiles/epl.dir/src/apps/graph.cc.o.d"
+  "/root/repo/src/apps/olap.cc" "CMakeFiles/epl.dir/src/apps/olap.cc.o" "gcc" "CMakeFiles/epl.dir/src/apps/olap.cc.o.d"
+  "/root/repo/src/cep/expr.cc" "CMakeFiles/epl.dir/src/cep/expr.cc.o" "gcc" "CMakeFiles/epl.dir/src/cep/expr.cc.o.d"
+  "/root/repo/src/cep/expr_program.cc" "CMakeFiles/epl.dir/src/cep/expr_program.cc.o" "gcc" "CMakeFiles/epl.dir/src/cep/expr_program.cc.o.d"
+  "/root/repo/src/cep/match_operator.cc" "CMakeFiles/epl.dir/src/cep/match_operator.cc.o" "gcc" "CMakeFiles/epl.dir/src/cep/match_operator.cc.o.d"
+  "/root/repo/src/cep/matcher.cc" "CMakeFiles/epl.dir/src/cep/matcher.cc.o" "gcc" "CMakeFiles/epl.dir/src/cep/matcher.cc.o.d"
+  "/root/repo/src/cep/multi_match_operator.cc" "CMakeFiles/epl.dir/src/cep/multi_match_operator.cc.o" "gcc" "CMakeFiles/epl.dir/src/cep/multi_match_operator.cc.o.d"
+  "/root/repo/src/cep/multi_matcher.cc" "CMakeFiles/epl.dir/src/cep/multi_matcher.cc.o" "gcc" "CMakeFiles/epl.dir/src/cep/multi_matcher.cc.o.d"
+  "/root/repo/src/cep/nfa.cc" "CMakeFiles/epl.dir/src/cep/nfa.cc.o" "gcc" "CMakeFiles/epl.dir/src/cep/nfa.cc.o.d"
+  "/root/repo/src/cep/pattern.cc" "CMakeFiles/epl.dir/src/cep/pattern.cc.o" "gcc" "CMakeFiles/epl.dir/src/cep/pattern.cc.o.d"
+  "/root/repo/src/cep/predicate_bank.cc" "CMakeFiles/epl.dir/src/cep/predicate_bank.cc.o" "gcc" "CMakeFiles/epl.dir/src/cep/predicate_bank.cc.o.d"
+  "/root/repo/src/common/csv.cc" "CMakeFiles/epl.dir/src/common/csv.cc.o" "gcc" "CMakeFiles/epl.dir/src/common/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/epl.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/epl.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/mat3.cc" "CMakeFiles/epl.dir/src/common/mat3.cc.o" "gcc" "CMakeFiles/epl.dir/src/common/mat3.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/epl.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/epl.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/epl.dir/src/common/status.cc.o" "gcc" "CMakeFiles/epl.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/epl.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/epl.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/common/time_util.cc" "CMakeFiles/epl.dir/src/common/time_util.cc.o" "gcc" "CMakeFiles/epl.dir/src/common/time_util.cc.o.d"
+  "/root/repo/src/common/vec3.cc" "CMakeFiles/epl.dir/src/common/vec3.cc.o" "gcc" "CMakeFiles/epl.dir/src/common/vec3.cc.o.d"
+  "/root/repo/src/core/distance.cc" "CMakeFiles/epl.dir/src/core/distance.cc.o" "gcc" "CMakeFiles/epl.dir/src/core/distance.cc.o.d"
+  "/root/repo/src/core/gesture_definition.cc" "CMakeFiles/epl.dir/src/core/gesture_definition.cc.o" "gcc" "CMakeFiles/epl.dir/src/core/gesture_definition.cc.o.d"
+  "/root/repo/src/core/learner.cc" "CMakeFiles/epl.dir/src/core/learner.cc.o" "gcc" "CMakeFiles/epl.dir/src/core/learner.cc.o.d"
+  "/root/repo/src/core/merger.cc" "CMakeFiles/epl.dir/src/core/merger.cc.o" "gcc" "CMakeFiles/epl.dir/src/core/merger.cc.o.d"
+  "/root/repo/src/core/query_gen.cc" "CMakeFiles/epl.dir/src/core/query_gen.cc.o" "gcc" "CMakeFiles/epl.dir/src/core/query_gen.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "CMakeFiles/epl.dir/src/core/sampler.cc.o" "gcc" "CMakeFiles/epl.dir/src/core/sampler.cc.o.d"
+  "/root/repo/src/core/window.cc" "CMakeFiles/epl.dir/src/core/window.cc.o" "gcc" "CMakeFiles/epl.dir/src/core/window.cc.o.d"
+  "/root/repo/src/gesturedb/serialization.cc" "CMakeFiles/epl.dir/src/gesturedb/serialization.cc.o" "gcc" "CMakeFiles/epl.dir/src/gesturedb/serialization.cc.o.d"
+  "/root/repo/src/gesturedb/store.cc" "CMakeFiles/epl.dir/src/gesturedb/store.cc.o" "gcc" "CMakeFiles/epl.dir/src/gesturedb/store.cc.o.d"
+  "/root/repo/src/kinect/body_model.cc" "CMakeFiles/epl.dir/src/kinect/body_model.cc.o" "gcc" "CMakeFiles/epl.dir/src/kinect/body_model.cc.o.d"
+  "/root/repo/src/kinect/gesture_shapes.cc" "CMakeFiles/epl.dir/src/kinect/gesture_shapes.cc.o" "gcc" "CMakeFiles/epl.dir/src/kinect/gesture_shapes.cc.o.d"
+  "/root/repo/src/kinect/sensor.cc" "CMakeFiles/epl.dir/src/kinect/sensor.cc.o" "gcc" "CMakeFiles/epl.dir/src/kinect/sensor.cc.o.d"
+  "/root/repo/src/kinect/skeleton.cc" "CMakeFiles/epl.dir/src/kinect/skeleton.cc.o" "gcc" "CMakeFiles/epl.dir/src/kinect/skeleton.cc.o.d"
+  "/root/repo/src/kinect/synthesizer.cc" "CMakeFiles/epl.dir/src/kinect/synthesizer.cc.o" "gcc" "CMakeFiles/epl.dir/src/kinect/synthesizer.cc.o.d"
+  "/root/repo/src/kinect/trace_io.cc" "CMakeFiles/epl.dir/src/kinect/trace_io.cc.o" "gcc" "CMakeFiles/epl.dir/src/kinect/trace_io.cc.o.d"
+  "/root/repo/src/optimize/overlap.cc" "CMakeFiles/epl.dir/src/optimize/overlap.cc.o" "gcc" "CMakeFiles/epl.dir/src/optimize/overlap.cc.o.d"
+  "/root/repo/src/optimize/simplify.cc" "CMakeFiles/epl.dir/src/optimize/simplify.cc.o" "gcc" "CMakeFiles/epl.dir/src/optimize/simplify.cc.o.d"
+  "/root/repo/src/query/compiler.cc" "CMakeFiles/epl.dir/src/query/compiler.cc.o" "gcc" "CMakeFiles/epl.dir/src/query/compiler.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "CMakeFiles/epl.dir/src/query/lexer.cc.o" "gcc" "CMakeFiles/epl.dir/src/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "CMakeFiles/epl.dir/src/query/parser.cc.o" "gcc" "CMakeFiles/epl.dir/src/query/parser.cc.o.d"
+  "/root/repo/src/query/unparser.cc" "CMakeFiles/epl.dir/src/query/unparser.cc.o" "gcc" "CMakeFiles/epl.dir/src/query/unparser.cc.o.d"
+  "/root/repo/src/stream/engine.cc" "CMakeFiles/epl.dir/src/stream/engine.cc.o" "gcc" "CMakeFiles/epl.dir/src/stream/engine.cc.o.d"
+  "/root/repo/src/stream/event.cc" "CMakeFiles/epl.dir/src/stream/event.cc.o" "gcc" "CMakeFiles/epl.dir/src/stream/event.cc.o.d"
+  "/root/repo/src/stream/runner.cc" "CMakeFiles/epl.dir/src/stream/runner.cc.o" "gcc" "CMakeFiles/epl.dir/src/stream/runner.cc.o.d"
+  "/root/repo/src/stream/schema.cc" "CMakeFiles/epl.dir/src/stream/schema.cc.o" "gcc" "CMakeFiles/epl.dir/src/stream/schema.cc.o.d"
+  "/root/repo/src/transform/rpy.cc" "CMakeFiles/epl.dir/src/transform/rpy.cc.o" "gcc" "CMakeFiles/epl.dir/src/transform/rpy.cc.o.d"
+  "/root/repo/src/transform/transform.cc" "CMakeFiles/epl.dir/src/transform/transform.cc.o" "gcc" "CMakeFiles/epl.dir/src/transform/transform.cc.o.d"
+  "/root/repo/src/transform/view.cc" "CMakeFiles/epl.dir/src/transform/view.cc.o" "gcc" "CMakeFiles/epl.dir/src/transform/view.cc.o.d"
+  "/root/repo/src/workflow/control_gestures.cc" "CMakeFiles/epl.dir/src/workflow/control_gestures.cc.o" "gcc" "CMakeFiles/epl.dir/src/workflow/control_gestures.cc.o.d"
+  "/root/repo/src/workflow/controller.cc" "CMakeFiles/epl.dir/src/workflow/controller.cc.o" "gcc" "CMakeFiles/epl.dir/src/workflow/controller.cc.o.d"
+  "/root/repo/src/workflow/motion_detector.cc" "CMakeFiles/epl.dir/src/workflow/motion_detector.cc.o" "gcc" "CMakeFiles/epl.dir/src/workflow/motion_detector.cc.o.d"
+  "/root/repo/src/workflow/recorder.cc" "CMakeFiles/epl.dir/src/workflow/recorder.cc.o" "gcc" "CMakeFiles/epl.dir/src/workflow/recorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_match_throughput.dir/bench_match_throughput.cc.o"
+  "CMakeFiles/bench_match_throughput.dir/bench_match_throughput.cc.o.d"
+  "bench_match_throughput"
+  "bench_match_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nfa.dir/bench_nfa.cc.o"
+  "CMakeFiles/bench_nfa.dir/bench_nfa.cc.o.d"
+  "bench_nfa"
+  "bench_nfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_confusion.dir/exp_confusion.cc.o"
+  "CMakeFiles/exp_confusion.dir/exp_confusion.cc.o.d"
+  "exp_confusion"
+  "exp_confusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

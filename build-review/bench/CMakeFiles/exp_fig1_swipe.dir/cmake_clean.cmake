@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig1_swipe.dir/exp_fig1_swipe.cc.o"
+  "CMakeFiles/exp_fig1_swipe.dir/exp_fig1_swipe.cc.o.d"
+  "exp_fig1_swipe"
+  "exp_fig1_swipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig1_swipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

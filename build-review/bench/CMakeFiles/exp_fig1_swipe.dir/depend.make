@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig1_swipe.
+# This may be replaced when dependencies are built.

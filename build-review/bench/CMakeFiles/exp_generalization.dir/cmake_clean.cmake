@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_generalization.dir/exp_generalization.cc.o"
+  "CMakeFiles/exp_generalization.dir/exp_generalization.cc.o.d"
+  "exp_generalization"
+  "exp_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_invariance.dir/exp_invariance.cc.o"
+  "CMakeFiles/exp_invariance.dir/exp_invariance.cc.o.d"
+  "exp_invariance"
+  "exp_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

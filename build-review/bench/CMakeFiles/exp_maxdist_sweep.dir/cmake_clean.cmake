@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_maxdist_sweep.dir/exp_maxdist_sweep.cc.o"
+  "CMakeFiles/exp_maxdist_sweep.dir/exp_maxdist_sweep.cc.o.d"
+  "exp_maxdist_sweep"
+  "exp_maxdist_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_maxdist_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_maxdist_sweep.
+# This may be replaced when dependencies are built.

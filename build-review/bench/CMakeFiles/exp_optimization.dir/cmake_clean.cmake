@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_optimization.dir/exp_optimization.cc.o"
+  "CMakeFiles/exp_optimization.dir/exp_optimization.cc.o.d"
+  "exp_optimization"
+  "exp_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_samples_accuracy.dir/exp_samples_accuracy.cc.o"
+  "CMakeFiles/exp_samples_accuracy.dir/exp_samples_accuracy.cc.o.d"
+  "exp_samples_accuracy"
+  "exp_samples_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_samples_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_expr_program_test.dir/cep_expr_program_test.cc.o"
+  "CMakeFiles/cep_expr_program_test.dir/cep_expr_program_test.cc.o.d"
+  "CMakeFiles/cep_expr_program_test.dir/test_util.cc.o"
+  "CMakeFiles/cep_expr_program_test.dir/test_util.cc.o.d"
+  "cep_expr_program_test"
+  "cep_expr_program_test.pdb"
+  "cep_expr_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_expr_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

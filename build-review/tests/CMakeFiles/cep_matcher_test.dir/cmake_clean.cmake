@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_matcher_test.dir/cep_matcher_test.cc.o"
+  "CMakeFiles/cep_matcher_test.dir/cep_matcher_test.cc.o.d"
+  "CMakeFiles/cep_matcher_test.dir/test_util.cc.o"
+  "CMakeFiles/cep_matcher_test.dir/test_util.cc.o.d"
+  "cep_matcher_test"
+  "cep_matcher_test.pdb"
+  "cep_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

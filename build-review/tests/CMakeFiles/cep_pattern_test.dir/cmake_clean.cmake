@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_pattern_test.dir/cep_pattern_test.cc.o"
+  "CMakeFiles/cep_pattern_test.dir/cep_pattern_test.cc.o.d"
+  "CMakeFiles/cep_pattern_test.dir/test_util.cc.o"
+  "CMakeFiles/cep_pattern_test.dir/test_util.cc.o.d"
+  "cep_pattern_test"
+  "cep_pattern_test.pdb"
+  "cep_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_predicate_bank_test.dir/cep_predicate_bank_test.cc.o"
+  "CMakeFiles/cep_predicate_bank_test.dir/cep_predicate_bank_test.cc.o.d"
+  "CMakeFiles/cep_predicate_bank_test.dir/test_util.cc.o"
+  "CMakeFiles/cep_predicate_bank_test.dir/test_util.cc.o.d"
+  "cep_predicate_bank_test"
+  "cep_predicate_bank_test.pdb"
+  "cep_predicate_bank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_predicate_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

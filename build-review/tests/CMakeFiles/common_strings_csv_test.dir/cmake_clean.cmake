@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_strings_csv_test.dir/common_strings_csv_test.cc.o"
+  "CMakeFiles/common_strings_csv_test.dir/common_strings_csv_test.cc.o.d"
+  "CMakeFiles/common_strings_csv_test.dir/test_util.cc.o"
+  "CMakeFiles/common_strings_csv_test.dir/test_util.cc.o.d"
+  "common_strings_csv_test"
+  "common_strings_csv_test.pdb"
+  "common_strings_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_strings_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_learner_test.dir/core_learner_test.cc.o"
+  "CMakeFiles/core_learner_test.dir/core_learner_test.cc.o.d"
+  "CMakeFiles/core_learner_test.dir/test_util.cc.o"
+  "CMakeFiles/core_learner_test.dir/test_util.cc.o.d"
+  "core_learner_test"
+  "core_learner_test.pdb"
+  "core_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

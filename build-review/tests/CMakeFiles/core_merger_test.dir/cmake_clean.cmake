@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_merger_test.dir/core_merger_test.cc.o"
+  "CMakeFiles/core_merger_test.dir/core_merger_test.cc.o.d"
+  "CMakeFiles/core_merger_test.dir/test_util.cc.o"
+  "CMakeFiles/core_merger_test.dir/test_util.cc.o.d"
+  "core_merger_test"
+  "core_merger_test.pdb"
+  "core_merger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_merger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

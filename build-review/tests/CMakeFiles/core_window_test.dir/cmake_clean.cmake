@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_window_test.dir/core_window_test.cc.o"
+  "CMakeFiles/core_window_test.dir/core_window_test.cc.o.d"
+  "CMakeFiles/core_window_test.dir/test_util.cc.o"
+  "CMakeFiles/core_window_test.dir/test_util.cc.o.d"
+  "core_window_test"
+  "core_window_test.pdb"
+  "core_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesturedb_test.dir/gesturedb_test.cc.o"
+  "CMakeFiles/gesturedb_test.dir/gesturedb_test.cc.o.d"
+  "CMakeFiles/gesturedb_test.dir/test_util.cc.o"
+  "CMakeFiles/gesturedb_test.dir/test_util.cc.o.d"
+  "gesturedb_test"
+  "gesturedb_test.pdb"
+  "gesturedb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesturedb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kinect_test.dir/kinect_test.cc.o"
+  "CMakeFiles/kinect_test.dir/kinect_test.cc.o.d"
+  "CMakeFiles/kinect_test.dir/test_util.cc.o"
+  "CMakeFiles/kinect_test.dir/test_util.cc.o.d"
+  "kinect_test"
+  "kinect_test.pdb"
+  "kinect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kinect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_lexer_test.dir/query_lexer_test.cc.o"
+  "CMakeFiles/query_lexer_test.dir/query_lexer_test.cc.o.d"
+  "CMakeFiles/query_lexer_test.dir/test_util.cc.o"
+  "CMakeFiles/query_lexer_test.dir/test_util.cc.o.d"
+  "query_lexer_test"
+  "query_lexer_test.pdb"
+  "query_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

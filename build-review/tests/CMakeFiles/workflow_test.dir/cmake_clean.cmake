@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_test.dir/test_util.cc.o"
+  "CMakeFiles/workflow_test.dir/test_util.cc.o.d"
+  "CMakeFiles/workflow_test.dir/workflow_test.cc.o"
+  "CMakeFiles/workflow_test.dir/workflow_test.cc.o.d"
+  "workflow_test"
+  "workflow_test.pdb"
+  "workflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

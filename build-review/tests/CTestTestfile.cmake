@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cep_expr_program_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cep_expr_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cep_matcher_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cep_multi_matcher_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cep_pattern_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cep_predicate_bank_test[1]_include.cmake")
+include("/root/repo/build-review/tests/common_math_test[1]_include.cmake")
+include("/root/repo/build-review/tests/common_status_test[1]_include.cmake")
+include("/root/repo/build-review/tests/common_strings_csv_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_learner_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_merger_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_sampler_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_window_test[1]_include.cmake")
+include("/root/repo/build-review/tests/gesturedb_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kinect_test[1]_include.cmake")
+include("/root/repo/build-review/tests/optimize_test[1]_include.cmake")
+include("/root/repo/build-review/tests/query_lexer_test[1]_include.cmake")
+include("/root/repo/build-review/tests/query_parser_test[1]_include.cmake")
+include("/root/repo/build-review/tests/stream_engine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/stream_queue_test[1]_include.cmake")
+include("/root/repo/build-review/tests/transform_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workflow_test[1]_include.cmake")
