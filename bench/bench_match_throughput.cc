@@ -36,24 +36,6 @@ core::GestureDefinition ChainDefinition(int poses) {
   return definition;
 }
 
-/// Pre-rendered kinect_t workload: repeated swipe performances.
-const std::vector<stream::Event>& Workload() {
-  static const std::vector<stream::Event>* events = [] {
-    auto* out = new std::vector<stream::Event>();
-    kinect::SessionBuilder builder(kinect::UserProfile(), 42);
-    for (int i = 0; i < 5; ++i) {
-      builder.Perform(kinect::GestureShapes::SwipeRight(), 0.2);
-      builder.Idle(0.3);
-    }
-    transform::TransformConfig config;
-    for (const kinect::SkeletonFrame& frame : builder.frames()) {
-      out->push_back(kinect::FrameToEvent(
-          transform::TransformFrame(frame, config)));
-    }
-    return out;
-  }();
-  return *events;
-}
 
 void BM_MatcherPosesPerGesture(benchmark::State& state) {
   int poses = static_cast<int>(state.range(0));
@@ -64,7 +46,7 @@ void BM_MatcherPosesPerGesture(benchmark::State& state) {
       query::CompileQuery(*parsed, kinect::KinectSchema());
   EPL_CHECK(compiled.ok());
   cep::NfaMatcher matcher(&compiled->pattern);
-  const std::vector<stream::Event>& events = Workload();
+  const std::vector<stream::Event>& events = bench::MatchWorkload();
   std::vector<cep::PatternMatch> matches;
   for (auto _ : state) {
     for (const stream::Event& event : events) {
@@ -99,7 +81,7 @@ void BM_EngineConcurrentQueries(benchmark::State& state) {
                   [&detections](const cep::Detection&) { ++detections; })
                   .ok());
   }
-  const std::vector<stream::Event>& events = Workload();
+  const std::vector<stream::Event>& events = bench::MatchWorkload();
   for (auto _ : state) {
     for (const stream::Event& event : events) {
       Status status = engine.Push("kinect", event);
@@ -119,42 +101,6 @@ BENCHMARK(BM_EngineConcurrentQueries)
     ->Arg(128)
     ->Arg(256);
 
-/// `count` learned gesture queries: variants of definitions trained from
-/// synthesized recordings, windows jittered so queries are mostly distinct.
-/// Reads the raw "kinect" stream (the workload is pre-transformed).
-std::vector<core::GestureDefinition> LearnedVariants(int count) {
-  static const std::vector<core::GestureDefinition>* bases = [] {
-    auto* out = new std::vector<core::GestureDefinition>();
-    out->push_back(bench::TrainDefinition(kinect::GestureShapes::SwipeRight(),
-                                          3, 100));
-    out->push_back(bench::TrainDefinition(kinect::GestureShapes::RaiseHand(),
-                                          3, 200));
-    return out;
-  }();
-  std::vector<core::GestureDefinition> definitions;
-  definitions.reserve(static_cast<size_t>(count));
-  for (int q = 0; q < count; ++q) {
-    core::GestureDefinition variant = (*bases)[q % bases->size()];
-    variant.name = variant.name + "_" + std::to_string(q);
-    variant.source_stream = "kinect";
-    // Small distinct 2-D jitter per query: the (dy, dx) pair alone is
-    // unique for q < 24*24 = 576 (dy cycles with q % 24, dx with
-    // (q/24) % 24), yet stays well inside the learned half-widths
-    // (>= 50 mm), so the benchmark measures many DISTINCT queries that
-    // all still fire on the workload.
-    double dy = 0.5 * (q % 24);
-    double dx = 0.5 * ((q / 24) % 24);
-    for (core::PoseWindow& pose : variant.poses) {
-      for (auto& [joint, window] : pose.joints) {
-        (void)joint;
-        window.center.y += dy;
-        window.center.x += dx;
-      }
-    }
-    definitions.push_back(std::move(variant));
-  }
-  return definitions;
-}
 
 /// One-shot cross-check (run once per benchmark registration): the fused
 /// deployment must produce exactly the detections of per-query deployment.
@@ -201,7 +147,8 @@ void VerifyFusedEquivalence(
 /// MatchOperator subscribers.
 void BM_PerQueryMatchersConcurrentQueries(benchmark::State& state) {
   int queries = static_cast<int>(state.range(0));
-  std::vector<core::GestureDefinition> definitions = LearnedVariants(queries);
+  std::vector<core::GestureDefinition> definitions =
+      bench::LearnedVariants(queries);
   stream::StreamEngine engine;
   EPL_CHECK(engine.RegisterStream("kinect", kinect::KinectSchema()).ok());
   uint64_t detections = 0;
@@ -211,7 +158,7 @@ void BM_PerQueryMatchersConcurrentQueries(benchmark::State& state) {
                   [&detections](const cep::Detection&) { ++detections; })
                   .ok());
   }
-  const std::vector<stream::Event>& events = Workload();
+  const std::vector<stream::Event>& events = bench::MatchWorkload();
   for (auto _ : state) {
     for (const stream::Event& event : events) {
       Status status = engine.Push("kinect", event);
@@ -228,9 +175,11 @@ BENCHMARK(BM_PerQueryMatchersConcurrentQueries)->Arg(16)->Arg(64)->Arg(256);
 /// The shared engine: one fused MultiMatchOperator over a PredicateBank.
 void BM_MultiMatcherConcurrentQueries(benchmark::State& state) {
   int queries = static_cast<int>(state.range(0));
-  std::vector<core::GestureDefinition> definitions = LearnedVariants(queries);
+  std::vector<core::GestureDefinition> definitions =
+      bench::LearnedVariants(queries);
   static bool verified = [] {
-    VerifyFusedEquivalence(LearnedVariants(16), Workload());
+    VerifyFusedEquivalence(bench::LearnedVariants(16),
+                           bench::MatchWorkload());
     return true;
   }();
   (void)verified;
@@ -241,7 +190,7 @@ void BM_MultiMatcherConcurrentQueries(benchmark::State& state) {
                 &engine, definitions,
                 [&detections](const cep::Detection&) { ++detections; })
                 .ok());
-  const std::vector<stream::Event>& events = Workload();
+  const std::vector<stream::Event>& events = bench::MatchWorkload();
   for (auto _ : state) {
     for (const stream::Event& event : events) {
       Status status = engine.Push("kinect", event);

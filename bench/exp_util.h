@@ -12,6 +12,7 @@
 #include "cep/detection.h"
 #include "common/logging.h"
 #include "core/learner.h"
+#include "kinect/gesture_shapes.h"
 #include "kinect/sensor.h"
 #include "kinect/synthesizer.h"
 #include "stream/engine.h"
@@ -70,6 +71,64 @@ inline std::vector<int> CountDetections(
   }
   EPL_CHECK(kinect::PlayFrames(&engine, frames).ok());
   return counts;
+}
+
+/// Pre-rendered kinect_t workload for the matching benchmarks: repeated
+/// swipe performances (raw camera space transformed per frame).
+inline const std::vector<stream::Event>& MatchWorkload() {
+  static const std::vector<stream::Event>* events = [] {
+    auto* out = new std::vector<stream::Event>();
+    kinect::SessionBuilder builder(kinect::UserProfile(), 42);
+    for (int i = 0; i < 5; ++i) {
+      builder.Perform(kinect::GestureShapes::SwipeRight(), 0.2);
+      builder.Idle(0.3);
+    }
+    transform::TransformConfig config;
+    for (const kinect::SkeletonFrame& frame : builder.frames()) {
+      out->push_back(
+          kinect::FrameToEvent(transform::TransformFrame(frame, config)));
+    }
+    return out;
+  }();
+  return *events;
+}
+
+/// `count` learned gesture queries for the matching benchmarks: variants
+/// of definitions trained from synthesized recordings, windows jittered so
+/// queries are mostly distinct. Reads the raw "kinect" stream
+/// (MatchWorkload is pre-transformed).
+inline std::vector<core::GestureDefinition> LearnedVariants(int count) {
+  static const std::vector<core::GestureDefinition>* bases = [] {
+    auto* out = new std::vector<core::GestureDefinition>();
+    out->push_back(TrainDefinition(kinect::GestureShapes::SwipeRight(), 3,
+                                   100));
+    out->push_back(TrainDefinition(kinect::GestureShapes::RaiseHand(), 3,
+                                   200));
+    return out;
+  }();
+  std::vector<core::GestureDefinition> definitions;
+  definitions.reserve(static_cast<size_t>(count));
+  for (int q = 0; q < count; ++q) {
+    core::GestureDefinition variant = (*bases)[q % bases->size()];
+    variant.name = variant.name + "_" + std::to_string(q);
+    variant.source_stream = "kinect";
+    // Small distinct 2-D jitter per query: the (dy, dx) pair alone is
+    // unique for q < 24*24 = 576 (dy cycles with q % 24, dx with
+    // (q/24) % 24), yet stays well inside the learned half-widths
+    // (>= 50 mm), so the benchmarks measure many DISTINCT queries that
+    // all still fire on the workload.
+    double dy = 0.5 * (q % 24);
+    double dx = 0.5 * ((q / 24) % 24);
+    for (core::PoseWindow& pose : variant.poses) {
+      for (auto& [joint, window] : pose.joints) {
+        (void)joint;
+        window.center.y += dy;
+        window.center.x += dx;
+      }
+    }
+    definitions.push_back(std::move(variant));
+  }
+  return definitions;
 }
 
 /// A varied panel of test users (position / size / orientation).

@@ -1,22 +1,126 @@
 #include "cep/multi_match_operator.h"
 
+#include "common/logging.h"
+
 namespace epl::cep {
 
 MultiMatchOperator::MultiMatchOperator(MatcherOptions options)
     : matcher_(options) {}
 
+int MultiMatchOperator::FindQuery(int query_id) const {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i].id == query_id) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
 int MultiMatchOperator::AddQuery(QuerySpec spec) {
   Query query;
+  query.id = next_query_id_++;
   query.output_name = std::move(spec.output_name);
   query.pattern = std::make_unique<CompiledPattern>(std::move(spec.pattern));
   query.measures = std::move(spec.measures);
   query.callback = std::move(spec.callback);
-  int index = matcher_.AddPattern(query.pattern.get());
+  int id = query.id;
+  if (processing_) {
+    PendingOp op;
+    op.is_add = true;
+    op.query_id = id;
+    op.query = std::move(query);
+    pending_ops_.push_back(std::move(op));
+  } else {
+    ApplyAdd(std::move(query));
+  }
+  return id;
+}
+
+Status MultiMatchOperator::RemoveQuery(int query_id) {
+  bool known = FindQuery(query_id) >= 0;
+  if (!known) {
+    // The target may be an add deferred earlier in the same callback.
+    for (const PendingOp& op : pending_ops_) {
+      if (op.is_add && op.query_id == query_id) {
+        known = true;
+        break;
+      }
+    }
+  }
+  if (!known) {
+    return NotFoundError("unknown query id " + std::to_string(query_id));
+  }
+  if (processing_) {
+    PendingOp op;
+    op.query_id = query_id;
+    pending_ops_.push_back(std::move(op));
+  } else {
+    ApplyRemove(query_id);
+  }
+  return OkStatus();
+}
+
+Result<MultiMatchOperator::DetachedQuery> MultiMatchOperator::ExtractQuery(
+    int query_id) {
+  EPL_CHECK(!processing_) << "ExtractQuery from inside a detection callback";
+  int index = FindQuery(query_id);
+  if (index < 0) {
+    return NotFoundError("unknown query id " + std::to_string(query_id));
+  }
+  Query& query = queries_[index];
+  DetachedQuery detached;
+  detached.id = query.id;
+  detached.output_name = std::move(query.output_name);
+  detached.pattern = std::move(query.pattern);
+  detached.measures = std::move(query.measures);
+  detached.callback = std::move(query.callback);
+  detached.matcher = matcher_.ExtractPattern(index);
+  queries_.erase(queries_.begin() + index);
+  return detached;
+}
+
+int MultiMatchOperator::AdoptQuery(DetachedQuery detached) {
+  EPL_CHECK(!processing_) << "AdoptQuery from inside a detection callback";
+  EPL_CHECK(detached.pattern != nullptr && detached.matcher != nullptr);
+  Query query;
+  query.id = next_query_id_++;
+  query.output_name = std::move(detached.output_name);
+  query.pattern = std::move(detached.pattern);
+  query.measures = std::move(detached.measures);
+  query.callback = std::move(detached.callback);
+  int id = query.id;
+  matcher_.AdoptPattern(std::move(detached.matcher));
   queries_.push_back(std::move(query));
-  return index;
+  return id;
+}
+
+void MultiMatchOperator::ApplyAdd(Query query) {
+  matcher_.AddPattern(query.pattern.get());
+  queries_.push_back(std::move(query));
+}
+
+void MultiMatchOperator::ApplyRemove(int query_id) {
+  int index = FindQuery(query_id);
+  if (index < 0) {
+    return;  // already removed by an earlier deferred op
+  }
+  matcher_.RemovePattern(index);
+  queries_.erase(queries_.begin() + index);
+}
+
+void MultiMatchOperator::ApplyPendingOps() {
+  for (PendingOp& op : pending_ops_) {
+    if (op.is_add) {
+      ApplyAdd(std::move(op.query));
+    } else {
+      ApplyRemove(op.query_id);
+    }
+  }
+  pending_ops_.clear();
 }
 
 Status MultiMatchOperator::Process(const stream::Event& event) {
+  processing_ = true;
   scratch_matches_.clear();
   matcher_.Process(event, &scratch_matches_);
   for (const MultiPatternMatcher::MultiMatch& multi_match : scratch_matches_) {
@@ -33,6 +137,8 @@ Status MultiMatchOperator::Process(const stream::Event& event) {
       query.callback(detection);
     }
   }
+  processing_ = false;
+  ApplyPendingOps();
   return Forward(event);
 }
 

@@ -1,11 +1,26 @@
 // MultiMatchOperator: one fused stream operator serving many gesture
-// queries.
+// queries, exchangeable at runtime.
 //
 // Deploying N gesture queries as N MatchOperator subscribers costs
 // O(N x states) predicate evaluations per event. This operator subscribes
 // once and routes every event through a MultiPatternMatcher, so all queries
 // share one PredicateBank evaluation; detections are dispatched to each
 // query's callback exactly as MatchOperator would.
+//
+// Queries can be added and removed while the stream is live (the paper's
+// "exchange gestures during runtime" demo): AddQuery/RemoveQuery between
+// events take effect immediately (the shared bank is rebuilt lazily by the
+// next event, see MultiPatternMatcher); calls made from inside a detection
+// callback are deferred until the current event finishes on the old query
+// set, then applied in call order.
+//
+// Threading contract: this operator is single-threaded like the
+// StreamEngine that owns it -- AddQuery/RemoveQuery must be serialized
+// with event processing (call them on the dispatch thread, e.g. from a
+// detection callback or between EngineRunner batches; an EngineRunner
+// producer thread must not mutate a live operator directly). For
+// exchanges from arbitrary threads use cep::ShardedEngine, whose control
+// operations are internally synchronized.
 
 #ifndef EPL_CEP_MULTI_MATCH_OPERATOR_H_
 #define EPL_CEP_MULTI_MATCH_OPERATOR_H_
@@ -17,6 +32,7 @@
 
 #include "cep/detection.h"
 #include "cep/multi_matcher.h"
+#include "common/result.h"
 #include "stream/operator.h"
 
 namespace epl::cep {
@@ -34,9 +50,35 @@ class MultiMatchOperator : public stream::Operator {
     DetectionCallback callback;
   };
 
-  /// Adds a query; returns its index. Must be called before the first
-  /// event is processed.
+  /// Adds a query and returns its stable id (monotonic, never reused).
+  /// Callable at any time, including from a detection callback (applied
+  /// after the current event).
   int AddQuery(QuerySpec spec);
+
+  /// Removes the query with stable id `query_id`, discarding its partial
+  /// matches. Callable at any time, including from a detection callback
+  /// (applied after the current event, which still sees the query).
+  Status RemoveQuery(int query_id);
+
+  /// A query detached together with its live matcher state, for adoption
+  /// by another MultiMatchOperator (ShardedEngine rebalancing). The
+  /// detached matcher keeps its partial runs and statistics.
+  struct DetachedQuery {
+    int id = 0;
+    std::string output_name;
+    std::unique_ptr<CompiledPattern> pattern;
+    std::vector<ExprProgram> measures;
+    DetectionCallback callback;
+    std::unique_ptr<NfaMatcher> matcher;
+  };
+
+  /// Detaches the query with stable id `query_id` without destroying its
+  /// run state. Must not be called from inside a detection callback.
+  Result<DetachedQuery> ExtractQuery(int query_id);
+
+  /// Adopts a query detached from another MultiMatchOperator, preserving
+  /// its partial runs; returns the query's new stable id here.
+  int AdoptQuery(DetachedQuery detached);
 
   Status Process(const stream::Event& event) override;
 
@@ -45,6 +87,10 @@ class MultiMatchOperator : public stream::Operator {
   }
 
   size_t num_queries() const { return queries_.size(); }
+  /// Stable id of the query at `query_index` (registration order).
+  int query_id(int query_index) const { return queries_[query_index].id; }
+  /// Index of the query with stable id `query_id`, or -1.
+  int FindQuery(int query_id) const;
   const std::string& output_name(int query_index) const {
     return queries_[query_index].output_name;
   }
@@ -58,6 +104,7 @@ class MultiMatchOperator : public stream::Operator {
 
  private:
   struct Query {
+    int id = 0;
     std::string output_name;
     // The NFA matcher holds a pointer to the pattern, so the pattern is
     // owned by a stable unique_ptr.
@@ -66,9 +113,23 @@ class MultiMatchOperator : public stream::Operator {
     DetectionCallback callback;
   };
 
+  /// One deferred mutation queued from inside a detection callback.
+  struct PendingOp {
+    bool is_add = false;
+    int query_id = 0;   // remove target, or the id pre-assigned to the add
+    Query query;        // add payload
+  };
+
+  void ApplyAdd(Query query);
+  void ApplyRemove(int query_id);
+  void ApplyPendingOps();
+
   MultiPatternMatcher matcher_;
-  std::vector<Query> queries_;
+  std::vector<Query> queries_;  // index-aligned with matcher_ entries
   std::vector<MultiPatternMatcher::MultiMatch> scratch_matches_;
+  std::vector<PendingOp> pending_ops_;
+  int next_query_id_ = 0;
+  bool processing_ = false;
 };
 
 }  // namespace epl::cep

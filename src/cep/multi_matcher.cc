@@ -7,25 +7,73 @@
 namespace epl::cep {
 
 MultiPatternMatcher::MultiPatternMatcher(MatcherOptions options)
-    : options_(options) {}
+    : options_(options), bank_(std::make_unique<PredicateBank>()) {}
 
 int MultiPatternMatcher::AddPattern(const CompiledPattern* pattern) {
   EPL_CHECK(pattern != nullptr);
-  EPL_CHECK(!bank_.built()) << "AddPattern after the first Process";
   Entry entry;
   entry.matcher = std::make_unique<NfaMatcher>(pattern, options_);
-  entry.bank_ids = bank_.RegisterPattern(*pattern);
+  if (!bank_->built() && !bank_dirty_) {
+    // Bank not frozen yet (no event processed since the last rebuild):
+    // register incrementally instead of scheduling a full rebuild.
+    entry.bank_ids = bank_->RegisterPattern(*pattern);
+  } else {
+    bank_dirty_ = true;
+  }
   entries_.push_back(std::move(entry));
   return static_cast<int>(entries_.size()) - 1;
 }
 
+void MultiPatternMatcher::RemovePattern(int index) {
+  ExtractPattern(index);
+}
+
+std::unique_ptr<NfaMatcher> MultiPatternMatcher::ExtractPattern(int index) {
+  EPL_CHECK(index >= 0 && static_cast<size_t>(index) < entries_.size());
+  std::unique_ptr<NfaMatcher> matcher = std::move(entries_[index].matcher);
+  entries_.erase(entries_.begin() + index);
+  // The bank still references the removed pattern's predicates; it must be
+  // rebuilt before it is consulted (or built) again.
+  bank_dirty_ = true;
+  return matcher;
+}
+
+int MultiPatternMatcher::AdoptPattern(std::unique_ptr<NfaMatcher> matcher) {
+  EPL_CHECK(matcher != nullptr);
+  Entry entry;
+  entry.matcher = std::move(matcher);
+  if (!bank_->built() && !bank_dirty_) {
+    entry.bank_ids = bank_->RegisterPattern(entry.matcher->pattern());
+  } else {
+    bank_dirty_ = true;
+  }
+  entries_.push_back(std::move(entry));
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+void MultiPatternMatcher::RebuildBank() {
+  auto bank = std::make_unique<PredicateBank>();
+  for (Entry& entry : entries_) {
+    entry.bank_ids = bank->RegisterPattern(entry.matcher->pattern());
+  }
+  // Swap: the old bank (and the predicate truth it served to in-flight
+  // events) stays untouched until this point; from the next event on,
+  // lookups hit the new generation.
+  bank_ = std::move(bank);
+  bank_dirty_ = false;
+  ++bank_generation_;
+}
+
 void MultiPatternMatcher::Process(const stream::Event& event,
                                   std::vector<MultiMatch>* out) {
-  bank_.Evaluate(event);
+  if (bank_dirty_) {
+    RebuildBank();
+  }
+  bank_->Evaluate(event);
   for (size_t i = 0; i < entries_.size(); ++i) {
     Entry& entry = entries_[i];
     scratch_matches_.clear();
-    entry.matcher->ProcessShared(event, bank_, entry.bank_ids.data(),
+    entry.matcher->ProcessShared(event, *bank_, entry.bank_ids.data(),
                                  &scratch_matches_);
     for (PatternMatch& match : scratch_matches_) {
       out->push_back(MultiMatch{static_cast<int>(i), std::move(match)});

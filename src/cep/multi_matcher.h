@@ -1,5 +1,5 @@
 // MultiPatternMatcher: many concurrent patterns over one shared
-// PredicateBank.
+// PredicateBank, with runtime add/remove.
 //
 // Each registered CompiledPattern keeps its own NfaMatcher (so run state,
 // policies and statistics behave exactly as if deployed standalone), but
@@ -8,10 +8,20 @@
 // slice of it via NfaMatcher::ProcessShared. Match output is therefore
 // identical to N independent matchers -- the equivalence property tests in
 // tests/cep_multi_matcher_test.cc assert exactly that.
+//
+// The pattern set is mutable at runtime. Add/Remove/Adopt/Extract mark the
+// bank dirty; the next Process() swaps in a freshly built bank (generation
+// counter incremented) before evaluating the event, so the event that is
+// currently in flight -- and any event processed before the mutation --
+// finishes entirely on the old bank. Matchers of surviving patterns keep
+// their partial runs across rebuilds, which makes a pattern's match stream
+// independent of its neighbours being exchanged (the churn property tests
+// in tests/cep_dynamic_queries_test.cc assert exactly that).
 
 #ifndef EPL_CEP_MULTI_MATCHER_H_
 #define EPL_CEP_MULTI_MATCHER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -29,9 +39,26 @@ class MultiPatternMatcher {
   MultiPatternMatcher& operator=(const MultiPatternMatcher&) = delete;
 
   /// Registers `pattern` (must outlive the matcher and share the schema of
-  /// every other registered pattern); returns the pattern's index. Must be
-  /// called before the first Process().
+  /// every other registered pattern); returns the pattern's index. May be
+  /// called at any time between Process() calls; the shared bank is
+  /// rebuilt lazily by the next Process().
   int AddPattern(const CompiledPattern* pattern);
+
+  /// Removes the pattern at `index`, discarding its partial runs. Indices
+  /// of subsequent patterns shift down by one (callers keep their own
+  /// stable ids; see MultiMatchOperator).
+  void RemovePattern(int index);
+
+  /// Detaches the pattern at `index` together with its live matcher (run
+  /// state, statistics), for adoption by another MultiPatternMatcher --
+  /// this is how ShardedEngine rebalances queries across shards without
+  /// losing partial matches. Indices of subsequent patterns shift down.
+  /// The returned matcher still points at the caller-owned pattern.
+  std::unique_ptr<NfaMatcher> ExtractPattern(int index);
+
+  /// Appends a matcher detached from another MultiPatternMatcher (its run
+  /// state is preserved); returns the pattern's index here.
+  int AdoptPattern(std::unique_ptr<NfaMatcher> matcher);
 
   /// One completed match of one registered pattern.
   struct MultiMatch {
@@ -41,6 +68,7 @@ class MultiPatternMatcher {
 
   /// Feeds one event to every pattern; appends completed matches to `out`
   /// (not cleared), grouped by pattern index in registration order.
+  /// Rebuilds the shared bank first if the pattern set changed.
   void Process(const stream::Event& event, std::vector<MultiMatch>* out);
 
   /// Discards all partial runs of every pattern.
@@ -50,7 +78,10 @@ class MultiPatternMatcher {
   const NfaMatcher& matcher(int pattern_index) const {
     return *entries_[pattern_index].matcher;
   }
-  const PredicateBank& bank() const { return bank_; }
+  const PredicateBank& bank() const { return *bank_; }
+  /// Number of bank swaps so far. Each mutation batch between two
+  /// Process() calls costs exactly one rebuild.
+  uint64_t bank_generation() const { return bank_generation_; }
 
  private:
   struct Entry {
@@ -59,8 +90,13 @@ class MultiPatternMatcher {
     std::vector<int> bank_ids;
   };
 
+  /// Re-registers every live pattern into a fresh bank and swaps it in.
+  void RebuildBank();
+
   MatcherOptions options_;
-  PredicateBank bank_;
+  std::unique_ptr<PredicateBank> bank_;
+  bool bank_dirty_ = false;
+  uint64_t bank_generation_ = 0;
   std::vector<Entry> entries_;
   std::vector<PatternMatch> scratch_matches_;
 };

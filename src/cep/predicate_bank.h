@@ -25,6 +25,13 @@
 // All registered patterns must be compiled against the same schema (they
 // are subscribers of one stream); the canonical-key dedup assumes field
 // names resolve to the same indices.
+//
+// A bank is write-once: registration freezes at the first Evaluate(). When
+// the deployed pattern set changes at runtime, the owner constructs a
+// fresh bank, re-registers the surviving patterns, and swaps it in between
+// events (MultiPatternMatcher::bank_generation counts the swaps); the
+// retired bank -- including the predicate truth it served for the event in
+// flight -- is never mutated by the exchange.
 
 #ifndef EPL_CEP_PREDICATE_BANK_H_
 #define EPL_CEP_PREDICATE_BANK_H_

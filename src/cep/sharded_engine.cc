@@ -1,0 +1,431 @@
+#include "cep/sharded_engine.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace epl::cep {
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options)
+    : options_(options) {
+  options_.num_shards = std::max(1, options_.num_shards);
+  options_.batch_size = std::max<size_t>(1, options_.batch_size);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  options_.max_query_skew = std::max(1, options_.max_query_skew);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(options_.matcher, options_.queue_capacity));
+  }
+  pending_batch_ = std::make_unique<Batch>();
+  pending_batch_->events.reserve(options_.batch_size);
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (running()) {
+    Stop().ok();
+  }
+}
+
+Status ShardedEngine::Start() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (running_) {
+    return FailedPreconditionError("sharded engine already started");
+  }
+  if (stopped_) {
+    return FailedPreconditionError("sharded engine cannot be restarted");
+  }
+  running_ = true;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->worker =
+        std::thread([this, raw = shard.get()] { WorkerLoop(raw); });
+  }
+  return OkStatus();
+}
+
+bool ShardedEngine::Push(stream::Event event) {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "Push from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (!running_) {
+    return false;
+  }
+  pending_batch_->events.push_back(std::move(event));
+  if (pending_batch_->events.size() >= options_.batch_size) {
+    FlushBatch();
+  }
+  return true;
+}
+
+Status ShardedEngine::Flush() {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "Flush from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (!running_) {
+    return FailedPreconditionError("sharded engine not running");
+  }
+  FlushBatch();
+  const uint64_t target = next_seq_;
+  {
+    std::unique_lock<std::mutex> lock(progress_mu_);
+    progress_cv_.wait(lock, [this, target] { return MinProcessed() >= target; });
+  }
+  DrainAndDeliver();
+  return FirstShardError();
+}
+
+Status ShardedEngine::Stop() {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "Stop from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (!running_) {
+    return FailedPreconditionError("sharded engine not running");
+  }
+  FlushBatch();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->queue.Close();
+  }
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->worker.joinable()) {
+      shard->worker.join();
+    }
+  }
+  running_ = false;
+  stopped_ = true;
+  DrainAndDeliver();
+  return FirstShardError();
+}
+
+int ShardedEngine::AddQuery(QuerySpec spec) {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "AddQuery from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  const bool live = running_;
+  if (live) {
+    PauseWorkers();
+    DrainAndDeliver();
+  }
+  const int id = next_query_id_++;
+  QueryInfo info;
+  info.callback = std::move(spec.callback);
+  info.shard = LeastLoadedShard();
+  Shard* shard = shards_[static_cast<size_t>(info.shard)].get();
+  spec.callback = MakeRecorder(shard, id);
+  info.local_id = shard->op.AddQuery(std::move(spec));
+  queries_.emplace(id, std::move(info));
+  Rebalance();
+  if (live) {
+    ResumeWorkers();
+  }
+  return id;
+}
+
+Status ShardedEngine::RemoveQuery(int query_id) {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "RemoveQuery from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return NotFoundError("unknown query id " + std::to_string(query_id));
+  }
+  const bool live = running_;
+  if (live) {
+    PauseWorkers();
+    // Deliver every match the query completed before this boundary.
+    DrainAndDeliver();
+  }
+  Shard* shard = shards_[static_cast<size_t>(it->second.shard)].get();
+  Status status = shard->op.RemoveQuery(it->second.local_id);
+  queries_.erase(it);
+  Rebalance();
+  if (live) {
+    ResumeWorkers();
+  }
+  return status;
+}
+
+void ShardedEngine::ResetMatchers() {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "ResetMatchers from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  const bool live = running_;
+  if (live) {
+    PauseWorkers();
+    DrainAndDeliver();
+  }
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->op.ResetMatchers();
+  }
+  if (live) {
+    ResumeWorkers();
+  }
+}
+
+uint64_t ShardedEngine::processed() const {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "processed from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return MinProcessed();
+}
+
+size_t ShardedEngine::num_queries() const {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "num_queries from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return queries_.size();
+}
+
+bool ShardedEngine::running() const {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "running from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return running_;
+}
+
+uint64_t ShardedEngine::rebalanced_queries() const {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "rebalanced_queries from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return rebalanced_queries_;
+}
+
+int ShardedEngine::shard_of(int query_id) const {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "shard_of from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? -1 : it->second.shard;
+}
+
+std::vector<size_t> ShardedEngine::shard_query_counts() const {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "shard_query_counts from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  std::vector<size_t> counts;
+  counts.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    counts.push_back(shard->op.num_queries());
+  }
+  return counts;
+}
+
+void ShardedEngine::WorkerLoop(Shard* shard) {
+  while (true) {
+    std::optional<Command> command = shard->queue.Pop();
+    if (!command.has_value()) {
+      return;  // closed and drained
+    }
+    if (command->batch == nullptr) {
+      ParkAtBarrier();
+      continue;
+    }
+    const Batch& batch = *command->batch;
+    for (size_t i = 0; i < batch.events.size(); ++i) {
+      shard->current_seq = batch.base_seq + i;
+      Status status = shard->op.Process(batch.events[i]);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        if (shard->status.ok()) {
+          shard->status = status;
+        }
+      }
+    }
+    if (!shard->local.empty()) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (PendingMatch& match : shard->local) {
+        shard->pending.push_back(std::move(match));
+      }
+      shard->local.clear();
+    }
+    shard->processed_events.store(batch.base_seq + batch.events.size(),
+                                  std::memory_order_release);
+    {
+      // Lock/unlock pairs the notify with the waiter's predicate check.
+      std::lock_guard<std::mutex> lock(progress_mu_);
+    }
+    progress_cv_.notify_all();
+  }
+}
+
+void ShardedEngine::ParkAtBarrier() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  ++parked_;
+  barrier_cv_.notify_all();
+  const uint64_t generation = resume_generation_;
+  barrier_cv_.wait(
+      lock, [this, generation] { return resume_generation_ != generation; });
+  --parked_;
+  barrier_cv_.notify_all();
+}
+
+void ShardedEngine::PauseWorkers() {
+  FlushBatch();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->queue.Push(Command{});  // sync token
+  }
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  barrier_cv_.wait(lock, [this] {
+    return parked_ == static_cast<int>(shards_.size());
+  });
+}
+
+void ShardedEngine::ResumeWorkers() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  ++resume_generation_;
+  barrier_cv_.notify_all();
+  // Wait for the full release so a back-to-back pause cannot mistake these
+  // parks for its own quiesce point.
+  barrier_cv_.wait(lock, [this] { return parked_ == 0; });
+}
+
+void ShardedEngine::FlushBatch() {
+  if (pending_batch_->events.empty()) {
+    return;
+  }
+  pending_batch_->base_seq = next_seq_;
+  next_seq_ += pending_batch_->events.size();
+  std::shared_ptr<const Batch> batch = std::move(pending_batch_);
+  pending_batch_ = std::make_unique<Batch>();
+  pending_batch_->events.reserve(options_.batch_size);
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->queue.Push(Command{batch});
+  }
+  DrainAndDeliver();
+}
+
+void ShardedEngine::DrainAndDeliver() {
+  const uint64_t watermark = MinProcessed();
+  merge_scratch_.clear();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    while (!shard->pending.empty() && shard->pending.front().seq < watermark) {
+      merge_scratch_.push_back(std::move(shard->pending.front()));
+      shard->pending.pop_front();
+    }
+  }
+  if (merge_scratch_.empty()) {
+    return;
+  }
+  // Stable: matches of one query for one event (exhaustive mode can emit
+  // several) come from a single shard in emission order.
+  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                   [](const PendingMatch& a, const PendingMatch& b) {
+                     return std::tie(a.seq, a.query_id) <
+                            std::tie(b.seq, b.query_id);
+                   });
+  delivering_thread_.store(std::this_thread::get_id(),
+                           std::memory_order_relaxed);
+  for (PendingMatch& match : merge_scratch_) {
+    auto it = queries_.find(match.query_id);
+    if (it != queries_.end() && it->second.callback) {
+      it->second.callback(match.detection);
+    }
+  }
+  delivering_thread_.store(std::thread::id(), std::memory_order_relaxed);
+  merge_scratch_.clear();
+}
+
+uint64_t ShardedEngine::MinProcessed() const {
+  uint64_t watermark = next_seq_;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    watermark = std::min(
+        watermark, shard->processed_events.load(std::memory_order_acquire));
+  }
+  return watermark;
+}
+
+int ShardedEngine::LeastLoadedShard() const {
+  int best = 0;
+  size_t best_count = shards_[0]->op.num_queries();
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    size_t count = shards_[i]->op.num_queries();
+    if (count < best_count) {
+      best = static_cast<int>(i);
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+void ShardedEngine::Rebalance() {
+  while (true) {
+    int min_shard = 0;
+    int max_shard = 0;
+    for (int i = 1; i < num_shards(); ++i) {
+      size_t count = shards_[static_cast<size_t>(i)]->op.num_queries();
+      if (count < shards_[static_cast<size_t>(min_shard)]->op.num_queries()) {
+        min_shard = i;
+      }
+      if (count > shards_[static_cast<size_t>(max_shard)]->op.num_queries()) {
+        max_shard = i;
+      }
+    }
+    size_t max_count =
+        shards_[static_cast<size_t>(max_shard)]->op.num_queries();
+    size_t min_count =
+        shards_[static_cast<size_t>(min_shard)]->op.num_queries();
+    if (max_count - min_count <= static_cast<size_t>(options_.max_query_skew)) {
+      return;
+    }
+    // Move the youngest query of the fullest shard; its live matcher (and
+    // partial runs) travel with it.
+    int victim = -1;
+    for (const auto& [query_id, info] : queries_) {
+      if (info.shard == max_shard) {
+        victim = std::max(victim, query_id);
+      }
+    }
+    EPL_CHECK(victim >= 0);
+    QueryInfo& info = queries_[victim];
+    Result<MultiMatchOperator::DetachedQuery> detached =
+        shards_[static_cast<size_t>(max_shard)]->op.ExtractQuery(
+            info.local_id);
+    EPL_CHECK(detached.ok()) << detached.status();
+    // The recorder points at the old shard's buffers; rebind it.
+    Shard* destination = shards_[static_cast<size_t>(min_shard)].get();
+    detached->callback = MakeRecorder(destination, victim);
+    info.local_id = destination->op.AdoptQuery(std::move(detached).value());
+    info.shard = min_shard;
+    ++rebalanced_queries_;
+  }
+}
+
+DetectionCallback ShardedEngine::MakeRecorder(Shard* shard, int query_id) {
+  return [shard, query_id](const Detection& detection) {
+    shard->local.push_back(
+        PendingMatch{shard->current_seq, query_id, detection});
+  };
+}
+
+Status ShardedEngine::FirstShardError() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!shard->status.ok()) {
+      return shard->status;
+    }
+  }
+  return OkStatus();
+}
+
+Status ShardedMatchOperator::Process(const stream::Event& event) {
+  if (!engine_.Push(event)) {
+    return FailedPreconditionError("sharded engine is stopped");
+  }
+  return Forward(event);
+}
+
+}  // namespace epl::cep

@@ -1,0 +1,263 @@
+// ShardedEngine: multi-core gesture matching by partitioning queries
+// across worker shards.
+//
+// One fused MultiMatchOperator (PR 1) removes the O(queries x states)
+// per-event predicate cost but still runs on a single thread. This layer
+// scales it across cores: N shards each own a full matching stack
+// (PredicateBank + MultiMatchOperator) and a private bounded input queue;
+// deployed queries are partitioned across the shards, so each shard
+// evaluates a bank that is ~1/N the size and runs ~1/N of the NFAs.
+//
+// Dataflow (single producer thread, e.g. a StreamEngine dispatch thread or
+// an EngineRunner worker):
+//
+//   Push(event) --> [batch of B events, one shared copy] --fan-out-->
+//     shard 0 queue --> worker 0: bank eval + NFA advance for its queries
+//     ...
+//     shard N-1 queue --> worker N-1
+//
+// Matches are recorded per shard as (event-seq, query-id, Detection) and
+// merged back on the producer thread in deterministic (event-seq,
+// query-id) order -- the exact order a single fused operator would emit,
+// regardless of shard count, worker timing, or rebalancing. Merging only
+// releases matches up to the fleet-wide watermark (the smallest event
+// sequence every shard has fully processed), so delivery is totally
+// ordered and reproducible; delivery happens during Push (batch
+// boundaries), Flush(), Stop(), and control operations.
+//
+// The query set is dynamic: AddQuery/RemoveQuery work while the stream is
+// live. Control operations quiesce the shards at an exact event boundary
+// (a sync token through every input queue), deliver all pending matches,
+// mutate, rebalance, and resume -- so every query observes a precise
+// prefix/suffix of the stream and surviving queries keep their partial
+// runs (rebalancing moves the live NfaMatcher between shards). The
+// equivalence property tests in tests/cep_dynamic_queries_test.cc pin
+// these semantics down.
+//
+// Threading contract: at most one producer may Push at a time, but
+// control operations (AddQuery/RemoveQuery/Flush/Stop/ResetMatchers) may
+// come from ANY thread -- a control mutex serializes them against the
+// producer, so an application thread can exchange gestures while an
+// EngineRunner worker drives the stream. Detection callbacks run on
+// whichever thread performed the delivering call and must not call back
+// into the engine.
+
+#ifndef EPL_CEP_SHARDED_ENGINE_H_
+#define EPL_CEP_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cep/multi_match_operator.h"
+#include "stream/bounded_queue.h"
+#include "stream/operator.h"
+
+namespace epl::cep {
+
+struct ShardedEngineOptions {
+  /// Number of worker shards (clamped to >= 1).
+  int num_shards = 1;
+  /// Events per fan-out batch. Batching amortizes queue locking: one
+  /// enqueue per shard per batch, sharing a single copy of the events.
+  /// Larger batches raise throughput, smaller ones lower match delivery
+  /// latency (a live 30 Hz stream wants ~1-8, an offline replay 32+).
+  size_t batch_size = 32;
+  /// Capacity of each shard's input queue, in batches. A full queue blocks
+  /// the producer (backpressure).
+  size_t queue_capacity = 64;
+  /// Matcher options shared by every shard.
+  MatcherOptions matcher;
+  /// After every add/remove, queries move from the fullest to the emptiest
+  /// shard until per-shard query counts differ by at most this much.
+  int max_query_skew = 1;
+};
+
+class ShardedEngine {
+ public:
+  using QuerySpec = MultiMatchOperator::QuerySpec;
+
+  explicit ShardedEngine(ShardedEngineOptions options = ShardedEngineOptions());
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Starts the shard workers. Queries may be added before or after.
+  Status Start();
+
+  /// Feeds one event (single producer thread). Events reach every shard;
+  /// each shard advances only its own queries. Returns false once stopped.
+  /// Completed matches ready for delivery are dispatched from inside Push
+  /// at batch boundaries, in (event-seq, query-id) order.
+  bool Push(stream::Event event);
+
+  /// Blocks until every shard has processed everything pushed so far and
+  /// delivers all pending matches. Error if not running.
+  Status Flush();
+
+  /// Drains the queues, joins the workers, delivers all remaining matches,
+  /// and returns the first shard error (if any). The engine cannot be
+  /// restarted.
+  Status Stop();
+
+  /// Adds a query (assigned to the least-loaded shard) and returns its
+  /// stable engine-wide id. Callable before Start or while live, from any
+  /// thread; when live, the shards are quiesced at an event boundary
+  /// first, so the query sees exactly the events pushed after this call
+  /// returns.
+  int AddQuery(QuerySpec spec);
+
+  /// Removes a query (any thread). When live, all of its matches up to
+  /// the quiesce boundary are delivered before it is discarded.
+  Status RemoveQuery(int query_id);
+
+  /// Discards the partial runs of every query (delivering already
+  /// completed matches first when live).
+  void ResetMatchers();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t num_queries() const;
+  bool running() const;
+  /// Events fully processed by every shard.
+  uint64_t processed() const;
+  /// Shard currently hosting `query_id`, or -1 if unknown.
+  int shard_of(int query_id) const;
+  /// Queries per shard, in shard order.
+  std::vector<size_t> shard_query_counts() const;
+  /// Queries moved between shards by rebalancing so far.
+  uint64_t rebalanced_queries() const;
+
+ private:
+  /// One completed match awaiting watermark release.
+  struct PendingMatch {
+    uint64_t seq = 0;
+    int query_id = 0;
+    Detection detection;
+  };
+
+  /// A fan-out unit: consecutive events [base_seq, base_seq + size), one
+  /// copy shared by every shard.
+  struct Batch {
+    uint64_t base_seq = 0;
+    std::vector<stream::Event> events;
+  };
+
+  /// Queue item: a batch to process, or (batch == nullptr) a sync token
+  /// telling the worker to park at the control barrier.
+  struct Command {
+    std::shared_ptr<const Batch> batch;
+  };
+
+  struct Shard {
+    Shard(const MatcherOptions& matcher_options, size_t queue_capacity)
+        : op(matcher_options), queue(queue_capacity) {}
+
+    MultiMatchOperator op;
+    stream::BoundedQueue<Command> queue;
+    std::thread worker;
+
+    // Worker-thread-only state while processing a batch.
+    uint64_t current_seq = 0;
+    std::vector<PendingMatch> local;
+
+    std::mutex mu;  // guards pending and status
+    std::deque<PendingMatch> pending;
+    Status status;
+
+    /// Events fully processed (matches published to `pending`).
+    std::atomic<uint64_t> processed_events{0};
+  };
+
+  struct QueryInfo {
+    int shard = -1;
+    int local_id = -1;  // id inside the shard's MultiMatchOperator
+    DetectionCallback callback;
+  };
+
+  void WorkerLoop(Shard* shard);
+  void ParkAtBarrier();
+  /// Flushes the partial batch, sends sync tokens, and waits until every
+  /// worker is parked (all prior events fully processed).
+  void PauseWorkers();
+  void ResumeWorkers();
+  /// Enqueues the pending partial batch to every shard.
+  void FlushBatch();
+  /// Delivers every merged match below the fleet watermark.
+  void DrainAndDeliver();
+  uint64_t MinProcessed() const;
+  int LeastLoadedShard() const;
+  void Rebalance();
+  DetectionCallback MakeRecorder(Shard* shard, int query_id);
+  Status FirstShardError();
+
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Serializes the producer (Push) against control operations
+  // (Add/Remove/Flush/Stop/Reset) and guards all state below it.
+  mutable std::mutex control_mu_;
+  std::unique_ptr<Batch> pending_batch_;
+  uint64_t next_seq_ = 0;
+  std::vector<PendingMatch> merge_scratch_;
+  // Id of the thread currently running user callbacks in DrainAndDeliver
+  // (default id: none); guards against re-entrant engine calls from
+  // inside a callback on that same thread. Checked before control_mu_
+  // (held at delivery time), so other threads simply block on the mutex.
+  std::atomic<std::thread::id> delivering_thread_{};
+
+  std::map<int, QueryInfo> queries_;
+  int next_query_id_ = 0;
+  uint64_t rebalanced_queries_ = 0;
+
+  bool running_ = false;
+  bool stopped_ = false;
+
+  // Worker progress (batch completions) and control barrier.
+  mutable std::mutex progress_mu_;
+  std::condition_variable progress_cv_;
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int parked_ = 0;
+  uint64_t resume_generation_ = 0;
+};
+
+/// Stream-operator adapter: deploy a ShardedEngine as a subscriber of a
+/// StreamEngine stream (the stream/runner.h ingestion path then feeds it
+/// fan-out style). Open/Close map to Start/Stop; every dispatched event is
+/// pushed into the sharded engine and forwarded downstream unchanged.
+class ShardedMatchOperator : public stream::Operator {
+ public:
+  explicit ShardedMatchOperator(
+      ShardedEngineOptions options = ShardedEngineOptions())
+      : engine_(options) {}
+
+  ShardedEngine& engine() { return engine_; }
+  const ShardedEngine& engine() const { return engine_; }
+
+  Status Open() override { return engine_.Start(); }
+  Status Process(const stream::Event& event) override;
+  /// Tolerates an engine the caller already stopped by hand.
+  Status Close() override {
+    return engine_.running() ? engine_.Stop() : OkStatus();
+  }
+
+  std::string name() const override {
+    return "sharded_match[" + std::to_string(engine_.num_shards()) +
+           " shards, " + std::to_string(engine_.num_queries()) + " queries]";
+  }
+
+ private:
+  ShardedEngine engine_;
+};
+
+}  // namespace epl::cep
+
+#endif  // EPL_CEP_SHARDED_ENGINE_H_

@@ -102,11 +102,11 @@ Result<stream::DeploymentId> DeployGesture(
                             matcher_options);
 }
 
-Result<stream::DeploymentId> DeployGesturesFused(
-    stream::StreamEngine* engine,
+namespace {
+
+Result<std::vector<query::ParsedQuery>> GenerateQueries(
     const std::vector<GestureDefinition>& definitions,
-    cep::DetectionCallback callback, const QueryGenConfig& config,
-    cep::MatcherOptions matcher_options) {
+    const QueryGenConfig& config) {
   std::vector<query::ParsedQuery> queries;
   queries.reserve(definitions.size());
   for (const GestureDefinition& definition : definitions) {
@@ -114,8 +114,53 @@ Result<stream::DeploymentId> DeployGesturesFused(
                          GenerateQuery(definition, config));
     queries.push_back(std::move(parsed));
   }
+  return queries;
+}
+
+}  // namespace
+
+Result<query::FusedDeployment> DeployGesturesFused(
+    stream::StreamEngine* engine,
+    const std::vector<GestureDefinition>& definitions,
+    cep::DetectionCallback callback, const QueryGenConfig& config,
+    cep::MatcherOptions matcher_options) {
+  EPL_ASSIGN_OR_RETURN(std::vector<query::ParsedQuery> queries,
+                       GenerateQueries(definitions, config));
   return query::DeployQueriesFused(engine, queries, std::move(callback),
                                    matcher_options);
+}
+
+Result<int> AddFusedGesture(stream::StreamEngine* engine,
+                            const query::FusedDeployment& deployment,
+                            const GestureDefinition& definition,
+                            cep::DetectionCallback callback,
+                            const QueryGenConfig& config) {
+  EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
+                       GenerateQuery(definition, config));
+  return query::AddFusedQuery(engine, deployment, parsed,
+                              std::move(callback));
+}
+
+Result<query::ShardedDeployment> DeployGesturesSharded(
+    stream::StreamEngine* engine,
+    const std::vector<GestureDefinition>& definitions,
+    cep::DetectionCallback callback, const QueryGenConfig& config,
+    cep::ShardedEngineOptions sharded_options) {
+  EPL_ASSIGN_OR_RETURN(std::vector<query::ParsedQuery> queries,
+                       GenerateQueries(definitions, config));
+  return query::DeployQueriesSharded(engine, queries, std::move(callback),
+                                     sharded_options);
+}
+
+Result<int> AddShardedGesture(stream::StreamEngine* engine,
+                              const query::ShardedDeployment& deployment,
+                              const GestureDefinition& definition,
+                              cep::DetectionCallback callback,
+                              const QueryGenConfig& config) {
+  EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
+                       GenerateQuery(definition, config));
+  return query::AddShardedQuery(engine, deployment, parsed,
+                                std::move(callback));
 }
 
 }  // namespace epl::core

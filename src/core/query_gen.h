@@ -8,10 +8,12 @@
 #define EPL_CORE_QUERY_GEN_H_
 
 #include <string>
+#include <vector>
 
 #include "cep/detection.h"
 #include "cep/matcher.h"
 #include "core/gesture_definition.h"
+#include "query/compiler.h"
 #include "query/parser.h"
 #include "stream/engine.h"
 
@@ -45,13 +47,40 @@ Result<stream::DeploymentId> DeployGesture(
 /// Generates queries for all `definitions` (which must share one source
 /// stream) and deploys them as ONE fused MultiMatchOperator sharing a
 /// predicate bank (query::DeployQueriesFused), instead of one match
-/// operator per gesture.
-Result<stream::DeploymentId> DeployGesturesFused(
+/// operator per gesture. The returned handle supports runtime gesture
+/// exchange (AddFusedGesture / FusedDeployment::op->RemoveQuery).
+Result<query::FusedDeployment> DeployGesturesFused(
     stream::StreamEngine* engine,
     const std::vector<GestureDefinition>& definitions,
     cep::DetectionCallback callback,
     const QueryGenConfig& config = QueryGenConfig(),
     cep::MatcherOptions matcher_options = cep::MatcherOptions());
+
+/// Generates and adds one gesture to a live fused deployment; returns the
+/// query's stable id (for FusedDeployment::op->RemoveQuery).
+Result<int> AddFusedGesture(stream::StreamEngine* engine,
+                            const query::FusedDeployment& deployment,
+                            const GestureDefinition& definition,
+                            cep::DetectionCallback callback,
+                            const QueryGenConfig& config = QueryGenConfig());
+
+/// Like DeployGesturesFused, but partitions the gestures across the worker
+/// shards of a cep::ShardedEngine (query::DeployQueriesSharded) for
+/// multi-core scaling; detections are merged back in deterministic
+/// (event-seq, query-id) order.
+Result<query::ShardedDeployment> DeployGesturesSharded(
+    stream::StreamEngine* engine,
+    const std::vector<GestureDefinition>& definitions,
+    cep::DetectionCallback callback,
+    const QueryGenConfig& config = QueryGenConfig(),
+    cep::ShardedEngineOptions sharded_options = cep::ShardedEngineOptions());
+
+/// Generates and adds one gesture to a live sharded deployment; returns
+/// the query's stable id (for ShardedDeployment::engine->RemoveQuery).
+Result<int> AddShardedGesture(
+    stream::StreamEngine* engine, const query::ShardedDeployment& deployment,
+    const GestureDefinition& definition, cep::DetectionCallback callback,
+    const QueryGenConfig& config = QueryGenConfig());
 
 }  // namespace epl::core
 

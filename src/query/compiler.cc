@@ -51,9 +51,11 @@ Result<stream::DeploymentId> DeployQuery(stream::StreamEngine* engine,
   return engine->Deploy(source, std::move(op));
 }
 
-Result<stream::DeploymentId> DeployQueriesFused(
-    stream::StreamEngine* engine, const std::vector<ParsedQuery>& parsed,
-    cep::DetectionCallback callback, cep::MatcherOptions options) {
+namespace {
+
+/// Validates that every query has a pattern and that all read one stream;
+/// returns that stream's name.
+Result<std::string> SharedSourceStream(const std::vector<ParsedQuery>& parsed) {
   if (parsed.empty()) {
     return InvalidArgumentError("fused deployment needs at least one query");
   }
@@ -71,21 +73,108 @@ Result<stream::DeploymentId> DeployQueriesFused(
           query_source + "' (query '" + query.name + "')");
     }
   }
+  return source;
+}
+
+cep::MultiMatchOperator::QuerySpec MakeQuerySpec(
+    CompiledQuery compiled, cep::DetectionCallback callback) {
+  cep::MultiMatchOperator::QuerySpec spec;
+  spec.output_name = std::move(compiled.name);
+  spec.pattern = std::move(compiled.pattern);
+  spec.measures = std::move(compiled.measures);
+  spec.callback = std::move(callback);
+  return spec;
+}
+
+/// Compiles one query destined for the live deployment `id`, validating
+/// that it reads the deployment's subscribed stream.
+Result<CompiledQuery> CompileForDeployment(stream::StreamEngine* engine,
+                                           stream::DeploymentId id,
+                                           const ParsedQuery& parsed) {
+  if (parsed.pattern == nullptr) {
+    return InvalidArgumentError("query '" + parsed.name + "' has no pattern");
+  }
+  EPL_ASSIGN_OR_RETURN(std::string deployed_stream,
+                       engine->DeploymentStream(id));
+  std::string source = parsed.pattern->SourceStream();
+  if (source != deployed_stream) {
+    return InvalidArgumentError("query '" + parsed.name + "' reads stream '" +
+                                source + "' but the deployment subscribes to '" +
+                                deployed_stream + "'");
+  }
+  EPL_ASSIGN_OR_RETURN(stream::Schema schema, engine->GetSchema(source));
+  return CompileQuery(parsed, schema);
+}
+
+}  // namespace
+
+Result<FusedDeployment> DeployQueriesFused(stream::StreamEngine* engine,
+                                           const std::vector<ParsedQuery>& parsed,
+                                           cep::DetectionCallback callback,
+                                           cep::MatcherOptions options) {
+  EPL_ASSIGN_OR_RETURN(std::string source, SharedSourceStream(parsed));
   Result<stream::Schema> schema = engine->GetSchema(source);
   if (!schema.ok()) {
     return schema.status().WithContext("fused queries read undeclared stream");
   }
   auto op = std::make_unique<cep::MultiMatchOperator>(options);
+  cep::MultiMatchOperator* raw = op.get();
   for (const ParsedQuery& query : parsed) {
     EPL_ASSIGN_OR_RETURN(CompiledQuery compiled, CompileQuery(query, *schema));
-    cep::MultiMatchOperator::QuerySpec spec;
-    spec.output_name = std::move(compiled.name);
-    spec.pattern = std::move(compiled.pattern);
-    spec.measures = std::move(compiled.measures);
-    spec.callback = callback;
-    op->AddQuery(std::move(spec));
+    op->AddQuery(MakeQuerySpec(std::move(compiled), callback));
   }
-  return engine->Deploy(source, std::move(op));
+  EPL_ASSIGN_OR_RETURN(stream::DeploymentId id,
+                       engine->Deploy(source, std::move(op)));
+  return FusedDeployment{id, raw};
+}
+
+Result<int> AddFusedQuery(stream::StreamEngine* engine,
+                          const FusedDeployment& deployment,
+                          const ParsedQuery& parsed,
+                          cep::DetectionCallback callback) {
+  if (deployment.op == nullptr) {
+    return InvalidArgumentError("fused deployment has no operator");
+  }
+  EPL_ASSIGN_OR_RETURN(
+      CompiledQuery compiled,
+      CompileForDeployment(engine, deployment.id, parsed));
+  return deployment.op->AddQuery(
+      MakeQuerySpec(std::move(compiled), std::move(callback)));
+}
+
+Result<ShardedDeployment> DeployQueriesSharded(
+    stream::StreamEngine* engine, const std::vector<ParsedQuery>& parsed,
+    cep::DetectionCallback callback, cep::ShardedEngineOptions options) {
+  EPL_ASSIGN_OR_RETURN(std::string source, SharedSourceStream(parsed));
+  Result<stream::Schema> schema = engine->GetSchema(source);
+  if (!schema.ok()) {
+    return schema.status().WithContext(
+        "sharded queries read undeclared stream");
+  }
+  auto op = std::make_unique<cep::ShardedMatchOperator>(options);
+  cep::ShardedEngine* sharded = &op->engine();
+  for (const ParsedQuery& query : parsed) {
+    EPL_ASSIGN_OR_RETURN(CompiledQuery compiled, CompileQuery(query, *schema));
+    sharded->AddQuery(MakeQuerySpec(std::move(compiled), callback));
+  }
+  // Deploy calls Open(), which starts the shard workers.
+  EPL_ASSIGN_OR_RETURN(stream::DeploymentId id,
+                       engine->Deploy(source, std::move(op)));
+  return ShardedDeployment{id, sharded};
+}
+
+Result<int> AddShardedQuery(stream::StreamEngine* engine,
+                            const ShardedDeployment& deployment,
+                            const ParsedQuery& parsed,
+                            cep::DetectionCallback callback) {
+  if (deployment.engine == nullptr) {
+    return InvalidArgumentError("sharded deployment has no engine");
+  }
+  EPL_ASSIGN_OR_RETURN(
+      CompiledQuery compiled,
+      CompileForDeployment(engine, deployment.id, parsed));
+  return deployment.engine->AddQuery(
+      MakeQuerySpec(std::move(compiled), std::move(callback)));
 }
 
 Result<stream::DeploymentId> DeployQueryText(stream::StreamEngine* engine,

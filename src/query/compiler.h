@@ -10,7 +10,9 @@
 
 #include "cep/detection.h"
 #include "cep/match_operator.h"
+#include "cep/multi_match_operator.h"
 #include "cep/nfa.h"
+#include "cep/sharded_engine.h"
 #include "query/parser.h"
 #include "stream/engine.h"
 
@@ -44,15 +46,64 @@ Result<stream::DeploymentId> DeployQueryText(stream::StreamEngine* engine,
                                              cep::DetectionCallback callback,
                                              cep::MatcherOptions options = {});
 
+/// Handle for a fused deployment: the engine-owned operator stays
+/// addressable so queries can be exchanged at runtime.
+struct FusedDeployment {
+  stream::DeploymentId id = 0;
+  /// Owned by the StreamEngine; valid until the deployment is undeployed.
+  cep::MultiMatchOperator* op = nullptr;
+};
+
 /// Compiles every query in `parsed` (all must read the same source stream)
 /// and deploys ONE fused MultiMatchOperator subscribing to that stream, so
 /// all queries share a PredicateBank evaluation per event instead of
 /// running independent match operators. Detections from every query go to
-/// `callback` (distinguished by Detection::name). Returns the single
-/// deployment handle; undeploying it removes all the queries at once.
-Result<stream::DeploymentId> DeployQueriesFused(
+/// `callback` (distinguished by Detection::name). Undeploying the returned
+/// handle removes all the queries at once; individual queries can be
+/// exchanged at runtime via AddFusedQuery / FusedDeployment::op.
+Result<FusedDeployment> DeployQueriesFused(
     stream::StreamEngine* engine, const std::vector<ParsedQuery>& parsed,
     cep::DetectionCallback callback, cep::MatcherOptions options = {});
+
+/// Compiles `parsed` against the deployment's stream and adds it to the
+/// live fused operator (paper's "exchange gestures during runtime");
+/// returns the query's stable id, usable with
+/// `deployment.op->RemoveQuery(id)`. Must be serialized with event
+/// processing (the StreamEngine is single-threaded); exchanges from other
+/// threads belong on the sharded path, whose control ops synchronize
+/// internally.
+Result<int> AddFusedQuery(stream::StreamEngine* engine,
+                          const FusedDeployment& deployment,
+                          const ParsedQuery& parsed,
+                          cep::DetectionCallback callback);
+
+/// Handle for a sharded deployment: the adapter operator is engine-owned,
+/// the ShardedEngine it wraps stays addressable for runtime add/remove,
+/// Flush, and statistics.
+struct ShardedDeployment {
+  stream::DeploymentId id = 0;
+  /// Owned by the deployed ShardedMatchOperator; valid until undeployed.
+  cep::ShardedEngine* engine = nullptr;
+};
+
+/// Like DeployQueriesFused, but the queries are partitioned across the
+/// worker shards of a ShardedEngine (multi-core scaling); the adapter
+/// operator subscribes to the shared source stream and fans events out.
+/// Detections are merged back in deterministic (event-seq, query-id)
+/// order and delivered during stream pushes; call
+/// `deployment.engine->Flush()` to force out everything pending.
+/// Undeploying stops the shard workers.
+Result<ShardedDeployment> DeployQueriesSharded(
+    stream::StreamEngine* engine, const std::vector<ParsedQuery>& parsed,
+    cep::DetectionCallback callback, cep::ShardedEngineOptions options = {});
+
+/// Compiles `parsed` against the deployment's stream and adds it to the
+/// live sharded engine; returns the query's stable id, usable with
+/// `deployment.engine->RemoveQuery(id)`.
+Result<int> AddShardedQuery(stream::StreamEngine* engine,
+                            const ShardedDeployment& deployment,
+                            const ParsedQuery& parsed,
+                            cep::DetectionCallback callback);
 
 }  // namespace epl::query
 

@@ -82,6 +82,14 @@ Status StreamEngine::Undeploy(DeploymentId id) {
   return OkStatus();
 }
 
+Result<std::string> StreamEngine::DeploymentStream(DeploymentId id) const {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return NotFoundError("unknown deployment id");
+  }
+  return it->second.node_name;
+}
+
 Status StreamEngine::Push(const std::string& stream_name, const Event& event) {
   EPL_ASSIGN_OR_RETURN(Node * node, FindNode(stream_name));
   if (node->is_view) {

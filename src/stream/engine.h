@@ -53,6 +53,11 @@ class StreamEngine {
   /// Detaches and destroys a previously deployed operator.
   Status Undeploy(DeploymentId id);
 
+  /// Name of the stream or view a deployment subscribes to (used by the
+  /// runtime add-query paths to validate that a new query reads the same
+  /// stream as the deployment it joins).
+  Result<std::string> DeploymentStream(DeploymentId id) const;
+
   /// Pushes one event into a base stream (error for views).
   Status Push(const std::string& stream_name, const Event& event);
 

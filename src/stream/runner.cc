@@ -37,16 +37,23 @@ Status EngineRunner::Stop() {
 }
 
 void EngineRunner::Run() {
+  // Drain in bursts: one queue lock round-trip per burst instead of one
+  // per event keeps the worker ahead of fast producers.
+  constexpr size_t kBurst = 64;
+  std::vector<std::pair<std::string, Event>> batch;
+  batch.reserve(kBurst);
   while (true) {
-    std::optional<std::pair<std::string, Event>> item = queue_.Pop();
-    if (!item.has_value()) {
+    batch.clear();
+    if (queue_.PopBatch(&batch, kBurst) == 0) {
       return;
     }
-    Status status = engine_->Push(item->first, item->second);
-    if (!status.ok() && worker_status_.ok()) {
-      worker_status_ = status;
+    for (std::pair<std::string, Event>& item : batch) {
+      Status status = engine_->Push(item.first, item.second);
+      if (!status.ok() && worker_status_.ok()) {
+        worker_status_ = status;
+      }
+      processed_.fetch_add(1);
     }
-    processed_.fetch_add(1);
   }
 }
 

@@ -13,99 +13,21 @@
 
 #include "cep/multi_match_operator.h"
 #include "cep/multi_matcher.h"
-#include "core/learner.h"
+#include "cep_workload_test_util.h"
 #include "core/query_gen.h"
 #include "kinect/gesture_shapes.h"
 #include "kinect/sensor.h"
-#include "kinect/synthesizer.h"
 #include "query/compiler.h"
 #include "test_util.h"
-#include "transform/transform.h"
 
 namespace epl::cep {
 namespace {
 
 using stream::Event;
+using testing::CompileDefinitions;
+using testing::TrainedDefinitions;
+using testing::Workload;
 
-/// Pre-rendered kinect workload: swipes interleaved with idle and
-/// distractor motion, in raw sensor space (queries below read "kinect").
-std::vector<Event> Workload(uint64_t seed) {
-  kinect::SessionBuilder builder(kinect::UserProfile(), seed);
-  for (int i = 0; i < 3; ++i) {
-    builder.Perform(kinect::GestureShapes::SwipeRight(), 0.2);
-    builder.Idle(0.2);
-    builder.Perform(kinect::GestureShapes::RaiseHand(), 0.1);
-    builder.Distract(0.3);
-  }
-  transform::TransformConfig config;
-  std::vector<Event> events;
-  events.reserve(builder.frames().size());
-  for (const kinect::SkeletonFrame& frame : builder.frames()) {
-    events.push_back(
-        kinect::FrameToEvent(transform::TransformFrame(frame, config)));
-  }
-  return events;
-}
-
-/// Learns a gesture definition from synthesized recordings, reading the
-/// raw "kinect" stream (the workload above is already transformed).
-core::GestureDefinition Train(const kinect::GestureShape& shape,
-                              uint64_t seed) {
-  core::GestureLearner learner(shape.name, shape.InvolvedJoints());
-  for (int i = 0; i < 3; ++i) {
-    std::vector<kinect::SkeletonFrame> frames = kinect::SynthesizeSample(
-        kinect::UserProfile(), shape, seed + static_cast<uint64_t>(i));
-    for (kinect::SkeletonFrame& frame : frames) {
-      frame = transform::TransformFrame(frame, transform::TransformConfig());
-    }
-    Status status = learner.AddSample(frames);
-    EPL_CHECK(status.ok()) << status;
-  }
-  Result<core::GestureDefinition> definition = learner.Learn();
-  EPL_CHECK(definition.ok()) << definition.status();
-  definition->source_stream = "kinect";
-  return std::move(definition).value();
-}
-
-/// `count` deployed queries derived from learned definitions: variants of
-/// each base gesture with slightly jittered windows, so queries are mostly
-/// distinct yet all fire on the workload. Every third variant repeats the
-/// base exactly, exercising cross-pattern predicate dedup.
-std::vector<core::GestureDefinition> TrainedDefinitions(int count) {
-  std::vector<core::GestureDefinition> bases;
-  bases.push_back(Train(kinect::GestureShapes::SwipeRight(), 100));
-  bases.push_back(Train(kinect::GestureShapes::RaiseHand(), 200));
-  std::vector<core::GestureDefinition> definitions;
-  definitions.reserve(static_cast<size_t>(count));
-  for (int q = 0; q < count; ++q) {
-    core::GestureDefinition variant = bases[q % bases.size()];
-    variant.name = variant.name + "_" + std::to_string(q);
-    double jitter = 4.0 * ((q / 2) % 3);
-    for (core::PoseWindow& pose : variant.poses) {
-      for (auto& [joint, window] : pose.joints) {
-        (void)joint;
-        window.center.y += jitter;
-      }
-    }
-    definitions.push_back(std::move(variant));
-  }
-  return definitions;
-}
-
-std::vector<query::CompiledQuery> CompileQueries(
-    const std::vector<core::GestureDefinition>& definitions) {
-  std::vector<query::CompiledQuery> compiled;
-  compiled.reserve(definitions.size() + 1);
-  for (const core::GestureDefinition& definition : definitions) {
-    Result<query::ParsedQuery> parsed = core::GenerateQuery(definition);
-    EPL_CHECK(parsed.ok()) << parsed.status();
-    Result<query::CompiledQuery> query =
-        query::CompileQuery(*parsed, kinect::KinectSchema());
-    EPL_CHECK(query.ok()) << query.status();
-    compiled.push_back(std::move(query).value());
-  }
-  return compiled;
-}
 
 /// A minimal 2-pose definition for deployment plumbing tests (does not
 /// need to fire on the workload).
@@ -165,7 +87,7 @@ TEST_P(MultiMatcherEquivalence, MatchesIndependentMatchers) {
   const bool exhaustive = std::get<1>(GetParam()) != 0;
 
   std::vector<query::CompiledQuery> queries =
-      CompileQueries(TrainedDefinitions(12));
+      CompileDefinitions(TrainedDefinitions(12));
   queries.push_back(CompileFancyQuery());
 
   MatcherOptions options;
@@ -217,16 +139,7 @@ INSTANTIATE_TEST_SUITE_P(SeedsAndModes, MultiMatcherEquivalence,
                          ::testing::Combine(::testing::Range(0, 3),
                                             ::testing::Values(0, 1)));
 
-struct DetectionRecord {
-  std::string name;
-  TimePoint time;
-  std::vector<TimePoint> pose_times;
-
-  bool operator==(const DetectionRecord& other) const {
-    return name == other.name && time == other.time &&
-           pose_times == other.pose_times;
-  }
-};
+using testing::DetectionRecord;
 
 TEST(MultiMatchOperatorTest, FusedDeploymentMatchesPerQueryDeployment) {
   std::vector<core::GestureDefinition> definitions = TrainedDefinitions(8);
@@ -285,7 +198,7 @@ TEST(MultiMatchOperatorTest, RejectsMixedSourceStreams) {
   EPL_ASSERT_OK_AND_ASSIGN(query::ParsedQuery qb, core::GenerateQuery(b));
   parsed.push_back(std::move(qa));
   parsed.push_back(std::move(qb));
-  Result<stream::DeploymentId> deployed =
+  Result<query::FusedDeployment> deployed =
       query::DeployQueriesFused(&engine, parsed, nullptr);
   ASSERT_FALSE(deployed.ok());
   EXPECT_EQ(deployed.status().code(), StatusCode::kInvalidArgument);
@@ -297,10 +210,10 @@ TEST(MultiMatchOperatorTest, UndeployRemovesAllQueries) {
   std::vector<core::GestureDefinition> definitions = {
       SyntheticDefinition("a", "kinect"), SyntheticDefinition("b", "kinect")};
   EPL_ASSERT_OK_AND_ASSIGN(
-      stream::DeploymentId id,
+      query::FusedDeployment deployment,
       core::DeployGesturesFused(&engine, definitions, nullptr));
   EXPECT_EQ(engine.deployment_count(), 1u);
-  EPL_ASSERT_OK(engine.Undeploy(id));
+  EPL_ASSERT_OK(engine.Undeploy(deployment.id));
   EXPECT_EQ(engine.deployment_count(), 0u);
 }
 

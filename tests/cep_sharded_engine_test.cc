@@ -1,0 +1,278 @@
+// ShardedEngine correctness: a sharded deployment must produce exactly the
+// detections of the single-threaded fused deployment -- same records, same
+// (event-seq, query-id) order -- for every shard count, batch size, and
+// matcher mode, fed directly or through the StreamEngine/EngineRunner
+// ingestion path. Plus shard bookkeeping: partitioning, rebalancing on
+// skew, lifecycle errors.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cep/multi_match_operator.h"
+#include "cep/sharded_engine.h"
+#include "cep_workload_test_util.h"
+#include "core/query_gen.h"
+#include "kinect/sensor.h"
+#include "query/compiler.h"
+#include "stream/engine.h"
+#include "stream/runner.h"
+#include "test_util.h"
+
+namespace epl::cep {
+namespace {
+
+using stream::Event;
+using testing::CompileDefinitions;
+using testing::DetectionRecord;
+using testing::MakeSpec;
+using testing::Recorder;
+using testing::TrainedDefinitions;
+using testing::Workload;
+
+/// Detections of the single-threaded fused operator over `events`:
+/// the ground truth order (event, then query registration order).
+std::vector<DetectionRecord> FusedBaseline(
+    const std::vector<core::GestureDefinition>& definitions,
+    const std::vector<Event>& events, MatcherOptions options) {
+  MultiMatchOperator op(options);
+  std::vector<DetectionRecord> records;
+  for (query::CompiledQuery& compiled : CompileDefinitions(definitions)) {
+    op.AddQuery(MakeSpec(std::move(compiled), Recorder(&records)));
+  }
+  for (const Event& event : events) {
+    EPL_EXPECT_OK(op.Process(event));
+  }
+  return records;
+}
+
+class ShardedEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, size_t, int>> {};
+
+TEST_P(ShardedEquivalence, MatchesFusedDeployment) {
+  const int num_shards = std::get<0>(GetParam());
+  const size_t batch_size = std::get<1>(GetParam());
+  const bool exhaustive = std::get<2>(GetParam()) != 0;
+
+  MatcherOptions matcher_options;
+  matcher_options.mode = exhaustive ? MatcherOptions::Mode::kExhaustive
+                                    : MatcherOptions::Mode::kDominant;
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(10);
+  std::vector<Event> events = Workload(7);
+  std::vector<DetectionRecord> expected =
+      FusedBaseline(definitions, events, matcher_options);
+  ASSERT_FALSE(expected.empty());
+
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  options.batch_size = batch_size;
+  options.matcher = matcher_options;
+  ShardedEngine sharded(options);
+  std::vector<DetectionRecord> actual;
+  for (query::CompiledQuery& compiled : CompileDefinitions(definitions)) {
+    sharded.AddQuery(MakeSpec(std::move(compiled), Recorder(&actual)));
+  }
+  EXPECT_EQ(sharded.num_queries(), definitions.size());
+  EPL_ASSERT_OK(sharded.Start());
+  for (const Event& event : events) {
+    ASSERT_TRUE(sharded.Push(event));
+  }
+  EPL_ASSERT_OK(sharded.Stop());
+
+  EXPECT_EQ(sharded.processed(), events.size());
+  ASSERT_TRUE(actual == expected)
+      << actual.size() << " vs " << expected.size() << " detections at "
+      << num_shards << " shards";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsBatchesModes, ShardedEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values<size_t>(1, 7, 64),
+                       ::testing::Values(0, 1)));
+
+TEST(ShardedEngineTest, QueriesSpreadAcrossShards) {
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  ShardedEngine sharded(options);
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(8);
+  std::vector<int> ids;
+  for (query::CompiledQuery& compiled : CompileDefinitions(definitions)) {
+    ids.push_back(sharded.AddQuery(MakeSpec(std::move(compiled), nullptr)));
+  }
+  EXPECT_EQ(sharded.shard_query_counts(), (std::vector<size_t>{2, 2, 2, 2}));
+  for (int id : ids) {
+    EXPECT_GE(sharded.shard_of(id), 0);
+  }
+  EXPECT_EQ(sharded.shard_of(99), -1);
+}
+
+TEST(ShardedEngineTest, RemovalSkewTriggersRebalance) {
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  ShardedEngine sharded(options);
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(8);
+  std::vector<int> ids;
+  for (query::CompiledQuery& compiled : CompileDefinitions(definitions)) {
+    ids.push_back(sharded.AddQuery(MakeSpec(std::move(compiled), nullptr)));
+  }
+  // Ids 0..3 land on shards 0..3 (least-loaded, lowest index first), then
+  // 4..7 wrap around; shard 0 hosts {0, 4}.
+  ASSERT_EQ(sharded.shard_of(ids[0]), 0);
+  ASSERT_EQ(sharded.shard_of(ids[4]), 0);
+
+  EPL_ASSERT_OK(sharded.RemoveQuery(ids[0]));
+  // Skew 1 is tolerated.
+  EXPECT_EQ(sharded.rebalanced_queries(), 0u);
+
+  EPL_ASSERT_OK(sharded.RemoveQuery(ids[4]));
+  // Shard 0 is empty, the rest host 2 each: one query moves over.
+  EXPECT_EQ(sharded.rebalanced_queries(), 1u);
+  std::vector<size_t> counts = sharded.shard_query_counts();
+  EXPECT_EQ(counts, (std::vector<size_t>{1, 1, 2, 2}));
+
+  EXPECT_EQ(sharded.RemoveQuery(ids[0]).code(), StatusCode::kNotFound);
+}
+
+TEST(ShardedEngineTest, ShardedDeploymentViaEngineRunner) {
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(6);
+  std::vector<Event> events = Workload(13);
+  std::vector<DetectionRecord> expected =
+      FusedBaseline(definitions, events, MatcherOptions());
+  ASSERT_FALSE(expected.empty());
+
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  std::vector<DetectionRecord> actual;
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.batch_size = 8;
+  EPL_ASSERT_OK_AND_ASSIGN(
+      query::ShardedDeployment deployment,
+      core::DeployGesturesSharded(&engine, definitions, Recorder(&actual),
+                                  core::QueryGenConfig(), options));
+  EXPECT_EQ(engine.deployment_count(), 1u);
+  EXPECT_TRUE(deployment.engine->running());
+
+  stream::EngineRunner runner(&engine);
+  EPL_ASSERT_OK(runner.Start());
+  for (const Event& event : events) {
+    ASSERT_TRUE(runner.Enqueue("kinect", event));
+  }
+  EPL_ASSERT_OK(runner.Stop());
+  EXPECT_EQ(runner.processed(), events.size());
+
+  EPL_ASSERT_OK(deployment.engine->Flush());
+  EXPECT_TRUE(actual == expected)
+      << actual.size() << " vs " << expected.size() << " detections";
+
+  // Undeploy stops the shard workers.
+  EPL_ASSERT_OK(engine.Undeploy(deployment.id));
+  EXPECT_EQ(engine.deployment_count(), 0u);
+}
+
+TEST(ShardedEngineTest, AddShardedGestureJoinsLiveDeployment) {
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(4);
+  std::vector<Event> events = Workload(21);
+
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  std::vector<DetectionRecord> records;
+  EPL_ASSERT_OK_AND_ASSIGN(
+      query::ShardedDeployment deployment,
+      core::DeployGesturesSharded(
+          &engine, {definitions[0], definitions[1]}, Recorder(&records)));
+
+  const size_t half = events.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    EPL_ASSERT_OK(engine.Push("kinect", events[i]));
+  }
+  EPL_ASSERT_OK_AND_ASSIGN(
+      int added, core::AddShardedGesture(&engine, deployment, definitions[2],
+                                         Recorder(&records)));
+  EXPECT_EQ(deployment.engine->num_queries(), 3u);
+  for (size_t i = half; i < events.size(); ++i) {
+    EPL_ASSERT_OK(engine.Push("kinect", events[i]));
+  }
+  EPL_ASSERT_OK(deployment.engine->Flush());
+  EXPECT_FALSE(records.empty());
+  EPL_ASSERT_OK(deployment.engine->RemoveQuery(added));
+  EXPECT_EQ(deployment.engine->num_queries(), 2u);
+
+  // A gesture reading another stream is rejected.
+  core::GestureDefinition other = definitions[3];
+  other.source_stream = "other";
+  Result<int> bad =
+      core::AddShardedGesture(&engine, deployment, other, nullptr);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedEngineTest, CrossThreadExchangeWhileStreaming) {
+  // An application thread exchanges queries while a producer thread
+  // streams: the control mutex must serialize them (timing-dependent
+  // interleaving, so this asserts invariants, not exact match sets; run
+  // under ASan/UBSan in CI). One query lives through the whole stream and
+  // must keep detecting.
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(6);
+  std::vector<Event> events = Workload(31);
+
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.batch_size = 4;
+  ShardedEngine sharded(options);
+  std::vector<DetectionRecord> survivor_records;
+  std::vector<query::CompiledQuery> compiled =
+      CompileDefinitions(definitions);
+  int survivor_id =
+      sharded.AddQuery(MakeSpec(std::move(compiled[0]),
+                                Recorder(&survivor_records)));
+  EPL_ASSERT_OK(sharded.Start());
+
+  std::thread producer([&sharded, &events] {
+    for (int round = 0; round < 3; ++round) {
+      for (const Event& event : events) {
+        ASSERT_TRUE(sharded.Push(event));
+      }
+    }
+  });
+  // Churn the remaining five definitions from this thread.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<int> ids;
+    for (size_t i = 1; i < definitions.size(); ++i) {
+      std::vector<query::CompiledQuery> one =
+          CompileDefinitions({definitions[i]});
+      ids.push_back(sharded.AddQuery(MakeSpec(std::move(one[0]), nullptr)));
+    }
+    for (int id : ids) {
+      EPL_EXPECT_OK(sharded.RemoveQuery(id));
+    }
+  }
+  producer.join();
+  EPL_ASSERT_OK(sharded.Stop());
+
+  EXPECT_EQ(sharded.num_queries(), 1u);
+  EXPECT_EQ(sharded.shard_of(survivor_id) >= 0, true);
+  // The survivor detected throughout (3 workload rounds of swipes).
+  EXPECT_GT(survivor_records.size(), 0u);
+}
+
+TEST(ShardedEngineTest, LifecycleErrors) {
+  ShardedEngine sharded;
+  EXPECT_EQ(sharded.Flush().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded.Stop().code(), StatusCode::kFailedPrecondition);
+  EPL_ASSERT_OK(sharded.Start());
+  EXPECT_EQ(sharded.Start().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(sharded.Push(Event(0, {})));
+  EPL_ASSERT_OK(sharded.Flush());
+  EPL_ASSERT_OK(sharded.Stop());
+  EXPECT_FALSE(sharded.Push(Event(1, {})));
+  EXPECT_EQ(sharded.Start().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace epl::cep

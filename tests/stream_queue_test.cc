@@ -30,6 +30,40 @@ TEST(BoundedQueueTest, TryPushRespectsCapacity) {
   EXPECT_TRUE(queue.TryPush(3));
 }
 
+TEST(BoundedQueueTest, PopBatchDrainsInFifoOrder) {
+  BoundedQueue<int> queue(10);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(queue.Push(i));
+  }
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 4), 4u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  // Appends without clearing; takes at most what is buffered.
+  EXPECT_EQ(queue.PopBatch(&batch, 100), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(BoundedQueueTest, PopBatchReturnsZeroWhenClosedAndDrained) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  queue.Close();
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 8), 1u);
+  EXPECT_EQ(queue.PopBatch(&batch, 8), 0u);
+}
+
+TEST(BoundedQueueTest, PopBatchUnblocksFullProducers) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  std::thread producer([&queue] { EXPECT_TRUE(queue.Push(3)); });
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 2), 2u);
+  producer.join();
+  EXPECT_EQ(queue.PopBatch(&batch, 2), 1u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(BoundedQueueTest, CloseUnblocksConsumer) {
   BoundedQueue<int> queue(4);
   std::optional<int> result = std::make_optional(0);
