@@ -97,6 +97,12 @@ class NfaMatcher {
   const CompiledPattern& pattern() const { return *pattern_; }
 
  private:
+  // The flattened multi-pattern runtime externalizes a fused pattern's
+  // dominant-mode run state (dominant_runs_/dominant_active_) and
+  // statistics into its columnar arena; Extract/Adopt move them back and
+  // forth so a standalone NfaMatcher stays the behavioral oracle.
+  friend class MultiPatternMatcher;
+
   struct Run {
     int state = 0;  // highest matched state index
     std::vector<TimePoint> times;

@@ -1,5 +1,6 @@
 #include "cep/multi_matcher.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -20,6 +21,8 @@ int MultiPatternMatcher::AddPattern(const CompiledPattern* pattern) {
   } else {
     bank_dirty_ = true;
   }
+  entry.counters.events_synced = arena_events_;
+  arena_dirty_ = true;
   entries_.push_back(std::move(entry));
   return static_cast<int>(entries_.size()) - 1;
 }
@@ -30,16 +33,29 @@ void MultiPatternMatcher::RemovePattern(int index) {
 
 std::unique_ptr<NfaMatcher> MultiPatternMatcher::ExtractPattern(int index) {
   EPL_CHECK(index >= 0 && static_cast<size_t>(index) < entries_.size());
-  std::unique_ptr<NfaMatcher> matcher = std::move(entries_[index].matcher);
+  Entry& entry = entries_[static_cast<size_t>(index)];
+  if (entry.in_arena) {
+    // The live run state and pending statistics move back into the
+    // matcher, which again becomes self-contained.
+    SyncRunState(entry);
+  }
+  SyncStats(entry);
+  std::unique_ptr<NfaMatcher> matcher = std::move(entry.matcher);
   entries_.erase(entries_.begin() + index);
   // The bank still references the removed pattern's predicates; it must be
-  // rebuilt before it is consulted (or built) again.
+  // rebuilt (and the arena with it) before it is consulted again.
   bank_dirty_ = true;
+  arena_dirty_ = true;
   return matcher;
 }
 
 int MultiPatternMatcher::AdoptPattern(std::unique_ptr<NfaMatcher> matcher) {
   EPL_CHECK(matcher != nullptr);
+  // The arena would execute the pattern under THIS matcher's mode and read
+  // only its dominant-run state; adopting across modes would silently drop
+  // exhaustive runs_ and coerce semantics, so fail loudly instead.
+  EPL_CHECK(matcher->options_.mode == options_.mode)
+      << "adopted matcher's mode differs from this MultiPatternMatcher's";
   Entry entry;
   entry.matcher = std::move(matcher);
   if (!bank_->built() && !bank_dirty_) {
@@ -47,6 +63,8 @@ int MultiPatternMatcher::AdoptPattern(std::unique_ptr<NfaMatcher> matcher) {
   } else {
     bank_dirty_ = true;
   }
+  entry.counters.events_synced = arena_events_;
+  arena_dirty_ = true;
   entries_.push_back(std::move(entry));
   return static_cast<int>(entries_.size()) - 1;
 }
@@ -61,7 +79,248 @@ void MultiPatternMatcher::RebuildBank() {
   // lookups hit the new generation.
   bank_ = std::move(bank);
   bank_dirty_ = false;
+  arena_dirty_ = true;
   ++bank_generation_;
+}
+
+void MultiPatternMatcher::BuildArena() {
+  EPL_CHECK(bank_->built());
+  size_t num_rows = 0;
+  size_t num_times = 0;
+  size_t num_constraints = 0;
+  for (Entry& entry : entries_) {
+    const CompiledPattern& pattern = entry.matcher->pattern();
+    const size_t n = static_cast<size_t>(pattern.num_states());
+    entry.num_states = static_cast<int>(n);
+    entry.consume_all = pattern.consume_policy() == ConsumePolicy::kAll;
+    num_rows += n;
+    num_times += n * n;
+    num_constraints += pattern.constraints().size();
+  }
+
+  std::vector<TimePoint> times(num_times, 0);
+  std::vector<uint64_t> active((num_rows + 63) / 64, 0);
+  std::vector<StateRef> states(num_rows);
+  std::vector<FlatConstraint> constraints;
+  constraints.reserve(num_constraints);
+
+  size_t row = 0;
+  size_t times_offset = 0;
+  for (Entry& entry : entries_) {
+    const CompiledPattern& pattern = entry.matcher->pattern();
+    const size_t n = static_cast<size_t>(entry.num_states);
+    for (size_t s = 0; s < n; ++s) {
+      StateRef& ref = states[row + s];
+      const int bank_id = entry.bank_ids[static_cast<size_t>(
+          pattern.predicate_id(static_cast<int>(s)))];
+      if (bank_->decomposable(bank_id)) {
+        const int slot = bank_->slot_of(bank_id);
+        ref.word = slot >> 6;
+        ref.mask = uint64_t{1} << (slot & 63);
+      } else {
+        ref.word = -1;
+        ref.fallback_id = bank_id;
+      }
+      ref.constraint_begin = static_cast<uint32_t>(constraints.size());
+      for (const TimeConstraint& constraint :
+           pattern.constraints_into(static_cast<int>(s))) {
+        constraints.push_back(
+            FlatConstraint{constraint.from_state, constraint.max_gap});
+      }
+      ref.constraint_count =
+          static_cast<uint32_t>(constraints.size()) - ref.constraint_begin;
+    }
+
+    entry.live_rows = 0;
+    if (entry.in_arena) {
+      // Carry the surviving pattern's rows over from the old arena.
+      for (size_t s = 0; s < n; ++s) {
+        if (!RowActive(entry.row_offset + s)) {
+          continue;
+        }
+        std::copy_n(times_.begin() +
+                        static_cast<ptrdiff_t>(entry.times_offset + s * n),
+                    s + 1,
+                    times.begin() +
+                        static_cast<ptrdiff_t>(times_offset + s * n));
+        active[(row + s) >> 6] |= uint64_t{1} << ((row + s) & 63);
+        ++entry.live_rows;
+      }
+    } else {
+      // Ingest matcher-resident run state (fresh, adopted, or exhaustive
+      // leftovers after a mode is reused); the arena becomes authoritative.
+      NfaMatcher* matcher = entry.matcher.get();
+      for (size_t s = 0; s < n; ++s) {
+        if (!matcher->dominant_active_[s]) {
+          continue;
+        }
+        std::copy_n(matcher->dominant_runs_[s].begin(), s + 1,
+                    times.begin() +
+                        static_cast<ptrdiff_t>(times_offset + s * n));
+        active[(row + s) >> 6] |= uint64_t{1} << ((row + s) & 63);
+        ++entry.live_rows;
+      }
+      std::fill(matcher->dominant_active_.begin(),
+                matcher->dominant_active_.end(), false);
+      entry.in_arena = true;
+    }
+    entry.row_offset = row;
+    entry.times_offset = times_offset;
+    row += n;
+    times_offset += n * n;
+  }
+
+  times_ = std::move(times);
+  active_ = std::move(active);
+  states_ = std::move(states);
+  flat_constraints_ = std::move(constraints);
+  arena_dirty_ = false;
+}
+
+void MultiPatternMatcher::ProcessFlat(const stream::Event& event,
+                                      std::vector<MultiMatch>* out) {
+  ++arena_events_;
+  const TimePoint now = event.timestamp;
+  const uint64_t* words = bank_->result_words();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    const int n = entry.num_states;
+    const size_t row0 = entry.row_offset;
+    const StateRef* refs = &states_[row0];
+    TimePoint* tbase = &times_[entry.times_offset];
+    bool completed = false;
+    bool activity = false;
+
+    // Advance existing runs, highest state first so one event advances a
+    // given run by at most one state (mirrors NfaMatcher::ProcessDominant
+    // exactly; that standalone path is the behavioral oracle).
+    if (entry.live_rows > 0) {
+      for (int s = n - 1; s >= 1; --s) {
+        if (!RowActive(row0 + static_cast<size_t>(s) - 1)) {
+          continue;
+        }
+        ++entry.counters.advance_reads;
+        const StateRef& ref = refs[s];
+        const bool satisfied = ref.word >= 0
+                                   ? (words[ref.word] & ref.mask) != 0
+                                   : bank_->value(ref.fallback_id);
+        if (!satisfied) {
+          continue;
+        }
+        const TimePoint* prev = tbase + (s - 1) * n;
+        bool within = true;
+        for (uint32_t c = 0; c < ref.constraint_count; ++c) {
+          const FlatConstraint& constraint =
+              flat_constraints_[ref.constraint_begin + c];
+          if (now - prev[constraint.from_state] > constraint.max_gap) {
+            within = false;
+            break;
+          }
+        }
+        if (!within) {
+          continue;
+        }
+        TimePoint* cur = tbase + s * n;
+        std::copy_n(prev, s, cur);
+        cur[s] = now;
+        const size_t target = row0 + static_cast<size_t>(s);
+        if (!RowActive(target)) {
+          SetRow(target);
+          ++entry.live_rows;
+        }
+        activity = true;
+        if (s == n - 1) {
+          completed = true;
+        }
+      }
+    }
+
+    if (completed) {
+      PatternMatch match;
+      const TimePoint* last = tbase + (n - 1) * n;
+      match.state_times.assign(last, last + n);
+      out->push_back(MultiMatch{static_cast<int>(i), std::move(match)});
+      ++entry.counters.matches;
+      if (entry.consume_all) {
+        // The match consumed every open partial run including the current
+        // event; do not re-seed state 0 from this event (the oracle skips
+        // its seed predicate read here, so the stats do too).
+        for (int s = 0; s < n; ++s) {
+          ClearRow(row0 + static_cast<size_t>(s));
+        }
+        entry.live_rows = 0;
+        ++entry.counters.seed_skips;
+        continue;
+      }
+      ClearRow(row0 + static_cast<size_t>(n) - 1);
+      --entry.live_rows;
+    }
+
+    // Seed a fresh run at state 0.
+    const StateRef& seed = refs[0];
+    const bool seeded = seed.word >= 0 ? (words[seed.word] & seed.mask) != 0
+                                       : bank_->value(seed.fallback_id);
+    if (seeded) {
+      tbase[0] = now;
+      if (!RowActive(row0)) {
+        SetRow(row0);
+        ++entry.live_rows;
+      }
+      activity = true;
+      if (n == 1) {
+        PatternMatch match;
+        match.state_times.assign(1, now);
+        out->push_back(MultiMatch{static_cast<int>(i), std::move(match)});
+        ++entry.counters.matches;
+        ClearRow(row0);
+        entry.live_rows = 0;
+      }
+    }
+    if (activity && entry.live_rows > entry.counters.peak_runs) {
+      entry.counters.peak_runs = entry.live_rows;
+    }
+  }
+}
+
+void MultiPatternMatcher::SyncStats(const Entry& entry) const {
+  NfaMatcher* matcher = entry.matcher.get();
+  ArenaCounters& counters = entry.counters;
+  const uint64_t events = arena_events_ - counters.events_synced;
+  matcher->stats_.events += events;
+  // Every arena bank read is a shared-bank cache hit in oracle terms: one
+  // seed read per event (minus consume-all completions that skip it) plus
+  // the advance-loop reads.
+  matcher->stats_.predicate_cache_hits +=
+      events - counters.seed_skips + counters.advance_reads;
+  matcher->stats_.matches += counters.matches;
+  matcher->stats_.peak_runs =
+      std::max(matcher->stats_.peak_runs, counters.peak_runs);
+  counters = ArenaCounters{};
+  counters.events_synced = arena_events_;
+}
+
+void MultiPatternMatcher::SyncRunState(const Entry& entry) const {
+  NfaMatcher* matcher = entry.matcher.get();
+  const size_t n = static_cast<size_t>(entry.num_states);
+  for (size_t s = 0; s < n; ++s) {
+    if (RowActive(entry.row_offset + s)) {
+      const TimePoint* times =
+          times_.data() + entry.times_offset + s * n;
+      matcher->dominant_runs_[s].assign(times, times + s + 1);
+      matcher->dominant_active_[s] = true;
+    } else {
+      matcher->dominant_active_[s] = false;
+    }
+  }
+}
+
+const NfaMatcher& MultiPatternMatcher::matcher(int pattern_index) const {
+  const Entry& entry = entries_[static_cast<size_t>(pattern_index)];
+  if (entry.in_arena) {
+    SyncRunState(entry);
+  }
+  SyncStats(entry);
+  return *entry.matcher;
 }
 
 void MultiPatternMatcher::Process(const stream::Event& event,
@@ -69,6 +328,19 @@ void MultiPatternMatcher::Process(const stream::Event& event,
   if (bank_dirty_) {
     RebuildBank();
   }
+  if (options_.mode == MatcherOptions::Mode::kDominant) {
+    if (!bank_->built()) {
+      bank_->Build();
+    }
+    if (arena_dirty_) {
+      BuildArena();
+    }
+    bank_->Evaluate(event);
+    ProcessFlat(event, out);
+    return;
+  }
+  // Exhaustive mode: per-pattern matchers own their (branching) run sets;
+  // only predicate evaluation is shared.
   bank_->Evaluate(event);
   for (size_t i = 0; i < entries_.size(); ++i) {
     Entry& entry = entries_[i];
@@ -84,7 +356,9 @@ void MultiPatternMatcher::Process(const stream::Event& event,
 void MultiPatternMatcher::Reset() {
   for (Entry& entry : entries_) {
     entry.matcher->Reset();
+    entry.live_rows = 0;
   }
+  std::fill(active_.begin(), active_.end(), 0);
 }
 
 }  // namespace epl::cep

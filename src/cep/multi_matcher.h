@@ -1,22 +1,36 @@
 // MultiPatternMatcher: many concurrent patterns over one shared
 // PredicateBank, with runtime add/remove.
 //
-// Each registered CompiledPattern keeps its own NfaMatcher (so run state,
-// policies and statistics behave exactly as if deployed standalone), but
-// per-event predicate evaluation happens once in the shared bank: the bank
-// produces a satisfied-predicate bitset, and every NFA lazily reads its
-// slice of it via NfaMatcher::ProcessShared. Match output is therefore
-// identical to N independent matchers -- the equivalence property tests in
-// tests/cep_multi_matcher_test.cc assert exactly that.
+// Per-event predicate evaluation happens once in the shared bank: the bank
+// produces a satisfied-predicate bitset and every pattern reads its slice
+// of it. In the default dominant mode the per-pattern execution layer is
+// FLATTENED into a columnar (struct-of-arrays) runtime owned by this
+// class: the dominant run state of all patterns lives in one arena --
+// entry timestamps in a flat `times_` block per (pattern, state) row plus
+// one active bitset -- advanced by a single tight loop that reads the
+// bank's satisfied-predicate words directly. No per-pattern predicate
+// cache clears, no ProcessShared indirection, no per-run heap vectors.
+//
+// Each registered CompiledPattern still keeps an NfaMatcher object: it is
+// the behavioral oracle (the arena loop reproduces ProcessDominant
+// bit-exactly; the equivalence property tests in
+// tests/cep_multi_matcher_test.cc assert that), it carries the pattern's
+// MatcherStats, and it is the vehicle for moving a live pattern between
+// matchers -- ExtractPattern materializes the arena rows back into the
+// matcher, AdoptPattern ingests them, so ShardedEngine rebalancing never
+// loses partial runs. In kExhaustive mode every pattern runs on its own
+// NfaMatcher via ProcessShared (run branching is per-pattern by nature),
+// which keeps `select all` semantics untouched.
 //
 // The pattern set is mutable at runtime. Add/Remove/Adopt/Extract mark the
 // bank dirty; the next Process() swaps in a freshly built bank (generation
-// counter incremented) before evaluating the event, so the event that is
-// currently in flight -- and any event processed before the mutation --
-// finishes entirely on the old bank. Matchers of surviving patterns keep
-// their partial runs across rebuilds, which makes a pattern's match stream
-// independent of its neighbours being exchanged (the churn property tests
-// in tests/cep_dynamic_queries_test.cc assert exactly that).
+// counter incremented) and rebuilds the arena before evaluating the event,
+// so the event that is currently in flight -- and any event processed
+// before the mutation -- finishes entirely on the old bank. Surviving
+// patterns keep their partial runs across rebuilds (their arena rows are
+// carried over), which makes a pattern's match stream independent of its
+// neighbours being exchanged (the churn property tests in
+// tests/cep_dynamic_queries_test.cc assert exactly that).
 
 #ifndef EPL_CEP_MULTI_MATCHER_H_
 #define EPL_CEP_MULTI_MATCHER_H_
@@ -40,8 +54,8 @@ class MultiPatternMatcher {
 
   /// Registers `pattern` (must outlive the matcher and share the schema of
   /// every other registered pattern); returns the pattern's index. May be
-  /// called at any time between Process() calls; the shared bank is
-  /// rebuilt lazily by the next Process().
+  /// called at any time between Process() calls; the shared bank and the
+  /// run-state arena are rebuilt lazily by the next Process().
   int AddPattern(const CompiledPattern* pattern);
 
   /// Removes the pattern at `index`, discarding its partial runs. Indices
@@ -52,12 +66,15 @@ class MultiPatternMatcher {
   /// Detaches the pattern at `index` together with its live matcher (run
   /// state, statistics), for adoption by another MultiPatternMatcher --
   /// this is how ShardedEngine rebalances queries across shards without
-  /// losing partial matches. Indices of subsequent patterns shift down.
-  /// The returned matcher still points at the caller-owned pattern.
+  /// losing partial matches. The pattern's arena rows and accumulated
+  /// statistics are materialized back into the matcher first. Indices of
+  /// subsequent patterns shift down. The returned matcher still points at
+  /// the caller-owned pattern.
   std::unique_ptr<NfaMatcher> ExtractPattern(int index);
 
   /// Appends a matcher detached from another MultiPatternMatcher (its run
-  /// state is preserved); returns the pattern's index here.
+  /// state is preserved and ingested into the arena by the next
+  /// Process()); returns the pattern's index here.
   int AdoptPattern(std::unique_ptr<NfaMatcher> matcher);
 
   /// One completed match of one registered pattern.
@@ -68,37 +85,109 @@ class MultiPatternMatcher {
 
   /// Feeds one event to every pattern; appends completed matches to `out`
   /// (not cleared), grouped by pattern index in registration order.
-  /// Rebuilds the shared bank first if the pattern set changed.
+  /// Rebuilds the shared bank and the arena first if the pattern set
+  /// changed.
   void Process(const stream::Event& event, std::vector<MultiMatch>* out);
 
   /// Discards all partial runs of every pattern.
   void Reset();
 
   size_t num_patterns() const { return entries_.size(); }
-  const NfaMatcher& matcher(int pattern_index) const {
-    return *entries_[pattern_index].matcher;
-  }
+  /// The pattern's matcher, with run state and statistics synchronized
+  /// from the arena (a fused dominant-mode pattern's live state is
+  /// arena-resident between syncs).
+  const NfaMatcher& matcher(int pattern_index) const;
   const PredicateBank& bank() const { return *bank_; }
   /// Number of bank swaps so far. Each mutation batch between two
   /// Process() calls costs exactly one rebuild.
   uint64_t bank_generation() const { return bank_generation_; }
 
  private:
+  /// Per-pattern statistic deltas accumulated by the arena loop since the
+  /// last sync into the matcher's MatcherStats. `events` and the
+  /// one-per-event seed predicate read are derived from the global arena
+  /// event counter instead of per-pattern writes.
+  struct ArenaCounters {
+    uint64_t events_synced = 0;  // arena_events_ at the last sync
+    uint64_t matches = 0;
+    /// Bank reads by the advance loop (states with an active predecessor).
+    uint64_t advance_reads = 0;
+    /// Events whose seed read was skipped (consume-all completion).
+    uint64_t seed_skips = 0;
+    size_t peak_runs = 0;  // max live rows observed since the last sync
+  };
+
   struct Entry {
     std::unique_ptr<NfaMatcher> matcher;
     /// Local distinct predicate id -> bank predicate id.
     std::vector<int> bank_ids;
+    /// Dominant-mode arena residency. While true, the pattern's live run
+    /// state is the arena rows below, not the matcher's own buffers.
+    bool in_arena = false;
+    int num_states = 0;
+    bool consume_all = false;
+    size_t row_offset = 0;    // first (pattern, state) row / active bit
+    size_t times_offset = 0;  // first TimePoint of the n*n times block
+    /// Rows currently active (dominant runs alive).
+    uint32_t live_rows = 0;
+    mutable ArenaCounters counters;
   };
+
+  /// Per-row (pattern, state) predicate access, precomputed against the
+  /// current bank: a (word, mask) pair into the bank's satisfied-predicate
+  /// words for decomposable predicates, or the bank id for fallback
+  /// lookups; plus this state's slice of the flattened time constraints.
+  struct StateRef {
+    int32_t word = -1;
+    uint64_t mask = 0;
+    int32_t fallback_id = -1;
+    uint32_t constraint_begin = 0;
+    uint32_t constraint_count = 0;
+  };
+
+  struct FlatConstraint {
+    int32_t from_state = 0;
+    Duration max_gap = 0;
+  };
+
+  bool RowActive(size_t row) const {
+    return (active_[row >> 6] >> (row & 63)) & 1;
+  }
+  // Callers keep the owning entry's live_rows counter in step.
+  void SetRow(size_t row) { active_[row >> 6] |= uint64_t{1} << (row & 63); }
+  void ClearRow(size_t row) {
+    active_[row >> 6] &= ~(uint64_t{1} << (row & 63));
+  }
 
   /// Re-registers every live pattern into a fresh bank and swaps it in.
   void RebuildBank();
+  /// Lays the flat arena out against the current (built) bank, carrying
+  /// over arena-resident run state and ingesting matcher-resident state.
+  void BuildArena();
+  /// The flattened dominant-mode hot loop.
+  void ProcessFlat(const stream::Event& event, std::vector<MultiMatch>* out);
+  /// Folds the entry's arena counters into its matcher's MatcherStats.
+  void SyncStats(const Entry& entry) const;
+  /// Copies the entry's arena rows into its matcher's dominant-run
+  /// buffers (the arena stays authoritative unless the entry leaves it).
+  void SyncRunState(const Entry& entry) const;
 
   MatcherOptions options_;
   std::unique_ptr<PredicateBank> bank_;
   bool bank_dirty_ = false;
+  bool arena_dirty_ = false;
   uint64_t bank_generation_ = 0;
   std::vector<Entry> entries_;
   std::vector<PatternMatch> scratch_matches_;
+
+  // The dominant-mode arena: row (entry.row_offset + state) is one NFA
+  // state of one pattern; its run's entry timestamps for states 0..s live
+  // at times_[entry.times_offset + s * n .. + s].
+  uint64_t arena_events_ = 0;
+  std::vector<TimePoint> times_;
+  std::vector<uint64_t> active_;
+  std::vector<StateRef> states_;
+  std::vector<FlatConstraint> flat_constraints_;
 };
 
 }  // namespace epl::cep

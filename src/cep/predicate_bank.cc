@@ -9,8 +9,6 @@
 namespace epl::cep {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
 /// e == scale * field + offset (scale != 0), or a plain constant.
 struct LinearForm {
   bool is_constant = false;
@@ -424,40 +422,131 @@ void PredicateBank::Build() {
         index.bounds.end());
 
     // Elementary regions: (-inf,b0), [b0,b0], (b0,b1), ..., (bk-1,+inf).
+    // An inclusive interval [lo, hi] holds exactly on the contiguous
+    // region range [on, off): on is lo's singleton region (or 0 when
+    // lo = -inf), off is one past hi's singleton region (or past the last
+    // region when hi = +inf). The index therefore stores one on and one
+    // off transition per predicate instead of a bitset per region.
     const size_t num_regions = 2 * index.bounds.size() + 1;
-    index.region_bits.assign(num_regions * num_words, ~uint64_t{0});
     index.constrained.assign(num_words, 0);
+    std::vector<uint64_t> running(num_words, ~uint64_t{0});
 
     for (const Predicate* predicate : constrained_predicates) {
       const Interval& interval = predicate->intervals.at(field);
-      const size_t bit = static_cast<size_t>(predicate->slot);
+      const uint32_t bit = static_cast<uint32_t>(predicate->slot);
       index.constrained[bit >> 6] |= uint64_t{1} << (bit & 63);
-      for (size_t region = 0; region < num_regions; ++region) {
-        bool contained;
-        if (region % 2 == 1) {
-          // Singleton region [b, b]; bounds are inclusive.
-          double v = index.bounds[(region - 1) / 2];
-          contained = v >= interval.lo && v <= interval.hi;
-        } else {
-          // Open region (a, b); contained iff a >= lo and b <= hi, with
-          // +/-inf endpoints handled by IEEE comparisons.
-          double a = region == 0 ? -kInf : index.bounds[region / 2 - 1];
-          double b = region / 2 < index.bounds.size()
-                         ? index.bounds[region / 2]
-                         : kInf;
-          contained = a >= interval.lo && b <= interval.hi;
-        }
-        if (!contained) {
-          index.region_bits[region * num_words + (bit >> 6)] &=
-              ~(uint64_t{1} << (bit & 63));
-        }
+      if (interval.lo > interval.hi) {
+        // Empty after intersection: never satisfied, no transitions.
+        running[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+        continue;
+      }
+      size_t on = 0;
+      if (std::isfinite(interval.lo)) {
+        size_t pos = static_cast<size_t>(
+            std::lower_bound(index.bounds.begin(), index.bounds.end(),
+                             interval.lo) -
+            index.bounds.begin());
+        on = 2 * pos + 1;
+      }
+      size_t off = num_regions;
+      if (std::isfinite(interval.hi)) {
+        size_t pos = static_cast<size_t>(
+            std::lower_bound(index.bounds.begin(), index.bounds.end(),
+                             interval.hi) -
+            index.bounds.begin());
+        off = 2 * pos + 2;
+      }
+      if (on > 0) {
+        running[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+        index.deltas.push_back(
+            {static_cast<uint32_t>(on), bit, /*on=*/true});
+      }
+      if (off < num_regions) {
+        index.deltas.push_back(
+            {static_cast<uint32_t>(off), bit, /*on=*/false});
       }
     }
+    std::sort(index.deltas.begin(), index.deltas.end(),
+              [](const FieldIndex::RegionDelta& a,
+                 const FieldIndex::RegionDelta& b) {
+                return a.region < b.region;
+              });
+
+    // Walk the regions once, snapshotting an absolute bitset every
+    // kCheckpointStride regions and remembering where each checkpoint's
+    // trailing deltas start.
+    const size_t num_checkpoints =
+        (num_regions + kCheckpointStride - 1) / kCheckpointStride;
+    index.checkpoints.reserve(num_checkpoints * num_words);
+    index.checkpoint_delta_begin.reserve(num_checkpoints);
+    size_t next_delta = 0;
+    for (size_t region = 0; region < num_regions; ++region) {
+      while (next_delta < index.deltas.size() &&
+             index.deltas[next_delta].region == region) {
+        const FieldIndex::RegionDelta& delta = index.deltas[next_delta];
+        if (delta.on) {
+          running[delta.bit >> 6] |= uint64_t{1} << (delta.bit & 63);
+        } else {
+          running[delta.bit >> 6] &= ~(uint64_t{1} << (delta.bit & 63));
+        }
+        ++next_delta;
+      }
+      if (region % kCheckpointStride == 0) {
+        index.checkpoints.insert(index.checkpoints.end(), running.begin(),
+                                 running.end());
+        index.checkpoint_delta_begin.push_back(
+            static_cast<uint32_t>(next_delta));
+      }
+    }
+
+    index.memo_words.assign(num_words, 0);
     fields_.push_back(std::move(index));
   }
 
   result_words_.assign(num_words, 0);
   fallback_values_.assign(fallback_programs_.size(), -1);
+}
+
+bool PredicateBank::RegionContains(const FieldIndex& index, size_t region,
+                                   double v) {
+  if (region % 2 == 1) {
+    return v == index.bounds[(region - 1) / 2];
+  }
+  const size_t slot = region / 2;
+  return (slot == 0 || v > index.bounds[slot - 1]) &&
+         (slot == index.bounds.size() || v < index.bounds[slot]);
+}
+
+void PredicateBank::SeekRegion(FieldIndex* index, size_t region) const {
+  const size_t checkpoint = region / kCheckpointStride;
+  const size_t num_words = index->memo_words.size();
+  std::copy_n(index->checkpoints.begin() +
+                  static_cast<ptrdiff_t>(checkpoint * num_words),
+              num_words, index->memo_words.begin());
+  for (size_t i = index->checkpoint_delta_begin[checkpoint];
+       i < index->deltas.size() && index->deltas[i].region <= region; ++i) {
+    const FieldIndex::RegionDelta& delta = index->deltas[i];
+    if (delta.on) {
+      index->memo_words[delta.bit >> 6] |= uint64_t{1} << (delta.bit & 63);
+    } else {
+      index->memo_words[delta.bit >> 6] &= ~(uint64_t{1} << (delta.bit & 63));
+    }
+  }
+  index->memo_region = region;
+  index->memo_valid = true;
+}
+
+size_t PredicateBank::index_bytes() const {
+  size_t bytes = 0;
+  for (const FieldIndex& index : fields_) {
+    bytes += index.checkpoints.size() * sizeof(uint64_t) +
+             index.deltas.size() * sizeof(FieldIndex::RegionDelta) +
+             index.checkpoint_delta_begin.size() * sizeof(uint32_t) +
+             (index.constrained.size() + index.memo_words.size()) *
+                 sizeof(uint64_t) +
+             index.bounds.size() * sizeof(double);
+  }
+  return bytes;
 }
 
 void PredicateBank::Evaluate(const stream::Event& event) {
@@ -468,7 +557,7 @@ void PredicateBank::Evaluate(const stream::Event& event) {
 
   const size_t num_words = result_words_.size();
   std::fill(result_words_.begin(), result_words_.end(), ~uint64_t{0});
-  for (const FieldIndex& index : fields_) {
+  for (FieldIndex& index : fields_) {
     double v = event.values[index.field];
     if (std::isnan(v)) {
       // No interval contains NaN; clear every predicate constrained here.
@@ -477,13 +566,19 @@ void PredicateBank::Evaluate(const stream::Event& event) {
       }
       continue;
     }
-    size_t pos = static_cast<size_t>(
-        std::lower_bound(index.bounds.begin(), index.bounds.end(), v) -
-        index.bounds.begin());
-    size_t region = (pos < index.bounds.size() && index.bounds[pos] == v)
-                        ? 2 * pos + 1
-                        : 2 * pos;
-    const uint64_t* region_words = &index.region_bits[region * num_words];
+    if (index.memo_valid && RegionContains(index, index.memo_region, v)) {
+      ++stats_.region_memo_hits;
+    } else {
+      ++stats_.region_searches;
+      size_t pos = static_cast<size_t>(
+          std::lower_bound(index.bounds.begin(), index.bounds.end(), v) -
+          index.bounds.begin());
+      size_t region = (pos < index.bounds.size() && index.bounds[pos] == v)
+                          ? 2 * pos + 1
+                          : 2 * pos;
+      SeekRegion(&index, region);
+    }
+    const uint64_t* region_words = index.memo_words.data();
     for (size_t w = 0; w < num_words; ++w) {
       result_words_[w] &= region_words[w];
     }

@@ -15,12 +15,26 @@
 //     range/comparison atoms has at most one interval per field after
 //     intersection). Non-decomposable predicates fall back to their
 //     ExprProgram.
-//  3. Interval index: per referenced field the bank precomputes, for every
-//     elementary region between sorted interval endpoints, a bitset over
+//  3. Interval index: per referenced field the bank knows, for every
+//     elementary region between sorted interval endpoints, the bitset over
 //     decomposable predicates whose constraint on that field holds there.
-//     Evaluating an event is then one binary search plus a bitset AND per
-//     field -- O(distinct fields * (log intervals + D/64)) instead of
-//     O(patterns x states) program interpretations.
+//     Because every constraint is one interval, a predicate's bit is set on
+//     a CONTIGUOUS range of regions, so the index is stored as a
+//     delta-vs-neighbor encoding: absolute bitsets only every
+//     kCheckpointStride regions, plus per-region on/off transitions (two
+//     per predicate in total). Build time and memory are
+//     O(P^2 / stride + P log P) per field instead of the dense O(P^2).
+//  4. Cross-event region memo: a 30 Hz skeleton field usually stays inside
+//     the previous event's elementary region, so each field caches its
+//     last region together with the materialized bitset; when the new
+//     value still lies inside the region's bounds, both the binary search
+//     and the checkpoint+delta replay are skipped and the cached words are
+//     ANDed directly.
+//
+//     Evaluating an event is then, per referenced field, a bounds check
+//     (memo hit) or a binary search plus O(D/stride + stride) replay, and
+//     one bitset AND -- instead of O(patterns x states) program
+//     interpretations.
 //
 // All registered patterns must be compiled against the same schema (they
 // are subscribers of one stream); the canonical-key dedup assumes field
@@ -52,6 +66,11 @@ struct PredicateBankStats {
   uint64_t events = 0;
   /// ExprProgram interpretations of fallback (non-decomposable) predicates.
   uint64_t program_evaluations = 0;
+  /// Field evaluations answered by the cross-event region memo (no binary
+  /// search, no delta replay).
+  uint64_t region_memo_hits = 0;
+  /// Field evaluations that had to binary-search and replay deltas.
+  uint64_t region_searches = 0;
 };
 
 class PredicateBank {
@@ -82,6 +101,15 @@ class PredicateBank {
   /// Truth of bank predicate `id` for the last evaluated event.
   bool value(int id) const;
 
+  /// Columnar read surface for the flattened multi-pattern runtime: the
+  /// truth of a decomposable predicate for the last evaluated event is bit
+  /// `slot_of(id)` of result_words() (num_decomposable() bits); fallback
+  /// predicates must go through value(). result_words() is stable once the
+  /// bank is built.
+  bool decomposable(int id) const { return predicates_[id].decomposable; }
+  int slot_of(int id) const { return predicates_[id].slot; }
+  const uint64_t* result_words() const { return result_words_.data(); }
+
   int num_predicates() const { return static_cast<int>(predicates_.size()); }
   /// Predicates served by the interval index.
   int num_decomposable() const { return num_decomposable_; }
@@ -91,6 +119,10 @@ class PredicateBank {
   }
   /// Total states registered across all patterns (before dedup).
   size_t registered_states() const { return registered_states_; }
+  /// Bytes held by the per-field interval indexes. The checkpoint term is
+  /// O(P^2 / kCheckpointStride) in num_decomposable() -- a 1/stride
+  /// fraction of the dense per-region index -- plus O(P) deltas/bounds.
+  size_t index_bytes() const;
 
   const PredicateBankStats& stats() const { return stats_; }
 
@@ -116,19 +148,51 @@ class PredicateBank {
     std::map<int, Interval> intervals;     // filled by Build()
   };
 
-  /// Sorted-endpoint stabbing index for one field. The 2k+1 elementary
-  /// regions of k sorted endpoints ((-inf,b0), [b0,b0], (b0,b1), ...) each
-  /// precompute a bitset over decomposable predicates: bit d is set iff
-  /// predicate d has no constraint on the field or its constraint holds
-  /// everywhere in the region.
+  /// Absolute region bitsets are materialized only every this many
+  /// elementary regions; the regions in between are reached by replaying
+  /// their on/off deltas. Governs the build/memory vs replay trade-off.
+  static constexpr size_t kCheckpointStride = 64;
+
+  /// Sorted-endpoint stabbing index for one field over the 2k+1 elementary
+  /// regions of k sorted endpoints ((-inf,b0), [b0,b0], (b0,b1), ...). The
+  /// region bitset (bit d set iff predicate d has no constraint on the
+  /// field or its constraint holds everywhere in the region) is encoded
+  /// delta-vs-neighbor: each predicate's constraint holds on a contiguous
+  /// region range [on_region, off_region), so neighbouring regions differ
+  /// only in the predicates whose range starts or ends between them.
   struct FieldIndex {
+    /// One bit transition between region `region - 1` and `region`.
+    struct RegionDelta {
+      uint32_t region = 0;
+      uint32_t bit = 0;
+      bool on = false;
+    };
+
     int field = -1;
     std::vector<double> bounds;        // sorted unique finite endpoints
-    std::vector<uint64_t> region_bits; // (2*bounds.size()+1) * words
     std::vector<uint64_t> constrained; // bit d: predicate d constrains field
+    /// Absolute bitset of region c * kCheckpointStride at
+    /// checkpoints[c * words].
+    std::vector<uint64_t> checkpoints;
+    std::vector<RegionDelta> deltas;   // sorted by region
+    /// Per checkpoint, index of the first delta with region beyond it.
+    std::vector<uint32_t> checkpoint_delta_begin;
+
+    /// Cross-event memo: the last resolved region and its materialized
+    /// bitset. Valid until the field value leaves the region's bounds.
+    bool memo_valid = false;
+    size_t memo_region = 0;
+    std::vector<uint64_t> memo_words;
   };
 
   size_t words() const { return (num_decomposable_ + 63) / 64; }
+
+  /// True when `v` lies inside elementary region `region` of `index`.
+  static bool RegionContains(const FieldIndex& index, size_t region,
+                             double v);
+  /// Materializes `region`'s bitset into the field memo (checkpoint copy
+  /// plus delta replay).
+  void SeekRegion(FieldIndex* index, size_t region) const;
 
   std::unordered_map<std::string, int> key_to_id_;
   std::vector<Predicate> predicates_;

@@ -2,11 +2,56 @@
 
 #include <algorithm>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace epl::cep {
+
+uint64_t QueryCostWeight(const CompiledPattern& pattern) {
+  const uint64_t weight =
+      static_cast<uint64_t>(pattern.num_states()) +
+      static_cast<uint64_t>(pattern.num_distinct_predicates());
+  return std::max<uint64_t>(1, weight);
+}
+
+int PickRebalanceVictim(
+    const std::vector<uint64_t>& shard_weights,
+    const std::vector<std::pair<int, uint64_t>>& candidates,
+    uint64_t max_skew) {
+  if (shard_weights.size() < 2) {
+    return -1;
+  }
+  uint64_t heaviest = shard_weights[0];
+  uint64_t lightest = shard_weights[0];
+  for (uint64_t weight : shard_weights) {
+    heaviest = std::max(heaviest, weight);
+    lightest = std::min(lightest, weight);
+  }
+  const uint64_t gap = heaviest - lightest;
+  if (gap <= max_skew) {
+    return -1;
+  }
+  // Moving weight w from the heaviest to the lightest shard leaves a
+  // |gap - 2w| pair gap; only w < gap strictly shrinks it (and the sum of
+  // squared weights, which is what guarantees loop termination).
+  int victim = -1;
+  uint64_t best_residual = gap;
+  for (const auto& [query_id, weight] : candidates) {
+    if (weight == 0 || weight >= gap) {
+      continue;  // moving it cannot shrink the gap
+    }
+    const uint64_t residual =
+        2 * weight > gap ? 2 * weight - gap : gap - 2 * weight;
+    if (residual < best_residual ||
+        (residual == best_residual && query_id > victim)) {
+      victim = query_id;
+      best_residual = residual;
+    }
+  }
+  return victim;
+}
 
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     : options_(options) {
@@ -114,6 +159,7 @@ int ShardedEngine::AddQuery(QuerySpec spec) {
   const int id = next_query_id_++;
   QueryInfo info;
   info.callback = std::move(spec.callback);
+  info.weight = QueryCostWeight(spec.pattern);
   info.shard = LeastLoadedShard();
   Shard* shard = shards_[static_cast<size_t>(info.shard)].get();
   spec.callback = MakeRecorder(shard, id);
@@ -169,6 +215,45 @@ void ShardedEngine::ResetMatchers() {
   }
 }
 
+std::vector<ShardedEngine::QueryStatsSnapshot> ShardedEngine::QueryStats() {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "QueryStats from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  const bool live = running_;
+  if (live) {
+    // Quiesce so no worker is mid-event while stats are read.
+    PauseWorkers();
+  }
+  std::vector<QueryStatsSnapshot> snapshots;
+  snapshots.reserve(queries_.size());
+  // Resolve local ids shard by shard (one walk per operator) instead of a
+  // linear FindQuery scan per query, which would be O(Q^2) while the
+  // workers sit paused.
+  std::vector<std::unordered_map<int, int>> local_index(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const MultiMatchOperator& op = shards_[s]->op;
+    for (size_t q = 0; q < op.num_queries(); ++q) {
+      local_index[s].emplace(op.query_id(static_cast<int>(q)),
+                             static_cast<int>(q));
+    }
+  }
+  for (const auto& [query_id, info] : queries_) {
+    QueryStatsSnapshot snapshot;
+    snapshot.query_id = query_id;
+    snapshot.shard = info.shard;
+    snapshot.weight = info.weight;
+    MultiMatchOperator& op = shards_[static_cast<size_t>(info.shard)]->op;
+    snapshot.stats = op.matcher_stats(
+        local_index[static_cast<size_t>(info.shard)].at(info.local_id));
+    snapshots.push_back(snapshot);
+  }
+  if (live) {
+    ResumeWorkers();
+  }
+  return snapshots;
+}
+
 uint64_t ShardedEngine::processed() const {
   EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
             std::this_thread::get_id())
@@ -208,6 +293,14 @@ int ShardedEngine::shard_of(int query_id) const {
   std::lock_guard<std::mutex> lock(control_mu_);
   auto it = queries_.find(query_id);
   return it == queries_.end() ? -1 : it->second.shard;
+}
+
+std::vector<uint64_t> ShardedEngine::shard_weights() const {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "shard_weights from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return ShardWeightsLocked();
 }
 
 std::vector<size_t> ShardedEngine::shard_query_counts() const {
@@ -348,48 +441,69 @@ uint64_t ShardedEngine::MinProcessed() const {
   return watermark;
 }
 
+std::vector<uint64_t> ShardedEngine::ShardWeightsLocked() const {
+  std::vector<uint64_t> weights(shards_.size(), 0);
+  for (const auto& [query_id, info] : queries_) {
+    (void)query_id;
+    weights[static_cast<size_t>(info.shard)] += info.weight;
+  }
+  return weights;
+}
+
+uint64_t ShardedEngine::SkewBudget() const {
+  if (queries_.empty()) {
+    return static_cast<uint64_t>(options_.max_query_skew);
+  }
+  uint64_t total = 0;
+  for (const auto& [query_id, info] : queries_) {
+    (void)query_id;
+    total += info.weight;
+  }
+  const uint64_t average =
+      (total + queries_.size() - 1) / queries_.size();  // ceil
+  return static_cast<uint64_t>(options_.max_query_skew) *
+         std::max<uint64_t>(1, average);
+}
+
 int ShardedEngine::LeastLoadedShard() const {
+  const std::vector<uint64_t> weights = ShardWeightsLocked();
   int best = 0;
-  size_t best_count = shards_[0]->op.num_queries();
-  for (size_t i = 1; i < shards_.size(); ++i) {
-    size_t count = shards_[i]->op.num_queries();
-    if (count < best_count) {
+  for (size_t i = 1; i < weights.size(); ++i) {
+    if (weights[i] < weights[static_cast<size_t>(best)]) {
       best = static_cast<int>(i);
-      best_count = count;
     }
   }
   return best;
 }
 
 void ShardedEngine::Rebalance() {
+  // Loop-invariant: moves change shard assignment, not the query set.
+  const uint64_t budget = SkewBudget();
   while (true) {
+    const std::vector<uint64_t> weights = ShardWeightsLocked();
     int min_shard = 0;
     int max_shard = 0;
     for (int i = 1; i < num_shards(); ++i) {
-      size_t count = shards_[static_cast<size_t>(i)]->op.num_queries();
-      if (count < shards_[static_cast<size_t>(min_shard)]->op.num_queries()) {
+      const size_t s = static_cast<size_t>(i);
+      if (weights[s] < weights[static_cast<size_t>(min_shard)]) {
         min_shard = i;
       }
-      if (count > shards_[static_cast<size_t>(max_shard)]->op.num_queries()) {
+      if (weights[s] > weights[static_cast<size_t>(max_shard)]) {
         max_shard = i;
       }
     }
-    size_t max_count =
-        shards_[static_cast<size_t>(max_shard)]->op.num_queries();
-    size_t min_count =
-        shards_[static_cast<size_t>(min_shard)]->op.num_queries();
-    if (max_count - min_count <= static_cast<size_t>(options_.max_query_skew)) {
-      return;
-    }
-    // Move the youngest query of the fullest shard; its live matcher (and
-    // partial runs) travel with it.
-    int victim = -1;
+    std::vector<std::pair<int, uint64_t>> candidates;
     for (const auto& [query_id, info] : queries_) {
       if (info.shard == max_shard) {
-        victim = std::max(victim, query_id);
+        candidates.emplace_back(query_id, info.weight);
       }
     }
-    EPL_CHECK(victim >= 0);
+    const int victim = PickRebalanceVictim(weights, candidates, budget);
+    if (victim < 0) {
+      return;
+    }
+    // The victim's live matcher (and partial runs, and statistics) travel
+    // with it.
     QueryInfo& info = queries_[victim];
     Result<MultiMatchOperator::DetachedQuery> detached =
         shards_[static_cast<size_t>(max_shard)]->op.ExtractQuery(

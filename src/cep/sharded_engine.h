@@ -75,10 +75,32 @@ struct ShardedEngineOptions {
   size_t queue_capacity = 64;
   /// Matcher options shared by every shard.
   MatcherOptions matcher;
-  /// After every add/remove, queries move from the fullest to the emptiest
-  /// shard until per-shard query counts differ by at most this much.
+  /// After every add/remove, queries move from the heaviest to the
+  /// lightest shard until per-shard total weights (see QueryCostWeight)
+  /// differ by at most this many average query weights. With uniform
+  /// queries this is exactly the tolerated query-count skew.
   int max_query_skew = 1;
 };
+
+/// Cost heuristic of one deployed query for shard placement: total NFA
+/// states plus distinct bank predicates (the two per-event cost drivers of
+/// the flattened runtime). Never returns 0, so an engine that cannot
+/// derive costs degenerates to balancing query counts.
+uint64_t QueryCostWeight(const CompiledPattern& pattern);
+
+/// Pure placement policy behind ShardedEngine::Rebalance, exposed for
+/// direct unit testing. `shard_weights` is the total cost per shard;
+/// `candidates` lists (query id, weight) of every query on the heaviest
+/// shard; `max_skew` is the tolerated heaviest-lightest weight gap.
+/// Returns the id of the query to move to the lightest shard, or -1 when
+/// the shards are balanced enough or no candidate improves the spread.
+/// Deterministic: among the candidates that strictly shrink the gap it
+/// picks the one leaving the smallest residual gap, youngest (highest id)
+/// on ties -- so every accepted move strictly reduces the sum of squared
+/// shard weights and a rebalancing loop terminates.
+int PickRebalanceVictim(const std::vector<uint64_t>& shard_weights,
+                        const std::vector<std::pair<int, uint64_t>>& candidates,
+                        uint64_t max_skew);
 
 class ShardedEngine {
  public:
@@ -123,6 +145,21 @@ class ShardedEngine {
   /// completed matches first when live).
   void ResetMatchers();
 
+  /// One query's live matcher statistics, as aggregated by QueryStats().
+  struct QueryStatsSnapshot {
+    int query_id = -1;
+    int shard = -1;
+    uint64_t weight = 0;
+    MatcherStats stats;
+  };
+
+  /// Per-query matcher statistics snapshot, ordered by query id. Callable
+  /// from any thread; when live, the shards are quiesced at an event
+  /// boundary first so the numbers are mutually consistent. Counters
+  /// survive rebalancing: a query's stats travel with its matcher across
+  /// shards and are never reset by an exchange.
+  std::vector<QueryStatsSnapshot> QueryStats();
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
   size_t num_queries() const;
   bool running() const;
@@ -132,6 +169,8 @@ class ShardedEngine {
   int shard_of(int query_id) const;
   /// Queries per shard, in shard order.
   std::vector<size_t> shard_query_counts() const;
+  /// Total query cost weight per shard, in shard order.
+  std::vector<uint64_t> shard_weights() const;
   /// Queries moved between shards by rebalancing so far.
   uint64_t rebalanced_queries() const;
 
@@ -179,6 +218,7 @@ class ShardedEngine {
   struct QueryInfo {
     int shard = -1;
     int local_id = -1;  // id inside the shard's MultiMatchOperator
+    uint64_t weight = 1;  // QueryCostWeight of the pattern
     DetectionCallback callback;
   };
 
@@ -193,6 +233,10 @@ class ShardedEngine {
   /// Delivers every merged match below the fleet watermark.
   void DrainAndDeliver();
   uint64_t MinProcessed() const;
+  /// Total query cost weight per shard (control_mu_ held).
+  std::vector<uint64_t> ShardWeightsLocked() const;
+  /// Tolerated heaviest-lightest gap: max_query_skew average weights.
+  uint64_t SkewBudget() const;
   int LeastLoadedShard() const;
   void Rebalance();
   DetectionCallback MakeRecorder(Shard* shard, int query_id);

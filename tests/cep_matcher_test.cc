@@ -264,6 +264,71 @@ TEST(MatcherTest, ExhaustiveRunCapDropsOldest) {
   EXPECT_GT(matcher.stats().dropped_runs, 0u);
 }
 
+TEST(MatcherTest, ExhaustiveRunCapDropOrderIsOldestFirst) {
+  // Cap 2 with select all / consume none: three seeds overflow by one, and
+  // the LONGEST-RESIDENT run (t=0) is the one evicted.
+  CompiledPattern pattern = Compile(
+      ChainPattern({1, 2}, std::nullopt, WithinMode::kGap, SelectPolicy::kAll,
+                   ConsumePolicy::kNone));
+  MatcherOptions options;
+  options.mode = MatcherOptions::Mode::kExhaustive;
+  options.max_runs = 2;
+  NfaMatcher matcher(&pattern, options);
+  std::vector<PatternMatch> matches =
+      Feed(matcher, {At(0, 1), At(100, 1), At(200, 1)});
+  EXPECT_TRUE(matches.empty());
+  EXPECT_EQ(matcher.active_run_count(), 2u);
+  EXPECT_EQ(matcher.stats().dropped_runs, 1u);
+
+  // Both survivors complete, in residency order; no {0, 300} match.
+  matches = Feed(matcher, {At(300, 2)});
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].state_times,
+            (std::vector<TimePoint>{100 * kMillisecond, 300 * kMillisecond}));
+  EXPECT_EQ(matches[1].state_times,
+            (std::vector<TimePoint>{200 * kMillisecond, 300 * kMillisecond}));
+}
+
+TEST(MatcherTest, ExhaustiveRunCapAccountsEveryDrop) {
+  CompiledPattern pattern = Compile(
+      ChainPattern({1, 2}, std::nullopt, WithinMode::kGap, SelectPolicy::kAll,
+                   ConsumePolicy::kNone));
+  MatcherOptions options;
+  options.mode = MatcherOptions::Mode::kExhaustive;
+  options.max_runs = 3;
+  NfaMatcher matcher(&pattern, options);
+  std::vector<Event> seeds;
+  for (int i = 0; i < 8; ++i) {
+    seeds.push_back(At(i * 100, 1));
+  }
+  Feed(matcher, seeds);
+  // 8 seeds into a cap of 3: exactly 5 drops, one per overflowing event,
+  // and the cap bounds the recorded peak (trim precedes the peak sample).
+  EXPECT_EQ(matcher.stats().dropped_runs, 5u);
+  EXPECT_EQ(matcher.active_run_count(), 3u);
+  EXPECT_EQ(matcher.stats().peak_runs, 3u);
+}
+
+TEST(MatcherTest, ExhaustiveRunCapDroppedRunWouldHaveCompleted) {
+  // Cap 1: the t=100 seed evicts the t=0 run even though the next event
+  // completes both; the evicted combination is silently lost, which is the
+  // documented lossy-overflow contract (dropped_runs records it).
+  CompiledPattern pattern = Compile(
+      ChainPattern({1, 2}, std::nullopt, WithinMode::kGap, SelectPolicy::kAll,
+                   ConsumePolicy::kNone));
+  MatcherOptions options;
+  options.mode = MatcherOptions::Mode::kExhaustive;
+  options.max_runs = 1;
+  NfaMatcher matcher(&pattern, options);
+  std::vector<PatternMatch> matches = Feed(matcher, {At(0, 1), At(100, 1)});
+  EXPECT_EQ(matcher.stats().dropped_runs, 1u);
+  EXPECT_EQ(matcher.active_run_count(), 1u);
+  matches = Feed(matcher, {At(200, 2)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].state_times,
+            (std::vector<TimePoint>{100 * kMillisecond, 200 * kMillisecond}));
+}
+
 // Property test: dominant mode detects a completion at exactly the same
 // events as the exhaustive oracle (consume none so runs are never cleared).
 class DominanceEquivalenceTest : public ::testing::TestWithParam<int> {};

@@ -139,6 +139,53 @@ INSTANTIATE_TEST_SUITE_P(SeedsAndModes, MultiMatcherEquivalence,
                          ::testing::Combine(::testing::Range(0, 3),
                                             ::testing::Values(0, 1)));
 
+// The flattened arena keeps per-pattern MatcherStats faithful: a fused
+// pattern reports exactly the run-state statistics of a standalone
+// matcher, both through the live accessor and after ExtractPattern (the
+// path ShardedEngine rebalancing takes).
+TEST(MultiMatcherStatsTest, MirrorsStandaloneMatcherStats) {
+  std::vector<query::CompiledQuery> queries =
+      CompileDefinitions(TrainedDefinitions(6));
+
+  MultiPatternMatcher multi;
+  std::vector<std::unique_ptr<NfaMatcher>> independent;
+  for (const query::CompiledQuery& query : queries) {
+    multi.AddPattern(&query.pattern);
+    independent.push_back(std::make_unique<NfaMatcher>(&query.pattern));
+  }
+
+  std::vector<MultiPatternMatcher::MultiMatch> scratch;
+  std::vector<PatternMatch> sink;
+  for (const Event& event : Workload(21)) {
+    multi.Process(event, &scratch);
+    for (auto& matcher : independent) {
+      matcher->Process(event, &sink);
+    }
+  }
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const MatcherStats& expected = independent[q]->stats();
+    const MatcherStats& fused = multi.matcher(static_cast<int>(q)).stats();
+    EXPECT_EQ(fused.events, expected.events) << queries[q].name;
+    EXPECT_EQ(fused.matches, expected.matches) << queries[q].name;
+    EXPECT_EQ(fused.peak_runs, expected.peak_runs) << queries[q].name;
+    // Every predicate read the standalone matcher performs (programs plus
+    // per-event memo hits) is a shared-bank hit in the fused runtime.
+    EXPECT_EQ(fused.predicate_cache_hits,
+              expected.predicate_evaluations + expected.predicate_cache_hits)
+        << queries[q].name;
+    EXPECT_EQ(fused.predicate_evaluations, 0u) << queries[q].name;
+  }
+
+  // Extraction (how rebalancing moves a query between shards) carries the
+  // same numbers out with the matcher.
+  std::unique_ptr<NfaMatcher> extracted = multi.ExtractPattern(2);
+  EXPECT_EQ(extracted->stats().events, independent[2]->stats().events);
+  EXPECT_EQ(extracted->stats().matches, independent[2]->stats().matches);
+  EXPECT_EQ(extracted->active_run_count(),
+            independent[2]->active_run_count());
+}
+
 using testing::DetectionRecord;
 
 TEST(MultiMatchOperatorTest, FusedDeploymentMatchesPerQueryDeployment) {

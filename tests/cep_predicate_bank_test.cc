@@ -248,6 +248,79 @@ TEST(PredicateBankTest, NanMatchesNothingConstrained) {
   EXPECT_TRUE(bank.value(y_id));
 }
 
+TEST(PredicateBankTest, CrossEventRegionMemoSkipsSearches) {
+  CompiledPattern low = CompilePose(Expr::RangePredicate("x", -50, 25));
+  CompiledPattern high = CompilePose(Expr::RangePredicate("x", 50, 25));
+  PredicateBank bank;
+  int low_id = bank.RegisterPattern(low)[0];
+  int high_id = bank.RegisterPattern(high)[0];
+  bank.Build();
+
+  // A 30 Hz-style dribble inside one elementary region: one search, then
+  // memo hits, all with the right truth.
+  for (double v : {-40.0, -41.5, -39.2, -44.0}) {
+    bank.Evaluate(At(v));
+    EXPECT_TRUE(bank.value(low_id)) << v;
+    EXPECT_FALSE(bank.value(high_id)) << v;
+  }
+  EXPECT_EQ(bank.stats().region_searches, 1u);
+  EXPECT_EQ(bank.stats().region_memo_hits, 3u);
+
+  // Leaving the region invalidates the memo (fresh search), and exact
+  // endpoint stabs land in singleton regions the open-region memo must
+  // not swallow.
+  bank.Evaluate(At(60.0));
+  EXPECT_FALSE(bank.value(low_id));
+  EXPECT_TRUE(bank.value(high_id));
+  EXPECT_EQ(bank.stats().region_searches, 2u);
+  bank.Evaluate(At(60.0));
+  EXPECT_EQ(bank.stats().region_memo_hits, 4u);
+}
+
+// Property: a field with hundreds of regions (many checkpoint strides)
+// still answers every predicate exactly, under both slow region-to-region
+// walks (memo-friendly) and random jumps (checkpoint + delta replay).
+TEST(PredicateBankTest, DeltaEncodingAgreesAcrossManyRegions) {
+  Rng rng(4242);
+  std::vector<CompiledPattern> patterns;
+  std::vector<double> endpoints;
+  for (int p = 0; p < 150; ++p) {
+    double center = rng.Uniform(-100, 100);
+    double width = rng.Uniform(0.1, 30);
+    endpoints.push_back(center - width);
+    endpoints.push_back(center + width);
+    patterns.push_back(CompilePose(Expr::RangePredicate("x", center, width)));
+  }
+  PredicateBank bank;
+  std::vector<int> ids;
+  for (const CompiledPattern& pattern : patterns) {
+    ids.push_back(bank.RegisterPattern(pattern)[0]);
+  }
+  bank.Build();
+  ASSERT_EQ(bank.num_fallback(), 0);
+
+  std::vector<double> probes;
+  for (double v = -120.0; v <= 120.0; v += 0.37) {
+    probes.push_back(v);  // slow walk
+  }
+  for (int i = 0; i < 300; ++i) {
+    probes.push_back(rng.Bernoulli(0.4)
+                         ? endpoints[rng.UniformInt(
+                               0, static_cast<int64_t>(endpoints.size()) - 1)]
+                         : rng.Uniform(-130, 130));
+  }
+  for (double v : probes) {
+    bank.Evaluate(At(v));
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      ASSERT_EQ(bank.value(ids[p]),
+                patterns[p].predicate(0).EvalBool(At(v)))
+          << patterns[p].predicate_expr(0).ToString() << " at " << v;
+    }
+  }
+  EXPECT_GT(bank.stats().region_memo_hits, 0u);
+  EXPECT_GT(bank.stats().region_searches, 0u);
+}
+
 // Property: for random range-conjunction predicates the interval index
 // agrees with ExprProgram evaluation everywhere, including exactly on
 // interval endpoints.

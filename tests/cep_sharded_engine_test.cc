@@ -95,6 +95,132 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<size_t>(1, 7, 64),
                        ::testing::Values(0, 1)));
 
+// The pure placement policy behind Rebalance: one greedy weighted step.
+TEST(RebalancePolicyTest, BalancedWithinSkewBudgetDoesNotMove) {
+  EXPECT_EQ(PickRebalanceVictim({30, 20}, {{7, 10}}, 10), -1);
+  EXPECT_EQ(PickRebalanceVictim({20, 20, 20}, {{1, 20}}, 0), -1);
+  EXPECT_EQ(PickRebalanceVictim({5}, {{1, 5}}, 0), -1);  // one shard
+}
+
+TEST(RebalancePolicyTest, PicksWeightClosestToHalfTheGap) {
+  // Gap 40: moving weight 18 leaves a residual gap of 4, better than
+  // weight 5 (residual 30) or weight 30 (residual 20).
+  EXPECT_EQ(PickRebalanceVictim({60, 20}, {{1, 5}, {2, 18}, {3, 30}}, 10), 2);
+}
+
+TEST(RebalancePolicyTest, RefusesMovesThatCannotShrinkTheGap) {
+  // Gap 12 exceeds the budget, but moving the only candidate (weight 12)
+  // would just mirror the imbalance; the policy keeps the status quo.
+  EXPECT_EQ(PickRebalanceVictim({24, 12}, {{5, 12}}, 10), -1);
+  // A zero-weight candidate cannot shrink the gap either.
+  EXPECT_EQ(PickRebalanceVictim({10, 0}, {{1, 0}}, 5), -1);
+}
+
+TEST(RebalancePolicyTest, TieBreaksTowardTheYoungestQuery) {
+  EXPECT_EQ(PickRebalanceVictim({40, 0}, {{2, 10}, {9, 10}, {4, 10}}, 5), 9);
+}
+
+/// A synthetic `poses`-pose chain gesture: its placement weight
+/// (QueryCostWeight: states + distinct bank predicates) scales with the
+/// pose count, unlike the uniform TrainedDefinitions.
+core::GestureDefinition PosesDefinition(const std::string& name, int poses) {
+  core::GestureDefinition definition;
+  definition.name = name;
+  definition.source_stream = "kinect";
+  definition.joints = {kinect::JointId::kRightHand};
+  for (int i = 0; i < poses; ++i) {
+    core::PoseWindow pose;
+    core::JointWindow window;
+    window.center = Vec3(640.0 * i / std::max(1, poses - 1), 150.0, -150.0);
+    window.half_width = Vec3(60, 60, 60);
+    pose.joints[kinect::JointId::kRightHand] = window;
+    pose.max_gap = i == 0 ? 0 : kSecond;
+    definition.poses.push_back(pose);
+  }
+  return definition;
+}
+
+TEST(ShardedEngineTest, PlacementBalancesWeightNotCount) {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  ShardedEngine sharded(options);
+  std::vector<query::CompiledQuery> compiled =
+      CompileDefinitions({PosesDefinition("heavy", 8),
+                          PosesDefinition("light_a", 2),
+                          PosesDefinition("light_b", 2)});
+  EXPECT_EQ(QueryCostWeight(compiled[0].pattern), 16u);
+  EXPECT_EQ(QueryCostWeight(compiled[1].pattern), 4u);
+  std::vector<int> ids;
+  for (query::CompiledQuery& query : compiled) {
+    ids.push_back(sharded.AddQuery(MakeSpec(std::move(query), nullptr)));
+  }
+  // Count-only balancing would pair the heavy query with a light one;
+  // weighted balancing stacks both light queries opposite it.
+  EXPECT_EQ(sharded.shard_of(ids[0]), 0);
+  EXPECT_EQ(sharded.shard_of(ids[1]), 1);
+  EXPECT_EQ(sharded.shard_of(ids[2]), 1);
+  EXPECT_EQ(sharded.shard_weights(), (std::vector<uint64_t>{16, 8}));
+  EXPECT_EQ(sharded.shard_query_counts(), (std::vector<size_t>{1, 2}));
+}
+
+TEST(ShardedEngineTest, RebalanceNeverResetsQueryStats) {
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(4);
+  std::vector<Event> events = Workload(3);
+
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.batch_size = 4;
+  ShardedEngine sharded(options);
+  std::vector<DetectionRecord> records;
+  std::vector<int> ids;
+  for (query::CompiledQuery& compiled : CompileDefinitions(definitions)) {
+    ids.push_back(sharded.AddQuery(MakeSpec(std::move(compiled),
+                                            Recorder(&records))));
+  }
+  EPL_ASSERT_OK(sharded.Start());
+  const size_t half = events.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(sharded.Push(events[i]));
+  }
+  EPL_ASSERT_OK(sharded.Flush());
+
+  std::vector<ShardedEngine::QueryStatsSnapshot> before =
+      sharded.QueryStats();
+  ASSERT_EQ(before.size(), 4u);
+  for (const auto& snapshot : before) {
+    EXPECT_EQ(snapshot.stats.events, half) << "query " << snapshot.query_id;
+  }
+
+  // Empty shard 1: the rebalancer moves a survivor, whose counters must
+  // travel with its matcher instead of restarting from zero.
+  EPL_ASSERT_OK(sharded.RemoveQuery(ids[1]));
+  EPL_ASSERT_OK(sharded.RemoveQuery(ids[3]));
+  EXPECT_GT(sharded.rebalanced_queries(), 0u);
+  for (size_t i = half; i < events.size(); ++i) {
+    ASSERT_TRUE(sharded.Push(events[i]));
+  }
+  EPL_ASSERT_OK(sharded.Stop());
+
+  std::vector<ShardedEngine::QueryStatsSnapshot> after = sharded.QueryStats();
+  ASSERT_EQ(after.size(), 2u);
+  for (const auto& snapshot : after) {
+    // Every event of the stream is accounted for despite the mid-stream
+    // shard move ...
+    EXPECT_EQ(snapshot.stats.events, events.size())
+        << "query " << snapshot.query_id;
+    // ... and so is every match this query ever produced.
+    const std::string& name =
+        definitions[static_cast<size_t>(snapshot.query_id)].name;
+    size_t delivered = 0;
+    for (const DetectionRecord& record : records) {
+      delivered += record.name == name ? 1 : 0;
+    }
+    EXPECT_EQ(snapshot.stats.matches, delivered)
+        << "query " << snapshot.query_id;
+    EXPECT_GT(snapshot.stats.matches, 0u) << "query " << snapshot.query_id;
+  }
+}
+
 TEST(ShardedEngineTest, QueriesSpreadAcrossShards) {
   ShardedEngineOptions options;
   options.num_shards = 4;
