@@ -11,6 +11,7 @@
 // mode, so the CI bench smoke doubles as an equivalence gate (it aborts
 // before any benchmark runs, regardless of --benchmark_filter).
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,8 +45,10 @@ std::vector<query::CompiledQuery> CompiledVariants(int count) {
 }
 
 /// The flattened runtime against the standalone per-query oracle: every
-/// pattern's match stream must be bit-identical.
-void VerifyFlatEquivalence(cep::MatcherOptions::Mode mode) {
+/// pattern's match stream must be bit-identical, whether events are fed
+/// one at a time or in ProcessBatch windows.
+void VerifyFlatEquivalence(cep::MatcherOptions::Mode mode,
+                           size_t batch_size) {
   std::vector<query::CompiledQuery> queries = CompiledVariants(16);
   cep::MatcherOptions options;
   options.mode = mode;
@@ -57,17 +60,27 @@ void VerifyFlatEquivalence(cep::MatcherOptions::Mode mode) {
         std::make_unique<cep::NfaMatcher>(&query.pattern, options));
   }
 
+  const std::vector<stream::Event>& events = bench::MatchWorkload();
   std::vector<std::vector<cep::PatternMatch>> flat(queries.size());
   std::vector<std::vector<cep::PatternMatch>> reference(queries.size());
   std::vector<cep::MultiPatternMatcher::MultiMatch> scratch;
-  for (const stream::Event& event : bench::MatchWorkload()) {
+  size_t pos = 0;
+  while (pos < events.size()) {
+    const size_t chunk = std::min(batch_size, events.size() - pos);
     scratch.clear();
-    multi.Process(event, &scratch);
+    if (batch_size <= 1) {
+      multi.Process(events[pos], &scratch);
+    } else {
+      multi.ProcessBatch(events.data() + pos, chunk, &scratch);
+    }
     for (cep::MultiPatternMatcher::MultiMatch& match : scratch) {
       flat[static_cast<size_t>(match.pattern_index)].push_back(
           std::move(match.match));
     }
-    for (size_t q = 0; q < queries.size(); ++q) {
+    pos += chunk;
+  }
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (const stream::Event& event : events) {
       oracle[q]->Process(event, &reference[q]);
     }
   }
@@ -76,11 +89,12 @@ void VerifyFlatEquivalence(cep::MatcherOptions::Mode mode) {
   for (size_t q = 0; q < queries.size(); ++q) {
     EPL_CHECK(flat[q].size() == reference[q].size())
         << queries[q].name << ": " << flat[q].size() << " vs "
-        << reference[q].size() << " matches";
+        << reference[q].size() << " matches (batch " << batch_size << ")";
     for (size_t m = 0; m < flat[q].size(); ++m) {
       EPL_CHECK(flat[q][m].state_times == reference[q][m].state_times)
           << queries[q].name << " match " << m
-          << " diverged from the NfaMatcher oracle";
+          << " diverged from the NfaMatcher oracle (batch " << batch_size
+          << ")";
     }
     total += flat[q].size();
   }
@@ -89,10 +103,14 @@ void VerifyFlatEquivalence(cep::MatcherOptions::Mode mode) {
 
 /// Run the cross-check at program start, not lazily inside a benchmark:
 /// the gate must hold even when a --benchmark_filter skips every
-/// benchmark that would have tripped it.
+/// benchmark that would have tripped it. Batched legs gate the
+/// ProcessFlatBatch path the batch-sweep benchmark below measures.
 const bool kFlatEquivalenceVerified = [] {
-  VerifyFlatEquivalence(cep::MatcherOptions::Mode::kDominant);
-  VerifyFlatEquivalence(cep::MatcherOptions::Mode::kExhaustive);
+  VerifyFlatEquivalence(cep::MatcherOptions::Mode::kDominant, 1);
+  VerifyFlatEquivalence(cep::MatcherOptions::Mode::kDominant, 8);
+  VerifyFlatEquivalence(cep::MatcherOptions::Mode::kDominant, 64);
+  VerifyFlatEquivalence(cep::MatcherOptions::Mode::kExhaustive, 1);
+  VerifyFlatEquivalence(cep::MatcherOptions::Mode::kExhaustive, 8);
   return true;
 }();
 
@@ -128,6 +146,51 @@ void BM_FlatRuntimeConcurrentQueries(benchmark::State& state) {
                 : 0.0;
 }
 BENCHMARK(BM_FlatRuntimeConcurrentQueries)->Arg(16)->Arg(64)->Arg(256);
+
+/// The batch sweep: events/s of ProcessBatch at window size B (range 0)
+/// under N concurrent queries (range 1). B = 1 measures the batched
+/// path's fixed overhead against BM_FlatRuntimeConcurrentQueries; rising
+/// B amortizes the per-pattern sweep setup and the bank's per-field walk.
+void BM_FlatRuntimeBatched(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  const int num_queries = static_cast<int>(state.range(1));
+  std::vector<query::CompiledQuery> queries = CompiledVariants(num_queries);
+  cep::MultiPatternMatcher multi;
+  for (const query::CompiledQuery& query : queries) {
+    multi.AddPattern(&query.pattern);
+  }
+  const std::vector<stream::Event>& events = bench::MatchWorkload();
+  std::vector<cep::MultiPatternMatcher::MultiMatch> scratch;
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    size_t pos = 0;
+    while (pos < events.size()) {
+      const size_t chunk = std::min(batch_size, events.size() - pos);
+      scratch.clear();
+      multi.ProcessBatch(events.data() + pos, chunk, &scratch);
+      matches += scratch.size();
+      pos += chunk;
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+  state.counters["batch"] = static_cast<double>(batch_size);
+  state.counters["queries"] = num_queries;
+}
+BENCHMARK(BM_FlatRuntimeBatched)
+    ->Args({1, 16})
+    ->Args({8, 16})
+    ->Args({32, 16})
+    ->Args({128, 16})
+    ->Args({1, 64})
+    ->Args({8, 64})
+    ->Args({32, 64})
+    ->Args({128, 64})
+    ->Args({1, 256})
+    ->Args({8, 256})
+    ->Args({32, 256})
+    ->Args({128, 256});
 
 /// Bank construction at paper-scale predicate counts. The checkpoint+delta
 /// region index cuts build time and index_bytes by the stride factor:

@@ -1,11 +1,16 @@
 #include "cep/multi_match_operator.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace epl::cep {
 
-MultiMatchOperator::MultiMatchOperator(MatcherOptions options)
-    : matcher_(options) {}
+MultiMatchOperator::MultiMatchOperator(MatcherOptions options,
+                                      size_t batch_size)
+    : matcher_(options), batch_size_(std::max<size_t>(1, batch_size)) {
+  window_.reserve(batch_size_);
+}
 
 int MultiMatchOperator::FindQuery(int query_id) const {
   for (size_t i = 0; i < queries_.size(); ++i) {
@@ -31,6 +36,9 @@ int MultiMatchOperator::AddQuery(QuerySpec spec) {
     op.query = std::move(query);
     pending_ops_.push_back(std::move(op));
   } else {
+    // The accumulated window predates this call; the new query must not
+    // see it.
+    FlushBatchedEvents();
     ApplyAdd(std::move(query));
   }
   return id;
@@ -55,6 +63,8 @@ Status MultiMatchOperator::RemoveQuery(int query_id) {
     op.query_id = query_id;
     pending_ops_.push_back(std::move(op));
   } else {
+    // The accumulated window predates this call; the query still sees it.
+    FlushBatchedEvents();
     ApplyRemove(query_id);
   }
   return OkStatus();
@@ -63,6 +73,7 @@ Status MultiMatchOperator::RemoveQuery(int query_id) {
 Result<MultiMatchOperator::DetachedQuery> MultiMatchOperator::ExtractQuery(
     int query_id) {
   EPL_CHECK(!processing_) << "ExtractQuery from inside a detection callback";
+  FlushBatchedEvents();
   int index = FindQuery(query_id);
   if (index < 0) {
     return NotFoundError("unknown query id " + std::to_string(query_id));
@@ -82,6 +93,7 @@ Result<MultiMatchOperator::DetachedQuery> MultiMatchOperator::ExtractQuery(
 int MultiMatchOperator::AdoptQuery(DetachedQuery detached) {
   EPL_CHECK(!processing_) << "AdoptQuery from inside a detection callback";
   EPL_CHECK(detached.pattern != nullptr && detached.matcher != nullptr);
+  FlushBatchedEvents();
   Query query;
   query.id = next_query_id_++;
   query.output_name = std::move(detached.output_name);
@@ -111,6 +123,9 @@ void MultiMatchOperator::ApplyRemove(int query_id) {
 void MultiMatchOperator::ApplyPendingOps() {
   for (PendingOp& op : pending_ops_) {
     if (op.is_add) {
+      // If a batch sweep is in flight, the new query catches up on the
+      // window's remaining events (RunBatch feeds them one by one).
+      catchup_ids_.push_back(op.query_id);
       ApplyAdd(std::move(op.query));
     } else {
       ApplyRemove(op.query_id);
@@ -119,27 +134,146 @@ void MultiMatchOperator::ApplyPendingOps() {
   pending_ops_.clear();
 }
 
-Status MultiMatchOperator::Process(const stream::Event& event) {
+void MultiMatchOperator::DispatchToQuery(const Query& query,
+                                         const PatternMatch& match,
+                                         const stream::Event& event) {
+  Detection detection;
+  detection.name = query.output_name;
+  detection.time = match.end_time();
+  detection.pose_times = match.state_times;
+  detection.measures.reserve(query.measures.size());
+  for (const ExprProgram& program : query.measures) {
+    detection.measures.push_back(program.Eval(event));
+  }
+  if (query.callback) {
+    query.callback(detection);
+  }
+}
+
+void MultiMatchOperator::Dispatch(int query_id, const PatternMatch& match,
+                                  const stream::Event& event) {
+  const int index = FindQuery(query_id);
+  if (index < 0) {
+    return;  // removed mid-batch: its remaining matches are dropped
+  }
+  DispatchToQuery(queries_[index], match, event);
+}
+
+void MultiMatchOperator::RunBatch(const stream::Event* events, size_t count) {
+  if (count == 0) {
+    return;
+  }
   processing_ = true;
   scratch_matches_.clear();
-  matcher_.Process(event, &scratch_matches_);
-  for (const MultiPatternMatcher::MultiMatch& multi_match : scratch_matches_) {
-    const Query& query = queries_[multi_match.pattern_index];
-    Detection detection;
-    detection.name = query.output_name;
-    detection.time = multi_match.match.end_time();
-    detection.pose_times = multi_match.match.state_times;
-    detection.measures.reserve(query.measures.size());
-    for (const ExprProgram& program : query.measures) {
-      detection.measures.push_back(program.Eval(event));
+  if (count == 1) {
+    // Single events keep today's per-event matcher path (ProcessFlat);
+    // batch_index defaults to 0.
+    matcher_.Process(events[0], &scratch_matches_);
+  } else {
+    matcher_.ProcessBatch(events, count, &scratch_matches_);
+  }
+  catchup_ids_.clear();
+  // Until the first mid-batch mutation, pattern indices are live and
+  // dispatch is a direct lookup; afterwards matches resolve through their
+  // stable id (dropped if the query was removed).
+  bool indices_stale = false;
+  size_t next = 0;
+  for (size_t b = 0; b < count; ++b) {
+    if (batch_event_hook_) {
+      batch_event_hook_(b);
     }
-    if (query.callback) {
-      query.callback(detection);
+    // Matches the sweep computed for this event.
+    for (; next < scratch_matches_.size() &&
+           static_cast<size_t>(scratch_matches_[next].batch_index) == b;
+         ++next) {
+      const MultiPatternMatcher::MultiMatch& match = scratch_matches_[next];
+      if (indices_stale) {
+        Dispatch(batch_ids_[match.pattern_index], match.match, events[b]);
+      } else {
+        DispatchToQuery(queries_[match.pattern_index], match.match,
+                        events[b]);
+      }
+    }
+    // Queries added mid-batch replay the window's tail event by event.
+    for (size_t c = 0; c < catchup_ids_.size(); ++c) {
+      const int index = FindQuery(catchup_ids_[c]);
+      if (index < 0) {
+        continue;  // removed again before this event
+      }
+      catchup_scratch_.clear();
+      matcher_.CatchUpPattern(index, events[b], &catchup_scratch_);
+      for (const MultiPatternMatcher::MultiMatch& match : catchup_scratch_) {
+        Dispatch(catchup_ids_[c], match.match, events[b]);
+      }
+    }
+    // Mutations requested by this event's callbacks take effect before
+    // the next event, exactly as in per-event processing.
+    if (!pending_ops_.empty()) {
+      if (!indices_stale) {
+        // First mutation of the sweep: snapshot the stable ids of the
+        // sweep's index space (queries_ is still unmutated, so this is
+        // the mapping the matches were tagged against) and dispatch by
+        // id from here on. Mutation-free sweeps -- the common case --
+        // never pay for the snapshot.
+        batch_ids_.clear();
+        for (const Query& query : queries_) {
+          batch_ids_.push_back(query.id);
+        }
+        indices_stale = true;
+      }
+      ApplyPendingOps();
     }
   }
   processing_ = false;
-  ApplyPendingOps();
+}
+
+void MultiMatchOperator::FlushBatchedEvents() {
+  // While a sweep runs (processing_), the window is necessarily empty:
+  // every RunBatch caller drains it first (Process flushes on overflow
+  // before returning, ProcessBatch and the control paths flush before
+  // sweeping), and only Process fills it. The guard therefore never skips
+  // real events; it exists so a control call issued from inside a
+  // detection callback (e.g. Close on first detection) cannot re-enter
+  // RunBatch on the window that is already being dispatched.
+  if (window_.empty() || processing_) {
+    return;
+  }
+  flushing_.clear();
+  flushing_.swap(window_);
+  RunBatch(flushing_.data(), flushing_.size());
+  flushing_.clear();
+}
+
+Status MultiMatchOperator::Process(const stream::Event& event) {
+  if (batch_size_ <= 1) {
+    RunBatch(&event, 1);
+    return Forward(event);
+  }
+  window_.push_back(event);
+  if (window_.size() >= batch_size_) {
+    FlushBatchedEvents();
+  }
   return Forward(event);
+}
+
+Status MultiMatchOperator::ProcessBatch(const stream::Event* events,
+                                        size_t count) {
+  // Re-entering from a detection callback would clobber the in-flight
+  // sweep's scratch state; fail loudly like the other non-deferrable
+  // entry points.
+  EPL_CHECK(!processing_) << "ProcessBatch from inside a detection callback";
+  FlushBatchedEvents();
+  RunBatch(events, count);
+  Status status = OkStatus();
+  for (size_t i = 0; i < count && status.ok(); ++i) {
+    status = Forward(events[i]);
+  }
+  return status;
+}
+
+Status MultiMatchOperator::Close() {
+  FlushBatchedEvents();
+  return OkStatus();
 }
 
 }  // namespace epl::cep

@@ -14,6 +14,23 @@
 // callback are deferred until the current event finishes on the old query
 // set, then applied in call order.
 //
+// Batched execution: with batch_size > 1 the operator accumulates incoming
+// events and runs them through MultiPatternMatcher::ProcessBatch in one
+// sweep, which amortizes the per-pattern loop overhead of the flattened
+// runtime (detection callbacks then fire at flush boundaries, still in
+// exact per-event order). Every control operation -- AddQuery /
+// RemoveQuery / Extract / Adopt / ResetMatchers / Close -- flushes the
+// accumulated window first, so query membership boundaries are untouched
+// by batching: a query added (removed) between two Process calls sees
+// exactly the events pushed after (before) the call. Mutations requested
+// from inside a detection callback keep their per-event semantics even
+// mid-batch: they apply before the next event of the window, removed
+// queries' remaining matches are dropped, and added queries catch up on
+// the window's remaining events (MultiPatternMatcher::CatchUpPattern) --
+// bit-identical to unbatched processing. ProcessBatch(span) is the
+// zero-accumulation entry point used by ShardedEngine workers, which
+// already receive events in fan-out batches.
+//
 // Threading contract: this operator is single-threaded like the
 // StreamEngine that owns it -- AddQuery/RemoveQuery must be serialized
 // with event processing (call them on the dispatch thread, e.g. from a
@@ -25,6 +42,7 @@
 #ifndef EPL_CEP_MULTI_MATCH_OPERATOR_H_
 #define EPL_CEP_MULTI_MATCH_OPERATOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -32,6 +50,7 @@
 
 #include "cep/detection.h"
 #include "cep/multi_matcher.h"
+#include "common/logging.h"
 #include "common/result.h"
 #include "stream/operator.h"
 
@@ -39,7 +58,10 @@ namespace epl::cep {
 
 class MultiMatchOperator : public stream::Operator {
  public:
-  explicit MultiMatchOperator(MatcherOptions options = MatcherOptions());
+  /// `batch_size` events are accumulated per matcher sweep (1 = process
+  /// every event immediately, today's per-event behavior).
+  explicit MultiMatchOperator(MatcherOptions options = MatcherOptions(),
+                              size_t batch_size = 1);
 
   /// One gesture query: compiled pattern, optional output measures
   /// (evaluated on the completing event), and the detection callback.
@@ -82,9 +104,35 @@ class MultiMatchOperator : public stream::Operator {
 
   Status Process(const stream::Event& event) override;
 
+  /// Runs `count` events through the matcher as ONE batch (flushing any
+  /// accumulated window first so stream order is kept), then forwards
+  /// them downstream. This is the ShardedEngine worker entry point: the
+  /// engine's fan-out batches map 1:1 onto matcher sweeps, with no
+  /// operator-side accumulation.
+  Status ProcessBatch(const stream::Event* events, size_t count);
+
+  /// Processes any accumulated events now. No-op when the window is empty
+  /// (always, with batch_size == 1).
+  void FlushBatchedEvents();
+
+  /// Called with the in-window event index right before that event's
+  /// detections are dispatched during a batch sweep (including
+  /// single-event processing, with index 0). ShardedEngine uses it to
+  /// stamp recorded matches with exact event sequence numbers.
+  using BatchEventHook = std::function<void(size_t)>;
+  void set_batch_event_hook(BatchEventHook hook) {
+    batch_event_hook_ = std::move(hook);
+  }
+
+  /// Flushes the accumulated window so no buffered event outlives the
+  /// stream.
+  Status Close() override;
+
   std::string name() const override {
     return "multi_match[" + std::to_string(queries_.size()) + " queries]";
   }
+
+  size_t batch_size() const { return batch_size_; }
 
   size_t num_queries() const { return queries_.size(); }
   /// Stable id of the query at `query_index` (registration order).
@@ -99,8 +147,19 @@ class MultiMatchOperator : public stream::Operator {
   }
   const MultiPatternMatcher& matcher() const { return matcher_; }
 
-  /// Discards partial matches of every query.
-  void ResetMatchers() { matcher_.Reset(); }
+  /// Discards partial matches of every query (flushing the accumulated
+  /// window first, so events pushed before the call are fully processed).
+  /// Must not be called from inside a detection callback: a batched sweep
+  /// has already matched the window's remaining events against the
+  /// pre-reset runs, so a mid-dispatch reset could not keep the
+  /// batched == per-event guarantee (use a deferred RemoveQuery/AddQuery
+  /// pair instead).
+  void ResetMatchers() {
+    EPL_CHECK(!processing_) << "ResetMatchers from inside a detection "
+                               "callback";
+    FlushBatchedEvents();
+    matcher_.Reset();
+  }
 
  private:
   struct Query {
@@ -122,14 +181,42 @@ class MultiMatchOperator : public stream::Operator {
 
   void ApplyAdd(Query query);
   void ApplyRemove(int query_id);
+  /// Applies pending ops; queries added are also appended to
+  /// `catchup_ids_` so an in-flight batch replays its remaining events
+  /// for them.
   void ApplyPendingOps();
+  /// Runs `events` through the matcher as one sweep and dispatches each
+  /// event's detections in order, applying callback-requested mutations
+  /// between events.
+  void RunBatch(const stream::Event* events, size_t count);
+  /// Builds and delivers the detection of one completed match.
+  void DispatchToQuery(const Query& query, const PatternMatch& match,
+                       const stream::Event& event);
+  /// Dispatch resolving the query by stable id -- the slow path once a
+  /// mid-batch mutation shifted indices (a query removed mid-batch
+  /// silently drops its remaining matches, exactly as if it had stopped
+  /// processing).
+  void Dispatch(int query_id, const PatternMatch& match,
+                const stream::Event& event);
 
   MultiPatternMatcher matcher_;
   std::vector<Query> queries_;  // index-aligned with matcher_ entries
   std::vector<MultiPatternMatcher::MultiMatch> scratch_matches_;
+  std::vector<MultiPatternMatcher::MultiMatch> catchup_scratch_;
   std::vector<PendingOp> pending_ops_;
   int next_query_id_ = 0;
   bool processing_ = false;
+
+  // Batched-accumulation state: the buffered window, the stable ids of
+  // the sweep's pattern-index space (snapshotted at the first mid-sweep
+  // mutation), and the queries added mid-sweep that catch up event by
+  // event.
+  size_t batch_size_ = 1;
+  std::vector<stream::Event> window_;
+  std::vector<stream::Event> flushing_;  // the window being processed
+  std::vector<int> batch_ids_;
+  std::vector<int> catchup_ids_;
+  BatchEventHook batch_event_hook_;
 };
 
 }  // namespace epl::cep

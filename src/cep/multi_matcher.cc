@@ -282,6 +282,134 @@ void MultiPatternMatcher::ProcessFlat(const stream::Event& event,
   }
 }
 
+void MultiPatternMatcher::ProcessFlatBatch(const stream::Event* events,
+                                           size_t count,
+                                           std::vector<MultiMatch>* out) {
+  arena_events_ += count;
+  batch_scratch_.clear();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    const int n = entry.num_states;
+    const size_t row0 = entry.row_offset;
+    const StateRef* refs = &states_[row0];
+    TimePoint* tbase = &times_[entry.times_offset];
+
+    // The whole B-event window for this pattern before the next pattern:
+    // its times block, active bits, and state refs stay hot across the
+    // window, so the per-pattern setup above is paid once per batch.
+    for (size_t b = 0; b < count; ++b) {
+      const TimePoint now = events[b].timestamp;
+      const uint64_t* words = bank_->batch_result_words(b);
+      bool completed = false;
+      bool activity = false;
+
+      // Advance existing runs, highest state first (mirrors ProcessFlat,
+      // which mirrors NfaMatcher::ProcessDominant -- the oracle chain the
+      // differential fuzz harness pins down).
+      if (entry.live_rows > 0) {
+        for (int s = n - 1; s >= 1; --s) {
+          if (!RowActive(row0 + static_cast<size_t>(s) - 1)) {
+            continue;
+          }
+          ++entry.counters.advance_reads;
+          const StateRef& ref = refs[s];
+          const bool satisfied =
+              ref.word >= 0 ? (words[ref.word] & ref.mask) != 0
+                            : bank_->batch_value(b, ref.fallback_id);
+          if (!satisfied) {
+            continue;
+          }
+          const TimePoint* prev = tbase + (s - 1) * n;
+          bool within = true;
+          for (uint32_t c = 0; c < ref.constraint_count; ++c) {
+            const FlatConstraint& constraint =
+                flat_constraints_[ref.constraint_begin + c];
+            if (now - prev[constraint.from_state] > constraint.max_gap) {
+              within = false;
+              break;
+            }
+          }
+          if (!within) {
+            continue;
+          }
+          TimePoint* cur = tbase + s * n;
+          std::copy_n(prev, s, cur);
+          cur[s] = now;
+          const size_t target = row0 + static_cast<size_t>(s);
+          if (!RowActive(target)) {
+            SetRow(target);
+            ++entry.live_rows;
+          }
+          activity = true;
+          if (s == n - 1) {
+            completed = true;
+          }
+        }
+      }
+
+      if (completed) {
+        PatternMatch match;
+        const TimePoint* last = tbase + (n - 1) * n;
+        match.state_times.assign(last, last + n);
+        batch_scratch_.push_back(MultiMatch{static_cast<int>(i),
+                                            std::move(match),
+                                            static_cast<int>(b)});
+        ++entry.counters.matches;
+        if (entry.consume_all) {
+          for (int s = 0; s < n; ++s) {
+            ClearRow(row0 + static_cast<size_t>(s));
+          }
+          entry.live_rows = 0;
+          ++entry.counters.seed_skips;
+          continue;
+        }
+        ClearRow(row0 + static_cast<size_t>(n) - 1);
+        --entry.live_rows;
+      }
+
+      // Seed a fresh run at state 0.
+      const StateRef& seed = refs[0];
+      const bool seeded = seed.word >= 0
+                              ? (words[seed.word] & seed.mask) != 0
+                              : bank_->batch_value(b, seed.fallback_id);
+      if (seeded) {
+        tbase[0] = now;
+        if (!RowActive(row0)) {
+          SetRow(row0);
+          ++entry.live_rows;
+        }
+        activity = true;
+        if (n == 1) {
+          PatternMatch match;
+          match.state_times.assign(1, now);
+          batch_scratch_.push_back(MultiMatch{static_cast<int>(i),
+                                              std::move(match),
+                                              static_cast<int>(b)});
+          ++entry.counters.matches;
+          ClearRow(row0);
+          entry.live_rows = 0;
+        }
+      }
+      if (activity && entry.live_rows > entry.counters.peak_runs) {
+        entry.counters.peak_runs = entry.live_rows;
+      }
+    }
+  }
+
+  // Pattern-major execution produced matches grouped by pattern; the
+  // contract is per-event order. The stable sort restores it (and keeps
+  // registration order within one event, since each pattern emitted its
+  // matches in ascending batch_index).
+  std::stable_sort(batch_scratch_.begin(), batch_scratch_.end(),
+                   [](const MultiMatch& a, const MultiMatch& b) {
+                     return a.batch_index < b.batch_index;
+                   });
+  for (MultiMatch& match : batch_scratch_) {
+    out->push_back(std::move(match));
+  }
+  batch_scratch_.clear();
+}
+
 void MultiPatternMatcher::SyncStats(const Entry& entry) const {
   NfaMatcher* matcher = entry.matcher.get();
   ArenaCounters& counters = entry.counters;
@@ -350,6 +478,57 @@ void MultiPatternMatcher::Process(const stream::Event& event,
     for (PatternMatch& match : scratch_matches_) {
       out->push_back(MultiMatch{static_cast<int>(i), std::move(match)});
     }
+  }
+}
+
+void MultiPatternMatcher::ProcessBatch(const stream::Event* events,
+                                       size_t count,
+                                       std::vector<MultiMatch>* out) {
+  if (count == 0) {
+    return;
+  }
+  if (bank_dirty_) {
+    RebuildBank();
+  }
+  if (options_.mode == MatcherOptions::Mode::kDominant) {
+    if (!bank_->built()) {
+      bank_->Build();
+    }
+    if (arena_dirty_) {
+      BuildArena();
+    }
+    bank_->EvaluateBatch(events, count);
+    ProcessFlatBatch(events, count, out);
+    return;
+  }
+  // Exhaustive mode: runs branch per pattern, so only predicate
+  // evaluation is shared; the batch degenerates to per-event processing.
+  for (size_t b = 0; b < count; ++b) {
+    bank_->Evaluate(events[b]);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      Entry& entry = entries_[i];
+      scratch_matches_.clear();
+      entry.matcher->ProcessShared(events[b], *bank_, entry.bank_ids.data(),
+                                   &scratch_matches_);
+      for (PatternMatch& match : scratch_matches_) {
+        out->push_back(MultiMatch{static_cast<int>(i), std::move(match),
+                                  static_cast<int>(b)});
+      }
+    }
+  }
+}
+
+void MultiPatternMatcher::CatchUpPattern(int index, const stream::Event& event,
+                                         std::vector<MultiMatch>* out) {
+  EPL_CHECK(index >= 0 && static_cast<size_t>(index) < entries_.size());
+  Entry& entry = entries_[static_cast<size_t>(index)];
+  // Arena residency would mean the pattern already consumed the batch the
+  // caller is replaying for it.
+  EPL_CHECK(!entry.in_arena) << "catch-up on an arena-resident pattern";
+  scratch_matches_.clear();
+  entry.matcher->Process(event, &scratch_matches_);
+  for (PatternMatch& match : scratch_matches_) {
+    out->push_back(MultiMatch{index, std::move(match), 0});
   }
 }
 

@@ -81,6 +81,10 @@ class MultiPatternMatcher {
   struct MultiMatch {
     int pattern_index = 0;
     PatternMatch match;
+    /// Index of the completing event inside the window passed to
+    /// ProcessBatch (always 0 for single-event Process), so batched
+    /// output can be merged in per-event order.
+    int batch_index = 0;
   };
 
   /// Feeds one event to every pattern; appends completed matches to `out`
@@ -88,6 +92,30 @@ class MultiPatternMatcher {
   /// Rebuilds the shared bank and the arena first if the pattern set
   /// changed.
   void Process(const stream::Event& event, std::vector<MultiMatch>* out);
+
+  /// Batched Process: feeds the `count` events of `events` (in stream
+  /// order) to every pattern, appending exactly the matches `count`
+  /// single-event Process calls would produce, in the same order --
+  /// ascending batch_index, and within one event grouped by pattern index
+  /// -- each tagged with the in-batch index of its completing event. In
+  /// dominant mode the bank answers the whole window in one pass per field
+  /// (EvaluateBatch) and the flattened loop advances each (pattern, state)
+  /// arena row across all `count` events before touching the next pattern,
+  /// so per-pattern loop overhead is paid once per batch instead of once
+  /// per event. The batched loop is a separate code path from ProcessFlat;
+  /// tests/cep_differential_fuzz_test.cc asserts they stay bit-identical.
+  void ProcessBatch(const stream::Event* events, size_t count,
+                    std::vector<MultiMatch>* out);
+
+  /// Feeds `event` to ONLY the pattern at `index`, which must have been
+  /// added (or adopted) since the last Process/ProcessBatch call and
+  /// therefore is not arena-resident yet. This is how a query added from
+  /// inside a detection callback catches up on the remaining events of a
+  /// batch its neighbours already consumed (see MultiMatchOperator);
+  /// predicate truth is evaluated by the pattern's own matcher, bit-exact
+  /// with the shared bank by construction.
+  void CatchUpPattern(int index, const stream::Event& event,
+                      std::vector<MultiMatch>* out);
 
   /// Discards all partial runs of every pattern.
   void Reset();
@@ -166,6 +194,11 @@ class MultiPatternMatcher {
   void BuildArena();
   /// The flattened dominant-mode hot loop.
   void ProcessFlat(const stream::Event& event, std::vector<MultiMatch>* out);
+  /// The batched flattened loop: pattern-major over the event window (the
+  /// bank must already have EvaluateBatch()d it). Emits matches sorted by
+  /// (batch_index, pattern_index).
+  void ProcessFlatBatch(const stream::Event* events, size_t count,
+                        std::vector<MultiMatch>* out);
   /// Folds the entry's arena counters into its matcher's MatcherStats.
   void SyncStats(const Entry& entry) const;
   /// Copies the entry's arena rows into its matcher's dominant-run
@@ -179,6 +212,7 @@ class MultiPatternMatcher {
   uint64_t bank_generation_ = 0;
   std::vector<Entry> entries_;
   std::vector<PatternMatch> scratch_matches_;
+  std::vector<MultiMatch> batch_scratch_;
 
   // The dominant-mode arena: row (entry.row_offset + state) is one NFA
   // state of one pattern; its run's entry timestamps for states 0..s live

@@ -595,6 +595,73 @@ void PredicateBank::Evaluate(const stream::Event& event) {
   }
 }
 
+void PredicateBank::EvaluateBatch(const stream::Event* events, size_t count) {
+  if (!built_) {
+    Build();
+  }
+  stats_.events += count;
+  batch_events_ = events;
+
+  const size_t num_words = words();
+  batch_words_.assign(num_words * count, ~uint64_t{0});
+  for (FieldIndex& index : fields_) {
+    // One memo walk over the whole window: event b only searches (and
+    // replays deltas) when it leaves event b-1's elementary region.
+    for (size_t b = 0; b < count; ++b) {
+      uint64_t* row = batch_words_.data() + b * num_words;
+      double v = events[b].values[index.field];
+      if (std::isnan(v)) {
+        // No interval contains NaN; clear every predicate constrained
+        // here. The memo stays valid for the next event.
+        for (size_t w = 0; w < num_words; ++w) {
+          row[w] &= ~index.constrained[w];
+        }
+        continue;
+      }
+      if (index.memo_valid && RegionContains(index, index.memo_region, v)) {
+        ++stats_.region_memo_hits;
+      } else {
+        ++stats_.region_searches;
+        size_t pos = static_cast<size_t>(
+            std::lower_bound(index.bounds.begin(), index.bounds.end(), v) -
+            index.bounds.begin());
+        size_t region = (pos < index.bounds.size() && index.bounds[pos] == v)
+                            ? 2 * pos + 1
+                            : 2 * pos;
+        SeekRegion(&index, region);
+      }
+      const uint64_t* region_words = index.memo_words.data();
+      for (size_t w = 0; w < num_words; ++w) {
+        row[w] &= region_words[w];
+      }
+    }
+  }
+
+  if (!fallback_programs_.empty()) {
+    batch_fallback_values_.assign(fallback_programs_.size() * count, -1);
+  }
+}
+
+bool PredicateBank::batch_value(size_t b, int id) const {
+  const Predicate& predicate = predicates_[id];
+  if (predicate.decomposable) {
+    const size_t bit = static_cast<size_t>(predicate.slot);
+    return (batch_words_[b * words() + (bit >> 6)] >> (bit & 63)) & 1;
+  }
+  int8_t& cached =
+      batch_fallback_values_[b * fallback_programs_.size() +
+                             static_cast<size_t>(predicate.slot)];
+  if (cached < 0) {
+    ++stats_.program_evaluations;
+    cached =
+        fallback_programs_[static_cast<size_t>(predicate.slot)]->EvalBool(
+            batch_events_[b])
+            ? 1
+            : 0;
+  }
+  return cached == 1;
+}
+
 bool PredicateBank::value(int id) const {
   const Predicate& predicate = predicates_[id];
   if (predicate.decomposable) {

@@ -98,8 +98,31 @@ class PredicateBank {
   /// the lazy fallback cache mutates under value().
   void Evaluate(const stream::Event& event);
 
+  /// Batched Evaluate: answers `count` events in one pass per field. Each
+  /// field performs ONE region-memo walk over the whole window -- the
+  /// binary search and checkpoint+delta replay happen only when an event
+  /// leaves the previous event's elementary region, so consecutive
+  /// same-region events (the common 30 Hz case) cost a bounds check and a
+  /// bitset AND each. Results are read back per in-batch index with
+  /// batch_result_words(b) / batch_value(b, id). `events` is borrowed, not
+  /// copied: it must stay valid until the next Evaluate/EvaluateBatch
+  /// (batch_value interprets fallback predicates lazily against it).
+  void EvaluateBatch(const stream::Event* events, size_t count);
+
   /// Truth of bank predicate `id` for the last evaluated event.
   bool value(int id) const;
+
+  /// Satisfied-predicate words of in-batch event `b` of the last
+  /// EvaluateBatch (num_decomposable() bits; same layout as
+  /// result_words()).
+  const uint64_t* batch_result_words(size_t b) const {
+    return batch_words_.data() + b * words();
+  }
+
+  /// Truth of bank predicate `id` for in-batch event `b` of the last
+  /// EvaluateBatch. Fallback predicates are interpreted lazily per
+  /// (event, predicate), exactly like value().
+  bool batch_value(size_t b, int id) const;
 
   /// Columnar read surface for the flattened multi-pattern runtime: the
   /// truth of a decomposable predicate for the last evaluated event is bit
@@ -209,6 +232,13 @@ class PredicateBank {
   std::vector<uint64_t> result_words_;
   mutable std::vector<int8_t> fallback_values_;
   stream::Event current_event_;
+
+  // Last EvaluateBatch() results: one words()-sized row per in-batch
+  // event, plus a (event x fallback slot) lazy truth grid over the
+  // borrowed event window.
+  std::vector<uint64_t> batch_words_;
+  mutable std::vector<int8_t> batch_fallback_values_;
+  const stream::Event* batch_events_ = nullptr;
 
   mutable PredicateBankStats stats_;
 };

@@ -16,6 +16,21 @@ uint64_t QueryCostWeight(const CompiledPattern& pattern) {
   return std::max<uint64_t>(1, weight);
 }
 
+uint64_t MeasuredQueryCostWeight(const MatcherStats& stats,
+                                 uint64_t static_weight) {
+  if (stats.events == 0) {
+    return std::max<uint64_t>(1, static_weight);
+  }
+  // Per-event predicate reads, whether served by the shared bank
+  // (predicate_cache_hits: seed + advance reads of the flattened loop) or
+  // interpreted directly (predicate_evaluations). The factor 2 puts the
+  // result on the static states+predicates scale; ceil keeps any observed
+  // activity above the floor.
+  const uint64_t reads =
+      stats.predicate_evaluations + stats.predicate_cache_hits;
+  return std::max<uint64_t>(1, (2 * reads + stats.events - 1) / stats.events);
+}
+
 int PickRebalanceVictim(
     const std::vector<uint64_t>& shard_weights,
     const std::vector<std::pair<int, uint64_t>>& candidates,
@@ -63,6 +78,13 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(
         std::make_unique<Shard>(options_.matcher, options_.queue_capacity));
+    // The worker runs each fan-out batch as one matcher sweep; the hook
+    // stamps current_seq per event so the recorders still tag matches
+    // with exact sequence numbers.
+    Shard* raw = shards_.back().get();
+    raw->op.set_batch_event_hook([raw](size_t index) {
+      raw->current_seq = raw->batch_base_seq + index;
+    });
   }
   pending_batch_ = std::make_unique<Batch>();
   pending_batch_->events.reserve(options_.batch_size);
@@ -159,7 +181,8 @@ int ShardedEngine::AddQuery(QuerySpec spec) {
   const int id = next_query_id_++;
   QueryInfo info;
   info.callback = std::move(spec.callback);
-  info.weight = QueryCostWeight(spec.pattern);
+  info.static_weight = QueryCostWeight(spec.pattern);
+  info.weight = info.static_weight;
   info.shard = LeastLoadedShard();
   Shard* shard = shards_[static_cast<size_t>(info.shard)].get();
   spec.callback = MakeRecorder(shard, id);
@@ -225,27 +248,23 @@ std::vector<ShardedEngine::QueryStatsSnapshot> ShardedEngine::QueryStats() {
     // Quiesce so no worker is mid-event while stats are read.
     PauseWorkers();
   }
+  const std::vector<std::unordered_map<int, int>> local_index =
+      LocalIndexLocked();
   std::vector<QueryStatsSnapshot> snapshots;
   snapshots.reserve(queries_.size());
-  // Resolve local ids shard by shard (one walk per operator) instead of a
-  // linear FindQuery scan per query, which would be O(Q^2) while the
-  // workers sit paused.
-  std::vector<std::unordered_map<int, int>> local_index(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    const MultiMatchOperator& op = shards_[s]->op;
-    for (size_t q = 0; q < op.num_queries(); ++q) {
-      local_index[s].emplace(op.query_id(static_cast<int>(q)),
-                             static_cast<int>(q));
-    }
-  }
-  for (const auto& [query_id, info] : queries_) {
+  for (auto& [query_id, info] : queries_) {
     QueryStatsSnapshot snapshot;
     snapshot.query_id = query_id;
     snapshot.shard = info.shard;
-    snapshot.weight = info.weight;
     MultiMatchOperator& op = shards_[static_cast<size_t>(info.shard)]->op;
+    // One stats sync per query serves both the snapshot and the
+    // measured-weight refresh (the snapshot is the natural moment to fold
+    // observed cost back into placement weights: workers are quiesced, so
+    // the numbers are mutually consistent).
     snapshot.stats = op.matcher_stats(
         local_index[static_cast<size_t>(info.shard)].at(info.local_id));
+    info.weight = MeasuredQueryCostWeight(snapshot.stats, info.static_weight);
+    snapshot.weight = info.weight;
     snapshots.push_back(snapshot);
   }
   if (live) {
@@ -327,14 +346,17 @@ void ShardedEngine::WorkerLoop(Shard* shard) {
       continue;
     }
     const Batch& batch = *command->batch;
-    for (size_t i = 0; i < batch.events.size(); ++i) {
-      shard->current_seq = batch.base_seq + i;
-      Status status = shard->op.Process(batch.events[i]);
-      if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        if (shard->status.ok()) {
-          shard->status = status;
-        }
+    // The whole fan-out batch runs as ONE matcher sweep: the shard's bank
+    // answers all events in one pass per field and every pattern advances
+    // across the window before the next pattern is touched. The operator's
+    // batch-event hook keeps current_seq exact per event.
+    shard->batch_base_seq = batch.base_seq;
+    Status status =
+        shard->op.ProcessBatch(batch.events.data(), batch.events.size());
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      if (shard->status.ok()) {
+        shard->status = status;
       }
     }
     if (!shard->local.empty()) {
@@ -441,6 +463,30 @@ uint64_t ShardedEngine::MinProcessed() const {
   return watermark;
 }
 
+std::vector<std::unordered_map<int, int>> ShardedEngine::LocalIndexLocked()
+    const {
+  std::vector<std::unordered_map<int, int>> local_index(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const MultiMatchOperator& op = shards_[s]->op;
+    for (size_t q = 0; q < op.num_queries(); ++q) {
+      local_index[s].emplace(op.query_id(static_cast<int>(q)),
+                             static_cast<int>(q));
+    }
+  }
+  return local_index;
+}
+
+void ShardedEngine::RefreshWeightsLocked(
+    const std::vector<std::unordered_map<int, int>>& local_index) {
+  for (auto& [query_id, info] : queries_) {
+    (void)query_id;
+    MultiMatchOperator& op = shards_[static_cast<size_t>(info.shard)]->op;
+    const MatcherStats& stats = op.matcher_stats(
+        local_index[static_cast<size_t>(info.shard)].at(info.local_id));
+    info.weight = MeasuredQueryCostWeight(stats, info.static_weight);
+  }
+}
+
 std::vector<uint64_t> ShardedEngine::ShardWeightsLocked() const {
   std::vector<uint64_t> weights(shards_.size(), 0);
   for (const auto& [query_id, info] : queries_) {
@@ -477,6 +523,10 @@ int ShardedEngine::LeastLoadedShard() const {
 }
 
 void ShardedEngine::Rebalance() {
+  // Rebalancing always runs quiesced (callers pause the workers when
+  // live), so the matcher statistics are mutually consistent: re-derive
+  // every weight from measured per-event cost before picking victims.
+  RefreshWeightsLocked(LocalIndexLocked());
   // Loop-invariant: moves change shard assignment, not the query set.
   const uint64_t budget = SkewBudget();
   while (true) {

@@ -54,6 +54,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cep/multi_match_operator.h"
@@ -65,8 +66,11 @@ namespace epl::cep {
 struct ShardedEngineOptions {
   /// Number of worker shards (clamped to >= 1).
   int num_shards = 1;
-  /// Events per fan-out batch. Batching amortizes queue locking: one
-  /// enqueue per shard per batch, sharing a single copy of the events.
+  /// Events per fan-out batch. Batching amortizes queue locking (one
+  /// enqueue per shard per batch, sharing a single copy of the events)
+  /// AND matcher execution: each worker runs the whole batch as one
+  /// MultiPatternMatcher::ProcessBatch sweep -- one bank pass per field
+  /// per batch, each pattern advanced across the window in one go.
   /// Larger batches raise throughput, smaller ones lower match delivery
   /// latency (a live 30 Hz stream wants ~1-8, an offline replay 32+).
   size_t batch_size = 32;
@@ -87,6 +91,19 @@ struct ShardedEngineOptions {
 /// the flattened runtime). Never returns 0, so an engine that cannot
 /// derive costs degenerates to balancing query counts.
 uint64_t QueryCostWeight(const CompiledPattern& pattern);
+
+/// Measured placement weight of a live query: observed predicate reads per
+/// event (from its MatcherStats counters), scaled onto the same unit as
+/// the static QueryCostWeight -- a fully active n-state pattern reads ~n
+/// predicates per event and has static weight ~2n, hence the factor 2.
+/// Falls back to `static_weight` while no events have been observed, so
+/// placement of cold queries still follows the structural heuristic. Never
+/// returns 0. ShardedEngine refreshes every query's weight from this
+/// before rebalancing (and in QueryStats), so a query that is measurably
+/// hot -- runs alive, predicates firing -- outweighs a statically heavy
+/// one that the stream never wakes up.
+uint64_t MeasuredQueryCostWeight(const MatcherStats& stats,
+                                 uint64_t static_weight);
 
 /// Pure placement policy behind ShardedEngine::Rebalance, exposed for
 /// direct unit testing. `shard_weights` is the total cost per shard;
@@ -203,7 +220,11 @@ class ShardedEngine {
     stream::BoundedQueue<Command> queue;
     std::thread worker;
 
-    // Worker-thread-only state while processing a batch.
+    // Worker-thread-only state while processing a batch. current_seq is
+    // stamped per event by the operator's batch-event hook (base_seq +
+    // in-batch index) so recorded matches carry exact sequence numbers
+    // even though the whole batch runs as one matcher sweep.
+    uint64_t batch_base_seq = 0;
     uint64_t current_seq = 0;
     std::vector<PendingMatch> local;
 
@@ -218,7 +239,10 @@ class ShardedEngine {
   struct QueryInfo {
     int shard = -1;
     int local_id = -1;  // id inside the shard's MultiMatchOperator
-    uint64_t weight = 1;  // QueryCostWeight of the pattern
+    /// Active placement weight: MeasuredQueryCostWeight of the latest
+    /// stats snapshot, refreshed at every quiesced rebalance.
+    uint64_t weight = 1;
+    uint64_t static_weight = 1;  // QueryCostWeight of the pattern
     DetectionCallback callback;
   };
 
@@ -233,6 +257,14 @@ class ShardedEngine {
   /// Delivers every merged match below the fleet watermark.
   void DrainAndDeliver();
   uint64_t MinProcessed() const;
+  /// Per shard, the map from a query's local id to its current index in
+  /// that shard's operator (one walk per operator instead of an O(Q^2)
+  /// FindQuery scan per query; control_mu_ held).
+  std::vector<std::unordered_map<int, int>> LocalIndexLocked() const;
+  /// Re-derives every query's placement weight from its live matcher
+  /// statistics (control_mu_ held, workers quiesced when live).
+  void RefreshWeightsLocked(
+      const std::vector<std::unordered_map<int, int>>& local_index);
   /// Total query cost weight per shard (control_mu_ held).
   std::vector<uint64_t> ShardWeightsLocked() const;
   /// Tolerated heaviest-lightest gap: max_query_skew average weights.

@@ -111,13 +111,14 @@ Result<CompiledQuery> CompileForDeployment(stream::StreamEngine* engine,
 Result<FusedDeployment> DeployQueriesFused(stream::StreamEngine* engine,
                                            const std::vector<ParsedQuery>& parsed,
                                            cep::DetectionCallback callback,
-                                           cep::MatcherOptions options) {
+                                           cep::MatcherOptions options,
+                                           size_t batch_size) {
   EPL_ASSIGN_OR_RETURN(std::string source, SharedSourceStream(parsed));
   Result<stream::Schema> schema = engine->GetSchema(source);
   if (!schema.ok()) {
     return schema.status().WithContext("fused queries read undeclared stream");
   }
-  auto op = std::make_unique<cep::MultiMatchOperator>(options);
+  auto op = std::make_unique<cep::MultiMatchOperator>(options, batch_size);
   cep::MultiMatchOperator* raw = op.get();
   for (const ParsedQuery& query : parsed) {
     EPL_ASSIGN_OR_RETURN(CompiledQuery compiled, CompileQuery(query, *schema));

@@ -61,9 +61,15 @@ struct FusedDeployment {
 /// `callback` (distinguished by Detection::name). Undeploying the returned
 /// handle removes all the queries at once; individual queries can be
 /// exchanged at runtime via AddFusedQuery / FusedDeployment::op.
+/// `batch_size` > 1 makes the operator accumulate that many events per
+/// matcher sweep (offline replays; detections then fire at flush
+/// boundaries, still in exact per-event order -- see MultiMatchOperator).
+/// Drain the tail of a finished stream with
+/// `deployment.op->FlushBatchedEvents()` (Undeploy flushes via Close).
 Result<FusedDeployment> DeployQueriesFused(
     stream::StreamEngine* engine, const std::vector<ParsedQuery>& parsed,
-    cep::DetectionCallback callback, cep::MatcherOptions options = {});
+    cep::DetectionCallback callback, cep::MatcherOptions options = {},
+    size_t batch_size = 1);
 
 /// Compiles `parsed` against the deployment's stream and adds it to the
 /// live fused operator (paper's "exchange gestures during runtime");

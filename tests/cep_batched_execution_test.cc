@@ -1,0 +1,412 @@
+// Batch-boundary behavior of the batched flat runtime, end to end:
+// matcher-level chunking equivalence (including chunk size 1, which must
+// take the same ProcessFlatBatch path and agree with per-event
+// ProcessFlat), partial runs spanning batch edges, MultiMatchOperator
+// window accumulation (control operations flush first; callback-driven
+// add/remove keeps per-event semantics mid-batch via pattern catch-up),
+// and ShardedEngine workers executing whole fan-out batches as one
+// matcher sweep without perturbing the deterministic merge order.
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cep/multi_match_operator.h"
+#include "cep/multi_matcher.h"
+#include "cep/pattern.h"
+#include "cep/sharded_engine.h"
+#include "cep_workload_test_util.h"
+#include "query/compiler.h"
+#include "test_util.h"
+
+namespace epl::cep {
+namespace {
+
+using stream::Event;
+using testing::CompileDefinitions;
+using testing::DetectionRecord;
+using testing::MakeSpec;
+using testing::Recorder;
+using testing::TrainedDefinitions;
+using testing::Workload;
+
+const stream::Schema& XSchema() {
+  static const stream::Schema* schema =
+      new stream::Schema(std::vector<std::string>{"x"});
+  return *schema;
+}
+
+/// A chain pattern over field x: one pose per (center, width) range.
+CompiledPattern CompileChain(
+    const std::vector<std::pair<double, double>>& ranges,
+    std::optional<Duration> within = std::nullopt) {
+  std::vector<PatternExprPtr> poses;
+  poses.reserve(ranges.size());
+  for (const auto& [center, width] : ranges) {
+    poses.push_back(
+        PatternExpr::Pose("s", Expr::RangePredicate("x", center, width)));
+  }
+  Result<CompiledPattern> compiled = CompiledPattern::Compile(
+      *PatternExpr::Sequence(std::move(poses), within, WithinMode::kGap),
+      XSchema());
+  EPL_CHECK(compiled.ok()) << compiled.status();
+  return std::move(compiled).value();
+}
+
+Event XEvent(double t_ms, double x) {
+  return Event(DurationFromMillis(t_ms), {x});
+}
+
+MultiMatchOperator::QuerySpec ChainSpec(
+    const std::string& name,
+    const std::vector<std::pair<double, double>>& ranges,
+    DetectionCallback callback) {
+  MultiMatchOperator::QuerySpec spec;
+  spec.output_name = name;
+  spec.pattern = CompileChain(ranges);
+  spec.callback = std::move(callback);
+  return spec;
+}
+
+/// Per-pattern match streams of a kinect workload under a fixed chunking.
+std::vector<std::vector<PatternMatch>> ChunkedMatches(
+    const std::vector<query::CompiledQuery>& queries,
+    const std::vector<Event>& events, size_t chunk_size,
+    MatcherOptions options) {
+  MultiPatternMatcher multi(options);
+  for (const query::CompiledQuery& query : queries) {
+    multi.AddPattern(&query.pattern);
+  }
+  std::vector<std::vector<PatternMatch>> matches(queries.size());
+  std::vector<MultiPatternMatcher::MultiMatch> scratch;
+  size_t pos = 0;
+  while (pos < events.size()) {
+    const size_t chunk = std::min(chunk_size, events.size() - pos);
+    scratch.clear();
+    if (chunk_size == 0) {  // sentinel: per-event Process reference
+      multi.Process(events[pos], &scratch);
+      pos += 1;
+    } else {
+      multi.ProcessBatch(events.data() + pos, chunk, &scratch);
+      pos += chunk;
+    }
+    for (MultiPatternMatcher::MultiMatch& match : scratch) {
+      matches[static_cast<size_t>(match.pattern_index)].push_back(
+          std::move(match.match));
+    }
+  }
+  return matches;
+}
+
+TEST(BatchedExecutionTest, ChunkingIsEquivalentToPerEventProcessing) {
+  std::vector<query::CompiledQuery> queries =
+      CompileDefinitions(TrainedDefinitions(6));
+  std::vector<Event> events = Workload(21);
+  for (MatcherOptions::Mode mode : {MatcherOptions::Mode::kDominant,
+                                    MatcherOptions::Mode::kExhaustive}) {
+    MatcherOptions options;
+    options.mode = mode;
+    std::vector<std::vector<PatternMatch>> reference =
+        ChunkedMatches(queries, events, 0, options);
+    size_t total = 0;
+    for (const std::vector<PatternMatch>& matches : reference) {
+      total += matches.size();
+    }
+    ASSERT_GT(total, 0u);
+    // Chunk 1 exercises ProcessFlatBatch's B=1 degenerate case; the rest
+    // place batch edges at varying offsets relative to the matches.
+    for (size_t chunk : {size_t{1}, size_t{3}, size_t{7}, size_t{16},
+                         size_t{64}, events.size()}) {
+      std::vector<std::vector<PatternMatch>> batched =
+          ChunkedMatches(queries, events, chunk, options);
+      for (size_t q = 0; q < queries.size(); ++q) {
+        ASSERT_EQ(batched[q].size(), reference[q].size())
+            << "mode " << static_cast<int>(mode) << " chunk " << chunk
+            << " query " << q;
+        for (size_t m = 0; m < batched[q].size(); ++m) {
+          ASSERT_EQ(batched[q][m].state_times, reference[q][m].state_times)
+              << "mode " << static_cast<int>(mode) << " chunk " << chunk
+              << " query " << q << " match " << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedExecutionTest, PartialRunSpansBatchEdge) {
+  CompiledPattern pattern =
+      CompileChain({{1.0, 0.4}, {2.0, 0.4}, {3.0, 0.4}}, kSecond);
+  MultiPatternMatcher multi;
+  multi.AddPattern(&pattern);
+
+  // The run seeds and advances inside the first batch and completes in
+  // the second: its entry timestamps must carry across the edge.
+  std::vector<Event> events = {XEvent(0, 1.0), XEvent(100, 2.0),
+                               XEvent(200, 3.0)};
+  std::vector<MultiPatternMatcher::MultiMatch> matches;
+  multi.ProcessBatch(events.data(), 2, &matches);
+  EXPECT_TRUE(matches.empty());
+  multi.ProcessBatch(events.data() + 2, 1, &matches);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].batch_index, 0);
+  EXPECT_EQ(matches[0].match.state_times,
+            (std::vector<TimePoint>{DurationFromMillis(0),
+                                    DurationFromMillis(100),
+                                    DurationFromMillis(200)}));
+}
+
+TEST(BatchedExecutionTest, OperatorBatchSizeOneKeepsPerEventBehavior) {
+  // batch_size 1 (the default) must not accumulate: detections fire
+  // inside Process, before the call returns.
+  MultiMatchOperator op(MatcherOptions(), /*batch_size=*/1);
+  std::vector<DetectionRecord> records;
+  op.AddQuery(ChainSpec("every", {{1.0, 0.5}}, Recorder(&records)));
+  EPL_ASSERT_OK(op.Process(XEvent(0, 1.0)));
+  EXPECT_EQ(records.size(), 1u);
+  EPL_ASSERT_OK(op.Process(XEvent(10, 1.0)));
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(BatchedExecutionTest, ControlOperationsFlushTheAccumulatedWindow) {
+  MultiMatchOperator op(MatcherOptions(), /*batch_size=*/100);
+  std::vector<DetectionRecord> first_records;
+  std::vector<DetectionRecord> second_records;
+  const int first_id =
+      op.AddQuery(ChainSpec("first", {{1.0, 0.5}}, Recorder(&first_records)));
+
+  // Three events accumulate: nothing is dispatched yet.
+  for (int i = 0; i < 3; ++i) {
+    EPL_ASSERT_OK(op.Process(XEvent(10.0 * i, 1.0)));
+  }
+  EXPECT_TRUE(first_records.empty());
+
+  // AddQuery flushes the window first: the buffered events are delivered
+  // to the old query set and the new query sees none of them.
+  op.AddQuery(ChainSpec("second", {{1.0, 0.5}}, Recorder(&second_records)));
+  EXPECT_EQ(first_records.size(), 3u);
+  EXPECT_TRUE(second_records.empty());
+
+  // Two more accumulate; RemoveQuery flushes first, so the removed query
+  // still sees them.
+  for (int i = 3; i < 5; ++i) {
+    EPL_ASSERT_OK(op.Process(XEvent(10.0 * i, 1.0)));
+  }
+  EXPECT_EQ(first_records.size(), 3u);
+  EPL_ASSERT_OK(op.RemoveQuery(first_id));
+  EXPECT_EQ(first_records.size(), 5u);
+  EXPECT_EQ(second_records.size(), 2u);
+
+  // Close flushes the tail; the removed query is gone.
+  for (int i = 5; i < 7; ++i) {
+    EPL_ASSERT_OK(op.Process(XEvent(10.0 * i, 1.0)));
+  }
+  EPL_ASSERT_OK(op.Close());
+  EXPECT_EQ(first_records.size(), 5u);
+  EXPECT_EQ(second_records.size(), 4u);
+}
+
+TEST(BatchedExecutionTest, ResetMatchersFlushesTheAccumulatedWindow) {
+  MultiMatchOperator op(MatcherOptions(), /*batch_size=*/100);
+  std::vector<DetectionRecord> records;
+  // 2-state chain: the first event seeds, the second completes.
+  op.AddQuery(ChainSpec("pair", {{1.0, 0.5}, {2.0, 0.5}}, Recorder(&records)));
+  EPL_ASSERT_OK(op.Process(XEvent(0, 1.0)));
+  EPL_ASSERT_OK(op.Process(XEvent(10, 2.0)));
+  // The buffered pair must complete BEFORE the reset discards runs; the
+  // seed event after it must not pair with pre-reset state.
+  op.ResetMatchers();
+  EXPECT_EQ(records.size(), 1u);
+  EPL_ASSERT_OK(op.Process(XEvent(20, 2.0)));
+  EPL_ASSERT_OK(op.Close());
+  EXPECT_EQ(records.size(), 1u);  // no seed survived the reset
+}
+
+TEST(BatchedExecutionTest, CloseFromInsideACallbackDoesNotRerunTheWindow) {
+  auto op = std::make_unique<MultiMatchOperator>(MatcherOptions(),
+                                                /*batch_size=*/4);
+  std::vector<DetectionRecord> records;
+  MultiMatchOperator::QuerySpec spec =
+      ChainSpec("every", {{1.0, 0.5}}, nullptr);
+  MultiMatchOperator* raw = op.get();
+  spec.callback = [&records, raw](const Detection& detection) {
+    records.push_back(DetectionRecord{detection.name, detection.time,
+                                      detection.pose_times});
+    // A re-entrant flush mid-sweep must not process the window twice.
+    EPL_EXPECT_OK(raw->Close());
+  };
+  op->AddQuery(std::move(spec));
+  for (int i = 0; i < 4; ++i) {
+    EPL_ASSERT_OK(op->Process(XEvent(10.0 * i, 1.0)));
+  }
+  ASSERT_EQ(records.size(), 4u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].time, DurationFromMillis(10.0 * i));
+  }
+}
+
+/// One run of the mid-callback self-exchange scenario: query "first"
+/// removes itself and installs "second" from inside its first detection
+/// callback, mid-stream. Returns every detection in delivery order.
+std::vector<DetectionRecord> RunMidCallbackExchange(size_t batch_size) {
+  auto op = std::make_unique<MultiMatchOperator>(MatcherOptions(), batch_size);
+  std::vector<DetectionRecord> records;
+  bool exchanged = false;
+  int first_id = -1;
+  MultiMatchOperator::QuerySpec spec =
+      ChainSpec("first", {{1.0, 0.5}}, nullptr);
+  MultiMatchOperator* raw = op.get();
+  spec.callback = [&records, &exchanged, &first_id, raw](
+                      const Detection& detection) {
+    records.push_back(DetectionRecord{detection.name, detection.time,
+                                      detection.pose_times});
+    if (!exchanged) {
+      exchanged = true;
+      std::vector<DetectionRecord>* out = &records;
+      MultiMatchOperator::QuerySpec replacement =
+          ChainSpec("second", {{1.0, 0.5}}, Recorder(out));
+      raw->AddQuery(std::move(replacement));
+      EPL_EXPECT_OK(raw->RemoveQuery(first_id));
+    }
+  };
+  first_id = op->AddQuery(std::move(spec));
+  for (int i = 0; i < 10; ++i) {
+    EPL_EXPECT_OK(op->Process(XEvent(10.0 * i, 1.0)));
+  }
+  EPL_EXPECT_OK(op->Close());
+  return records;
+}
+
+TEST(BatchedExecutionTest, MidCallbackExchangeIsBitExactUnderBatching) {
+  // Unbatched semantics: "first" fires once (event 0), the exchange
+  // applies before event 1, and "second" -- added mid-stream -- sees
+  // events 1..9. A batched operator must reproduce this exactly even when
+  // the exchange lands in the middle of a window: the removed query's
+  // remaining matches are dropped and the added query catches up on the
+  // window's tail.
+  const std::vector<DetectionRecord> reference = RunMidCallbackExchange(1);
+  ASSERT_EQ(reference.size(), 10u);
+  EXPECT_EQ(reference[0].name, "first");
+  for (size_t i = 1; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].name, "second");
+    EXPECT_EQ(reference[i].time, DurationFromMillis(10.0 * i));
+  }
+  for (size_t batch_size : {size_t{2}, size_t{4}, size_t{7}, size_t{100}}) {
+    const std::vector<DetectionRecord> batched =
+        RunMidCallbackExchange(batch_size);
+    ASSERT_TRUE(batched == reference) << "batch_size " << batch_size << ": "
+                                      << batched.size() << " vs "
+                                      << reference.size() << " records";
+  }
+}
+
+TEST(BatchedExecutionTest, MidCallbackRemoveDropsTailMatchesOfTheWindow) {
+  // Two queries fire on every event; "killer"'s first detection removes
+  // "victim". The victim still sees the in-flight event (its match for
+  // that event is delivered) but none after, no matter where the batch
+  // edges fall.
+  auto run = [](size_t batch_size) {
+    MultiMatchOperator op(MatcherOptions(), batch_size);
+    std::vector<DetectionRecord> records;
+    int victim_id = -1;
+    bool removed = false;
+    MultiMatchOperator::QuerySpec killer =
+        ChainSpec("killer", {{1.0, 0.5}}, nullptr);
+    killer.callback = [&records, &removed, &victim_id,
+                       &op](const Detection& detection) {
+      records.push_back(DetectionRecord{detection.name, detection.time,
+                                        detection.pose_times});
+      if (!removed) {
+        removed = true;
+        EPL_EXPECT_OK(op.RemoveQuery(victim_id));
+      }
+    };
+    op.AddQuery(std::move(killer));
+    victim_id = op.AddQuery(ChainSpec("victim", {{1.0, 0.5}},
+                                      Recorder(&records)));
+    for (int i = 0; i < 6; ++i) {
+      EPL_EXPECT_OK(op.Process(XEvent(10.0 * i, 1.0)));
+    }
+    EPL_EXPECT_OK(op.Close());
+    return records;
+  };
+  const std::vector<DetectionRecord> reference = run(1);
+  ASSERT_EQ(reference.size(), 7u);  // 6x killer + victim's event-0 match
+  EXPECT_EQ(reference[1].name, "victim");
+  for (size_t batch_size : {size_t{3}, size_t{4}, size_t{100}}) {
+    ASSERT_TRUE(run(batch_size) == reference) << "batch_size " << batch_size;
+  }
+}
+
+TEST(BatchedExecutionTest, ShardedBatchedWorkersStayDeterministic) {
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(5);
+  std::vector<Event> events = Workload(29);
+  const size_t join_at = events.size() / 2;
+
+  // Reference: unbatched fused operator for the initial four queries over
+  // the full stream, and for the late query over the suffix.
+  std::vector<DetectionRecord> fused_records;
+  {
+    MultiMatchOperator op;
+    std::vector<query::CompiledQuery> compiled = CompileDefinitions(
+        {definitions[0], definitions[1], definitions[2], definitions[3]});
+    for (query::CompiledQuery& query : compiled) {
+      op.AddQuery(MakeSpec(std::move(query), Recorder(&fused_records)));
+    }
+    for (const Event& event : events) {
+      EPL_ASSERT_OK(op.Process(event));
+    }
+  }
+  std::vector<DetectionRecord> fused_late_records;
+  {
+    MultiMatchOperator op;
+    op.AddQuery(MakeSpec(std::move(CompileDefinitions({definitions[4]})[0]),
+                         Recorder(&fused_late_records)));
+    for (size_t i = join_at; i < events.size(); ++i) {
+      EPL_ASSERT_OK(op.Process(events[i]));
+    }
+  }
+  ASSERT_FALSE(fused_records.empty());
+  ASSERT_FALSE(fused_late_records.empty());
+
+  // Engine batch sizes chosen so the mid-stream AddQuery lands inside an
+  // accumulating batch (join_at is not a multiple of 5 or 32): the
+  // quiesce must flush the partial window before the query set changes.
+  for (size_t batch_size : {size_t{1}, size_t{5}, size_t{32}}) {
+    SCOPED_TRACE("batch_size " + std::to_string(batch_size));
+    ShardedEngineOptions options;
+    options.num_shards = 3;
+    options.batch_size = batch_size;
+    ShardedEngine sharded(options);
+    std::vector<DetectionRecord> records;
+    std::vector<DetectionRecord> late_records;
+    std::vector<query::CompiledQuery> compiled = CompileDefinitions(
+        {definitions[0], definitions[1], definitions[2], definitions[3]});
+    for (query::CompiledQuery& query : compiled) {
+      sharded.AddQuery(MakeSpec(std::move(query), Recorder(&records)));
+    }
+    EPL_ASSERT_OK(sharded.Start());
+    for (size_t i = 0; i < join_at; ++i) {
+      ASSERT_TRUE(sharded.Push(events[i]));
+    }
+    sharded.AddQuery(
+        MakeSpec(std::move(CompileDefinitions({definitions[4]})[0]),
+                 Recorder(&late_records)));
+    for (size_t i = join_at; i < events.size(); ++i) {
+      ASSERT_TRUE(sharded.Push(events[i]));
+    }
+    EPL_ASSERT_OK(sharded.Stop());
+    ASSERT_TRUE(records == fused_records)
+        << records.size() << " vs " << fused_records.size() << " records";
+    ASSERT_TRUE(late_records == fused_late_records)
+        << late_records.size() << " vs " << fused_late_records.size()
+        << " late records";
+  }
+}
+
+}  // namespace
+}  // namespace epl::cep

@@ -6,6 +6,7 @@
 // skew, lifecycle errors.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -14,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "cep/multi_match_operator.h"
+#include "cep/pattern.h"
 #include "cep/sharded_engine.h"
 #include "cep_workload_test_util.h"
 #include "core/query_gen.h"
@@ -385,6 +387,109 @@ TEST(ShardedEngineTest, CrossThreadExchangeWhileStreaming) {
   EXPECT_EQ(sharded.shard_of(survivor_id) >= 0, true);
   // The survivor detected throughout (3 workload rounds of swipes).
   EXPECT_GT(survivor_records.size(), 0u);
+}
+
+TEST(MeasuredWeightTest, FallsBackToStaticWeightWithoutEvents) {
+  MatcherStats cold;
+  EXPECT_EQ(MeasuredQueryCostWeight(cold, 16), 16u);
+  // Never returns 0, even on a degenerate static weight.
+  EXPECT_EQ(MeasuredQueryCostWeight(cold, 0), 1u);
+}
+
+TEST(MeasuredWeightTest, ScalesWithObservedPerEventReads) {
+  // A hot query (many predicate reads per event) outweighs a statically
+  // heavy query the stream never wakes up (one seed read per event).
+  MatcherStats hot;
+  hot.events = 100;
+  hot.predicate_cache_hits = 380;  // ~3.8 reads/event
+  MatcherStats cold;
+  cold.events = 100;
+  cold.predicate_cache_hits = 100;  // seed read only
+  const uint64_t hot_weight = MeasuredQueryCostWeight(hot, 6);
+  const uint64_t cold_weight = MeasuredQueryCostWeight(cold, 16);
+  EXPECT_EQ(hot_weight, 8u);   // ceil(2 * 380 / 100)
+  EXPECT_EQ(cold_weight, 2u);  // measured activity overrides static 16
+  EXPECT_GT(hot_weight, cold_weight);
+  // Direct interpretations count the same as bank-served reads.
+  MatcherStats mixed = cold;
+  mixed.predicate_evaluations = 280;
+  EXPECT_EQ(MeasuredQueryCostWeight(mixed, 16), 8u);
+}
+
+/// An n-state chain over field "x": every predicate is an interval around
+/// `center` of half-width `width`, with distinct centers so the static
+/// weight is states + states distinct predicates.
+MultiMatchOperator::QuerySpec ChainSpecX(const std::string& name, int states,
+                                         double center, double width,
+                                         DetectionCallback callback) {
+  static const stream::Schema* schema =
+      new stream::Schema(std::vector<std::string>{"x"});
+  std::vector<PatternExprPtr> poses;
+  for (int s = 0; s < states; ++s) {
+    poses.push_back(PatternExpr::Pose(
+        "s", Expr::RangePredicate("x", center + 0.001 * s, width)));
+  }
+  Result<CompiledPattern> compiled = CompiledPattern::Compile(
+      *PatternExpr::Sequence(std::move(poses), std::nullopt,
+                             WithinMode::kGap),
+      *schema);
+  EPL_CHECK(compiled.ok()) << compiled.status();
+  MultiMatchOperator::QuerySpec spec;
+  spec.output_name = name;
+  spec.pattern = std::move(compiled).value();
+  spec.callback = std::move(callback);
+  return spec;
+}
+
+TEST(ShardedEngineTest, MeasuredHotQueriesOutweighStaticallyHeavyColdOnes) {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.batch_size = 8;
+  ShardedEngine sharded(options);
+  // "heavy" never fires beyond its seed read (centers far from the
+  // stream); the "hot" chains advance on every event.
+  const int heavy_id = sharded.AddQuery(ChainSpecX("heavy", 8, 500.0, 1.0,
+                                                   nullptr));
+  const int hot_a_id =
+      sharded.AddQuery(ChainSpecX("hot_a", 3, 1.0, 50.0, nullptr));
+  const int hot_b_id =
+      sharded.AddQuery(ChainSpecX("hot_b", 3, 1.0, 40.0, nullptr));
+  // Static placement: heavy (weight 16) alone, the two hots (6 each)
+  // together.
+  ASSERT_NE(sharded.shard_of(heavy_id), sharded.shard_of(hot_a_id));
+  ASSERT_EQ(sharded.shard_of(hot_a_id), sharded.shard_of(hot_b_id));
+
+  EPL_ASSERT_OK(sharded.Start());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(sharded.Push(Event(DurationFromMillis(10.0 * i), {1.0})));
+  }
+  EPL_ASSERT_OK(sharded.Flush());
+
+  // The quiesced snapshot re-derives weights from measured cost: observed
+  // activity outranks the structural heuristic.
+  std::vector<ShardedEngine::QueryStatsSnapshot> snapshots =
+      sharded.QueryStats();
+  ASSERT_EQ(snapshots.size(), 3u);
+  uint64_t heavy_weight = 0;
+  uint64_t hot_weight = 0;
+  for (const auto& snapshot : snapshots) {
+    if (snapshot.query_id == heavy_id) {
+      heavy_weight = snapshot.weight;
+    } else if (snapshot.query_id == hot_a_id) {
+      hot_weight = snapshot.weight;
+    }
+    EXPECT_EQ(snapshot.stats.events, 30u) << "query " << snapshot.query_id;
+  }
+  EXPECT_LT(heavy_weight, 16u);  // measured demotes the cold heavy query
+  EXPECT_GT(hot_weight, heavy_weight);
+
+  // Placement now follows measured cost: a new query lands NEXT TO the
+  // statically heaviest pattern, because that shard is measurably idle
+  // (impossible under static weights: 16 + 6 vs 12).
+  const int late_id =
+      sharded.AddQuery(ChainSpecX("late", 3, 1.0, 30.0, nullptr));
+  EXPECT_EQ(sharded.shard_of(late_id), sharded.shard_of(heavy_id));
+  EPL_ASSERT_OK(sharded.Stop());
 }
 
 TEST(ShardedEngineTest, LifecycleErrors) {

@@ -43,6 +43,55 @@ TEST(BoundedQueueTest, PopBatchDrainsInFifoOrder) {
   EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
 }
 
+TEST(BoundedQueueTest, PopBatchClampsToMaxItems) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(queue.Push(i));
+  }
+  // max_items = 1 degenerates to Pop; the remainder stays queued.
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 1), 1u);
+  EXPECT_EQ(batch, (std::vector<int>{0}));
+  EXPECT_EQ(queue.size(), 5u);
+  EXPECT_EQ(queue.PopBatch(&batch, 5), 5u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(BoundedQueueTest, PopBatchBlocksUntilItemsArrive) {
+  BoundedQueue<int> queue(4);
+  std::vector<int> batch;
+  std::atomic<bool> drained{false};
+  std::thread consumer([&queue, &batch, &drained] {
+    // Blocks on the empty queue, then takes whatever is buffered when the
+    // producer wakes it (at least the first item, never more than pushed).
+    EXPECT_GE(queue.PopBatch(&batch, 8), 1u);
+    drained.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(drained.load());
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  consumer.join();
+  EXPECT_TRUE(drained.load());
+  ASSERT_FALSE(batch.empty());
+  EXPECT_EQ(batch.front(), 1);
+}
+
+TEST(BoundedQueueTest, PopBatchCloseWhileWaitingReturnsZero) {
+  BoundedQueue<int> queue(4);
+  std::vector<int> batch;
+  size_t taken = 99;
+  std::thread consumer(
+      [&queue, &batch, &taken] { taken = queue.PopBatch(&batch, 8); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(taken, 0u);
+  EXPECT_TRUE(batch.empty());
+  // Closed stays closed: later batch pops keep returning zero.
+  EXPECT_EQ(queue.PopBatch(&batch, 4), 0u);
+}
+
 TEST(BoundedQueueTest, PopBatchReturnsZeroWhenClosedAndDrained) {
   BoundedQueue<int> queue(4);
   EXPECT_TRUE(queue.Push(1));
