@@ -1,0 +1,219 @@
+// Multi-user serving throughput: N concurrent sessions, each with 16
+// learned gesture queries, on one machine. The legacy architecture gives
+// every gesture its own per-query operator on the session's own stream;
+// the shared GestureRuntime merges all sessions onto ONE stream and hosts
+// every query in one fused runtime -- identical gestures dedup in the
+// shared predicate bank, and per-session gate groups skip an entire
+// foreign session with one predicate read per event, so per-event cost is
+// sub-linear in the number of idle sessions.
+//
+// Startup runs a differential gate: the shared runtime must produce
+// bit-identical per-session detections to the legacy per-query deployment
+// before anything is measured.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "exp_util.h"
+#include "kinect/skeleton.h"
+#include "workflow/gesture_runtime.h"
+
+namespace epl {
+namespace {
+
+using kinect::SkeletonFrame;
+using workflow::GestureRuntime;
+using workflow::GestureRuntimeOptions;
+using workflow::RuntimeBackend;
+using workflow::SessionId;
+
+constexpr int kGesturesPerSession = 16;
+constexpr int kMaxSessions = 64;
+
+/// Per-session frame scripts, pre-transformed into kinect_t space (the
+/// runtime merges raw session streams; transform_sessions is off). Each
+/// session performs the gestures the deployed queries detect, with a
+/// per-session seed so values differ across users.
+const std::vector<std::vector<SkeletonFrame>>& SessionFrames() {
+  static const std::vector<std::vector<SkeletonFrame>>* frames = [] {
+    auto* out = new std::vector<std::vector<SkeletonFrame>>();
+    transform::TransformConfig config;
+    for (int s = 0; s < kMaxSessions; ++s) {
+      kinect::SessionBuilder builder(kinect::UserProfile(),
+                                     1000 + static_cast<uint64_t>(s));
+      builder.Perform(kinect::GestureShapes::SwipeRight(), 0.2);
+      builder.Idle(0.2);
+      builder.Perform(kinect::GestureShapes::RaiseHand(), 0.1);
+      builder.Idle(0.3);
+      std::vector<SkeletonFrame> transformed;
+      transformed.reserve(builder.frames().size());
+      for (const SkeletonFrame& frame : builder.frames()) {
+        transformed.push_back(transform::TransformFrame(frame, config));
+      }
+      out->push_back(std::move(transformed));
+    }
+    return out;
+  }();
+  return *frames;
+}
+
+/// Globally timestamp-merged (session, frame) feed over the first
+/// `sessions` scripts -- the arrival order a server would see. Stable:
+/// ties and within-session order keep ascending session order.
+std::vector<std::pair<SessionId, const SkeletonFrame*>> BuildFeed(
+    int sessions) {
+  const std::vector<std::vector<SkeletonFrame>>& frames = SessionFrames();
+  std::vector<std::pair<SessionId, const SkeletonFrame*>> feed;
+  for (int s = 0; s < sessions; ++s) {
+    for (const SkeletonFrame& frame : frames[static_cast<size_t>(s)]) {
+      feed.emplace_back(s, &frame);
+    }
+  }
+  std::stable_sort(feed.begin(), feed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->timestamp < b.second->timestamp;
+                   });
+  return feed;
+}
+
+GestureRuntimeOptions MakeOptions(RuntimeBackend backend, size_t batch_size,
+                                  int num_shards) {
+  GestureRuntimeOptions options;
+  options.backend = backend;
+  options.batch_size = batch_size;
+  options.num_shards = num_shards;
+  options.transform_sessions = false;  // frames are pre-transformed
+  options.sync_detections = false;     // throughput mode; Flush per pass
+  return options;
+}
+
+/// Opens `sessions` sessions and deploys the 16-query fleet in each.
+std::vector<SessionId> DeployFleet(GestureRuntime* runtime, int sessions,
+                                   uint64_t* detections) {
+  const std::vector<core::GestureDefinition> definitions =
+      bench::LearnedVariants(kGesturesPerSession);
+  std::vector<SessionId> ids;
+  for (int s = 0; s < sessions; ++s) {
+    Result<SessionId> id = runtime->OpenSession("u" + std::to_string(s));
+    EPL_CHECK(id.ok()) << id.status();
+    for (const core::GestureDefinition& definition : definitions) {
+      EPL_CHECK(runtime
+                    ->Deploy(*id, definition,
+                             [detections](const cep::Detection&) {
+                               ++*detections;
+                             })
+                    .ok());
+    }
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+/// Differential gate: per-session detections of the shared runtime vs the
+/// legacy per-query deployment, bit-exact and non-empty.
+void VerifySessionEquivalence() {
+  using Record = std::tuple<int, std::string, TimePoint,
+                            std::vector<TimePoint>>;
+  const int sessions = 4;
+  auto run = [&](RuntimeBackend backend, size_t batch_size) {
+    std::vector<Record> records;
+    stream::StreamEngine engine;
+    GestureRuntime runtime(&engine, MakeOptions(backend, batch_size, 1));
+    const std::vector<core::GestureDefinition> definitions =
+        bench::LearnedVariants(4);
+    for (int s = 0; s < sessions; ++s) {
+      Result<SessionId> id = runtime.OpenSession("u" + std::to_string(s));
+      EPL_CHECK(id.ok()) << id.status();
+      for (const core::GestureDefinition& definition : definitions) {
+        const int session = *id;
+        EPL_CHECK(runtime
+                      .Deploy(*id, definition,
+                              [&records, session](const cep::Detection& d) {
+                                records.emplace_back(session, d.name, d.time,
+                                                     d.pose_times);
+                              })
+                      .ok());
+      }
+    }
+    for (const auto& [session, frame] : BuildFeed(sessions)) {
+      EPL_CHECK(runtime.PushFrame(session, *frame).ok());
+    }
+    EPL_CHECK(runtime.Flush().ok());
+    return records;
+  };
+  const std::vector<Record> legacy =
+      run(RuntimeBackend::kLegacyPerQuery, 1);
+  const std::vector<Record> fused = run(RuntimeBackend::kFused, 1);
+  const std::vector<Record> batched = run(RuntimeBackend::kFused, 32);
+  EPL_CHECK(!legacy.empty()) << "equivalence workload produced no detections";
+  EPL_CHECK(fused == legacy)
+      << "shared runtime diverged from legacy per-query deployment ("
+      << fused.size() << " vs " << legacy.size() << " detections)";
+  EPL_CHECK(batched == legacy)
+      << "batched shared runtime diverged from legacy per-query deployment ("
+      << batched.size() << " vs " << legacy.size() << " detections)";
+}
+
+void RunSessions(benchmark::State& state, RuntimeBackend backend,
+                 size_t batch_size, int num_shards) {
+  static bool verified = [] {
+    VerifySessionEquivalence();
+    return true;
+  }();
+  (void)verified;
+  const int sessions = static_cast<int>(state.range(0));
+  stream::StreamEngine engine;
+  GestureRuntime runtime(&engine,
+                         MakeOptions(backend, batch_size, num_shards));
+  uint64_t detections = 0;
+  DeployFleet(&runtime, sessions, &detections);
+  const std::vector<std::pair<SessionId, const SkeletonFrame*>> feed =
+      BuildFeed(sessions);
+  for (auto _ : state) {
+    for (const auto& [session, frame] : feed) {
+      Status status = runtime.PushFrame(session, *frame);
+      benchmark::DoNotOptimize(status.ok());
+    }
+    Status status = runtime.Flush();
+    benchmark::DoNotOptimize(status.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(feed.size()));
+  state.counters["sessions"] = sessions;
+  state.counters["queries"] = sessions * kGesturesPerSession;
+  benchmark::DoNotOptimize(detections);
+}
+
+/// Legacy architecture: one per-query operator per gesture per session.
+void BM_SessionsLegacyPerQuery(benchmark::State& state) {
+  RunSessions(state, RuntimeBackend::kLegacyPerQuery, 1, 1);
+}
+BENCHMARK(BM_SessionsLegacyPerQuery)->Arg(1)->Arg(8)->Arg(64);
+
+/// Shared runtime, per-event execution (interactive mode).
+void BM_SessionsSharedRuntime(benchmark::State& state) {
+  RunSessions(state, RuntimeBackend::kFused, 1, 1);
+}
+BENCHMARK(BM_SessionsSharedRuntime)->Arg(1)->Arg(8)->Arg(64);
+
+/// Shared runtime, batched sweeps (offline replay mode).
+void BM_SessionsSharedRuntimeBatched(benchmark::State& state) {
+  RunSessions(state, RuntimeBackend::kFused, 32, 1);
+}
+BENCHMARK(BM_SessionsSharedRuntimeBatched)->Arg(1)->Arg(8)->Arg(64);
+
+/// Shared runtime on the sharded engine (2 shards; on a 1-core container
+/// the shards serialize -- this leg is a plumbing record, the multi-core
+/// scaling lives in bench_sharded_engine).
+void BM_SessionsSharedSharded(benchmark::State& state) {
+  RunSessions(state, RuntimeBackend::kSharded, 32, 2);
+}
+BENCHMARK(BM_SessionsSharedSharded)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace epl

@@ -143,8 +143,9 @@ void VerifyFusedEquivalence(
   EPL_CHECK(!fused.empty()) << "equivalence workload produced no detections";
 }
 
-/// Per-query baseline over the learned workload: N independent
-/// MatchOperator subscribers.
+/// Per-query baseline over the learned workload: N independent operators
+/// (DeployGesture deploys one single-query fused operator per gesture, so
+/// each has its own bank -- nothing is shared across queries).
 void BM_PerQueryMatchersConcurrentQueries(benchmark::State& state) {
   int queries = static_cast<int>(state.range(0));
   std::vector<core::GestureDefinition> definitions =

@@ -3,12 +3,21 @@
 // gesture between two still poses, repeat, finish with a two-hand swipe,
 // then test the freshly learned gesture. The GUI of the paper maps to
 // status lines on stdout; the gesture database persists to ./gesture_db.
+//
+// Everything runs on ONE shared GestureRuntime: alice's control gestures
+// and her learned gesture multiplex over a single fused operator; after a
+// sloppy first learning pass (a deviating sample — the merger warns) she
+// RE-LEARNS the gesture, which hot-swaps the live query atomically at an
+// event boundary; and a second user (bob) then joins the SAME runtime
+// under his own session — the gesture alice stored comes back live for
+// him at Init, detected through the shared bank with per-session routing.
 
 #include <cstdio>
 
 #include "gesturedb/store.h"
 #include "kinect/sensor.h"
 #include "workflow/controller.h"
+#include "workflow/gesture_runtime.h"
 
 using namespace epl;
 
@@ -18,6 +27,9 @@ int main() {
   EPL_CHECK(store.ok()) << store.status();
 
   stream::StreamEngine engine;
+  // One shared runtime for every user of this "server".
+  workflow::GestureRuntime runtime(&engine);
+
   workflow::ControllerEvents events;
   events.on_status = [](const std::string& status) {
     std::printf("[status ] %s\n", status.c_str());
@@ -34,13 +46,15 @@ int main() {
     std::printf("[deploy ] gesture '%s' is live; generated query:\n%s\n",
                 name.c_str(), query.c_str());
   };
-  events.on_detection = [](const cep::Detection& detection) {
+  int alice_detections = 0;
+  events.on_detection = [&alice_detections](const cep::Detection& detection) {
+    ++alice_detections;
     std::printf("[detect ] \"%s\" fired after %s\n",
                 detection.name.c_str(),
                 FormatDuration(detection.duration()).c_str());
   };
 
-  workflow::LearningController controller(&engine, &(*store),
+  workflow::LearningController controller(&runtime, "alice", &(*store),
                                           workflow::ControllerConfig(),
                                           events);
   EPL_CHECK(controller.Init().ok());
@@ -50,7 +64,8 @@ int main() {
 
   // The simulated user performs the whole session in front of the camera.
   // Note the deviating third recording: the user absent-mindedly raises
-  // the hand instead of drawing a circle — the incremental merger warns.
+  // the hand instead of drawing a circle — the incremental merger warns,
+  // and the sloppily merged gesture won't detect reliably.
   kinect::UserProfile user;
   kinect::SessionBuilder session(user, 31415);
   session.Idle(0.6);
@@ -64,15 +79,32 @@ int main() {
   }
   session.Perform(kinect::GestureShapes::TwoHandSwipe());  // control: done
   session.Idle(0.8);
-  // Testing phase: one clean circle, and one swipe that must NOT fire.
-  session.Perform(kinect::GestureShapes::Circle(), 0.4);
-  session.Idle(0.5);
-  session.Perform(kinect::GestureShapes::SwipeRight(), 0.4);
-  session.Idle(0.5);
-
   EPL_CHECK(controller.PushFrames(session.frames()).ok());
 
-  std::printf("\nsession finished in phase '%s' with %d samples\n",
+  // Take two: alice re-learns the gesture with clean samples. The live
+  // "circle" query hot-swaps inside the shared runtime at an exact event
+  // boundary — no undeploy/redeploy window, no other query perturbed.
+  std::printf("\n[re-learn] redefining 'circle' with clean samples\n");
+  EPL_CHECK(controller
+                .BeginGesture("circle", {kinect::JointId::kRightHand})
+                .ok());
+  kinect::SessionBuilder retake(user, 16180);
+  retake.Idle(0.5);
+  for (int round = 0; round < 3; ++round) {
+    retake.Perform(kinect::GestureShapes::Wave());
+    retake.Perform(kinect::GestureShapes::Circle(), /*dwell_s=*/0.9);
+    retake.Idle(0.4);
+  }
+  retake.Perform(kinect::GestureShapes::TwoHandSwipe());
+  retake.Idle(0.8);
+  // Testing phase: one clean circle, and one swipe that must NOT fire.
+  retake.Perform(kinect::GestureShapes::Circle(), 0.4);
+  retake.Idle(0.5);
+  retake.Perform(kinect::GestureShapes::SwipeRight(), 0.4);
+  retake.Idle(0.5);
+  EPL_CHECK(controller.PushFrames(retake.frames()).ok());
+
+  std::printf("\nalice finished in phase '%s' with %d samples\n",
               std::string(
                   workflow::ControllerPhaseToString(controller.phase()))
                   .c_str(),
@@ -85,5 +117,33 @@ int main() {
     }
     std::printf("\n");
   }
-  return controller.phase() == workflow::ControllerPhase::kTesting ? 0 : 1;
+
+  // A second user joins the SAME runtime: the stored gesture deploys into
+  // the shared bank at Init (boot-time bulk load) and fires for bob alone.
+  int bob_detections = 0;
+  workflow::ControllerEvents bob_events;
+  bob_events.on_detection = [&bob_detections](const cep::Detection& d) {
+    ++bob_detections;
+    std::printf("[bob    ] \"%s\" detected on the shared runtime\n",
+                d.name.c_str());
+  };
+  workflow::LearningController bob(&runtime, "bob", &(*store),
+                                   workflow::ControllerConfig(), bob_events);
+  EPL_CHECK(bob.Init().ok());
+  kinect::UserProfile bob_profile;
+  bob_profile.height_mm = 1600;
+  kinect::SessionBuilder bob_session(bob_profile, 27182);
+  bob_session.Idle(0.5);
+  bob_session.Perform(kinect::GestureShapes::Circle(), 0.4);
+  bob_session.Idle(0.5);
+  EPL_CHECK(bob.PushFrames(bob_session.frames()).ok());
+
+  std::printf(
+      "\nshared runtime: %zu gesture queries over %zu fused channel(s); "
+      "bob saw %d detection(s)\n",
+      runtime.num_deployed(), runtime.num_channels(), bob_detections);
+  return controller.phase() == workflow::ControllerPhase::kTesting &&
+                 alice_detections > 0 && bob_detections > 0
+             ? 0
+             : 1;
 }

@@ -14,6 +14,7 @@
 #include "kinect/synthesizer.h"
 #include "transform/transform.h"
 #include "transform/view.h"
+#include "workflow/gesture_runtime.h"
 
 using namespace epl;  // examples favor brevity
 
@@ -47,19 +48,24 @@ int main() {
   }
   std::printf("generated query:\n%s\n", query_text->c_str());
 
-  // 3. Deploy on a stream engine with the kinect_t transformation view.
+  // 3. Deploy through the shared GestureRuntime on a stream engine with
+  //    the kinect_t transformation view. Every gesture this runtime ever
+  //    deploys shares ONE fused operator and predicate bank, and can be
+  //    hot-swapped by name at runtime.
   stream::StreamEngine engine;
   kinect::RegisterKinectStream(&engine).ok();
   transform::RegisterKinectTView(&engine).ok();
+  workflow::GestureRuntime runtime(&engine);
   Result<core::GestureDefinition> definition = learner.Learn();
   int detections = 0;
-  core::DeployGesture(&engine, *definition,
-                      [&detections](const cep::Detection& d) {
-                        ++detections;
-                        std::printf(">> detected \"%s\" (duration %s)\n",
-                                    d.name.c_str(),
-                                    FormatDuration(d.duration()).c_str());
-                      })
+  runtime
+      .Deploy(*definition,
+              [&detections](const cep::Detection& d) {
+                ++detections;
+                std::printf(">> detected \"%s\" (duration %s)\n",
+                            d.name.c_str(),
+                            FormatDuration(d.duration()).c_str());
+              })
       .ok();
 
   // 4. A different user (smaller, standing elsewhere, slightly turned)

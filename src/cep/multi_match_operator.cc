@@ -28,6 +28,7 @@ int MultiMatchOperator::AddQuery(QuerySpec spec) {
   query.pattern = std::make_unique<CompiledPattern>(std::move(spec.pattern));
   query.measures = std::move(spec.measures);
   query.callback = std::move(spec.callback);
+  query.gate = std::move(spec.gate);
   int id = query.id;
   if (processing_) {
     PendingOp op;
@@ -85,6 +86,7 @@ Result<MultiMatchOperator::DetachedQuery> MultiMatchOperator::ExtractQuery(
   detached.pattern = std::move(query.pattern);
   detached.measures = std::move(query.measures);
   detached.callback = std::move(query.callback);
+  detached.gate = std::move(query.gate);
   detached.matcher = matcher_.ExtractPattern(index);
   queries_.erase(queries_.begin() + index);
   return detached;
@@ -100,14 +102,15 @@ int MultiMatchOperator::AdoptQuery(DetachedQuery detached) {
   query.pattern = std::move(detached.pattern);
   query.measures = std::move(detached.measures);
   query.callback = std::move(detached.callback);
+  query.gate = std::move(detached.gate);
   int id = query.id;
-  matcher_.AdoptPattern(std::move(detached.matcher));
+  matcher_.AdoptPattern(std::move(detached.matcher), query.gate.get());
   queries_.push_back(std::move(query));
   return id;
 }
 
 void MultiMatchOperator::ApplyAdd(Query query) {
-  matcher_.AddPattern(query.pattern.get());
+  matcher_.AddPattern(query.pattern.get(), query.gate.get());
   queries_.push_back(std::move(query));
 }
 

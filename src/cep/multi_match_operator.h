@@ -65,11 +65,17 @@ class MultiMatchOperator : public stream::Operator {
 
   /// One gesture query: compiled pattern, optional output measures
   /// (evaluated on the completing event), and the detection callback.
+  /// `gate` (optional) is a single-state pattern implied by every state
+  /// predicate of `pattern` (see MultiPatternMatcher::AddPattern); queries
+  /// sharing a gate form a group the flat runtime can skip with one
+  /// predicate read per event. Shared ownership lets many queries of one
+  /// session reference a single compiled gate.
   struct QuerySpec {
     std::string output_name;
     CompiledPattern pattern;
     std::vector<ExprProgram> measures;
     DetectionCallback callback;
+    std::shared_ptr<const CompiledPattern> gate;
   };
 
   /// Adds a query and returns its stable id (monotonic, never reused).
@@ -92,6 +98,7 @@ class MultiMatchOperator : public stream::Operator {
     std::vector<ExprProgram> measures;
     DetectionCallback callback;
     std::unique_ptr<NfaMatcher> matcher;
+    std::shared_ptr<const CompiledPattern> gate;
   };
 
   /// Detaches the query with stable id `query_id` without destroying its
@@ -170,6 +177,7 @@ class MultiMatchOperator : public stream::Operator {
     std::unique_ptr<CompiledPattern> pattern;
     std::vector<ExprProgram> measures;
     DetectionCallback callback;
+    std::shared_ptr<const CompiledPattern> gate;
   };
 
   /// One deferred mutation queued from inside a detection callback.

@@ -1,6 +1,7 @@
 #include "cep/multi_matcher.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
@@ -10,14 +11,21 @@ namespace epl::cep {
 MultiPatternMatcher::MultiPatternMatcher(MatcherOptions options)
     : options_(options), bank_(std::make_unique<PredicateBank>()) {}
 
-int MultiPatternMatcher::AddPattern(const CompiledPattern* pattern) {
+int MultiPatternMatcher::AddPattern(const CompiledPattern* pattern,
+                                    const CompiledPattern* gate) {
   EPL_CHECK(pattern != nullptr);
+  EPL_CHECK(gate == nullptr || gate->num_states() == 1)
+      << "a gate is a single-state pattern";
   Entry entry;
   entry.matcher = std::make_unique<NfaMatcher>(pattern, options_);
+  entry.gate = gate;
   if (!bank_->built() && !bank_dirty_) {
     // Bank not frozen yet (no event processed since the last rebuild):
     // register incrementally instead of scheduling a full rebuild.
     entry.bank_ids = bank_->RegisterPattern(*pattern);
+    if (gate != nullptr) {
+      entry.gate_bank_id = bank_->RegisterPattern(*gate)[0];
+    }
   } else {
     bank_dirty_ = true;
   }
@@ -49,8 +57,11 @@ std::unique_ptr<NfaMatcher> MultiPatternMatcher::ExtractPattern(int index) {
   return matcher;
 }
 
-int MultiPatternMatcher::AdoptPattern(std::unique_ptr<NfaMatcher> matcher) {
+int MultiPatternMatcher::AdoptPattern(std::unique_ptr<NfaMatcher> matcher,
+                                      const CompiledPattern* gate) {
   EPL_CHECK(matcher != nullptr);
+  EPL_CHECK(gate == nullptr || gate->num_states() == 1)
+      << "a gate is a single-state pattern";
   // The arena would execute the pattern under THIS matcher's mode and read
   // only its dominant-run state; adopting across modes would silently drop
   // exhaustive runs_ and coerce semantics, so fail loudly instead.
@@ -58,8 +69,12 @@ int MultiPatternMatcher::AdoptPattern(std::unique_ptr<NfaMatcher> matcher) {
       << "adopted matcher's mode differs from this MultiPatternMatcher's";
   Entry entry;
   entry.matcher = std::move(matcher);
+  entry.gate = gate;
   if (!bank_->built() && !bank_dirty_) {
     entry.bank_ids = bank_->RegisterPattern(entry.matcher->pattern());
+    if (gate != nullptr) {
+      entry.gate_bank_id = bank_->RegisterPattern(*gate)[0];
+    }
   } else {
     bank_dirty_ = true;
   }
@@ -73,6 +88,8 @@ void MultiPatternMatcher::RebuildBank() {
   auto bank = std::make_unique<PredicateBank>();
   for (Entry& entry : entries_) {
     entry.bank_ids = bank->RegisterPattern(entry.matcher->pattern());
+    entry.gate_bank_id =
+        entry.gate != nullptr ? bank->RegisterPattern(*entry.gate)[0] : -1;
   }
   // Swap: the old bank (and the predicate truth it served to in-flight
   // events) stays untouched until this point; from the next event on,
@@ -174,6 +191,38 @@ void MultiPatternMatcher::BuildArena() {
   active_ = std::move(active);
   states_ = std::move(states);
   flat_constraints_ = std::move(constraints);
+
+  // Gate groups: one per distinct gate bank predicate (the bank dedups by
+  // canonical key, so sessions sharing a gate expression group together
+  // even across separately compiled gate objects).
+  groups_.clear();
+  ungated_members_.clear();
+  has_gates_ = false;
+  std::unordered_map<int, size_t> group_of;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    if (entry.gate == nullptr) {
+      entry.gate_group = -1;
+      ungated_members_.push_back(static_cast<uint32_t>(i));
+      continue;
+    }
+    has_gates_ = true;
+    auto [it, inserted] = group_of.emplace(entry.gate_bank_id, groups_.size());
+    if (inserted) {
+      GateGroup group;
+      if (bank_->decomposable(entry.gate_bank_id)) {
+        const int slot = bank_->slot_of(entry.gate_bank_id);
+        group.gate.word = slot >> 6;
+        group.gate.mask = uint64_t{1} << (slot & 63);
+      } else {
+        group.gate.word = -1;
+        group.gate.fallback_id = entry.gate_bank_id;
+      }
+      groups_.push_back(std::move(group));
+    }
+    entry.gate_group = static_cast<int32_t>(it->second);
+    groups_[it->second].members.push_back(static_cast<uint32_t>(i));
+  }
   arena_dirty_ = false;
 }
 
@@ -182,103 +231,145 @@ void MultiPatternMatcher::ProcessFlat(const stream::Event& event,
   ++arena_events_;
   const TimePoint now = event.timestamp;
   const uint64_t* words = bank_->result_words();
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    Entry& entry = entries_[i];
-    const int n = entry.num_states;
-    const size_t row0 = entry.row_offset;
-    const StateRef* refs = &states_[row0];
-    TimePoint* tbase = &times_[entry.times_offset];
-    bool completed = false;
-    bool activity = false;
-
-    // Advance existing runs, highest state first so one event advances a
-    // given run by at most one state (mirrors NfaMatcher::ProcessDominant
-    // exactly; that standalone path is the behavioral oracle).
-    if (entry.live_rows > 0) {
-      for (int s = n - 1; s >= 1; --s) {
-        if (!RowActive(row0 + static_cast<size_t>(s) - 1)) {
-          continue;
-        }
-        ++entry.counters.advance_reads;
-        const StateRef& ref = refs[s];
-        const bool satisfied = ref.word >= 0
-                                   ? (words[ref.word] & ref.mask) != 0
-                                   : bank_->value(ref.fallback_id);
-        if (!satisfied) {
-          continue;
-        }
-        const TimePoint* prev = tbase + (s - 1) * n;
-        bool within = true;
-        for (uint32_t c = 0; c < ref.constraint_count; ++c) {
-          const FlatConstraint& constraint =
-              flat_constraints_[ref.constraint_begin + c];
-          if (now - prev[constraint.from_state] > constraint.max_gap) {
-            within = false;
-            break;
-          }
-        }
-        if (!within) {
-          continue;
-        }
-        TimePoint* cur = tbase + s * n;
-        std::copy_n(prev, s, cur);
-        cur[s] = now;
-        const size_t target = row0 + static_cast<size_t>(s);
-        if (!RowActive(target)) {
-          SetRow(target);
-          ++entry.live_rows;
-        }
-        activity = true;
-        if (s == n - 1) {
-          completed = true;
-        }
-      }
+  if (!has_gates_) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      AdvanceEntryFlat(i, now, words, out);
     }
+    return;
+  }
+  // Grouped execution: ONE gate read decides a whole group. Skipping a
+  // group whose gate is unsatisfied is output-exact even while members
+  // hold live runs -- an unsatisfied gate implies every member state
+  // predicate is unsatisfied (the gate is conjoined into each), and an
+  // event that satisfies no state predicate neither seeds, advances,
+  // completes, nor expires anything in this runtime (constraints are
+  // checked at transition time only).
+  flat_scratch_.clear();
+  for (uint32_t member : ungated_members_) {
+    AdvanceEntryFlat(member, now, words, &flat_scratch_);
+  }
+  for (const GateGroup& group : groups_) {
+    const bool open = group.gate.word >= 0
+                          ? (words[group.gate.word] & group.gate.mask) != 0
+                          : bank_->value(group.gate.fallback_id);
+    if (!open) {
+      continue;
+    }
+    for (uint32_t member : group.members) {
+      AdvanceEntryFlat(member, now, words, &flat_scratch_);
+    }
+  }
+  // Group-major execution visited patterns out of registration order;
+  // restore the per-event contract (dominant mode emits at most one match
+  // per pattern per event, so pattern_index is unique).
+  std::sort(flat_scratch_.begin(), flat_scratch_.end(),
+            [](const MultiMatch& a, const MultiMatch& b) {
+              return a.pattern_index < b.pattern_index;
+            });
+  for (MultiMatch& match : flat_scratch_) {
+    out->push_back(std::move(match));
+  }
+  flat_scratch_.clear();
+}
 
-    if (completed) {
-      PatternMatch match;
-      const TimePoint* last = tbase + (n - 1) * n;
-      match.state_times.assign(last, last + n);
-      out->push_back(MultiMatch{static_cast<int>(i), std::move(match)});
-      ++entry.counters.matches;
-      if (entry.consume_all) {
-        // The match consumed every open partial run including the current
-        // event; do not re-seed state 0 from this event (the oracle skips
-        // its seed predicate read here, so the stats do too).
-        for (int s = 0; s < n; ++s) {
-          ClearRow(row0 + static_cast<size_t>(s));
-        }
-        entry.live_rows = 0;
-        ++entry.counters.seed_skips;
+void MultiPatternMatcher::AdvanceEntryFlat(size_t i, const TimePoint now,
+                                           const uint64_t* words,
+                                           std::vector<MultiMatch>* out) {
+  Entry& entry = entries_[i];
+  const int n = entry.num_states;
+  const size_t row0 = entry.row_offset;
+  const StateRef* refs = &states_[row0];
+  TimePoint* tbase = &times_[entry.times_offset];
+  bool completed = false;
+  bool activity = false;
+
+  // Advance existing runs, highest state first so one event advances a
+  // given run by at most one state (mirrors NfaMatcher::ProcessDominant
+  // exactly; that standalone path is the behavioral oracle).
+  if (entry.live_rows > 0) {
+    for (int s = n - 1; s >= 1; --s) {
+      if (!RowActive(row0 + static_cast<size_t>(s) - 1)) {
         continue;
       }
-      ClearRow(row0 + static_cast<size_t>(n) - 1);
-      --entry.live_rows;
-    }
-
-    // Seed a fresh run at state 0.
-    const StateRef& seed = refs[0];
-    const bool seeded = seed.word >= 0 ? (words[seed.word] & seed.mask) != 0
-                                       : bank_->value(seed.fallback_id);
-    if (seeded) {
-      tbase[0] = now;
-      if (!RowActive(row0)) {
-        SetRow(row0);
+      ++entry.counters.advance_reads;
+      const StateRef& ref = refs[s];
+      const bool satisfied = ref.word >= 0
+                                 ? (words[ref.word] & ref.mask) != 0
+                                 : bank_->value(ref.fallback_id);
+      if (!satisfied) {
+        continue;
+      }
+      const TimePoint* prev = tbase + (s - 1) * n;
+      bool within = true;
+      for (uint32_t c = 0; c < ref.constraint_count; ++c) {
+        const FlatConstraint& constraint =
+            flat_constraints_[ref.constraint_begin + c];
+        if (now - prev[constraint.from_state] > constraint.max_gap) {
+          within = false;
+          break;
+        }
+      }
+      if (!within) {
+        continue;
+      }
+      TimePoint* cur = tbase + s * n;
+      std::copy_n(prev, s, cur);
+      cur[s] = now;
+      const size_t target = row0 + static_cast<size_t>(s);
+      if (!RowActive(target)) {
+        SetRow(target);
         ++entry.live_rows;
       }
       activity = true;
-      if (n == 1) {
-        PatternMatch match;
-        match.state_times.assign(1, now);
-        out->push_back(MultiMatch{static_cast<int>(i), std::move(match)});
-        ++entry.counters.matches;
-        ClearRow(row0);
-        entry.live_rows = 0;
+      if (s == n - 1) {
+        completed = true;
       }
     }
-    if (activity && entry.live_rows > entry.counters.peak_runs) {
-      entry.counters.peak_runs = entry.live_rows;
+  }
+
+  if (completed) {
+    PatternMatch match;
+    const TimePoint* last = tbase + (n - 1) * n;
+    match.state_times.assign(last, last + n);
+    out->push_back(MultiMatch{static_cast<int>(i), std::move(match)});
+    ++entry.counters.matches;
+    if (entry.consume_all) {
+      // The match consumed every open partial run including the current
+      // event; do not re-seed state 0 from this event (the oracle skips
+      // its seed predicate read here, so the stats do too).
+      for (int s = 0; s < n; ++s) {
+        ClearRow(row0 + static_cast<size_t>(s));
+      }
+      entry.live_rows = 0;
+      ++entry.counters.seed_skips;
+      return;
     }
+    ClearRow(row0 + static_cast<size_t>(n) - 1);
+    --entry.live_rows;
+  }
+
+  // Seed a fresh run at state 0.
+  const StateRef& seed = refs[0];
+  const bool seeded = seed.word >= 0 ? (words[seed.word] & seed.mask) != 0
+                                     : bank_->value(seed.fallback_id);
+  if (seeded) {
+    tbase[0] = now;
+    if (!RowActive(row0)) {
+      SetRow(row0);
+      ++entry.live_rows;
+    }
+    activity = true;
+    if (n == 1) {
+      PatternMatch match;
+      match.state_times.assign(1, now);
+      out->push_back(MultiMatch{static_cast<int>(i), std::move(match)});
+      ++entry.counters.matches;
+      ClearRow(row0);
+      entry.live_rows = 0;
+    }
+  }
+  if (activity && entry.live_rows > entry.counters.peak_runs) {
+    entry.counters.peak_runs = entry.live_rows;
   }
 }
 
@@ -287,17 +378,50 @@ void MultiPatternMatcher::ProcessFlatBatch(const stream::Event* events,
                                            std::vector<MultiMatch>* out) {
   arena_events_ += count;
   batch_scratch_.clear();
+  if (has_gates_) {
+    // One gate evaluation per (group, event) for the whole window; members
+    // then skip gated-out events (or the entire window) without touching
+    // their arena rows -- exact for the same reason as ProcessFlat's
+    // group skip.
+    gate_truth_.assign(groups_.size() * count, 0);
+    group_open_.assign(groups_.size(), 0);
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      const GateGroup& group = groups_[g];
+      for (size_t b = 0; b < count; ++b) {
+        const bool open =
+            group.gate.word >= 0
+                ? (bank_->batch_result_words(b)[group.gate.word] &
+                   group.gate.mask) != 0
+                : bank_->batch_value(b, group.gate.fallback_id);
+        if (open) {
+          gate_truth_[g * count + b] = 1;
+          group_open_[g] = 1;
+        }
+      }
+    }
+  }
   for (size_t i = 0; i < entries_.size(); ++i) {
     Entry& entry = entries_[i];
     const int n = entry.num_states;
     const size_t row0 = entry.row_offset;
     const StateRef* refs = &states_[row0];
     TimePoint* tbase = &times_[entry.times_offset];
+    const uint8_t* gate_open = nullptr;
+    if (entry.gate_group >= 0) {
+      if (!group_open_[static_cast<size_t>(entry.gate_group)]) {
+        continue;  // gate shut for the whole window
+      }
+      gate_open =
+          gate_truth_.data() + static_cast<size_t>(entry.gate_group) * count;
+    }
 
     // The whole B-event window for this pattern before the next pattern:
     // its times block, active bits, and state refs stay hot across the
     // window, so the per-pattern setup above is paid once per batch.
     for (size_t b = 0; b < count; ++b) {
+      if (gate_open != nullptr && gate_open[b] == 0) {
+        continue;
+      }
       const TimePoint now = events[b].timestamp;
       const uint64_t* words = bank_->batch_result_words(b);
       bool completed = false;
@@ -397,17 +521,31 @@ void MultiPatternMatcher::ProcessFlatBatch(const stream::Event* events,
   }
 
   // Pattern-major execution produced matches grouped by pattern; the
-  // contract is per-event order. The stable sort restores it (and keeps
-  // registration order within one event, since each pattern emitted its
-  // matches in ascending batch_index).
+  // contract is per-event order with registration order within one event
+  // (gate groups may visit patterns out of registration order, so the
+  // pattern index is part of the key; dominant mode emits at most one
+  // match per pattern per event, making the order total).
   std::stable_sort(batch_scratch_.begin(), batch_scratch_.end(),
                    [](const MultiMatch& a, const MultiMatch& b) {
-                     return a.batch_index < b.batch_index;
+                     return a.batch_index != b.batch_index
+                                ? a.batch_index < b.batch_index
+                                : a.pattern_index < b.pattern_index;
                    });
   for (MultiMatch& match : batch_scratch_) {
     out->push_back(std::move(match));
   }
   batch_scratch_.clear();
+}
+
+bool MultiPatternMatcher::GateOpen(const Entry& entry) const {
+  if (entry.gate_bank_id < 0) {
+    return true;
+  }
+  if (bank_->decomposable(entry.gate_bank_id)) {
+    const int slot = bank_->slot_of(entry.gate_bank_id);
+    return (bank_->result_words()[slot >> 6] >> (slot & 63)) & 1;
+  }
+  return bank_->value(entry.gate_bank_id);
 }
 
 void MultiPatternMatcher::SyncStats(const Entry& entry) const {
@@ -468,10 +606,14 @@ void MultiPatternMatcher::Process(const stream::Event& event,
     return;
   }
   // Exhaustive mode: per-pattern matchers own their (branching) run sets;
-  // only predicate evaluation is shared.
+  // only predicate evaluation is shared. A shut gate makes every effective
+  // state predicate (gate AND pose) false, so the entry is skipped whole.
   bank_->Evaluate(event);
   for (size_t i = 0; i < entries_.size(); ++i) {
     Entry& entry = entries_[i];
+    if (!GateOpen(entry)) {
+      continue;
+    }
     scratch_matches_.clear();
     entry.matcher->ProcessShared(event, *bank_, entry.bank_ids.data(),
                                  &scratch_matches_);
@@ -507,6 +649,9 @@ void MultiPatternMatcher::ProcessBatch(const stream::Event* events,
     bank_->Evaluate(events[b]);
     for (size_t i = 0; i < entries_.size(); ++i) {
       Entry& entry = entries_[i];
+      if (!GateOpen(entry)) {
+        continue;
+      }
       scratch_matches_.clear();
       entry.matcher->ProcessShared(events[b], *bank_, entry.bank_ids.data(),
                                    &scratch_matches_);
@@ -525,6 +670,12 @@ void MultiPatternMatcher::CatchUpPattern(int index, const stream::Event& event,
   // Arena residency would mean the pattern already consumed the batch the
   // caller is replaying for it.
   EPL_CHECK(!entry.in_arena) << "catch-up on an arena-resident pattern";
+  // The gate conjunct is enforced here too; the bank may be mid-swap
+  // during a catch-up, so the gate's own program answers directly.
+  if (entry.gate != nullptr &&
+      !entry.gate->predicate(0).EvalBool(event)) {
+    return;
+  }
   scratch_matches_.clear();
   entry.matcher->Process(event, &scratch_matches_);
   for (PatternMatch& match : scratch_matches_) {

@@ -56,7 +56,31 @@ class MultiPatternMatcher {
   /// every other registered pattern); returns the pattern's index. May be
   /// called at any time between Process() calls; the shared bank and the
   /// run-state arena are rebuilt lazily by the next Process().
-  int AddPattern(const CompiledPattern* pattern);
+  ///
+  /// `gate` (optional, caller-owned, must outlive the matcher) is a
+  /// single-state pattern whose only predicate the matcher ENFORCES as an
+  /// extra conjunct on every state of `pattern`: the gated pattern behaves
+  /// exactly as if the gate predicate were conjoined into each pose, i.e.
+  /// a transition (or seed) requires gate AND pose predicate. Keeping the
+  /// gate OUT of the pattern's own predicates is deliberate: identical
+  /// patterns deployed under different gates (the multi-session runtime's
+  /// per-session copies of one gesture) then share their pose predicates
+  /// in the bank, so predicate evaluation cost does not grow with the
+  /// number of sessions.
+  ///
+  /// Execution: patterns whose gates share one bank predicate (same
+  /// canonical key) form a group; the dominant flat loop decides a whole
+  /// group with ONE predicate read per event -- gate unsatisfied skips
+  /// every member outright (output-exact: this runtime has no eager run
+  /// expiry, so an event that can satisfy no effective state predicate is
+  /// a pure no-op for the pattern), gate satisfied runs the members on
+  /// their pose predicates alone (equivalent, since the gate conjunct is
+  /// known true). Per-event cost is therefore sub-linear in the number of
+  /// foreign sessions. Exhaustive mode enforces the gate with a per-entry
+  /// check. The differential fuzz harness pins gated execution against an
+  /// NfaMatcher oracle running the explicitly conjoined pattern.
+  int AddPattern(const CompiledPattern* pattern,
+                 const CompiledPattern* gate = nullptr);
 
   /// Removes the pattern at `index`, discarding its partial runs. Indices
   /// of subsequent patterns shift down by one (callers keep their own
@@ -74,8 +98,10 @@ class MultiPatternMatcher {
 
   /// Appends a matcher detached from another MultiPatternMatcher (its run
   /// state is preserved and ingested into the arena by the next
-  /// Process()); returns the pattern's index here.
-  int AdoptPattern(std::unique_ptr<NfaMatcher> matcher);
+  /// Process()); returns the pattern's index here. `gate` as in
+  /// AddPattern (a detached query's gate travels with it across shards).
+  int AdoptPattern(std::unique_ptr<NfaMatcher> matcher,
+                   const CompiledPattern* gate = nullptr);
 
   /// One completed match of one registered pattern.
   struct MultiMatch {
@@ -149,6 +175,12 @@ class MultiPatternMatcher {
     std::unique_ptr<NfaMatcher> matcher;
     /// Local distinct predicate id -> bank predicate id.
     std::vector<int> bank_ids;
+    /// Optional group gate (see AddPattern); caller-owned.
+    const CompiledPattern* gate = nullptr;
+    /// Bank predicate id of the gate (rebuilt with the bank).
+    int gate_bank_id = -1;
+    /// Index into groups_, or -1 (rebuilt with the arena).
+    int32_t gate_group = -1;
     /// Dominant-mode arena residency. While true, the pattern's live run
     /// state is the arena rows below, not the matcher's own buffers.
     bool in_arena = false;
@@ -178,6 +210,13 @@ class MultiPatternMatcher {
     Duration max_gap = 0;
   };
 
+  /// Patterns sharing one gate predicate (same bank id), skipped together
+  /// by the flat loop when the gate is unsatisfied. Rebuilt by BuildArena.
+  struct GateGroup {
+    StateRef gate;  // constraint fields unused
+    std::vector<uint32_t> members;  // entry indices
+  };
+
   bool RowActive(size_t row) const {
     return (active_[row >> 6] >> (row & 63)) & 1;
   }
@@ -194,6 +233,14 @@ class MultiPatternMatcher {
   void BuildArena();
   /// The flattened dominant-mode hot loop.
   void ProcessFlat(const stream::Event& event, std::vector<MultiMatch>* out);
+  /// One entry's advance+seed step of ProcessFlat (`words` are the bank's
+  /// satisfied-predicate words for the current event).
+  void AdvanceEntryFlat(size_t i, TimePoint now, const uint64_t* words,
+                        std::vector<MultiMatch>* out);
+  /// Truth of the entry's gate for the last Evaluate()d event (true when
+  /// ungated). Used by the exhaustive path; the dominant paths read gate
+  /// truth group-wise.
+  bool GateOpen(const Entry& entry) const;
   /// The batched flattened loop: pattern-major over the event window (the
   /// bank must already have EvaluateBatch()d it). Emits matches sorted by
   /// (batch_index, pattern_index).
@@ -222,6 +269,17 @@ class MultiPatternMatcher {
   std::vector<uint64_t> active_;
   std::vector<StateRef> states_;
   std::vector<FlatConstraint> flat_constraints_;
+
+  // Gate groups (empty unless some pattern registered with a gate; the
+  // ungated flat paths are byte-for-byte the pre-gate loops).
+  bool has_gates_ = false;
+  std::vector<GateGroup> groups_;
+  std::vector<uint32_t> ungated_members_;
+  std::vector<MultiMatch> flat_scratch_;
+  // Per-batch gate truth: groups_ x count bytes, plus a per-group
+  // any-event-open summary for whole-window skips.
+  std::vector<uint8_t> gate_truth_;
+  std::vector<uint8_t> group_open_;
 };
 
 }  // namespace epl::cep

@@ -107,6 +107,33 @@ PatternExprPtr PatternExpr::Clone() const {
   return node;
 }
 
+PatternExprPtr PatternExpr::Rescope(const std::string& source,
+                                    const Expr* extra) const {
+  auto node = PatternExprPtr(new PatternExpr());
+  node->kind_ = kind_;
+  node->within_ = within_;
+  node->within_mode_ = within_mode_;
+  node->select_ = select_;
+  node->consume_ = consume_;
+  if (kind_ == PatternKind::kPose) {
+    node->source_ = source.empty() ? source_ : source;
+    if (extra != nullptr && predicate_ != nullptr) {
+      std::vector<ExprPtr> terms;
+      terms.push_back(extra->Clone());
+      terms.push_back(predicate_->Clone());
+      node->predicate_ = Expr::And(std::move(terms));
+    } else {
+      node->predicate_ = predicate_ ? predicate_->Clone() : nullptr;
+    }
+    return node;
+  }
+  node->children_.reserve(children_.size());
+  for (const PatternExprPtr& child : children_) {
+    node->children_.push_back(child->Rescope(source, extra));
+  }
+  return node;
+}
+
 std::string PatternExpr::ToString() const {
   if (kind_ == PatternKind::kPose) {
     return source_ + "(" + predicate_->ToString() + ")";

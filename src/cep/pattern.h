@@ -90,6 +90,16 @@ class PatternExpr {
 
   PatternExprPtr Clone() const;
 
+  /// Deep copy with every pose retargeted and/or strengthened: poses read
+  /// `source` instead of their original stream (unchanged when `source` is
+  /// empty) and, when `extra` is non-null, each pose predicate becomes the
+  /// conjunction (extra AND predicate). This is how the session runtime
+  /// scopes a gesture query onto a shared multi-user stream: the pattern
+  /// is rescoped onto the merged stream and every pose is guarded by the
+  /// session's identity predicate, so foreign sessions' events can never
+  /// advance it.
+  PatternExprPtr Rescope(const std::string& source, const Expr* extra) const;
+
   /// Debug rendering, e.g. "(kinect(...) -> kinect(...) within 1s)".
   std::string ToString() const;
 

@@ -589,6 +589,11 @@ Status ShardedMatchOperator::Process(const stream::Event& event) {
   if (!engine_.Push(event)) {
     return FailedPreconditionError("sharded engine is stopped");
   }
+  if (sync_delivery_) {
+    // Quiesce and deliver inside the dispatch, so every detection of this
+    // event fires before any downstream operator sees it.
+    EPL_RETURN_IF_ERROR(engine_.Flush());
+  }
   return Forward(event);
 }
 

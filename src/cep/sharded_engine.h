@@ -84,6 +84,14 @@ struct ShardedEngineOptions {
   /// differ by at most this many average query weights. With uniform
   /// queries this is exactly the tolerated query-count skew.
   int max_query_skew = 1;
+  /// Makes ShardedMatchOperator::Process Flush() after every pushed event,
+  /// so detections are delivered synchronously at the exact event boundary
+  /// -- the order a fused single-threaded deployment would produce them in
+  /// within the stream dispatch. Interactive workflows (the learning
+  /// controller, whose control-gesture detections steer the session) need
+  /// this; throughput deployments should leave it off and Flush at
+  /// convenient boundaries instead. Only read by ShardedMatchOperator.
+  bool sync_delivery = false;
 };
 
 /// Cost heuristic of one deployed query for shard placement: total NFA
@@ -313,7 +321,7 @@ class ShardedMatchOperator : public stream::Operator {
  public:
   explicit ShardedMatchOperator(
       ShardedEngineOptions options = ShardedEngineOptions())
-      : engine_(options) {}
+      : engine_(options), sync_delivery_(options.sync_delivery) {}
 
   ShardedEngine& engine() { return engine_; }
   const ShardedEngine& engine() const { return engine_; }
@@ -332,6 +340,7 @@ class ShardedMatchOperator : public stream::Operator {
 
  private:
   ShardedEngine engine_;
+  bool sync_delivery_ = false;
 };
 
 }  // namespace epl::cep

@@ -98,8 +98,17 @@ Result<stream::DeploymentId> DeployGesture(
     cep::MatcherOptions matcher_options) {
   EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
                        GenerateQuery(definition, config));
-  return query::DeployQuery(engine, parsed, std::move(callback),
-                            matcher_options);
+  // Thin compatibility wrapper over the shared path: a single-query fused
+  // operator instead of a standalone MatchOperator, so every learned
+  // gesture -- even a lone one -- runs on the bank-backed flat runtime.
+  // The handle semantics are unchanged (Undeploy removes the gesture).
+  std::vector<query::ParsedQuery> queries;
+  queries.push_back(std::move(parsed));
+  EPL_ASSIGN_OR_RETURN(
+      query::FusedDeployment deployment,
+      query::DeployQueriesFused(engine, queries, std::move(callback),
+                                matcher_options));
+  return deployment.id;
 }
 
 namespace {

@@ -38,6 +38,11 @@ Result<std::string> GenerateQueryText(
     const QueryGenConfig& config = QueryGenConfig());
 
 /// Generates and deploys the gesture's query on its source stream.
+/// Compatibility wrapper over the shared path: deploys a single-query
+/// fused operator (query::DeployQueriesFused), NOT a standalone
+/// MatchOperator, so lone gestures still run on the bank-backed flat
+/// runtime. Prefer workflow::GestureRuntime (named deploy/undeploy,
+/// hot-swap, multi-session) or DeployGesturesFused for query fleets.
 Result<stream::DeploymentId> DeployGesture(
     stream::StreamEngine* engine, const GestureDefinition& definition,
     cep::DetectionCallback callback,

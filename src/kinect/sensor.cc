@@ -39,7 +39,12 @@ SessionBuilder& SessionBuilder::Distract(double seconds) {
 }
 
 Status RegisterKinectStream(stream::StreamEngine* engine) {
-  return engine->RegisterStream("kinect", KinectSchema());
+  return RegisterKinectStream(engine, "kinect");
+}
+
+Status RegisterKinectStream(stream::StreamEngine* engine,
+                            const std::string& name) {
+  return engine->RegisterStream(name, KinectSchema());
 }
 
 Status PlayFrames(stream::StreamEngine* engine,

@@ -45,6 +45,11 @@ class SessionBuilder {
 /// Registers the raw "kinect" stream in `engine` (no view).
 Status RegisterKinectStream(stream::StreamEngine* engine);
 
+/// Registers a raw kinect stream under a custom name (e.g. the
+/// per-session "alice/kinect" streams of the multi-user runtime).
+Status RegisterKinectStream(stream::StreamEngine* engine,
+                            const std::string& name);
+
 /// Pushes every frame into `stream_name` (default "kinect") synchronously.
 Status PlayFrames(stream::StreamEngine* engine,
                   const std::vector<SkeletonFrame>& frames,

@@ -178,6 +178,49 @@ Result<int> AddShardedQuery(stream::StreamEngine* engine,
       MakeQuerySpec(std::move(compiled), std::move(callback)));
 }
 
+Result<cep::MultiMatchOperator::QuerySpec> CompileQuerySpec(
+    stream::StreamEngine* engine, const ParsedQuery& parsed,
+    cep::DetectionCallback callback,
+    std::shared_ptr<const cep::CompiledPattern> gate) {
+  if (parsed.pattern == nullptr) {
+    return InvalidArgumentError("query '" + parsed.name + "' has no pattern");
+  }
+  std::string source = parsed.pattern->SourceStream();
+  Result<stream::Schema> schema = engine->GetSchema(source);
+  if (!schema.ok()) {
+    return schema.status().WithContext("query '" + parsed.name +
+                                       "' reads undeclared stream");
+  }
+  EPL_ASSIGN_OR_RETURN(CompiledQuery compiled, CompileQuery(parsed, *schema));
+  cep::MultiMatchOperator::QuerySpec spec =
+      MakeQuerySpec(std::move(compiled), std::move(callback));
+  spec.gate = std::move(gate);
+  return spec;
+}
+
+Result<FusedDeployment> DeployFusedOperator(stream::StreamEngine* engine,
+                                            const std::string& stream,
+                                            cep::MatcherOptions options,
+                                            size_t batch_size) {
+  EPL_RETURN_IF_ERROR(engine->GetSchema(stream).status());
+  auto op = std::make_unique<cep::MultiMatchOperator>(options, batch_size);
+  cep::MultiMatchOperator* raw = op.get();
+  EPL_ASSIGN_OR_RETURN(stream::DeploymentId id,
+                       engine->Deploy(stream, std::move(op)));
+  return FusedDeployment{id, raw};
+}
+
+Result<ShardedDeployment> DeployShardedOperator(
+    stream::StreamEngine* engine, const std::string& stream,
+    cep::ShardedEngineOptions options) {
+  EPL_RETURN_IF_ERROR(engine->GetSchema(stream).status());
+  auto op = std::make_unique<cep::ShardedMatchOperator>(options);
+  cep::ShardedEngine* sharded = &op->engine();
+  EPL_ASSIGN_OR_RETURN(stream::DeploymentId id,
+                       engine->Deploy(stream, std::move(op)));
+  return ShardedDeployment{id, sharded};
+}
+
 Result<stream::DeploymentId> DeployQueryText(stream::StreamEngine* engine,
                                              const std::string& text,
                                              cep::DetectionCallback callback,

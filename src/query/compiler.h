@@ -111,6 +111,32 @@ Result<int> AddShardedQuery(stream::StreamEngine* engine,
                             const ParsedQuery& parsed,
                             cep::DetectionCallback callback);
 
+/// Compiles `parsed` against the schema of its source stream in `engine`
+/// into a QuerySpec ready for MultiMatchOperator::AddQuery /
+/// ShardedEngine::AddQuery, with `callback` and the optional group `gate`
+/// attached (see MultiPatternMatcher::AddPattern). This is the building
+/// block of the session-layer GestureRuntime, which manages deployments
+/// itself and needs compiled specs rather than one-shot deploy calls.
+Result<cep::MultiMatchOperator::QuerySpec> CompileQuerySpec(
+    stream::StreamEngine* engine, const ParsedQuery& parsed,
+    cep::DetectionCallback callback,
+    std::shared_ptr<const cep::CompiledPattern> gate = nullptr);
+
+/// Deploys an EMPTY fused operator subscribing to `stream`; queries are
+/// added afterwards via FusedDeployment::op->AddQuery (runtime add/remove
+/// is the normal mode of operation for the session runtime).
+Result<FusedDeployment> DeployFusedOperator(stream::StreamEngine* engine,
+                                            const std::string& stream,
+                                            cep::MatcherOptions options = {},
+                                            size_t batch_size = 1);
+
+/// Deploys an EMPTY sharded engine subscribing to `stream` (workers
+/// started); queries are added afterwards via
+/// ShardedDeployment::engine->AddQuery.
+Result<ShardedDeployment> DeployShardedOperator(
+    stream::StreamEngine* engine, const std::string& stream,
+    cep::ShardedEngineOptions options = {});
+
 }  // namespace epl::query
 
 #endif  // EPL_QUERY_COMPILER_H_

@@ -67,7 +67,14 @@ Status TransformOperator::Process(const stream::Event& event) {
 
 Status RegisterKinectTView(stream::StreamEngine* engine,
                            TransformConfig config) {
-  return engine->RegisterView(kKinectTViewName, "kinect",
+  return RegisterKinectTView(engine, kKinectTViewName, "kinect", config);
+}
+
+Status RegisterKinectTView(stream::StreamEngine* engine,
+                           const std::string& view_name,
+                           const std::string& source_name,
+                           TransformConfig config) {
+  return engine->RegisterView(view_name, source_name,
                               std::make_unique<TransformOperator>(config),
                               KinectTSchema());
 }

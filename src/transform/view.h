@@ -50,6 +50,14 @@ inline constexpr char kKinectTViewName[] = "kinect_t";
 Status RegisterKinectTView(stream::StreamEngine* engine,
                            TransformConfig config = TransformConfig());
 
+/// Registers a kinect_t view under a custom name over a custom source
+/// stream (e.g. "alice/kinect_t" over "alice/kinect" for the multi-user
+/// runtime's per-session views).
+Status RegisterKinectTView(stream::StreamEngine* engine,
+                           const std::string& view_name,
+                           const std::string& source_name,
+                           TransformConfig config = TransformConfig());
+
 }  // namespace epl::transform
 
 #endif  // EPL_TRANSFORM_VIEW_H_

@@ -10,6 +10,8 @@
 #ifndef EPL_WORKFLOW_CONTROL_GESTURES_H_
 #define EPL_WORKFLOW_CONTROL_GESTURES_H_
 
+#include <string_view>
+
 #include "core/gesture_definition.h"
 
 namespace epl::workflow {
@@ -17,6 +19,14 @@ namespace epl::workflow {
 /// Reserved names of the control gestures.
 inline constexpr char kControlWaveName[] = "__control_wave";
 inline constexpr char kControlFinishName[] = "__control_finish";
+
+/// Names with the "__" prefix are reserved for built-in control gestures.
+/// The runtime keys deployments by name, so a user gesture under a
+/// reserved name would hot-swap the control query itself; the controller
+/// rejects them at BeginGesture and ignores them in stored databases.
+inline bool IsReservedGestureName(std::string_view name) {
+  return name.size() >= 2 && name[0] == '_' && name[1] == '_';
+}
 
 /// Right hand oscillating above the shoulder: right - left - right.
 core::GestureDefinition ControlWaveDefinition();

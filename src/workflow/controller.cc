@@ -6,7 +6,6 @@
 
 namespace epl::workflow {
 
-using core::DeployGesture;
 using kinect::SkeletonFrame;
 
 std::string_view ControllerPhaseToString(ControllerPhase phase) {
@@ -29,6 +28,26 @@ LearningController::LearningController(stream::StreamEngine* engine,
       store_(store),
       config_(std::move(config)),
       events_(std::move(events)),
+      recorder_(config_.recorder) {
+  // The controller owns its runtime: the learner's query-generation knob
+  // governs deployment too, so the deployed query always matches the
+  // query text the controller reports.
+  config_.runtime.query = config_.learner.query;
+  owned_runtime_ = std::make_unique<GestureRuntime>(engine, config_.runtime);
+  runtime_ = owned_runtime_.get();
+}
+
+LearningController::LearningController(GestureRuntime* runtime,
+                                       std::string user,
+                                       gesturedb::GestureStore* store,
+                                       ControllerConfig config,
+                                       ControllerEvents events)
+    : engine_(runtime->engine()),
+      store_(store),
+      config_(std::move(config)),
+      events_(std::move(events)),
+      runtime_(runtime),
+      user_(std::move(user)),
       recorder_(config_.recorder) {}
 
 void LearningController::Emit(const std::string& status) {
@@ -43,34 +62,67 @@ void LearningController::Warn(const std::string& warning) {
   }
 }
 
+void LearningController::ReportDetection(const cep::Detection& detection) {
+  // Suppressed while learning: a half-performed recording of gesture X
+  // must not read as a detection of the live X (the re-learn case).
+  if (phase_ != ControllerPhase::kLearning && events_.on_detection) {
+    events_.on_detection(detection);
+  }
+}
+
 Status LearningController::Init() {
   if (initialized_) {
     return FailedPreconditionError("controller already initialized");
   }
-  if (!engine_->HasStream("kinect")) {
-    EPL_RETURN_IF_ERROR(kinect::RegisterKinectStream(engine_));
-  }
-  if (!engine_->HasStream(transform::kKinectTViewName)) {
-    EPL_RETURN_IF_ERROR(
-        transform::RegisterKinectTView(engine_, config_.transform));
+  if (user_.empty()) {
+    // Private runtime on the classic single-user streams.
+    if (!engine_->HasStream("kinect")) {
+      EPL_RETURN_IF_ERROR(kinect::RegisterKinectStream(engine_));
+    }
+    if (!engine_->HasStream(transform::kKinectTViewName)) {
+      EPL_RETURN_IF_ERROR(
+          transform::RegisterKinectTView(engine_, config_.transform));
+    }
+    view_stream_ = transform::kKinectTViewName;
+  } else {
+    EPL_ASSIGN_OR_RETURN(session_, runtime_->OpenSession(user_));
+    EPL_ASSIGN_OR_RETURN(view_stream_, runtime_->SessionViewStream(session_));
   }
   if (config_.deploy_control_gestures) {
-    EPL_RETURN_IF_ERROR(
-        DeployGesture(engine_, ControlWaveDefinition(),
-                      [this](const cep::Detection&) { OnControlWave(); })
-            .status());
-    EPL_RETURN_IF_ERROR(
-        DeployGesture(engine_, ControlFinishDefinition(),
-                      [this](const cep::Detection&) { OnControlFinish(); })
-            .status());
+    EPL_RETURN_IF_ERROR(runtime_->Deploy(
+        session_, ControlWaveDefinition(),
+        [this](const cep::Detection&) { OnControlWave(); }));
+    EPL_RETURN_IF_ERROR(runtime_->Deploy(
+        session_, ControlFinishDefinition(),
+        [this](const cep::Detection&) { OnControlFinish(); }));
+  }
+  if (store_ != nullptr && config_.load_stored_gestures) {
+    // Boot-time bulk load: every stored gesture comes back live on the
+    // shared runtime (all of them share one bank build; LoadStore skips
+    // reserved "__" names, so a poisoned store cannot hot-swap the
+    // control queries).
+    EPL_ASSIGN_OR_RETURN(
+        int loaded,
+        runtime_->LoadStore(session_, *store_,
+                            [this](const cep::Detection& detection) {
+                              ReportDetection(detection);
+                            }));
+    for (const std::string& name : runtime_->DeployedGestures(session_)) {
+      if (!IsReservedGestureName(name)) {
+        deployed_names_.insert(name);
+      }
+    }
+    if (loaded > 0) {
+      Emit(StrFormat("%d stored gesture(s) deployed from the database",
+                     loaded));
+    }
   }
   // Frame tap: drives the recorder with transformed frames. Deployed after
   // the control matchers so control actions precede recorder updates for
   // the same frame.
   auto tap = std::make_unique<stream::CallbackSink>(
       [this](const stream::Event& event) { OnTransformedEvent(event); });
-  EPL_RETURN_IF_ERROR(
-      engine_->Deploy(transform::kKinectTViewName, std::move(tap)).status());
+  EPL_RETURN_IF_ERROR(engine_->Deploy(view_stream_, std::move(tap)).status());
   initialized_ = true;
   Emit("controller initialized");
   return OkStatus();
@@ -83,6 +135,11 @@ Status LearningController::BeginGesture(
   }
   if (name.empty() || joints.empty()) {
     return InvalidArgumentError("gesture needs a name and involved joints");
+  }
+  if (IsReservedGestureName(name)) {
+    return InvalidArgumentError(
+        "gesture name '" + name +
+        "' is reserved for built-in control gestures");
   }
   core::LearnerConfig learner_config = config_.learner;
   learner_config.source_stream = transform::kKinectTViewName;
@@ -137,31 +194,25 @@ Status LearningController::FinishLearning() {
         "record at least one sample before finishing");
   }
   EPL_ASSIGN_OR_RETURN(core::GestureDefinition definition, learner_->Learn());
+  // Rendered with the RUNTIME's query config -- the single source of truth
+  // for what actually deploys (a shared runtime's config wins over the
+  // controller's own learner.query).
   EPL_ASSIGN_OR_RETURN(std::string query_text,
                        core::GenerateQueryText(definition,
-                                               config_.learner.query));
+                                               runtime_->options().query));
   if (store_ != nullptr) {
     EPL_RETURN_IF_ERROR(store_->Put(definition));
   }
-  // Re-learning an existing gesture: retire the old deployment between
-  // frames (Undeploy must not run inside a dispatch).
-  auto existing = deployments_.find(definition.name);
-  if (existing != deployments_.end()) {
-    pending_undeploys_.push_back(existing->second);
-    deployments_.erase(existing);
-  }
+  // Deploy through the shared runtime. Re-learning an existing gesture is
+  // an atomic hot-swap at this exact event boundary: the old query sees
+  // every frame up to and including the current one, the new query the
+  // frames after it, and no other live gesture is perturbed.
   std::string name = definition.name;
-  EPL_ASSIGN_OR_RETURN(
-      stream::DeploymentId id,
-      DeployGesture(engine_, definition,
-                    [this](const cep::Detection& detection) {
-                      if (phase_ == ControllerPhase::kTesting &&
-                          events_.on_detection) {
-                        events_.on_detection(detection);
-                      }
-                    },
-                    config_.learner.query));
-  deployments_[name] = id;
+  EPL_RETURN_IF_ERROR(runtime_->Deploy(
+      session_, definition, [this](const cep::Detection& detection) {
+        ReportDetection(detection);
+      }));
+  deployed_names_.insert(name);
   last_query_text_ = query_text;
   phase_ = ControllerPhase::kTesting;
   Emit(StrFormat("gesture '%s' deployed; entering the testing phase",
@@ -176,8 +227,7 @@ Status LearningController::PushFrame(const SkeletonFrame& frame) {
   if (!initialized_) {
     return FailedPreconditionError("call Init() first");
   }
-  EPL_RETURN_IF_ERROR(ApplyPendingUndeploys());
-  return engine_->Push("kinect", kinect::FrameToEvent(frame));
+  return runtime_->PushFrame(session_, frame);
 }
 
 Status LearningController::PushFrames(
@@ -185,14 +235,6 @@ Status LearningController::PushFrames(
   for (const SkeletonFrame& frame : frames) {
     EPL_RETURN_IF_ERROR(PushFrame(frame));
   }
-  return OkStatus();
-}
-
-Status LearningController::ApplyPendingUndeploys() {
-  for (stream::DeploymentId id : pending_undeploys_) {
-    EPL_RETURN_IF_ERROR(engine_->Undeploy(id));
-  }
-  pending_undeploys_.clear();
   return OkStatus();
 }
 
@@ -254,12 +296,8 @@ void LearningController::HandleRecorderResult() {
 }
 
 std::vector<std::string> LearningController::deployed_gestures() const {
-  std::vector<std::string> names;
-  names.reserve(deployments_.size());
-  for (const auto& [name, id] : deployments_) {
-    names.push_back(name);
-  }
-  return names;
+  return std::vector<std::string>(deployed_names_.begin(),
+                                  deployed_names_.end());
 }
 
 }  // namespace epl::workflow

@@ -12,13 +12,22 @@
 //     database, and deployed; the session enters the testing phase where
 //     detections of the new gesture are reported back.
 //
+// Every deployment — control gestures, store-loaded gestures, freshly
+// learned gestures — goes through the shared GestureRuntime: one fused (or
+// sharded) operator hosts all of the controller's queries, re-learning a
+// gesture is an atomic hot-swap at an event boundary, and the gestures
+// already in the database come back live at Init. A controller either owns
+// a private runtime (single-user constructor) or joins a shared runtime
+// under a named session, so N controllers — N users — multiplex over ONE
+// matching runtime with per-session detection routing.
+//
 // Visual feedback of the paper's GUI maps to the callback events below.
 
 #ifndef EPL_WORKFLOW_CONTROLLER_H_
 #define EPL_WORKFLOW_CONTROLLER_H_
 
-#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,6 +36,7 @@
 #include "stream/engine.h"
 #include "transform/view.h"
 #include "workflow/control_gestures.h"
+#include "workflow/gesture_runtime.h"
 #include "workflow/recorder.h"
 
 namespace epl::workflow {
@@ -44,7 +54,8 @@ struct ControllerEvents {
   std::function<void(const std::string&)> on_warning;
   /// A gesture was learned and deployed (name, generated query text).
   std::function<void(const std::string&, const std::string&)> on_deployed;
-  /// Detections of learned gestures during the testing phase.
+  /// Detections of learned (and store-loaded) gestures outside the
+  /// learning phase.
   cep::DetectionCallback on_detection;
 };
 
@@ -54,19 +65,37 @@ struct ControllerConfig {
   transform::TransformConfig transform;
   /// Deploy the wave / two-hand-swipe control queries.
   bool deploy_control_gestures = true;
+  /// Deploy every gesture already in the store at Init (boot-time bulk
+  /// load into the shared bank); their detections go to on_detection.
+  bool load_stored_gestures = true;
+  /// Runtime configuration when the controller owns its runtime (the
+  /// engine+store constructor). Ignored when joining a shared runtime.
+  GestureRuntimeOptions runtime;
 };
 
 class LearningController {
  public:
-  /// `engine` must outlive the controller. `store` may be null (no
-  /// persistence).
+  /// Single-user pipeline: the controller owns a private GestureRuntime
+  /// (config.runtime) over `engine`, on the classic "kinect" / "kinect_t"
+  /// streams. `engine` must outlive the controller. `store` may be null
+  /// (no persistence).
   LearningController(stream::StreamEngine* engine,
                      gesturedb::GestureStore* store,
                      ControllerConfig config = ControllerConfig(),
                      ControllerEvents events = ControllerEvents());
 
-  /// Registers streams/views (if absent) and deploys control queries and
-  /// the internal frame tap. Call once.
+  /// Multi-user pipeline: joins `runtime` (which must outlive the
+  /// controller) under a session named `user`; Init() opens the session.
+  /// All of this controller's queries share the runtime with every other
+  /// session, and its frames go to the session's namespaced streams.
+  LearningController(GestureRuntime* runtime, std::string user,
+                     gesturedb::GestureStore* store,
+                     ControllerConfig config = ControllerConfig(),
+                     ControllerEvents events = ControllerEvents());
+
+  /// Registers streams/views (if absent), opens the session (shared
+  /// runtime), deploys control queries, bulk-loads stored gestures, and
+  /// deploys the internal frame tap. Call once.
   Status Init();
 
   /// Starts defining a new gesture; subsequent recordings feed it.
@@ -77,7 +106,8 @@ class LearningController {
   Status TriggerRecording();
 
   /// Equivalent to the two-hand-swipe control gesture: learn, store,
-  /// deploy, enter the testing phase.
+  /// deploy (re-learning hot-swaps the live query), enter the testing
+  /// phase.
   Status FinishLearning();
 
   /// Entry point for the sensor feed (raw camera-space frames).
@@ -91,8 +121,13 @@ class LearningController {
   }
   /// Query text of the most recently deployed gesture.
   const std::string& last_query_text() const { return last_query_text_; }
-  /// Names of gestures deployed by this controller.
+  /// Names of learned/loaded gestures deployed by this controller.
   std::vector<std::string> deployed_gestures() const;
+  /// The runtime serving this controller's queries.
+  GestureRuntime* runtime() const { return runtime_; }
+  /// The controller's session on the runtime (kLocalSession when it owns
+  /// the runtime).
+  SessionId session() const { return session_; }
 
  private:
   void Emit(const std::string& status);
@@ -101,12 +136,19 @@ class LearningController {
   void OnControlFinish();
   void OnTransformedEvent(const stream::Event& event);
   void HandleRecorderResult();
-  Status ApplyPendingUndeploys();
+  /// Forwards a detection to on_detection outside the learning phase.
+  void ReportDetection(const cep::Detection& detection);
 
   stream::StreamEngine* engine_;
   gesturedb::GestureStore* store_;
   ControllerConfig config_;
   ControllerEvents events_;
+
+  std::unique_ptr<GestureRuntime> owned_runtime_;
+  GestureRuntime* runtime_;
+  std::string user_;
+  SessionId session_ = kLocalSession;
+  std::string view_stream_;
 
   ControllerPhase phase_ = ControllerPhase::kIdle;
   std::unique_ptr<core::GestureLearner> learner_;
@@ -116,8 +158,7 @@ class LearningController {
   size_t warnings_reported_ = 0;
   TimePoint last_timestamp_ = 0;
   std::string last_query_text_;
-  std::map<std::string, stream::DeploymentId> deployments_;
-  std::vector<stream::DeploymentId> pending_undeploys_;
+  std::set<std::string> deployed_names_;
   bool initialized_ = false;
 };
 

@@ -1,0 +1,457 @@
+#include "workflow/gesture_runtime.h"
+
+#include "kinect/sensor.h"
+#include "stream/operators.h"
+#include "transform/view.h"
+#include "workflow/control_gestures.h"
+
+namespace epl::workflow {
+
+using core::GestureDefinition;
+using kinect::SkeletonFrame;
+
+namespace {
+
+/// Stamps a session's view events with the session id and pushes them
+/// into the shared session stream. A push failure propagates as a Status
+/// (straight to PushFrame for raw session streams; through the view
+/// dispatch chain for transformed sessions) instead of aborting.
+class SessionMergeTap : public stream::Operator {
+ public:
+  SessionMergeTap(stream::StreamEngine* engine, SessionId session)
+      : engine_(engine), session_(session) {}
+
+  Status Process(const stream::Event& event) override {
+    scratch_ = event;
+    scratch_.values.push_back(static_cast<double>(session_));
+    return engine_->Push(kSessionStreamName, scratch_);
+  }
+
+  std::string name() const override {
+    return "session_merge[" + std::to_string(session_) + "]";
+  }
+
+ private:
+  stream::StreamEngine* engine_;
+  SessionId session_;
+  stream::Event scratch_;  // capacity reused across frames
+};
+
+}  // namespace
+
+GestureRuntime::GestureRuntime(stream::StreamEngine* engine,
+                               GestureRuntimeOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  options_.batch_size = std::max<size_t>(1, options_.batch_size);
+  options_.num_shards = std::max(1, options_.num_shards);
+}
+
+cep::DetectionCallback GestureRuntime::Guard(cep::DetectionCallback callback) {
+  if (callback == nullptr) {
+    return nullptr;
+  }
+  return [this, callback = std::move(callback)](const cep::Detection& d) {
+    ++dispatch_depth_;
+    callback(d);
+    --dispatch_depth_;
+  };
+}
+
+Status GestureRuntime::Pump() {
+  if (pending_.empty()) {
+    return OkStatus();
+  }
+  std::vector<std::function<Status()>> ops;
+  ops.swap(pending_);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    Status status = ops[i]();
+    if (!status.ok()) {
+      // Keep the unexecuted remainder queued (in request order, ahead of
+      // anything ops[i] itself queued), so one failing deferred mutation
+      // cannot silently drop the ones behind it.
+      pending_.insert(pending_.begin(),
+                      std::make_move_iterator(ops.begin() +
+                                              static_cast<ptrdiff_t>(i) + 1),
+                      std::make_move_iterator(ops.end()));
+      return status;
+    }
+  }
+  return OkStatus();
+}
+
+Result<GestureRuntime::Session*> GestureRuntime::FindSession(
+    SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.open) {
+    return NotFoundError("unknown session " + std::to_string(session));
+  }
+  return &it->second;
+}
+
+Result<const GestureRuntime::Session*> GestureRuntime::FindSession(
+    SessionId session) const {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.open) {
+    return NotFoundError("unknown session " + std::to_string(session));
+  }
+  return &it->second;
+}
+
+Status GestureRuntime::EnsureSessionStream() {
+  if (engine_->HasStream(kSessionStreamName)) {
+    return OkStatus();
+  }
+  stream::Schema schema = options_.transform_sessions
+                              ? transform::KinectTSchema()
+                              : kinect::KinectSchema();
+  schema.AddField(kSessionFieldName);
+  return engine_->RegisterStream(kSessionStreamName, std::move(schema));
+}
+
+Result<SessionId> GestureRuntime::OpenSession(const std::string& user) {
+  if (user.empty()) {
+    return InvalidArgumentError("session needs a user name");
+  }
+  if (in_dispatch()) {
+    return FailedPreconditionError(
+        "OpenSession from inside a detection callback");
+  }
+  EPL_RETURN_IF_ERROR(Pump());
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    if (session.open && session.name == user) {
+      return AlreadyExistsError("session already open for user: " + user);
+    }
+  }
+  const SessionId id = next_session_id_++;
+  Session session;
+  session.name = user;
+  session.raw_stream = user + "/kinect";
+  if (!engine_->HasStream(session.raw_stream)) {
+    EPL_RETURN_IF_ERROR(
+        kinect::RegisterKinectStream(engine_, session.raw_stream));
+  }
+  if (options_.transform_sessions) {
+    session.view_stream = user + "/kinect_t";
+    if (!engine_->HasStream(session.view_stream)) {
+      EPL_RETURN_IF_ERROR(transform::RegisterKinectTView(
+          engine_, session.view_stream, session.raw_stream,
+          options_.transform));
+    }
+  } else {
+    session.view_stream = session.raw_stream;
+  }
+
+  if (options_.backend != RuntimeBackend::kLegacyPerQuery) {
+    // Tap the session's view into the shared stream, stamped with the
+    // session id. (Legacy sessions run their per-query operators on their
+    // own view and never touch the shared stream.)
+    EPL_RETURN_IF_ERROR(EnsureSessionStream());
+    EPL_ASSIGN_OR_RETURN(
+        session.tap,
+        engine_->Deploy(session.view_stream,
+                        std::make_unique<SessionMergeTap>(engine_, id)));
+    // The session's identity predicate, compiled once as the group gate
+    // all of the session's query specs share. The matcher enforces it on
+    // every state (isolation) and skips the whole session group when an
+    // event belongs to someone else (sub-linear in idle sessions).
+    cep::ExprPtr gate_expr = cep::Expr::RangePredicate(
+        kSessionFieldName, static_cast<double>(id), 0.5);
+    EPL_ASSIGN_OR_RETURN(stream::Schema schema,
+                         engine_->GetSchema(kSessionStreamName));
+    cep::PatternExprPtr pose =
+        cep::PatternExpr::Pose(kSessionStreamName, std::move(gate_expr));
+    EPL_ASSIGN_OR_RETURN(cep::CompiledPattern gate,
+                         cep::CompiledPattern::Compile(*pose, schema));
+    session.gate = std::make_shared<const cep::CompiledPattern>(
+        std::move(gate));
+  }
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+Status GestureRuntime::CloseSession(SessionId session) {
+  if (!in_dispatch()) {
+    EPL_RETURN_IF_ERROR(Pump());
+  }
+  EPL_ASSIGN_OR_RETURN(Session * found, FindSession(session));
+  // Close the session SYNCHRONOUSLY -- from this call on, deploys against
+  // it fail with NotFound even when the teardown below is deferred, so a
+  // callback's close-then-deploy sequence cannot invert.
+  found->open = false;
+  const stream::DeploymentId tap = found->tap;
+  found->tap = 0;
+  auto teardown = [this, session, tap]() -> Status {
+    for (const std::string& name : DeployedGestures(session)) {
+      EPL_RETURN_IF_ERROR(DoUndeploy(session, name));
+    }
+    return tap != 0 ? engine_->Undeploy(tap) : OkStatus();
+  };
+  if (in_dispatch()) {
+    // Engine undeploys (and sharded control operations) cannot run
+    // mid-dispatch; the session's queries retire at the next boundary --
+    // the same boundary a mid-callback RemoveQuery would take effect at.
+    pending_.push_back(std::move(teardown));
+    return OkStatus();
+  }
+  return teardown();
+}
+
+Result<std::string> GestureRuntime::SessionViewStream(SessionId session) const {
+  if (session == kLocalSession) {
+    return std::string(transform::kKinectTViewName);
+  }
+  EPL_ASSIGN_OR_RETURN(const Session* found, FindSession(session));
+  return found->view_stream;
+}
+
+Result<GestureRuntime::Channel*> GestureRuntime::EnsureChannel(
+    const std::string& stream) {
+  auto it = channels_.find(stream);
+  if (it != channels_.end()) {
+    return &it->second;
+  }
+  Channel channel;
+  if (options_.backend == RuntimeBackend::kFused) {
+    EPL_ASSIGN_OR_RETURN(
+        channel.fused,
+        query::DeployFusedOperator(engine_, stream, options_.matcher,
+                                   options_.batch_size));
+  } else {
+    cep::ShardedEngineOptions sharded;
+    sharded.num_shards = options_.num_shards;
+    sharded.batch_size = options_.batch_size;
+    sharded.matcher = options_.matcher;
+    sharded.sync_delivery = options_.sync_detections;
+    EPL_ASSIGN_OR_RETURN(
+        channel.sharded,
+        query::DeployShardedOperator(engine_, stream, sharded));
+  }
+  return &channels_.emplace(stream, std::move(channel)).first->second;
+}
+
+Result<query::ParsedQuery> GestureRuntime::BuildQuery(
+    const Session* session, const GestureDefinition& definition) const {
+  EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
+                       core::GenerateQuery(definition, options_.query));
+  if (session != nullptr) {
+    if (options_.backend == RuntimeBackend::kLegacyPerQuery) {
+      parsed.pattern = parsed.pattern->Rescope(session->view_stream, nullptr);
+    } else {
+      // The session's identity predicate is NOT conjoined into the poses:
+      // it rides along as the query's gate, which the matcher enforces on
+      // every state. Identical gestures deployed by different sessions
+      // therefore share their pose predicates in the bank.
+      parsed.pattern = parsed.pattern->Rescope(kSessionStreamName, nullptr);
+    }
+  }
+  return parsed;
+}
+
+Status GestureRuntime::Retire(const Gesture& gesture) {
+  switch (options_.backend) {
+    case RuntimeBackend::kLegacyPerQuery: {
+      const stream::DeploymentId id = gesture.legacy_id;
+      if (in_dispatch()) {
+        // Undeploy must not run inside a dispatch; the retiring operator
+        // sees no further events before the next boundary anyway (and its
+        // detections for the current event still fire, exactly like a
+        // fused RemoveQuery requested mid-callback).
+        pending_.push_back([this, id] { return engine_->Undeploy(id); });
+        return OkStatus();
+      }
+      return engine_->Undeploy(id);
+    }
+    case RuntimeBackend::kFused: {
+      auto channel = channels_.find(gesture.stream);
+      if (channel == channels_.end()) {
+        return InternalError("gesture channel vanished: " + gesture.stream);
+      }
+      // Mid-callback removals are deferred by the operator itself.
+      return channel->second.fused.op->RemoveQuery(gesture.query_id);
+    }
+    case RuntimeBackend::kSharded: {
+      auto channel = channels_.find(gesture.stream);
+      if (channel == channels_.end()) {
+        return InternalError("gesture channel vanished: " + gesture.stream);
+      }
+      return channel->second.sharded.engine->RemoveQuery(gesture.query_id);
+    }
+  }
+  return InternalError("unknown backend");
+}
+
+Status GestureRuntime::DoDeploy(SessionId session,
+                                const GestureDefinition& definition,
+                                cep::DetectionCallback callback) {
+  if (definition.name.empty()) {
+    return InvalidArgumentError("gesture needs a name");
+  }
+  Session* found = nullptr;
+  if (session != kLocalSession) {
+    EPL_ASSIGN_OR_RETURN(found, FindSession(session));
+  }
+  EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
+                       BuildQuery(found, definition));
+  const std::string stream = parsed.pattern->SourceStream();
+  const GestureKey key{session, definition.name};
+  auto existing = gestures_.find(key);
+
+  // Atomic swap semantics: the retiring query is removed before the
+  // replacement is added, both at the same event boundary (requested from
+  // a callback, the backend applies them in order after the current
+  // event), so the old query sees every event up to and including the
+  // current one and the new query exactly the events after it.
+  if (options_.backend == RuntimeBackend::kLegacyPerQuery) {
+    EPL_ASSIGN_OR_RETURN(
+        stream::DeploymentId id,
+        query::DeployQuery(engine_, parsed, Guard(std::move(callback)),
+                           options_.matcher));
+    if (existing != gestures_.end()) {
+      EPL_RETURN_IF_ERROR(Retire(existing->second));
+    }
+    gestures_[key] = Gesture{stream, -1, id};
+    return OkStatus();
+  }
+
+  // Compile before touching the channel, so a bad query cannot leave an
+  // empty operator (or running shard workers) deployed behind an error.
+  EPL_ASSIGN_OR_RETURN(
+      cep::MultiMatchOperator::QuerySpec spec,
+      query::CompileQuerySpec(engine_, parsed, Guard(std::move(callback)),
+                              found != nullptr ? found->gate : nullptr));
+  EPL_ASSIGN_OR_RETURN(Channel * channel, EnsureChannel(stream));
+  if (existing != gestures_.end()) {
+    EPL_RETURN_IF_ERROR(Retire(existing->second));
+  }
+  const int id = options_.backend == RuntimeBackend::kFused
+                     ? channel->fused.op->AddQuery(std::move(spec))
+                     : channel->sharded.engine->AddQuery(std::move(spec));
+  gestures_[key] = Gesture{stream, id, 0};
+  return OkStatus();
+}
+
+Status GestureRuntime::Deploy(SessionId session,
+                              const GestureDefinition& definition,
+                              cep::DetectionCallback callback) {
+  if (in_dispatch()) {
+    if (options_.backend == RuntimeBackend::kSharded) {
+      // The sharded engine's control operations quiesce the workers and
+      // must not run from a delivery callback; apply at the next frame
+      // boundary (no events flow in between, so the swap point is the
+      // same one the fused backend realizes immediately).
+      pending_.push_back([this, session, definition,
+                          callback = std::move(callback)]() mutable {
+        return DoDeploy(session, definition, std::move(callback));
+      });
+      return OkStatus();
+    }
+    return DoDeploy(session, definition, std::move(callback));
+  }
+  EPL_RETURN_IF_ERROR(Pump());
+  return DoDeploy(session, definition, std::move(callback));
+}
+
+Status GestureRuntime::DoUndeploy(SessionId session, const std::string& name) {
+  auto it = gestures_.find(GestureKey{session, name});
+  if (it == gestures_.end()) {
+    return NotFoundError("gesture not deployed: " + name);
+  }
+  Gesture gesture = it->second;
+  gestures_.erase(it);
+  return Retire(gesture);
+}
+
+Status GestureRuntime::Undeploy(SessionId session, const std::string& name) {
+  if (in_dispatch()) {
+    if (options_.backend == RuntimeBackend::kSharded) {
+      pending_.push_back(
+          [this, session, name] { return DoUndeploy(session, name); });
+      return OkStatus();
+    }
+    return DoUndeploy(session, name);
+  }
+  EPL_RETURN_IF_ERROR(Pump());
+  return DoUndeploy(session, name);
+}
+
+bool GestureRuntime::IsDeployed(SessionId session,
+                                const std::string& name) const {
+  return gestures_.count(GestureKey{session, name}) > 0;
+}
+
+std::vector<std::string> GestureRuntime::DeployedGestures(
+    SessionId session) const {
+  std::vector<std::string> names;
+  for (const auto& [key, gesture] : gestures_) {
+    (void)gesture;
+    if (key.first == session) {
+      names.push_back(key.second);
+    }
+  }
+  return names;  // map order: already sorted by name within the session
+}
+
+Result<int> GestureRuntime::LoadStore(SessionId session,
+                                      const gesturedb::GestureStore& store,
+                                      cep::DetectionCallback callback) {
+  if (in_dispatch()) {
+    return FailedPreconditionError(
+        "LoadStore from inside a detection callback");
+  }
+  EPL_RETURN_IF_ERROR(Pump());
+  EPL_ASSIGN_OR_RETURN(std::vector<std::string> names, store.List());
+  int loaded = 0;
+  for (const std::string& name : names) {
+    if (IsReservedGestureName(name)) {
+      // A stored "__control_wave" must not hot-swap a live control query.
+      continue;
+    }
+    EPL_ASSIGN_OR_RETURN(GestureDefinition definition, store.Get(name));
+    EPL_RETURN_IF_ERROR(DoDeploy(session, definition, callback));
+    ++loaded;
+  }
+  return loaded;
+}
+
+Status GestureRuntime::PushFrame(SessionId session,
+                                 const SkeletonFrame& frame) {
+  if (in_dispatch()) {
+    return FailedPreconditionError(
+        "PushFrame from inside a detection callback");
+  }
+  EPL_RETURN_IF_ERROR(Pump());
+  if (session == kLocalSession) {
+    return engine_->Push("kinect", kinect::FrameToEvent(frame));
+  }
+  EPL_ASSIGN_OR_RETURN(const Session* found, FindSession(session));
+  return engine_->Push(found->raw_stream, kinect::FrameToEvent(frame));
+}
+
+Status GestureRuntime::PushFrames(SessionId session,
+                                  const std::vector<SkeletonFrame>& frames) {
+  for (const SkeletonFrame& frame : frames) {
+    EPL_RETURN_IF_ERROR(PushFrame(session, frame));
+  }
+  return OkStatus();
+}
+
+Status GestureRuntime::Flush() {
+  if (in_dispatch()) {
+    return FailedPreconditionError("Flush from inside a detection callback");
+  }
+  EPL_RETURN_IF_ERROR(Pump());
+  for (auto& [stream, channel] : channels_) {
+    (void)stream;
+    if (options_.backend == RuntimeBackend::kFused) {
+      channel.fused.op->FlushBatchedEvents();
+    } else if (options_.backend == RuntimeBackend::kSharded &&
+               channel.sharded.engine->running()) {
+      EPL_RETURN_IF_ERROR(channel.sharded.engine->Flush());
+    }
+  }
+  // Flushed detections may have requested further mutations.
+  return Pump();
+}
+
+}  // namespace epl::workflow

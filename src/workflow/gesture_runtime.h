@@ -1,0 +1,272 @@
+// GestureRuntime: the session layer between the learning workflow and the
+// shared matching runtime.
+//
+// The paper's learn -> deploy -> test loop (Sec. 3.1 / Fig. 2) used to
+// deploy every gesture -- including the built-in control gestures --
+// as its own per-query match operator. This layer multiplexes all of them
+// over the shared runtime instead (SASE+/ZStream-style multi-query
+// sharing): ONE fused MultiMatchOperator (or ShardedEngine, selectable)
+// per source stream hosts every deployed gesture, and gestures are
+// deployed, undeployed, and re-deployed BY NAME via runtime
+// AddQuery/RemoveQuery hot-swap. Re-learning a live gesture is an atomic
+// swap at an exact event boundary: the retiring query sees every event up
+// to and including the current one, the replacement sees exactly the
+// events after it -- no deferred-undeploy dance, no window where both or
+// neither are live.
+//
+// Multi-session mode is how "heavy traffic from millions of users" becomes
+// an actual code path: every user gets a namespaced stream pair
+// ("<user>/kinect" -> "<user>/kinect_t"), all sessions merge into ONE
+// shared stream (kSessionStreamName) whose events carry a `session` field,
+// and one shared runtime hosts every session's queries. Each deployed
+// query is rescoped onto the merged stream (PatternExpr::Rescope) and
+// carries the session's identity predicate as its GROUP GATE
+// (MultiPatternMatcher::AddPattern), which the matcher enforces as an
+// extra conjunct on every state -- per-session isolation by construction.
+// Because the gate stays OUT of the pose predicates, identical gestures
+// deployed by different sessions dedup to ONE predicate set in the shared
+// bank (predicate cost independent of the session count), and the flat
+// runtime skips an entire session's patterns with one gate read when an
+// event belongs to another session -- per-event cost sub-linear in the
+// number of idle sessions.
+//
+// Detections route per query: each deploy carries its own callback, so a
+// session only ever observes its own gestures (the merge stream never
+// leaks detections across sessions).
+//
+// Differential guarantee (tests/workflow_runtime_test.cc): a full
+// controller session -- control gestures, learned gestures, re-learning --
+// produces bit-identical detections on the shared runtime (fused, and
+// sharded at any shard count with sync_detections) and on the legacy
+// per-query deployment (RuntimeBackend::kLegacyPerQuery, kept as the
+// differential and benchmark baseline).
+//
+// Threading / re-entrancy contract: the runtime is single-threaded like
+// the StreamEngine it manages. Deploy/Undeploy may be called from inside a
+// detection callback (the controller's finish gesture does exactly that);
+// operations the underlying backend cannot apply mid-dispatch are deferred
+// and applied at the next PushFrame/Flush boundary -- which keeps the swap
+// semantics above, since no events flow in between. Each session's frames
+// must be timestamp-monotonic; ordering ACROSS sessions is by arrival.
+// (That suffices because every session query is fully session-scoped: it
+// only ever advances on its own session's events, whose timestamps are
+// monotonic, and foreign events are no-ops for it.) The runtime must
+// outlive all event flow through its engine.
+
+#ifndef EPL_WORKFLOW_GESTURE_RUNTIME_H_
+#define EPL_WORKFLOW_GESTURE_RUNTIME_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cep/sharded_engine.h"
+#include "core/query_gen.h"
+#include "gesturedb/store.h"
+#include "kinect/skeleton.h"
+#include "query/compiler.h"
+#include "stream/engine.h"
+#include "transform/transform.h"
+
+namespace epl::workflow {
+
+enum class RuntimeBackend {
+  /// One match operator per gesture query, exactly the pre-runtime
+  /// architecture. Kept as the differential-test and benchmark baseline.
+  kLegacyPerQuery,
+  /// One fused MultiMatchOperator per source stream (default).
+  kFused,
+  /// One ShardedEngine per source stream (multi-core scaling).
+  kSharded,
+};
+
+/// Handle of an open user session. kLocalSession addresses the classic
+/// single-user pipeline ("kinect" / the definition's own source stream)
+/// without any session namespacing.
+using SessionId = int;
+inline constexpr SessionId kLocalSession = -1;
+
+/// The shared multi-session stream: per-session view events plus a
+/// trailing `session` field identifying the originating session.
+inline constexpr char kSessionStreamName[] = "gesture_sessions";
+inline constexpr char kSessionFieldName[] = "session";
+
+struct GestureRuntimeOptions {
+  RuntimeBackend backend = RuntimeBackend::kFused;
+  cep::MatcherOptions matcher;
+  /// Fused backend: events accumulated per matcher sweep; sharded backend:
+  /// events per fan-out batch. Interactive sessions (detections steering
+  /// the workflow) want 1; offline replays raise it for throughput.
+  size_t batch_size = 1;
+  /// Sharded backend: worker shard count.
+  int num_shards = 1;
+  /// Sharded backend: deliver detections synchronously inside each frame's
+  /// dispatch (exact event-boundary semantics, what the interactive
+  /// controller needs). Off: detections surface at batch boundaries and
+  /// Flush(), which is the throughput mode.
+  bool sync_detections = true;
+  /// Give every session its own kinect_t transformation view and merge the
+  /// transformed events. Off: raw kinect events merge directly (workloads
+  /// that are already transformed, e.g. benchmarks).
+  bool transform_sessions = true;
+  core::QueryGenConfig query;
+  transform::TransformConfig transform;
+};
+
+class GestureRuntime {
+ public:
+  /// `engine` must outlive the runtime.
+  explicit GestureRuntime(stream::StreamEngine* engine,
+                          GestureRuntimeOptions options = {});
+
+  GestureRuntime(const GestureRuntime&) = delete;
+  GestureRuntime& operator=(const GestureRuntime&) = delete;
+
+  stream::StreamEngine* engine() const { return engine_; }
+  const GestureRuntimeOptions& options() const { return options_; }
+
+  /// Opens a session for `user`: registers "<user>/kinect" (and its
+  /// "<user>/kinect_t" view unless transform_sessions is off), ensures the
+  /// shared session stream exists, and taps the session's events into it.
+  Result<SessionId> OpenSession(const std::string& user);
+
+  /// Undeploys every gesture of the session and detaches its tap. The
+  /// session's streams stay registered (stream registration is permanent).
+  /// Callable from inside a detection callback: the session is closed for
+  /// further deploys immediately, its queries retire at the next event
+  /// boundary.
+  Status CloseSession(SessionId session);
+
+  /// The stream carrying the session's transformed (or raw) events --
+  /// where a controller attaches its recorder tap.
+  Result<std::string> SessionViewStream(SessionId session) const;
+
+  /// Deploys (or, if `name` is already live in this session, atomically
+  /// re-deploys) the gesture's generated query under its definition name.
+  /// Local deploys run on definition.source_stream; session deploys are
+  /// rescoped onto the shared session stream with the session's identity
+  /// predicate as pose guard and group gate. Detections of this gesture go
+  /// to `callback`. Callable from inside a detection callback: backends
+  /// that cannot mutate mid-dispatch apply the change at the next
+  /// PushFrame/Flush boundary (identical swap semantics, since no events
+  /// flow in between; errors then surface from that call).
+  Status Deploy(SessionId session, const core::GestureDefinition& definition,
+                cep::DetectionCallback callback);
+  Status Deploy(const core::GestureDefinition& definition,
+                cep::DetectionCallback callback) {
+    return Deploy(kLocalSession, definition, std::move(callback));
+  }
+
+  /// Removes the named gesture, discarding its partial matches.
+  Status Undeploy(SessionId session, const std::string& name);
+  Status Undeploy(const std::string& name) {
+    return Undeploy(kLocalSession, name);
+  }
+
+  bool IsDeployed(SessionId session, const std::string& name) const;
+  bool IsDeployed(const std::string& name) const {
+    return IsDeployed(kLocalSession, name);
+  }
+
+  /// Names of the session's deployed gestures, sorted.
+  std::vector<std::string> DeployedGestures(
+      SessionId session = kLocalSession) const;
+
+  /// Boot-time bulk load: deploys every gesture stored in `store` into the
+  /// shared bank (one runtime AddQuery each; with the fused/sharded
+  /// backends the bank builds once, on the first event). Reserved "__"
+  /// names are skipped -- a stored "__control_wave" must not hot-swap a
+  /// live control query (see IsReservedGestureName). Detections of all
+  /// loaded gestures go to `callback`. Returns the number loaded.
+  Result<int> LoadStore(SessionId session, const gesturedb::GestureStore& store,
+                        cep::DetectionCallback callback);
+  Result<int> LoadStore(const gesturedb::GestureStore& store,
+                        cep::DetectionCallback callback) {
+    return LoadStore(kLocalSession, store, std::move(callback));
+  }
+
+  /// Applies deferred mutations, then feeds the frame into the session's
+  /// raw stream (kLocalSession: "kinect").
+  Status PushFrame(SessionId session, const kinect::SkeletonFrame& frame);
+  Status PushFrame(const kinect::SkeletonFrame& frame) {
+    return PushFrame(kLocalSession, frame);
+  }
+  Status PushFrames(SessionId session,
+                    const std::vector<kinect::SkeletonFrame>& frames);
+
+  /// Applies deferred mutations and flushes every channel: fused batched
+  /// windows are swept, sharded engines quiesce and deliver everything
+  /// pending.
+  Status Flush();
+
+  /// Deployed gestures across all sessions.
+  size_t num_deployed() const { return gestures_.size(); }
+  /// Live fused/sharded operators (one per source stream in use).
+  size_t num_channels() const { return channels_.size(); }
+
+ private:
+  /// The shared operator of one source stream.
+  struct Channel {
+    query::FusedDeployment fused;      // backend kFused
+    query::ShardedDeployment sharded;  // backend kSharded
+  };
+
+  struct Session {
+    std::string name;
+    std::string raw_stream;
+    std::string view_stream;
+    /// The session's identity predicate compiled as a group gate, shared
+    /// by all of the session's query specs and enforced by the matcher on
+    /// every state.
+    std::shared_ptr<const cep::CompiledPattern> gate;
+    stream::DeploymentId tap = 0;
+    bool open = true;
+  };
+
+  struct Gesture {
+    std::string stream;               // channel key / legacy deploy stream
+    int query_id = -1;                // fused/sharded stable id
+    stream::DeploymentId legacy_id = 0;
+  };
+
+  using GestureKey = std::pair<SessionId, std::string>;
+
+  bool in_dispatch() const { return dispatch_depth_ > 0; }
+  /// Wraps a detection callback so the runtime knows when it is inside a
+  /// dispatch (mutations from there may need deferring).
+  cep::DetectionCallback Guard(cep::DetectionCallback callback);
+  /// Runs the deferred mutations in request order.
+  Status Pump();
+  Result<Session*> FindSession(SessionId session);
+  Result<const Session*> FindSession(SessionId session) const;
+  /// Registers the shared session stream on first use.
+  Status EnsureSessionStream();
+  Result<Channel*> EnsureChannel(const std::string& stream);
+  /// The gesture's generated query, rescoped for `session` (null = local).
+  Result<query::ParsedQuery> BuildQuery(
+      const Session* session, const core::GestureDefinition& definition) const;
+  /// Dispatch-unsafe deploy core (callers defer when needed).
+  Status DoDeploy(SessionId session, const core::GestureDefinition& definition,
+                  cep::DetectionCallback callback);
+  Status DoUndeploy(SessionId session, const std::string& name);
+  /// Retires one gesture's query/deployment (map entry already removed).
+  Status Retire(const Gesture& gesture);
+
+  stream::StreamEngine* engine_;
+  GestureRuntimeOptions options_;
+
+  std::map<std::string, Channel> channels_;
+  std::map<SessionId, Session> sessions_;
+  std::map<GestureKey, Gesture> gestures_;
+  SessionId next_session_id_ = 0;
+
+  int dispatch_depth_ = 0;
+  std::vector<std::function<Status()>> pending_;
+};
+
+}  // namespace epl::workflow
+
+#endif  // EPL_WORKFLOW_GESTURE_RUNTIME_H_

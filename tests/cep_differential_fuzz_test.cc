@@ -32,10 +32,12 @@
 #include <gtest/gtest.h>
 
 #include "cep/matcher.h"
+#include "cep/multi_match_operator.h"
 #include "cep/multi_matcher.h"
 #include "common/logging.h"
 #include "cep/nfa.h"
 #include "cep/pattern.h"
+#include "cep/sharded_engine.h"
 #include "stream/event.h"
 #include "stream/schema.h"
 #include "test_util.h"
@@ -266,6 +268,46 @@ size_t RunScenario(uint64_t scenario_seed, MatcherOptions::Mode mode) {
     EPL_CHECK(compiled.ok()) << compiled.status();
     patterns.push_back(std::move(compiled).value());
   }
+  // Gated twins: every pattern is ALSO registered a second time with a
+  // random gate predicate. The runtime gets the original (unconjoined)
+  // pattern plus the gate -- it must enforce the gate as an extra conjunct
+  // on every state -- while the oracle runs an explicitly conjoined clone
+  // (Rescope), so any gate enforcement or group-skip bug diverges here.
+  // Non-decomposable gates keep the fallback gate-read path under test.
+  std::vector<ExprPtr> gate_exprs;
+  std::vector<CompiledPattern> gates;
+  for (int q = 0; q < num_patterns; ++q) {
+    ExprPtr gate =
+        UniformInt(rng, 0, 3) == 0
+            ? Expr::Binary(BinaryOp::kOr, RandomRange(rng), RandomRange(rng))
+            : RandomRange(rng);
+    PatternExprPtr pose = PatternExpr::Pose("fuzz", gate->Clone());
+    Result<CompiledPattern> compiled_gate =
+        CompiledPattern::Compile(*pose, FuzzSchema());
+    EPL_CHECK(compiled_gate.ok()) << compiled_gate.status();
+    gates.push_back(std::move(compiled_gate).value());
+    // The oracle's conjoined clone of the twin at index num_patterns + q.
+    exprs.push_back(exprs[static_cast<size_t>(q)]->Rescope("", gate.get()));
+    Result<CompiledPattern> compiled =
+        CompiledPattern::Compile(*exprs.back(), FuzzSchema());
+    EPL_CHECK(compiled.ok()) << compiled.status();
+    patterns.push_back(std::move(compiled).value());
+    gate_exprs.push_back(std::move(gate));
+  }
+  const int total_patterns = 2 * num_patterns;
+  // What the runtime registers for index q: originals run ungated; the
+  // twin of pattern q reuses the ORIGINAL compiled pattern (shared pose
+  // predicates, the production shape) plus gates[q].
+  auto runtime_pattern = [&](int index) -> const CompiledPattern* {
+    return index >= num_patterns
+               ? &patterns[static_cast<size_t>(index - num_patterns)]
+               : &patterns[static_cast<size_t>(index)];
+  };
+  auto gate_of = [&](int index) -> const CompiledPattern* {
+    return index >= num_patterns ? &gates[static_cast<size_t>(
+                                       index - num_patterns)]
+                                 : nullptr;
+  };
   const std::vector<Event> events = RandomEvents(rng, num_events);
 
   MatcherOptions options;
@@ -274,9 +316,10 @@ size_t RunScenario(uint64_t scenario_seed, MatcherOptions::Mode mode) {
   // the differential surface instead of a rare untested branch.
   options.max_runs = 256;
 
-  // 1. Oracle: independent per-query matchers.
-  MatchLists oracle(static_cast<size_t>(num_patterns));
-  for (int q = 0; q < num_patterns; ++q) {
+  // 1. Oracle: independent per-query matchers (gated twins included; the
+  // oracle never sees gates, only the conjoined predicates).
+  MatchLists oracle(static_cast<size_t>(total_patterns));
+  for (int q = 0; q < total_patterns; ++q) {
     NfaMatcher matcher(&patterns[static_cast<size_t>(q)], options);
     for (const Event& event : events) {
       matcher.Process(event, &oracle[static_cast<size_t>(q)]);
@@ -284,11 +327,11 @@ size_t RunScenario(uint64_t scenario_seed, MatcherOptions::Mode mode) {
   }
 
   // 2. Flat, one event at a time.
-  MatchLists flat(static_cast<size_t>(num_patterns));
+  MatchLists flat(static_cast<size_t>(total_patterns));
   {
     MultiPatternMatcher multi(options);
-    for (const CompiledPattern& pattern : patterns) {
-      multi.AddPattern(&pattern);
+    for (int q = 0; q < total_patterns; ++q) {
+      multi.AddPattern(runtime_pattern(q), gate_of(q));
     }
     std::vector<MultiPatternMatcher::MultiMatch> scratch;
     for (const Event& event : events) {
@@ -302,11 +345,11 @@ size_t RunScenario(uint64_t scenario_seed, MatcherOptions::Mode mode) {
   }
 
   // 3. Flat, random batch chunking (including single-event chunks).
-  MatchLists batched(static_cast<size_t>(num_patterns));
+  MatchLists batched(static_cast<size_t>(total_patterns));
   {
     MultiPatternMatcher multi(options);
-    for (const CompiledPattern& pattern : patterns) {
-      multi.AddPattern(&pattern);
+    for (int q = 0; q < total_patterns; ++q) {
+      multi.AddPattern(runtime_pattern(q), gate_of(q));
     }
     std::vector<MultiPatternMatcher::MultiMatch> scratch;
     size_t pos = 0;
@@ -376,6 +419,175 @@ TEST(DifferentialFuzzTest, BatchedFlatAndOracleAgree) {
   }
   // The suite must exercise real matches, not vacuous empty streams.
   EXPECT_GT(total_matches, 0u) << "fuzz produced no matches in " << ran
+                               << " scenarios (seed " << base_seed << ")";
+}
+
+/// Mid-stream churn differential: every query gets a random live window
+/// [add_at, remove_at) of the stream, applied via runtime
+/// AddQuery/RemoveQuery on (a) a fused MultiMatchOperator with random
+/// batch accumulation and (b) a ShardedEngine with random shard count and
+/// fan-out batch. The oracle for each query is a fresh NfaMatcher over
+/// exactly its window slice -- the boundary-exactness contract of runtime
+/// query exchange. Returns the oracle's total match count.
+size_t RunChurnScenario(uint64_t scenario_seed, MatcherOptions::Mode mode) {
+  std::mt19937_64 rng(scenario_seed ^ 0x9E3779B97F4A7C15ull);
+  const int num_queries = UniformInt(rng, 2, 5);
+  const int num_events =
+      mode == MatcherOptions::Mode::kExhaustive ? 140 : 320;
+
+  std::vector<PatternExprPtr> exprs;
+  std::vector<int> add_at(static_cast<size_t>(num_queries));
+  std::vector<int> remove_at(static_cast<size_t>(num_queries));
+  for (int q = 0; q < num_queries; ++q) {
+    exprs.push_back(RandomPattern(rng));
+    add_at[static_cast<size_t>(q)] =
+        UniformInt(rng, 0, 1) == 0 ? 0 : UniformInt(rng, 0, num_events - 1);
+    remove_at[static_cast<size_t>(q)] =
+        UniformInt(rng, 0, 1) == 0
+            ? num_events
+            : UniformInt(rng, add_at[static_cast<size_t>(q)], num_events);
+  }
+  const std::vector<Event> events = RandomEvents(rng, num_events);
+
+  MatcherOptions options;
+  options.mode = mode;
+  options.max_runs = 256;
+
+  auto compile = [&](int q) {
+    Result<CompiledPattern> compiled = CompiledPattern::Compile(
+        *exprs[static_cast<size_t>(q)], FuzzSchema());
+    EPL_CHECK(compiled.ok()) << compiled.status();
+    return std::move(compiled).value();
+  };
+
+  // Oracle: a fresh matcher fed exactly the query's window slice.
+  MatchLists oracle(static_cast<size_t>(num_queries));
+  for (int q = 0; q < num_queries; ++q) {
+    CompiledPattern pattern = compile(q);
+    NfaMatcher matcher(&pattern, options);
+    for (int i = add_at[static_cast<size_t>(q)];
+         i < remove_at[static_cast<size_t>(q)]; ++i) {
+      matcher.Process(events[static_cast<size_t>(i)],
+                      &oracle[static_cast<size_t>(q)]);
+    }
+  }
+
+  auto record_into = [](MatchLists* lists, int q) {
+    return [lists, q](const Detection& detection) {
+      PatternMatch match;
+      match.state_times = detection.pose_times;
+      (*lists)[static_cast<size_t>(q)].push_back(std::move(match));
+    };
+  };
+
+  // Leg A: one fused operator, random batch accumulation, add/remove at
+  // exact event boundaries.
+  MatchLists fused(static_cast<size_t>(num_queries));
+  {
+    MultiMatchOperator op(options,
+                          static_cast<size_t>(UniformInt(rng, 1, 9)));
+    std::vector<int> ids(static_cast<size_t>(num_queries), -1);
+    for (int i = 0; i <= num_events; ++i) {
+      for (int q = 0; q < num_queries; ++q) {
+        if (add_at[static_cast<size_t>(q)] == i && i < num_events) {
+          MultiMatchOperator::QuerySpec spec;
+          spec.output_name = "q" + std::to_string(q);
+          spec.pattern = compile(q);
+          spec.callback = record_into(&fused, q);
+          ids[static_cast<size_t>(q)] = op.AddQuery(std::move(spec));
+        }
+      }
+      for (int q = 0; q < num_queries; ++q) {
+        if (remove_at[static_cast<size_t>(q)] == i &&
+            ids[static_cast<size_t>(q)] >= 0 && i < num_events) {
+          EPL_CHECK(op.RemoveQuery(ids[static_cast<size_t>(q)]).ok());
+        }
+      }
+      if (i < num_events) {
+        EPL_CHECK(op.Process(events[static_cast<size_t>(i)]).ok());
+      }
+    }
+    EPL_CHECK(op.Close().ok());  // flush the accumulated tail
+  }
+
+  // Leg B: a sharded engine, random shard count and fan-out batch; the
+  // control operations quiesce at exact event boundaries.
+  MatchLists sharded(static_cast<size_t>(num_queries));
+  {
+    ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = UniformInt(rng, 1, 3);
+    sharded_options.batch_size = static_cast<size_t>(UniformInt(rng, 1, 8));
+    sharded_options.matcher = options;
+    ShardedEngine engine(sharded_options);
+    EPL_CHECK(engine.Start().ok());
+    std::vector<int> ids(static_cast<size_t>(num_queries), -1);
+    for (int i = 0; i <= num_events; ++i) {
+      for (int q = 0; q < num_queries; ++q) {
+        if (add_at[static_cast<size_t>(q)] == i && i < num_events) {
+          MultiMatchOperator::QuerySpec spec;
+          spec.output_name = "q" + std::to_string(q);
+          spec.pattern = compile(q);
+          spec.callback = record_into(&sharded, q);
+          ids[static_cast<size_t>(q)] = engine.AddQuery(std::move(spec));
+        }
+      }
+      for (int q = 0; q < num_queries; ++q) {
+        if (remove_at[static_cast<size_t>(q)] == i &&
+            ids[static_cast<size_t>(q)] >= 0 && i < num_events) {
+          EPL_CHECK(engine.RemoveQuery(ids[static_cast<size_t>(q)]).ok());
+        }
+      }
+      if (i < num_events) {
+        EPL_CHECK(engine.Push(events[static_cast<size_t>(i)]));
+      }
+    }
+    EPL_CHECK(engine.Stop().ok());
+  }
+
+  std::string diff;
+  EXPECT_TRUE(SameMatches(oracle, fused, &diff))
+      << "fused churn diverged from the per-window oracle (" << diff
+      << "); reproduce with EPL_FUZZ_SEED=" << scenario_seed
+      << " EPL_FUZZ_SCENARIOS=1";
+  EXPECT_TRUE(SameMatches(oracle, sharded, &diff))
+      << "sharded churn diverged from the per-window oracle (" << diff
+      << "); reproduce with EPL_FUZZ_SEED=" << scenario_seed
+      << " EPL_FUZZ_SCENARIOS=1";
+
+  size_t total = 0;
+  for (const std::vector<PatternMatch>& matches : oracle) {
+    total += matches.size();
+  }
+  return total;
+}
+
+TEST(DifferentialFuzzTest, ChurnAndShardedAgreeWithOracle) {
+  const uint64_t base_seed = EnvSeed();
+  const int64_t budget_ms = EnvTimeBudgetMs();
+  const int scenarios = EnvScenarios();
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&start] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  size_t total_matches = 0;
+  int ran = 0;
+  for (int i = 0; budget_ms > 0 ? elapsed_ms() < budget_ms : i < scenarios;
+       ++i) {
+    const uint64_t scenario_seed = base_seed + static_cast<uint64_t>(i);
+    SCOPED_TRACE("scenario seed " + std::to_string(scenario_seed));
+    total_matches +=
+        RunChurnScenario(scenario_seed, MatcherOptions::Mode::kDominant);
+    total_matches +=
+        RunChurnScenario(scenario_seed, MatcherOptions::Mode::kExhaustive);
+    ++ran;
+    if (::testing::Test::HasFailure()) {
+      break;  // the first failing seed is the actionable one
+    }
+  }
+  EXPECT_GT(total_matches, 0u) << "churn fuzz produced no matches in " << ran
                                << " scenarios (seed " << base_seed << ")";
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "cep_workload_test_util.h"
 #include "gesturedb/store.h"
 #include "kinect/sensor.h"
 #include "kinect/synthesizer.h"
@@ -7,6 +8,7 @@
 #include "transform/transform.h"
 #include "workflow/control_gestures.h"
 #include "workflow/controller.h"
+#include "workflow/gesture_runtime.h"
 #include "workflow/motion_detector.h"
 #include "workflow/recorder.h"
 
@@ -301,6 +303,21 @@ TEST(ControllerTest, FinishWithoutSamplesFails) {
   EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(ControllerTest, BeginRejectsReservedControlNames) {
+  stream::StreamEngine engine;
+  LearningController controller(&engine, nullptr);
+  EPL_ASSERT_OK(controller.Init());
+  // A user gesture under a control name would hot-swap the control query
+  // out of the shared runtime.
+  EXPECT_EQ(controller.BeginGesture(kControlWaveName, {JointId::kRightHand})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(controller.BeginGesture("__anything", {JointId::kRightHand})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(controller.runtime()->IsDeployed(kControlWaveName));
+}
+
 TEST(ControllerTest, BeginRequiresInit) {
   stream::StreamEngine engine;
   LearningController controller(&engine, nullptr);
@@ -323,12 +340,101 @@ TEST(ControllerTest, RelearningReplacesDeployment) {
     EPL_ASSERT_OK(controller.FinishLearning());
   }
   EXPECT_EQ(controller.deployed_gestures().size(), 1u);
-  // The pending undeploy is applied on the next frame push.
   kinect::SessionBuilder tail(user, 99);
   tail.Idle(0.2);
   EPL_ASSERT_OK(controller.PushFrames(tail.frames()));
-  // Engine holds: 2 control matchers + tap + 1 learned gesture.
-  EXPECT_EQ(engine.deployment_count(), 4u);
+  // Everything multiplexes over the shared runtime: the engine holds ONE
+  // fused operator (control gestures + the learned gesture) plus the
+  // frame tap, and the re-learn swapped the query inside the operator
+  // instead of adding a deployment.
+  EXPECT_EQ(engine.deployment_count(), 2u);
+  EXPECT_EQ(controller.runtime()->num_channels(), 1u);
+  // 2 control queries + 1 learned gesture, the re-learn replaced in place.
+  EXPECT_EQ(controller.runtime()->num_deployed(), 3u);
+  EXPECT_TRUE(controller.runtime()->IsDeployed("g"));
+}
+
+// Satellite of the runtime refactor: re-learning a deployed gesture
+// mid-stream swaps its query at an exact event boundary without dropping
+// or duplicating detections of OTHER live gestures, and the swapped
+// gesture's detections split cleanly into old-definition prefix and
+// new-definition suffix.
+TEST(GestureRuntimeTest, MidStreamRelearnDoesNotPerturbOtherGestures) {
+  using cep::testing::DetectionRecord;
+  using cep::testing::Recorder;
+  using cep::testing::Train;
+  using cep::testing::Workload;
+
+  const core::GestureDefinition swipe = Train(GestureShapes::SwipeRight(), 100);
+  const core::GestureDefinition raise = Train(GestureShapes::RaiseHand(), 200);
+  core::GestureDefinition raise_v2 = raise;
+  for (core::PoseWindow& pose : raise_v2.poses) {
+    for (auto& [joint, window] : pose.joints) {
+      (void)joint;
+      window.half_width *= 1.2;  // a re-learned, slightly looser variant
+    }
+  }
+  const std::vector<stream::Event> events = Workload(31);
+  const size_t swap_at = events.size() / 2;
+
+  // Baseline: no re-learn.
+  std::vector<DetectionRecord> swipe_base, raise_base;
+  {
+    stream::StreamEngine engine;
+    EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+    GestureRuntime runtime(&engine);
+    EPL_ASSERT_OK(runtime.Deploy(swipe, Recorder(&swipe_base)));
+    EPL_ASSERT_OK(runtime.Deploy(raise, Recorder(&raise_base)));
+    for (const stream::Event& event : events) {
+      EPL_ASSERT_OK(engine.Push("kinect", event));
+    }
+  }
+
+  // Re-learn `raise` mid-stream: hot-swap at the event boundary.
+  std::vector<DetectionRecord> swipe_swapped, raise_swapped;
+  {
+    stream::StreamEngine engine;
+    EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+    GestureRuntime runtime(&engine);
+    EPL_ASSERT_OK(runtime.Deploy(swipe, Recorder(&swipe_swapped)));
+    EPL_ASSERT_OK(runtime.Deploy(raise, Recorder(&raise_swapped)));
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (i == swap_at) {
+        EPL_ASSERT_OK(runtime.Deploy(raise_v2, Recorder(&raise_swapped)));
+        EXPECT_EQ(runtime.DeployedGestures(),
+                  (std::vector<std::string>{"raise_hand", "swipe_right"}));
+      }
+      EPL_ASSERT_OK(engine.Push("kinect", events[i]));
+    }
+  }
+  // The unrelated gesture is bit-identical to the baseline.
+  EXPECT_EQ(swipe_swapped, swipe_base);
+  EXPECT_FALSE(swipe_base.empty());
+
+  // The swapped gesture equals old-definition-on-prefix plus
+  // new-definition-on-suffix (the new query starts with empty run state at
+  // the boundary).
+  std::vector<DetectionRecord> expected;
+  {
+    stream::StreamEngine engine;
+    EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+    GestureRuntime runtime(&engine);
+    EPL_ASSERT_OK(runtime.Deploy(raise, Recorder(&expected)));
+    for (size_t i = 0; i < swap_at; ++i) {
+      EPL_ASSERT_OK(engine.Push("kinect", events[i]));
+    }
+  }
+  {
+    stream::StreamEngine engine;
+    EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+    GestureRuntime runtime(&engine);
+    EPL_ASSERT_OK(runtime.Deploy(raise_v2, Recorder(&expected)));
+    for (size_t i = swap_at; i < events.size(); ++i) {
+      EPL_ASSERT_OK(engine.Push("kinect", events[i]));
+    }
+  }
+  EXPECT_EQ(raise_swapped, expected);
+  EXPECT_FALSE(raise_swapped.empty());
 }
 
 }  // namespace
