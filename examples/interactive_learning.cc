@@ -11,8 +11,14 @@
 // event boundary; and a second user (bob) then joins the SAME runtime
 // under his own session — the gesture alice stored comes back live for
 // him at Init, detected through the shared bank with per-session routing.
+//
+// The runtime is DURABLE: every session open, deploy, and frame is
+// written ahead to a WAL, so after the first server checkpoints and
+// "crashes" (its whole stack is torn down), a fresh server Recover()s
+// from the durability directory and carries on detecting for bob.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "gesturedb/store.h"
 #include "kinect/sensor.h"
@@ -21,14 +27,26 @@
 
 using namespace epl;
 
-int main() {
-  Result<gesturedb::GestureStore> store =
-      gesturedb::GestureStore::Open("gesture_db");
-  EPL_CHECK(store.ok()) << store.status();
+namespace {
 
+/// What the recovery epilogue needs from the first server lifetime.
+struct ServeOutcome {
+  int alice_detections = 0;
+  int bob_detections = 0;
+  workflow::SessionId bob_session = workflow::kLocalSession;
+  bool alice_reached_testing = false;
+};
+
+/// The first server lifetime: alice learns and re-learns 'circle', bob
+/// joins and detects it, then the runtime checkpoints. Returning tears
+/// the whole stack down — engine, runtime, controllers — as abruptly as
+/// a crash would; only the durability directory survives.
+ServeOutcome ServeAndCheckpoint(gesturedb::GestureStore* store,
+                                const workflow::GestureRuntimeOptions& options) {
+  ServeOutcome outcome;
   stream::StreamEngine engine;
   // One shared runtime for every user of this "server".
-  workflow::GestureRuntime runtime(&engine);
+  workflow::GestureRuntime runtime(&engine, options);
 
   workflow::ControllerEvents events;
   events.on_status = [](const std::string& status) {
@@ -46,15 +64,14 @@ int main() {
     std::printf("[deploy ] gesture '%s' is live; generated query:\n%s\n",
                 name.c_str(), query.c_str());
   };
-  int alice_detections = 0;
-  events.on_detection = [&alice_detections](const cep::Detection& detection) {
-    ++alice_detections;
+  events.on_detection = [&outcome](const cep::Detection& detection) {
+    ++outcome.alice_detections;
     std::printf("[detect ] \"%s\" fired after %s\n",
                 detection.name.c_str(),
                 FormatDuration(detection.duration()).c_str());
   };
 
-  workflow::LearningController controller(&runtime, "alice", &(*store),
+  workflow::LearningController controller(&runtime, "alice", store,
                                           workflow::ControllerConfig(),
                                           events);
   EPL_CHECK(controller.Init().ok());
@@ -120,14 +137,13 @@ int main() {
 
   // A second user joins the SAME runtime: the stored gesture deploys into
   // the shared bank at Init (boot-time bulk load) and fires for bob alone.
-  int bob_detections = 0;
   workflow::ControllerEvents bob_events;
-  bob_events.on_detection = [&bob_detections](const cep::Detection& d) {
-    ++bob_detections;
+  bob_events.on_detection = [&outcome](const cep::Detection& d) {
+    ++outcome.bob_detections;
     std::printf("[bob    ] \"%s\" detected on the shared runtime\n",
                 d.name.c_str());
   };
-  workflow::LearningController bob(&runtime, "bob", &(*store),
+  workflow::LearningController bob(&runtime, "bob", store,
                                    workflow::ControllerConfig(), bob_events);
   EPL_CHECK(bob.Init().ok());
   kinect::UserProfile bob_profile;
@@ -141,9 +157,85 @@ int main() {
   std::printf(
       "\nshared runtime: %zu gesture queries over %zu fused channel(s); "
       "bob saw %d detection(s)\n",
-      runtime.num_deployed(), runtime.num_channels(), bob_detections);
-  return controller.phase() == workflow::ControllerPhase::kTesting &&
-                 alice_detections > 0 && bob_detections > 0
+      runtime.num_deployed(), runtime.num_channels(),
+      outcome.bob_detections);
+
+  outcome.bob_session = bob.session();
+  outcome.alice_reached_testing =
+      controller.phase() == workflow::ControllerPhase::kTesting;
+
+  // Checkpoint: quiesce, snapshot the full run state (sessions, deployed
+  // queries, the matchers' partial matches), prune the covered WAL
+  // prefix.
+  EPL_CHECK(runtime.Checkpoint().ok());
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  Result<gesturedb::GestureStore> store =
+      gesturedb::GestureStore::Open("gesture_db");
+  EPL_CHECK(store.ok()) << store.status();
+
+  // Durability lives in its own directory next to the gesture database:
+  // the event WAL plus run-state checkpoints. A fresh directory per run
+  // keeps the walkthrough deterministic.
+  std::string wal_dir = "gesture_wal_XXXXXX";
+  EPL_CHECK(::mkdtemp(wal_dir.data()) != nullptr);
+  workflow::GestureRuntimeOptions runtime_options;
+  runtime_options.durability.dir = wal_dir;
+
+  const ServeOutcome outcome = ServeAndCheckpoint(&(*store), runtime_options);
+
+  // ---- Recovery: a new server restarts from the durability dir. -----
+  // Recover() restores the checkpoint and replays the WAL suffix. The
+  // factory re-attaches one detection callback per recovered query —
+  // callbacks are code, the one thing a snapshot cannot carry.
+  std::printf("\n[recover] restarting the server from %s\n",
+              wal_dir.c_str());
+  int recovered_detections = 0;
+  stream::StreamEngine engine;
+  workflow::RecoverStats stats;
+  Result<std::unique_ptr<workflow::GestureRuntime>> recovered =
+      workflow::GestureRuntime::Recover(
+          &engine, runtime_options,
+          [&recovered_detections](workflow::SessionId,
+                                  const std::string& name) {
+            return [&recovered_detections,
+                    name](const cep::Detection& detection) {
+              ++recovered_detections;
+              std::printf("[recover] \"%s\" fired after %s on the "
+                          "recovered runtime\n",
+                          name.c_str(),
+                          FormatDuration(detection.duration()).c_str());
+            };
+          },
+          &stats);
+  EPL_CHECK(recovered.ok()) << recovered.status();
+  std::printf(
+      "[recover] %zu queries live again; snapshot covered seq %llu, "
+      "%llu WAL records replayed; bob had ingested %llu frames\n",
+      (*recovered)->num_deployed(),
+      static_cast<unsigned long long>(stats.snapshot_seq),
+      static_cast<unsigned long long>(stats.replayed_records),
+      static_cast<unsigned long long>(
+          (*recovered)->ingested_events(outcome.bob_session)));
+
+  // Bob keeps performing against the recovered server: his session, his
+  // deployed 'circle', and the matcher's run state all survived.
+  kinect::UserProfile returning_bob;
+  returning_bob.height_mm = 1600;
+  kinect::SessionBuilder encore(returning_bob, 14142);
+  encore.Idle(0.5);
+  encore.Perform(kinect::GestureShapes::Circle(), 0.4);
+  encore.Idle(0.5);
+  EPL_CHECK(
+      (*recovered)->PushFrames(outcome.bob_session, encore.frames()).ok());
+  EPL_CHECK((*recovered)->Flush().ok());
+
+  return outcome.alice_reached_testing && outcome.alice_detections > 0 &&
+                 outcome.bob_detections > 0 && recovered_detections > 0
              ? 0
              : 1;
 }

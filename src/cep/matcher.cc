@@ -55,6 +55,75 @@ void NfaMatcher::Reset() {
   runs_.clear();
 }
 
+NfaRunState NfaMatcher::ExportRunState() const {
+  NfaRunState out;
+  out.stats = stats_;
+  if (options_.mode == MatcherOptions::Mode::kDominant) {
+    const int n = pattern_->num_states();
+    for (int s = 0; s < n; ++s) {
+      if (dominant_active_[static_cast<size_t>(s)]) {
+        NfaRunState::Run run;
+        run.state = s;
+        run.times = dominant_runs_[static_cast<size_t>(s)];
+        out.runs.push_back(std::move(run));
+      }
+    }
+  } else {
+    for (const Run& run : runs_) {
+      NfaRunState::Run exported;
+      exported.state = run.state;
+      exported.times = run.times;
+      out.runs.push_back(std::move(exported));
+    }
+  }
+  return out;
+}
+
+Status NfaMatcher::ImportRunState(const NfaRunState& state) {
+  Reset();
+  const int n = pattern_->num_states();
+  const bool dominant = options_.mode == MatcherOptions::Mode::kDominant;
+  if (!dominant && state.runs.size() > options_.max_runs) {
+    return InvalidArgumentError(
+        "run state holds " + std::to_string(state.runs.size()) +
+        " runs, above the matcher's cap of " +
+        std::to_string(options_.max_runs));
+  }
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (const NfaRunState::Run& run : state.runs) {
+    if (run.state < 0 || run.state >= n) {
+      return InvalidArgumentError("run state references state " +
+                                  std::to_string(run.state) + " of a " +
+                                  std::to_string(n) + "-state pattern");
+    }
+    if (run.times.size() != static_cast<size_t>(run.state) + 1) {
+      return InvalidArgumentError(
+          "run at state " + std::to_string(run.state) + " carries " +
+          std::to_string(run.times.size()) + " entry times, expected " +
+          std::to_string(run.state + 1));
+    }
+    if (dominant && seen[static_cast<size_t>(run.state)]) {
+      return InvalidArgumentError(
+          "dominant run state holds two runs at state " +
+          std::to_string(run.state));
+    }
+    seen[static_cast<size_t>(run.state)] = true;
+  }
+  for (const NfaRunState::Run& run : state.runs) {
+    if (dominant) {
+      dominant_runs_[static_cast<size_t>(run.state)] = run.times;
+      dominant_active_[static_cast<size_t>(run.state)] = true;
+    } else {
+      Run imported;
+      imported.state = run.state;
+      imported.times = run.times;
+      runs_.push_back(std::move(imported));
+    }
+  }
+  stats_ = state.stats;
+  return OkStatus();
+}
+
 size_t NfaMatcher::active_run_count() const {
   if (options_.mode == MatcherOptions::Mode::kExhaustive) {
     return runs_.size();

@@ -64,6 +64,22 @@ struct MatcherStats {
   size_t peak_runs = 0;
 };
 
+/// Externalized live run state of one matcher: every partial run plus the
+/// accumulated statistics, detached from any matcher instance. This is the
+/// unit a checkpoint serializes (durability::Snapshot) and a recovered
+/// matcher is reseeded from; ExportRunState/ImportRunState round-trip it
+/// exactly.
+struct NfaRunState {
+  struct Run {
+    int state = 0;                 // highest matched state index
+    std::vector<TimePoint> times;  // entry timestamps of states 0..state
+  };
+  /// Dominant mode: at most one run per state. Exhaustive mode: runs in
+  /// creation order (ordering is observable through `select all` output).
+  std::vector<Run> runs;
+  MatcherStats stats;
+};
+
 class NfaMatcher {
  public:
   /// `pattern` must outlive the matcher.
@@ -91,6 +107,15 @@ class NfaMatcher {
 
   /// Discards all partial runs.
   void Reset();
+
+  /// Externalizes every partial run and the statistics (non-destructive).
+  NfaRunState ExportRunState() const;
+
+  /// Replaces the matcher's run state and statistics with a previously
+  /// exported one. Validates `state` against the pattern (state bounds,
+  /// times arity, one-run-per-state in dominant mode, the exhaustive run
+  /// cap); an invalid import leaves the matcher reset.
+  Status ImportRunState(const NfaRunState& state);
 
   const MatcherStats& stats() const { return stats_; }
   size_t active_run_count() const;

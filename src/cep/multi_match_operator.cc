@@ -109,6 +109,39 @@ int MultiMatchOperator::AdoptQuery(DetachedQuery detached) {
   return id;
 }
 
+Result<NfaRunState> MultiMatchOperator::ExportQueryRunState(int query_id) {
+  EPL_CHECK(!processing_) << "ExportQueryRunState from inside a detection "
+                             "callback";
+  FlushBatchedEvents();
+  const int index = FindQuery(query_id);
+  if (index < 0) {
+    return NotFoundError("unknown query id " + std::to_string(query_id));
+  }
+  // matcher(index) synchronizes arena-resident run state and statistics
+  // back into the query's NfaMatcher without detaching it.
+  return matcher_.matcher(index).ExportRunState();
+}
+
+Result<int> MultiMatchOperator::RestoreQuery(QuerySpec spec,
+                                             const NfaRunState& runs) {
+  EPL_CHECK(!processing_) << "RestoreQuery from inside a detection callback";
+  FlushBatchedEvents();
+  Query query;
+  query.output_name = std::move(spec.output_name);
+  query.pattern = std::make_unique<CompiledPattern>(std::move(spec.pattern));
+  query.measures = std::move(spec.measures);
+  query.callback = std::move(spec.callback);
+  query.gate = std::move(spec.gate);
+  auto matcher =
+      std::make_unique<NfaMatcher>(query.pattern.get(), matcher_.options());
+  EPL_RETURN_IF_ERROR(matcher->ImportRunState(runs));
+  query.id = next_query_id_++;
+  const int id = query.id;
+  matcher_.AdoptPattern(std::move(matcher), query.gate.get());
+  queries_.push_back(std::move(query));
+  return id;
+}
+
 void MultiMatchOperator::ApplyAdd(Query query) {
   matcher_.AddPattern(query.pattern.get(), query.gate.get());
   queries_.push_back(std::move(query));

@@ -109,6 +109,19 @@ class MultiMatchOperator : public stream::Operator {
   /// its partial runs; returns the query's new stable id here.
   int AdoptQuery(DetachedQuery detached);
 
+  /// Externalizes the live run state and statistics of the query with
+  /// stable id `query_id` WITHOUT detaching it (the checkpoint path: the
+  /// query keeps running). Flushes the accumulated window first so the
+  /// state sits at an exact event boundary. Must not be called from
+  /// inside a detection callback.
+  Result<NfaRunState> ExportQueryRunState(int query_id);
+
+  /// AddQuery, but the new query's matcher is seeded with previously
+  /// exported run state (checkpoint recovery) instead of starting empty.
+  /// Returns the query's stable id here; fails without adding the query
+  /// when `runs` does not fit the spec's pattern.
+  Result<int> RestoreQuery(QuerySpec spec, const NfaRunState& runs);
+
   Status Process(const stream::Event& event) override;
 
   /// Runs `count` events through the matcher as ONE batch (flushing any

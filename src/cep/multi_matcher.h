@@ -147,6 +147,7 @@ class MultiPatternMatcher {
   void Reset();
 
   size_t num_patterns() const { return entries_.size(); }
+  const MatcherOptions& options() const { return options_; }
   /// The pattern's matcher, with run state and statistics synchronized
   /// from the arena (a fused dominant-mode pattern's live state is
   /// arena-resident between syncs).

@@ -238,6 +238,75 @@ void ShardedEngine::ResetMatchers() {
   }
 }
 
+Result<std::vector<std::pair<int, NfaRunState>>>
+ShardedEngine::ExportRunStates() {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "ExportRunStates from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  const bool live = running_;
+  if (live) {
+    PauseWorkers();
+    // Deliver every completed match first, so the cut is exactly "all
+    // pushed events processed, all their detections delivered".
+    DrainAndDeliver();
+  }
+  std::vector<std::pair<int, NfaRunState>> states;
+  states.reserve(queries_.size());
+  Status status;
+  for (const auto& [query_id, info] : queries_) {
+    MultiMatchOperator& op = shards_[static_cast<size_t>(info.shard)]->op;
+    Result<NfaRunState> state = op.ExportQueryRunState(info.local_id);
+    if (!state.ok()) {
+      status = state.status().WithContext("query " + std::to_string(query_id));
+      break;
+    }
+    states.emplace_back(query_id, std::move(*state));
+  }
+  if (live) {
+    ResumeWorkers();
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  return states;
+}
+
+Result<int> ShardedEngine::RestoreQuery(QuerySpec spec,
+                                        const NfaRunState& runs) {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "RestoreQuery from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  const bool live = running_;
+  if (live) {
+    PauseWorkers();
+    DrainAndDeliver();
+  }
+  const int id = next_query_id_;
+  QueryInfo info;
+  info.callback = std::move(spec.callback);
+  info.static_weight = QueryCostWeight(spec.pattern);
+  info.weight = info.static_weight;
+  info.shard = LeastLoadedShard();
+  Shard* shard = shards_[static_cast<size_t>(info.shard)].get();
+  spec.callback = MakeRecorder(shard, id);
+  Result<int> local = shard->op.RestoreQuery(std::move(spec), runs);
+  if (local.ok()) {
+    ++next_query_id_;
+    info.local_id = *local;
+    queries_.emplace(id, std::move(info));
+    Rebalance();
+  }
+  if (live) {
+    ResumeWorkers();
+  }
+  if (!local.ok()) {
+    return local.status();
+  }
+  return id;
+}
+
 std::vector<ShardedEngine::QueryStatsSnapshot> ShardedEngine::QueryStats() {
   EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
             std::this_thread::get_id())

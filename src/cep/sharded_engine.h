@@ -55,6 +55,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cep/multi_match_operator.h"
@@ -177,6 +178,19 @@ class ShardedEngine {
     uint64_t weight = 0;
     MatcherStats stats;
   };
+
+  /// Quiesces the shards at an exact event boundary, delivers everything
+  /// pending, and externalizes every query's live run state and
+  /// statistics, keyed by stable query id and ordered by it -- the
+  /// consistent cut a checkpoint serializes. Non-destructive: every query
+  /// keeps running. Callable from any thread (not a detection callback).
+  Result<std::vector<std::pair<int, NfaRunState>>> ExportRunStates();
+
+  /// AddQuery, but the query's matcher is seeded with previously exported
+  /// run state (checkpoint recovery). Quiesced like AddQuery; returns the
+  /// query's stable engine-wide id, or an error (query not added) when
+  /// `runs` does not fit the spec's pattern.
+  Result<int> RestoreQuery(QuerySpec spec, const NfaRunState& runs);
 
   /// Per-query matcher statistics snapshot, ordered by query id. Callable
   /// from any thread; when live, the shards are quiesced at an event

@@ -1,0 +1,101 @@
+#include "durability/codec.h"
+
+namespace epl::durability {
+
+namespace {
+
+// Software fallback: slicing-by-8 tables for the Castagnoli polynomial.
+// entries[0] is the classic bytewise table, and entries[t][b] is the CRC
+// of byte b followed by t zero bytes, so eight input bytes fold into one
+// table round.
+struct Crc32cTable {
+  uint32_t entries[8][256];
+
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : (c >> 1);
+      }
+      entries[0][i] = c;
+    }
+    for (int t = 1; t < 8; ++t) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        entries[t][i] =
+            (entries[t - 1][i] >> 8) ^ entries[0][entries[t - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+uint32_t LoadLe32(const char* p) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+#else
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+#endif
+}
+
+uint32_t Crc32cSoftware(uint32_t c, const char* p, size_t n) {
+  static const Crc32cTable table;
+  const auto& t = table.entries;
+  while (n >= 8) {
+    const uint32_t lo = LoadLe32(p) ^ c;
+    const uint32_t hi = LoadLe32(p + 4);
+    c = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^ t[5][(lo >> 16) & 0xff] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+        t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n) {
+    c = t[0][(c ^ static_cast<uint8_t>(*p)) & 0xff] ^ (c >> 8);
+  }
+  return c;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define EPL_CRC32C_HAS_HW 1
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(uint32_t c,
+                                                          const char* p,
+                                                          size_t n) {
+  uint64_t c64 = c;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    c64 = __builtin_ia32_crc32di(c64, v);
+    p += 8;
+    n -= 8;
+  }
+  c = static_cast<uint32_t>(c64);
+  for (; n > 0; ++p, --n) {
+    c = __builtin_ia32_crc32qi(c, static_cast<uint8_t>(*p));
+  }
+  return c;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  uint32_t c = seed ^ 0xffffffffu;
+#ifdef EPL_CRC32C_HAS_HW
+  static const bool has_hw = __builtin_cpu_supports("sse4.2");
+  if (has_hw) {
+    c = Crc32cHardware(c, data.data(), data.size());
+  } else {
+    c = Crc32cSoftware(c, data.data(), data.size());
+  }
+#else
+  c = Crc32cSoftware(c, data.data(), data.size());
+#endif
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace epl::durability

@@ -1,0 +1,97 @@
+#include "durability/crash_point.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace epl::durability {
+
+namespace {
+
+// The armed target. Written under g_mu, read on the crash path after the
+// g_armed fast gate (single-threaded durability writers; the atomic gate
+// only keeps the disarmed hot path free of locks).
+std::mutex g_mu;
+std::string* g_target = nullptr;
+std::atomic<int> g_remaining{0};
+
+[[noreturn]] void Die() {
+  // SIGKILL, exactly like an external `kill -9`: no atexit handlers, no
+  // stream flushes, no destructor-ordered teardown -- the on-disk state is
+  // whatever the completed syscalls left behind.
+  ::raise(SIGKILL);
+  ::_exit(137);  // unreachable; keeps [[noreturn]] honest
+}
+
+// Environment arming: EPL_CRASH_POINT="<name>" or "<name>:<nth>".
+[[maybe_unused]] const bool g_env_loaded = [] {
+  const char* spec = std::getenv("EPL_CRASH_POINT");
+  if (spec != nullptr && *spec != '\0') {
+    std::string name(spec);
+    int nth = 1;
+    const size_t colon = name.rfind(':');
+    if (colon != std::string::npos) {
+      nth = std::max(1, std::atoi(name.c_str() + colon + 1));
+      name.resize(colon);
+    }
+    ArmCrashPoint(name, nth);
+  }
+  return true;
+}();
+
+}  // namespace
+
+const std::vector<std::string>& RegisteredCrashPoints() {
+  static const std::vector<std::string>* points = new std::vector<std::string>{
+      "wal_append_mid_record",  // header written, payload not yet
+      "wal_append_post_write",  // record complete, before the batched fsync
+      "wal_rotate_pre_sync",    // full segment about to be fsynced
+      "wal_rotate_pre_open",    // old segment sealed, next not yet created
+      "snapshot_mid_write",     // partial snapshot temp file
+      "snapshot_pre_rename",    // complete temp, not yet visible
+      "snapshot_post_rename",   // snapshot live, stale files not yet pruned
+      "wal_truncate_mid",       // some covered WAL segments already deleted
+  };
+  return *points;
+}
+
+void ArmCrashPoint(const std::string& name, int nth) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  delete g_target;
+  g_target = new std::string(name);
+  g_remaining.store(std::max(1, nth), std::memory_order_relaxed);
+  internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void DisarmCrashPoints() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  internal::g_armed.store(false, std::memory_order_relaxed);
+  delete g_target;
+  g_target = nullptr;
+}
+
+bool CrashPointsArmed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+std::atomic<bool> g_armed{false};
+
+void CrashIfArmed(const char* name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_target == nullptr || *g_target != name) {
+    return;
+  }
+  if (g_remaining.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    Die();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace epl::durability

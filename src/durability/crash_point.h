@@ -1,0 +1,63 @@
+// Crash-fault injection for the durability write paths.
+//
+// EPL_CRASH_POINT(name) marks a write boundary where a process death must
+// leave the on-disk state recoverable. Disarmed (the default) it costs one
+// relaxed atomic load; armed -- programmatically via ArmCrashPoint or with
+// the environment variable EPL_CRASH_POINT="<name>" /
+// EPL_CRASH_POINT="<name>:<nth>" -- the nth execution of the named point
+// kills the process with SIGKILL, exactly like `kill -9` landing between
+// two writes. The crash-recovery harness (tests/durability_crash_test.cc)
+// forks a child per registered point, lets it die there, recovers in the
+// parent, and asserts the recovered detection stream is bit-identical to a
+// run that never crashed.
+//
+// Every planted point must be listed in RegisteredCrashPoints(); the
+// harness iterates that list and fails if a point never fires, so the
+// registry cannot silently drift from the code.
+
+#ifndef EPL_DURABILITY_CRASH_POINT_H_
+#define EPL_DURABILITY_CRASH_POINT_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace epl::durability {
+
+/// Names of every EPL_CRASH_POINT planted in the durability layer, in
+/// write-path order.
+const std::vector<std::string>& RegisteredCrashPoints();
+
+/// Arms `name`: the `nth` (1-based) execution of its crash point kills the
+/// process. Replaces any previously armed point.
+void ArmCrashPoint(const std::string& name, int nth = 1);
+
+/// Disarms everything (tests that arm in-process and survive).
+void DisarmCrashPoints();
+
+/// True while any crash point is armed. Durability writers may split a
+/// single write into two around a crash point only when this is on, so the
+/// production path keeps its syscall count.
+bool CrashPointsArmed();
+
+namespace internal {
+
+extern std::atomic<bool> g_armed;
+
+/// Slow path of EPL_CRASH_POINT: dies via SIGKILL when `name` is the armed
+/// point and its execution count is reached.
+void CrashIfArmed(const char* name);
+
+}  // namespace internal
+
+}  // namespace epl::durability
+
+#define EPL_CRASH_POINT(name)                                         \
+  do {                                                                \
+    if (::epl::durability::internal::g_armed.load(                    \
+            std::memory_order_relaxed)) {                             \
+      ::epl::durability::internal::CrashIfArmed(name);                \
+    }                                                                 \
+  } while (false)
+
+#endif  // EPL_DURABILITY_CRASH_POINT_H_

@@ -1,0 +1,344 @@
+#include "durability/event_log.h"
+
+#include <algorithm>
+
+#include "durability/codec.h"
+#include "durability/crash_point.h"
+
+namespace epl::durability {
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "wal-";
+constexpr char kSegmentSuffix[] = ".log";
+constexpr size_t kHeaderBytes = 8;  // u32 len + u32 crc
+constexpr size_t kSeqBytes = 8;     // u64 seq leading the body
+
+void PutU32At(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t ReadU32At(std::string_view data, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64At(std::string_view data, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+EventLog::EventLog(FileSystem* fs, std::string dir, EventLogOptions options)
+    : fs_(fs), dir_(std::move(dir)), options_(options) {
+  options_.segment_bytes = std::max<uint64_t>(1, options_.segment_bytes);
+}
+
+EventLog::~EventLog() {
+  if (active_ != nullptr) {
+    (void)Sync();
+    (void)active_->Close();
+  }
+}
+
+std::string EventLog::SegmentName(uint64_t first_seq) {
+  std::string digits = std::to_string(first_seq);
+  return kSegmentPrefix + std::string(20 - digits.size(), '0') + digits +
+         kSegmentSuffix;
+}
+
+std::string EventLog::SegmentPath(const Segment& segment) const {
+  return dir_ + "/" + segment.name;
+}
+
+Result<std::unique_ptr<EventLog>> EventLog::Open(const std::string& dir,
+                                                 EventLogOptions options,
+                                                 FileSystem* fs) {
+  if (fs == nullptr) {
+    fs = DefaultFileSystem();
+  }
+  EPL_RETURN_IF_ERROR(fs->CreateDir(dir));
+  std::unique_ptr<EventLog> log(new EventLog(fs, dir, options));
+
+  EPL_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->ListDir(dir));
+  for (const std::string& name : names) {
+    const size_t prefix = sizeof(kSegmentPrefix) - 1;
+    const size_t suffix = sizeof(kSegmentSuffix) - 1;
+    if (name.size() <= prefix + suffix ||
+        name.compare(0, prefix, kSegmentPrefix) != 0 ||
+        name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+      continue;
+    }
+    Segment segment;
+    segment.name = name;
+    segment.first_seq =
+        std::strtoull(name.c_str() + prefix, nullptr, 10);
+    log->segments_.push_back(std::move(segment));
+  }
+  // Fixed-width zero-padded names: the sorted listing is sequence order.
+
+  for (size_t i = 0; i < log->segments_.size(); ++i) {
+    const bool last = i + 1 == log->segments_.size();
+    EPL_RETURN_IF_ERROR(
+        log->ScanSegment(&log->segments_[i], last, nullptr));
+  }
+  EPL_RETURN_IF_ERROR(log->OpenActive());
+  return log;
+}
+
+Status EventLog::ScanSegment(
+    Segment* segment, bool last,
+    const std::function<Status(uint64_t, std::string_view)>* fn) {
+  const std::string path = SegmentPath(*segment);
+  EPL_ASSIGN_OR_RETURN(std::string data, fs_->ReadFile(path));
+  size_t pos = 0;
+  uint64_t expected = segment->first_seq;
+  uint64_t records = 0;
+  while (pos < data.size()) {
+    const size_t remaining = data.size() - pos;
+    bool torn = remaining < kHeaderBytes;
+    uint32_t len = 0;
+    if (!torn) {
+      len = ReadU32At(data, pos);
+      torn = static_cast<uint64_t>(len) > remaining - kHeaderBytes;
+    }
+    if (torn) {
+      if (!last) {
+        return DataLossError("partial record inside closed WAL segment " +
+                             path + " at offset " + std::to_string(pos));
+      }
+      // Torn tail: the process died mid-append. Drop the partial record.
+      EPL_RETURN_IF_ERROR(fs_->Truncate(path, pos));
+      break;
+    }
+    const uint32_t crc = ReadU32At(data, pos + 4);
+    const std::string_view body(data.data() + pos + kHeaderBytes, len);
+    if (len < kSeqBytes || Crc32c(body) != crc) {
+      if (last && fn == nullptr) {
+        // A CRC-broken record at the tail of the live segment: treat the
+        // rest of the file as torn. (During Replay the log was already
+        // repaired by Open, so a mismatch there is real corruption.)
+        EPL_RETURN_IF_ERROR(fs_->Truncate(path, pos));
+        break;
+      }
+      return DataLossError("corrupt WAL record in " + path + " at offset " +
+                           std::to_string(pos));
+    }
+    const uint64_t seq = ReadU64At(data, pos + kHeaderBytes);
+    if (seq != expected) {
+      return DataLossError("WAL sequence gap in " + path + ": record " +
+                           std::to_string(seq) + " where " +
+                           std::to_string(expected) + " was expected");
+    }
+    if (fn != nullptr) {
+      EPL_RETURN_IF_ERROR(
+          (*fn)(seq, body.substr(kSeqBytes)));
+    }
+    ++expected;
+    ++records;
+    pos += kHeaderBytes + len;
+  }
+  segment->num_records = records;
+  if (fn == nullptr) {
+    next_seq_ = std::max(next_seq_, expected);
+  }
+  return OkStatus();
+}
+
+Status EventLog::OpenActive() {
+  if (segments_.empty()) {
+    Segment segment;
+    segment.first_seq = next_seq_;
+    segment.name = SegmentName(next_seq_);
+    segments_.push_back(std::move(segment));
+    EPL_ASSIGN_OR_RETURN(active_,
+                         fs_->OpenAppend(SegmentPath(segments_.back())));
+    EPL_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+    active_bytes_ = 0;
+    return OkStatus();
+  }
+  const Segment& tail = segments_.back();
+  EPL_ASSIGN_OR_RETURN(active_bytes_, fs_->FileSize(SegmentPath(tail)));
+  EPL_ASSIGN_OR_RETURN(active_, fs_->OpenAppend(SegmentPath(tail)));
+  return OkStatus();
+}
+
+namespace {
+
+/// Appends the full record frame (header, seq, payload) to `out`.
+void FrameRecord(uint64_t seq, std::string_view payload, std::string* out) {
+  char seq_bytes[kSeqBytes];
+  for (size_t i = 0; i < kSeqBytes; ++i) {
+    seq_bytes[i] = static_cast<char>((seq >> (8 * i)) & 0xff);
+  }
+  PutU32At(out, static_cast<uint32_t>(kSeqBytes + payload.size()));
+  const uint32_t crc =
+      Crc32c(payload, Crc32c(std::string_view(seq_bytes, kSeqBytes)));
+  PutU32At(out, crc);
+  out->append(seq_bytes, kSeqBytes);
+  out->append(payload);
+}
+
+}  // namespace
+
+Result<uint64_t> EventLog::Append(std::string_view payload) {
+  EPL_RETURN_IF_ERROR(status_);
+  const uint64_t seq = next_seq_;
+
+  if (CrashPointsArmed()) {
+    // Split the frame around the crash point so the fork/kill harness can
+    // manufacture a genuinely torn record. Drain the batch buffer first to
+    // keep the file in record order.
+    EPL_RETURN_IF_ERROR(FlushBuffered());
+    scratch_.clear();
+    FrameRecord(seq, payload, &scratch_);
+    Status write_status = active_->Append(
+        std::string_view(scratch_).substr(0, kHeaderBytes));
+    if (write_status.ok()) {
+      EPL_CRASH_POINT("wal_append_mid_record");
+      write_status =
+          active_->Append(std::string_view(scratch_).substr(kHeaderBytes));
+    }
+    if (!write_status.ok()) {
+      // The file tail is in an unknown state; refuse further appends until
+      // a reopen repairs it.
+      status_ = write_status.WithContext("WAL append failed, log sealed");
+      return status_;
+    }
+  } else if (options_.buffer_bytes > 0) {
+    // Frame straight into the batch buffer: no intermediate copy.
+    FrameRecord(seq, payload, &buffer_);
+    if (buffer_.size() >= options_.buffer_bytes) {
+      EPL_RETURN_IF_ERROR(FlushBuffered());
+    }
+  } else {
+    scratch_.clear();
+    FrameRecord(seq, payload, &scratch_);
+    Status write_status = active_->Append(scratch_);
+    if (!write_status.ok()) {
+      status_ = write_status.WithContext("WAL append failed, log sealed");
+      return status_;
+    }
+  }
+  EPL_CRASH_POINT("wal_append_post_write");
+
+  ++next_seq_;
+  ++segments_.back().num_records;
+  active_bytes_ += kHeaderBytes + kSeqBytes + payload.size();
+
+  if (options_.sync_every_records > 0 &&
+      ++records_since_sync_ >= options_.sync_every_records) {
+    EPL_RETURN_IF_ERROR(Sync());
+  } else if (options_.sync_interval_ms > 0 &&
+             std::chrono::steady_clock::now() - last_sync_ >=
+                 std::chrono::milliseconds(options_.sync_interval_ms)) {
+    EPL_RETURN_IF_ERROR(Sync());
+  }
+  if (active_bytes_ >= options_.segment_bytes) {
+    EPL_RETURN_IF_ERROR(RotateSegment());
+  }
+  return seq;
+}
+
+Status EventLog::FlushBuffered() {
+  EPL_RETURN_IF_ERROR(status_);
+  if (buffer_.empty()) {
+    return OkStatus();
+  }
+  Status status = active_->Append(buffer_);
+  if (!status.ok()) {
+    status_ = status.WithContext("WAL append failed, log sealed");
+    return status_;
+  }
+  buffer_.clear();
+  return OkStatus();
+}
+
+Status EventLog::Sync() {
+  EPL_RETURN_IF_ERROR(status_);
+  EPL_RETURN_IF_ERROR(FlushBuffered());
+  records_since_sync_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+  Status status = active_->Sync();
+  if (!status.ok()) {
+    status_ = status.WithContext("WAL sync failed, log sealed");
+  }
+  return status;
+}
+
+Status EventLog::RotateSegment() {
+  EPL_RETURN_IF_ERROR(status_);
+  if (segments_.back().num_records == 0) {
+    return OkStatus();
+  }
+  EPL_CRASH_POINT("wal_rotate_pre_sync");
+  EPL_RETURN_IF_ERROR(Sync());
+  EPL_RETURN_IF_ERROR(active_->Close());
+  EPL_CRASH_POINT("wal_rotate_pre_open");
+  Segment segment;
+  segment.first_seq = next_seq_;
+  segment.name = SegmentName(next_seq_);
+  segments_.push_back(std::move(segment));
+  EPL_ASSIGN_OR_RETURN(active_, fs_->OpenAppend(SegmentPath(segments_.back())));
+  EPL_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+  active_bytes_ = 0;
+  return OkStatus();
+}
+
+Status EventLog::DropSegmentsBelow(uint64_t seq) {
+  bool dropped = false;
+  while (segments_.size() > 1) {
+    const Segment& first = segments_.front();
+    if (first.first_seq + first.num_records > seq) {
+      break;
+    }
+    EPL_RETURN_IF_ERROR(fs_->Remove(SegmentPath(first)));
+    segments_.erase(segments_.begin());
+    dropped = true;
+    EPL_CRASH_POINT("wal_truncate_mid");
+  }
+  if (dropped) {
+    EPL_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+  }
+  return OkStatus();
+}
+
+Status EventLog::Replay(
+    uint64_t from_seq,
+    const std::function<Status(uint64_t, std::string_view)>& fn) {
+  // The scan reads segment files, so buffered records must be on disk.
+  EPL_RETURN_IF_ERROR(FlushBuffered());
+  auto filtered = [&](uint64_t seq, std::string_view payload) -> Status {
+    return seq >= from_seq ? fn(seq, payload) : OkStatus();
+  };
+  const std::function<Status(uint64_t, std::string_view)> wrapped = filtered;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    Segment& segment = segments_[i];
+    if (segment.first_seq + segment.num_records <= from_seq) {
+      continue;
+    }
+    EPL_RETURN_IF_ERROR(
+        ScanSegment(&segment, i + 1 == segments_.size(), &wrapped));
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> EventLog::SegmentNames() const {
+  std::vector<std::string> names;
+  names.reserve(segments_.size());
+  for (const Segment& segment : segments_) {
+    names.push_back(segment.name);
+  }
+  return names;
+}
+
+}  // namespace epl::durability

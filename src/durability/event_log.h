@@ -1,0 +1,144 @@
+// EventLog: a length-prefixed, CRC32-framed write-ahead log with segment
+// rotation and torn-tail recovery.
+//
+// On-disk layout (all integers little-endian):
+//
+//   <dir>/wal-<first_seq, 20 digits>.log     one segment per file
+//
+//   segment := record*
+//   record  := u32 body_len | u32 crc32(body) | body
+//   body    := u64 seq | payload bytes
+//
+// Sequence numbers are contiguous across segments; a segment's file name
+// embeds the sequence number of its first record, so ordering and
+// checkpoint-coverage checks need only the directory listing. Open() scans
+// every segment: a partial or CRC-broken record at the tail of the LAST
+// segment is a torn write (the process died mid-append) and is truncated
+// away -- never an error; the same damage anywhere else is real corruption
+// and surfaces as DataLoss naming the segment and offset.
+//
+// Appends are framed in memory and handed to the file either immediately
+// (buffer_bytes == 0: a SIGKILL'd process loses nothing that Append
+// returned OK for -- the page cache survives) or via a user-space batch
+// buffer that a single write() drains (buffer_bytes > 0: a process crash
+// can additionally lose the still-buffered tail, the same loss class the
+// torn-tail scan already repairs). fsync is group-committed: every
+// `sync_every_records` records and/or every `sync_interval_ms`
+// milliseconds, plus at rotation, Sync() and Close(). A write error is
+// sticky: the log refuses further appends until reopened, because the
+// file tail is in an unknown (possibly torn) state.
+
+#ifndef EPL_DURABILITY_EVENT_LOG_H_
+#define EPL_DURABILITY_EVENT_LOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "durability/file.h"
+
+namespace epl::durability {
+
+struct EventLogOptions {
+  /// A segment is rotated once it grows past this size.
+  uint64_t segment_bytes = 4ull << 20;
+  /// fsync after every this many appended records (0: no count-based
+  /// trigger). Batched group commit; see the class comment.
+  uint64_t sync_every_records = 0;
+  /// fsync at the first append after this many milliseconds since the
+  /// last sync (0: no time-based trigger). Bounds the power-loss window
+  /// in wall time instead of record count, so slow streams still commit
+  /// promptly and fast streams amortize.
+  uint64_t sync_interval_ms = 50;
+  /// Batch appended frames in user space and drain them with one write()
+  /// once this many bytes accumulate (0: one write() per record). The
+  /// buffer also drains at every sync, rotation, Replay and Close.
+  uint64_t buffer_bytes = 0;
+};
+
+class EventLog {
+ public:
+  /// Opens (creating if necessary) the log in `dir`, validates every
+  /// segment, truncates a torn tail, and positions for appending.
+  static Result<std::unique_ptr<EventLog>> Open(
+      const std::string& dir, EventLogOptions options = {},
+      FileSystem* fs = nullptr);
+
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one record and returns its sequence number.
+  Result<uint64_t> Append(std::string_view payload);
+
+  /// Durably flushes everything appended so far.
+  Status Sync();
+
+  /// Drains the user-space batch buffer into the segment file WITHOUT
+  /// fsync: after this, everything appended so far survives a process
+  /// crash (page cache), though not a power loss.
+  Status FlushBuffered();
+
+  /// Seals the current segment and starts a new one (no-op while the
+  /// current segment is empty). Checkpoints rotate first so every segment
+  /// is wholly before or after the snapshot boundary.
+  Status RotateSegment();
+
+  /// Deletes every segment whose records all have seq < `seq` (the active
+  /// segment is never deleted). Called after a snapshot covering
+  /// [0, seq) became durable.
+  Status DropSegmentsBelow(uint64_t seq);
+
+  /// Streams every durable record with seq >= `from_seq`, in order.
+  Status Replay(uint64_t from_seq,
+                const std::function<Status(uint64_t seq,
+                                           std::string_view payload)>& fn);
+
+  /// Sequence number the next Append will return.
+  uint64_t next_seq() const { return next_seq_; }
+  /// Segment file names, oldest first.
+  std::vector<std::string> SegmentNames() const;
+
+ private:
+  struct Segment {
+    std::string name;
+    uint64_t first_seq = 0;  // name-embedded; == next_seq_ while empty
+    uint64_t num_records = 0;
+  };
+
+  EventLog(FileSystem* fs, std::string dir, EventLogOptions options);
+
+  std::string SegmentPath(const Segment& segment) const;
+  static std::string SegmentName(uint64_t first_seq);
+  /// Scans one segment file's records; `last` enables torn-tail
+  /// truncation. Updates next_seq_ and the segment's record count; calls
+  /// `fn` (optional) per record.
+  Status ScanSegment(
+      Segment* segment, bool last,
+      const std::function<Status(uint64_t, std::string_view)>* fn);
+  Status OpenActive();
+
+  FileSystem* fs_;
+  std::string dir_;
+  EventLogOptions options_;
+
+  std::vector<Segment> segments_;
+  std::unique_ptr<File> active_;
+  uint64_t active_bytes_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t records_since_sync_ = 0;
+  std::chrono::steady_clock::time_point last_sync_ =
+      std::chrono::steady_clock::now();
+  Status status_;  // sticky write failure
+  std::string scratch_;
+  std::string buffer_;  // framed records not yet handed to active_
+};
+
+}  // namespace epl::durability
+
+#endif  // EPL_DURABILITY_EVENT_LOG_H_

@@ -1,0 +1,203 @@
+#include "durability/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace epl::durability {
+
+namespace {
+
+Status ErrnoError(std::string_view op, const std::string& path) {
+  const std::string message =
+      std::string(op) + " " + path + ": " + std::strerror(errno);
+  return errno == ENOSPC ? ResourceExhaustedError(message)
+                         : InternalError(message);
+}
+
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) {
+      return FailedPreconditionError("append to closed file: " + path_);
+    }
+    size_t written = 0;
+    while (written < data.size()) {
+      const ssize_t n =
+          ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoError("write", path_);
+      }
+      written += static_cast<size_t>(n);
+    }
+    return OkStatus();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) {
+      return FailedPreconditionError("sync of closed file: " + path_);
+    }
+    if (::fsync(fd_) != 0) {
+      return ErrnoError("fsync", path_);
+    }
+    return OkStatus();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) {
+      return OkStatus();
+    }
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return ErrnoError("close", path_);
+    }
+    return OkStatus();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  Result<std::unique_ptr<File>> OpenAppend(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+      return ErrnoError("open", path);
+    }
+    return std::unique_ptr<File>(new PosixFile(fd, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return NotFoundError("no such file: " + path);
+      }
+      return ErrnoError("open", path);
+    }
+    std::string out;
+    char buffer[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        Status status = ErrnoError("read", path);
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) {
+        break;
+      }
+      out.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* handle = ::opendir(dir.c_str());
+    if (handle == nullptr) {
+      if (errno == ENOENT) {
+        return NotFoundError("no such directory: " + dir);
+      }
+      return ErrnoError("opendir", dir);
+    }
+    std::vector<std::string> names;
+    while (const dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        names.push_back(name);
+      }
+    }
+    ::closedir(handle);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoError("mkdir", dir);
+    }
+    return OkStatus();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoError("unlink", path);
+    }
+    return OkStatus();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoError("rename", from + " -> " + to);
+    }
+    return OkStatus();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoError("truncate", path);
+    }
+    return OkStatus();
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) {
+        return NotFoundError("no such file: " + path);
+      }
+      return ErrnoError("stat", path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      return ErrnoError("open", dir);
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      return ErrnoError("fsync", dir);
+    }
+    return OkStatus();
+  }
+};
+
+}  // namespace
+
+FileSystem* DefaultFileSystem() {
+  static PosixFileSystem* fs = new PosixFileSystem();
+  return fs;
+}
+
+}  // namespace epl::durability

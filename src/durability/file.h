@@ -1,0 +1,68 @@
+// Injectable filesystem abstraction for the durability layer.
+//
+// Every byte the WAL and checkpoint writers touch goes through this
+// interface, so tests can inject disk faults (short writes, ENOSPC, a
+// failing fsync) without a real broken disk, and the recovery paths can be
+// proven against them. The default implementation is plain POSIX with the
+// exact call sequence crash-consistency needs: append -> fsync(file) for
+// data, write-to-temp -> fsync -> rename -> fsync(dir) for atomic
+// replacement.
+
+#ifndef EPL_DURABILITY_FILE_H_
+#define EPL_DURABILITY_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace epl::durability {
+
+/// An append-only file handle. Append is all-or-nothing from the caller's
+/// view: a short write surfaces as an error (the caller treats the file as
+/// torn and recovers by reopening, which truncates the partial tail).
+class File {
+ public:
+  virtual ~File() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  /// Durably flushes everything appended so far (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Filesystem operations the durability layer needs. All paths are plain
+/// strings; directories are created non-recursively.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending, creating it if missing.
+  virtual Result<std::unique_ptr<File>> OpenAppend(const std::string& path) = 0;
+  /// Reads the whole file.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  /// Sorted names (not paths) of the directory's entries, "." and ".."
+  /// excluded.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  /// Creates `dir` if it does not exist (parent must exist).
+  virtual Status CreateDir(const std::string& dir) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  /// Atomic replacement (POSIX rename).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  /// Durably flushes the directory entry metadata (fsync on the dir fd),
+  /// sealing a preceding rename/create/remove against power loss.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX filesystem.
+FileSystem* DefaultFileSystem();
+
+}  // namespace epl::durability
+
+#endif  // EPL_DURABILITY_FILE_H_

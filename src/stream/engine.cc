@@ -51,8 +51,46 @@ Status StreamEngine::RegisterView(const std::string& view_name,
 
   auto source_it = nodes_.find(source_name);
   source_it->second.subscribers.push_back(transform.get());
-  view_transforms_.push_back(std::move(transform));
-  view_transforms_.push_back(std::move(dispatcher));
+  View view;
+  view.source = source_name;
+  view.transform = std::move(transform);
+  view.dispatcher = std::move(dispatcher);
+  views_.emplace(view_name, std::move(view));
+  return OkStatus();
+}
+
+Status StreamEngine::UnregisterStream(const std::string& name) {
+  auto node_it = nodes_.find(name);
+  if (node_it == nodes_.end()) {
+    return NotFoundError("unknown stream: " + name);
+  }
+  for (const auto& [id, deployment] : deployments_) {
+    (void)id;
+    if (deployment.node_name == name) {
+      return FailedPreconditionError(
+          "stream still has a deployed subscriber: " + name);
+    }
+  }
+  for (const auto& [view_name, view] : views_) {
+    if (view.source == name) {
+      return FailedPreconditionError("stream still feeds view " + view_name +
+                                     ": " + name);
+    }
+  }
+  auto view_it = views_.find(name);
+  if (view_it != views_.end()) {
+    auto source_it = nodes_.find(view_it->second.source);
+    if (source_it != nodes_.end()) {
+      auto& subs = source_it->second.subscribers;
+      subs.erase(std::remove(subs.begin(), subs.end(),
+                             view_it->second.transform.get()),
+                 subs.end());
+    }
+    Status closed = view_it->second.transform->Close();
+    views_.erase(view_it);
+    EPL_RETURN_IF_ERROR(closed);
+  }
+  nodes_.erase(node_it);
   return OkStatus();
 }
 

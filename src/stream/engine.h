@@ -45,6 +45,13 @@ class StreamEngine {
                       const std::string& source_name,
                       std::unique_ptr<Operator> transform, Schema view_schema);
 
+  /// Removes a stream or view (the reverse of RegisterStream/RegisterView),
+  /// freeing its name for re-registration. Fails with FailedPrecondition
+  /// while anything still depends on it: a live deployment subscribed to
+  /// it, or a view deriving from it. Unregistering a view detaches and
+  /// closes its transform. Must not be called from inside a dispatch.
+  Status UnregisterStream(const std::string& name);
+
   /// Attaches `op` (engine takes ownership) as a subscriber of the stream
   /// or view `name`. Returns a handle for Undeploy().
   Result<DeploymentId> Deploy(const std::string& name,
@@ -86,6 +93,15 @@ class StreamEngine {
     std::unique_ptr<Operator> op;
   };
 
+  /// A view's machinery: the transform subscribed to the source stream and
+  /// the sink dispatching its output into the view node. Keyed by view
+  /// name so UnregisterStream can detach exactly this view again.
+  struct View {
+    std::string source;
+    std::unique_ptr<Operator> transform;
+    std::unique_ptr<Operator> dispatcher;
+  };
+
   Status Dispatch(Node& node, const Event& event);
 
   Result<Node*> FindNode(const std::string& name);
@@ -93,7 +109,7 @@ class StreamEngine {
 
   std::map<std::string, Node> nodes_;
   std::map<DeploymentId, Deployment> deployments_;
-  std::vector<std::unique_ptr<Operator>> view_transforms_;
+  std::map<std::string, View> views_;
   DeploymentId next_deployment_id_ = 1;
 };
 

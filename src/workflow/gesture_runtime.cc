@@ -1,6 +1,8 @@
 #include "workflow/gesture_runtime.h"
 
+#include "gesturedb/serialization.h"
 #include "kinect/sensor.h"
+#include "query/unparser.h"
 #include "stream/operators.h"
 #include "transform/view.h"
 #include "workflow/control_gestures.h"
@@ -44,6 +46,43 @@ GestureRuntime::GestureRuntime(stream::StreamEngine* engine,
     : engine_(engine), options_(std::move(options)) {
   options_.batch_size = std::max<size_t>(1, options_.batch_size);
   options_.num_shards = std::max(1, options_.num_shards);
+}
+
+Status GestureRuntime::EnsureWal() {
+  if (!durable() || wal_ != nullptr) {
+    return OkStatus();
+  }
+  if (options_.backend == RuntimeBackend::kLegacyPerQuery) {
+    return FailedPreconditionError(
+        "durability requires the fused or sharded backend");
+  }
+  fs_ = options_.durability.fs != nullptr ? options_.durability.fs
+                                          : durability::DefaultFileSystem();
+  EPL_RETURN_IF_ERROR(fs_->CreateDir(options_.durability.dir));
+  durability::EventLogOptions log_options;
+  log_options.segment_bytes = options_.durability.segment_bytes;
+  log_options.sync_every_records = options_.durability.sync_every_records;
+  log_options.sync_interval_ms = options_.durability.sync_interval_ms;
+  log_options.buffer_bytes = options_.durability.buffer_bytes;
+  EPL_ASSIGN_OR_RETURN(
+      wal_, durability::EventLog::Open(options_.durability.dir, log_options,
+                                       fs_));
+  return OkStatus();
+}
+
+Status GestureRuntime::LogRecord(const durability::WalRecord& record) {
+  if (!durable() || replaying_ || suppress_wal_) {
+    return OkStatus();
+  }
+  EPL_RETURN_IF_ERROR(EnsureWal());
+  wal_encode_scratch_.Clear();
+  durability::EncodeWalRecord(record, &wal_encode_scratch_);
+  return wal_->Append(wal_encode_scratch_.str()).status();
+}
+
+uint64_t GestureRuntime::ingested_events(SessionId session) const {
+  auto it = ingested_.find(session);
+  return it == ingested_.end() ? 0 : it->second;
 }
 
 cep::DetectionCallback GestureRuntime::Guard(cep::DetectionCallback callback) {
@@ -109,21 +148,36 @@ Status GestureRuntime::EnsureSessionStream() {
 }
 
 Result<SessionId> GestureRuntime::OpenSession(const std::string& user) {
-  if (user.empty()) {
-    return InvalidArgumentError("session needs a user name");
-  }
   if (in_dispatch()) {
     return FailedPreconditionError(
         "OpenSession from inside a detection callback");
   }
+  EPL_RETURN_IF_ERROR(EnsureWal());
   EPL_RETURN_IF_ERROR(Pump());
+  EPL_ASSIGN_OR_RETURN(const SessionId id, DoOpenSession(user, -1));
+  durability::WalRecord record;
+  record.type = durability::WalRecord::Type::kOpenSession;
+  record.session = id;
+  record.name = user;
+  EPL_RETURN_IF_ERROR(LogRecord(record));
+  return id;
+}
+
+Result<SessionId> GestureRuntime::DoOpenSession(const std::string& user,
+                                                SessionId forced_id) {
+  if (user.empty()) {
+    return InvalidArgumentError("session needs a user name");
+  }
   for (const auto& [id, session] : sessions_) {
     (void)id;
     if (session.open && session.name == user) {
       return AlreadyExistsError("session already open for user: " + user);
     }
   }
-  const SessionId id = next_session_id_++;
+  // Recovery pins session ids to their original values: the gates and WAL
+  // records of a restored session encode the id, so it must not drift.
+  const SessionId id = forced_id >= 0 ? forced_id : next_session_id_++;
+  next_session_id_ = std::max(next_session_id_, id + 1);
   Session session;
   session.name = user;
   session.raw_stream = user + "/kinect";
@@ -181,11 +235,56 @@ Status GestureRuntime::CloseSession(SessionId session) {
   found->open = false;
   const stream::DeploymentId tap = found->tap;
   found->tap = 0;
+  durability::WalRecord record;
+  record.type = durability::WalRecord::Type::kCloseSession;
+  record.session = session;
+  EPL_RETURN_IF_ERROR(LogRecord(record));
   auto teardown = [this, session, tap]() -> Status {
-    for (const std::string& name : DeployedGestures(session)) {
-      EPL_RETURN_IF_ERROR(DoUndeploy(session, name));
+    {
+      // The teardown's undeploys are implied by the kCloseSession record;
+      // logging them individually would double-apply them on replay.
+      suppress_wal_ = true;
+      Status undeploys = OkStatus();
+      for (const std::string& name : DeployedGestures(session)) {
+        undeploys = DoUndeploy(session, name);
+        if (!undeploys.ok()) {
+          break;
+        }
+      }
+      suppress_wal_ = false;
+      EPL_RETURN_IF_ERROR(undeploys);
     }
-    return tap != 0 ? engine_->Undeploy(tap) : OkStatus();
+    if (tap != 0) {
+      EPL_RETURN_IF_ERROR(engine_->Undeploy(tap));
+    }
+    // Garbage-collect the session's namespaced streams so close -> reopen
+    // leaves nothing behind in the engine. A stream that still has foreign
+    // subscribers (e.g. a controller's recorder tap the caller owns) is
+    // left registered -- the caller keeps responsibility for it.
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return OkStatus();
+    }
+    const std::string raw = it->second.raw_stream;
+    const std::string view = it->second.view_stream;
+    sessions_.erase(it);
+    ingested_.erase(session);
+    bool view_removed = true;
+    if (view != raw && engine_->HasStream(view)) {
+      Status removed = engine_->UnregisterStream(view);
+      if (removed.code() == StatusCode::kFailedPrecondition) {
+        view_removed = false;
+      } else {
+        EPL_RETURN_IF_ERROR(removed);
+      }
+    }
+    if (view_removed && engine_->HasStream(raw)) {
+      Status removed = engine_->UnregisterStream(raw);
+      if (removed.code() != StatusCode::kFailedPrecondition) {
+        EPL_RETURN_IF_ERROR(removed);
+      }
+    }
+    return OkStatus();
   };
   if (in_dispatch()) {
     // Engine undeploys (and sharded control operations) cannot run
@@ -296,6 +395,21 @@ Status GestureRuntime::DoDeploy(SessionId session,
   const std::string stream = parsed.pattern->SourceStream();
   const GestureKey key{session, definition.name};
   auto existing = gestures_.find(key);
+  // Durable runtimes keep the deployed query's canonical text (what a
+  // checkpoint serializes) and log the deploy with its gesturedb-format
+  // definition (what replay reapplies).
+  std::string query_text;
+  durability::WalRecord record;
+  const bool log_deploy = durable() && !replaying_ && !suppress_wal_;
+  if (durable()) {
+    query_text = query::FormatQuery(parsed);
+  }
+  if (log_deploy) {
+    record.type = durability::WalRecord::Type::kDeploy;
+    record.session = session;
+    record.name = definition.name;
+    record.definition = gesturedb::Serialize(definition);
+  }
 
   // Atomic swap semantics: the retiring query is removed before the
   // replacement is added, both at the same event boundary (requested from
@@ -310,7 +424,10 @@ Status GestureRuntime::DoDeploy(SessionId session,
     if (existing != gestures_.end()) {
       EPL_RETURN_IF_ERROR(Retire(existing->second));
     }
-    gestures_[key] = Gesture{stream, -1, id};
+    gestures_[key] = Gesture{stream, -1, id, std::move(query_text)};
+    if (log_deploy) {
+      EPL_RETURN_IF_ERROR(LogRecord(record));
+    }
     return OkStatus();
   }
 
@@ -327,13 +444,17 @@ Status GestureRuntime::DoDeploy(SessionId session,
   const int id = options_.backend == RuntimeBackend::kFused
                      ? channel->fused.op->AddQuery(std::move(spec))
                      : channel->sharded.engine->AddQuery(std::move(spec));
-  gestures_[key] = Gesture{stream, id, 0};
+  gestures_[key] = Gesture{stream, id, 0, std::move(query_text)};
+  if (log_deploy) {
+    EPL_RETURN_IF_ERROR(LogRecord(record));
+  }
   return OkStatus();
 }
 
 Status GestureRuntime::Deploy(SessionId session,
                               const GestureDefinition& definition,
                               cep::DetectionCallback callback) {
+  EPL_RETURN_IF_ERROR(EnsureWal());
   if (in_dispatch()) {
     if (options_.backend == RuntimeBackend::kSharded) {
       // The sharded engine's control operations quiesce the workers and
@@ -359,7 +480,12 @@ Status GestureRuntime::DoUndeploy(SessionId session, const std::string& name) {
   }
   Gesture gesture = it->second;
   gestures_.erase(it);
-  return Retire(gesture);
+  EPL_RETURN_IF_ERROR(Retire(gesture));
+  durability::WalRecord record;
+  record.type = durability::WalRecord::Type::kUndeploy;
+  record.session = session;
+  record.name = name;
+  return LogRecord(record);
 }
 
 Status GestureRuntime::Undeploy(SessionId session, const std::string& name) {
@@ -399,18 +525,30 @@ Result<int> GestureRuntime::LoadStore(SessionId session,
     return FailedPreconditionError(
         "LoadStore from inside a detection callback");
   }
+  EPL_RETURN_IF_ERROR(EnsureWal());
   EPL_RETURN_IF_ERROR(Pump());
   EPL_ASSIGN_OR_RETURN(std::vector<std::string> names, store.List());
   int loaded = 0;
+  Status first_error = OkStatus();
   for (const std::string& name : names) {
     if (IsReservedGestureName(name)) {
       // A stored "__control_wave" must not hot-swap a live control query.
       continue;
     }
-    EPL_ASSIGN_OR_RETURN(GestureDefinition definition, store.Get(name));
-    EPL_RETURN_IF_ERROR(DoDeploy(session, definition, callback));
+    Result<GestureDefinition> definition = store.Get(name);
+    if (!definition.ok()) {
+      // One corrupt record must not take down the whole boot load: the
+      // parseable gestures still deploy, and the first bad record's error
+      // (which names the offending file) is reported after the sweep.
+      if (first_error.ok()) {
+        first_error = definition.status();
+      }
+      continue;
+    }
+    EPL_RETURN_IF_ERROR(DoDeploy(session, *definition, callback));
     ++loaded;
   }
+  EPL_RETURN_IF_ERROR(first_error);
   return loaded;
 }
 
@@ -421,11 +559,27 @@ Status GestureRuntime::PushFrame(SessionId session,
         "PushFrame from inside a detection callback");
   }
   EPL_RETURN_IF_ERROR(Pump());
+  const std::string* stream = nullptr;
+  static const std::string kLocalStream = "kinect";
   if (session == kLocalSession) {
-    return engine_->Push("kinect", kinect::FrameToEvent(frame));
+    stream = &kLocalStream;
+  } else {
+    EPL_ASSIGN_OR_RETURN(const Session* found, FindSession(session));
+    stream = &found->raw_stream;
   }
-  EPL_ASSIGN_OR_RETURN(const Session* found, FindSession(session));
-  return engine_->Push(found->raw_stream, kinect::FrameToEvent(frame));
+  if (!durable()) {
+    return engine_->Push(*stream, kinect::FrameToEvent(frame));
+  }
+  // Write-ahead: the raw frame event is durable before the engine sees it,
+  // so anything logged WILL be reflected after recovery, and a frame whose
+  // PushFrame never returned OK is the producer's to retry.
+  durability::WalRecord record;
+  record.session = session;
+  record.event = kinect::FrameToEvent(frame);
+  EPL_RETURN_IF_ERROR(EnsureWal());
+  EPL_RETURN_IF_ERROR(LogRecord(record));
+  ++ingested_[session];
+  return engine_->Push(*stream, record.event);
 }
 
 Status GestureRuntime::PushFrames(SessionId session,
@@ -451,7 +605,228 @@ Status GestureRuntime::Flush() {
     }
   }
   // Flushed detections may have requested further mutations.
-  return Pump();
+  EPL_RETURN_IF_ERROR(Pump());
+  // Everything ingested so far must survive a process crash once Flush
+  // returns: drain the WAL batch buffer into the page cache.
+  if (wal_ != nullptr) {
+    EPL_RETURN_IF_ERROR(wal_->FlushBuffered());
+  }
+  return OkStatus();
+}
+
+Status GestureRuntime::Checkpoint() {
+  if (!durable()) {
+    return FailedPreconditionError(
+        "Checkpoint on a runtime without a durability dir");
+  }
+  if (in_dispatch()) {
+    return FailedPreconditionError(
+        "Checkpoint from inside a detection callback");
+  }
+  EPL_RETURN_IF_ERROR(EnsureWal());
+  // Quiesce to a consistent cut: deferred mutations applied, batched
+  // windows swept, sharded workers drained. Every event with seq <
+  // next_seq() is now fully reflected in the matchers' run state.
+  EPL_RETURN_IF_ERROR(Flush());
+
+  durability::Snapshot snapshot;
+  snapshot.wal_seq = wal_->next_seq();
+  snapshot.next_session_id = next_session_id_;
+  if (ingested_.count(kLocalSession) > 0) {
+    durability::SessionState local;
+    local.id = kLocalSession;
+    local.ingested_events = ingested_.at(kLocalSession);
+    snapshot.sessions.push_back(std::move(local));
+  }
+  for (const auto& [id, session] : sessions_) {
+    if (!session.open) {
+      continue;
+    }
+    durability::SessionState state;
+    state.id = id;
+    state.user = session.name;
+    state.ingested_events = ingested_events(id);
+    snapshot.sessions.push_back(std::move(state));
+  }
+
+  // Per channel, queries serialize in stable-id order: restoration assigns
+  // fresh ids in that order, preserving the relative order the sharded
+  // merge sorts detections by ((event_seq, query_id)).
+  std::map<std::string, std::map<int, durability::QueryState>> per_channel;
+  for (const auto& [key, gesture] : gestures_) {
+    durability::QueryState state;
+    state.session = key.first;
+    state.name = key.second;
+    state.query_text = gesture.query_text;
+    per_channel[gesture.stream].emplace(gesture.query_id, std::move(state));
+  }
+  for (auto& [stream, queries] : per_channel) {
+    auto channel = channels_.find(stream);
+    if (channel == channels_.end()) {
+      return InternalError("gesture channel vanished: " + stream);
+    }
+    if (options_.backend == RuntimeBackend::kFused) {
+      for (auto& [id, state] : queries) {
+        EPL_ASSIGN_OR_RETURN(
+            state.runs, channel->second.fused.op->ExportQueryRunState(id));
+      }
+    } else {
+      EPL_ASSIGN_OR_RETURN(auto states,
+                           channel->second.sharded.engine->ExportRunStates());
+      std::map<int, cep::NfaRunState*> by_id;
+      for (auto& [id, runs] : states) {
+        by_id[id] = &runs;
+      }
+      for (auto& [id, state] : queries) {
+        auto it = by_id.find(id);
+        if (it == by_id.end()) {
+          return InternalError("query " + std::to_string(id) +
+                               " missing from sharded export");
+        }
+        state.runs = std::move(*it->second);
+      }
+    }
+    for (auto& [id, state] : queries) {
+      (void)id;
+      snapshot.queries.push_back(std::move(state));
+    }
+  }
+
+  // Rotate first so every segment is wholly before or after the cut, then
+  // make the snapshot durable, then prune what it covers. A crash between
+  // any two steps leaves a recoverable directory: worst case some stale
+  // segments/snapshots survive until the next checkpoint.
+  EPL_RETURN_IF_ERROR(wal_->RotateSegment());
+  EPL_RETURN_IF_ERROR(
+      durability::WriteSnapshot(fs_, options_.durability.dir, snapshot));
+  EPL_RETURN_IF_ERROR(durability::RemoveStaleSnapshots(
+      fs_, options_.durability.dir, snapshot.wal_seq));
+  return wal_->DropSegmentsBelow(snapshot.wal_seq);
+}
+
+Status GestureRuntime::RestoreQuery(const durability::QueryState& state,
+                                    const DetectionCallbackFactory& factory) {
+  EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
+                       query::ParseQuery(state.query_text));
+  std::shared_ptr<const cep::CompiledPattern> gate;
+  if (state.session != kLocalSession) {
+    EPL_ASSIGN_OR_RETURN(Session * found, FindSession(state.session));
+    gate = found->gate;
+  }
+  cep::DetectionCallback callback =
+      factory ? factory(state.session, state.name) : nullptr;
+  EPL_ASSIGN_OR_RETURN(
+      cep::MultiMatchOperator::QuerySpec spec,
+      query::CompileQuerySpec(engine_, parsed, Guard(std::move(callback)),
+                              gate));
+  const std::string stream = parsed.pattern->SourceStream();
+  EPL_ASSIGN_OR_RETURN(Channel * channel, EnsureChannel(stream));
+  Result<int> id =
+      options_.backend == RuntimeBackend::kFused
+          ? channel->fused.op->RestoreQuery(std::move(spec), state.runs)
+          : channel->sharded.engine->RestoreQuery(std::move(spec),
+                                                  state.runs);
+  EPL_RETURN_IF_ERROR(id.status());
+  Gesture gesture;
+  gesture.stream = stream;
+  gesture.query_id = *id;
+  gesture.query_text = state.query_text;
+  gestures_[GestureKey{state.session, state.name}] = std::move(gesture);
+  return OkStatus();
+}
+
+Status GestureRuntime::ApplyWalRecord(const durability::WalRecord& record,
+                                      const DetectionCallbackFactory& factory) {
+  using Type = durability::WalRecord::Type;
+  switch (record.type) {
+    case Type::kEvent: {
+      // Mirrors PushFrame: deferred mutations from earlier replayed
+      // detections apply at this event boundary, exactly as live.
+      EPL_RETURN_IF_ERROR(Pump());
+      ++ingested_[record.session];
+      if (record.session == kLocalSession) {
+        return engine_->Push("kinect", record.event);
+      }
+      EPL_ASSIGN_OR_RETURN(const Session* found, FindSession(record.session));
+      return engine_->Push(found->raw_stream, record.event);
+    }
+    case Type::kOpenSession: {
+      EPL_ASSIGN_OR_RETURN(SessionId id,
+                           DoOpenSession(record.name, record.session));
+      (void)id;
+      return OkStatus();
+    }
+    case Type::kCloseSession:
+      return CloseSession(record.session);
+    case Type::kDeploy: {
+      EPL_ASSIGN_OR_RETURN(core::GestureDefinition definition,
+                           gesturedb::Deserialize(record.definition));
+      return DoDeploy(record.session, definition,
+                      factory ? factory(record.session, definition.name)
+                              : nullptr);
+    }
+    case Type::kUndeploy:
+      return DoUndeploy(record.session, record.name);
+  }
+  return InternalError("unknown WAL record type");
+}
+
+Result<std::unique_ptr<GestureRuntime>> GestureRuntime::Recover(
+    stream::StreamEngine* engine, GestureRuntimeOptions options,
+    const DetectionCallbackFactory& factory, RecoverStats* stats) {
+  if (options.durability.dir.empty()) {
+    return InvalidArgumentError("Recover needs options.durability.dir");
+  }
+  auto runtime =
+      std::make_unique<GestureRuntime>(engine, std::move(options));
+  // Opens the WAL (creating the dir, truncating a torn tail) before the
+  // snapshot is read, so both views of the directory are post-crash.
+  EPL_RETURN_IF_ERROR(runtime->EnsureWal());
+
+  durability::Snapshot snapshot;
+  Result<durability::Snapshot> loaded = durability::ReadLatestSnapshot(
+      runtime->fs_, runtime->options_.durability.dir);
+  if (loaded.ok()) {
+    snapshot = std::move(loaded).value();
+  } else if (loaded.status().code() != StatusCode::kNotFound) {
+    return loaded.status();
+  }
+
+  runtime->replaying_ = true;
+  runtime->next_session_id_ = snapshot.next_session_id;
+  for (const durability::SessionState& session : snapshot.sessions) {
+    runtime->ingested_[session.id] = session.ingested_events;
+    if (session.id == kLocalSession) {
+      continue;
+    }
+    EPL_ASSIGN_OR_RETURN(SessionId id,
+                         runtime->DoOpenSession(session.user, session.id));
+    (void)id;
+  }
+  for (const durability::QueryState& query : snapshot.queries) {
+    EPL_RETURN_IF_ERROR(
+        runtime->RestoreQuery(query, factory)
+            .WithContext("restoring query " + query.name));
+  }
+
+  uint64_t replayed = 0;
+  EPL_RETURN_IF_ERROR(runtime->wal_->Replay(
+      snapshot.wal_seq,
+      [&](uint64_t seq, std::string_view payload) -> Status {
+        EPL_ASSIGN_OR_RETURN(durability::WalRecord record,
+                             durability::DecodeWalRecord(payload));
+        ++replayed;
+        return runtime->ApplyWalRecord(record, factory)
+            .WithContext("replaying WAL record " + std::to_string(seq));
+      }));
+  runtime->replaying_ = false;
+
+  if (stats != nullptr) {
+    stats->snapshot_seq = snapshot.wal_seq;
+    stats->replayed_records = replayed;
+    stats->ingested = runtime->ingested_;
+  }
+  return runtime;
 }
 
 }  // namespace epl::workflow

@@ -65,6 +65,8 @@
 
 #include "cep/sharded_engine.h"
 #include "core/query_gen.h"
+#include "durability/event_log.h"
+#include "durability/snapshot.h"
 #include "gesturedb/store.h"
 #include "kinect/skeleton.h"
 #include "query/compiler.h"
@@ -94,6 +96,31 @@ inline constexpr SessionId kLocalSession = -1;
 inline constexpr char kSessionStreamName[] = "gesture_sessions";
 inline constexpr char kSessionFieldName[] = "session";
 
+/// Durability knobs. Setting `dir` makes the runtime durable: every frame
+/// and deploy/session mutation is appended to an event WAL there before it
+/// takes effect, Checkpoint() writes run-state snapshots, and Recover()
+/// rebuilds a crashed runtime bit-identically (snapshot + WAL-suffix
+/// replay). Requires the fused or sharded backend.
+struct DurabilityOptions {
+  /// WAL + snapshot directory; empty disables durability entirely.
+  std::string dir;
+  /// WAL segment rotation size.
+  uint64_t segment_bytes = 4ull << 20;
+  /// fsync every this many WAL records (0: no count-based group commit).
+  uint64_t sync_every_records = 0;
+  /// fsync at the first WAL append after this many milliseconds (0: no
+  /// time-based group commit). fsync cadence only bounds loss on power
+  /// failure: a process crash loses at most the user-space batch buffer
+  /// (below), and a SIGKILL after Flush() loses nothing.
+  uint64_t sync_interval_ms = 50;
+  /// User-space WAL write batching (one write() per this many bytes);
+  /// Flush() and every fsync drain it. 0: one write() per record.
+  uint64_t buffer_bytes = 64 << 10;
+  /// Filesystem to write through (tests inject fault models); null uses
+  /// the real one.
+  durability::FileSystem* fs = nullptr;
+};
+
 struct GestureRuntimeOptions {
   RuntimeBackend backend = RuntimeBackend::kFused;
   cep::MatcherOptions matcher;
@@ -114,6 +141,24 @@ struct GestureRuntimeOptions {
   bool transform_sessions = true;
   core::QueryGenConfig query;
   transform::TransformConfig transform;
+  DurabilityOptions durability;
+};
+
+/// Builds the detection callback for one recovered query: Recover() cannot
+/// reuse the crashed process's closures, so the caller re-supplies them per
+/// (session, gesture name).
+using DetectionCallbackFactory =
+    std::function<cep::DetectionCallback(SessionId, const std::string&)>;
+
+/// What Recover() reconstructed -- the caller reads `ingested` to know the
+/// frame index each session's producer resumes pushing from.
+struct RecoverStats {
+  /// WAL seq the snapshot covered up to (0: recovered from an empty dir).
+  uint64_t snapshot_seq = 0;
+  /// WAL records replayed on top of the snapshot.
+  uint64_t replayed_records = 0;
+  /// Frames durably ingested per session, snapshot + replay combined.
+  std::map<SessionId, uint64_t> ingested;
 };
 
 class GestureRuntime {
@@ -133,11 +178,12 @@ class GestureRuntime {
   /// shared session stream exists, and taps the session's events into it.
   Result<SessionId> OpenSession(const std::string& user);
 
-  /// Undeploys every gesture of the session and detaches its tap. The
-  /// session's streams stay registered (stream registration is permanent).
-  /// Callable from inside a detection callback: the session is closed for
-  /// further deploys immediately, its queries retire at the next event
-  /// boundary.
+  /// Undeploys every gesture of the session, detaches its tap, and
+  /// unregisters its namespaced streams ("<user>/kinect" and the
+  /// "<user>/kinect_t" view), so a close -> reopen cycle leaves no trace
+  /// in the engine. Callable from inside a detection callback: the session
+  /// is closed for further deploys immediately, its queries and streams
+  /// retire at the next event boundary.
   Status CloseSession(SessionId session);
 
   /// The stream carrying the session's transformed (or raw) events --
@@ -180,7 +226,11 @@ class GestureRuntime {
   /// backends the bank builds once, on the first event). Reserved "__"
   /// names are skipped -- a stored "__control_wave" must not hot-swap a
   /// live control query (see IsReservedGestureName). Detections of all
-  /// loaded gestures go to `callback`. Returns the number loaded.
+  /// loaded gestures go to `callback`. Returns the number loaded. A store
+  /// record that fails to parse (truncated/corrupt file) does NOT abort
+  /// the load: every parseable gesture still deploys, and the first bad
+  /// record's error -- naming the offending file -- is returned instead of
+  /// the count.
   Result<int> LoadStore(SessionId session, const gesturedb::GestureStore& store,
                         cep::DetectionCallback callback);
   Result<int> LoadStore(const gesturedb::GestureStore& store,
@@ -207,6 +257,33 @@ class GestureRuntime {
   /// Live fused/sharded operators (one per source stream in use).
   size_t num_channels() const { return channels_.size(); }
 
+  /// Whether this runtime writes a WAL (options.durability.dir set).
+  bool durable() const { return !options_.durability.dir.empty(); }
+
+  /// Frames durably ingested for `session` -- after Recover(), the index
+  /// the session's producer resumes pushing from.
+  uint64_t ingested_events(SessionId session) const;
+
+  /// Writes a run-state snapshot at a quiesced event boundary and prunes
+  /// the WAL prefix it covers: Flush, export every deployed query's live
+  /// NFA runs, rotate the WAL segment, atomically write
+  /// snapshot-<seq>.snap, then drop stale snapshots and covered segments.
+  /// Durable runtimes only; must not be called from a detection callback.
+  Status Checkpoint();
+
+  /// Rebuilds a runtime from `options.durability.dir`: restores sessions,
+  /// deployed gestures, and mid-gesture partial runs from the newest valid
+  /// snapshot, then replays the WAL suffix (seq >= snapshot seq) through
+  /// the normal ingest path. Detections for replayed events are
+  /// re-delivered (at-least-once past the snapshot cut); the recovered
+  /// detection stream is bit-identical to the never-crashed run from the
+  /// snapshot cut onward. `factory` supplies the detection callback of
+  /// each recovered query. An empty/missing directory recovers to an empty
+  /// runtime (fresh start).
+  static Result<std::unique_ptr<GestureRuntime>> Recover(
+      stream::StreamEngine* engine, GestureRuntimeOptions options,
+      const DetectionCallbackFactory& factory, RecoverStats* stats = nullptr);
+
  private:
   /// The shared operator of one source stream.
   struct Channel {
@@ -230,11 +307,34 @@ class GestureRuntime {
     std::string stream;               // channel key / legacy deploy stream
     int query_id = -1;                // fused/sharded stable id
     stream::DeploymentId legacy_id = 0;
+    /// Canonical unparser rendering of the deployed (rescoped) query;
+    /// recorded only on durable runtimes, serialized into checkpoints.
+    std::string query_text;
   };
 
   using GestureKey = std::pair<SessionId, std::string>;
 
   bool in_dispatch() const { return dispatch_depth_ > 0; }
+  /// Opens the WAL on the first durable operation (errors early when the
+  /// backend cannot support durability).
+  Status EnsureWal();
+  /// Appends one typed record to the WAL. No-op when not durable, during
+  /// replay, and inside suppressed scopes (CloseSession teardown, whose
+  /// undeploys are implied by the kCloseSession record).
+  Status LogRecord(const durability::WalRecord& record);
+  /// OpenSession core; `forced_id` >= 0 pins the session id (recovery
+  /// restores sessions under their original ids, which gates and WAL
+  /// records encode).
+  Result<SessionId> DoOpenSession(const std::string& user,
+                                  SessionId forced_id);
+  /// Applies one replayed WAL record through the normal mutation/ingest
+  /// paths (logging suppressed via replaying_).
+  Status ApplyWalRecord(const durability::WalRecord& record,
+                        const DetectionCallbackFactory& factory);
+  /// Restores one snapshot query: reparse its canonical text, recompile
+  /// against the restored session's gate, adopt with its live runs.
+  Status RestoreQuery(const durability::QueryState& state,
+                      const DetectionCallbackFactory& factory);
   /// Wraps a detection callback so the runtime knows when it is inside a
   /// dispatch (mutations from there may need deferring).
   cep::DetectionCallback Guard(cep::DetectionCallback callback);
@@ -265,6 +365,21 @@ class GestureRuntime {
 
   int dispatch_depth_ = 0;
   std::vector<std::function<Status()>> pending_;
+
+  // --- Durability state (unused unless options.durability.dir is set) ---
+  durability::FileSystem* fs_ = nullptr;
+  std::unique_ptr<durability::EventLog> wal_;
+  /// Reused across LogRecord calls so the per-event encode allocates
+  /// nothing at steady state.
+  durability::ByteWriter wal_encode_scratch_;
+  /// Frames ingested per session since the beginning of time (survives
+  /// checkpoints; the producer resume index).
+  std::map<SessionId, uint64_t> ingested_;
+  /// True while Recover() replays the WAL suffix: suppresses re-logging.
+  bool replaying_ = false;
+  /// True while a CloseSession teardown runs: its undeploys are implied
+  /// by the kCloseSession record and must not be logged individually.
+  bool suppress_wal_ = false;
 };
 
 }  // namespace epl::workflow

@@ -1,0 +1,371 @@
+// Crash-recovery harness: for EVERY registered crash point and every
+// shared-runtime backend, fork a child that dies (SIGKILL, mid-write) at
+// that point, recover in the parent, and assert the combined detection
+// stream is bit-identical to a run that never crashed:
+//
+//   - the child's live detections are a PREFIX of the reference stream
+//     (the crash never invents or reorders detections), and
+//   - the recovered stream is exactly the reference SUFFIX from the
+//     replay cut, overlapping or abutting the child's prefix -- so no
+//     detection is lost, ever (at-least-once past the cut).
+//
+// The child appends each delivered detection to an O_APPEND side log
+// (one write() per record: the page cache survives SIGKILL exactly like
+// the WAL's own appends), which is what makes the prefix assertion
+// honest. A randomized kill-point fuzz (env-gated, for the CI fuzz leg)
+// reuses the same oracle with random (backend, point, nth) triples.
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cep_workload_test_util.h"
+#include "durability/crash_point.h"
+#include "kinect/gesture_shapes.h"
+#include "kinect/sensor.h"
+#include "kinect/synthesizer.h"
+#include "test_util.h"
+#include "workflow/gesture_runtime.h"
+
+namespace epl::workflow {
+namespace {
+
+using cep::testing::DetectionRecord;
+using cep::testing::Recorder;
+using cep::testing::TrainedDefinitions;
+using kinect::GestureShapes;
+using kinect::SkeletonFrame;
+using kinect::UserProfile;
+
+struct BackendConfig {
+  RuntimeBackend backend;
+  size_t batch_size;
+  int num_shards;
+  const char* label;
+};
+
+const BackendConfig kBackends[] = {
+    {RuntimeBackend::kFused, 1, 1, "Fused"},
+    {RuntimeBackend::kFused, 8, 1, "FusedBatched"},
+    {RuntimeBackend::kSharded, 1, 4, "Sharded4"},
+};
+
+/// The first OpenSession of a fresh runtime; recovery restores it under
+/// the same pinned id.
+constexpr SessionId kScriptSession = 0;
+
+const std::vector<SkeletonFrame>& ScriptFrames() {
+  static const std::vector<SkeletonFrame>* frames = [] {
+    kinect::SessionBuilder builder(UserProfile(), 77);
+    for (int i = 0; i < 3; ++i) {
+      builder.Perform(GestureShapes::SwipeRight(), 0.2);
+      builder.Idle(0.2);
+      builder.Perform(GestureShapes::RaiseHand(), 0.1);
+      builder.Idle(0.2);
+    }
+    return new std::vector<SkeletonFrame>(builder.TakeFrames());
+  }();
+  return *frames;
+}
+
+GestureRuntimeOptions MakeOptions(const BackendConfig& config,
+                                  const std::string& dir) {
+  GestureRuntimeOptions options;
+  options.backend = config.backend;
+  options.batch_size = config.batch_size;
+  options.num_shards = config.num_shards;
+  options.sync_detections = true;
+  options.durability.dir = dir;
+  // Tiny segments + tight group commit so rotation/sync paths (and their
+  // crash points) fire many times within one scripted run.
+  options.durability.segment_bytes = 512;
+  options.durability.sync_every_records = 4;
+  return options;
+}
+
+size_t CutK1() { return ScriptFrames().size() / 3; }
+size_t CutK2() { return 2 * ScriptFrames().size() / 3; }
+
+/// One scripted durable run: open a session, deploy two gestures, ingest
+/// a third of the frames, checkpoint, mutate the deployment set (the
+/// mutations land in the WAL suffix), ingest to two thirds, checkpoint
+/// again, ingest the rest. `at_arm` runs right after the first checkpoint
+/// -- the crashing child arms its kill point there, so every crash lands
+/// in the post-snapshot regime the recovery path must handle.
+/// EPL_CHECK (abort) rather than gtest assertions: this also runs in the
+/// forked child, where an abort surfaces as a non-SIGKILL exit the parent
+/// fails on.
+void RunScript(const GestureRuntimeOptions& options,
+               const std::vector<core::GestureDefinition>& defs,
+               const cep::DetectionCallback& callback,
+               const std::function<void()>& at_arm) {
+  const std::vector<SkeletonFrame>& frames = ScriptFrames();
+  stream::StreamEngine engine;
+  GestureRuntime runtime(&engine, options);
+  Result<SessionId> session = runtime.OpenSession("alice");
+  EPL_CHECK(session.ok()) << session.status();
+  EPL_CHECK(*session == kScriptSession);
+  auto deploy = [&](const core::GestureDefinition& def) {
+    Status status = runtime.Deploy(*session, def, callback);
+    EPL_CHECK(status.ok()) << status;
+  };
+  auto push_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Status status = runtime.PushFrame(*session, frames[i]);
+      EPL_CHECK(status.ok()) << status;
+    }
+  };
+  deploy(defs[0]);
+  deploy(defs[1]);
+  push_range(0, CutK1());
+  Status checkpoint = runtime.Checkpoint();
+  EPL_CHECK(checkpoint.ok()) << checkpoint;
+  if (at_arm) at_arm();
+  // WAL-suffix mutations: a fresh deploy and an undeploy the recovery
+  // path must replay (or the resuming producer reapply, when the crash
+  // tore their records).
+  deploy(defs[2]);
+  Status undeployed = runtime.Undeploy(*session, defs[1].name);
+  EPL_CHECK(undeployed.ok()) << undeployed;
+  push_range(CutK1(), CutK2());
+  checkpoint = runtime.Checkpoint();
+  EPL_CHECK(checkpoint.ok()) << checkpoint;
+  push_range(CutK2(), frames.size());
+  Status flushed = runtime.Flush();
+  EPL_CHECK(flushed.ok()) << flushed;
+}
+
+/// The reference detection stream of one backend: the script, durable,
+/// never crashed.
+std::vector<DetectionRecord> ReferenceRun(
+    const BackendConfig& config,
+    const std::vector<core::GestureDefinition>& defs) {
+  epl::testing::ScopedTempDir dir;
+  std::vector<DetectionRecord> reference;
+  RunScript(MakeOptions(config, dir.path()), defs, Recorder(&reference),
+            nullptr);
+  return reference;
+}
+
+/// Detection callback writing one line per detection straight to `fd`
+/// (O_APPEND, one write() each) -- the child's crash-surviving live log.
+cep::DetectionCallback FileRecorder(int fd) {
+  return [fd](const cep::Detection& detection) {
+    std::ostringstream line;
+    line << detection.name << '|' << detection.time << '|';
+    for (size_t i = 0; i < detection.pose_times.size(); ++i) {
+      if (i > 0) line << ' ';
+      line << detection.pose_times[i];
+    }
+    line << '\n';
+    const std::string text = line.str();
+    ssize_t written = ::write(fd, text.data(), text.size());
+    EPL_CHECK(written == static_cast<ssize_t>(text.size()));
+  };
+}
+
+std::vector<DetectionRecord> ParseDetectionLog(const std::string& path) {
+  std::vector<DetectionRecord> records;
+  Result<std::string> content = durability::DefaultFileSystem()->ReadFile(path);
+  if (!content.ok()) return records;  // crashed before the first detection
+  std::istringstream in(*content);
+  std::string line;
+  while (std::getline(in, line)) {
+    DetectionRecord record;
+    const size_t p1 = line.find('|');
+    const size_t p2 = line.find('|', p1 + 1);
+    EPL_CHECK(p1 != std::string::npos && p2 != std::string::npos) << line;
+    record.name = line.substr(0, p1);
+    record.time = std::strtoll(line.c_str() + p1 + 1, nullptr, 10);
+    std::istringstream times(line.substr(p2 + 1));
+    TimePoint t = 0;
+    while (times >> t) record.pose_times.push_back(t);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+/// Forks a child that runs the script and dies at the `nth` firing of
+/// crash point `point`; recovers in the parent; asserts prefix/suffix
+/// bit-identity against `reference`. With `allow_survival` (fuzz mode,
+/// where a random nth may exceed the point's execution count) a child
+/// that completes the whole script is accepted and recovery is verified
+/// from the final on-disk state instead.
+void RunCrashCase(const BackendConfig& config, const std::string& point,
+                  int nth, bool allow_survival,
+                  const std::vector<core::GestureDefinition>& defs,
+                  const std::vector<DetectionRecord>& reference) {
+  SCOPED_TRACE(std::string(config.label) + " @ " + point + ":" +
+               std::to_string(nth));
+  epl::testing::ScopedTempDir dir;
+  const std::string wal_dir = dir.path() + "/wal";
+  const std::string live_log = dir.path() + "/child_detections.log";
+  const GestureRuntimeOptions options = MakeOptions(config, wal_dir);
+
+  // No live threads here: every prior runtime (reference, earlier cases)
+  // was destroyed, so the fork is single-threaded and safe.
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed: " << std::strerror(errno);
+  if (pid == 0) {
+    int fd = ::open(live_log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    EPL_CHECK(fd >= 0);
+    RunScript(options, defs, FileRecorder(fd), [&] {
+      durability::ArmCrashPoint(point, nth);
+    });
+    // The armed point never fired: the script ran to completion.
+    ::_exit(42);
+  }
+
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(pid, &wait_status, 0), pid);
+  const bool killed =
+      WIFSIGNALED(wait_status) && WTERMSIG(wait_status) == SIGKILL;
+  const bool survived = WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 42;
+  if (survived && !allow_survival) {
+    FAIL() << "crash point " << point << " never fired";
+  }
+  ASSERT_TRUE(killed || survived)
+      << "child died abnormally (neither SIGKILL nor clean): status "
+      << wait_status;
+
+  const std::vector<DetectionRecord> child_live = ParseDetectionLog(live_log);
+  // The child saw a prefix of the reference stream -- crashing never
+  // invents, reorders, or alters detections.
+  ASSERT_LE(child_live.size(), reference.size());
+  for (size_t i = 0; i < child_live.size(); ++i) {
+    ASSERT_EQ(child_live[i], reference[i]) << "live detection " << i;
+  }
+
+  // Recover and finish the producer's script.
+  stream::StreamEngine engine;
+  std::vector<DetectionRecord> recovered;
+  RecoverStats stats;
+  auto factory = [&](SessionId, const std::string&) {
+    return Recorder(&recovered);
+  };
+  EPL_ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<GestureRuntime> runtime,
+      GestureRuntime::Recover(&engine, options, factory, &stats));
+  // Reapply the post-checkpoint mutations whose WAL records the crash
+  // tore away (each independently: the crash can land between them).
+  if (!runtime->IsDeployed(kScriptSession, defs[2].name)) {
+    EPL_ASSERT_OK(
+        runtime->Deploy(kScriptSession, defs[2], Recorder(&recovered)));
+  }
+  if (runtime->IsDeployed(kScriptSession, defs[1].name)) {
+    EPL_ASSERT_OK(runtime->Undeploy(kScriptSession, defs[1].name));
+  }
+  const std::vector<SkeletonFrame>& frames = ScriptFrames();
+  const uint64_t resume = stats.ingested[kScriptSession];
+  ASSERT_LE(resume, frames.size());
+  ASSERT_GE(resume, killed ? CutK1() : frames.size());
+  for (size_t i = resume; i < frames.size(); ++i) {
+    EPL_ASSERT_OK(runtime->PushFrame(kScriptSession, frames[i]));
+  }
+  EPL_ASSERT_OK(runtime->Flush());
+
+  // The recovered stream is exactly the reference suffix from the replay
+  // cut, and the cut is covered by the child's live prefix: bit-identical
+  // content, nothing lost.
+  ASSERT_LE(recovered.size(), reference.size());
+  const size_t cut = reference.size() - recovered.size();
+  ASSERT_LE(cut, child_live.size())
+      << "a detection was neither delivered live nor recovered";
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    ASSERT_EQ(recovered[i], reference[cut + i]) << "recovered detection " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The full matrix: every registered crash point x every backend.
+
+class DurabilityCrashTest
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(DurabilityCrashTest, RecoversBitIdentically) {
+  const BackendConfig& config = kBackends[std::get<0>(GetParam())];
+  const std::string& point = std::get<1>(GetParam());
+  const std::vector<core::GestureDefinition> defs = TrainedDefinitions(3);
+  const std::vector<DetectionRecord> reference = ReferenceRun(config, defs);
+  ASSERT_FALSE(reference.empty()) << "script produced no detections";
+  RunCrashCase(config, point, /*nth=*/1, /*allow_survival=*/false, defs,
+               reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPointsAllBackends, DurabilityCrashTest,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(std::size(kBackends))),
+        ::testing::ValuesIn(durability::RegisteredCrashPoints())),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::string>>& info) {
+      return std::string(kBackends[std::get<0>(info.param)].label) + "_" +
+             std::get<1>(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// Randomized kill-point fuzz (the CI crash-recovery fuzz leg). Gated on
+// EPL_DURABILITY_FUZZ_SECONDS; EPL_FUZZ_SEED pins the RNG for repros and
+// the chosen seed is always printed.
+
+TEST(DurabilityCrashFuzz, RandomizedKillPoints) {
+  const char* seconds_env = std::getenv("EPL_DURABILITY_FUZZ_SECONDS");
+  if (seconds_env == nullptr) {
+    GTEST_SKIP() << "set EPL_DURABILITY_FUZZ_SECONDS to run the fuzz";
+  }
+  const int seconds = std::atoi(seconds_env);
+  uint64_t seed = 0;
+  if (const char* seed_env = std::getenv("EPL_FUZZ_SEED")) {
+    seed = std::strtoull(seed_env, nullptr, 10);
+  } else {
+    seed = std::random_device{}();
+  }
+  std::fprintf(stderr, "fuzzing for %ds; repro with EPL_FUZZ_SEED=%" PRIu64 "\n",
+               seconds, seed);
+  std::mt19937_64 rng(seed);
+  const std::vector<std::string>& points = durability::RegisteredCrashPoints();
+  const std::vector<core::GestureDefinition> defs = TrainedDefinitions(3);
+  std::vector<std::vector<DetectionRecord>> references;
+  for (const BackendConfig& config : kBackends) {
+    references.push_back(ReferenceRun(config, defs));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  int iteration = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const size_t which = rng() % std::size(kBackends);
+    const std::string& point = points[rng() % points.size()];
+    const int nth = 1 + static_cast<int>(rng() % 6);
+    SCOPED_TRACE("iteration " + std::to_string(iteration) + " seed " +
+                 std::to_string(seed));
+    RunCrashCase(kBackends[which], point, nth, /*allow_survival=*/true, defs,
+                 references[which]);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      std::fprintf(stderr,
+                   "fuzz failure at iteration %d: repro with "
+                   "EPL_FUZZ_SEED=%" PRIu64 "\n",
+                   iteration, seed);
+      return;
+    }
+    ++iteration;
+  }
+  std::fprintf(stderr, "fuzz clean after %d iterations\n", iteration);
+}
+
+}  // namespace
+}  // namespace epl::workflow

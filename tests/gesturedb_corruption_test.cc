@@ -1,0 +1,139 @@
+// Gesture-store robustness: LoadStore over a store with a truncated or
+// bit-flipped .gesture file must never crash, must still deploy every
+// parseable gesture, and must return an error identifying the offending
+// file. The corruption matrix truncates one record at every line boundary
+// and flips one byte in every line.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cep_workload_test_util.h"
+#include "gesturedb/serialization.h"
+#include "gesturedb/store.h"
+#include "test_util.h"
+#include "workflow/gesture_runtime.h"
+
+namespace epl::workflow {
+namespace {
+
+using cep::testing::TrainedDefinitions;
+
+/// The store's on-disk path of one gesture record.
+std::string RecordPath(const gesturedb::GestureStore& store,
+                       const std::string& name) {
+  return store.directory() + "/" + name + ".gesture";
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Runs LoadStore against `store` and returns (result, number deployed).
+std::pair<Result<int>, size_t> TryLoad(const gesturedb::GestureStore& store) {
+  stream::StreamEngine engine;
+  EPL_CHECK(engine.RegisterStream("kinect", kinect::KinectSchema()).ok());
+  GestureRuntime runtime(&engine);
+  Result<int> loaded =
+      runtime.LoadStore(store, [](const cep::Detection&) {});
+  return {std::move(loaded), runtime.num_deployed()};
+}
+
+class GestureDbCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    definitions_ = TrainedDefinitions(3);
+    EPL_ASSERT_OK_AND_ASSIGN(store_, gesturedb::GestureStore::Open(
+                                         dir_.path() + "/store"));
+    for (const core::GestureDefinition& definition : definitions_) {
+      EPL_ASSERT_OK(store_->Put(definition));
+    }
+    // The middle name in sort order: corruption must not shadow records
+    // loaded before or after it.
+    victim_ = definitions_[1].name;
+    EPL_ASSERT_OK_AND_ASSIGN(
+        good_text_,
+        durability::DefaultFileSystem()->ReadFile(
+            RecordPath(*store_, victim_)));
+  }
+
+  epl::testing::ScopedTempDir dir_;
+  std::vector<core::GestureDefinition> definitions_;
+  Result<gesturedb::GestureStore> store_{NotFoundError("not opened")};
+  std::string victim_;
+  std::string good_text_;
+};
+
+TEST_F(GestureDbCorruptionTest, CleanStoreLoadsEverything) {
+  auto [loaded, deployed] = TryLoad(*store_);
+  EPL_ASSERT_OK(loaded.status());
+  EXPECT_EQ(*loaded, 3);
+  EXPECT_EQ(deployed, 3u);
+}
+
+TEST_F(GestureDbCorruptionTest, TruncationAtEveryLineBoundary) {
+  // Field boundaries in the text format are line boundaries; truncate the
+  // victim record after every one of them (plus the empty file).
+  std::vector<size_t> cuts = {0};
+  for (size_t i = 0; i < good_text_.size(); ++i) {
+    if (good_text_[i] == '\n') cuts.push_back(i + 1);
+  }
+  for (size_t cut : cuts) {
+    if (cut == good_text_.size()) continue;  // the full file is valid
+    SCOPED_TRACE("truncated to " + std::to_string(cut) + " bytes");
+    WriteFile(RecordPath(*store_, victim_), good_text_.substr(0, cut));
+    auto [loaded, deployed] = TryLoad(*store_);
+    // Both good gestures deploy regardless of the bad record...
+    EXPECT_EQ(deployed, 2u);
+    // ...and the error identifies the offending file.
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find(victim_ + ".gesture"),
+              std::string::npos)
+        << loaded.status();
+  }
+}
+
+TEST_F(GestureDbCorruptionTest, SingleByteFlipPerLine) {
+  // One flipped byte somewhere in every line of the record. A flip may
+  // happen to produce a DIFFERENT valid record (e.g. inside a float
+  // digit); the invariants are: never crash, never lose the other
+  // records, and when the record does fail, name the file.
+  size_t line_start = 0;
+  for (size_t i = 0; i <= good_text_.size(); ++i) {
+    if (i != good_text_.size() && good_text_[i] != '\n') continue;
+    if (i > line_start) {
+      const size_t offset = line_start + (i - line_start) / 2;
+      SCOPED_TRACE("flip at offset " + std::to_string(offset));
+      std::string flipped = good_text_;
+      flipped[offset] = static_cast<char>(flipped[offset] ^ 0x11);
+      WriteFile(RecordPath(*store_, victim_), flipped);
+      auto [loaded, deployed] = TryLoad(*store_);
+      EXPECT_GE(deployed, 2u);
+      if (!loaded.ok()) {
+        EXPECT_EQ(deployed, 2u);
+        EXPECT_NE(loaded.status().message().find(victim_ + ".gesture"),
+                  std::string::npos)
+            << loaded.status();
+      } else {
+        EXPECT_EQ(deployed, 3u);
+      }
+    }
+    line_start = i + 1;
+  }
+}
+
+TEST_F(GestureDbCorruptionTest, GarbageFileDoesNotAbortTheSweep) {
+  WriteFile(RecordPath(*store_, victim_),
+            std::string("\x00\xff\x7f garbage \x01", 13));
+  auto [loaded, deployed] = TryLoad(*store_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(deployed, 2u);
+}
+
+}  // namespace
+}  // namespace epl::workflow

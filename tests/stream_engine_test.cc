@@ -170,6 +170,64 @@ TEST(OperatorsTest, ProjectOutOfRangeFails) {
   EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
 }
 
+TEST(EngineTest, UnregisterStreamFreesTheName) {
+  StreamEngine engine;
+  EPL_ASSERT_OK(engine.RegisterStream("s", TwoFieldSchema()));
+  EPL_ASSERT_OK(engine.UnregisterStream("s"));
+  EXPECT_FALSE(engine.HasStream("s"));
+  // The name is immediately reusable.
+  EPL_ASSERT_OK(engine.RegisterStream("s", TwoFieldSchema()));
+  EXPECT_EQ(engine.UnregisterStream("missing").code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, UnregisterStreamRefusesWhileDeploymentsRemain) {
+  StreamEngine engine;
+  EPL_ASSERT_OK(engine.RegisterStream("s", TwoFieldSchema()));
+  EPL_ASSERT_OK_AND_ASSIGN(DeploymentId id,
+                           engine.Deploy("s", std::make_unique<CollectSink>()));
+  EXPECT_EQ(engine.UnregisterStream("s").code(),
+            StatusCode::kFailedPrecondition);
+  EPL_ASSERT_OK(engine.Undeploy(id));
+  EPL_ASSERT_OK(engine.UnregisterStream("s"));
+}
+
+TEST(EngineTest, UnregisterStreamRefusesWhileViewsDependOnIt) {
+  StreamEngine engine;
+  EPL_ASSERT_OK(engine.RegisterStream("s", TwoFieldSchema()));
+  EPL_ASSERT_OK(engine.RegisterView(
+      "v", "s", std::make_unique<MapOperator>([](const Event& e) { return e; }),
+      TwoFieldSchema()));
+  EXPECT_EQ(engine.UnregisterStream("s").code(),
+            StatusCode::kFailedPrecondition);
+  // Removing the view first detaches its transform; then the source goes.
+  EPL_ASSERT_OK(engine.UnregisterStream("v"));
+  EPL_ASSERT_OK(engine.UnregisterStream("s"));
+  EXPECT_FALSE(engine.HasStream("v"));
+  EXPECT_FALSE(engine.HasStream("s"));
+}
+
+TEST(EngineTest, UnregisterViewStopsEventFlow) {
+  StreamEngine engine;
+  EPL_ASSERT_OK(engine.RegisterStream("s", TwoFieldSchema()));
+  EPL_ASSERT_OK(engine.RegisterView(
+      "v", "s", std::make_unique<MapOperator>([](const Event& e) { return e; }),
+      TwoFieldSchema()));
+  EPL_ASSERT_OK(engine.UnregisterStream("v"));
+  // Pushing into the source no longer routes through the dead view.
+  EPL_ASSERT_OK(engine.Push("s", Event(1, {1.0, 2.0})));
+  // Re-registering the view works and sees only new events.
+  auto transform =
+      std::make_unique<MapOperator>([](const Event& e) { return e; });
+  EPL_ASSERT_OK(engine.RegisterView("v", "s", std::move(transform),
+                                    TwoFieldSchema()));
+  auto sink = std::make_unique<CollectSink>();
+  CollectSink* sink_ptr = sink.get();
+  EPL_ASSERT_OK(engine.Deploy("v", std::move(sink)).status());
+  EPL_ASSERT_OK(engine.Push("s", Event(2, {3.0, 4.0})));
+  ASSERT_EQ(sink_ptr->events().size(), 1u);
+  EXPECT_EQ(sink_ptr->events()[0].timestamp, 2);
+}
+
 TEST(RunnerTest, ProcessesEnqueuedEvents) {
   StreamEngine engine;
   EPL_ASSERT_OK(engine.RegisterStream("s", Schema({"v"})));
