@@ -51,8 +51,10 @@ cep::MultiMatchOperator::QuerySpec MakeSpec(
 }
 
 /// One-shot cross-check: the sharded engine must produce exactly the
-/// detections of the fused single-threaded operator.
-void VerifyShardedEquivalence(int num_shards) {
+/// detections of the fused single-threaded operator, in every scheduling
+/// mode (static, work-stealing, work-stealing + pinned/spinning workers).
+void VerifyShardedEquivalence(int num_shards, bool work_stealing = false,
+                              bool pin_and_spin = false) {
   using Record = std::tuple<std::string, TimePoint, std::vector<TimePoint>>;
   std::vector<core::GestureDefinition> definitions = LearnedVariants(16);
   std::vector<Record> fused;
@@ -73,6 +75,9 @@ void VerifyShardedEquivalence(int num_shards) {
   {
     cep::ShardedEngineOptions options;
     options.num_shards = num_shards;
+    options.work_stealing = work_stealing;
+    options.pin_workers = pin_and_spin;
+    options.spin_wait_iterations = pin_and_spin ? 1000 : 0;
     cep::ShardedEngine engine(options);
     for (const core::GestureDefinition& definition : definitions) {
       cep::MultiMatchOperator::QuerySpec spec = MakeSpec(definition, nullptr);
@@ -123,6 +128,8 @@ void BM_ShardedEngineConcurrentQueries(benchmark::State& state) {
   static bool verified = [] {
     VerifyShardedEquivalence(1);
     VerifyShardedEquivalence(4);
+    VerifyShardedEquivalence(4, /*work_stealing=*/true);
+    VerifyShardedEquivalence(4, /*work_stealing=*/true, /*pin_and_spin=*/true);
     return true;
   }();
   (void)verified;
@@ -154,6 +161,58 @@ void BM_ShardedEngineConcurrentQueries(benchmark::State& state) {
 BENCHMARK(BM_ShardedEngineConcurrentQueries)
     ->ArgsProduct({{1, 2, 4, 8}, {16, 64, 256}})
     ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The CI scaling gate: wall-clock events/s at 1/2/4 shards x 256 queries
+/// with the full multi-core scheduler engaged (work stealing + pinned,
+/// spin-then-park workers). scripts/check_scaling.py consumes these rows
+/// and fails the build when 4 shards deliver < 2x the 1-shard rate on a
+/// multi-core runner.
+void BM_ShardedScaleOut(benchmark::State& state) {
+  int num_shards = static_cast<int>(state.range(0));
+  int queries = static_cast<int>(state.range(1));
+  static bool verified = [] {
+    for (int shards : {1, 2, 4}) {
+      VerifyShardedEquivalence(shards, /*work_stealing=*/true,
+                               /*pin_and_spin=*/true);
+    }
+    return true;
+  }();
+  (void)verified;
+  std::vector<core::GestureDefinition> definitions = LearnedVariants(queries);
+  uint64_t detections = 0;
+  cep::ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  options.batch_size = 64;
+  options.work_stealing = true;
+  options.pin_workers = true;
+  options.spin_wait_iterations = 2000;
+  cep::ShardedEngine engine(options);
+  for (const core::GestureDefinition& definition : definitions) {
+    engine.AddQuery(MakeSpec(definition, &detections));
+  }
+  EPL_CHECK(engine.Start().ok());
+  const std::vector<stream::Event>& events = Workload();
+  for (auto _ : state) {
+    for (const stream::Event& event : events) {
+      bool accepted = engine.Push(event);
+      benchmark::DoNotOptimize(accepted);
+    }
+    EPL_CHECK(engine.Flush().ok());
+  }
+  const uint64_t stolen = engine.stolen_batches();
+  const int pin_failures = engine.pin_failures();
+  EPL_CHECK(engine.Stop().ok());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+  state.counters["shards"] = num_shards;
+  state.counters["queries"] = queries;
+  state.counters["stolen_batches"] = static_cast<double>(stolen);
+  state.counters["pin_failures"] = pin_failures;
+  benchmark::DoNotOptimize(detections);
+}
+BENCHMARK(BM_ShardedScaleOut)
+    ->ArgsProduct({{1, 2, 4}, {256}})
     ->UseRealTime();
 
 /// Runtime gesture exchange on a live sharded stream: one AddQuery +

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh BENCH_*.json against a baseline.
+
+Compares the Google Benchmark JSON files produced by the current build
+against the same-named files from the latest main-branch run (downloaded
+as a CI artifact). Two families of named counters are gated:
+
+  * items_per_second rows (events/s and friends) -- higher is better; a
+    drop of more than --tolerance (default 15%) is a regression.
+  * the durability bench's overhead_pct counter -- lower is better; a
+    rise of more than --tolerance relative AND 2 percentage points
+    absolute is a regression (the absolute floor keeps jitter on small
+    overheads from tripping the gate).
+
+Repetition-aware: multiple "iteration" rows per benchmark are collapsed
+to their median before comparison. A missing baseline directory, file,
+or row is reported but never fails the build (first run, renamed bench,
+new bench). A summary table is written to $GITHUB_STEP_SUMMARY when set.
+
+Usage:
+  bench_compare.py --current DIR --baseline DIR [--tolerance 0.15]
+  bench_compare.py --self-test
+"""
+
+import argparse
+import glob
+import json
+import os
+import statistics
+import sys
+import tempfile
+
+OVERHEAD_ABS_FLOOR = 2.0  # percentage points
+
+
+def load_metrics(path):
+    """Returns {metric_name: median_value}; one metric per gated counter."""
+    with open(path) as fh:
+        report = json.load(fh)
+    samples = {}
+    for row in report.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        name = row.get("name", "")
+        if "items_per_second" in row:
+            samples.setdefault(f"{name} [events/s]", []).append(
+                float(row["items_per_second"]))
+        if "overhead_pct" in row:
+            samples.setdefault(f"{name} [overhead_pct]", []).append(
+                float(row["overhead_pct"]))
+    return {name: statistics.median(values) for name, values in samples.items()}
+
+
+def classify(metric, base, cur, tolerance):
+    """-> (status, delta_pct). status: 'ok' | 'regression' | 'improved'."""
+    higher_is_better = metric.endswith("[events/s]")
+    if higher_is_better:
+        delta = (cur - base) / base if base else 0.0
+        if delta < -tolerance:
+            return "regression", delta
+        return ("improved" if delta > tolerance else "ok"), delta
+    # overhead_pct: lower is better, guarded by an absolute floor.
+    delta = (cur - base) / abs(base) if base else 0.0
+    if cur - base > OVERHEAD_ABS_FLOOR and delta > tolerance:
+        return "regression", delta
+    if base - cur > OVERHEAD_ABS_FLOOR and delta < -tolerance:
+        return "improved", delta
+    return "ok", delta
+
+
+def compare_dirs(current_dir, baseline_dir, tolerance):
+    """-> (markdown_lines, regressions, notes)."""
+    lines = ["| benchmark | baseline | current | delta | status |",
+             "|---|---:|---:|---:|---|"]
+    regressions, notes = [], []
+    current_files = sorted(glob.glob(os.path.join(current_dir, "BENCH_*.json")))
+    if not current_files:
+        notes.append(f"no BENCH_*.json files under {current_dir}")
+    for current_path in current_files:
+        name = os.path.basename(current_path)
+        baseline_path = os.path.join(baseline_dir, name)
+        if not os.path.isfile(baseline_path):
+            notes.append(f"{name}: no baseline (first run of this bench?)")
+            continue
+        base_metrics = load_metrics(baseline_path)
+        cur_metrics = load_metrics(current_path)
+        for metric in sorted(cur_metrics):
+            if metric not in base_metrics:
+                notes.append(f"{name}: new metric {metric}")
+                continue
+            base, cur = base_metrics[metric], cur_metrics[metric]
+            status, delta = classify(metric, base, cur, tolerance)
+            marker = {"ok": "ok", "improved": "improved ✅",
+                      "regression": "REGRESSION ❌"}[status]
+            lines.append(f"| `{metric}` | {base:,.1f} | {cur:,.1f} "
+                         f"| {delta:+.1%} | {marker} |")
+            if status == "regression":
+                regressions.append(f"{metric}: {base:,.1f} -> {cur:,.1f} "
+                                   f"({delta:+.1%})")
+    return lines, regressions, notes
+
+
+def emit(lines, regressions, notes, tolerance):
+    body = ["## Bench comparison vs latest main", ""]
+    body += lines
+    if notes:
+        body += ["", *[f"- note: {note}" for note in notes]]
+    if regressions:
+        body += ["", f"**{len(regressions)} regression(s) beyond "
+                     f"{tolerance:.0%}:**",
+                 *[f"- {r}" for r in regressions]]
+    else:
+        body += ["", f"No regressions beyond {tolerance:.0%}."]
+    text = "\n".join(body)
+    print(text)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as fh:
+            fh.write(text + "\n")
+
+
+def synthetic_report(ips, overhead):
+    return {"benchmarks": [
+        {"name": "BM_ShardedScaleOut/4/256/real_time",
+         "run_type": "iteration", "items_per_second": ips},
+        {"name": "BM_DurabilityOverhead/64", "run_type": "iteration",
+         "overhead_pct": overhead},
+    ]}
+
+
+def self_test():
+    """Prove the gate trips on an injected regression and only then."""
+    with tempfile.TemporaryDirectory() as base, \
+         tempfile.TemporaryDirectory() as good, \
+         tempfile.TemporaryDirectory() as bad:
+        with open(os.path.join(base, "BENCH_x.json"), "w") as fh:
+            json.dump(synthetic_report(1_000_000.0, 10.0), fh)
+        # Within tolerance: -5% throughput, +1 point overhead.
+        with open(os.path.join(good, "BENCH_x.json"), "w") as fh:
+            json.dump(synthetic_report(950_000.0, 11.0), fh)
+        # Injected regressions: -30% throughput, overhead 10% -> 25%.
+        with open(os.path.join(bad, "BENCH_x.json"), "w") as fh:
+            json.dump(synthetic_report(700_000.0, 25.0), fh)
+
+        _, regressions, _ = compare_dirs(good, base, 0.15)
+        if regressions:
+            print(f"self-test FAILED: clean run flagged {regressions}")
+            return 1
+        _, regressions, _ = compare_dirs(bad, base, 0.15)
+        if len(regressions) != 2:
+            print(f"self-test FAILED: injected regressions not caught "
+                  f"(got {regressions})")
+            return 1
+        print("self-test OK: injected regression trips the gate, "
+              "in-tolerance noise does not")
+        return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", help="directory with fresh BENCH_*.json")
+    parser.add_argument("--baseline",
+                        help="directory with baseline BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate on synthetic data and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.current or not args.baseline:
+        parser.error("--current and --baseline are required (or --self-test)")
+    if not os.path.isdir(args.baseline):
+        print(f"no baseline directory at {args.baseline}; skipping comparison "
+              "(first run on this branch?)")
+        return 0
+    lines, regressions, notes = compare_dirs(args.current, args.baseline,
+                                             args.tolerance)
+    emit(lines, regressions, notes, args.tolerance)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

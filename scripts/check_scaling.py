@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI gate for multi-core scale-out of the sharded matching runtime.
+
+Reads a Google Benchmark JSON file containing BM_ShardedScaleOut rows
+(wall-clock, work-stealing + pinned workers, 256 queries) and fails when
+the N-shard configuration does not deliver at least --min-speedup x the
+1-shard wall-clock throughput.
+
+Repetition-aware: with --benchmark_repetitions=K the JSON carries K
+"iteration" rows per configuration plus mean/median/stddev aggregates; we
+take the median of the iteration rows so one noisy repetition on a shared
+runner cannot flip the gate either way.
+
+Usage:
+  check_scaling.py BENCH.json [--baseline-shards 1] [--gate-shards 4]
+                   [--min-speedup 2.0]
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+SCALEOUT_ROW = re.compile(r"^BM_ShardedScaleOut/(\d+)/(\d+)/real_time")
+
+
+def load_throughputs(path):
+    """name -> median items_per_second over iteration rows, keyed by shard count."""
+    with open(path) as fh:
+        report = json.load(fh)
+    samples = {}
+    for row in report.get("benchmarks", []):
+        match = SCALEOUT_ROW.match(row.get("name", ""))
+        if not match:
+            continue
+        # Skip mean/median/stddev aggregate rows; we aggregate ourselves.
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        ips = row.get("items_per_second")
+        if ips is None:
+            continue
+        shards = int(match.group(1))
+        samples.setdefault(shards, []).append(float(ips))
+    return {shards: statistics.median(values) for shards, values in samples.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="Google Benchmark JSON output")
+    parser.add_argument("--baseline-shards", type=int, default=1)
+    parser.add_argument("--gate-shards", type=int, default=4)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args()
+
+    throughputs = load_throughputs(args.report)
+    if not throughputs:
+        print(f"error: no BM_ShardedScaleOut iteration rows in {args.report}")
+        return 2
+    for required in (args.baseline_shards, args.gate_shards):
+        if required not in throughputs:
+            print(f"error: no BM_ShardedScaleOut rows at {required} shards "
+                  f"(have: {sorted(throughputs)})")
+            return 2
+
+    baseline = throughputs[args.baseline_shards]
+    print(f"{'shards':>8} {'events/s':>14} {'speedup':>9}")
+    for shards in sorted(throughputs):
+        speedup = throughputs[shards] / baseline
+        print(f"{shards:>8} {throughputs[shards]:>14,.0f} {speedup:>8.2f}x")
+
+    speedup = throughputs[args.gate_shards] / baseline
+    if speedup < args.min_speedup:
+        print(f"\nFAIL: {args.gate_shards}-shard wall-clock throughput is "
+              f"{speedup:.2f}x the {args.baseline_shards}-shard baseline "
+              f"(gate: >= {args.min_speedup:.2f}x)")
+        return 1
+    print(f"\nOK: {args.gate_shards} shards deliver {speedup:.2f}x "
+          f"(gate: >= {args.min_speedup:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,27 @@
 #include "common/logging.h"
 
 namespace epl::cep {
+namespace {
+
+// RAII wrapper around MultiPatternMatcher::sweeping_ (see its comment):
+// asserts that sweeps never overlap across threads.
+class ScopedSweep {
+ public:
+  explicit ScopedSweep(std::atomic<bool>& flag) : flag_(flag) {
+    EPL_CHECK(!flag_.exchange(true, std::memory_order_acquire))
+        << "concurrent MultiPatternMatcher sweep: a stolen work unit ran "
+           "without shard mutual exclusion";
+  }
+  ~ScopedSweep() { flag_.store(false, std::memory_order_release); }
+
+  ScopedSweep(const ScopedSweep&) = delete;
+  ScopedSweep& operator=(const ScopedSweep&) = delete;
+
+ private:
+  std::atomic<bool>& flag_;
+};
+
+}  // namespace
 
 MultiPatternMatcher::MultiPatternMatcher(MatcherOptions options)
     : options_(options), bank_(std::make_unique<PredicateBank>()) {}
@@ -591,6 +612,7 @@ const NfaMatcher& MultiPatternMatcher::matcher(int pattern_index) const {
 
 void MultiPatternMatcher::Process(const stream::Event& event,
                                   std::vector<MultiMatch>* out) {
+  ScopedSweep sweep(sweeping_);
   if (bank_dirty_) {
     RebuildBank();
   }
@@ -629,6 +651,7 @@ void MultiPatternMatcher::ProcessBatch(const stream::Event* events,
   if (count == 0) {
     return;
   }
+  ScopedSweep sweep(sweeping_);
   if (bank_dirty_) {
     RebuildBank();
   }

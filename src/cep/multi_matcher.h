@@ -35,6 +35,7 @@
 #ifndef EPL_CEP_MULTI_MATCHER_H_
 #define EPL_CEP_MULTI_MATCHER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -252,6 +253,14 @@ class MultiPatternMatcher {
   /// Copies the entry's arena rows into its matcher's dominant-run
   /// buffers (the arena stays authoritative unless the entry leaves it).
   void SyncRunState(const Entry& entry) const;
+
+  /// Raised for the duration of one Process/ProcessBatch sweep. A matcher
+  /// sweep is a single-executor work unit: ShardedEngine's work stealing
+  /// may run CONSECUTIVE sweeps on different threads (the handoff is
+  /// ordered by its pool lock), but never two sweeps at once -- this
+  /// trips immediately if a scheduler bug ever violates that, instead of
+  /// silently corrupting the arena.
+  std::atomic<bool> sweeping_{false};
 
   MatcherOptions options_;
   std::unique_ptr<PredicateBank> bank_;

@@ -1,11 +1,13 @@
 #include "cep/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
+#include "stream/thread_affinity.h"
 
 namespace epl::cep {
 
@@ -68,23 +70,67 @@ int PickRebalanceVictim(
   return victim;
 }
 
+int PickStealVictim(const std::vector<size_t>& backlogs,
+                    const std::vector<uint8_t>& claimable, int self) {
+  int victim = -1;
+  size_t deepest = 0;
+  for (size_t i = 0; i < backlogs.size(); ++i) {
+    if (static_cast<int>(i) == self || i >= claimable.size() ||
+        claimable[i] == 0) {
+      continue;
+    }
+    if (backlogs[i] > deepest) {
+      deepest = backlogs[i];
+      victim = static_cast<int>(i);
+    }
+  }
+  return victim;
+}
+
+int RecommendShardCount(int current_shards,
+                        const std::vector<uint64_t>& busy_ns,
+                        uint64_t elapsed_ns,
+                        const AdaptiveShardOptions& options) {
+  const int min_shards = std::max(1, options.min_shards);
+  const int max_shards = std::max(min_shards, options.max_shards);
+  const int current = std::clamp(current_shards, min_shards, max_shards);
+  if (elapsed_ns == 0 || busy_ns.empty()) {
+    return current;
+  }
+  const double elapsed = static_cast<double>(elapsed_ns);
+  double peak = 0.0;
+  double total = 0.0;
+  for (uint64_t ns : busy_ns) {
+    const double utilization = static_cast<double>(ns) / elapsed;
+    peak = std::max(peak, utilization);
+    total += utilization;
+  }
+  if (peak > options.grow_utilization && current < max_shards) {
+    return current + 1;
+  }
+  // Shrink only when the whole fleet's work would still average below the
+  // shrink threshold spread over one fewer shard -- the gap between the
+  // grow and shrink thresholds is the hysteresis band. A saturated shard
+  // vetoes shrinking even if the rest of the fleet idles (the common shape
+  // at max_shards with a skewed fleet): removing capacity under a hot
+  // bottleneck only deepens it.
+  if (current > min_shards && peak <= options.grow_utilization &&
+      total <= options.shrink_utilization * (current - 1)) {
+    return current - 1;
+  }
+  return current;
+}
+
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     : options_(options) {
   options_.num_shards = std::max(1, options_.num_shards);
   options_.batch_size = std::max<size_t>(1, options_.batch_size);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
   options_.max_query_skew = std::max(1, options_.max_query_skew);
+  options_.spin_wait_iterations = std::max(0, options_.spin_wait_iterations);
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(
-        std::make_unique<Shard>(options_.matcher, options_.queue_capacity));
-    // The worker runs each fan-out batch as one matcher sweep; the hook
-    // stamps current_seq per event so the recorders still tag matches
-    // with exact sequence numbers.
-    Shard* raw = shards_.back().get();
-    raw->op.set_batch_event_hook([raw](size_t index) {
-      raw->current_seq = raw->batch_base_seq + index;
-    });
+    shards_.push_back(MakeShard(0));
   }
   pending_batch_ = std::make_unique<Batch>();
   pending_batch_->events.reserve(options_.batch_size);
@@ -96,6 +142,25 @@ ShardedEngine::~ShardedEngine() {
   }
 }
 
+std::unique_ptr<ShardedEngine::Shard> ShardedEngine::MakeShard(
+    uint64_t base_seq) {
+  auto shard = std::make_unique<Shard>(options_.matcher);
+  // The worker runs each fan-out batch as one matcher sweep; the hook
+  // stamps current_seq per event so the recorders still tag matches with
+  // exact sequence numbers.
+  Shard* raw = shard.get();
+  raw->op.set_batch_event_hook([raw](size_t index) {
+    raw->current_seq = raw->batch_base_seq + index;
+  });
+  raw->processed_events.store(base_seq, std::memory_order_release);
+  return shard;
+}
+
+void ShardedEngine::SpawnWorkerLocked(Shard* shard, int worker_index) {
+  shard->worker = std::thread(
+      [this, shard, worker_index] { WorkerLoop(shard, worker_index); });
+}
+
 Status ShardedEngine::Start() {
   std::lock_guard<std::mutex> lock(control_mu_);
   if (running_) {
@@ -105,9 +170,12 @@ Status ShardedEngine::Start() {
     return FailedPreconditionError("sharded engine cannot be restarted");
   }
   running_ = true;
-  for (std::unique_ptr<Shard>& shard : shards_) {
-    shard->worker =
-        std::thread([this, raw = shard.get()] { WorkerLoop(raw); });
+  last_adapt_time_ = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // The affinity slot is the shard's fleet position: shrink always
+    // retires from the back, so a surviving shard keeps its slot and a
+    // later grow re-fills the freed CPUs.
+    SpawnWorkerLocked(shards_[i].get(), static_cast<int>(i));
   }
   return OkStatus();
 }
@@ -124,6 +192,14 @@ bool ShardedEngine::Push(stream::Event event) {
   if (pending_batch_->events.size() >= options_.batch_size) {
     FlushBatch();
   }
+  if (options_.adaptive.enabled &&
+      next_seq_ - last_adapt_seq_ >= options_.adaptive.check_every_events) {
+    last_adapt_seq_ = next_seq_;
+    // Sizing is advisory on the hot path: a failed resize (a shard error
+    // surfacing mid-migration) is reported by the next Flush/Stop, not by
+    // Push.
+    AdaptShardCountLocked().ok();
+  }
   return true;
 }
 
@@ -138,8 +214,9 @@ Status ShardedEngine::Flush() {
   FlushBatch();
   const uint64_t target = next_seq_;
   {
-    std::unique_lock<std::mutex> lock(progress_mu_);
-    progress_cv_.wait(lock, [this, target] { return MinProcessed() >= target; });
+    std::unique_lock<std::mutex> pool_lock(pool_mu_);
+    control_cv_.wait(pool_lock,
+                     [this, target] { return MinProcessed() >= target; });
   }
   DrainAndDeliver();
   return FirstShardError();
@@ -154,9 +231,15 @@ Status ShardedEngine::Stop() {
     return FailedPreconditionError("sharded engine not running");
   }
   FlushBatch();
-  for (std::unique_ptr<Shard>& shard : shards_) {
-    shard->queue.Close();
+  const uint64_t target = next_seq_;
+  {
+    std::unique_lock<std::mutex> pool_lock(pool_mu_);
+    control_cv_.wait(pool_lock,
+                     [this, target] { return MinProcessed() >= target; });
+    shutdown_ = true;
+    work_epoch_.fetch_add(1, std::memory_order_release);
   }
+  work_cv_.notify_all();
   for (std::unique_ptr<Shard>& shard : shards_) {
     if (shard->worker.joinable()) {
       shard->worker.join();
@@ -236,6 +319,166 @@ void ShardedEngine::ResetMatchers() {
   if (live) {
     ResumeWorkers();
   }
+}
+
+Status ShardedEngine::Resize(int num_shards) {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "Resize from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return ResizeLocked(num_shards);
+}
+
+Status ShardedEngine::ResizeLocked(int num_shards) {
+  if (stopped_) {
+    return FailedPreconditionError("sharded engine is stopped");
+  }
+  const size_t target = static_cast<size_t>(std::max(1, num_shards));
+  if (target == shards_.size()) {
+    return OkStatus();
+  }
+  const bool live = running_;
+  if (live) {
+    PauseWorkers();
+    DrainAndDeliver();
+  }
+  if (target > shards_.size()) {
+    // Grow: fresh shards are born at the quiesce boundary. Pre-advancing
+    // them to next_seq_ keeps the fleet watermark exact -- they have by
+    // definition processed every event pushed so far (none of their
+    // queries existed earlier).
+    const size_t old_count = shards_.size();
+    std::vector<std::unique_ptr<Shard>> born;
+    while (old_count + born.size() < target) {
+      std::unique_ptr<Shard> shard = MakeShard(next_seq_);
+      // Born parked: ResumeWorkers releases the whole fleet uniformly.
+      shard->parked = live;
+      born.push_back(std::move(shard));
+    }
+    {
+      std::lock_guard<std::mutex> pool_lock(pool_mu_);
+      for (std::unique_ptr<Shard>& shard : born) {
+        shards_.push_back(std::move(shard));
+      }
+    }
+    if (live) {
+      for (size_t i = old_count; i < shards_.size(); ++i) {
+        SpawnWorkerLocked(shards_[i].get(), static_cast<int>(i));
+      }
+    }
+  } else {
+    // Shrink: migrate every query off the doomed shards [target, size)
+    // onto a survivor, live matcher and all -- identical mechanics to
+    // Rebalance, just with a forced source set.
+    Status migrate_status;
+    for (auto& [query_id, info] : queries_) {
+      if (static_cast<size_t>(info.shard) < target) {
+        continue;
+      }
+      Result<MultiMatchOperator::DetachedQuery> detached =
+          shards_[static_cast<size_t>(info.shard)]->op.ExtractQuery(
+              info.local_id);
+      EPL_CHECK(detached.ok()) << detached.status();
+      uint64_t lightest = UINT64_MAX;
+      int destination_index = 0;
+      std::vector<uint64_t> weights = ShardWeightsLocked();
+      for (size_t s = 0; s < target; ++s) {
+        if (weights[s] < lightest) {
+          lightest = weights[s];
+          destination_index = static_cast<int>(s);
+        }
+      }
+      Shard* destination =
+          shards_[static_cast<size_t>(destination_index)].get();
+      detached->callback = MakeRecorder(destination, query_id);
+      info.local_id = destination->op.AdoptQuery(std::move(detached).value());
+      info.shard = destination_index;
+    }
+    std::vector<std::unique_ptr<Shard>> doomed;
+    {
+      std::lock_guard<std::mutex> pool_lock(pool_mu_);
+      while (shards_.size() > target) {
+        shards_.back()->retired = true;
+        doomed.push_back(std::move(shards_.back()));
+        shards_.pop_back();
+      }
+      work_epoch_.fetch_add(1, std::memory_order_release);
+    }
+    work_cv_.notify_all();
+    for (std::unique_ptr<Shard>& shard : doomed) {
+      if (shard->worker.joinable()) {
+        shard->worker.join();
+      }
+      // Quiesce delivered everything below the watermark == next_seq_, so
+      // a doomed shard can have no match left to lose.
+      EPL_CHECK(shard->pending.empty())
+          << "retired shard still held undelivered matches";
+      if (migrate_status.ok() && !shard->status.ok()) {
+        migrate_status = shard->status;
+      }
+    }
+    if (!migrate_status.ok()) {
+      if (live) {
+        Rebalance();
+        ResumeWorkers();
+      }
+      return migrate_status;
+    }
+  }
+  ++resize_count_;
+  Rebalance();
+  if (live) {
+    ResumeWorkers();
+  }
+  return OkStatus();
+}
+
+Status ShardedEngine::AdaptShardCount() {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "AdaptShardCount from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return AdaptShardCountLocked();
+}
+
+Status ShardedEngine::AdaptShardCountLocked() {
+  if (stopped_) {
+    return FailedPreconditionError("sharded engine is stopped");
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const bool first_check =
+      last_adapt_time_ == std::chrono::steady_clock::time_point{};
+  const uint64_t elapsed_ns = first_check
+      ? 0
+      : static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - last_adapt_time_)
+                .count());
+  last_adapt_time_ = now;
+  std::vector<uint64_t> busy;
+  busy.reserve(shards_.size());
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    const uint64_t total = shard->busy_ns.load(std::memory_order_relaxed);
+    busy.push_back(total - shard->busy_ns_checkpoint);
+    shard->busy_ns_checkpoint = total;
+  }
+  if (first_check || elapsed_ns == 0) {
+    return OkStatus();  // baseline established; nothing to recommend yet
+  }
+  const int target =
+      RecommendShardCount(static_cast<int>(shards_.size()), busy, elapsed_ns,
+                          options_.adaptive);
+  if (target == static_cast<int>(shards_.size())) {
+    return OkStatus();
+  }
+  Status status = ResizeLocked(target);
+  // The resize quiesce itself consumed wall-clock; restart the window so
+  // the pause is not billed as idle time to the new fleet.
+  last_adapt_time_ = std::chrono::steady_clock::now();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->busy_ns_checkpoint = shard->busy_ns.load(std::memory_order_relaxed);
+  }
+  return status;
 }
 
 Result<std::vector<std::pair<int, NfaRunState>>>
@@ -374,6 +617,40 @@ uint64_t ShardedEngine::rebalanced_queries() const {
   return rebalanced_queries_;
 }
 
+uint64_t ShardedEngine::stolen_batches() const {
+  return stolen_batches_.load(std::memory_order_relaxed);
+}
+
+int ShardedEngine::pin_failures() const {
+  return pin_failures_.load(std::memory_order_relaxed);
+}
+
+uint64_t ShardedEngine::resize_count() const {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "resize_count from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return resize_count_;
+}
+
+int ShardedEngine::num_shards() const {
+  // pool_mu_, not control_mu_: the shard vector's shape only changes under
+  // both, and pool_mu_ is never held while user callbacks run -- so this
+  // stays callable from a detection callback (e.g. operator name()).
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return static_cast<int>(shards_.size());
+}
+
+std::vector<uint64_t> ShardedEngine::shard_busy_ns() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  std::vector<uint64_t> busy;
+  busy.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    busy.push_back(shard->busy_ns.load(std::memory_order_relaxed));
+  }
+  return busy;
+}
+
 int ShardedEngine::shard_of(int query_id) const {
   EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
             std::this_thread::get_id())
@@ -404,76 +681,162 @@ std::vector<size_t> ShardedEngine::shard_query_counts() const {
   return counts;
 }
 
-void ShardedEngine::WorkerLoop(Shard* shard) {
+void ShardedEngine::WorkerLoop(Shard* primary, int worker_index) {
+  if (options_.pin_workers &&
+      !stream::PinCurrentThreadToAffinitySlot(worker_index)) {
+    pin_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::unique_lock<std::mutex> lock(pool_mu_);
   while (true) {
-    std::optional<Command> command = shard->queue.Pop();
-    if (!command.has_value()) {
-      return;  // closed and drained
+    if (primary->retired) {
+      return;
     }
-    if (command->batch == nullptr) {
-      ParkAtBarrier();
+    Shard* victim = PickRunnableLocked(primary);
+    if (victim == nullptr) {
+      if (shutdown_) {
+        return;
+      }
+      const uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
+      if (options_.spin_wait_iterations > 0) {
+        // Spin-then-park: poll the epoch outside the lock -- a producer
+        // batching every few microseconds usually republishes before the
+        // spin budget runs out, saving the futex round trip.
+        lock.unlock();
+        bool republished = false;
+        for (int i = 0; i < options_.spin_wait_iterations; ++i) {
+          if (work_epoch_.load(std::memory_order_acquire) != epoch) {
+            republished = true;
+            break;
+          }
+          stream::CpuRelax();
+        }
+        lock.lock();
+        if (republished ||
+            work_epoch_.load(std::memory_order_acquire) != epoch) {
+          continue;
+        }
+      }
+      work_cv_.wait(lock, [this, primary, epoch] {
+        return work_epoch_.load(std::memory_order_relaxed) != epoch ||
+               shutdown_ || primary->retired;
+      });
       continue;
     }
-    const Batch& batch = *command->batch;
-    // The whole fan-out batch runs as ONE matcher sweep: the shard's bank
-    // answers all events in one pass per field and every pattern advances
-    // across the window before the next pattern is touched. The operator's
-    // batch-event hook keeps current_seq exact per event.
-    shard->batch_base_seq = batch.base_seq;
-    Status status =
-        shard->op.ProcessBatch(batch.events.data(), batch.events.size());
-    if (!status.ok()) {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      if (shard->status.ok()) {
-        shard->status = status;
-      }
+    std::shared_ptr<const Batch> batch = std::move(victim->queue.front());
+    victim->queue.pop_front();
+    if (batch == nullptr) {
+      // Sync token: the shard parks at the control barrier. Consuming it
+      // required the shard idle (not busy), so every prior batch of the
+      // shard is fully processed -- the quiesce invariant.
+      victim->parked = true;
+      control_cv_.notify_all();
+      continue;
     }
-    if (!shard->local.empty()) {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      for (PendingMatch& match : shard->local) {
-        shard->pending.push_back(std::move(match));
-      }
-      shard->local.clear();
+    victim->busy = true;
+    if (victim != primary) {
+      stolen_batches_.fetch_add(1, std::memory_order_relaxed);
     }
-    shard->processed_events.store(batch.base_seq + batch.events.size(),
-                                  std::memory_order_release);
-    {
-      // Lock/unlock pairs the notify with the waiter's predicate check.
-      std::lock_guard<std::mutex> lock(progress_mu_);
+    lock.unlock();
+    ExecuteBatch(victim, *batch);
+    batch.reset();
+    lock.lock();
+    victim->busy = false;
+    if (!victim->queue.empty()) {
+      // The shard is claimable again and still has work: republish it to
+      // whichever worker is idle (possibly this one, next iteration).
+      work_epoch_.fetch_add(1, std::memory_order_release);
+      work_cv_.notify_all();
     }
-    progress_cv_.notify_all();
+    control_cv_.notify_all();
   }
 }
 
-void ShardedEngine::ParkAtBarrier() {
-  std::unique_lock<std::mutex> lock(barrier_mu_);
-  ++parked_;
-  barrier_cv_.notify_all();
-  const uint64_t generation = resume_generation_;
-  barrier_cv_.wait(
-      lock, [this, generation] { return resume_generation_ != generation; });
-  --parked_;
-  barrier_cv_.notify_all();
+ShardedEngine::Shard* ShardedEngine::PickRunnableLocked(Shard* primary) {
+  const auto claimable = [](const Shard& shard) {
+    return !shard.busy && !shard.parked && !shard.retired;
+  };
+  if (claimable(*primary) && !primary->queue.empty()) {
+    return primary;  // own shard first: its bank and arena are cache-hot
+  }
+  if (!options_.work_stealing) {
+    return nullptr;
+  }
+  steal_backlogs_.clear();
+  steal_claimable_.clear();
+  int self = -1;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard* shard = shards_[i].get();
+    if (shard == primary) {
+      self = static_cast<int>(i);
+    }
+    steal_backlogs_.push_back(shard->queue.size());
+    steal_claimable_.push_back(claimable(*shard) ? 1 : 0);
+  }
+  const int victim = PickStealVictim(steal_backlogs_, steal_claimable_, self);
+  return victim < 0 ? nullptr : shards_[static_cast<size_t>(victim)].get();
+}
+
+void ShardedEngine::ExecuteBatch(Shard* shard, const Batch& batch) {
+  const auto started = std::chrono::steady_clock::now();
+  // The whole fan-out batch runs as ONE matcher sweep: the shard's bank
+  // answers all events in one pass per field and every pattern advances
+  // across the window before the next pattern is touched. The operator's
+  // batch-event hook keeps current_seq exact per event.
+  shard->batch_base_seq = batch.base_seq;
+  Status status =
+      shard->op.ProcessBatch(batch.events.data(), batch.events.size());
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->status.ok()) {
+      shard->status = status;
+    }
+  }
+  if (!shard->local.empty()) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (PendingMatch& match : shard->local) {
+      shard->pending.push_back(std::move(match));
+    }
+    shard->local.clear();
+  }
+  shard->processed_events.store(batch.base_seq + batch.events.size(),
+                                std::memory_order_release);
+  shard->busy_ns.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count()),
+      std::memory_order_relaxed);
 }
 
 void ShardedEngine::PauseWorkers() {
   FlushBatch();
-  for (std::unique_ptr<Shard>& shard : shards_) {
-    shard->queue.Push(Command{});  // sync token
+  {
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      shard->queue.push_back(nullptr);  // sync token
+    }
+    work_epoch_.fetch_add(1, std::memory_order_release);
+    work_cv_.notify_all();
+    control_cv_.wait(lock, [this] {
+      for (const std::unique_ptr<Shard>& shard : shards_) {
+        if (!shard->parked || shard->busy) {
+          return false;
+        }
+      }
+      return true;
+    });
   }
-  std::unique_lock<std::mutex> lock(barrier_mu_);
-  barrier_cv_.wait(lock, [this] {
-    return parked_ == static_cast<int>(shards_.size());
-  });
 }
 
 void ShardedEngine::ResumeWorkers() {
-  std::unique_lock<std::mutex> lock(barrier_mu_);
-  ++resume_generation_;
-  barrier_cv_.notify_all();
-  // Wait for the full release so a back-to-back pause cannot mistake these
-  // parks for its own quiesce point.
-  barrier_cv_.wait(lock, [this] { return parked_ == 0; });
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      shard->parked = false;
+    }
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
 }
 
 void ShardedEngine::FlushBatch() {
@@ -485,9 +848,26 @@ void ShardedEngine::FlushBatch() {
   std::shared_ptr<const Batch> batch = std::move(pending_batch_);
   pending_batch_ = std::make_unique<Batch>();
   pending_batch_->events.reserve(options_.batch_size);
-  for (std::unique_ptr<Shard>& shard : shards_) {
-    shard->queue.Push(Command{batch});
+  {
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    // Backpressure: block until every shard FIFO has room. Waiting for
+    // the slowest shard before enqueueing anywhere keeps per-shard
+    // backlog spread bounded by the capacity, which is what makes the
+    // deepest-backlog steal heuristic meaningful.
+    control_cv_.wait(lock, [this] {
+      for (const std::unique_ptr<Shard>& shard : shards_) {
+        if (shard->queue.size() >= options_.queue_capacity) {
+          return false;
+        }
+      }
+      return true;
+    });
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      shard->queue.push_back(batch);
+    }
+    work_epoch_.fetch_add(1, std::memory_order_release);
   }
+  work_cv_.notify_all();
   DrainAndDeliver();
 }
 
@@ -602,7 +982,7 @@ void ShardedEngine::Rebalance() {
     const std::vector<uint64_t> weights = ShardWeightsLocked();
     int min_shard = 0;
     int max_shard = 0;
-    for (int i = 1; i < num_shards(); ++i) {
+    for (int i = 1; i < static_cast<int>(shards_.size()); ++i) {
       const size_t s = static_cast<size_t>(i);
       if (weights[s] < weights[static_cast<size_t>(min_shard)]) {
         min_shard = i;

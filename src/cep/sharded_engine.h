@@ -4,48 +4,60 @@
 // One fused MultiMatchOperator (PR 1) removes the O(queries x states)
 // per-event predicate cost but still runs on a single thread. This layer
 // scales it across cores: N shards each own a full matching stack
-// (PredicateBank + MultiMatchOperator) and a private bounded input queue;
-// deployed queries are partitioned across the shards, so each shard
-// evaluates a bank that is ~1/N the size and runs ~1/N of the NFAs.
+// (PredicateBank + MultiMatchOperator) and a private FIFO of fan-out
+// batches; deployed queries are partitioned across the shards, so each
+// shard evaluates a bank that is ~1/N the size and runs ~1/N of the NFAs.
 //
 // Dataflow (single producer thread, e.g. a StreamEngine dispatch thread or
 // an EngineRunner worker):
 //
 //   Push(event) --> [batch of B events, one shared copy] --fan-out-->
-//     shard 0 queue --> worker 0: bank eval + NFA advance for its queries
+//     shard 0 FIFO --> some worker: bank eval + NFA advance for shard 0
 //     ...
-//     shard N-1 queue --> worker N-1
+//     shard N-1 FIFO --> some worker
+//
+// Execution is scheduled from a shared pool: every shard spawns one
+// worker, each worker prefers its own shard's FIFO (cache-hot bank and
+// arena), and -- with `work_stealing` on -- an idle worker claims the next
+// batch of the deepest-backlog shard instead of sleeping, so one skewed
+// shard cannot idle the other cores. A shard's batches always execute one
+// at a time in FIFO order (a busy flag makes the shard a unit of mutual
+// exclusion), which is why stealing cannot change any shard's event order.
 //
 // Matches are recorded per shard as (event-seq, query-id, Detection) and
 // merged back on the producer thread in deterministic (event-seq,
 // query-id) order -- the exact order a single fused operator would emit,
-// regardless of shard count, worker timing, or rebalancing. Merging only
-// releases matches up to the fleet-wide watermark (the smallest event
-// sequence every shard has fully processed), so delivery is totally
-// ordered and reproducible; delivery happens during Push (batch
+// regardless of shard count, worker timing, stealing, or rebalancing.
+// Merging only releases matches up to the fleet-wide watermark (the
+// smallest event sequence every shard has fully processed), so delivery is
+// totally ordered and reproducible; delivery happens during Push (batch
 // boundaries), Flush(), Stop(), and control operations.
 //
 // The query set is dynamic: AddQuery/RemoveQuery work while the stream is
 // live. Control operations quiesce the shards at an exact event boundary
-// (a sync token through every input queue), deliver all pending matches,
+// (a sync token through every shard FIFO), deliver all pending matches,
 // mutate, rebalance, and resume -- so every query observes a precise
 // prefix/suffix of the stream and surviving queries keep their partial
-// runs (rebalancing moves the live NfaMatcher between shards). The
-// equivalence property tests in tests/cep_dynamic_queries_test.cc pin
-// these semantics down.
+// runs (rebalancing moves the live NfaMatcher between shards). The same
+// mechanism powers Resize(): the worker fleet itself can grow or shrink
+// at an event boundary, migrating every doomed shard's queries -- partial
+// runs, statistics and all -- onto the survivors; AdaptShardCount() drives
+// that from observed per-shard busy time. The equivalence property tests
+// in tests/cep_dynamic_queries_test.cc pin these semantics down.
 //
 // Threading contract: at most one producer may Push at a time, but
-// control operations (AddQuery/RemoveQuery/Flush/Stop/ResetMatchers) may
-// come from ANY thread -- a control mutex serializes them against the
-// producer, so an application thread can exchange gestures while an
-// EngineRunner worker drives the stream. Detection callbacks run on
-// whichever thread performed the delivering call and must not call back
-// into the engine.
+// control operations (AddQuery/RemoveQuery/Flush/Stop/ResetMatchers/
+// Resize) may come from ANY thread -- a control mutex serializes them
+// against the producer, so an application thread can exchange gestures
+// while an EngineRunner worker drives the stream. Detection callbacks run
+// on whichever thread performed the delivering call and must not call
+// back into the engine.
 
 #ifndef EPL_CEP_SHARDED_ENGINE_H_
 #define EPL_CEP_SHARDED_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -59,10 +71,31 @@
 #include <vector>
 
 #include "cep/multi_match_operator.h"
-#include "stream/bounded_queue.h"
 #include "stream/operator.h"
 
 namespace epl::cep {
+
+/// Policy knobs for AdaptShardCount(): grow/shrink the shard fleet from
+/// observed per-shard busy time (the fraction of wall-clock each worker
+/// spent executing batches since the previous check).
+struct AdaptiveShardOptions {
+  /// Also run the check automatically from Push every
+  /// `check_every_events` pushed events (otherwise the application calls
+  /// AdaptShardCount() at its own cadence).
+  bool enabled = false;
+  int min_shards = 1;
+  int max_shards = 8;
+  /// Events between automatic checks when `enabled`.
+  uint64_t check_every_events = 8192;
+  /// Grow by one shard when the busiest shard's utilization (busy time /
+  /// elapsed wall-clock) exceeds this -- the bottleneck shard is
+  /// saturated and splitting its query set buys wall-clock.
+  double grow_utilization = 0.75;
+  /// Shrink by one shard when the fleet's TOTAL utilization would still
+  /// fit under this per-shard average on one fewer shard -- the fleet is
+  /// mostly idle and fewer workers mean fewer fan-out copies and wakeups.
+  double shrink_utilization = 0.25;
+};
 
 struct ShardedEngineOptions {
   /// Number of worker shards (clamped to >= 1).
@@ -75,7 +108,7 @@ struct ShardedEngineOptions {
   /// Larger batches raise throughput, smaller ones lower match delivery
   /// latency (a live 30 Hz stream wants ~1-8, an offline replay 32+).
   size_t batch_size = 32;
-  /// Capacity of each shard's input queue, in batches. A full queue blocks
+  /// Capacity of each shard's input FIFO, in batches. A full FIFO blocks
   /// the producer (backpressure).
   size_t queue_capacity = 64;
   /// Matcher options shared by every shard.
@@ -93,6 +126,26 @@ struct ShardedEngineOptions {
   /// this; throughput deployments should leave it off and Flush at
   /// convenient boundaries instead. Only read by ShardedMatchOperator.
   bool sync_delivery = false;
+  /// Work stealing: an idle worker executes the next pending batch of the
+  /// deepest-backlog shard instead of parking. Pays off when per-shard
+  /// costs are skewed (one hot query set); a perfectly balanced fleet
+  /// steals nothing. Output is bit-identical either way -- each shard's
+  /// batches still run one at a time in FIFO order and the watermark
+  /// merge fixes delivery order.
+  bool work_stealing = false;
+  /// Pin worker i to the i-th CPU of the process affinity mask (see
+  /// stream/thread_affinity.h). Keeps each shard's bank and arena
+  /// cache-hot under the OS scheduler's migrations; leave off when the
+  /// process shares its cores with other loads. Pin failures are counted
+  /// (pin_failures()), never fatal.
+  bool pin_workers = false;
+  /// Iterations an idle worker polls for new work before blocking on the
+  /// pool condition variable. Spinning trades idle CPU for wakeup
+  /// latency; ~1000s of iterations covers a producer that batches every
+  /// few microseconds. 0 parks immediately.
+  int spin_wait_iterations = 0;
+  /// Adaptive fleet sizing (see AdaptiveShardOptions).
+  AdaptiveShardOptions adaptive;
 };
 
 /// Cost heuristic of one deployed query for shard placement: total NFA
@@ -128,6 +181,31 @@ int PickRebalanceVictim(const std::vector<uint64_t>& shard_weights,
                         const std::vector<std::pair<int, uint64_t>>& candidates,
                         uint64_t max_skew);
 
+/// Pure steal policy behind the worker scheduler, exposed for direct unit
+/// testing. `backlogs` is each shard's pending-batch count; `claimable[i]`
+/// says shard i may be claimed right now (not busy, not parked at a
+/// control barrier, not retired). Returns the claimable shard (excluding
+/// `self`, the thief's own shard) with the deepest backlog -- the shard
+/// most behind the producer is the one gating the fleet watermark --
+/// lowest index on ties, or -1 when no other shard has stealable work.
+int PickStealVictim(const std::vector<size_t>& backlogs,
+                    const std::vector<uint8_t>& claimable, int self);
+
+/// Pure fleet-sizing policy behind ShardedEngine::AdaptShardCount, exposed
+/// for direct unit testing. `busy_ns[i]` is shard i's batch-execution time
+/// over the `elapsed_ns` observation window. Returns the recommended shard
+/// count within [min_shards, max_shards]: one more than `current_shards`
+/// when the busiest shard exceeds `grow_utilization` (the bottleneck is
+/// saturated), one fewer when the total utilization still fits under
+/// `shrink_utilization` per shard on a fleet of current_shards - 1, and
+/// `current_shards` (clamped) otherwise. Single steps keep resizes cheap
+/// and the policy hysteretic: grow reacts to one saturated shard, shrink
+/// only to a mostly idle fleet.
+int RecommendShardCount(int current_shards,
+                        const std::vector<uint64_t>& busy_ns,
+                        uint64_t elapsed_ns,
+                        const AdaptiveShardOptions& options);
+
 class ShardedEngine {
  public:
   using QuerySpec = MultiMatchOperator::QuerySpec;
@@ -151,7 +229,7 @@ class ShardedEngine {
   /// delivers all pending matches. Error if not running.
   Status Flush();
 
-  /// Drains the queues, joins the workers, delivers all remaining matches,
+  /// Drains the FIFOs, joins the workers, delivers all remaining matches,
   /// and returns the first shard error (if any). The engine cannot be
   /// restarted.
   Status Stop();
@@ -170,6 +248,24 @@ class ShardedEngine {
   /// Discards the partial runs of every query (delivering already
   /// completed matches first when live).
   void ResetMatchers();
+
+  /// Grows or shrinks the worker fleet to `num_shards` (clamped to >= 1)
+  /// at a quiesced event boundary. Surviving and migrated queries keep
+  /// their partial runs, statistics, and stable ids: shrinking extracts
+  /// every query from the doomed shards and adopts it on a survivor
+  /// before the doomed workers are joined; growing spawns fresh shards
+  /// (pre-advanced to the current watermark) and rebalances onto them.
+  /// Queries observe an exact prefix/suffix of the stream across the
+  /// resize, exactly like AddQuery. Callable from any thread (not a
+  /// detection callback), before Start or while live; error once stopped.
+  Status Resize(int num_shards);
+
+  /// One adaptive-sizing check: measures each shard's busy time since the
+  /// previous check and resizes the fleet per RecommendShardCount (see
+  /// ShardedEngineOptions::adaptive). The first call only establishes the
+  /// observation baseline. Also runs automatically from Push every
+  /// `adaptive.check_every_events` events when `adaptive.enabled`.
+  Status AdaptShardCount();
 
   /// One query's live matcher statistics, as aggregated by QueryStats().
   struct QueryStatsSnapshot {
@@ -199,7 +295,7 @@ class ShardedEngine {
   /// shards and are never reset by an exchange.
   std::vector<QueryStatsSnapshot> QueryStats();
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const;
   size_t num_queries() const;
   bool running() const;
   /// Events fully processed by every shard.
@@ -212,6 +308,15 @@ class ShardedEngine {
   std::vector<uint64_t> shard_weights() const;
   /// Queries moved between shards by rebalancing so far.
   uint64_t rebalanced_queries() const;
+  /// Batches executed by a worker other than the shard's own (work
+  /// stealing). 0 unless options.work_stealing.
+  uint64_t stolen_batches() const;
+  /// Worker pin attempts that the platform rejected (pin_workers only).
+  int pin_failures() const;
+  /// Fleet resizes performed (Resize / AdaptShardCount) so far.
+  uint64_t resize_count() const;
+  /// Cumulative batch-execution time per shard, in shard order.
+  std::vector<uint64_t> shard_busy_ns() const;
 
  private:
   /// One completed match awaiting watermark release.
@@ -222,27 +327,34 @@ class ShardedEngine {
   };
 
   /// A fan-out unit: consecutive events [base_seq, base_seq + size), one
-  /// copy shared by every shard.
+  /// copy shared by every shard. A nullptr entry in a shard FIFO is a
+  /// sync token: consuming it parks the shard at the control barrier.
   struct Batch {
     uint64_t base_seq = 0;
     std::vector<stream::Event> events;
   };
 
-  /// Queue item: a batch to process, or (batch == nullptr) a sync token
-  /// telling the worker to park at the control barrier.
-  struct Command {
-    std::shared_ptr<const Batch> batch;
-  };
-
   struct Shard {
-    Shard(const MatcherOptions& matcher_options, size_t queue_capacity)
-        : op(matcher_options), queue(queue_capacity) {}
+    explicit Shard(const MatcherOptions& matcher_options)
+        : op(matcher_options) {}
 
     MultiMatchOperator op;
-    stream::BoundedQueue<Command> queue;
     std::thread worker;
 
-    // Worker-thread-only state while processing a batch. current_seq is
+    // Scheduler state, guarded by the engine's pool_mu_. `queue` is the
+    // shard's FIFO of fan-out batches (nullptr = sync token); `busy`
+    // marks a worker currently executing a batch of this shard (the
+    // shard-level mutual exclusion that makes stealing safe); `parked`
+    // marks a consumed sync token awaiting ResumeWorkers; `retired`
+    // tells the shard's own worker to exit (Resize shrink).
+    std::deque<std::shared_ptr<const Batch>> queue;
+    bool busy = false;
+    bool parked = false;
+    bool retired = false;
+
+    // Executor-only state while processing a batch -- exactly one worker
+    // executes a shard at a time (the busy flag), and the pool lock
+    // orders the handoff between consecutive executors. current_seq is
     // stamped per event by the operator's batch-event hook (base_seq +
     // in-batch index) so recorded matches carry exact sequence numbers
     // even though the whole batch runs as one matcher sweep.
@@ -256,6 +368,10 @@ class ShardedEngine {
 
     /// Events fully processed (matches published to `pending`).
     std::atomic<uint64_t> processed_events{0};
+    /// Cumulative batch-execution wall time.
+    std::atomic<uint64_t> busy_ns{0};
+    /// busy_ns at the previous AdaptShardCount check (control_mu_).
+    uint64_t busy_ns_checkpoint = 0;
   };
 
   struct QueryInfo {
@@ -268,10 +384,20 @@ class ShardedEngine {
     DetectionCallback callback;
   };
 
-  void WorkerLoop(Shard* shard);
-  void ParkAtBarrier();
+  /// Creates a shard with its batch-event hook installed, pre-advanced to
+  /// `base_seq` (a shard born mid-stream must not drag the fleet
+  /// watermark back to zero).
+  std::unique_ptr<Shard> MakeShard(uint64_t base_seq);
+  void SpawnWorkerLocked(Shard* shard, int worker_index);
+  void WorkerLoop(Shard* primary, int worker_index);
+  /// Next shard this worker may execute: its own when runnable, else --
+  /// work stealing only -- PickStealVictim over the fleet. pool_mu_ held.
+  Shard* PickRunnableLocked(Shard* primary);
+  /// Runs one fan-out batch on `shard` (no engine locks held; the
+  /// caller claimed the shard via its busy flag).
+  void ExecuteBatch(Shard* shard, const Batch& batch);
   /// Flushes the partial batch, sends sync tokens, and waits until every
-  /// worker is parked (all prior events fully processed).
+  /// shard is parked (all prior events fully processed).
   void PauseWorkers();
   void ResumeWorkers();
   /// Enqueues the pending partial batch to every shard.
@@ -279,6 +405,11 @@ class ShardedEngine {
   /// Delivers every merged match below the fleet watermark.
   void DrainAndDeliver();
   uint64_t MinProcessed() const;
+  /// Resize body (control_mu_ held). `live` quiesce/resume is handled by
+  /// the caller when part of a larger quiesced section.
+  Status ResizeLocked(int num_shards);
+  /// AdaptShardCount body (control_mu_ held).
+  Status AdaptShardCountLocked();
   /// Per shard, the map from a query's local id to its current index in
   /// that shard's operator (one walk per operator instead of an O(Q^2)
   /// FindQuery scan per query; control_mu_ held).
@@ -300,7 +431,7 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // Serializes the producer (Push) against control operations
-  // (Add/Remove/Flush/Stop/Reset) and guards all state below it.
+  // (Add/Remove/Flush/Stop/Reset/Resize) and guards all state below it.
   mutable std::mutex control_mu_;
   std::unique_ptr<Batch> pending_batch_;
   uint64_t next_seq_ = 0;
@@ -314,17 +445,31 @@ class ShardedEngine {
   std::map<int, QueryInfo> queries_;
   int next_query_id_ = 0;
   uint64_t rebalanced_queries_ = 0;
+  uint64_t resize_count_ = 0;
+  // AdaptShardCount observation window (control_mu_).
+  std::chrono::steady_clock::time_point last_adapt_time_{};
+  uint64_t last_adapt_seq_ = 0;
 
   bool running_ = false;
   bool stopped_ = false;
 
-  // Worker progress (batch completions) and control barrier.
-  mutable std::mutex progress_mu_;
-  std::condition_variable progress_cv_;
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int parked_ = 0;
-  uint64_t resume_generation_ = 0;
+  // Shared scheduler pool. pool_mu_ guards every Shard's scheduler state
+  // (queue/busy/parked/retired), the shards_ vector shape, and shutdown_.
+  // work_cv_ wakes workers (new batch, resume, retire, shutdown);
+  // control_cv_ wakes the producer/control side (backpressure space,
+  // progress toward a watermark, a shard parking). work_epoch_ increments
+  // on every worker-visible wakeup so idle workers can spin on it outside
+  // the lock before parking (spin-then-park).
+  mutable std::mutex pool_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable control_cv_;
+  std::atomic<uint64_t> work_epoch_{0};
+  bool shutdown_ = false;
+  std::atomic<uint64_t> stolen_batches_{0};
+  std::atomic<int> pin_failures_{0};
+  // PickRunnableLocked scratch (pool_mu_ held by every caller).
+  std::vector<size_t> steal_backlogs_;
+  std::vector<uint8_t> steal_claimable_;
 };
 
 /// Stream-operator adapter: deploy a ShardedEngine as a subscriber of a

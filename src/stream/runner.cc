@@ -2,8 +2,9 @@
 
 namespace epl::stream {
 
-EngineRunner::EngineRunner(StreamEngine* engine, size_t queue_capacity)
-    : engine_(engine), queue_(queue_capacity) {}
+EngineRunner::EngineRunner(StreamEngine* engine, size_t queue_capacity,
+                           int spin_iterations)
+    : engine_(engine), queue_(queue_capacity, spin_iterations) {}
 
 EngineRunner::~EngineRunner() {
   if (running_.load()) {

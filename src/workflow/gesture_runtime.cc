@@ -322,6 +322,10 @@ Result<GestureRuntime::Channel*> GestureRuntime::EnsureChannel(
     sharded.batch_size = options_.batch_size;
     sharded.matcher = options_.matcher;
     sharded.sync_delivery = options_.sync_detections;
+    sharded.work_stealing = options_.work_stealing;
+    sharded.pin_workers = options_.pin_workers;
+    sharded.spin_wait_iterations = options_.spin_wait_iterations;
+    sharded.adaptive = options_.adaptive_shards;
     EPL_ASSIGN_OR_RETURN(
         channel.sharded,
         query::DeployShardedOperator(engine_, stream, sharded));
@@ -611,6 +615,24 @@ Status GestureRuntime::Flush() {
   if (wal_ != nullptr) {
     EPL_RETURN_IF_ERROR(wal_->FlushBuffered());
   }
+  return OkStatus();
+}
+
+Status GestureRuntime::ResizeShards(int num_shards) {
+  if (options_.backend != RuntimeBackend::kSharded) {
+    return FailedPreconditionError("ResizeShards requires the sharded backend");
+  }
+  if (in_dispatch()) {
+    return FailedPreconditionError(
+        "ResizeShards from inside a detection callback");
+  }
+  EPL_RETURN_IF_ERROR(Pump());
+  for (auto& [stream, channel] : channels_) {
+    (void)stream;
+    EPL_RETURN_IF_ERROR(channel.sharded.engine->Resize(num_shards));
+  }
+  // Channels created from here on start at the new size too.
+  options_.num_shards = std::max(1, num_shards);
   return OkStatus();
 }
 

@@ -135,6 +135,20 @@ struct GestureRuntimeOptions {
   /// controller needs). Off: detections surface at batch boundaries and
   /// Flush(), which is the throughput mode.
   bool sync_detections = true;
+  /// Sharded backend: idle shard workers execute the deepest-backlog
+  /// shard's pending batch instead of sleeping (skewed per-session query
+  /// costs; see ShardedEngineOptions::work_stealing). Detections stay
+  /// bit-identical either way.
+  bool work_stealing = false;
+  /// Sharded backend: pin each shard worker to a CPU of the process
+  /// affinity mask (see ShardedEngineOptions::pin_workers).
+  bool pin_workers = false;
+  /// Sharded backend: iterations an idle worker polls for new work before
+  /// parking (see ShardedEngineOptions::spin_wait_iterations).
+  int spin_wait_iterations = 0;
+  /// Sharded backend: adaptive fleet sizing from observed per-shard busy
+  /// time (see AdaptiveShardOptions; num_shards is the starting size).
+  cep::AdaptiveShardOptions adaptive_shards;
   /// Give every session its own kinect_t transformation view and merge the
   /// transformed events. Off: raw kinect events merge directly (workloads
   /// that are already transformed, e.g. benchmarks).
@@ -251,6 +265,12 @@ class GestureRuntime {
   /// windows are swept, sharded engines quiesce and deliver everything
   /// pending.
   Status Flush();
+
+  /// Resizes every live sharded channel's worker fleet to `num_shards` at
+  /// a quiesced event boundary (run-state preserving; see
+  /// cep::ShardedEngine::Resize). Sharded backend only; must not be
+  /// called from a detection callback.
+  Status ResizeShards(int num_shards);
 
   /// Deployed gestures across all sessions.
   size_t num_deployed() const { return gestures_.size(); }

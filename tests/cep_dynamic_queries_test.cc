@@ -304,6 +304,88 @@ TEST(ShardedDynamicTest, SurvivorSurvivesRebalanceMidGesture) {
   }
 }
 
+TEST(ShardedDynamicTest, ChurnWithDynamicFleetSizeMatchesFreshDeploy) {
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(10);
+  std::vector<Event> events = Workload(3);
+  ASSERT_GT(events.size(), 250u);
+
+  // The churn script runs against a fleet whose size changes under live
+  // traffic: grow 2->4, shrink 4->1 (every query migrates off a doomed
+  // shard, partial runs in hand), grow 1->3. Neither the exchanges nor
+  // the migrations may perturb a surviving query's detections.
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.batch_size = 8;
+  options.work_stealing = true;
+  ShardedEngine sharded(options);
+  std::vector<DetectionRecord> records;
+  std::vector<int> live_ids(definitions.size(), -1);
+  for (int index : InitialSet()) {
+    live_ids[index] = sharded.AddQuery(
+        MakeSpec(Compile(definitions[index]), Recorder(&records)));
+  }
+  EPL_ASSERT_OK(sharded.Start());
+  size_t step = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (step < Script().size() && Script()[step].event_index == i) {
+      for (int index : Script()[step].add) {
+        live_ids[index] = sharded.AddQuery(
+            MakeSpec(Compile(definitions[index]), Recorder(&records)));
+      }
+      for (int index : Script()[step].remove) {
+        EPL_ASSERT_OK(sharded.RemoveQuery(live_ids[index]));
+        live_ids[index] = -1;
+      }
+      ++step;
+    }
+    if (i == 60) {
+      EPL_ASSERT_OK(sharded.Resize(4));
+    } else if (i == 140) {
+      EPL_ASSERT_OK(sharded.Resize(1));
+    } else if (i == 250) {
+      EPL_ASSERT_OK(sharded.Resize(3));
+    }
+    ASSERT_TRUE(sharded.Push(events[i]));
+  }
+  ASSERT_EQ(step, Script().size());
+  EXPECT_EQ(sharded.num_shards(), 3);
+  EXPECT_EQ(sharded.resize_count(), 3u);
+  EPL_ASSERT_OK(sharded.Flush());
+
+  // Survivor independence across both churn and resizes: queries 1, 4, 5
+  // lived through everything; their detections must match a standalone
+  // deployment exactly (no partial run lost in any migration).
+  for (int survivor : {1, 4, 5}) {
+    std::vector<DetectionRecord> expected =
+        FreshFused(definitions, {survivor}, events, MatcherOptions());
+    ASSERT_FALSE(expected.empty()) << "survivor " << survivor;
+    std::vector<DetectionRecord> actual;
+    for (const DetectionRecord& record : records) {
+      if (record.name == definitions[static_cast<size_t>(survivor)].name) {
+        actual.push_back(record);
+      }
+    }
+    ASSERT_TRUE(actual == expected) << "survivor " << survivor;
+  }
+
+  // Replay equivalence on the post-resize fleet: reset run state, replay
+  // the stream, and the 3-shard fleet must be indistinguishable from a
+  // fresh fused deploy of the final query set.
+  sharded.ResetMatchers();
+  const size_t churn_size = records.size();
+  for (const Event& event : events) {
+    ASSERT_TRUE(sharded.Push(event));
+  }
+  EPL_ASSERT_OK(sharded.Stop());
+  std::vector<DetectionRecord> replay_records(
+      records.begin() + static_cast<ptrdiff_t>(churn_size), records.end());
+  std::vector<DetectionRecord> fresh =
+      FreshFused(definitions, FinalSet(), events, MatcherOptions());
+  ASSERT_FALSE(fresh.empty());
+  ASSERT_TRUE(replay_records == fresh)
+      << replay_records.size() << " vs " << fresh.size() << " detections";
+}
+
 TEST_P(DynamicQueryModes, AddedQueryEqualsFreshDeployOnSuffix) {
   std::vector<core::GestureDefinition> definitions = TrainedDefinitions(3);
   std::vector<Event> events = Workload(5);

@@ -503,6 +503,341 @@ TEST(ShardedEngineTest, LifecycleErrors) {
   EPL_ASSERT_OK(sharded.Stop());
   EXPECT_FALSE(sharded.Push(Event(1, {})));
   EXPECT_EQ(sharded.Start().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded.Resize(2).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded.AdaptShardCount().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// The pure steal policy behind the worker scheduler.
+
+TEST(StealPolicyTest, PicksDeepestClaimableBacklog) {
+  EXPECT_EQ(PickStealVictim({1, 5, 3}, {1, 1, 1}, 0), 1);
+  // The deepest shard is mid-execution (busy): the next-deepest wins.
+  EXPECT_EQ(PickStealVictim({1, 5, 3}, {1, 0, 1}, 0), 2);
+  // Parked/retired shards (claimable 0) are invisible even with backlog.
+  EXPECT_EQ(PickStealVictim({0, 7, 2}, {1, 0, 0}, 0), -1);
+}
+
+TEST(StealPolicyTest, NeverPicksItselfOrEmptyShards) {
+  // A worker's own backlog never counts as a steal (it is served by the
+  // own-shard-first fast path).
+  EXPECT_EQ(PickStealVictim({9, 0, 0}, {1, 1, 1}, 0), -1);
+  EXPECT_EQ(PickStealVictim({0, 0, 0}, {1, 1, 1}, 1), -1);
+  EXPECT_EQ(PickStealVictim({4}, {1}, 0), -1);  // single-shard fleet
+}
+
+TEST(StealPolicyTest, TieBreaksTowardTheLowestShard) {
+  EXPECT_EQ(PickStealVictim({0, 4, 4}, {1, 1, 1}, 0), 1);
+  EXPECT_EQ(PickStealVictim({4, 2, 4}, {1, 1, 1}, 0), 2);
+}
+
+// ---------------------------------------------------------------------------
+// The pure fleet-sizing policy behind AdaptShardCount.
+
+AdaptiveShardOptions AdaptiveBounds(int min_shards, int max_shards) {
+  AdaptiveShardOptions options;
+  options.min_shards = min_shards;
+  options.max_shards = max_shards;
+  return options;  // thresholds keep their defaults: grow .75, shrink .25
+}
+
+TEST(AdaptivePolicyTest, GrowsWhenTheBottleneckShardSaturates) {
+  // Shard 0 was executing 90% of the window: one more shard.
+  EXPECT_EQ(RecommendShardCount(2, {900, 100}, 1000, AdaptiveBounds(1, 8)), 3);
+  // Saturated but already at max_shards: hold.
+  EXPECT_EQ(RecommendShardCount(8, {999, 0, 0, 0, 0, 0, 0, 0}, 1000,
+                                AdaptiveBounds(1, 8)),
+            8);
+}
+
+TEST(AdaptivePolicyTest, ShrinksOnlyAMostlyIdleFleet) {
+  // Total utilization 0.10 fits under 0.25 x 3 survivors: drop one shard.
+  EXPECT_EQ(RecommendShardCount(4, {25, 25, 25, 25}, 1000,
+                                AdaptiveBounds(1, 8)),
+            3);
+  // Moderate load (total 0.5 > 0.25 x 1) sits in the hysteresis band:
+  // neither grow (peak 0.3 < 0.75) nor shrink.
+  EXPECT_EQ(RecommendShardCount(2, {300, 200}, 1000, AdaptiveBounds(1, 8)),
+            2);
+  // Idle but already at min_shards: hold.
+  EXPECT_EQ(RecommendShardCount(1, {0}, 1000, AdaptiveBounds(1, 8)), 1);
+}
+
+TEST(AdaptivePolicyTest, DegenerateWindowsRecommendNoChange) {
+  EXPECT_EQ(RecommendShardCount(3, {}, 1000, AdaptiveBounds(1, 8)), 3);
+  EXPECT_EQ(RecommendShardCount(3, {500, 500, 500}, 0, AdaptiveBounds(1, 8)),
+            3);
+  // An out-of-bounds current count clamps into [min, max] regardless.
+  EXPECT_EQ(RecommendShardCount(9, {}, 0, AdaptiveBounds(2, 4)), 4);
+  EXPECT_EQ(RecommendShardCount(1, {}, 0, AdaptiveBounds(2, 4)), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling modes: work stealing, pinning, and spin-then-park must leave
+// detections bit-identical to the fused single-threaded operator.
+
+class ShardedScheduling
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShardedScheduling, StealingAndPinningMatchFusedDeployment) {
+  const int num_shards = std::get<0>(GetParam());
+  const bool pin_and_spin = std::get<1>(GetParam()) != 0;
+
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(10);
+  std::vector<Event> events = Workload(7);
+  std::vector<DetectionRecord> expected =
+      FusedBaseline(definitions, events, MatcherOptions());
+  ASSERT_FALSE(expected.empty());
+
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  options.batch_size = 2;  // many small batches: maximal steal opportunity
+  options.work_stealing = true;
+  options.pin_workers = pin_and_spin;
+  options.spin_wait_iterations = pin_and_spin ? 2000 : 0;
+  ShardedEngine sharded(options);
+  std::vector<DetectionRecord> actual;
+  for (query::CompiledQuery& compiled : CompileDefinitions(definitions)) {
+    sharded.AddQuery(MakeSpec(std::move(compiled), Recorder(&actual)));
+  }
+  EPL_ASSERT_OK(sharded.Start());
+  for (const Event& event : events) {
+    ASSERT_TRUE(sharded.Push(event));
+  }
+  EPL_ASSERT_OK(sharded.Stop());
+
+  EXPECT_EQ(sharded.processed(), events.size());
+  ASSERT_TRUE(actual == expected)
+      << actual.size() << " vs " << expected.size() << " detections at "
+      << num_shards << " shards (stealing"
+      << (pin_and_spin ? " + pinning + spin)" : ")");
+}
+
+INSTANTIATE_TEST_SUITE_P(StealPinSpin, ShardedScheduling,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(0, 1)));
+
+// ---------------------------------------------------------------------------
+// Work-stealing stress: a deliberately skewed fleet (few expensive hot
+// chains among many cheap cold ones) streamed in tiny batches, so idle
+// workers constantly race the busy shard for its backlog. Detections must
+// stay bit-identical to the fused operator at every shard count. The
+// interleaving is timing-dependent by design -- this is the TSan CI leg's
+// main target for the cross-shard scheduler paths.
+
+std::vector<MultiMatchOperator::QuerySpec> SkewedFleet(
+    std::vector<DetectionRecord>* records) {
+  std::vector<MultiMatchOperator::QuerySpec> fleet;
+  // Two 8-state chains that advance on nearly every event (hot + heavy)...
+  fleet.push_back(ChainSpecX("hot_0", 8, 1.0, 60.0, Recorder(records)));
+  fleet.push_back(ChainSpecX("hot_1", 8, 1.2, 55.0, Recorder(records)));
+  // ...vs 14 cheap chains that rarely wake up: per-shard batch cost is
+  // dominated by wherever the hot chains land.
+  for (int q = 0; q < 14; ++q) {
+    fleet.push_back(ChainSpecX("cold_" + std::to_string(q), 3,
+                               300.0 + 10.0 * q, 2.0, Recorder(records)));
+  }
+  return fleet;
+}
+
+std::vector<Event> SkewedStream(int count) {
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(count));
+  uint64_t state = 42;
+  for (int i = 0; i < count; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    // x in [0, 4): inside the hot windows always, inside a cold window
+    // (almost) never.
+    const double x = 4.0 * static_cast<double>(state >> 40) /
+                     static_cast<double>(1 << 24);
+    events.push_back(Event(DurationFromMillis(5.0 * i), {x}));
+  }
+  return events;
+}
+
+TEST(WorkStealingStressTest, SkewedFleetBitIdenticalAcrossShardCounts) {
+  std::vector<DetectionRecord> expected;
+  {
+    MultiMatchOperator fused((MatcherOptions()));
+    for (MultiMatchOperator::QuerySpec& spec : SkewedFleet(&expected)) {
+      fused.AddQuery(std::move(spec));
+    }
+    for (const Event& event : SkewedStream(3000)) {
+      EPL_EXPECT_OK(fused.Process(event));
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  for (int num_shards : {1, 2, 4, 8}) {
+    ShardedEngineOptions options;
+    options.num_shards = num_shards;
+    options.batch_size = 1;  // per-event handoff: maximal contention
+    options.queue_capacity = 8;
+    options.work_stealing = true;
+    options.spin_wait_iterations = 500;
+    ShardedEngine sharded(options);
+    std::vector<DetectionRecord> actual;
+    for (MultiMatchOperator::QuerySpec& spec : SkewedFleet(&actual)) {
+      sharded.AddQuery(std::move(spec));
+    }
+    EPL_ASSERT_OK(sharded.Start());
+    for (const Event& event : SkewedStream(3000)) {
+      ASSERT_TRUE(sharded.Push(event));
+    }
+    EPL_ASSERT_OK(sharded.Stop());
+    ASSERT_TRUE(actual == expected)
+        << actual.size() << " vs " << expected.size() << " detections at "
+        << num_shards << " shards under stealing stress";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet resizing.
+
+TEST(ShardedEngineTest, ResizeGrowsAndShrinksPreservingDetections) {
+  std::vector<core::GestureDefinition> definitions = TrainedDefinitions(8);
+  std::vector<Event> events = Workload(7);
+  std::vector<DetectionRecord> expected =
+      FusedBaseline(definitions, events, MatcherOptions());
+  ASSERT_FALSE(expected.empty());
+
+  ShardedEngineOptions options;
+  options.num_shards = 1;
+  options.batch_size = 4;
+  options.work_stealing = true;
+  ShardedEngine sharded(options);
+  std::vector<DetectionRecord> actual;
+  for (query::CompiledQuery& compiled : CompileDefinitions(definitions)) {
+    sharded.AddQuery(MakeSpec(std::move(compiled), Recorder(&actual)));
+  }
+  EPL_ASSERT_OK(sharded.Start());
+
+  const size_t third = events.size() / 3;
+  for (size_t i = 0; i < third; ++i) {
+    ASSERT_TRUE(sharded.Push(events[i]));
+  }
+  EPL_ASSERT_OK(sharded.Resize(4));  // grow mid-stream, mid-gesture
+  EXPECT_EQ(sharded.num_shards(), 4);
+  for (size_t i = third; i < 2 * third; ++i) {
+    ASSERT_TRUE(sharded.Push(events[i]));
+  }
+  EPL_ASSERT_OK(sharded.Resize(2));  // shrink mid-stream, mid-gesture
+  EXPECT_EQ(sharded.num_shards(), 2);
+  // Every query survived the migrations under its stable id.
+  EXPECT_EQ(sharded.num_queries(), definitions.size());
+  for (size_t i = 2 * third; i < events.size(); ++i) {
+    ASSERT_TRUE(sharded.Push(events[i]));
+  }
+  EPL_ASSERT_OK(sharded.Stop());
+
+  EXPECT_EQ(sharded.resize_count(), 2u);
+  ASSERT_TRUE(actual == expected)
+      << actual.size() << " vs " << expected.size()
+      << " detections across grow + shrink";
+}
+
+TEST(ShardedEngineTest, ResizeBeforeStartAndNoopResize) {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  ShardedEngine sharded(options);
+  sharded.AddQuery(ChainSpecX("a", 3, 1.0, 50.0, nullptr));
+  sharded.AddQuery(ChainSpecX("b", 3, 2.0, 50.0, nullptr));
+  // Cold resize restructures the fleet before any worker exists.
+  EPL_ASSERT_OK(sharded.Resize(3));
+  EXPECT_EQ(sharded.num_shards(), 3);
+  EPL_ASSERT_OK(sharded.Resize(1));
+  EXPECT_EQ(sharded.num_shards(), 1);
+  EXPECT_EQ(sharded.num_queries(), 2u);
+  // Same-size resizes are free and uncounted.
+  EPL_ASSERT_OK(sharded.Resize(1));
+  EXPECT_EQ(sharded.resize_count(), 2u);
+  // Requests are clamped like the constructor's num_shards.
+  EPL_ASSERT_OK(sharded.Resize(0));
+  EXPECT_EQ(sharded.num_shards(), 1);
+  EPL_ASSERT_OK(sharded.Start());
+  EXPECT_TRUE(sharded.Push(Event(0, {1.0})));
+  EPL_ASSERT_OK(sharded.Stop());
+}
+
+TEST(ShardedEngineTest, AdaptiveSizingFollowsForcedPolicyEndToEnd) {
+  const std::vector<Event> events = SkewedStream(2000);
+  std::vector<DetectionRecord> expected;
+  {
+    MultiMatchOperator fused((MatcherOptions()));
+    for (MultiMatchOperator::QuerySpec& spec : SkewedFleet(&expected)) {
+      fused.AddQuery(std::move(spec));
+    }
+    for (const Event& event : events) {
+      EPL_EXPECT_OK(fused.Process(event));
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  // Grow leg: a zero grow threshold makes every observation window with
+  // any busy time recommend one more shard, so the fleet must climb to
+  // max_shards while detections stay exact.
+  ShardedEngineOptions grow;
+  grow.num_shards = 1;
+  grow.batch_size = 4;
+  grow.adaptive.enabled = true;
+  grow.adaptive.min_shards = 1;
+  grow.adaptive.max_shards = 3;
+  grow.adaptive.check_every_events = 32;
+  grow.adaptive.grow_utilization = 0.0;
+  // A fully idle window (producer starved before any worker ran) would
+  // satisfy the shrink branch and oscillate the fleet on a loaded
+  // machine; a negative threshold disables shrinking for the forced
+  // grow policy.
+  grow.adaptive.shrink_utilization = -1.0;
+  ShardedEngine growing(grow);
+  std::vector<DetectionRecord> grow_records;
+  for (MultiMatchOperator::QuerySpec& spec : SkewedFleet(&grow_records)) {
+    growing.AddQuery(std::move(spec));
+  }
+  EPL_ASSERT_OK(growing.Start());
+  size_t pushed = 0;
+  for (const Event& event : events) {
+    ASSERT_TRUE(growing.Push(event));
+    if (++pushed % 32 == 0) {
+      // Drain between windows so every observation window has recorded
+      // busy time, whatever the worker/producer interleaving.
+      EPL_ASSERT_OK(growing.Flush());
+    }
+  }
+  EXPECT_EQ(growing.num_shards(), 3);
+  EXPECT_GE(growing.resize_count(), 2u);
+  EPL_ASSERT_OK(growing.Stop());
+  EXPECT_TRUE(grow_records == expected);
+
+  // Shrink leg: an unreachable grow threshold plus an always-satisfied
+  // shrink threshold walks the fleet down to min_shards no matter how
+  // busy the workers actually were.
+  ShardedEngineOptions shrink;
+  shrink.num_shards = 4;
+  shrink.batch_size = 4;
+  shrink.adaptive.enabled = true;
+  shrink.adaptive.min_shards = 1;
+  shrink.adaptive.max_shards = 4;
+  shrink.adaptive.check_every_events = 32;
+  shrink.adaptive.grow_utilization = 2.0;  // peak utilization can't exceed 1
+  shrink.adaptive.shrink_utilization = 8.0;
+  ShardedEngine shrinking(shrink);
+  std::vector<DetectionRecord> shrink_records;
+  for (MultiMatchOperator::QuerySpec& spec : SkewedFleet(&shrink_records)) {
+    shrinking.AddQuery(std::move(spec));
+  }
+  EPL_ASSERT_OK(shrinking.Start());
+  pushed = 0;
+  for (const Event& event : events) {
+    ASSERT_TRUE(shrinking.Push(event));
+    if (++pushed % 32 == 0) {
+      EPL_ASSERT_OK(shrinking.Flush());
+    }
+  }
+  EXPECT_EQ(shrinking.num_shards(), 1);
+  EPL_ASSERT_OK(shrinking.Stop());
+  EXPECT_TRUE(shrink_records == expected);
 }
 
 }  // namespace

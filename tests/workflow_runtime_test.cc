@@ -337,6 +337,50 @@ TEST(GestureRuntimeSessionTest, ShardedSessionsDetectLikeFused) {
   EXPECT_FALSE(fused_records.empty());
 }
 
+TEST(GestureRuntimeSessionTest, ResizeShardsMidStreamKeepsDetections) {
+  const core::GestureDefinition swipe = Train(GestureShapes::SwipeRight(), 10);
+  UserProfile user;
+  kinect::SessionBuilder builder(user, 501);
+  builder.Idle(0.4).Perform(GestureShapes::SwipeRight(), 0.3).Idle(0.5);
+  const std::vector<SkeletonFrame>& frames = builder.frames();
+
+  std::vector<DetectionRecord> fused_records, resized_records;
+  {
+    stream::StreamEngine engine;
+    GestureRuntime runtime(&engine);
+    EPL_ASSERT_OK_AND_ASSIGN(SessionId id, runtime.OpenSession("u"));
+    EPL_ASSERT_OK(runtime.Deploy(id, swipe, Recorder(&fused_records)));
+    EPL_ASSERT_OK(runtime.PushFrames(id, frames));
+    EPL_ASSERT_OK(runtime.Flush());
+    // ResizeShards is a sharded-backend control.
+    EXPECT_EQ(runtime.ResizeShards(2).code(),
+              StatusCode::kFailedPrecondition);
+  }
+  {
+    stream::StreamEngine engine;
+    GestureRuntimeOptions options;
+    options.backend = RuntimeBackend::kSharded;
+    options.num_shards = 1;
+    options.work_stealing = true;
+    GestureRuntime runtime(&engine, options);
+    EPL_ASSERT_OK_AND_ASSIGN(SessionId id, runtime.OpenSession("u"));
+    EPL_ASSERT_OK(runtime.Deploy(id, swipe, Recorder(&resized_records)));
+    const size_t half = frames.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      EPL_ASSERT_OK(runtime.PushFrame(id, frames[i]));
+    }
+    // Grow the fleet mid-gesture; the matcher migrates with its partial
+    // runs, so detections spanning the resize must still fire.
+    EPL_ASSERT_OK(runtime.ResizeShards(3));
+    for (size_t i = half; i < frames.size(); ++i) {
+      EPL_ASSERT_OK(runtime.PushFrame(id, frames[i]));
+    }
+    EPL_ASSERT_OK(runtime.Flush());
+  }
+  EXPECT_EQ(resized_records, fused_records);
+  EXPECT_FALSE(fused_records.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Boot-time bulk load from the gesture store.
 
