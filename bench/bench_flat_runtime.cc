@@ -12,6 +12,8 @@
 // before any benchmark runs, regardless of --benchmark_filter).
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "cep/multi_matcher.h"
 #include "cep/pattern.h"
 #include "cep/predicate_bank.h"
+#include "cep/simd.h"
 #include "core/query_gen.h"
 #include "exp_util.h"
 #include "query/compiler.h"
@@ -101,6 +104,63 @@ void VerifyFlatEquivalence(cep::MatcherOptions::Mode mode,
   EPL_CHECK(total > 0) << "equivalence workload produced no matches";
 }
 
+/// Batched-vs-per-event dominance: ProcessBatch at B=32 must not be
+/// slower than per-event Process on the same 256-query workload (the
+/// regression the SIMD gate grid fixed). Wall-clock best-of-N with a
+/// noise slack, so a CI-runner hiccup cannot flake the gate while a real
+/// return of the regression (batched 2x slower pre-fix) still trips it.
+void VerifyBatchedDominance() {
+  constexpr int kQueries = 256;
+  constexpr size_t kBatch = 32;
+  constexpr int kPasses = 3;
+  constexpr double kSlack = 0.85;  // batched >= 85% of per-event events/s
+  std::vector<query::CompiledQuery> queries = CompiledVariants(kQueries);
+  const std::vector<stream::Event>& events = bench::MatchWorkload();
+  std::vector<cep::MultiPatternMatcher::MultiMatch> scratch;
+
+  auto time_once = [&](auto&& run) {
+    cep::MultiPatternMatcher multi;
+    for (const query::CompiledQuery& query : queries) {
+      multi.AddPattern(&query.pattern);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    run(multi);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  auto run_per_event = [&](cep::MultiPatternMatcher& multi) {
+    for (const stream::Event& event : events) {
+      scratch.clear();
+      multi.Process(event, &scratch);
+      benchmark::DoNotOptimize(scratch.size());
+    }
+  };
+  auto run_batched = [&](cep::MultiPatternMatcher& multi) {
+    size_t pos = 0;
+    while (pos < events.size()) {
+      const size_t chunk = std::min(kBatch, events.size() - pos);
+      scratch.clear();
+      multi.ProcessBatch(events.data() + pos, chunk, &scratch);
+      benchmark::DoNotOptimize(scratch.size());
+      pos += chunk;
+    }
+  };
+  // Passes ALTERNATE modes so slow drift of the machine (frequency,
+  // cache, a co-tenant ramping up) hits both sides alike instead of
+  // biasing whichever mode happened to be timed second.
+  double per_event = std::numeric_limits<double>::infinity();
+  double batched = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    per_event = std::min(per_event, time_once(run_per_event));
+    batched = std::min(batched, time_once(run_batched));
+  }
+  EPL_CHECK(batched <= per_event / kSlack)
+      << "batched (B=" << kBatch << ") slower than per-event at " << kQueries
+      << " queries: " << batched << "s vs " << per_event
+      << "s (dispatch: " << cep::simd::DispatchName() << ")";
+}
+
 /// Run the cross-check at program start, not lazily inside a benchmark:
 /// the gate must hold even when a --benchmark_filter skips every
 /// benchmark that would have tripped it. Batched legs gate the
@@ -111,6 +171,10 @@ const bool kFlatEquivalenceVerified = [] {
   VerifyFlatEquivalence(cep::MatcherOptions::Mode::kDominant, 64);
   VerifyFlatEquivalence(cep::MatcherOptions::Mode::kExhaustive, 1);
   VerifyFlatEquivalence(cep::MatcherOptions::Mode::kExhaustive, 8);
+  VerifyBatchedDominance();
+  // Which kernel table served this run, recorded into the JSON context
+  // block so artifact diffs across machines are attributable.
+  benchmark::AddCustomContext("simd_dispatch", cep::simd::DispatchName());
   return true;
 }();
 

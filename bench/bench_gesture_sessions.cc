@@ -12,6 +12,8 @@
 // before anything is measured.
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -19,6 +21,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "cep/simd.h"
 #include "exp_util.h"
 #include "kinect/skeleton.h"
 #include "workflow/gesture_runtime.h"
@@ -159,10 +162,62 @@ void VerifySessionEquivalence() {
       << batched.size() << " vs " << legacy.size() << " detections)";
 }
 
+/// Batched-vs-per-event dominance at every session count: the batched
+/// shared runtime (B=32) must not be slower than the per-event shared
+/// runtime on the same feed. Before the SIMD gate grid, batched LOST at
+/// 64 sessions (the scalar per-(group, event) grid plus full-window member
+/// scans outweighed the sweep amortization); this gate keeps that
+/// regression dead. Wall-clock best-of-N with a noise slack for CI.
+void VerifyBatchedDominance() {
+  constexpr int kPasses = 3;
+  constexpr double kSlack = 0.85;  // batched >= 85% of per-event events/s
+  for (int sessions : {1, 8, 64}) {
+    const std::vector<std::pair<SessionId, const SkeletonFrame*>> feed =
+        BuildFeed(sessions);
+    auto time_once = [&](size_t batch_size) {
+      stream::StreamEngine engine;
+      GestureRuntime runtime(
+          &engine, MakeOptions(RuntimeBackend::kFused, batch_size, 1));
+      uint64_t detections = 0;
+      DeployFleet(&runtime, sessions, &detections);
+      const auto start = std::chrono::steady_clock::now();
+      for (const auto& [session, frame] : feed) {
+        Status status = runtime.PushFrame(session, *frame);
+        benchmark::DoNotOptimize(status.ok());
+      }
+      Status status = runtime.Flush();
+      benchmark::DoNotOptimize(status.ok());
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      benchmark::DoNotOptimize(detections);
+      return seconds;
+    };
+    // Passes ALTERNATE modes so slow drift of the machine (frequency,
+    // cache, a co-tenant ramping up) hits both sides alike instead of
+    // biasing whichever mode happened to be timed second.
+    double per_event = std::numeric_limits<double>::infinity();
+    double batched = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      per_event = std::min(per_event, time_once(1));
+      batched = std::min(batched, time_once(32));
+    }
+    EPL_CHECK(batched <= per_event / kSlack)
+        << "batched (B=32) slower than per-event at " << sessions
+        << " sessions: " << batched << "s vs " << per_event
+        << "s (dispatch: " << cep::simd::DispatchName() << ")";
+  }
+}
+
 void RunSessions(benchmark::State& state, RuntimeBackend backend,
                  size_t batch_size, int num_shards) {
   static bool verified = [] {
     VerifySessionEquivalence();
+    VerifyBatchedDominance();
+    // Which kernel table served this run, recorded into the JSON context
+    // block so artifact diffs across machines are attributable.
+    benchmark::AddCustomContext("simd_dispatch", cep::simd::DispatchName());
     return true;
   }();
   (void)verified;

@@ -86,6 +86,11 @@ def compare_dirs(current_dir, baseline_dir, tolerance):
         cur_metrics = load_metrics(current_path)
         for metric in sorted(cur_metrics):
             if metric not in base_metrics:
+                # Rows that exist only in the current run (a new or renamed
+                # bench, e.g. fresh SIMD kernel rows) are informational:
+                # shown in the table so the number is on record, never gated.
+                lines.append(f"| `{metric}` | — | {cur_metrics[metric]:,.1f} "
+                             f"| — | new |")
                 notes.append(f"{name}: new metric {metric}")
                 continue
             base, cur = base_metrics[metric], cur_metrics[metric]
@@ -119,13 +124,17 @@ def emit(lines, regressions, notes, tolerance):
             fh.write(text + "\n")
 
 
-def synthetic_report(ips, overhead):
-    return {"benchmarks": [
+def synthetic_report(ips, overhead, extra=None):
+    benchmarks = [
         {"name": "BM_ShardedScaleOut/4/256/real_time",
          "run_type": "iteration", "items_per_second": ips},
         {"name": "BM_DurabilityOverhead/64", "run_type": "iteration",
          "overhead_pct": overhead},
-    ]}
+    ]
+    if extra is not None:
+        benchmarks.append({"name": extra, "run_type": "iteration",
+                           "items_per_second": ips})
+    return {"benchmarks": benchmarks}
 
 
 def self_test():
@@ -135,16 +144,27 @@ def self_test():
          tempfile.TemporaryDirectory() as bad:
         with open(os.path.join(base, "BENCH_x.json"), "w") as fh:
             json.dump(synthetic_report(1_000_000.0, 10.0), fh)
-        # Within tolerance: -5% throughput, +1 point overhead.
+        # Within tolerance: -5% throughput, +1 point overhead; plus a row
+        # with no baseline counterpart, which must be reported as "new"
+        # and must NOT fail the run.
         with open(os.path.join(good, "BENCH_x.json"), "w") as fh:
-            json.dump(synthetic_report(950_000.0, 11.0), fh)
+            json.dump(synthetic_report(950_000.0, 11.0,
+                                       extra="BM_BrandNewKernel/32"), fh)
         # Injected regressions: -30% throughput, overhead 10% -> 25%.
         with open(os.path.join(bad, "BENCH_x.json"), "w") as fh:
             json.dump(synthetic_report(700_000.0, 25.0), fh)
 
-        _, regressions, _ = compare_dirs(good, base, 0.15)
+        good_lines, regressions, good_notes = compare_dirs(good, base, 0.15)
         if regressions:
             print(f"self-test FAILED: clean run flagged {regressions}")
+            return 1
+        new_rows = [line for line in good_lines if "| new |" in line]
+        if len(new_rows) != 1 or "BM_BrandNewKernel" not in new_rows[0]:
+            print(f"self-test FAILED: baseline-less metric not surfaced as "
+                  f"a 'new' table row (got {new_rows})")
+            return 1
+        if not any("new metric" in note for note in good_notes):
+            print("self-test FAILED: baseline-less metric missing from notes")
             return 1
         _, regressions, _ = compare_dirs(bad, base, 0.15)
         if len(regressions) != 2:

@@ -271,13 +271,17 @@ void MultiMatchOperator::FlushBatchedEvents() {
   // real events; it exists so a control call issued from inside a
   // detection callback (e.g. Close on first detection) cannot re-enter
   // RunBatch on the window that is already being dispatched.
-  if (window_.empty() || processing_) {
+  if (window_count_ == 0 || processing_) {
     return;
   }
-  flushing_.clear();
+  // Swap the filled slots out so a detection callback can refill window_
+  // while the sweep runs. Neither vector is cleared: slots keep their
+  // values capacity and are overwritten in place on the next fill, so the
+  // steady state buffers a window with zero allocations.
   flushing_.swap(window_);
-  RunBatch(flushing_.data(), flushing_.size());
-  flushing_.clear();
+  const size_t count = window_count_;
+  window_count_ = 0;
+  RunBatch(flushing_.data(), count);
 }
 
 Status MultiMatchOperator::Process(const stream::Event& event) {
@@ -285,8 +289,15 @@ Status MultiMatchOperator::Process(const stream::Event& event) {
     RunBatch(&event, 1);
     return Forward(event);
   }
-  window_.push_back(event);
-  if (window_.size() >= batch_size_) {
+  if (window_count_ < window_.size()) {
+    stream::Event& slot = window_[window_count_];
+    slot.timestamp = event.timestamp;
+    slot.values.assign(event.values.begin(), event.values.end());
+  } else {
+    window_.push_back(event);
+  }
+  ++window_count_;
+  if (window_count_ >= batch_size_) {
     FlushBatchedEvents();
   }
   return Forward(event);

@@ -165,6 +165,11 @@ class MultiMatchOperator : public stream::Operator {
   const MatcherStats& matcher_stats(int query_index) const {
     return matcher_.matcher(query_index).stats();
   }
+  /// The shared bank's evaluation counters (memo hit rates, batch
+  /// broadcast vs recomputed rows) for this operator's matcher.
+  const PredicateBankStats& bank_stats() const {
+    return matcher_.bank().stats();
+  }
   const MultiPatternMatcher& matcher() const { return matcher_; }
 
   /// Discards partial matches of every query (flushing the accumulated
@@ -233,7 +238,11 @@ class MultiMatchOperator : public stream::Operator {
   // mutation), and the queries added mid-sweep that catch up event by
   // event.
   size_t batch_size_ = 1;
+  // window_[0, window_count_) holds the buffered events; slots past the
+  // count are stale Events kept only for their values capacity (both
+  // vectors recycle slots so steady-state buffering never allocates).
   std::vector<stream::Event> window_;
+  size_t window_count_ = 0;
   std::vector<stream::Event> flushing_;  // the window being processed
   std::vector<int> batch_ids_;
   std::vector<int> catchup_ids_;

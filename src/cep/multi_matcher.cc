@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "cep/simd.h"
 #include "common/logging.h"
 
 namespace epl::cep {
@@ -399,52 +400,66 @@ void MultiPatternMatcher::ProcessFlatBatch(const stream::Event* events,
                                            std::vector<MultiMatch>* out) {
   arena_events_ += count;
   batch_scratch_.clear();
+  const simd::Kernels& kernels = simd::Active();
+  // Base pointer + stride into the bank's batch result rows: event b's
+  // satisfied-predicate words are rows + b * stride, and the gate kernel
+  // strides over the same grid directly.
+  const uint64_t* rows = bank_->batch_result_words(0);
+  const size_t stride = bank_->row_words();
+  const size_t gate_words = (count + 63) / 64;
   if (has_gates_) {
-    // One gate evaluation per (group, event) for the whole window; members
-    // then skip gated-out events (or the entire window) without touching
-    // their arena rows -- exact for the same reason as ProcessFlat's
-    // group skip.
-    gate_truth_.assign(groups_.size() * count, 0);
+    // One gate-column extraction per group for the whole window: the SIMD
+    // kernel packs (row word & mask) != 0 into a bitmask column straight
+    // from the bank's result rows; members then visit only the set bits
+    // (or skip the entire window) without touching their arena rows --
+    // exact for the same reason as ProcessFlat's group skip.
+    gate_truth_.assign(groups_.size() * gate_words, 0);
     group_open_.assign(groups_.size(), 0);
     for (size_t g = 0; g < groups_.size(); ++g) {
       const GateGroup& group = groups_[g];
+      uint64_t* column = gate_truth_.data() + g * gate_words;
+      if (group.gate.word >= 0) {
+        group_open_[g] = simd::GateColumn(
+                             kernels, rows, stride, count,
+                             static_cast<uint32_t>(group.gate.word),
+                             group.gate.mask, column)
+                             ? 1
+                             : 0;
+        continue;
+      }
       for (size_t b = 0; b < count; ++b) {
-        const bool open =
-            group.gate.word >= 0
-                ? (bank_->batch_result_words(b)[group.gate.word] &
-                   group.gate.mask) != 0
-                : bank_->batch_value(b, group.gate.fallback_id);
-        if (open) {
-          gate_truth_[g * count + b] = 1;
+        if (bank_->batch_value(b, group.gate.fallback_id)) {
+          column[b >> 6] |= uint64_t{1} << (b & 63);
           group_open_[g] = 1;
         }
       }
     }
   }
-  for (size_t i = 0; i < entries_.size(); ++i) {
+  // Group-major sweep, mirroring ProcessFlat: a closed group skips ALL of
+  // its member patterns with one flag check. (Iterating entries directly
+  // and testing group_open_ per entry kept the sweep O(entries) per
+  // window however many sessions were idle -- at 64 mostly-idle sessions
+  // that bookkeeping alone outweighed the batch amortization.)
+  // always_inline like step below: an outlined entry sweep puts a call on
+  // the per-(pattern, window) edge, which B=1 windows cannot amortize
+  // (~10% on ProcessBatch(count=1) at small query counts).
+  const auto sweep_entry = [&](size_t i, const uint64_t* gate_column)
+      __attribute__((always_inline)) {
     Entry& entry = entries_[i];
     const int n = entry.num_states;
     const size_t row0 = entry.row_offset;
     const StateRef* refs = &states_[row0];
     TimePoint* tbase = &times_[entry.times_offset];
-    const uint8_t* gate_open = nullptr;
-    if (entry.gate_group >= 0) {
-      if (!group_open_[static_cast<size_t>(entry.gate_group)]) {
-        continue;  // gate shut for the whole window
-      }
-      gate_open =
-          gate_truth_.data() + static_cast<size_t>(entry.gate_group) * count;
-    }
 
     // The whole B-event window for this pattern before the next pattern:
     // its times block, active bits, and state refs stay hot across the
     // window, so the per-pattern setup above is paid once per batch.
-    for (size_t b = 0; b < count; ++b) {
-      if (gate_open != nullptr && gate_open[b] == 0) {
-        continue;
-      }
+    // always_inline: with two call sites (gated ctz walk, ungated loop) the
+    // compiler outlines this body, which puts a real call on the innermost
+    // per-(pattern, event) edge and costs ~15% of the batched path.
+    const auto step = [&](size_t b) __attribute__((always_inline)) {
       const TimePoint now = events[b].timestamp;
-      const uint64_t* words = bank_->batch_result_words(b);
+      const uint64_t* words = rows + b * stride;
       bool completed = false;
       bool activity = false;
 
@@ -495,7 +510,7 @@ void MultiPatternMatcher::ProcessFlatBatch(const stream::Event* events,
       if (completed) {
         PatternMatch match;
         const TimePoint* last = tbase + (n - 1) * n;
-        match.state_times.assign(last, last + n);
+        match.state_times = std::vector<TimePoint>(last, last + n);
         batch_scratch_.push_back(MultiMatch{static_cast<int>(i),
                                             std::move(match),
                                             static_cast<int>(b)});
@@ -506,7 +521,7 @@ void MultiPatternMatcher::ProcessFlatBatch(const stream::Event* events,
           }
           entry.live_rows = 0;
           ++entry.counters.seed_skips;
-          continue;
+          return;
         }
         ClearRow(row0 + static_cast<size_t>(n) - 1);
         --entry.live_rows;
@@ -538,6 +553,38 @@ void MultiPatternMatcher::ProcessFlatBatch(const stream::Event* events,
       if (activity && entry.live_rows > entry.counters.peak_runs) {
         entry.counters.peak_runs = entry.live_rows;
       }
+    };
+
+    if (gate_column != nullptr) {
+      // Visit only gate-open events: ctz over the bitmask column makes the
+      // member cost proportional to open events, not window size (a
+      // foreign session's pattern pays ~nothing for a 32-event window).
+      for (size_t wi = 0; wi < gate_words; ++wi) {
+        uint64_t bits = gate_column[wi];
+        while (bits != 0) {
+          const size_t b =
+              wi * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          step(b);
+        }
+      }
+    } else {
+      for (size_t b = 0; b < count; ++b) {
+        step(b);
+      }
+    }
+  };
+
+  for (uint32_t member : ungated_members_) {
+    sweep_entry(member, nullptr);
+  }
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (!group_open_[g]) {
+      continue;  // gate shut for the whole window, for every member
+    }
+    const uint64_t* column = gate_truth_.data() + g * gate_words;
+    for (uint32_t member : groups_[g].members) {
+      sweep_entry(member, column);
     }
   }
 

@@ -286,9 +286,13 @@ class MultiPatternMatcher {
   std::vector<GateGroup> groups_;
   std::vector<uint32_t> ungated_members_;
   std::vector<MultiMatch> flat_scratch_;
-  // Per-batch gate truth: groups_ x count bytes, plus a per-group
-  // any-event-open summary for whole-window skips.
-  std::vector<uint8_t> gate_truth_;
+  // Per-batch gate truth as bitmask columns: groups_ x ceil(count / 64)
+  // words, bit b of a group's column = gate open for in-batch event b.
+  // Extracted from the bank's result-word rows by the SIMD gate kernel;
+  // members then visit only the SET bits (ctz iteration), so a pattern's
+  // per-window cost is O(open events), not O(count). group_open_ keeps the
+  // per-group any-event-open summary for whole-window skips.
+  std::vector<uint64_t> gate_truth_;
   std::vector<uint8_t> group_open_;
 };
 

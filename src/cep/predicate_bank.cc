@@ -555,15 +555,19 @@ void PredicateBank::Evaluate(const stream::Event& event) {
   }
   ++stats_.events;
 
+  const simd::Kernels& kernels = simd::Active();
   const size_t num_words = result_words_.size();
-  std::fill(result_words_.begin(), result_words_.end(), ~uint64_t{0});
+  // Walk the fields updating memos (exactly as before), but defer the
+  // bitset arithmetic: the fold kernel ANDs every field's contribution
+  // into the result row in ONE pass, so the row is written once per event
+  // instead of once per field.
+  fold_and_srcs_.clear();
+  fold_not_srcs_.clear();
   for (FieldIndex& index : fields_) {
     double v = event.values[index.field];
     if (std::isnan(v)) {
       // No interval contains NaN; clear every predicate constrained here.
-      for (size_t w = 0; w < num_words; ++w) {
-        result_words_[w] &= ~index.constrained[w];
-      }
+      fold_not_srcs_.push_back(index.constrained.data());
       continue;
     }
     if (index.memo_valid && RegionContains(index, index.memo_region, v)) {
@@ -578,11 +582,11 @@ void PredicateBank::Evaluate(const stream::Event& event) {
                           : 2 * pos;
       SeekRegion(&index, region);
     }
-    const uint64_t* region_words = index.memo_words.data();
-    for (size_t w = 0; w < num_words; ++w) {
-      result_words_[w] &= region_words[w];
-    }
+    fold_and_srcs_.push_back(index.memo_words.data());
   }
+  simd::FoldInto(kernels, result_words_.data(), fold_and_srcs_.data(),
+                 fold_and_srcs_.size(), fold_not_srcs_.data(),
+                 fold_not_srcs_.size(), num_words);
 
   // Fallback predicates are interpreted lazily in value(), so events on
   // which no NFA run consults them skip the program interpretations; the
@@ -602,26 +606,32 @@ void PredicateBank::EvaluateBatch(const stream::Event* events, size_t count) {
   stats_.events += count;
   batch_events_ = events;
 
+  const simd::Kernels& kernels = simd::Active();
   const size_t num_words = words();
   batch_words_.assign(num_words * count, ~uint64_t{0});
   for (FieldIndex& index : fields_) {
-    // One memo walk over the whole window: event b only searches (and
-    // replays deltas) when it leaves event b-1's elementary region.
-    for (size_t b = 0; b < count; ++b) {
-      uint64_t* row = batch_words_.data() + b * num_words;
+    // One memo walk over the whole window, run-length compressed: event b
+    // only searches (and replays deltas) when it leaves the memoized
+    // elementary region, and a maximal run of consecutive same-region
+    // events is ANDed in ONE row-broadcast kernel call instead of one
+    // word loop per event.
+    size_t b = 0;
+    while (b < count) {
       double v = events[b].values[index.field];
       if (std::isnan(v)) {
         // No interval contains NaN; clear every predicate constrained
         // here. The memo stays valid for the next event.
-        for (size_t w = 0; w < num_words; ++w) {
-          row[w] &= ~index.constrained[w];
-        }
+        simd::AndNotInto(kernels, batch_words_.data() + b * num_words,
+                         index.constrained.data(), num_words);
+        ++b;
         continue;
       }
       if (index.memo_valid && RegionContains(index, index.memo_region, v)) {
         ++stats_.region_memo_hits;
+        ++stats_.batch_broadcast_rows;
       } else {
         ++stats_.region_searches;
+        ++stats_.batch_recomputed_rows;
         size_t pos = static_cast<size_t>(
             std::lower_bound(index.bounds.begin(), index.bounds.end(), v) -
             index.bounds.begin());
@@ -630,10 +640,21 @@ void PredicateBank::EvaluateBatch(const stream::Event* events, size_t count) {
                             : 2 * pos;
         SeekRegion(&index, region);
       }
-      const uint64_t* region_words = index.memo_words.data();
-      for (size_t w = 0; w < num_words; ++w) {
-        row[w] &= region_words[w];
+      size_t run_end = b + 1;
+      while (run_end < count) {
+        const double next = events[run_end].values[index.field];
+        if (std::isnan(next) ||
+            !RegionContains(index, index.memo_region, next)) {
+          break;
+        }
+        ++run_end;
       }
+      const size_t run = run_end - b;
+      stats_.region_memo_hits += run - 1;
+      stats_.batch_broadcast_rows += run - 1;
+      simd::AndRows(kernels, batch_words_.data() + b * num_words, num_words,
+                    run, index.memo_words.data(), num_words);
+      b = run_end;
     }
   }
 

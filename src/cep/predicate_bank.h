@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "cep/nfa.h"
+#include "cep/simd.h"
 #include "stream/event.h"
 
 namespace epl::cep {
@@ -71,6 +72,15 @@ struct PredicateBankStats {
   uint64_t region_memo_hits = 0;
   /// Field evaluations that had to binary-search and replay deltas.
   uint64_t region_searches = 0;
+  /// EvaluateBatch (field, event) rows whose region bitset came straight
+  /// from the still-valid cross-event memo, i.e. rows ANDed by broadcasting
+  /// one memo word run across the row block. The ~70% memo-hit claim is
+  /// batch_broadcast_rows / (batch_broadcast_rows + batch_recomputed_rows).
+  uint64_t batch_broadcast_rows = 0;
+  /// EvaluateBatch (field, event) rows whose event left the previous
+  /// elementary region, forcing a binary search + delta replay before the
+  /// broadcast run restarts.
+  uint64_t batch_recomputed_rows = 0;
 };
 
 class PredicateBank {
@@ -118,6 +128,12 @@ class PredicateBank {
   const uint64_t* batch_result_words(size_t b) const {
     return batch_words_.data() + b * words();
   }
+
+  /// Stride, in uint64 words, between consecutive batch_result_words rows.
+  /// The flat matcher uses base pointer + b * row_words() arithmetic (and
+  /// hands both straight to the SIMD gate kernel) instead of re-calling
+  /// batch_result_words per event.
+  size_t row_words() const { return words(); }
 
   /// Truth of bank predicate `id` for in-batch event `b` of the last
   /// EvaluateBatch. Fallback predicates are interpreted lazily per
@@ -193,7 +209,7 @@ class PredicateBank {
 
     int field = -1;
     std::vector<double> bounds;        // sorted unique finite endpoints
-    std::vector<uint64_t> constrained; // bit d: predicate d constrains field
+    simd::WordVector constrained;      // bit d: predicate d constrains field
     /// Absolute bitset of region c * kCheckpointStride at
     /// checkpoints[c * words].
     std::vector<uint64_t> checkpoints;
@@ -205,7 +221,7 @@ class PredicateBank {
     /// bitset. Valid until the field value leaves the region's bounds.
     bool memo_valid = false;
     size_t memo_region = 0;
-    std::vector<uint64_t> memo_words;
+    simd::WordVector memo_words;
   };
 
   size_t words() const { return (num_decomposable_ + 63) / 64; }
@@ -229,14 +245,20 @@ class PredicateBank {
   // Last Evaluate() results. Fallback values are memoized lazily:
   // -1 unknown, 0 false, 1 true. current_event_ is a capacity-reusing
   // copy for those lazy interpretations.
-  std::vector<uint64_t> result_words_;
+  simd::WordVector result_words_;
   mutable std::vector<int8_t> fallback_values_;
   stream::Event current_event_;
 
+  // Evaluate() scratch: per-event source lists for the fused fold kernel
+  // (memo bitsets to AND, constrained bitsets of NaN fields to clear).
+  // Members so the capacity survives across events.
+  std::vector<const uint64_t*> fold_and_srcs_;
+  std::vector<const uint64_t*> fold_not_srcs_;
+
   // Last EvaluateBatch() results: one words()-sized row per in-batch
-  // event, plus a (event x fallback slot) lazy truth grid over the
-  // borrowed event window.
-  std::vector<uint64_t> batch_words_;
+  // event (32-byte aligned for the SIMD kernels), plus a
+  // (event x fallback slot) lazy truth grid over the borrowed window.
+  simd::WordVector batch_words_;
   mutable std::vector<int8_t> batch_fallback_values_;
   const stream::Event* batch_events_ = nullptr;
 

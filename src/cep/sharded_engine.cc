@@ -575,6 +575,7 @@ std::vector<ShardedEngine::QueryStatsSnapshot> ShardedEngine::QueryStats() {
     // the numbers are mutually consistent).
     snapshot.stats = op.matcher_stats(
         local_index[static_cast<size_t>(info.shard)].at(info.local_id));
+    snapshot.bank = op.bank_stats();
     info.weight = MeasuredQueryCostWeight(snapshot.stats, info.static_weight);
     snapshot.weight = info.weight;
     snapshots.push_back(snapshot);

@@ -273,6 +273,11 @@ class ShardedEngine {
     int shard = -1;
     uint64_t weight = 0;
     MatcherStats stats;
+    /// Evaluation counters of the query's shard-shared predicate bank
+    /// (identical for co-sharded queries): region memo hit rates and the
+    /// batch broadcast-vs-recomputed row split that the SIMD row kernel
+    /// exploits.
+    PredicateBankStats bank;
   };
 
   /// Quiesces the shards at an exact event boundary, delivers everything

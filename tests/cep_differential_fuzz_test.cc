@@ -38,6 +38,7 @@
 #include "cep/nfa.h"
 #include "cep/pattern.h"
 #include "cep/sharded_engine.h"
+#include "cep/simd.h"
 #include "stream/event.h"
 #include "stream/schema.h"
 #include "test_util.h"
@@ -559,6 +560,43 @@ size_t RunChurnScenario(uint64_t scenario_seed, MatcherOptions::Mode mode) {
     total += matches.size();
   }
   return total;
+}
+
+// Dispatch differential: the same seeds run with the SIMD layer pinned to
+// the scalar table and then pinned to AVX2 (when this machine has it).
+// RunScenario already asserts flat and batched against the NfaMatcher
+// oracle, and the oracle never touches the bank or its kernels -- so both
+// dispatch modes agreeing with the one kernel-independent oracle proves
+// the detection streams are bit-identical across dispatches.
+TEST(DifferentialFuzzTest, ScalarAndAvx2DispatchAreBitIdentical) {
+  const uint64_t base_seed = EnvSeed();
+  const int scenarios = std::max(1, EnvScenarios() / 2);
+
+  std::vector<simd::Dispatch> dispatches = {simd::Dispatch::kScalar};
+  if (simd::Avx2Available()) {
+    dispatches.push_back(simd::Dispatch::kAvx2);
+  }
+  size_t total_matches = 0;
+  for (simd::Dispatch dispatch : dispatches) {
+    simd::SetDispatchForTest(dispatch);
+    for (int i = 0; i < scenarios; ++i) {
+      const uint64_t scenario_seed = base_seed + static_cast<uint64_t>(i);
+      SCOPED_TRACE("scenario seed " + std::to_string(scenario_seed) +
+                   " dispatch " +
+                   (dispatch == simd::Dispatch::kAvx2 ? "avx2" : "scalar"));
+      total_matches +=
+          RunScenario(scenario_seed, MatcherOptions::Mode::kDominant);
+      if (::testing::Test::HasFailure()) {
+        break;
+      }
+    }
+    if (::testing::Test::HasFailure()) {
+      break;
+    }
+  }
+  simd::SetDispatchForTest(std::nullopt);
+  EXPECT_GT(total_matches, 0u)
+      << "dispatch fuzz produced no matches (seed " << base_seed << ")";
 }
 
 TEST(DifferentialFuzzTest, ChurnAndShardedAgreeWithOracle) {

@@ -277,6 +277,59 @@ TEST(PredicateBankTest, CrossEventRegionMemoSkipsSearches) {
   EXPECT_EQ(bank.stats().region_memo_hits, 4u);
 }
 
+TEST(PredicateBankTest, BatchCountersSplitBroadcastVsRecomputedRows) {
+  CompiledPattern low = CompilePose(Expr::RangePredicate("x", -50, 25));
+  CompiledPattern high = CompilePose(Expr::RangePredicate("x", 50, 25));
+  PredicateBank bank;
+  int low_id = bank.RegisterPattern(low)[0];
+  int high_id = bank.RegisterPattern(high)[0];
+  bank.Build();
+
+  // One window: 3 same-region events (1 search + 2 broadcast rows), a
+  // region change (search), then 2 more broadcast rows in the new region.
+  std::vector<Event> window = {At(-40.0), At(-41.5), At(-39.2),
+                               At(60.0),  At(61.0),  At(58.5)};
+  bank.EvaluateBatch(window.data(), window.size());
+  for (size_t b = 0; b < 3; ++b) {
+    EXPECT_TRUE(bank.batch_value(b, low_id)) << b;
+    EXPECT_FALSE(bank.batch_value(b, high_id)) << b;
+  }
+  for (size_t b = 3; b < 6; ++b) {
+    EXPECT_FALSE(bank.batch_value(b, low_id)) << b;
+    EXPECT_TRUE(bank.batch_value(b, high_id)) << b;
+  }
+  EXPECT_EQ(bank.stats().batch_recomputed_rows, 2u);
+  EXPECT_EQ(bank.stats().batch_broadcast_rows, 4u);
+  // The batch split refines the same totals the per-event memo reports.
+  EXPECT_EQ(bank.stats().region_searches, 2u);
+  EXPECT_EQ(bank.stats().region_memo_hits, 4u);
+
+  // The memo survives across windows: a follow-up window starting in the
+  // same region serves every row from the broadcast word.
+  std::vector<Event> next = {At(59.0), At(60.5)};
+  bank.EvaluateBatch(next.data(), next.size());
+  EXPECT_EQ(bank.stats().batch_recomputed_rows, 2u);
+  EXPECT_EQ(bank.stats().batch_broadcast_rows, 6u);
+}
+
+TEST(PredicateBankTest, BatchNanRowsCountInNeitherBatchCounter) {
+  CompiledPattern low = CompilePose(Expr::RangePredicate("x", -50, 25));
+  PredicateBank bank;
+  int low_id = bank.RegisterPattern(low)[0];
+  bank.Build();
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN rows clear constrained bits without touching the memo: the run
+  // around them stays broadcastable.
+  std::vector<Event> window = {At(-40.0), At(nan), At(-41.0)};
+  bank.EvaluateBatch(window.data(), window.size());
+  EXPECT_TRUE(bank.batch_value(0, low_id));
+  EXPECT_FALSE(bank.batch_value(1, low_id));
+  EXPECT_TRUE(bank.batch_value(2, low_id));
+  EXPECT_EQ(bank.stats().batch_recomputed_rows, 1u);
+  EXPECT_EQ(bank.stats().batch_broadcast_rows, 1u);
+}
+
 // Property: a field with hundreds of regions (many checkpoint strides)
 // still answers every predicate exactly, under both slow region-to-region
 // walks (memo-friendly) and random jumps (checkpoint + delta replay).

@@ -479,6 +479,13 @@ TEST(ShardedEngineTest, MeasuredHotQueriesOutweighStaticallyHeavyColdOnes) {
       hot_weight = snapshot.weight;
     }
     EXPECT_EQ(snapshot.stats.events, 30u) << "query " << snapshot.query_id;
+    // The snapshot also carries the shard bank's evaluation counters:
+    // 30 events through batch_size=8 windows must have split every
+    // (field, event) row into broadcast-vs-recomputed.
+    EXPECT_GT(snapshot.bank.batch_broadcast_rows +
+                  snapshot.bank.batch_recomputed_rows,
+              0u)
+        << "query " << snapshot.query_id;
   }
   EXPECT_LT(heavy_weight, 16u);  // measured demotes the cold heavy query
   EXPECT_GT(hot_weight, heavy_weight);
