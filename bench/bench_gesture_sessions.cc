@@ -24,6 +24,7 @@
 #include "cep/simd.h"
 #include "exp_util.h"
 #include "kinect/skeleton.h"
+#include "workflow/composite.h"
 #include "workflow/gesture_runtime.h"
 
 namespace epl {
@@ -269,6 +270,91 @@ void BM_SessionsSharedSharded(benchmark::State& state) {
   RunSessions(state, RuntimeBackend::kSharded, 32, 2);
 }
 BENCHMARK(BM_SessionsSharedSharded)->Arg(8)->Arg(64);
+
+/// Flat-path guard for composite gestures: with ZERO composites deployed
+/// the per-event cost must be unchanged. The composite runner is lazily
+/// allocated, so the guard times the worst zero-composite shape -- a
+/// runtime that DID deploy a composite once and undeployed it (runner
+/// allocated, epoch hooks armed, but inactive) -- against a
+/// never-composite runtime on the identical feed, best-of-N with
+/// alternating modes (see VerifyBatchedDominance) so machine drift hits
+/// both sides alike. The <= 5% ceiling is enforced here at startup, and
+/// the recorded overhead_pct counter is re-gated against the main-branch
+/// baseline by scripts/bench_compare.py.
+void BM_CompositeOverhead(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  const std::vector<std::pair<SessionId, const SkeletonFrame*>> feed =
+      BuildFeed(sessions);
+  const std::string input_name = bench::LearnedVariants(1)[0].name;
+  auto make_runtime = [&](stream::StreamEngine* engine, uint64_t* detections,
+                          bool touch_composite) {
+    auto runtime = std::make_unique<GestureRuntime>(
+        engine, MakeOptions(RuntimeBackend::kFused, 1, 1));
+    std::vector<SessionId> ids =
+        DeployFleet(runtime.get(), sessions, detections);
+    if (touch_composite) {
+      workflow::CompositeDefinition definition;
+      definition.name = "composite_probe";
+      definition.steps.push_back(workflow::CompositeStep{
+          static_cast<int>(ids[0]), input_name, 1});
+      EPL_CHECK(runtime
+                    ->DeployComposite(ids[0], definition,
+                                      [](const cep::Detection&) {})
+                    .ok());
+      EPL_CHECK(runtime->Undeploy(ids[0], "composite_probe").ok());
+    }
+    return runtime;
+  };
+  auto push_feed = [&](GestureRuntime* runtime) {
+    for (const auto& [session, frame] : feed) {
+      Status status = runtime->PushFrame(session, *frame);
+      benchmark::DoNotOptimize(status.ok());
+    }
+    Status status = runtime->Flush();
+    benchmark::DoNotOptimize(status.ok());
+  };
+  auto time_once = [&](bool touch_composite) {
+    stream::StreamEngine engine;
+    uint64_t detections = 0;
+    auto runtime = make_runtime(&engine, &detections, touch_composite);
+    const auto start = std::chrono::steady_clock::now();
+    push_feed(runtime.get());
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    benchmark::DoNotOptimize(detections);
+    return seconds;
+  };
+  static const double overhead_pct = [&] {
+    constexpr int kPasses = 5;
+    double never = std::numeric_limits<double>::infinity();
+    double touched = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      never = std::min(never, time_once(false));
+      touched = std::min(touched, time_once(true));
+    }
+    const double pct = 100.0 * (touched / never - 1.0);
+    EPL_CHECK(pct <= 5.0)
+        << "composite machinery costs the zero-composite flat path " << pct
+        << "% (" << touched << "s vs " << never << "s at " << sessions
+        << " sessions); the acceptance ceiling is 5%";
+    return pct;
+  }();
+
+  stream::StreamEngine engine;
+  uint64_t detections = 0;
+  auto runtime = make_runtime(&engine, &detections, true);
+  for (auto _ : state) {
+    push_feed(runtime.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(feed.size()));
+  state.counters["sessions"] = sessions;
+  state.counters["overhead_pct"] = std::max(0.0, overhead_pct);
+  benchmark::DoNotOptimize(detections);
+}
+BENCHMARK(BM_CompositeOverhead)->Arg(8);
 
 }  // namespace
 }  // namespace epl

@@ -7,10 +7,11 @@ as a CI artifact). Two families of named counters are gated:
 
   * items_per_second rows (events/s and friends) -- higher is better; a
     drop of more than --tolerance (default 15%) is a regression.
-  * the durability bench's overhead_pct counter -- lower is better; a
-    rise of more than --tolerance relative AND 2 percentage points
-    absolute is a regression (the absolute floor keeps jitter on small
-    overheads from tripping the gate).
+  * overhead_pct counters (the durability bench's WAL overhead, the
+    composite bench's zero-composite flat-path overhead) -- lower is
+    better; a rise of more than --tolerance relative AND 2 percentage
+    points absolute is a regression (the absolute floor keeps jitter on
+    small overheads from tripping the gate).
 
 Repetition-aware: multiple "iteration" rows per benchmark are collapsed
 to their median before comparison. A missing baseline directory, file,
@@ -130,6 +131,8 @@ def synthetic_report(ips, overhead, extra=None):
          "run_type": "iteration", "items_per_second": ips},
         {"name": "BM_DurabilityOverhead/64", "run_type": "iteration",
          "overhead_pct": overhead},
+        {"name": "BM_CompositeOverhead/8", "run_type": "iteration",
+         "items_per_second": ips, "overhead_pct": overhead / 10.0},
     ]
     if extra is not None:
         benchmarks.append({"name": extra, "run_type": "iteration",
@@ -150,7 +153,10 @@ def self_test():
         with open(os.path.join(good, "BENCH_x.json"), "w") as fh:
             json.dump(synthetic_report(950_000.0, 11.0,
                                        extra="BM_BrandNewKernel/32"), fh)
-        # Injected regressions: -30% throughput, overhead 10% -> 25%.
+        # Injected regressions: -30% throughput (both items_per_second
+        # rows) and durability overhead 10% -> 25%. The composite
+        # overhead rises 1.0 -> 2.5 points: above tolerance relatively
+        # but under the 2-point absolute floor, so it must NOT trip.
         with open(os.path.join(bad, "BENCH_x.json"), "w") as fh:
             json.dump(synthetic_report(700_000.0, 25.0), fh)
 
@@ -167,7 +173,7 @@ def self_test():
             print("self-test FAILED: baseline-less metric missing from notes")
             return 1
         _, regressions, _ = compare_dirs(bad, base, 0.15)
-        if len(regressions) != 2:
+        if len(regressions) != 3:
             print(f"self-test FAILED: injected regressions not caught "
                   f"(got {regressions})")
             return 1

@@ -22,6 +22,8 @@ int MultiMatchOperator::FindQuery(int query_id) const {
 }
 
 int MultiMatchOperator::AddQuery(QuerySpec spec) {
+  EPL_CHECK(spec.level == 0 || spec.gate == nullptr)
+      << "composite queries cannot be gated";
   Query query;
   query.id = next_query_id_++;
   query.output_name = std::move(spec.output_name);
@@ -29,6 +31,9 @@ int MultiMatchOperator::AddQuery(QuerySpec spec) {
   query.measures = std::move(spec.measures);
   query.callback = std::move(spec.callback);
   query.gate = std::move(spec.gate);
+  query.level = spec.level;
+  query.tag = spec.tag;
+  query.session_tag = spec.session_tag;
   int id = query.id;
   if (processing_) {
     PendingOp op;
@@ -46,7 +51,8 @@ int MultiMatchOperator::AddQuery(QuerySpec spec) {
 }
 
 Status MultiMatchOperator::RemoveQuery(int query_id) {
-  bool known = FindQuery(query_id) >= 0;
+  bool known = FindQuery(query_id) >= 0 ||
+               (composite_ != nullptr && composite_->Has(query_id));
   if (!known) {
     // The target may be an add deferred earlier in the same callback.
     for (const PendingOp& op : pending_ops_) {
@@ -77,6 +83,11 @@ Result<MultiMatchOperator::DetachedQuery> MultiMatchOperator::ExtractQuery(
   FlushBatchedEvents();
   int index = FindQuery(query_id);
   if (index < 0) {
+    if (composite_ != nullptr && composite_->Has(query_id)) {
+      return FailedPreconditionError(
+          "composite query " + std::to_string(query_id) +
+          " cannot be extracted (composites do not migrate)");
+    }
     return NotFoundError("unknown query id " + std::to_string(query_id));
   }
   Query& query = queries_[index];
@@ -87,6 +98,8 @@ Result<MultiMatchOperator::DetachedQuery> MultiMatchOperator::ExtractQuery(
   detached.measures = std::move(query.measures);
   detached.callback = std::move(query.callback);
   detached.gate = std::move(query.gate);
+  detached.tag = query.tag;
+  detached.session_tag = query.session_tag;
   detached.matcher = matcher_.ExtractPattern(index);
   queries_.erase(queries_.begin() + index);
   return detached;
@@ -103,6 +116,8 @@ int MultiMatchOperator::AdoptQuery(DetachedQuery detached) {
   query.measures = std::move(detached.measures);
   query.callback = std::move(detached.callback);
   query.gate = std::move(detached.gate);
+  query.tag = detached.tag;
+  query.session_tag = detached.session_tag;
   int id = query.id;
   matcher_.AdoptPattern(std::move(detached.matcher), query.gate.get());
   queries_.push_back(std::move(query));
@@ -115,6 +130,9 @@ Result<NfaRunState> MultiMatchOperator::ExportQueryRunState(int query_id) {
   FlushBatchedEvents();
   const int index = FindQuery(query_id);
   if (index < 0) {
+    if (composite_ != nullptr && composite_->Has(query_id)) {
+      return composite_->ExportRunState(query_id);
+    }
     return NotFoundError("unknown query id " + std::to_string(query_id));
   }
   // matcher(index) synchronizes arena-resident run state and statistics
@@ -126,12 +144,31 @@ Result<int> MultiMatchOperator::RestoreQuery(QuerySpec spec,
                                              const NfaRunState& runs) {
   EPL_CHECK(!processing_) << "RestoreQuery from inside a detection callback";
   FlushBatchedEvents();
+  if (spec.level > 0) {
+    CompositeQuery composite;
+    composite.level = spec.level;
+    composite.output_name = std::move(spec.output_name);
+    composite.pattern =
+        std::make_unique<CompiledPattern>(std::move(spec.pattern));
+    composite.measures = std::move(spec.measures);
+    composite.callback = std::move(spec.callback);
+    composite.tag = spec.tag;
+    composite.session_tag = spec.session_tag;
+    composite.id = next_query_id_;
+    EPL_RETURN_IF_ERROR(
+        EnsureComposite().Restore(std::move(composite), runs));
+    return next_query_id_++;
+  }
   Query query;
   query.output_name = std::move(spec.output_name);
   query.pattern = std::make_unique<CompiledPattern>(std::move(spec.pattern));
   query.measures = std::move(spec.measures);
   query.callback = std::move(spec.callback);
   query.gate = std::move(spec.gate);
+  // Keep the derived-event identity: composites restored from the same
+  // snapshot re-derive from this query by its tag.
+  query.tag = spec.tag;
+  query.session_tag = spec.session_tag;
   auto matcher =
       std::make_unique<NfaMatcher>(query.pattern.get(), matcher_.options());
   EPL_RETURN_IF_ERROR(matcher->ImportRunState(runs));
@@ -142,12 +179,36 @@ Result<int> MultiMatchOperator::RestoreQuery(QuerySpec spec,
   return id;
 }
 
+CompositeRunner& MultiMatchOperator::EnsureComposite() {
+  if (composite_ == nullptr) {
+    composite_ = std::make_unique<CompositeRunner>(matcher_.options());
+  }
+  return *composite_;
+}
+
 void MultiMatchOperator::ApplyAdd(Query query) {
+  if (query.level > 0) {
+    CompositeQuery composite;
+    composite.id = query.id;
+    composite.level = query.level;
+    composite.output_name = std::move(query.output_name);
+    composite.pattern = std::move(query.pattern);
+    composite.measures = std::move(query.measures);
+    composite.callback = std::move(query.callback);
+    composite.tag = query.tag;
+    composite.session_tag = query.session_tag;
+    EnsureComposite().Add(std::move(composite));
+    return;
+  }
   matcher_.AddPattern(query.pattern.get(), query.gate.get());
   queries_.push_back(std::move(query));
 }
 
 void MultiMatchOperator::ApplyRemove(int query_id) {
+  if (composite_ != nullptr && composite_->Has(query_id)) {
+    (void)composite_->Remove(query_id);
+    return;
+  }
   int index = FindQuery(query_id);
   if (index < 0) {
     return;  // already removed by an earlier deferred op
@@ -184,6 +245,11 @@ void MultiMatchOperator::DispatchToQuery(const Query& query,
   if (query.callback) {
     query.callback(detection);
   }
+  // Base detections feed the composite epoch (see RunBatch) in exactly
+  // the order they are dispatched.
+  if (composite_ != nullptr) {
+    composite_->CollectBase(query.tag, query.session_tag, detection);
+  }
 }
 
 void MultiMatchOperator::Dispatch(int query_id, const PatternMatch& match,
@@ -218,6 +284,15 @@ void MultiMatchOperator::RunBatch(const stream::Event* events, size_t count) {
     if (batch_event_hook_) {
       batch_event_hook_(b);
     }
+    // One composite epoch per source event: base detections collected
+    // during dispatch below, then RunEpoch drives the level fixed point
+    // before this event's deferred mutations apply. Re-checked per event
+    // so a composite added mid-batch sees epochs from the next event on,
+    // exactly as in per-event processing.
+    const bool epochs = composite_ != nullptr && composite_->active();
+    if (epochs) {
+      composite_->BeginEpoch();
+    }
     // Matches the sweep computed for this event.
     for (; next < scratch_matches_.size() &&
            static_cast<size_t>(scratch_matches_[next].batch_index) == b;
@@ -241,6 +316,13 @@ void MultiMatchOperator::RunBatch(const stream::Event* events, size_t count) {
       for (const MultiPatternMatcher::MultiMatch& match : catchup_scratch_) {
         Dispatch(catchup_ids_[c], match.match, events[b]);
       }
+    }
+    // Composite levels run after ALL base detections of this event --
+    // same timestamp epoch, deterministic (event-seq, level, query-id)
+    // order. Composite callbacks may request mutations; processing_ is
+    // still set, so they defer like any other callback.
+    if (epochs) {
+      composite_->RunEpoch();
     }
     // Mutations requested by this event's callbacks take effect before
     // the next event, exactly as in per-event processing.

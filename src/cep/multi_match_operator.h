@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "cep/composite.h"
 #include "cep/detection.h"
 #include "cep/multi_matcher.h"
 #include "common/logging.h"
@@ -76,6 +77,17 @@ class MultiMatchOperator : public stream::Operator {
     std::vector<ExprProgram> measures;
     DetectionCallback callback;
     std::shared_ptr<const CompiledPattern> gate;
+    /// Composite level (see cep/composite.h). 0 = base query matching the
+    /// operator's input stream. Level >= 1 queries match over derived
+    /// detection events instead: their pattern must be compiled against
+    /// DetectionSchema(), `gate` must be null, and each source event's
+    /// base detections are fed to them within the same timestamp epoch
+    /// in the documented (event-seq, level, query-id) order.
+    int level = 0;
+    /// Derived-event identity of this query's detections (see
+    /// GestureTag); feeds composite levels above this query's own.
+    double tag = 0;
+    double session_tag = 0;
   };
 
   /// Adds a query and returns its stable id (monotonic, never reused).
@@ -99,10 +111,14 @@ class MultiMatchOperator : public stream::Operator {
     DetectionCallback callback;
     std::unique_ptr<NfaMatcher> matcher;
     std::shared_ptr<const CompiledPattern> gate;
+    double tag = 0;
+    double session_tag = 0;
   };
 
   /// Detaches the query with stable id `query_id` without destroying its
   /// run state. Must not be called from inside a detection callback.
+  /// Composite (level >= 1) queries cannot be extracted -- they never
+  /// migrate between shards (FailedPrecondition).
   Result<DetachedQuery> ExtractQuery(int query_id);
 
   /// Adopts a query detached from another MultiMatchOperator, preserving
@@ -154,7 +170,19 @@ class MultiMatchOperator : public stream::Operator {
 
   size_t batch_size() const { return batch_size_; }
 
+  /// Base (level-0) queries only; composite queries live in the runner.
   size_t num_queries() const { return queries_.size(); }
+  size_t num_composite_queries() const {
+    return composite_ == nullptr ? 0 : composite_->num_queries();
+  }
+  /// Live matcher statistics of the composite query with stable id
+  /// `query_id` (base queries use matcher_stats()).
+  Result<MatcherStats> CompositeQueryStats(int query_id) const {
+    if (composite_ == nullptr) {
+      return NotFoundError("no composite queries");
+    }
+    return composite_->QueryStats(query_id);
+  }
   /// Stable id of the query at `query_index` (registration order).
   int query_id(int query_index) const { return queries_[query_index].id; }
   /// Index of the query with stable id `query_id`, or -1.
@@ -184,6 +212,9 @@ class MultiMatchOperator : public stream::Operator {
                                "callback";
     FlushBatchedEvents();
     matcher_.Reset();
+    if (composite_ != nullptr) {
+      composite_->Reset();
+    }
   }
 
  private:
@@ -196,6 +227,9 @@ class MultiMatchOperator : public stream::Operator {
     std::vector<ExprProgram> measures;
     DetectionCallback callback;
     std::shared_ptr<const CompiledPattern> gate;
+    int level = 0;
+    double tag = 0;
+    double session_tag = 0;
   };
 
   /// One deferred mutation queued from inside a detection callback.
@@ -207,6 +241,8 @@ class MultiMatchOperator : public stream::Operator {
 
   void ApplyAdd(Query query);
   void ApplyRemove(int query_id);
+  /// The lazily created composite runner (first level >= 1 AddQuery).
+  CompositeRunner& EnsureComposite();
   /// Applies pending ops; queries added are also appended to
   /// `catchup_ids_` so an in-flight batch replays its remaining events
   /// for them.
@@ -227,6 +263,10 @@ class MultiMatchOperator : public stream::Operator {
 
   MultiPatternMatcher matcher_;
   std::vector<Query> queries_;  // index-aligned with matcher_ entries
+  // Composite (level >= 1) queries; null until the first one is added.
+  // queries_ holds base queries only, so the flat path never pays for
+  // the feedback machinery beyond one null/active check per event.
+  std::unique_ptr<CompositeRunner> composite_;
   std::vector<MultiPatternMatcher::MultiMatch> scratch_matches_;
   std::vector<MultiPatternMatcher::MultiMatch> catchup_scratch_;
   std::vector<PendingOp> pending_ops_;

@@ -263,9 +263,34 @@ int ShardedEngine::AddQuery(QuerySpec spec) {
   }
   const int id = next_query_id_++;
   QueryInfo info;
-  info.callback = std::move(spec.callback);
+  info.level = spec.level;
+  info.tag = spec.tag;
+  info.session_tag = spec.session_tag;
   info.static_weight = QueryCostWeight(spec.pattern);
   info.weight = info.static_weight;
+  if (spec.level > 0) {
+    // Composite queries run in the engine-owned runner, fed from the
+    // watermark merge -- no shard, no recorder, and the user callback
+    // fires directly from the epoch fixed point (delivery thread).
+    info.shard = -1;
+    CompositeQuery composite;
+    composite.id = id;
+    composite.level = spec.level;
+    composite.output_name = std::move(spec.output_name);
+    composite.pattern =
+        std::make_unique<CompiledPattern>(std::move(spec.pattern));
+    composite.measures = std::move(spec.measures);
+    composite.callback = std::move(spec.callback);
+    composite.tag = spec.tag;
+    composite.session_tag = spec.session_tag;
+    EnsureCompositeLocked().Add(std::move(composite));
+    queries_.emplace(id, std::move(info));
+    if (live) {
+      ResumeWorkers();
+    }
+    return id;
+  }
+  info.callback = std::move(spec.callback);
   info.shard = LeastLoadedShard();
   Shard* shard = shards_[static_cast<size_t>(info.shard)].get();
   spec.callback = MakeRecorder(shard, id);
@@ -293,8 +318,17 @@ Status ShardedEngine::RemoveQuery(int query_id) {
     // Deliver every match the query completed before this boundary.
     DrainAndDeliver();
   }
+  Status status;
+  if (it->second.shard < 0) {
+    status = composite_->Remove(query_id);
+    queries_.erase(it);
+    if (live) {
+      ResumeWorkers();
+    }
+    return status;
+  }
   Shard* shard = shards_[static_cast<size_t>(it->second.shard)].get();
-  Status status = shard->op.RemoveQuery(it->second.local_id);
+  status = shard->op.RemoveQuery(it->second.local_id);
   queries_.erase(it);
   Rebalance();
   if (live) {
@@ -315,6 +349,9 @@ void ShardedEngine::ResetMatchers() {
   }
   for (std::unique_ptr<Shard>& shard : shards_) {
     shard->op.ResetMatchers();
+  }
+  if (composite_ != nullptr) {
+    composite_->Reset();
   }
   if (live) {
     ResumeWorkers();
@@ -372,8 +409,8 @@ Status ShardedEngine::ResizeLocked(int num_shards) {
     // Rebalance, just with a forced source set.
     Status migrate_status;
     for (auto& [query_id, info] : queries_) {
-      if (static_cast<size_t>(info.shard) < target) {
-        continue;
+      if (info.shard < 0 || static_cast<size_t>(info.shard) < target) {
+        continue;  // composite queries live off-shard; survivors stay put
       }
       Result<MultiMatchOperator::DetachedQuery> detached =
           shards_[static_cast<size_t>(info.shard)]->op.ExtractQuery(
@@ -498,8 +535,11 @@ ShardedEngine::ExportRunStates() {
   states.reserve(queries_.size());
   Status status;
   for (const auto& [query_id, info] : queries_) {
-    MultiMatchOperator& op = shards_[static_cast<size_t>(info.shard)]->op;
-    Result<NfaRunState> state = op.ExportQueryRunState(info.local_id);
+    Result<NfaRunState> state =
+        info.shard < 0
+            ? composite_->ExportRunState(query_id)
+            : shards_[static_cast<size_t>(info.shard)]->op.ExportQueryRunState(
+                  info.local_id);
     if (!state.ok()) {
       status = state.status().WithContext("query " + std::to_string(query_id));
       break;
@@ -528,9 +568,38 @@ Result<int> ShardedEngine::RestoreQuery(QuerySpec spec,
   }
   const int id = next_query_id_;
   QueryInfo info;
-  info.callback = std::move(spec.callback);
+  info.level = spec.level;
+  info.tag = spec.tag;
+  info.session_tag = spec.session_tag;
   info.static_weight = QueryCostWeight(spec.pattern);
   info.weight = info.static_weight;
+  if (spec.level > 0) {
+    info.shard = -1;
+    CompositeQuery composite;
+    composite.id = id;
+    composite.level = spec.level;
+    composite.output_name = std::move(spec.output_name);
+    composite.pattern =
+        std::make_unique<CompiledPattern>(std::move(spec.pattern));
+    composite.measures = std::move(spec.measures);
+    composite.callback = std::move(spec.callback);
+    composite.tag = spec.tag;
+    composite.session_tag = spec.session_tag;
+    Status restored =
+        EnsureCompositeLocked().Restore(std::move(composite), runs);
+    if (restored.ok()) {
+      ++next_query_id_;
+      queries_.emplace(id, std::move(info));
+    }
+    if (live) {
+      ResumeWorkers();
+    }
+    if (!restored.ok()) {
+      return restored;
+    }
+    return id;
+  }
+  info.callback = std::move(spec.callback);
   info.shard = LeastLoadedShard();
   Shard* shard = shards_[static_cast<size_t>(info.shard)].get();
   spec.callback = MakeRecorder(shard, id);
@@ -568,6 +637,16 @@ std::vector<ShardedEngine::QueryStatsSnapshot> ShardedEngine::QueryStats() {
     QueryStatsSnapshot snapshot;
     snapshot.query_id = query_id;
     snapshot.shard = info.shard;
+    if (info.shard < 0) {
+      // Composite queries: matcher stats from the engine-owned runner
+      // (bank stats stay default -- composites share no shard bank).
+      Result<MatcherStats> stats = composite_->QueryStats(query_id);
+      EPL_CHECK(stats.ok()) << stats.status();
+      snapshot.stats = *stats;
+      snapshot.weight = info.weight;
+      snapshots.push_back(snapshot);
+      continue;
+    }
     MultiMatchOperator& op = shards_[static_cast<size_t>(info.shard)]->op;
     // One stats sync per query serves both the snapshot and the
     // measured-weight refresh (the snapshot is the natural moment to fold
@@ -886,18 +965,46 @@ void ShardedEngine::DrainAndDeliver() {
     return;
   }
   // Stable: matches of one query for one event (exhaustive mode can emit
-  // several) come from a single shard in emission order.
+  // several) come from a single shard in emission order. The (seq, level,
+  // query_id) key is the documented total order -- shards only record
+  // level 0, composite detections are produced below in level order.
   std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
                    [](const PendingMatch& a, const PendingMatch& b) {
-                     return std::tie(a.seq, a.query_id) <
-                            std::tie(b.seq, b.query_id);
+                     return std::tie(a.seq, a.level, a.query_id) <
+                            std::tie(b.seq, b.level, b.query_id);
                    });
   delivering_thread_.store(std::this_thread::get_id(),
                            std::memory_order_relaxed);
-  for (PendingMatch& match : merge_scratch_) {
-    auto it = queries_.find(match.query_id);
-    if (it != queries_.end() && it->second.callback) {
-      it->second.callback(match.detection);
+  // With composites deployed, each event sequence number with base
+  // detections becomes one feedback epoch: base callbacks fire first (in
+  // query-id order), their detections re-enter as derived events, and the
+  // runner drives the level fixed point before the next sequence number.
+  // Sequence numbers without base detections never appear here, and an
+  // empty epoch is a no-op for every composite pattern (no eager run
+  // expiry), so skipping them is exact.
+  const bool feedback = composite_ != nullptr && composite_->active();
+  size_t i = 0;
+  while (i < merge_scratch_.size()) {
+    const uint64_t seq = merge_scratch_[i].seq;
+    if (feedback) {
+      composite_->BeginEpoch();
+    }
+    for (; i < merge_scratch_.size() && merge_scratch_[i].seq == seq; ++i) {
+      PendingMatch& match = merge_scratch_[i];
+      auto it = queries_.find(match.query_id);
+      if (it == queries_.end()) {
+        continue;
+      }
+      if (it->second.callback) {
+        it->second.callback(match.detection);
+      }
+      if (feedback) {
+        composite_->CollectBase(it->second.tag, it->second.session_tag,
+                                match.detection);
+      }
+    }
+    if (feedback) {
+      composite_->RunEpoch();
     }
   }
   delivering_thread_.store(std::thread::id(), std::memory_order_relaxed);
@@ -930,6 +1037,9 @@ void ShardedEngine::RefreshWeightsLocked(
     const std::vector<std::unordered_map<int, int>>& local_index) {
   for (auto& [query_id, info] : queries_) {
     (void)query_id;
+    if (info.shard < 0) {
+      continue;  // composite queries never participate in placement
+    }
     MultiMatchOperator& op = shards_[static_cast<size_t>(info.shard)]->op;
     const MatcherStats& stats = op.matcher_stats(
         local_index[static_cast<size_t>(info.shard)].at(info.local_id));
@@ -941,6 +1051,9 @@ std::vector<uint64_t> ShardedEngine::ShardWeightsLocked() const {
   std::vector<uint64_t> weights(shards_.size(), 0);
   for (const auto& [query_id, info] : queries_) {
     (void)query_id;
+    if (info.shard < 0) {
+      continue;  // composite queries never participate in placement
+    }
     weights[static_cast<size_t>(info.shard)] += info.weight;
   }
   return weights;
@@ -1016,6 +1129,13 @@ void ShardedEngine::Rebalance() {
     info.shard = min_shard;
     ++rebalanced_queries_;
   }
+}
+
+CompositeRunner& ShardedEngine::EnsureCompositeLocked() {
+  if (composite_ == nullptr) {
+    composite_ = std::make_unique<CompositeRunner>(options_.matcher);
+  }
+  return *composite_;
 }
 
 DetectionCallback ShardedEngine::MakeRecorder(Shard* shard, int query_id) {

@@ -70,6 +70,7 @@
 #include <utility>
 #include <vector>
 
+#include "cep/composite.h"
 #include "cep/multi_match_operator.h"
 #include "stream/operator.h"
 
@@ -239,6 +240,14 @@ class ShardedEngine {
   /// thread; when live, the shards are quiesced at an event boundary
   /// first, so the query sees exactly the events pushed after this call
   /// returns.
+  ///
+  /// Composite queries (spec.level >= 1, see cep/composite.h) do not live
+  /// on a shard: they run in an engine-owned CompositeRunner driven from
+  /// the watermark merge, so their inputs may span every shard. Each
+  /// event sequence number with at least one base detection becomes one
+  /// feedback epoch, delivered in (event-seq, level, query-id) order --
+  /// bit-identical to the fused operator regardless of shard count, work
+  /// stealing, or rebalancing.
   int AddQuery(QuerySpec spec);
 
   /// Removes a query (any thread). When live, all of its matches up to
@@ -324,11 +333,16 @@ class ShardedEngine {
   std::vector<uint64_t> shard_busy_ns() const;
 
  private:
-  /// One completed match awaiting watermark release.
+  /// One completed match awaiting watermark release. The merge orders by
+  /// (seq, level, query_id); shards host only base (level-0) queries, so
+  /// recorded matches always carry level 0 -- the level key is what keeps
+  /// the order total once composite detections (produced at delivery
+  /// time, never enqueued here) are interleaved per epoch.
   struct PendingMatch {
     uint64_t seq = 0;
     int query_id = 0;
     Detection detection;
+    int level = 0;
   };
 
   /// A fan-out unit: consecutive events [base_seq, base_seq + size), one
@@ -380,6 +394,9 @@ class ShardedEngine {
   };
 
   struct QueryInfo {
+    /// Hosting shard, or -1 for composite queries (which live in the
+    /// engine-owned CompositeRunner, not on any shard -- every placement
+    /// and rebalancing path skips shard < 0).
     int shard = -1;
     int local_id = -1;  // id inside the shard's MultiMatchOperator
     /// Active placement weight: MeasuredQueryCostWeight of the latest
@@ -387,6 +404,10 @@ class ShardedEngine {
     uint64_t weight = 1;
     uint64_t static_weight = 1;  // QueryCostWeight of the pattern
     DetectionCallback callback;
+    int level = 0;
+    /// Derived-event identity feeding composite epochs (base queries).
+    double tag = 0;
+    double session_tag = 0;
   };
 
   /// Creates a shard with its batch-event hook installed, pre-advanced to
@@ -431,6 +452,10 @@ class ShardedEngine {
   void Rebalance();
   DetectionCallback MakeRecorder(Shard* shard, int query_id);
   Status FirstShardError();
+  /// The lazily created composite runner (control_mu_ held; only ever
+  /// touched under it -- DrainAndDeliver, the sole execution driver, runs
+  /// with control_mu_ held, so composite matching never races workers).
+  CompositeRunner& EnsureCompositeLocked();
 
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -448,6 +473,9 @@ class ShardedEngine {
   std::atomic<std::thread::id> delivering_thread_{};
 
   std::map<int, QueryInfo> queries_;
+  // Composite (level >= 1) queries, keyed by engine query id; null until
+  // the first one is deployed (zero flat-path cost without composites).
+  std::unique_ptr<CompositeRunner> composite_;
   int next_query_id_ = 0;
   uint64_t rebalanced_queries_ = 0;
   uint64_t resize_count_ = 0;

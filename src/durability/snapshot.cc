@@ -10,7 +10,10 @@ namespace epl::durability {
 namespace {
 
 constexpr char kMagic[] = "EPLSNAP1";  // 8 bytes, versioned
-constexpr uint32_t kVersion = 1;
+// Version 2 added QueryState::{level, stream, definition} (composite
+// gestures); version-1 snapshots still decode, with those fields
+// defaulted (v1 runtimes had no composites to restore).
+constexpr uint32_t kVersion = 2;
 constexpr char kSnapshotPrefix[] = "snapshot-";
 constexpr char kSnapshotSuffix[] = ".snap";
 constexpr char kTmpSuffix[] = ".tmp";
@@ -69,11 +72,14 @@ void EncodeSnapshotBody(const Snapshot& snapshot, ByteWriter* out) {
     out->PutI64(query.session);
     out->PutString(query.name);
     out->PutString(query.query_text);
+    out->PutI64(query.level);
+    out->PutString(query.stream);
+    out->PutString(query.definition);
     EncodeRunState(query.runs, out);
   }
 }
 
-Result<Snapshot> DecodeSnapshotBody(std::string_view body) {
+Result<Snapshot> DecodeSnapshotBody(std::string_view body, uint32_t version) {
   ByteReader in(body);
   Snapshot snapshot;
   EPL_ASSIGN_OR_RETURN(snapshot.wal_seq, in.ReadU64());
@@ -95,6 +101,12 @@ Result<Snapshot> DecodeSnapshotBody(std::string_view body) {
     query.session = static_cast<int>(session);
     EPL_ASSIGN_OR_RETURN(query.name, in.ReadString());
     EPL_ASSIGN_OR_RETURN(query.query_text, in.ReadString());
+    if (version >= 2) {
+      EPL_ASSIGN_OR_RETURN(int64_t level, in.ReadI64());
+      query.level = static_cast<int>(level);
+      EPL_ASSIGN_OR_RETURN(query.stream, in.ReadString());
+      EPL_ASSIGN_OR_RETURN(query.definition, in.ReadString());
+    }
     EPL_ASSIGN_OR_RETURN(query.runs, DecodeRunState(&in));
     snapshot.queries.push_back(std::move(query));
   }
@@ -122,6 +134,7 @@ void EncodeWalRecord(const WalRecord& record, ByteWriter* out) {
     case WalRecord::Type::kCloseSession:
       break;
     case WalRecord::Type::kDeploy:
+    case WalRecord::Type::kDeployComposite:
       out->PutString(record.name);
       out->PutString(record.definition);
       break;
@@ -139,7 +152,7 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload) {
   WalRecord record;
   EPL_ASSIGN_OR_RETURN(uint8_t type, in.ReadU8());
   if (type < static_cast<uint8_t>(WalRecord::Type::kEvent) ||
-      type > static_cast<uint8_t>(WalRecord::Type::kUndeploy)) {
+      type > static_cast<uint8_t>(WalRecord::Type::kDeployComposite)) {
     return DataLossError("unknown WAL record type " + std::to_string(type));
   }
   record.type = static_cast<WalRecord::Type>(type);
@@ -157,7 +170,8 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload) {
     }
     case WalRecord::Type::kCloseSession:
       break;
-    case WalRecord::Type::kDeploy: {
+    case WalRecord::Type::kDeploy:
+    case WalRecord::Type::kDeployComposite: {
       EPL_ASSIGN_OR_RETURN(record.name, in.ReadString());
       EPL_ASSIGN_OR_RETURN(record.definition, in.ReadString());
       break;
@@ -267,7 +281,7 @@ Result<Snapshot> ReadLatestSnapshot(FileSystem* fs, const std::string& dir) {
       }
       ByteReader header(std::string_view(data).substr(magic, 12));
       EPL_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
-      if (version != kVersion) {
+      if (version < 1 || version > kVersion) {
         return DataLossError("unsupported snapshot version " +
                              std::to_string(version));
       }
@@ -278,7 +292,8 @@ Result<Snapshot> ReadLatestSnapshot(FileSystem* fs, const std::string& dir) {
       if (body.size() != body_len || Crc32c(body) != crc) {
         return DataLossError("snapshot body fails its CRC");
       }
-      EPL_ASSIGN_OR_RETURN(Snapshot snapshot, DecodeSnapshotBody(body));
+      EPL_ASSIGN_OR_RETURN(Snapshot snapshot,
+                           DecodeSnapshotBody(body, version));
       if (snapshot.wal_seq != wal_seq) {
         return DataLossError("snapshot name/body wal_seq mismatch");
       }

@@ -50,6 +50,11 @@ struct WalRecord {
     kCloseSession = 3,  // session
     kDeploy = 4,        // session, name, definition (gesturedb text)
     kUndeploy = 5,      // session, name
+    /// session, name, definition (workflow::SerializeComposite text).
+    /// Replay re-resolves the composite's inputs against the queries live
+    /// at that point of the log -- derived detection events themselves are
+    /// NEVER logged; recovery re-derives them from replayed base events.
+    kDeployComposite = 6,
   };
 
   Type type = Type::kEvent;
@@ -85,6 +90,13 @@ struct QueryState {
   int session = -1;
   std::string name;        // gesture name (deploy key)
   std::string query_text;  // canonical unparser rendering, rescoped
+  /// Composite level (0 = base query; see cep/composite.h). Level >= 1
+  /// queries restore from `definition` (workflow::SerializeComposite
+  /// text, which round-trips gesture tags exactly) and `stream` (the
+  /// channel the composite's inputs feed), not from query_text.
+  int level = 0;
+  std::string stream;
+  std::string definition;
   cep::NfaRunState runs;
 };
 

@@ -1,0 +1,149 @@
+#include "workflow/composite.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "cep/composite.h"
+#include "cep/expr.h"
+#include "cep/pattern.h"
+#include "common/time_util.h"
+
+namespace epl::workflow {
+
+namespace {
+
+constexpr char kHeader[] = "composite v1";
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+Status ValidateComposite(const CompositeDefinition& definition) {
+  if (definition.name.empty()) {
+    return InvalidArgumentError("composite gesture needs a name");
+  }
+  if (definition.steps.empty()) {
+    return InvalidArgumentError("composite gesture '" + definition.name +
+                                "' needs at least one step");
+  }
+  for (const CompositeStep& step : definition.steps) {
+    if (step.gesture.empty()) {
+      return InvalidArgumentError("composite gesture '" + definition.name +
+                                  "' has a step without a gesture name");
+    }
+    if (step.count < 1) {
+      return InvalidArgumentError("composite gesture '" + definition.name +
+                                  "' step '" + step.gesture +
+                                  "' needs count >= 1");
+    }
+    if (step.session < kAnySession) {
+      return InvalidArgumentError("composite gesture '" + definition.name +
+                                  "' step '" + step.gesture +
+                                  "' has an invalid session id");
+    }
+    if (step.gesture == definition.name) {
+      return InvalidArgumentError("composite gesture '" + definition.name +
+                                  "' cannot consume its own detections");
+    }
+  }
+  return OkStatus();
+}
+
+std::string SerializeComposite(const CompositeDefinition& definition) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "name " << definition.name << "\n";
+  out << "within " << FormatDouble(definition.within_seconds) << "\n";
+  for (const CompositeStep& step : definition.steps) {
+    // The gesture name is the last field so it may contain spaces.
+    out << "step " << step.session << " " << step.count << " " << step.gesture
+        << "\n";
+  }
+  return out.str();
+}
+
+Result<CompositeDefinition> ParseComposite(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return InvalidArgumentError("composite definition missing '" +
+                                std::string(kHeader) + "' header");
+  }
+  CompositeDefinition definition;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "name") {
+      fields >> std::ws;
+      std::getline(fields, definition.name);
+    } else if (key == "within") {
+      if (!(fields >> definition.within_seconds)) {
+        return InvalidArgumentError("composite 'within' line is malformed: " +
+                                    line);
+      }
+    } else if (key == "step") {
+      CompositeStep step;
+      if (!(fields >> step.session >> step.count)) {
+        return InvalidArgumentError("composite 'step' line is malformed: " +
+                                    line);
+      }
+      fields >> std::ws;
+      std::getline(fields, step.gesture);
+      definition.steps.push_back(std::move(step));
+    } else {
+      return InvalidArgumentError("composite definition has an unknown line: " +
+                                  line);
+    }
+  }
+  EPL_RETURN_IF_ERROR(ValidateComposite(definition));
+  return definition;
+}
+
+Result<query::ParsedQuery> BuildCompositeQuery(
+    const CompositeDefinition& definition) {
+  EPL_RETURN_IF_ERROR(ValidateComposite(definition));
+  std::vector<cep::PatternExprPtr> poses;
+  for (const CompositeStep& step : definition.steps) {
+    for (int i = 0; i < step.count; ++i) {
+      // Tags are 32-bit integers embedded in doubles (cep::GestureTag), so
+      // a half-open unit window selects exactly one tag value.
+      std::vector<cep::ExprPtr> terms;
+      terms.push_back(cep::Expr::RangePredicate(
+          cep::kDetectionGestureField, cep::GestureTag(step.gesture), 0.5));
+      if (step.session != kAnySession) {
+        terms.push_back(cep::Expr::RangePredicate(
+            cep::kDetectionSessionField, static_cast<double>(step.session),
+            0.5));
+      }
+      cep::ExprPtr predicate = terms.size() == 1
+                                   ? std::move(terms.front())
+                                   : cep::Expr::And(std::move(terms));
+      poses.push_back(cep::PatternExpr::Pose(
+          std::string(cep::kDetectionStreamName), std::move(predicate)));
+    }
+  }
+  query::ParsedQuery parsed;
+  parsed.name = definition.name;
+  if (poses.size() == 1) {
+    parsed.pattern = std::move(poses.front());
+  } else {
+    std::optional<Duration> within;
+    if (definition.within_seconds > 0) {
+      within = DurationFromSeconds(definition.within_seconds);
+    }
+    parsed.pattern = cep::PatternExpr::Sequence(
+        std::move(poses), within, cep::WithinMode::kSpan);
+  }
+  return parsed;
+}
+
+}  // namespace epl::workflow

@@ -1,0 +1,77 @@
+// Composite gesture definitions for the workflow layer.
+//
+// A composite gesture is a pattern over DETECTIONS instead of skeleton
+// frames: "session 3 waved, then session 7 swiped right, within 2
+// seconds", or the cross-session aggregate "50 users swiped right within
+// 2 seconds" (any-session steps with a count). Deploying one makes a
+// query's detection stream re-enter the runtime as a first-class input:
+// base (level-0) query detections become derived events on the synthetic
+// `__detections` stream (see cep/composite.h) and feed the composite's
+// pattern within the same timestamp epoch as the source event.
+//
+// This header holds the backend-independent pieces: the definition
+// struct, its text serialization (what the WAL and snapshots store), and
+// the translation into a query::ParsedQuery over the detection schema.
+// GestureRuntime::DeployComposite owns the runtime half (input
+// resolution, level assignment, cycle rejection).
+
+#ifndef EPL_WORKFLOW_COMPOSITE_H_
+#define EPL_WORKFLOW_COMPOSITE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/parser.h"
+
+namespace epl::workflow {
+
+/// A step consumes detections of one deployed gesture. `session` selects
+/// whose: an exact session id (including the local pseudo-session, -1) or
+/// kAnySession to accept the gesture from every session (the
+/// cross-session aggregate building block).
+inline constexpr int kAnySession = -2;
+
+struct CompositeStep {
+  int session = kAnySession;
+  std::string gesture;
+  /// Number of consecutive detections this step requires (the "50 users
+  /// swiped right" count). Repeats of an any-session step may come from
+  /// the same or different sessions; an exact-session step simply
+  /// requires `count` detections from that session.
+  int count = 1;
+};
+
+struct CompositeDefinition {
+  std::string name;
+  std::vector<CompositeStep> steps;
+  /// Overall window: first consumed detection to last, in seconds
+  /// (WithinMode::kSpan). <= 0 means unbounded.
+  double within_seconds = 0;
+};
+
+/// Structural validation: non-empty name and steps, counts >= 1, no step
+/// consuming the composite's own name (the trivial cycle; deeper cycles
+/// are impossible by construction, see GestureRuntime::DeployComposite).
+Status ValidateComposite(const CompositeDefinition& definition);
+
+/// Line-based text form, stable across versions -- this is what WAL
+/// kDeployComposite records and snapshot QueryStates carry, and what
+/// recovery re-parses to rebuild the query (composites are NOT restored
+/// from unparsed query text: gesture-name tags round-trip exactly through
+/// the definition, not through formatted double literals).
+std::string SerializeComposite(const CompositeDefinition& definition);
+Result<CompositeDefinition> ParseComposite(const std::string& text);
+
+/// Translates the definition into a ParsedQuery whose poses match derived
+/// detection events on cep::kDetectionStreamName: each step becomes
+/// `count` poses predicated on the step's gesture tag (and session tag,
+/// unless kAnySession), sequenced with a kSpan window of
+/// `within_seconds`. The result compiles with query::CompileQuerySpec
+/// against the registered detection schema like any base query.
+Result<query::ParsedQuery> BuildCompositeQuery(
+    const CompositeDefinition& definition);
+
+}  // namespace epl::workflow
+
+#endif  // EPL_WORKFLOW_COMPOSITE_H_

@@ -1,5 +1,6 @@
 #include "workflow/gesture_runtime.h"
 
+#include "cep/composite.h"
 #include "gesturedb/serialization.h"
 #include "kinect/sensor.h"
 #include "query/unparser.h"
@@ -441,6 +442,12 @@ Status GestureRuntime::DoDeploy(SessionId session,
       cep::MultiMatchOperator::QuerySpec spec,
       query::CompileQuerySpec(engine_, parsed, Guard(std::move(callback)),
                               found != nullptr ? found->gate : nullptr));
+  // The derived-event identity: composites deployed later match this
+  // gesture's detections by these tags. Stamped on every base deploy
+  // (they cost nothing without composites), so a composite can consume
+  // any gesture that was live before it.
+  spec.tag = cep::GestureTag(definition.name);
+  spec.session_tag = static_cast<double>(session);
   EPL_ASSIGN_OR_RETURN(Channel * channel, EnsureChannel(stream));
   if (existing != gestures_.end()) {
     EPL_RETURN_IF_ERROR(Retire(existing->second));
@@ -477,10 +484,147 @@ Status GestureRuntime::Deploy(SessionId session,
   return DoDeploy(session, definition, std::move(callback));
 }
 
+Status GestureRuntime::EnsureDetectionStream() {
+  if (engine_->HasStream(cep::kDetectionStreamName)) {
+    return OkStatus();
+  }
+  stream::Schema schema = cep::DetectionSchema();
+  return engine_->RegisterStream(cep::kDetectionStreamName,
+                                 std::move(schema));
+}
+
+Status GestureRuntime::CheckNotConsumed(SessionId session,
+                                        const std::string& name) const {
+  for (const auto& [key, gesture] : gestures_) {
+    if (gesture.level == 0 || (key.first == session && key.second == name)) {
+      continue;
+    }
+    for (const CompositeStep& step : gesture.composite.steps) {
+      if (step.gesture == name &&
+          (step.session == kAnySession || step.session == session)) {
+        return FailedPreconditionError(
+            "gesture '" + name + "' is consumed by composite '" + key.second +
+            "'");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status GestureRuntime::DoDeployComposite(SessionId session,
+                                         const CompositeDefinition& definition,
+                                         cep::DetectionCallback callback) {
+  if (options_.backend == RuntimeBackend::kLegacyPerQuery) {
+    return FailedPreconditionError(
+        "composite gestures require the fused or sharded backend");
+  }
+  EPL_RETURN_IF_ERROR(ValidateComposite(definition));
+  if (session != kLocalSession) {
+    EPL_RETURN_IF_ERROR(FindSession(session).status());
+  }
+  // A live composite consuming this name would gain an edge to a STRICTLY
+  // NEWER query -- the one shape the old-to-new deploy order cannot level
+  // -- so it is the one shape rejected. (Re-deploying a consumed BASE
+  // gesture stays legal: its tag is a pure function of the name, so the
+  // consumer keeps matching across the hot-swap.)
+  EPL_RETURN_IF_ERROR(CheckNotConsumed(session, definition.name));
+
+  // Resolve the inputs: every step needs at least one live match, and all
+  // inputs must feed one channel (their epochs are per-channel).
+  int max_level = 0;
+  std::string stream;
+  for (const CompositeStep& step : definition.steps) {
+    int found = 0;
+    for (const auto& [key, gesture] : gestures_) {
+      if (key.second != step.gesture ||
+          (step.session != kAnySession && key.first != step.session)) {
+        continue;
+      }
+      ++found;
+      max_level = std::max(max_level, gesture.level);
+      if (stream.empty()) {
+        stream = gesture.stream;
+      } else if (stream != gesture.stream) {
+        return InvalidArgumentError(
+            "composite '" + definition.name + "' inputs span source streams " +
+            stream + " and " + gesture.stream);
+      }
+    }
+    if (found == 0) {
+      return NotFoundError("composite input not deployed: " + step.gesture);
+    }
+  }
+  const int level = max_level + 1;
+
+  EPL_RETURN_IF_ERROR(EnsureDetectionStream());
+  EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
+                       BuildCompositeQuery(definition));
+  durability::WalRecord record;
+  const bool log_deploy = durable() && !replaying_ && !suppress_wal_;
+  if (log_deploy) {
+    record.type = durability::WalRecord::Type::kDeployComposite;
+    record.session = session;
+    record.name = definition.name;
+    record.definition = SerializeComposite(definition);
+  }
+  EPL_ASSIGN_OR_RETURN(
+      cep::MultiMatchOperator::QuerySpec spec,
+      query::CompileQuerySpec(engine_, parsed, Guard(std::move(callback)),
+                              nullptr));
+  spec.level = level;
+  spec.tag = cep::GestureTag(definition.name);
+  spec.session_tag = static_cast<double>(session);
+  EPL_ASSIGN_OR_RETURN(Channel * channel, EnsureChannel(stream));
+  const GestureKey key{session, definition.name};
+  auto existing = gestures_.find(key);
+  if (existing != gestures_.end()) {
+    EPL_RETURN_IF_ERROR(Retire(existing->second));
+  }
+  const int id = options_.backend == RuntimeBackend::kFused
+                     ? channel->fused.op->AddQuery(std::move(spec))
+                     : channel->sharded.engine->AddQuery(std::move(spec));
+  Gesture gesture;
+  gesture.stream = stream;
+  gesture.query_id = id;
+  gesture.level = level;
+  gesture.composite = definition;
+  gestures_[key] = std::move(gesture);
+  if (log_deploy) {
+    EPL_RETURN_IF_ERROR(LogRecord(record));
+  }
+  return OkStatus();
+}
+
+Status GestureRuntime::DeployComposite(SessionId session,
+                                       const CompositeDefinition& definition,
+                                       cep::DetectionCallback callback) {
+  EPL_RETURN_IF_ERROR(EnsureWal());
+  if (in_dispatch()) {
+    if (options_.backend == RuntimeBackend::kSharded) {
+      // Same deferral as Deploy: sharded control operations quiesce the
+      // workers and cannot run from a delivery callback.
+      pending_.push_back([this, session, definition,
+                          callback = std::move(callback)]() mutable {
+        return DoDeployComposite(session, definition, std::move(callback));
+      });
+      return OkStatus();
+    }
+    return DoDeployComposite(session, definition, std::move(callback));
+  }
+  EPL_RETURN_IF_ERROR(Pump());
+  return DoDeployComposite(session, definition, std::move(callback));
+}
+
 Status GestureRuntime::DoUndeploy(SessionId session, const std::string& name) {
   auto it = gestures_.find(GestureKey{session, name});
   if (it == gestures_.end()) {
     return NotFoundError("gesture not deployed: " + name);
+  }
+  // CloseSession teardown (suppress_wal_) dismantles the whole session at
+  // once; its composites and their intra-session inputs go down together,
+  // so the consumed-input guard only applies to direct undeploys.
+  if (!suppress_wal_) {
+    EPL_RETURN_IF_ERROR(CheckNotConsumed(session, name));
   }
   Gesture gesture = it->second;
   gestures_.erase(it);
@@ -680,6 +824,14 @@ Status GestureRuntime::Checkpoint() {
     state.session = key.first;
     state.name = key.second;
     state.query_text = gesture.query_text;
+    state.level = gesture.level;
+    if (gesture.level > 0) {
+      // Composites serialize their definition (tags round-trip exactly)
+      // plus the channel stream, which restore cannot re-derive: the
+      // inputs' own restore order must not matter.
+      state.stream = gesture.stream;
+      state.definition = SerializeComposite(gesture.composite);
+    }
     per_channel[gesture.stream].emplace(gesture.query_id, std::move(state));
   }
   for (auto& [stream, queries] : per_channel) {
@@ -728,6 +880,39 @@ Status GestureRuntime::Checkpoint() {
 
 Status GestureRuntime::RestoreQuery(const durability::QueryState& state,
                                     const DetectionCallbackFactory& factory) {
+  if (state.level > 0) {
+    // A composite restores from its serialized definition and recorded
+    // channel; its inputs' liveness was proven at original deploy time
+    // and their run state restores from the same snapshot.
+    EPL_ASSIGN_OR_RETURN(CompositeDefinition definition,
+                         ParseComposite(state.definition));
+    EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
+                         BuildCompositeQuery(definition));
+    EPL_RETURN_IF_ERROR(EnsureDetectionStream());
+    cep::DetectionCallback callback =
+        factory ? factory(state.session, state.name) : nullptr;
+    EPL_ASSIGN_OR_RETURN(
+        cep::MultiMatchOperator::QuerySpec spec,
+        query::CompileQuerySpec(engine_, parsed, Guard(std::move(callback)),
+                                nullptr));
+    spec.level = state.level;
+    spec.tag = cep::GestureTag(state.name);
+    spec.session_tag = static_cast<double>(state.session);
+    EPL_ASSIGN_OR_RETURN(Channel * channel, EnsureChannel(state.stream));
+    Result<int> id =
+        options_.backend == RuntimeBackend::kFused
+            ? channel->fused.op->RestoreQuery(std::move(spec), state.runs)
+            : channel->sharded.engine->RestoreQuery(std::move(spec),
+                                                    state.runs);
+    EPL_RETURN_IF_ERROR(id.status());
+    Gesture gesture;
+    gesture.stream = state.stream;
+    gesture.query_id = *id;
+    gesture.level = state.level;
+    gesture.composite = std::move(definition);
+    gestures_[GestureKey{state.session, state.name}] = std::move(gesture);
+    return OkStatus();
+  }
   EPL_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
                        query::ParseQuery(state.query_text));
   std::shared_ptr<const cep::CompiledPattern> gate;
@@ -741,6 +926,10 @@ Status GestureRuntime::RestoreQuery(const durability::QueryState& state,
       cep::MultiMatchOperator::QuerySpec spec,
       query::CompileQuerySpec(engine_, parsed, Guard(std::move(callback)),
                               gate));
+  // Restore the derived-event identity too: composites recovered from the
+  // same snapshot (and WAL replay) keep re-deriving from this query.
+  spec.tag = cep::GestureTag(state.name);
+  spec.session_tag = static_cast<double>(state.session);
   const std::string stream = parsed.pattern->SourceStream();
   EPL_ASSIGN_OR_RETURN(Channel * channel, EnsureChannel(stream));
   Result<int> id =
@@ -789,6 +978,14 @@ Status GestureRuntime::ApplyWalRecord(const durability::WalRecord& record,
     }
     case Type::kUndeploy:
       return DoUndeploy(record.session, record.name);
+    case Type::kDeployComposite: {
+      EPL_ASSIGN_OR_RETURN(CompositeDefinition definition,
+                           ParseComposite(record.definition));
+      return DoDeployComposite(record.session, definition,
+                               factory
+                                   ? factory(record.session, definition.name)
+                                   : nullptr);
+    }
   }
   return InternalError("unknown WAL record type");
 }

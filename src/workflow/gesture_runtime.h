@@ -72,6 +72,7 @@
 #include "query/compiler.h"
 #include "stream/engine.h"
 #include "transform/transform.h"
+#include "workflow/composite.h"
 
 namespace epl::workflow {
 
@@ -220,7 +221,33 @@ class GestureRuntime {
     return Deploy(kLocalSession, definition, std::move(callback));
   }
 
-  /// Removes the named gesture, discarding its partial matches.
+  /// Deploys a COMPOSITE gesture: a pattern over other deployed gestures'
+  /// detections (see workflow/composite.h). The inputs named by the
+  /// definition's steps must already be deployed (exact-session steps in
+  /// their session, kAnySession steps anywhere) and share one source
+  /// stream channel; deploying against missing inputs is NotFound. The
+  /// composite's level is fixed at deploy time (1 + the highest input
+  /// level), which makes query-DAG cycles unrepresentable: deploying a
+  /// composite under a name some live composite already consumes -- the
+  /// only way an edge could point backwards -- is rejected with
+  /// FailedPrecondition (a self-referencing step is InvalidArgument).
+  /// Detections of level-k inputs at timestamp t are visible to this
+  /// composite AT t (same feedback epoch, not t+1), and the combined
+  /// detection order is deterministic: (event-seq, level, query-id),
+  /// bit-identical across the fused and sharded backends. Requires the
+  /// fused or sharded backend. Callable from inside a detection callback
+  /// with the same deferral semantics as Deploy.
+  Status DeployComposite(SessionId session,
+                         const CompositeDefinition& definition,
+                         cep::DetectionCallback callback);
+  Status DeployComposite(const CompositeDefinition& definition,
+                         cep::DetectionCallback callback) {
+    return DeployComposite(kLocalSession, definition, std::move(callback));
+  }
+
+  /// Removes the named gesture, discarding its partial matches. A gesture
+  /// (base or composite) consumed by a live composite cannot be
+  /// undeployed (FailedPrecondition) -- undeploy the consumer first.
   Status Undeploy(SessionId session, const std::string& name);
   Status Undeploy(const std::string& name) {
     return Undeploy(kLocalSession, name);
@@ -329,7 +356,13 @@ class GestureRuntime {
     stream::DeploymentId legacy_id = 0;
     /// Canonical unparser rendering of the deployed (rescoped) query;
     /// recorded only on durable runtimes, serialized into checkpoints.
+    /// Empty for composites, which serialize their definition instead
+    /// (gesture tags round-trip exactly through it).
     std::string query_text;
+    /// Composite level; 0 = base gesture. Level >= 1 gestures keep their
+    /// definition for consumed-input checks and checkpointing.
+    int level = 0;
+    CompositeDefinition composite;
   };
 
   using GestureKey = std::pair<SessionId, std::string>;
@@ -368,9 +401,20 @@ class GestureRuntime {
   /// The gesture's generated query, rescoped for `session` (null = local).
   Result<query::ParsedQuery> BuildQuery(
       const Session* session, const core::GestureDefinition& definition) const;
+  /// Registers the synthetic `__detections` stream on first composite use
+  /// (schema resolution only -- derived events never flow through the
+  /// engine, see cep/composite.h).
+  Status EnsureDetectionStream();
+  /// Error when a live composite consumes gesture (session, name) -- the
+  /// reason both Undeploy of an input and DeployComposite under a
+  /// consumed name are rejected.
+  Status CheckNotConsumed(SessionId session, const std::string& name) const;
   /// Dispatch-unsafe deploy core (callers defer when needed).
   Status DoDeploy(SessionId session, const core::GestureDefinition& definition,
                   cep::DetectionCallback callback);
+  Status DoDeployComposite(SessionId session,
+                           const CompositeDefinition& definition,
+                           cep::DetectionCallback callback);
   Status DoUndeploy(SessionId session, const std::string& name);
   /// Retires one gesture's query/deployment (map entry already removed).
   Status Retire(const Gesture& gesture);

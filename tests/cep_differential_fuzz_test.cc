@@ -15,12 +15,20 @@
 // job uses the fixed default seed below, and the ASan/UBSan job adds a
 // longer wall-clock-bounded randomized pass (EPL_FUZZ_TIME_BUDGET_MS with
 // a per-run seed).
+//
+// A second leg (FeedbackTopologyAgreesWithTwoPassOracle) fuzzes the
+// feedback topology of cep/composite.h: random base patterns plus a
+// random 2-3-level composite DAG over their detection streams, where the
+// oracle evaluates each source event's epoch naively level by level with
+// independent matchers, and the fused operator and the sharded engine at
+// 1 and 4 shards must reproduce every match sequence bit-exactly.
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -31,6 +39,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cep/composite.h"
+#include "cep/detection.h"
 #include "cep/matcher.h"
 #include "cep/multi_match_operator.h"
 #include "cep/multi_matcher.h"
@@ -560,6 +570,284 @@ size_t RunChurnScenario(uint64_t scenario_seed, MatcherOptions::Mode mode) {
     total += matches.size();
   }
   return total;
+}
+
+/// Feedback-topology differential: random base patterns plus a random
+/// 2-3-level composite DAG over their detections (see cep/composite.h).
+/// The oracle is a NAIVE TWO-PASS PER-LEVEL evaluation with independent
+/// per-query NfaMatchers and hand-fed derived events; the fused operator
+/// (random batch accumulation) and the sharded engine at 1 and 4 shards
+/// must agree with it bit-exactly on every query's match sequence --
+/// base and composite alike. Returns the oracle's total match count.
+size_t RunFeedbackScenario(uint64_t scenario_seed, MatcherOptions::Mode mode) {
+  std::mt19937_64 rng(scenario_seed ^ 0xC0FFEE12345678ull);
+  const int num_base = UniformInt(rng, 2, 4);
+  const int num_events =
+      mode == MatcherOptions::Mode::kExhaustive ? 120 : 280;
+
+  std::vector<PatternExprPtr> base_exprs;
+  std::vector<double> base_tags;
+  for (int q = 0; q < num_base; ++q) {
+    base_exprs.push_back(RandomPattern(rng));
+    base_tags.push_back(GestureTag("base_" + std::to_string(q)));
+  }
+
+  // Composite DAG: 1-2 level-1 queries over base tags, and sometimes one
+  // level-2 query over any lower tag (level-2 patterns legitimately see
+  // base AND level-1 derived events inside one epoch).
+  auto random_composite = [&](const std::vector<double>& input_tags) {
+    const int num_states = UniformInt(rng, 1, 2);
+    std::vector<PatternExprPtr> poses;
+    for (int s = 0; s < num_states; ++s) {
+      const double tag = input_tags[static_cast<size_t>(UniformInt(
+          rng, 0, static_cast<int>(input_tags.size()) - 1))];
+      poses.push_back(PatternExpr::Pose(
+          kDetectionStreamName,
+          Expr::RangePredicate(kDetectionGestureField, tag, 0.5)));
+    }
+    const ConsumePolicy consume = UniformInt(rng, 0, 3) < 3
+                                      ? ConsumePolicy::kAll
+                                      : ConsumePolicy::kNone;
+    std::optional<Duration> within;
+    if (num_states > 1 && UniformInt(rng, 0, 1) == 0) {
+      within = DurationFromMillis(Uniform(rng, 200.0, 5000.0));
+    }
+    return PatternExpr::Sequence(std::move(poses), within, WithinMode::kSpan,
+                                 SelectPolicy::kFirst, consume);
+  };
+
+  const int num_l1 = UniformInt(rng, 1, 2);
+  const int num_l2 = UniformInt(rng, 0, 1);
+  struct CompositeSpec {
+    int level = 1;
+    double tag = 0;
+    PatternExprPtr expr;
+  };
+  std::vector<CompositeSpec> composites;
+  std::vector<double> l1_tags;
+  for (int q = 0; q < num_l1; ++q) {
+    CompositeSpec spec;
+    spec.level = 1;
+    spec.tag = GestureTag("l1_" + std::to_string(q));
+    spec.expr = random_composite(base_tags);
+    l1_tags.push_back(spec.tag);
+    composites.push_back(std::move(spec));
+  }
+  std::vector<double> lower_tags = base_tags;
+  lower_tags.insert(lower_tags.end(), l1_tags.begin(), l1_tags.end());
+  for (int q = 0; q < num_l2; ++q) {
+    CompositeSpec spec;
+    spec.level = 2;
+    spec.tag = GestureTag("l2_" + std::to_string(q));
+    spec.expr = random_composite(lower_tags);
+    composites.push_back(std::move(spec));
+  }
+  const int total_queries = num_base + static_cast<int>(composites.size());
+  const std::vector<Event> events = RandomEvents(rng, num_events);
+
+  MatcherOptions options;
+  options.mode = mode;
+  options.max_runs = 256;
+
+  auto compile_base = [&](int q) {
+    Result<CompiledPattern> compiled = CompiledPattern::Compile(
+        *base_exprs[static_cast<size_t>(q)], FuzzSchema());
+    EPL_CHECK(compiled.ok()) << compiled.status();
+    return std::move(compiled).value();
+  };
+  auto compile_composite = [&](int c) {
+    Result<CompiledPattern> compiled = CompiledPattern::Compile(
+        *composites[static_cast<size_t>(c)].expr, DetectionSchema());
+    EPL_CHECK(compiled.ok()) << compiled.status();
+    return std::move(compiled).value();
+  };
+
+  // 1. Oracle: per-event epochs, evaluated naively level by level with
+  // independent matchers. Base detections of one event become derived
+  // events; each composite level consumes every derived event visible
+  // when the level starts and spills its own detections to the next.
+  MatchLists oracle(static_cast<size_t>(total_queries));
+  {
+    std::vector<CompiledPattern> base_patterns;
+    std::vector<CompiledPattern> comp_patterns;
+    for (int q = 0; q < num_base; ++q) {
+      base_patterns.push_back(compile_base(q));
+    }
+    for (size_t c = 0; c < composites.size(); ++c) {
+      comp_patterns.push_back(compile_composite(static_cast<int>(c)));
+    }
+    std::vector<std::unique_ptr<NfaMatcher>> base_matchers, comp_matchers;
+    for (int q = 0; q < num_base; ++q) {
+      base_matchers.push_back(std::make_unique<NfaMatcher>(
+          &base_patterns[static_cast<size_t>(q)], options));
+    }
+    for (size_t c = 0; c < composites.size(); ++c) {
+      comp_matchers.push_back(
+          std::make_unique<NfaMatcher>(&comp_patterns[c], options));
+    }
+    auto derived = [](double tag, TimePoint time, const PatternMatch& match) {
+      Detection detection;
+      detection.time = time;
+      detection.pose_times = match.state_times;
+      return MakeDerivedEvent(tag, 0.0, detection);
+    };
+    std::vector<Event> epoch;
+    std::vector<Event> spill;
+    std::vector<PatternMatch> tmp;
+    for (const Event& event : events) {
+      epoch.clear();
+      for (int q = 0; q < num_base; ++q) {
+        tmp.clear();
+        base_matchers[static_cast<size_t>(q)]->Process(event, &tmp);
+        for (PatternMatch& match : tmp) {
+          epoch.push_back(derived(base_tags[static_cast<size_t>(q)],
+                                  event.timestamp, match));
+          oracle[static_cast<size_t>(q)].push_back(std::move(match));
+        }
+      }
+      if (epoch.empty()) {
+        continue;  // the runner skips empty epochs; exact, see composite.h
+      }
+      for (int level = 1; level <= 2; ++level) {
+        const size_t visible = epoch.size();
+        spill.clear();
+        for (size_t i = 0; i < visible; ++i) {
+          for (size_t c = 0; c < composites.size(); ++c) {
+            if (composites[c].level != level) {
+              continue;
+            }
+            tmp.clear();
+            comp_matchers[c]->Process(epoch[i], &tmp);
+            for (PatternMatch& match : tmp) {
+              spill.push_back(
+                  derived(composites[c].tag, epoch[i].timestamp, match));
+              oracle[static_cast<size_t>(num_base) + c].push_back(
+                  std::move(match));
+            }
+          }
+        }
+        epoch.insert(epoch.end(), std::make_move_iterator(spill.begin()),
+                     std::make_move_iterator(spill.end()));
+      }
+    }
+  }
+
+  auto record_into = [](MatchLists* lists, int q) {
+    return [lists, q](const Detection& detection) {
+      PatternMatch match;
+      match.state_times = detection.pose_times;
+      (*lists)[static_cast<size_t>(q)].push_back(std::move(match));
+    };
+  };
+  auto add_queries = [&](auto&& add_base, auto&& add_composite) {
+    for (int q = 0; q < num_base; ++q) {
+      MultiMatchOperator::QuerySpec spec;
+      spec.output_name = "b" + std::to_string(q);
+      spec.pattern = compile_base(q);
+      spec.tag = base_tags[static_cast<size_t>(q)];
+      add_base(std::move(spec), q);
+    }
+    for (size_t c = 0; c < composites.size(); ++c) {
+      MultiMatchOperator::QuerySpec spec;
+      spec.output_name = "c" + std::to_string(c);
+      spec.pattern = compile_composite(static_cast<int>(c));
+      spec.level = composites[c].level;
+      spec.tag = composites[c].tag;
+      add_composite(std::move(spec), num_base + static_cast<int>(c));
+    }
+  };
+
+  // 2. Fused operator with random batch accumulation.
+  MatchLists fused(static_cast<size_t>(total_queries));
+  {
+    MultiMatchOperator op(options,
+                          static_cast<size_t>(UniformInt(rng, 1, 8)));
+    auto add = [&](MultiMatchOperator::QuerySpec spec, int q) {
+      spec.callback = record_into(&fused, q);
+      op.AddQuery(std::move(spec));
+    };
+    add_queries(add, add);
+    for (const Event& event : events) {
+      EPL_CHECK(op.Process(event).ok());
+    }
+    EPL_CHECK(op.Close().ok());
+  }
+
+  // 3/4. Sharded engine at 1 and 4 shards: base inputs span shards, the
+  // composite runner is driven from the ordered delivery merge.
+  auto run_sharded = [&](int num_shards) {
+    MatchLists lists(static_cast<size_t>(total_queries));
+    ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = num_shards;
+    sharded_options.batch_size = static_cast<size_t>(UniformInt(rng, 1, 8));
+    sharded_options.matcher = options;
+    ShardedEngine engine(sharded_options);
+    EPL_CHECK(engine.Start().ok());
+    auto add = [&](MultiMatchOperator::QuerySpec spec, int q) {
+      spec.callback = record_into(&lists, q);
+      engine.AddQuery(std::move(spec));
+    };
+    add_queries(add, add);
+    for (const Event& event : events) {
+      EPL_CHECK(engine.Push(event));
+    }
+    EPL_CHECK(engine.Stop().ok());
+    return lists;
+  };
+  const MatchLists sharded1 = run_sharded(1);
+  const MatchLists sharded4 = run_sharded(4);
+
+  std::string diff;
+  EXPECT_TRUE(SameMatches(oracle, fused, &diff))
+      << "fused feedback diverged from the two-pass oracle (" << diff
+      << "); reproduce with EPL_FUZZ_SEED=" << scenario_seed
+      << " EPL_FUZZ_SCENARIOS=1";
+  EXPECT_TRUE(SameMatches(oracle, sharded1, &diff))
+      << "sharded(1) feedback diverged from the two-pass oracle (" << diff
+      << "); reproduce with EPL_FUZZ_SEED=" << scenario_seed
+      << " EPL_FUZZ_SCENARIOS=1";
+  EXPECT_TRUE(SameMatches(oracle, sharded4, &diff))
+      << "sharded(4) feedback diverged from the two-pass oracle (" << diff
+      << "); reproduce with EPL_FUZZ_SEED=" << scenario_seed
+      << " EPL_FUZZ_SCENARIOS=1";
+
+  size_t total = 0;
+  for (const std::vector<PatternMatch>& matches : oracle) {
+    total += matches.size();
+  }
+  return total;
+}
+
+TEST(DifferentialFuzzTest, FeedbackTopologyAgreesWithTwoPassOracle) {
+  const uint64_t base_seed = EnvSeed();
+  const int64_t budget_ms = EnvTimeBudgetMs();
+  const int scenarios = EnvScenarios();
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&start] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  size_t total_matches = 0;
+  size_t composite_matches = 0;
+  int ran = 0;
+  for (int i = 0; budget_ms > 0 ? elapsed_ms() < budget_ms : i < scenarios;
+       ++i) {
+    const uint64_t scenario_seed = base_seed + static_cast<uint64_t>(i);
+    SCOPED_TRACE("scenario seed " + std::to_string(scenario_seed));
+    total_matches +=
+        RunFeedbackScenario(scenario_seed, MatcherOptions::Mode::kDominant);
+    composite_matches +=
+        RunFeedbackScenario(scenario_seed, MatcherOptions::Mode::kExhaustive);
+    ++ran;
+    if (::testing::Test::HasFailure()) {
+      break;  // the first failing seed is the actionable one
+    }
+  }
+  EXPECT_GT(total_matches + composite_matches, 0u)
+      << "feedback fuzz produced no matches in " << ran << " scenarios (seed "
+      << base_seed << ")";
 }
 
 // Dispatch differential: the same seeds run with the SIMD layer pinned to

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cep/composite.h"
 #include "cep/multi_match_operator.h"
 #include "cep/pattern.h"
 #include "cep/sharded_engine.h"
@@ -696,6 +697,97 @@ TEST(WorkStealingStressTest, SkewedFleetBitIdenticalAcrossShardCounts) {
     ASSERT_TRUE(actual == expected)
         << actual.size() << " vs " << expected.size() << " detections at "
         << num_shards << " shards under stealing stress";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Composite ladders under stealing stress: the same skewed fleet, now
+// tagged so a 2-level composite ladder consumes its detections. The base
+// inputs span every shard while idle workers steal the hot shard's
+// backlog, so the (event-seq, level, query-id) watermark merge is the
+// only thing keeping epochs ordered -- any reorder, dropped epoch, or
+// merge/runner race diverges from the fused baseline (and trips TSan in
+// the sanitizer CI leg, which is this test's main target).
+
+std::vector<MultiMatchOperator::QuerySpec> CompositeSkewedFleet(
+    std::vector<DetectionRecord>* records) {
+  std::vector<MultiMatchOperator::QuerySpec> fleet = SkewedFleet(records);
+  for (MultiMatchOperator::QuerySpec& spec : fleet) {
+    spec.tag = GestureTag(spec.output_name);
+  }
+  auto composite = [&](const std::string& name, int level,
+                       const std::vector<std::string>& inputs) {
+    std::vector<PatternExprPtr> poses;
+    for (const std::string& input : inputs) {
+      poses.push_back(PatternExpr::Pose(
+          kDetectionStreamName,
+          Expr::RangePredicate(kDetectionGestureField, GestureTag(input),
+                               0.5)));
+    }
+    Result<CompiledPattern> compiled = CompiledPattern::Compile(
+        *PatternExpr::Sequence(std::move(poses), std::nullopt,
+                               WithinMode::kSpan),
+        DetectionSchema());
+    EPL_CHECK(compiled.ok()) << compiled.status();
+    MultiMatchOperator::QuerySpec spec;
+    spec.output_name = name;
+    spec.pattern = std::move(compiled).value();
+    spec.callback = Recorder(records);
+    spec.level = level;
+    spec.tag = GestureTag(name);
+    return spec;
+  };
+  // High-volume level 1 (one pose: fires on every hot_0 detection), a
+  // two-input level 1 whose inputs land on different shards, and a level
+  // 2 consuming a composite -- detections of detections.
+  fleet.push_back(composite("hot_echo", 1, {"hot_0"}));
+  fleet.push_back(composite("pair_of_hots", 1, {"hot_0", "hot_1"}));
+  fleet.push_back(composite("meta_pair", 2, {"pair_of_hots"}));
+  return fleet;
+}
+
+TEST(WorkStealingStressTest, CompositeLaddersBitIdenticalUnderStealing) {
+  std::vector<DetectionRecord> expected;
+  {
+    MultiMatchOperator fused((MatcherOptions()));
+    for (MultiMatchOperator::QuerySpec& spec :
+         CompositeSkewedFleet(&expected)) {
+      fused.AddQuery(std::move(spec));
+    }
+    for (const Event& event : SkewedStream(3000)) {
+      EPL_EXPECT_OK(fused.Process(event));
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+  size_t composite_detections = 0;
+  for (const DetectionRecord& record : expected) {
+    composite_detections += record.name == "hot_echo" ||
+                            record.name == "pair_of_hots" ||
+                            record.name == "meta_pair";
+  }
+  ASSERT_GT(composite_detections, 0u)
+      << "the skewed stream produced no composite detections";
+
+  for (int num_shards : {1, 2, 4, 8}) {
+    ShardedEngineOptions options;
+    options.num_shards = num_shards;
+    options.batch_size = 1;  // per-event handoff: maximal contention
+    options.queue_capacity = 8;
+    options.work_stealing = true;
+    options.spin_wait_iterations = 500;
+    ShardedEngine sharded(options);
+    std::vector<DetectionRecord> actual;
+    for (MultiMatchOperator::QuerySpec& spec : CompositeSkewedFleet(&actual)) {
+      sharded.AddQuery(std::move(spec));
+    }
+    EPL_ASSERT_OK(sharded.Start());
+    for (const Event& event : SkewedStream(3000)) {
+      ASSERT_TRUE(sharded.Push(event));
+    }
+    EPL_ASSERT_OK(sharded.Stop());
+    ASSERT_TRUE(actual == expected)
+        << actual.size() << " vs " << expected.size() << " detections at "
+        << num_shards << " shards under composite stealing stress";
   }
 }
 

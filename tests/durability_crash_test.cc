@@ -41,6 +41,7 @@
 #include "kinect/sensor.h"
 #include "kinect/synthesizer.h"
 #include "test_util.h"
+#include "workflow/composite.h"
 #include "workflow/gesture_runtime.h"
 
 namespace epl::workflow {
@@ -151,17 +152,121 @@ void RunScript(const GestureRuntimeOptions& options,
   EPL_CHECK(flushed.ok()) << flushed;
 }
 
+/// One-step composite definition: `count` x `gesture` from `session`.
+CompositeDefinition MakeComposite(const std::string& name, SessionId session,
+                                  const std::string& gesture, int count,
+                                  double within_seconds) {
+  CompositeDefinition definition;
+  definition.name = name;
+  definition.steps.push_back(
+      CompositeStep{static_cast<int>(session), gesture, count});
+  definition.within_seconds = within_seconds;
+  return definition;
+}
+
+/// The composite variant of RunScript: the same skeleton, but the initial
+/// deploy set adds a two-level composite ladder over defs[0] ("combo" ->
+/// "meta") plus a multi-detection composite ("pair", whose partial run
+/// spans the checkpoints, so composite run state rides the snapshot), and
+/// the WAL suffix deploys one more composite ("tail", replayed from its
+/// kDeployComposite record) and undeploys the level-2 one. Derived
+/// detection events are never written to the WAL, so the bit-identity
+/// assertion doubles as the no-double-apply check: recovery replays base
+/// frames and re-derives every composite detection, and a derived event
+/// applied twice would mint extra composite detections and break the
+/// suffix equality.
+void RunCompositeScript(const GestureRuntimeOptions& options,
+                        const std::vector<core::GestureDefinition>& defs,
+                        const cep::DetectionCallback& callback,
+                        const std::function<void()>& at_arm) {
+  const std::vector<SkeletonFrame>& frames = ScriptFrames();
+  stream::StreamEngine engine;
+  GestureRuntime runtime(&engine, options);
+  Result<SessionId> session = runtime.OpenSession("alice");
+  EPL_CHECK(session.ok()) << session.status();
+  EPL_CHECK(*session == kScriptSession);
+  auto check = [](const Status& status) { EPL_CHECK(status.ok()) << status; };
+  auto push_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Status status = runtime.PushFrame(*session, frames[i]);
+      EPL_CHECK(status.ok()) << status;
+    }
+  };
+  check(runtime.Deploy(*session, defs[0], callback));
+  check(runtime.Deploy(*session, defs[1], callback));
+  check(runtime.DeployComposite(
+      *session, MakeComposite("combo", *session, defs[0].name, 1, 0),
+      callback));
+  check(runtime.DeployComposite(
+      *session, MakeComposite("meta", *session, "combo", 1, 0), callback));
+  check(runtime.DeployComposite(
+      *session, MakeComposite("pair", *session, defs[0].name, 2, 60.0),
+      callback));
+  push_range(0, CutK1());
+  check(runtime.Checkpoint());
+  if (at_arm) at_arm();
+  check(runtime.DeployComposite(
+      *session, MakeComposite("tail", *session, defs[1].name, 1, 0),
+      callback));
+  check(runtime.Undeploy(*session, "meta"));
+  push_range(CutK1(), CutK2());
+  check(runtime.Checkpoint());
+  push_range(CutK2(), frames.size());
+  check(runtime.Flush());
+}
+
+using ScriptRunner =
+    std::function<void(const GestureRuntimeOptions&,
+                       const std::vector<core::GestureDefinition>&,
+                       const cep::DetectionCallback&,
+                       const std::function<void()>&)>;
+
 /// The reference detection stream of one backend: the script, durable,
 /// never crashed.
 std::vector<DetectionRecord> ReferenceRun(
     const BackendConfig& config,
-    const std::vector<core::GestureDefinition>& defs) {
+    const std::vector<core::GestureDefinition>& defs,
+    const ScriptRunner& script) {
   epl::testing::ScopedTempDir dir;
   std::vector<DetectionRecord> reference;
-  RunScript(MakeOptions(config, dir.path()), defs, Recorder(&reference),
-            nullptr);
+  script(MakeOptions(config, dir.path()), defs, Recorder(&reference),
+         nullptr);
   return reference;
 }
+
+/// Reapplies the post-checkpoint mutations of RunScript whose WAL records
+/// the crash tore away (each independently: the crash can land between
+/// them).
+void ReapplyBaseMutations(GestureRuntime* runtime,
+                          const std::vector<core::GestureDefinition>& defs,
+                          std::vector<DetectionRecord>* recovered) {
+  if (!runtime->IsDeployed(kScriptSession, defs[2].name)) {
+    EPL_ASSERT_OK(
+        runtime->Deploy(kScriptSession, defs[2], Recorder(recovered)));
+  }
+  if (runtime->IsDeployed(kScriptSession, defs[1].name)) {
+    EPL_ASSERT_OK(runtime->Undeploy(kScriptSession, defs[1].name));
+  }
+}
+
+/// Same for RunCompositeScript's suffix mutations.
+void ReapplyCompositeMutations(
+    GestureRuntime* runtime, const std::vector<core::GestureDefinition>& defs,
+    std::vector<DetectionRecord>* recovered) {
+  if (!runtime->IsDeployed(kScriptSession, "tail")) {
+    EPL_ASSERT_OK(runtime->DeployComposite(
+        kScriptSession, MakeComposite("tail", kScriptSession, defs[1].name, 1, 0),
+        Recorder(recovered)));
+  }
+  if (runtime->IsDeployed(kScriptSession, "meta")) {
+    EPL_ASSERT_OK(runtime->Undeploy(kScriptSession, "meta"));
+  }
+}
+
+using ReapplyFn =
+    std::function<void(GestureRuntime*,
+                       const std::vector<core::GestureDefinition>&,
+                       std::vector<DetectionRecord>*)>;
 
 /// Detection callback writing one line per detection straight to `fd`
 /// (O_APPEND, one write() each) -- the child's crash-surviving live log.
@@ -210,7 +315,8 @@ std::vector<DetectionRecord> ParseDetectionLog(const std::string& path) {
 void RunCrashCase(const BackendConfig& config, const std::string& point,
                   int nth, bool allow_survival,
                   const std::vector<core::GestureDefinition>& defs,
-                  const std::vector<DetectionRecord>& reference) {
+                  const std::vector<DetectionRecord>& reference,
+                  const ScriptRunner& script, const ReapplyFn& reapply) {
   SCOPED_TRACE(std::string(config.label) + " @ " + point + ":" +
                std::to_string(nth));
   epl::testing::ScopedTempDir dir;
@@ -225,7 +331,7 @@ void RunCrashCase(const BackendConfig& config, const std::string& point,
   if (pid == 0) {
     int fd = ::open(live_log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
     EPL_CHECK(fd >= 0);
-    RunScript(options, defs, FileRecorder(fd), [&] {
+    script(options, defs, FileRecorder(fd), [&] {
       durability::ArmCrashPoint(point, nth);
     });
     // The armed point never fired: the script ran to completion.
@@ -262,15 +368,7 @@ void RunCrashCase(const BackendConfig& config, const std::string& point,
   EPL_ASSERT_OK_AND_ASSIGN(
       std::unique_ptr<GestureRuntime> runtime,
       GestureRuntime::Recover(&engine, options, factory, &stats));
-  // Reapply the post-checkpoint mutations whose WAL records the crash
-  // tore away (each independently: the crash can land between them).
-  if (!runtime->IsDeployed(kScriptSession, defs[2].name)) {
-    EPL_ASSERT_OK(
-        runtime->Deploy(kScriptSession, defs[2], Recorder(&recovered)));
-  }
-  if (runtime->IsDeployed(kScriptSession, defs[1].name)) {
-    EPL_ASSERT_OK(runtime->Undeploy(kScriptSession, defs[1].name));
-  }
+  reapply(runtime.get(), defs, &recovered);
   const std::vector<SkeletonFrame>& frames = ScriptFrames();
   const uint64_t resume = stats.ingested[kScriptSession];
   ASSERT_LE(resume, frames.size());
@@ -302,14 +400,52 @@ TEST_P(DurabilityCrashTest, RecoversBitIdentically) {
   const BackendConfig& config = kBackends[std::get<0>(GetParam())];
   const std::string& point = std::get<1>(GetParam());
   const std::vector<core::GestureDefinition> defs = TrainedDefinitions(3);
-  const std::vector<DetectionRecord> reference = ReferenceRun(config, defs);
+  const std::vector<DetectionRecord> reference =
+      ReferenceRun(config, defs, RunScript);
   ASSERT_FALSE(reference.empty()) << "script produced no detections";
   RunCrashCase(config, point, /*nth=*/1, /*allow_survival=*/false, defs,
-               reference);
+               reference, RunScript, ReapplyBaseMutations);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllPointsAllBackends, DurabilityCrashTest,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(std::size(kBackends))),
+        ::testing::ValuesIn(durability::RegisteredCrashPoints())),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::string>>& info) {
+      return std::string(kBackends[std::get<0>(info.param)].label) + "_" +
+             std::get<1>(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// The same matrix over the composite workload: crashes must not lose,
+// duplicate, or reorder DERIVED detections either -- recovery replays
+// base events only and re-derives the composite ladder bit-identically.
+
+class DurabilityCompositeCrashTest
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(DurabilityCompositeCrashTest, RecoversCompositesBitIdentically) {
+  const BackendConfig& config = kBackends[std::get<0>(GetParam())];
+  const std::string& point = std::get<1>(GetParam());
+  const std::vector<core::GestureDefinition> defs = TrainedDefinitions(3);
+  const std::vector<DetectionRecord> reference =
+      ReferenceRun(config, defs, RunCompositeScript);
+  ASSERT_FALSE(reference.empty()) << "script produced no detections";
+  bool has_composite = false;
+  for (const DetectionRecord& record : reference) {
+    has_composite = has_composite || record.name == "combo" ||
+                    record.name == "meta" || record.name == "pair" ||
+                    record.name == "tail";
+  }
+  ASSERT_TRUE(has_composite)
+      << "composite script produced no composite detections";
+  RunCrashCase(config, point, /*nth=*/1, /*allow_survival=*/false, defs,
+               reference, RunCompositeScript, ReapplyCompositeMutations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPointsAllBackends, DurabilityCompositeCrashTest,
     ::testing::Combine(
         ::testing::Range(0, static_cast<int>(std::size(kBackends))),
         ::testing::ValuesIn(durability::RegisteredCrashPoints())),
@@ -341,8 +477,11 @@ TEST(DurabilityCrashFuzz, RandomizedKillPoints) {
   const std::vector<std::string>& points = durability::RegisteredCrashPoints();
   const std::vector<core::GestureDefinition> defs = TrainedDefinitions(3);
   std::vector<std::vector<DetectionRecord>> references;
+  std::vector<std::vector<DetectionRecord>> composite_references;
   for (const BackendConfig& config : kBackends) {
-    references.push_back(ReferenceRun(config, defs));
+    references.push_back(ReferenceRun(config, defs, RunScript));
+    composite_references.push_back(
+        ReferenceRun(config, defs, RunCompositeScript));
   }
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
@@ -351,10 +490,16 @@ TEST(DurabilityCrashFuzz, RandomizedKillPoints) {
     const size_t which = rng() % std::size(kBackends);
     const std::string& point = points[rng() % points.size()];
     const int nth = 1 + static_cast<int>(rng() % 6);
+    const bool composite = rng() % 2 == 1;
     SCOPED_TRACE("iteration " + std::to_string(iteration) + " seed " +
-                 std::to_string(seed));
+                 std::to_string(seed) +
+                 (composite ? " (composite script)" : " (base script)"));
     RunCrashCase(kBackends[which], point, nth, /*allow_survival=*/true, defs,
-                 references[which]);
+                 composite ? composite_references[which] : references[which],
+                 composite ? ScriptRunner(RunCompositeScript)
+                           : ScriptRunner(RunScript),
+                 composite ? ReapplyFn(ReapplyCompositeMutations)
+                           : ReapplyFn(ReapplyBaseMutations));
     if (HasFatalFailure() || HasNonfatalFailure()) {
       std::fprintf(stderr,
                    "fuzz failure at iteration %d: repro with "

@@ -1,0 +1,289 @@
+// Composite gestures: detections re-entering the runtime as events.
+//
+// The pinned semantics (see cep/composite.h): a level-k detection at
+// timestamp t is visible to level-k+1 patterns AT t (same feedback
+// epoch, not t+1); the combined detection order of one source event is
+// deterministic -- (event-seq, level, query-id) -- and bit-identical
+// across the fused, batched, and sharded backends; the query DAG cannot
+// contain cycles (a self-referencing deploy is an error, not UB).
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cep/composite.h"
+#include "cep_workload_test_util.h"
+#include "kinect/sensor.h"
+#include "test_util.h"
+#include "workflow/composite.h"
+#include "workflow/gesture_runtime.h"
+
+namespace epl::workflow {
+namespace {
+
+using cep::testing::DetectionRecord;
+using cep::testing::Recorder;
+using cep::testing::Train;
+using cep::testing::Workload;
+using kinect::GestureShapes;
+using kinect::SkeletonFrame;
+using kinect::UserProfile;
+
+#define EPL_CHECK_OK_LOCAL(expr)                 \
+  do {                                          \
+    const Status _s = (expr);                   \
+    EPL_CHECK(_s.ok()) << _s;                   \
+  } while (false)
+
+CompositeDefinition Consume(const std::string& name, int session,
+                            const std::string& input, int count = 1,
+                            double within_seconds = 0) {
+  CompositeDefinition definition;
+  definition.name = name;
+  definition.steps.push_back(CompositeStep{session, input, count});
+  definition.within_seconds = within_seconds;
+  return definition;
+}
+
+// ---------------------------------------------------------------------------
+// Definition plumbing.
+
+TEST(CompositeDefinitionTest, SerializeParseRoundTrip) {
+  CompositeDefinition definition;
+  definition.name = "crowd erupts";
+  definition.within_seconds = 2.5;
+  definition.steps.push_back(CompositeStep{kAnySession, "swipe right", 50});
+  definition.steps.push_back(CompositeStep{3, "raise_hand", 1});
+  definition.steps.push_back(CompositeStep{kLocalSession, "push", 2});
+
+  EPL_ASSERT_OK_AND_ASSIGN(
+      CompositeDefinition parsed,
+      ParseComposite(SerializeComposite(definition)));
+  EXPECT_EQ(parsed.name, definition.name);
+  EXPECT_EQ(parsed.within_seconds, definition.within_seconds);
+  ASSERT_EQ(parsed.steps.size(), definition.steps.size());
+  for (size_t i = 0; i < parsed.steps.size(); ++i) {
+    EXPECT_EQ(parsed.steps[i].session, definition.steps[i].session);
+    EXPECT_EQ(parsed.steps[i].gesture, definition.steps[i].gesture);
+    EXPECT_EQ(parsed.steps[i].count, definition.steps[i].count);
+  }
+}
+
+TEST(CompositeDefinitionTest, ValidationRejectsMalformedDefinitions) {
+  CompositeDefinition unnamed;
+  unnamed.steps.push_back(CompositeStep{kAnySession, "g", 1});
+  EXPECT_EQ(ValidateComposite(unnamed).code(), StatusCode::kInvalidArgument);
+
+  CompositeDefinition empty;
+  empty.name = "c";
+  EXPECT_EQ(ValidateComposite(empty).code(), StatusCode::kInvalidArgument);
+
+  CompositeDefinition zero_count = Consume("c", kAnySession, "g", 0);
+  EXPECT_EQ(ValidateComposite(zero_count).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(ParseComposite("not a composite").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Deploy-time DAG discipline.
+
+TEST(CompositeDeployTest, SelfReferencingDeployIsAnError) {
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  GestureRuntime runtime(&engine);
+  // The trivial cycle: a composite consuming its own detections. Rejected
+  // as InvalidArgument at deploy -- never deployed, never UB.
+  Status self_ref = runtime.DeployComposite(
+      Consume("ouro", kLocalSession, "ouro"), nullptr);
+  EXPECT_EQ(self_ref.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(runtime.num_deployed(), 0u);
+}
+
+TEST(CompositeDeployTest, DeployRules) {
+  const core::GestureDefinition swipe = Train(GestureShapes::SwipeRight(), 10);
+
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  GestureRuntime runtime(&engine);
+
+  // Inputs must be live at deploy time.
+  EXPECT_EQ(runtime
+                .DeployComposite(Consume("combo", kLocalSession, "swipe_right"),
+                                 nullptr)
+                .code(),
+            StatusCode::kNotFound);
+
+  EPL_ASSERT_OK(runtime.Deploy(swipe, nullptr));
+  EPL_ASSERT_OK(runtime.DeployComposite(
+      Consume("combo", kLocalSession, "swipe_right"), nullptr));
+  EXPECT_TRUE(runtime.IsDeployed("combo"));
+
+  // A consumed input cannot be undeployed from under its consumer...
+  EXPECT_EQ(runtime.Undeploy("swipe_right").code(),
+            StatusCode::kFailedPrecondition);
+  // ...and a composite cannot be deployed under a name a live composite
+  // consumes (the one edge shape that could point backwards in the DAG).
+  EXPECT_EQ(runtime
+                .DeployComposite(Consume("swipe_right", kLocalSession, "combo"),
+                                 nullptr)
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  // Consumer first, then the input: both retire cleanly.
+  EPL_ASSERT_OK(runtime.Undeploy("combo"));
+  EPL_ASSERT_OK(runtime.Undeploy("swipe_right"));
+  EXPECT_EQ(runtime.num_deployed(), 0u);
+}
+
+TEST(CompositeDeployTest, LegacyBackendRejectsComposites) {
+  const core::GestureDefinition swipe = Train(GestureShapes::SwipeRight(), 10);
+  stream::StreamEngine engine;
+  EPL_ASSERT_OK(kinect::RegisterKinectStream(&engine));
+  GestureRuntimeOptions options;
+  options.backend = RuntimeBackend::kLegacyPerQuery;
+  GestureRuntime runtime(&engine, options);
+  EPL_ASSERT_OK(runtime.Deploy(swipe, nullptr));
+  EXPECT_EQ(runtime
+                .DeployComposite(Consume("combo", kLocalSession, "swipe_right"),
+                                 nullptr)
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Feedback semantics: same-epoch visibility, deterministic order,
+// backend bit-equality.
+
+/// Runs a three-level ladder (base swipe_right -> combo -> meta) over the
+/// synthetic workload, recording EVERY detection through one shared
+/// recorder (so the record order IS the delivery order).
+std::vector<DetectionRecord> RunLadder(const GestureRuntimeOptions& options) {
+  const core::GestureDefinition swipe = Train(GestureShapes::SwipeRight(), 10);
+  stream::StreamEngine engine;
+  EPL_CHECK_OK_LOCAL(kinect::RegisterKinectStream(&engine));
+  GestureRuntime runtime(&engine, options);
+  std::vector<DetectionRecord> records;
+  EPL_CHECK_OK_LOCAL(runtime.Deploy(swipe, Recorder(&records)));
+  EPL_CHECK_OK_LOCAL(runtime.DeployComposite(
+      Consume("combo", kLocalSession, "swipe_right"), Recorder(&records)));
+  EPL_CHECK_OK_LOCAL(runtime.DeployComposite(
+      Consume("meta", kLocalSession, "combo"), Recorder(&records)));
+  for (const stream::Event& event : Workload(77)) {
+    EPL_CHECK_OK_LOCAL(engine.Push("kinect", event));
+  }
+  EPL_CHECK_OK_LOCAL(runtime.Flush());
+  return records;
+}
+
+TEST(CompositeFeedbackTest, SameEpochVisibilityAndDeterministicOrder) {
+  GestureRuntimeOptions fused;
+  const std::vector<DetectionRecord> records = RunLadder(fused);
+
+  // The ladder fired end to end: every base detection produced a combo
+  // detection AND a meta detection -- at the SAME timestamp (a level-k
+  // detection at t is visible to level k+1 at t, not t+1).
+  std::map<std::string, std::vector<TimePoint>> times;
+  for (const DetectionRecord& record : records) {
+    times[record.name].push_back(record.time);
+  }
+  ASSERT_FALSE(times["swipe_right"].empty());
+  EXPECT_EQ(times["combo"], times["swipe_right"]);
+  EXPECT_EQ(times["meta"], times["swipe_right"]);
+
+  // Delivery order within one epoch is by level: base, then combo, then
+  // meta, for every detection triple.
+  const std::map<std::string, int> rank = {
+      {"swipe_right", 0}, {"combo", 1}, {"meta", 2}};
+  for (size_t i = 0; i + 1 < records.size(); ++i) {
+    if (records[i].time == records[i + 1].time) {
+      EXPECT_LT(rank.at(records[i].name), rank.at(records[i + 1].name))
+          << "epoch order violated at record " << i;
+    }
+  }
+}
+
+TEST(CompositeFeedbackTest, LadderBitIdenticalAcrossBackends) {
+  GestureRuntimeOptions fused;
+  const std::vector<DetectionRecord> baseline = RunLadder(fused);
+  ASSERT_FALSE(baseline.empty());
+
+  GestureRuntimeOptions batched;
+  batched.batch_size = 4;
+  EXPECT_EQ(RunLadder(batched), baseline) << "batched diverged";
+
+  GestureRuntimeOptions sharded1;
+  sharded1.backend = RuntimeBackend::kSharded;
+  sharded1.num_shards = 1;
+  EXPECT_EQ(RunLadder(sharded1), baseline) << "sharded(1) diverged";
+
+  GestureRuntimeOptions sharded4;
+  sharded4.backend = RuntimeBackend::kSharded;
+  sharded4.num_shards = 4;
+  EXPECT_EQ(RunLadder(sharded4), baseline) << "sharded(4) diverged";
+}
+
+// ---------------------------------------------------------------------------
+// Cross-session aggregates: "N users swiped right within the window".
+
+std::vector<DetectionRecord> RunCrossSession(
+    const GestureRuntimeOptions& options) {
+  const core::GestureDefinition swipe = Train(GestureShapes::SwipeRight(), 10);
+  UserProfile user;
+  kinect::SessionBuilder alice_builder(user, 501);
+  alice_builder.Idle(0.4).Perform(GestureShapes::SwipeRight(), 0.3).Idle(0.5);
+  kinect::SessionBuilder bob_builder(user, 502);
+  bob_builder.Idle(0.6).Perform(GestureShapes::SwipeRight(), 0.3).Idle(0.4);
+
+  stream::StreamEngine engine;
+  GestureRuntime runtime(&engine, options);
+  std::vector<DetectionRecord> records;
+  SessionId alice = runtime.OpenSession("alice").value();
+  SessionId bob = runtime.OpenSession("bob").value();
+  EPL_CHECK_OK_LOCAL(runtime.Deploy(alice, swipe, nullptr));
+  EPL_CHECK_OK_LOCAL(runtime.Deploy(bob, swipe, nullptr));
+  // Runtime-global aggregate owned by the local pseudo-session: any two
+  // swipe_right detections, from ANY sessions, within 30 s.
+  EPL_CHECK_OK_LOCAL(runtime.DeployComposite(
+      Consume("double_swipe", kAnySession, "swipe_right", 2, 30.0),
+      Recorder(&records)));
+
+  std::vector<std::pair<SessionId, SkeletonFrame>> merged;
+  for (const SkeletonFrame& frame : alice_builder.frames()) {
+    merged.emplace_back(alice, frame);
+  }
+  for (const SkeletonFrame& frame : bob_builder.frames()) {
+    merged.emplace_back(bob, frame);
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.timestamp < b.second.timestamp;
+                   });
+  for (const auto& [session, frame] : merged) {
+    EPL_CHECK_OK_LOCAL(runtime.PushFrame(session, frame));
+  }
+  EPL_CHECK_OK_LOCAL(runtime.Flush());
+  return records;
+}
+
+TEST(CompositeFeedbackTest, CrossSessionAggregateFires) {
+  GestureRuntimeOptions fused;
+  const std::vector<DetectionRecord> baseline = RunCrossSession(fused);
+  // Alice's swipe plus bob's swipe complete the 2-count aggregate.
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline[0].name, "double_swipe");
+
+  GestureRuntimeOptions sharded4;
+  sharded4.backend = RuntimeBackend::kSharded;
+  sharded4.num_shards = 4;
+  EXPECT_EQ(RunCrossSession(sharded4), baseline)
+      << "cross-session aggregate diverged on sharded(4)";
+}
+
+}  // namespace
+}  // namespace epl::workflow
