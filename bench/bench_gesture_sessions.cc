@@ -68,13 +68,16 @@ const std::vector<std::vector<SkeletonFrame>>& SessionFrames() {
 
 /// Globally timestamp-merged (session, frame) feed over the first
 /// `sessions` scripts -- the arrival order a server would see. Stable:
-/// ties and within-session order keep ascending session order.
+/// ties and within-session order keep ascending session order. Session
+/// counts beyond kMaxSessions reuse the scripts round-robin; the session
+/// ids (and thus gate groups / routing keys) stay distinct.
 std::vector<std::pair<SessionId, const SkeletonFrame*>> BuildFeed(
     int sessions) {
   const std::vector<std::vector<SkeletonFrame>>& frames = SessionFrames();
   std::vector<std::pair<SessionId, const SkeletonFrame*>> feed;
   for (int s = 0; s < sessions; ++s) {
-    for (const SkeletonFrame& frame : frames[static_cast<size_t>(s)]) {
+    for (const SkeletonFrame& frame :
+         frames[static_cast<size_t>(s) % frames.size()]) {
       feed.emplace_back(s, &frame);
     }
   }
@@ -270,6 +273,173 @@ void BM_SessionsSharedSharded(benchmark::State& state) {
   RunSessions(state, RuntimeBackend::kSharded, 32, 2);
 }
 BENCHMARK(BM_SessionsSharedSharded)->Arg(8)->Arg(64);
+
+/// Producer fan-out window for the routed benchmark. Larger than the
+/// interactive B=32 default: with 64+ interleaved sessions a 32-event
+/// window splits into ~8-event sub-batches per shard, too small for the
+/// flat path's sweep amortization; 128 keeps routed sub-batches
+/// sweep-sized without changing detections (batch size never affects
+/// results -- the startup gate checks fused B=32 against sharded B=128).
+constexpr size_t kFanoutBatch = 128;
+
+GestureRuntimeOptions MakeRoutedOptions(bool routed, size_t batch_size,
+                                        int num_shards) {
+  GestureRuntimeOptions options =
+      MakeOptions(RuntimeBackend::kSharded, batch_size, num_shards);
+  options.route_session_events = routed;
+  options.shard_placement = routed ? cep::ShardPlacement::kSessionAffinity
+                                   : cep::ShardPlacement::kBalanced;
+  return options;
+}
+
+/// One full pass over `sessions` sessions on the sharded backend; returns
+/// the fan-out copies enqueued per pushed event (events_routed includes
+/// every per-shard copy, so broadcast reads ~num_shards and routed reads
+/// ~1 when each event interests exactly one shard).
+double MeasureCopiesPerEvent(bool routed, int sessions, int num_shards) {
+  stream::StreamEngine engine;
+  GestureRuntime runtime(&engine, MakeRoutedOptions(routed, kFanoutBatch, num_shards));
+  uint64_t detections = 0;
+  DeployFleet(&runtime, sessions, &detections);
+  const std::vector<std::pair<SessionId, const SkeletonFrame*>> feed =
+      BuildFeed(sessions);
+  for (const auto& [session, frame] : feed) {
+    EPL_CHECK(runtime.PushFrame(session, *frame).ok());
+  }
+  EPL_CHECK(runtime.Flush().ok());
+  benchmark::DoNotOptimize(detections);
+  const cep::ShardedEngine::EngineStats stats = runtime.ShardedStats();
+  return static_cast<double>(stats.events_routed) /
+         static_cast<double>(feed.size());
+}
+
+/// Startup gate for the routed fan-out path: (a) routed sharded execution
+/// at 1 and 4 shards and broadcast sharded execution at 4 shards must all
+/// produce bit-identical per-session detections to the fused runtime;
+/// (b) at the acceptance workload (64 sessions x 16 gestures x 4 shards)
+/// interest routing must cut fan-out copies per event by >= 2x vs
+/// broadcast. Both measured numbers land in the JSON context block.
+void VerifyRoutedFanout() {
+  using Record = std::tuple<int, std::string, TimePoint,
+                            std::vector<TimePoint>>;
+  const int sessions = 8;
+  auto run = [&](const GestureRuntimeOptions& options) {
+    std::vector<Record> records;
+    stream::StreamEngine engine;
+    GestureRuntime runtime(&engine, options);
+    const std::vector<core::GestureDefinition> definitions =
+        bench::LearnedVariants(4);
+    for (int s = 0; s < sessions; ++s) {
+      Result<SessionId> id = runtime.OpenSession("u" + std::to_string(s));
+      EPL_CHECK(id.ok()) << id.status();
+      for (const core::GestureDefinition& definition : definitions) {
+        const int session = *id;
+        EPL_CHECK(runtime
+                      .Deploy(*id, definition,
+                              [&records, session](const cep::Detection& d) {
+                                records.emplace_back(session, d.name, d.time,
+                                                     d.pose_times);
+                              })
+                      .ok());
+      }
+    }
+    for (const auto& [session, frame] : BuildFeed(sessions)) {
+      EPL_CHECK(runtime.PushFrame(session, *frame).ok());
+    }
+    EPL_CHECK(runtime.Flush().ok());
+    return records;
+  };
+  const std::vector<Record> fused =
+      run(MakeOptions(RuntimeBackend::kFused, 32, 1));
+  EPL_CHECK(!fused.empty()) << "routed-fanout workload produced no detections";
+  for (const int shards : {1, 4}) {
+    const std::vector<Record> routed = run(MakeRoutedOptions(true, kFanoutBatch, shards));
+    EPL_CHECK(routed == fused)
+        << "routed sharded runtime diverged from fused at " << shards
+        << " shards (" << routed.size() << " vs " << fused.size()
+        << " detections)";
+  }
+  const std::vector<Record> broadcast = run(MakeRoutedOptions(false, kFanoutBatch, 4));
+  EPL_CHECK(broadcast == fused)
+      << "broadcast sharded runtime diverged from fused (" << broadcast.size()
+      << " vs " << fused.size() << " detections)";
+
+  const double routed_copies = MeasureCopiesPerEvent(true, 64, 4);
+  const double broadcast_copies = MeasureCopiesPerEvent(false, 64, 4);
+  EPL_CHECK(routed_copies * 2.0 <= broadcast_copies)
+      << "interest routing saved < 2x fan-out copies at 64 sessions x "
+      << kGesturesPerSession << " gestures x 4 shards: " << routed_copies
+      << " vs " << broadcast_copies << " copies/event";
+  benchmark::AddCustomContext("routed_copies_per_event",
+                              std::to_string(routed_copies));
+  benchmark::AddCustomContext("broadcast_copies_per_event",
+                              std::to_string(broadcast_copies));
+}
+
+/// Fan-out cost of the sharded backend under multi-session load:
+/// broadcast (every event to every shard, balanced placement) vs interest
+/// routing (session-affinity placement, per-shard interest filters).
+/// Args: {sessions, shards, routed}. The copies_per_event counter is the
+/// average number of per-shard enqueues each pushed event cost;
+/// scripts/check_scaling.py asserts routed < broadcast at 4 shards.
+void BM_SessionRoutedFanout(benchmark::State& state) {
+  static bool verified = [] {
+    VerifyRoutedFanout();
+    return true;
+  }();
+  (void)verified;
+  const int sessions = static_cast<int>(state.range(0));
+  const int num_shards = static_cast<int>(state.range(1));
+  const bool routed = state.range(2) != 0;
+  stream::StreamEngine engine;
+  GestureRuntime runtime(&engine, MakeRoutedOptions(routed, kFanoutBatch, num_shards));
+  uint64_t detections = 0;
+  DeployFleet(&runtime, sessions, &detections);
+  const std::vector<std::pair<SessionId, const SkeletonFrame*>> feed =
+      BuildFeed(sessions);
+  for (auto _ : state) {
+    for (const auto& [session, frame] : feed) {
+      Status status = runtime.PushFrame(session, *frame);
+      benchmark::DoNotOptimize(status.ok());
+    }
+    Status status = runtime.Flush();
+    benchmark::DoNotOptimize(status.ok());
+  }
+  const cep::ShardedEngine::EngineStats stats = runtime.ShardedStats();
+  const double events = static_cast<double>(state.iterations()) *
+                        static_cast<double>(feed.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(feed.size()));
+  state.counters["sessions"] = sessions;
+  state.counters["queries"] = sessions * kGesturesPerSession;
+  state.counters["shards"] = num_shards;
+  state.counters["routed"] = routed ? 1 : 0;
+  state.counters["copies_per_event"] =
+      static_cast<double>(stats.events_routed) / events;
+  state.counters["skipped_per_event"] =
+      static_cast<double>(stats.events_skipped_by_filter) / events;
+  state.counters["fanout_subbatches"] =
+      static_cast<double>(stats.fanout_subbatches);
+  state.counters["advance_tokens"] = static_cast<double>(stats.advance_tokens);
+  state.counters["affinity_moves"] = static_cast<double>(stats.affinity_moves);
+  state.counters["worker_wakeups_per_event"] =
+      static_cast<double>(stats.worker_wakeups) / events;
+  benchmark::DoNotOptimize(detections);
+}
+BENCHMARK(BM_SessionRoutedFanout)
+    ->Args({64, 1, 0})
+    ->Args({64, 1, 1})
+    ->Args({64, 4, 0})
+    ->Args({64, 4, 1})
+    ->Args({256, 1, 0})
+    ->Args({256, 1, 1})
+    ->Args({256, 4, 0})
+    ->Args({256, 4, 1})
+    // Wall-clock items/s (the fan-out win is pipeline throughput), with
+    // process CPU recorded so the saved per-shard filter work shows up
+    // even when shards serialize on a small CI runner.
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 /// Flat-path guard for composite gestures: with ZERO composites deployed
 /// the per-event cost must be unchanged. The composite runner is lazily

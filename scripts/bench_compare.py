@@ -18,8 +18,18 @@ to their median before comparison. A missing baseline directory, file,
 or row is reported but never fails the build (first run, renamed bench,
 new bench). A summary table is written to $GITHUB_STEP_SUMMARY when set.
 
+Besides the artifact-directory baseline, a compact committed baseline is
+supported: --write-summary distills a directory of BENCH_*.json into one
+small JSON file (just the gated medians), which CI commits back to main
+as bench/baseline/BENCH_summary.json after every successful main run.
+--baseline-summary uses that file for any bench the artifact baseline is
+missing (expired artifact, fork without artifact access, local runs), so
+the comparison always has SOME baseline instead of silently skipping.
+
 Usage:
   bench_compare.py --current DIR --baseline DIR [--tolerance 0.15]
+                   [--baseline-summary FILE]
+  bench_compare.py --current DIR --write-summary FILE
   bench_compare.py --self-test
 """
 
@@ -69,21 +79,58 @@ def classify(metric, base, cur, tolerance):
     return "ok", delta
 
 
-def compare_dirs(current_dir, baseline_dir, tolerance):
+def load_summary(path):
+    """Committed compact baseline -> {file_name: {metric: value}}."""
+    if not path or not os.path.isfile(path):
+        return {}
+    with open(path) as fh:
+        summary = json.load(fh)
+    return {name: {metric: float(value) for metric, value in metrics.items()}
+            for name, metrics in summary.get("files", {}).items()}
+
+
+def write_summary(current_dir, path):
+    """Distill a directory of BENCH_*.json into the compact baseline file."""
+    files = {}
+    for current_path in sorted(glob.glob(os.path.join(current_dir,
+                                                      "BENCH_*.json"))):
+        metrics = load_metrics(current_path)
+        if metrics:
+            files[os.path.basename(current_path)] = metrics
+    if not files:
+        print(f"error: no gated metrics under {current_dir}")
+        return 1
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump({"format": "bench-summary/1", "files": files}, fh,
+                  indent=1, sort_keys=True)
+        fh.write("\n")
+    rows = sum(len(metrics) for metrics in files.values())
+    print(f"wrote {path}: {rows} gated metrics from {len(files)} bench files")
+    return 0
+
+
+def compare_dirs(current_dir, baseline_dir, tolerance, baseline_summary=None):
     """-> (markdown_lines, regressions, notes)."""
     lines = ["| benchmark | baseline | current | delta | status |",
              "|---|---:|---:|---:|---|"]
     regressions, notes = [], []
+    summary = load_summary(baseline_summary)
     current_files = sorted(glob.glob(os.path.join(current_dir, "BENCH_*.json")))
     if not current_files:
         notes.append(f"no BENCH_*.json files under {current_dir}")
     for current_path in current_files:
         name = os.path.basename(current_path)
-        baseline_path = os.path.join(baseline_dir, name)
-        if not os.path.isfile(baseline_path):
+        baseline_path = os.path.join(baseline_dir, name) if baseline_dir \
+            else None
+        if baseline_path and os.path.isfile(baseline_path):
+            base_metrics = load_metrics(baseline_path)
+        elif name in summary:
+            base_metrics = summary[name]
+            notes.append(f"{name}: baseline from committed summary")
+        else:
             notes.append(f"{name}: no baseline (first run of this bench?)")
             continue
-        base_metrics = load_metrics(baseline_path)
         cur_metrics = load_metrics(current_path)
         for metric in sorted(cur_metrics):
             if metric not in base_metrics:
@@ -177,8 +224,24 @@ def self_test():
             print(f"self-test FAILED: injected regressions not caught "
                   f"(got {regressions})")
             return 1
-        print("self-test OK: injected regression trips the gate, "
-              "in-tolerance noise does not")
+        # Committed-summary fallback: distill the baseline dir into the
+        # compact summary, then compare with NO artifact baseline at all.
+        # The same injected regressions must trip via the summary alone.
+        summary_path = os.path.join(base, "BENCH_summary.json")
+        if write_summary(base, summary_path) != 0:
+            print("self-test FAILED: could not write compact summary")
+            return 1
+        _, regressions, sum_notes = compare_dirs(
+            bad, None, 0.15, baseline_summary=summary_path)
+        if len(regressions) != 3:
+            print(f"self-test FAILED: summary-file baseline missed the "
+                  f"injected regressions (got {regressions})")
+            return 1
+        if not any("committed summary" in note for note in sum_notes):
+            print("self-test FAILED: summary fallback not noted")
+            return 1
+        print("self-test OK: injected regression trips the gate (artifact "
+              "and summary baselines), in-tolerance noise does not")
         return 0
 
 
@@ -188,20 +251,34 @@ def main():
     parser.add_argument("--baseline",
                         help="directory with baseline BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument("--baseline-summary", metavar="FILE",
+                        help="committed compact baseline used for any bench "
+                             "the --baseline directory is missing")
+    parser.add_argument("--write-summary", metavar="FILE",
+                        help="distill --current into the compact baseline "
+                             "file and exit")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate on synthetic data and exit")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test()
-    if not args.current or not args.baseline:
-        parser.error("--current and --baseline are required (or --self-test)")
-    if not os.path.isdir(args.baseline):
-        print(f"no baseline directory at {args.baseline}; skipping comparison "
-              "(first run on this branch?)")
+    if args.write_summary:
+        if not args.current:
+            parser.error("--write-summary requires --current")
+        return write_summary(args.current, args.write_summary)
+    if not args.current or not (args.baseline or args.baseline_summary):
+        parser.error("--current and --baseline or --baseline-summary are "
+                     "required (or --self-test / --write-summary)")
+    baseline_dir = args.baseline if args.baseline and \
+        os.path.isdir(args.baseline) else None
+    if baseline_dir is None and not load_summary(args.baseline_summary):
+        print("no baseline artifact directory and no committed summary; "
+              "skipping comparison (first run on this branch?)")
         return 0
-    lines, regressions, notes = compare_dirs(args.current, args.baseline,
-                                             args.tolerance)
+    lines, regressions, notes = compare_dirs(args.current, baseline_dir,
+                                             args.tolerance,
+                                             args.baseline_summary)
     emit(lines, regressions, notes, args.tolerance)
     return 1 if regressions else 0
 

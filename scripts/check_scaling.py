@@ -11,9 +11,15 @@ Repetition-aware: with --benchmark_repetitions=K the JSON carries K
 take the median of the iteration rows so one noisy repetition on a shared
 runner cannot flip the gate either way.
 
+With --routed-fanout it additionally gates interest routing: the
+BM_SessionRoutedFanout rows (bench_gesture_sessions) record how many
+per-shard copies each pushed event cost (copies_per_event counter);
+at the gate shard count the routed configuration must enqueue strictly
+fewer copies per event than broadcast for every session count measured.
+
 Usage:
   check_scaling.py BENCH.json [--baseline-shards 1] [--gate-shards 4]
-                   [--min-speedup 2.0]
+                   [--min-speedup 2.0] [--routed-fanout BENCH_fanout.json]
 """
 
 import argparse
@@ -23,6 +29,7 @@ import statistics
 import sys
 
 SCALEOUT_ROW = re.compile(r"^BM_ShardedScaleOut/(\d+)/(\d+)/real_time")
+FANOUT_ROW = re.compile(r"^BM_SessionRoutedFanout/(\d+)/(\d+)/(\d+)/")
 
 
 def load_throughputs(path):
@@ -45,12 +52,62 @@ def load_throughputs(path):
     return {shards: statistics.median(values) for shards, values in samples.items()}
 
 
+def load_fanout_copies(path):
+    """(sessions, shards, routed) -> median copies_per_event."""
+    with open(path) as fh:
+        report = json.load(fh)
+    samples = {}
+    for row in report.get("benchmarks", []):
+        match = FANOUT_ROW.match(row.get("name", ""))
+        if not match:
+            continue
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        copies = row.get("copies_per_event")
+        if copies is None:
+            continue
+        key = (int(match.group(1)), int(match.group(2)),
+               int(match.group(3)) != 0)
+        samples.setdefault(key, []).append(float(copies))
+    return {key: statistics.median(values) for key, values in samples.items()}
+
+
+def check_routed_fanout(path, gate_shards):
+    """Routed must enqueue < broadcast copies/event at the gate shard count."""
+    copies = load_fanout_copies(path)
+    pairs = sorted(sessions for (sessions, shards, routed) in copies
+                   if shards == gate_shards and routed
+                   and (sessions, shards, False) in copies)
+    if not pairs:
+        print(f"error: no routed/broadcast BM_SessionRoutedFanout pairs at "
+              f"{gate_shards} shards in {path}")
+        return 2
+    print(f"\n{'sessions':>8} {'broadcast':>11} {'routed':>9}  copies/event "
+          f"at {gate_shards} shards")
+    failed = False
+    for sessions in pairs:
+        broadcast = copies[(sessions, gate_shards, False)]
+        routed = copies[(sessions, gate_shards, True)]
+        verdict = "ok" if routed < broadcast else "FAIL"
+        print(f"{sessions:>8} {broadcast:>11.2f} {routed:>9.2f}  {verdict}")
+        failed = failed or routed >= broadcast
+    if failed:
+        print(f"\nFAIL: interest routing did not reduce fan-out copies per "
+              f"event vs broadcast at {gate_shards} shards")
+        return 1
+    print(f"\nOK: routed fan-out enqueues fewer copies/event than broadcast "
+          f"at {gate_shards} shards")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="Google Benchmark JSON output")
     parser.add_argument("--baseline-shards", type=int, default=1)
     parser.add_argument("--gate-shards", type=int, default=4)
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--routed-fanout", metavar="BENCH_FANOUT_JSON",
+                        help="also gate BM_SessionRoutedFanout copies/event")
     args = parser.parse_args()
 
     throughputs = load_throughputs(args.report)
@@ -77,6 +134,9 @@ def main():
         return 1
     print(f"\nOK: {args.gate_shards} shards deliver {speedup:.2f}x "
           f"(gate: >= {args.min_speedup:.2f}x)")
+
+    if args.routed_fanout:
+        return check_routed_fanout(args.routed_fanout, args.gate_shards)
     return 0
 
 

@@ -34,6 +34,7 @@ int MultiMatchOperator::AddQuery(QuerySpec spec) {
   query.level = spec.level;
   query.tag = spec.tag;
   query.session_tag = spec.session_tag;
+  query.session_scoped = spec.session_scoped;
   int id = query.id;
   if (processing_) {
     PendingOp op;
@@ -100,6 +101,7 @@ Result<MultiMatchOperator::DetachedQuery> MultiMatchOperator::ExtractQuery(
   detached.gate = std::move(query.gate);
   detached.tag = query.tag;
   detached.session_tag = query.session_tag;
+  detached.session_scoped = query.session_scoped;
   detached.matcher = matcher_.ExtractPattern(index);
   queries_.erase(queries_.begin() + index);
   return detached;
@@ -118,6 +120,7 @@ int MultiMatchOperator::AdoptQuery(DetachedQuery detached) {
   query.gate = std::move(detached.gate);
   query.tag = detached.tag;
   query.session_tag = detached.session_tag;
+  query.session_scoped = detached.session_scoped;
   int id = query.id;
   matcher_.AdoptPattern(std::move(detached.matcher), query.gate.get());
   queries_.push_back(std::move(query));
@@ -169,6 +172,7 @@ Result<int> MultiMatchOperator::RestoreQuery(QuerySpec spec,
   // snapshot re-derive from this query by its tag.
   query.tag = spec.tag;
   query.session_tag = spec.session_tag;
+  query.session_scoped = spec.session_scoped;
   auto matcher =
       std::make_unique<NfaMatcher>(query.pattern.get(), matcher_.options());
   EPL_RETURN_IF_ERROR(matcher->ImportRunState(runs));

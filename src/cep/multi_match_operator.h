@@ -88,6 +88,12 @@ class MultiMatchOperator : public stream::Operator {
     /// GestureTag); feeds composite levels above this query's own.
     double tag = 0;
     double session_tag = 0;
+    /// True when `gate` restricts this query to events whose session
+    /// field equals `session_tag` (GestureRuntime's per-session gates).
+    /// ShardedEngine uses it to build per-shard interest filters: events
+    /// of other sessions are provably no-ops for this query, so routed
+    /// fan-out may skip shards hosting only foreign-session queries.
+    bool session_scoped = false;
   };
 
   /// Adds a query and returns its stable id (monotonic, never reused).
@@ -113,6 +119,7 @@ class MultiMatchOperator : public stream::Operator {
     std::shared_ptr<const CompiledPattern> gate;
     double tag = 0;
     double session_tag = 0;
+    bool session_scoped = false;
   };
 
   /// Detaches the query with stable id `query_id` without destroying its
@@ -230,6 +237,7 @@ class MultiMatchOperator : public stream::Operator {
     int level = 0;
     double tag = 0;
     double session_tag = 0;
+    bool session_scoped = false;
   };
 
   /// One deferred mutation queued from inside a detection callback.

@@ -2,14 +2,33 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
 #include "stream/thread_affinity.h"
 
 namespace epl::cep {
+
+namespace {
+
+/// Bitwise routing key of a session-tag / routing-field double. +0.0 and
+/// -0.0 compare equal but differ bitwise; canonicalize so a producer
+/// writing -0.0 still reaches session 0's shards.
+uint64_t RoutingKey(double value) {
+  if (value == 0.0) {
+    value = 0.0;
+  }
+  uint64_t key = 0;
+  static_assert(sizeof(key) == sizeof(value));
+  std::memcpy(&key, &value, sizeof(key));
+  return key;
+}
+
+}  // namespace
 
 uint64_t QueryCostWeight(const CompiledPattern& pattern) {
   const uint64_t weight =
@@ -147,10 +166,14 @@ std::unique_ptr<ShardedEngine::Shard> ShardedEngine::MakeShard(
   auto shard = std::make_unique<Shard>(options_.matcher);
   // The worker runs each fan-out batch as one matcher sweep; the hook
   // stamps current_seq per event so the recorders still tag matches with
-  // exact sequence numbers.
+  // exact sequence numbers. A routed sub-batch carries its events'
+  // absolute sequence numbers explicitly (they are a non-contiguous
+  // subset of the window).
   Shard* raw = shard.get();
   raw->op.set_batch_event_hook([raw](size_t index) {
-    raw->current_seq = raw->batch_base_seq + index;
+    raw->current_seq = raw->batch_seqs != nullptr
+                           ? (*raw->batch_seqs)[index]
+                           : raw->batch_base_seq + index;
   });
   raw->processed_events.store(base_seq, std::memory_order_release);
   return shard;
@@ -237,9 +260,8 @@ Status ShardedEngine::Stop() {
     control_cv_.wait(pool_lock,
                      [this, target] { return MinProcessed() >= target; });
     shutdown_ = true;
-    work_epoch_.fetch_add(1, std::memory_order_release);
+    WakeAllWorkersLocked();
   }
-  work_cv_.notify_all();
   for (std::unique_ptr<Shard>& shard : shards_) {
     if (shard->worker.joinable()) {
       shard->worker.join();
@@ -266,6 +288,7 @@ int ShardedEngine::AddQuery(QuerySpec spec) {
   info.level = spec.level;
   info.tag = spec.tag;
   info.session_tag = spec.session_tag;
+  info.session_scoped = spec.level == 0 && spec.session_scoped;
   info.static_weight = QueryCostWeight(spec.pattern);
   info.weight = info.static_weight;
   if (spec.level > 0) {
@@ -291,7 +314,7 @@ int ShardedEngine::AddQuery(QuerySpec spec) {
     return id;
   }
   info.callback = std::move(spec.callback);
-  info.shard = LeastLoadedShard();
+  info.shard = PlaceQueryLocked(info);
   Shard* shard = shards_[static_cast<size_t>(info.shard)].get();
   spec.callback = MakeRecorder(shard, id);
   info.local_id = shard->op.AddQuery(std::move(spec));
@@ -412,24 +435,36 @@ Status ShardedEngine::ResizeLocked(int num_shards) {
       if (info.shard < 0 || static_cast<size_t>(info.shard) < target) {
         continue;  // composite queries live off-shard; survivors stay put
       }
-      Result<MultiMatchOperator::DetachedQuery> detached =
-          shards_[static_cast<size_t>(info.shard)]->op.ExtractQuery(
-              info.local_id);
-      EPL_CHECK(detached.ok()) << detached.status();
+      const std::vector<uint64_t> weights = ShardWeightsLocked();
       uint64_t lightest = UINT64_MAX;
       int destination_index = 0;
-      std::vector<uint64_t> weights = ShardWeightsLocked();
       for (size_t s = 0; s < target; ++s) {
         if (weights[s] < lightest) {
           lightest = weights[s];
           destination_index = static_cast<int>(s);
         }
       }
-      Shard* destination =
-          shards_[static_cast<size_t>(destination_index)].get();
-      detached->callback = MakeRecorder(destination, query_id);
-      info.local_id = destination->op.AdoptQuery(std::move(detached).value());
-      info.shard = destination_index;
+      if (options_.placement == ShardPlacement::kSessionAffinity &&
+          info.session_scoped) {
+        // Affinity survives the shrink: prefer a surviving shard already
+        // hosting this session, budget permitting (the closing Rebalance
+        // consolidates whatever this pass leaves split).
+        const uint64_t key = RoutingKey(info.session_tag);
+        for (const auto& [other_id, other] : queries_) {
+          if (other_id == query_id || !other.session_scoped ||
+              other.shard < 0 ||
+              static_cast<size_t>(other.shard) >= target ||
+              RoutingKey(other.session_tag) != key) {
+            continue;
+          }
+          const size_t s = static_cast<size_t>(other.shard);
+          if (weights[s] + info.weight <= lightest + SkewBudget()) {
+            destination_index = other.shard;
+            break;
+          }
+        }
+      }
+      MoveQueryLocked(query_id, destination_index);
     }
     std::vector<std::unique_ptr<Shard>> doomed;
     {
@@ -439,9 +474,11 @@ Status ShardedEngine::ResizeLocked(int num_shards) {
         doomed.push_back(std::move(shards_.back()));
         shards_.pop_back();
       }
-      work_epoch_.fetch_add(1, std::memory_order_release);
+      for (std::unique_ptr<Shard>& shard : doomed) {
+        shard->wake_epoch.fetch_add(1, std::memory_order_release);
+        shard->cv.notify_all();
+      }
     }
-    work_cv_.notify_all();
     for (std::unique_ptr<Shard>& shard : doomed) {
       if (shard->worker.joinable()) {
         shard->worker.join();
@@ -571,6 +608,7 @@ Result<int> ShardedEngine::RestoreQuery(QuerySpec spec,
   info.level = spec.level;
   info.tag = spec.tag;
   info.session_tag = spec.session_tag;
+  info.session_scoped = spec.level == 0 && spec.session_scoped;
   info.static_weight = QueryCostWeight(spec.pattern);
   info.weight = info.static_weight;
   if (spec.level > 0) {
@@ -600,7 +638,7 @@ Result<int> ShardedEngine::RestoreQuery(QuerySpec spec,
     return id;
   }
   info.callback = std::move(spec.callback);
-  info.shard = LeastLoadedShard();
+  info.shard = PlaceQueryLocked(info);
   Shard* shard = shards_[static_cast<size_t>(info.shard)].get();
   spec.callback = MakeRecorder(shard, id);
   Result<int> local = shard->op.RestoreQuery(std::move(spec), runs);
@@ -713,6 +751,31 @@ uint64_t ShardedEngine::resize_count() const {
   return resize_count_;
 }
 
+ShardedEngine::EngineStats ShardedEngine::engine_stats() const {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "engine_stats from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  EngineStats stats = stats_;
+  stats.worker_wakeups = wakeups_signaled_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ShardedEngine::TestOnlyFlipInterestBit(double key, int shard) {
+  EPL_CHECK(delivering_thread_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id())
+      << "TestOnlyFlipInterestBit from inside a detection callback";
+  std::lock_guard<std::mutex> lock(control_mu_);
+  std::vector<int>& shards = interest_[RoutingKey(key)];
+  auto it = std::find(shards.begin(), shards.end(), shard);
+  if (it == shards.end()) {
+    shards.push_back(shard);
+    std::sort(shards.begin(), shards.end());
+  } else {
+    shards.erase(it);
+  }
+}
+
 int ShardedEngine::num_shards() const {
   // pool_mu_, not control_mu_: the shard vector's shape only changes under
   // both, and pool_mu_ is never held while user callbacks run -- so this
@@ -776,15 +839,18 @@ void ShardedEngine::WorkerLoop(Shard* primary, int worker_index) {
       if (shutdown_) {
         return;
       }
-      const uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
+      const uint64_t epoch =
+          primary->wake_epoch.load(std::memory_order_acquire);
       if (options_.spin_wait_iterations > 0) {
-        // Spin-then-park: poll the epoch outside the lock -- a producer
-        // batching every few microseconds usually republishes before the
-        // spin budget runs out, saving the futex round trip.
+        // Spin-then-park: poll the shard's own epoch outside the lock --
+        // a producer batching every few microseconds usually wakes this
+        // shard before the spin budget runs out, saving the futex round
+        // trip. Routed windows that skip the shard never bump its epoch,
+        // so the spin is also undisturbed by foreign-session traffic.
         lock.unlock();
         bool republished = false;
         for (int i = 0; i < options_.spin_wait_iterations; ++i) {
-          if (work_epoch_.load(std::memory_order_acquire) != epoch) {
+          if (primary->wake_epoch.load(std::memory_order_acquire) != epoch) {
             republished = true;
             break;
           }
@@ -792,23 +858,32 @@ void ShardedEngine::WorkerLoop(Shard* primary, int worker_index) {
         }
         lock.lock();
         if (republished ||
-            work_epoch_.load(std::memory_order_acquire) != epoch) {
+            primary->wake_epoch.load(std::memory_order_acquire) != epoch) {
           continue;
         }
       }
-      work_cv_.wait(lock, [this, primary, epoch] {
-        return work_epoch_.load(std::memory_order_relaxed) != epoch ||
+      primary->cv.wait(lock, [this, primary, epoch] {
+        return primary->wake_epoch.load(std::memory_order_relaxed) != epoch ||
                shutdown_ || primary->retired;
       });
       continue;
     }
-    std::shared_ptr<const Batch> batch = std::move(victim->queue.front());
+    QueueEntry entry = std::move(victim->queue.front());
     victim->queue.pop_front();
-    if (batch == nullptr) {
-      // Sync token: the shard parks at the control barrier. Consuming it
-      // required the shard idle (not busy), so every prior batch of the
-      // shard is fully processed -- the quiesce invariant.
-      victim->parked = true;
+    if (entry.batch == nullptr) {
+      if (entry.sync) {
+        // Sync token: the shard parks at the control barrier. Consuming
+        // it required the shard idle (not busy), so every prior batch of
+        // the shard is fully processed -- the quiesce invariant.
+        victim->parked = true;
+      } else {
+        // Advance token: the interest filter skipped this whole window
+        // for the shard; lift the watermark without touching the
+        // matcher. Safe under pool_mu_: the shard was claimable, so no
+        // executor is concurrently publishing a smaller value.
+        victim->processed_events.store(entry.advance_to,
+                                       std::memory_order_release);
+      }
       control_cv_.notify_all();
       continue;
     }
@@ -817,17 +892,41 @@ void ShardedEngine::WorkerLoop(Shard* primary, int worker_index) {
       stolen_batches_.fetch_add(1, std::memory_order_relaxed);
     }
     lock.unlock();
-    ExecuteBatch(victim, *batch);
-    batch.reset();
+    ExecuteBatch(victim, *entry.batch);
+    entry.batch.reset();
     lock.lock();
     victim->busy = false;
     if (!victim->queue.empty()) {
       // The shard is claimable again and still has work: republish it to
-      // whichever worker is idle (possibly this one, next iteration).
-      work_epoch_.fetch_add(1, std::memory_order_release);
-      work_cv_.notify_all();
+      // its own worker (possibly this one, next iteration) and -- when
+      // stealing -- to whichever workers idle with nothing of their own.
+      WakeShardLocked(victim);
+      if (options_.work_stealing) {
+        WakeIdleWorkersLocked();
+      }
     }
     control_cv_.notify_all();
+  }
+}
+
+void ShardedEngine::WakeShardLocked(Shard* shard) {
+  shard->wake_epoch.fetch_add(1, std::memory_order_release);
+  shard->cv.notify_one();
+  wakeups_signaled_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedEngine::WakeAllWorkersLocked() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->wake_epoch.fetch_add(1, std::memory_order_release);
+    shard->cv.notify_all();
+  }
+}
+
+void ShardedEngine::WakeIdleWorkersLocked() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->queue.empty() && !shard->busy) {
+      WakeShardLocked(shard.get());
+    }
   }
 }
 
@@ -863,8 +962,10 @@ void ShardedEngine::ExecuteBatch(Shard* shard, const Batch& batch) {
   // across the window before the next pattern is touched. The operator's
   // batch-event hook keeps current_seq exact per event.
   shard->batch_base_seq = batch.base_seq;
+  shard->batch_seqs = batch.seqs.empty() ? nullptr : &batch.seqs;
   Status status =
       shard->op.ProcessBatch(batch.events.data(), batch.events.size());
+  shard->batch_seqs = nullptr;
   if (!status.ok()) {
     std::lock_guard<std::mutex> lock(shard->mu);
     if (shard->status.ok()) {
@@ -878,8 +979,9 @@ void ShardedEngine::ExecuteBatch(Shard* shard, const Batch& batch) {
     }
     shard->local.clear();
   }
-  shard->processed_events.store(batch.base_seq + batch.events.size(),
-                                std::memory_order_release);
+  // The watermark advances over the whole window, not just the delivered
+  // subset: the filtered-out events are exact no-ops for this shard.
+  shard->processed_events.store(batch.end_seq, std::memory_order_release);
   shard->busy_ns.fetch_add(
       static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -893,10 +995,11 @@ void ShardedEngine::PauseWorkers() {
   {
     std::unique_lock<std::mutex> lock(pool_mu_);
     for (std::unique_ptr<Shard>& shard : shards_) {
-      shard->queue.push_back(nullptr);  // sync token
+      shard->queue.push_back(QueueEntry{nullptr, 0, true});  // sync token
     }
-    work_epoch_.fetch_add(1, std::memory_order_release);
-    work_cv_.notify_all();
+    // Control wakeups reach every shard: sync tokens traverse all FIFOs
+    // regardless of routing.
+    WakeAllWorkersLocked();
     control_cv_.wait(lock, [this] {
       for (const std::unique_ptr<Shard>& shard : shards_) {
         if (!shard->parked || shard->busy) {
@@ -909,14 +1012,11 @@ void ShardedEngine::PauseWorkers() {
 }
 
 void ShardedEngine::ResumeWorkers() {
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    for (std::unique_ptr<Shard>& shard : shards_) {
-      shard->parked = false;
-    }
-    work_epoch_.fetch_add(1, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->parked = false;
   }
-  work_cv_.notify_all();
+  WakeAllWorkersLocked();
 }
 
 void ShardedEngine::FlushBatch() {
@@ -925,30 +1025,138 @@ void ShardedEngine::FlushBatch() {
   }
   pending_batch_->base_seq = next_seq_;
   next_seq_ += pending_batch_->events.size();
+  pending_batch_->end_seq = next_seq_;
   std::shared_ptr<const Batch> batch = std::move(pending_batch_);
   pending_batch_ = std::make_unique<Batch>();
   pending_batch_->events.reserve(options_.batch_size);
+  ++stats_.fanout_batches;
+  DistributeBatch(std::move(batch));
+  DrainAndDeliver();
+}
+
+void ShardedEngine::EnqueueAdvanceLocked(Shard* shard, uint64_t end_seq) {
+  ++stats_.advance_tokens;
+  if (shard->queue.empty() && !shard->busy && !shard->parked) {
+    // The shard is idle with nothing in flight: advance the watermark
+    // directly, with no queue traffic and -- crucially -- no wakeup.
+    // Safe: the last executor published its store before clearing busy
+    // under pool_mu_.
+    shard->processed_events.store(end_seq, std::memory_order_release);
+    return;
+  }
+  if (!shard->queue.empty() && shard->queue.back().batch == nullptr &&
+      !shard->queue.back().sync) {
+    // Coalesce into the trailing advance token: per-shard FIFO order
+    // makes end_seq monotone, so the later target subsumes the earlier.
+    shard->queue.back().advance_to = end_seq;
+    return;
+  }
+  // The shard has work in flight; park the token behind it. No wakeup is
+  // needed: a worker is either processing the queue already or has a
+  // pending wake signal from the entry before this one, and the
+  // post-execution republish covers the stolen-batch case.
+  shard->queue.push_back(QueueEntry{nullptr, end_seq, false});
+}
+
+void ShardedEngine::DistributeBatch(std::shared_ptr<const Batch> batch) {
+  const size_t window = batch->events.size();
+  const size_t num_shards = shards_.size();
+  const bool routed = options_.routing_field >= 0;
+  route_scratch_.resize(num_shards);
+  for (std::vector<uint32_t>& indices : route_scratch_) {
+    indices.clear();
+  }
+  if (routed) {
+    const size_t field = static_cast<size_t>(options_.routing_field);
+    for (size_t i = 0; i < window; ++i) {
+      const stream::Event& event = batch->events[i];
+      if (field >= event.values.size()) {
+        // No routing key on this event: conservatively broadcast it.
+        for (std::vector<uint32_t>& indices : route_scratch_) {
+          indices.push_back(static_cast<uint32_t>(i));
+        }
+        continue;
+      }
+      for (int s : wildcard_shards_) {
+        route_scratch_[static_cast<size_t>(s)].push_back(
+            static_cast<uint32_t>(i));
+      }
+      const auto it = interest_.find(RoutingKey(event.values[field]));
+      if (it == interest_.end()) {
+        continue;  // only session-scoped queries of other sessions exist
+      }
+      for (int s : it->second) {
+        std::vector<uint32_t>& indices = route_scratch_[static_cast<size_t>(s)];
+        // A shard can be both wildcard and key-interested; indices for
+        // one event arrive adjacently, so dedup is a tail check.
+        if (indices.empty() || indices.back() != static_cast<uint32_t>(i)) {
+          indices.push_back(static_cast<uint32_t>(i));
+        }
+      }
+    }
+  }
+  // Build routed sub-batches outside pool_mu_ (copying events under the
+  // pool lock would stall the workers).
+  std::vector<std::shared_ptr<const Batch>> to_enqueue(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t count = routed ? route_scratch_[s].size() : window;
+    if (!routed || count == window) {
+      to_enqueue[s] = batch;  // full window: share the one copy
+      stats_.events_routed += window;
+      continue;
+    }
+    stats_.events_routed += count;
+    stats_.events_skipped_by_filter += window - count;
+    if (count == 0) {
+      continue;  // advance token below
+    }
+    auto sub = std::make_shared<Batch>();
+    sub->base_seq = batch->base_seq;
+    sub->end_seq = batch->end_seq;
+    sub->events.reserve(count);
+    sub->seqs.reserve(count);
+    for (uint32_t index : route_scratch_[s]) {
+      sub->events.push_back(batch->events[index]);
+      sub->seqs.push_back(batch->base_seq + index);
+    }
+    ++stats_.fanout_subbatches;
+    to_enqueue[s] = std::move(sub);
+  }
   {
     std::unique_lock<std::mutex> lock(pool_mu_);
-    // Backpressure: block until every shard FIFO has room. Waiting for
-    // the slowest shard before enqueueing anywhere keeps per-shard
-    // backlog spread bounded by the capacity, which is what makes the
-    // deepest-backlog steal heuristic meaningful.
-    control_cv_.wait(lock, [this] {
-      for (const std::unique_ptr<Shard>& shard : shards_) {
-        if (shard->queue.size() >= options_.queue_capacity) {
+    // Backpressure: block until every destination FIFO has room. Waiting
+    // for the slowest destination before enqueueing anywhere keeps
+    // per-shard backlog spread bounded by the capacity, which is what
+    // makes the deepest-backlog steal heuristic meaningful. Skipped
+    // shards only receive a coalescing token, which needs no room.
+    control_cv_.wait(lock, [this, &to_enqueue] {
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if (to_enqueue[s] != nullptr &&
+            shards_[s]->queue.size() >= options_.queue_capacity) {
           return false;
         }
       }
       return true;
     });
-    for (std::unique_ptr<Shard>& shard : shards_) {
-      shard->queue.push_back(batch);
+    bool stealable_backlog = false;
+    for (size_t s = 0; s < num_shards; ++s) {
+      Shard* shard = shards_[s].get();
+      if (to_enqueue[s] == nullptr) {
+        EnqueueAdvanceLocked(shard, batch->end_seq);
+        continue;
+      }
+      if (shard->busy || !shard->queue.empty()) {
+        // The shard cannot start this batch immediately: with stealing
+        // on, an idle worker elsewhere could.
+        stealable_backlog = true;
+      }
+      shard->queue.push_back(QueueEntry{std::move(to_enqueue[s]), 0, false});
+      WakeShardLocked(shard);
     }
-    work_epoch_.fetch_add(1, std::memory_order_release);
+    if (options_.work_stealing && stealable_backlog) {
+      WakeIdleWorkersLocked();
+    }
   }
-  work_cv_.notify_all();
-  DrainAndDeliver();
 }
 
 void ShardedEngine::DrainAndDeliver() {
@@ -1064,12 +1272,26 @@ uint64_t ShardedEngine::SkewBudget() const {
     return static_cast<uint64_t>(options_.max_query_skew);
   }
   uint64_t total = 0;
+  // The budget tolerates one average PLACEMENT UNIT of imbalance. Under
+  // kSessionAffinity that unit is a whole session group (unscoped
+  // queries stay individual units): sizing it to single queries would
+  // forbid ever packing a multi-query session onto its home shard.
+  const bool affinity =
+      options_.placement == ShardPlacement::kSessionAffinity;
+  std::unordered_set<uint64_t> session_units;
+  uint64_t single_units = 0;
   for (const auto& [query_id, info] : queries_) {
     (void)query_id;
     total += info.weight;
+    if (affinity && info.session_scoped) {
+      session_units.insert(RoutingKey(info.session_tag));
+    } else {
+      ++single_units;
+    }
   }
-  const uint64_t average =
-      (total + queries_.size() - 1) / queries_.size();  // ceil
+  const uint64_t units =
+      std::max<uint64_t>(1, session_units.size() + single_units);
+  const uint64_t average = (total + units - 1) / units;  // ceil
   return static_cast<uint64_t>(options_.max_query_skew) *
          std::max<uint64_t>(1, average);
 }
@@ -1085,11 +1307,66 @@ int ShardedEngine::LeastLoadedShard() const {
   return best;
 }
 
+int ShardedEngine::PlaceQueryLocked(const QueryInfo& info) const {
+  if (options_.placement != ShardPlacement::kSessionAffinity ||
+      !info.session_scoped) {
+    return LeastLoadedShard();
+  }
+  // Home shard: the one already hosting the most of this session's
+  // weight. Packing there is what lets routed fan-out skip the rest of
+  // the fleet -- accept it whenever the result stays inside the skew
+  // budget over the lightest shard.
+  const uint64_t key = RoutingKey(info.session_tag);
+  std::vector<uint64_t> session_weight(shards_.size(), 0);
+  for (const auto& [query_id, other] : queries_) {
+    (void)query_id;
+    if (other.shard >= 0 && other.session_scoped &&
+        RoutingKey(other.session_tag) == key) {
+      session_weight[static_cast<size_t>(other.shard)] += other.weight;
+    }
+  }
+  int home = -1;
+  uint64_t resident = 0;
+  for (size_t s = 0; s < session_weight.size(); ++s) {
+    if (session_weight[s] > resident) {
+      resident = session_weight[s];
+      home = static_cast<int>(s);
+    }
+  }
+  if (home < 0) {
+    return LeastLoadedShard();  // first query of this session
+  }
+  const std::vector<uint64_t> weights = ShardWeightsLocked();
+  const uint64_t lightest = *std::min_element(weights.begin(), weights.end());
+  if (weights[static_cast<size_t>(home)] + info.weight <=
+      lightest + SkewBudget()) {
+    return home;
+  }
+  return LeastLoadedShard();
+}
+
+void ShardedEngine::MoveQueryLocked(int query_id, int destination_index) {
+  // The query's live matcher (and partial runs, and statistics) travel
+  // with it.
+  QueryInfo& info = queries_[query_id];
+  Result<MultiMatchOperator::DetachedQuery> detached =
+      shards_[static_cast<size_t>(info.shard)]->op.ExtractQuery(
+          info.local_id);
+  EPL_CHECK(detached.ok()) << detached.status();
+  // The recorder points at the old shard's buffers; rebind it.
+  Shard* destination = shards_[static_cast<size_t>(destination_index)].get();
+  detached->callback = MakeRecorder(destination, query_id);
+  info.local_id = destination->op.AdoptQuery(std::move(detached).value());
+  info.shard = destination_index;
+}
+
 void ShardedEngine::Rebalance() {
   // Rebalancing always runs quiesced (callers pause the workers when
   // live), so the matcher statistics are mutually consistent: re-derive
   // every weight from measured per-event cost before picking victims.
   RefreshWeightsLocked(LocalIndexLocked());
+  const bool affinity =
+      options_.placement == ShardPlacement::kSessionAffinity;
   // Loop-invariant: moves change shard assignment, not the query set.
   const uint64_t budget = SkewBudget();
   while (true) {
@@ -1105,29 +1382,165 @@ void ShardedEngine::Rebalance() {
         max_shard = i;
       }
     }
+    // Under affinity, a session's queries on the overloaded shard move
+    // as one unit (candidate weight = the session's resident total,
+    // represented by its smallest query id), so balancing does not split
+    // sessions. PickRebalanceVictim's termination argument is unchanged:
+    // moving any unit of weight w < gap strictly shrinks the squared
+    // weight sum.
     std::vector<std::pair<int, uint64_t>> candidates;
+    std::unordered_map<uint64_t, std::pair<int, uint64_t>> groups;
     for (const auto& [query_id, info] : queries_) {
-      if (info.shard == max_shard) {
+      if (info.shard != max_shard) {
+        continue;
+      }
+      if (affinity && info.session_scoped) {
+        auto [it, inserted] = groups.emplace(
+            RoutingKey(info.session_tag),
+            std::make_pair(query_id, info.weight));
+        if (!inserted) {
+          it->second.first = std::min(it->second.first, query_id);
+          it->second.second += info.weight;
+        }
+      } else {
         candidates.emplace_back(query_id, info.weight);
       }
     }
-    const int victim = PickRebalanceVictim(weights, candidates, budget);
-    if (victim < 0) {
-      return;
+    bool group_phase = false;
+    if (affinity) {
+      group_phase = true;
+      for (const auto& [key, group] : groups) {
+        (void)key;
+        candidates.push_back(group);
+      }
     }
-    // The victim's live matcher (and partial runs, and statistics) travel
-    // with it.
-    QueryInfo& info = queries_[victim];
-    Result<MultiMatchOperator::DetachedQuery> detached =
-        shards_[static_cast<size_t>(max_shard)]->op.ExtractQuery(
-            info.local_id);
-    EPL_CHECK(detached.ok()) << detached.status();
-    // The recorder points at the old shard's buffers; rebind it.
-    Shard* destination = shards_[static_cast<size_t>(min_shard)].get();
-    detached->callback = MakeRecorder(destination, victim);
-    info.local_id = destination->op.AdoptQuery(std::move(detached).value());
-    info.shard = min_shard;
-    ++rebalanced_queries_;
+    int victim = PickRebalanceVictim(weights, candidates, budget);
+    if (victim < 0 && affinity && !groups.empty()) {
+      // No whole-session (or unscoped) move fits the gap: fall back to
+      // splitting a session query by query, the same policy kBalanced
+      // runs -- fewest shards per session SUBJECT TO the skew budget.
+      group_phase = false;
+      candidates.clear();
+      for (const auto& [query_id, info] : queries_) {
+        if (info.shard == max_shard) {
+          candidates.emplace_back(query_id, info.weight);
+        }
+      }
+      victim = PickRebalanceVictim(weights, candidates, budget);
+    }
+    if (victim < 0) {
+      break;
+    }
+    const QueryInfo& picked = queries_[victim];
+    if (group_phase && picked.session_scoped) {
+      // Move the victim's whole session group.
+      const uint64_t key = RoutingKey(picked.session_tag);
+      std::vector<int> moving;
+      for (const auto& [query_id, info] : queries_) {
+        if (info.shard == max_shard && info.session_scoped &&
+            RoutingKey(info.session_tag) == key) {
+          moving.push_back(query_id);
+        }
+      }
+      for (int query_id : moving) {
+        MoveQueryLocked(query_id, min_shard);
+        ++rebalanced_queries_;
+      }
+    } else {
+      MoveQueryLocked(victim, min_shard);
+      ++rebalanced_queries_;
+    }
+  }
+  if (affinity) {
+    ConsolidateAffinityLocked(budget);
+  }
+  RebuildInterestLocked();
+}
+
+void ShardedEngine::ConsolidateAffinityLocked(uint64_t budget) {
+  // Sessions split across shards (by kBalanced history, a Resize, or a
+  // budget-forced split that later cheapened) are packed back onto their
+  // majority shard whenever the move keeps the fleet inside the skew
+  // budget -- so the balance loop above, which only acts beyond the
+  // budget, never undoes a consolidation and the pair cannot thrash.
+  struct SessionPart {
+    int query_id = 0;
+    int shard = 0;
+    uint64_t weight = 0;
+  };
+  std::map<uint64_t, std::vector<SessionPart>> sessions;
+  for (const auto& [query_id, info] : queries_) {
+    if (info.shard >= 0 && info.session_scoped) {
+      sessions[RoutingKey(info.session_tag)].push_back(
+          SessionPart{query_id, info.shard, info.weight});
+    }
+  }
+  std::vector<uint64_t> weights = ShardWeightsLocked();
+  for (const auto& [key, parts] : sessions) {
+    (void)key;
+    std::vector<uint64_t> session_weight(shards_.size(), 0);
+    for (const SessionPart& part : parts) {
+      session_weight[static_cast<size_t>(part.shard)] += part.weight;
+    }
+    int home = 0;
+    size_t spread = 0;
+    for (size_t s = 0; s < session_weight.size(); ++s) {
+      if (session_weight[s] > 0) {
+        ++spread;
+      }
+      if (session_weight[s] > session_weight[static_cast<size_t>(home)]) {
+        home = static_cast<int>(s);
+      }
+    }
+    if (spread <= 1) {
+      continue;  // already packed
+    }
+    std::vector<uint64_t> tentative = weights;
+    for (size_t s = 0; s < session_weight.size(); ++s) {
+      if (static_cast<int>(s) != home) {
+        tentative[s] -= session_weight[s];
+        tentative[static_cast<size_t>(home)] += session_weight[s];
+      }
+    }
+    const uint64_t heaviest =
+        *std::max_element(tentative.begin(), tentative.end());
+    const uint64_t lightest =
+        *std::min_element(tentative.begin(), tentative.end());
+    if (heaviest - lightest > budget) {
+      continue;  // packing would exceed the budget; stay split
+    }
+    for (const SessionPart& part : parts) {
+      if (part.shard != home) {
+        MoveQueryLocked(part.query_id, home);
+        ++stats_.affinity_moves;
+      }
+    }
+    weights = std::move(tentative);
+  }
+}
+
+void ShardedEngine::RebuildInterestLocked() {
+  interest_.clear();
+  wildcard_shards_.clear();
+  for (const auto& [query_id, info] : queries_) {
+    (void)query_id;
+    if (info.shard < 0) {
+      continue;  // composite queries are fed from the merge, not fan-out
+    }
+    if (info.session_scoped) {
+      interest_[RoutingKey(info.session_tag)].push_back(info.shard);
+    } else {
+      wildcard_shards_.push_back(info.shard);
+    }
+  }
+  auto dedup = [](std::vector<int>& shards) {
+    std::sort(shards.begin(), shards.end());
+    shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  };
+  dedup(wildcard_shards_);
+  for (auto& [key, shards] : interest_) {
+    (void)key;
+    dedup(shards);
   }
 }
 

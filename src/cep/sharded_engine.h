@@ -16,6 +16,20 @@
 //     ...
 //     shard N-1 FIFO --> some worker
 //
+// Fan-out is interest-routed when `routing_field` is set: each shard's
+// resident queries induce an interest filter (the session keys its
+// session-scoped queries can match, plus "everything" for unscoped
+// queries), and a fan-out window is split by routing key so a shard only
+// receives -- and is only woken for -- the events some resident query
+// could match. Skipped shards advance their processed_events watermark
+// through a cheap advance-to-seq queue entry (or a direct store when
+// idle), so the MinProcessed() merge, and hence delivery order, is
+// bit-identical to broadcast at every shard count. This exactness leans
+// on the gate-group invariant (see multi_matcher.cc): an event that
+// satisfies no state predicate of a query neither seeds, advances,
+// completes, nor expires anything, so not delivering it to that query's
+// shard cannot change any output.
+//
 // Execution is scheduled from a shared pool: every shard spawns one
 // worker, each worker prefers its own shard's FIFO (cache-hot bank and
 // arena), and -- with `work_stealing` on -- an idle worker claims the next
@@ -98,6 +112,21 @@ struct AdaptiveShardOptions {
   double shrink_utilization = 0.25;
 };
 
+/// Placement policy for base queries (see ShardedEngine::AddQuery and
+/// Rebalance).
+enum class ShardPlacement {
+  /// Balance measured query cost across shards (the pre-routing default):
+  /// queries of one session spread wherever the weights fall.
+  kBalanced,
+  /// Pack each session's queries onto the fewest shards that fit under
+  /// the measured-cost skew budget, so interest-routed fan-out has
+  /// something to exploit: a session event then touches ~1 shard instead
+  /// of all of them. Placement falls back to the least-loaded shard (and
+  /// rebalancing may split a session) only when packing would exceed the
+  /// budget; work stealing absorbs the residual skew.
+  kSessionAffinity,
+};
+
 struct ShardedEngineOptions {
   /// Number of worker shards (clamped to >= 1).
   int num_shards = 1;
@@ -147,6 +176,19 @@ struct ShardedEngineOptions {
   int spin_wait_iterations = 0;
   /// Adaptive fleet sizing (see AdaptiveShardOptions).
   AdaptiveShardOptions adaptive;
+  /// Index into stream::Event::values of the routing key (GestureRuntime
+  /// points it at the session id appended to merged session streams).
+  /// < 0 (default) broadcasts every batch to every shard, today's
+  /// behavior. >= 0 enables interest-routed fan-out: an event is
+  /// delivered only to shards hosting a query that could match it -- a
+  /// session-scoped query whose session_tag is BITWISE equal to the
+  /// event's routing-field value, or any non-session-scoped query.
+  /// Producers must therefore write the routing field exactly (the
+  /// runtime's session tap stores exact small integers); an event whose
+  /// values do not reach the routing field is conservatively broadcast.
+  int routing_field = -1;
+  /// Base-query placement policy (see ShardPlacement).
+  ShardPlacement placement = ShardPlacement::kBalanced;
 };
 
 /// Cost heuristic of one deployed query for shard placement: total NFA
@@ -220,8 +262,9 @@ class ShardedEngine {
   /// Starts the shard workers. Queries may be added before or after.
   Status Start();
 
-  /// Feeds one event (single producer thread). Events reach every shard;
-  /// each shard advances only its own queries. Returns false once stopped.
+  /// Feeds one event (single producer thread). Events reach every
+  /// interested shard (every shard, without routing_field); each shard
+  /// advances only its own queries. Returns false once stopped.
   /// Completed matches ready for delivery are dispatched from inside Push
   /// at batch boundaries, in (event-seq, query-id) order.
   bool Push(stream::Event event);
@@ -332,6 +375,40 @@ class ShardedEngine {
   /// Cumulative batch-execution time per shard, in shard order.
   std::vector<uint64_t> shard_busy_ns() const;
 
+  /// Fan-out and placement counters, cumulative since construction.
+  /// Without routing (routing_field < 0) every window is a full
+  /// broadcast: events_routed == window size x shard count and
+  /// events_skipped_by_filter stays 0.
+  struct EngineStats {
+    /// Fan-out windows flushed to the fleet.
+    uint64_t fanout_batches = 0;
+    /// Per-shard enqueues that carried a strict subset of a window (the
+    /// routed sub-batches; full-window shares are not counted here).
+    uint64_t fanout_subbatches = 0;
+    /// Event copies delivered to shards (the fan-out factor numerator:
+    /// events_routed / events pushed = copies per event).
+    uint64_t events_routed = 0;
+    /// (event, shard) pairs the interest filter proved unnecessary.
+    uint64_t events_skipped_by_filter = 0;
+    /// Advance-to-seq watermark updates for skipped shards (queue tokens
+    /// and direct stores).
+    uint64_t advance_tokens = 0;
+    /// Queries moved to consolidate a session onto its home shard
+    /// (ShardPlacement::kSessionAffinity only).
+    uint64_t affinity_moves = 0;
+    /// Work-availability wake signals sent to shard workers (excludes
+    /// control wakeups: pause/resume/retire/shutdown). With routing, a
+    /// window only wakes its destination shards.
+    uint64_t worker_wakeups = 0;
+  };
+  EngineStats engine_stats() const;
+
+  /// TEST ONLY: flips one interest bit -- toggles `shard` in the routed
+  /// destination set of routing key `key` -- to prove the differential
+  /// harness catches a wrong filter. The corruption lasts until the next
+  /// placement change rebuilds the index.
+  void TestOnlyFlipInterestBit(double key, int shard);
+
  private:
   /// One completed match awaiting watermark release. The merge orders by
   /// (seq, level, query_id); shards host only base (level-0) queries, so
@@ -345,12 +422,30 @@ class ShardedEngine {
     int level = 0;
   };
 
-  /// A fan-out unit: consecutive events [base_seq, base_seq + size), one
-  /// copy shared by every shard. A nullptr entry in a shard FIFO is a
-  /// sync token: consuming it parks the shard at the control barrier.
+  /// A fan-out unit covering the window [base_seq, end_seq). A full
+  /// broadcast batch holds the whole window (`seqs` empty: event i has
+  /// sequence base_seq + i, one copy shared by every shard). A routed
+  /// sub-batch holds the subset of the window its shard is interested
+  /// in, with `seqs[i]` carrying each event's absolute sequence number.
+  /// Executing either advances the shard's watermark to end_seq -- the
+  /// events the filter skipped are exact no-ops for the shard's queries.
   struct Batch {
     uint64_t base_seq = 0;
+    uint64_t end_seq = 0;
     std::vector<stream::Event> events;
+    std::vector<uint64_t> seqs;
+  };
+
+  /// One shard-FIFO entry. `batch` carries events; with a null batch the
+  /// entry is a token: `sync` parks the shard at the control barrier
+  /// (PauseWorkers), otherwise it is an advance-to-seq token that lifts
+  /// processed_events to `advance_to` for a window the interest filter
+  /// skipped entirely. Advance tokens coalesce in place at the queue
+  /// tail, so a mostly skipped shard's FIFO stays one entry deep.
+  struct QueueEntry {
+    std::shared_ptr<const Batch> batch;
+    uint64_t advance_to = 0;
+    bool sync = false;
   };
 
   struct Shard {
@@ -361,24 +456,34 @@ class ShardedEngine {
     std::thread worker;
 
     // Scheduler state, guarded by the engine's pool_mu_. `queue` is the
-    // shard's FIFO of fan-out batches (nullptr = sync token); `busy`
-    // marks a worker currently executing a batch of this shard (the
-    // shard-level mutual exclusion that makes stealing safe); `parked`
-    // marks a consumed sync token awaiting ResumeWorkers; `retired`
-    // tells the shard's own worker to exit (Resize shrink).
-    std::deque<std::shared_ptr<const Batch>> queue;
+    // shard's FIFO of fan-out batches and tokens (see QueueEntry);
+    // `busy` marks a worker currently executing a batch of this shard
+    // (the shard-level mutual exclusion that makes stealing safe);
+    // `parked` marks a consumed sync token awaiting ResumeWorkers;
+    // `retired` tells the shard's own worker to exit (Resize shrink).
+    std::deque<QueueEntry> queue;
     bool busy = false;
     bool parked = false;
     bool retired = false;
 
+    // Per-shard wakeup channel: the shard's own worker spins on
+    // wake_epoch and parks on cv (both paired with pool_mu_), so waking
+    // one shard does not stampede the rest of the fleet -- a window that
+    // routing skips for this shard costs it no wakeup at all. Control
+    // paths (pause/resume/retire/shutdown) wake every shard.
+    std::condition_variable cv;
+    std::atomic<uint64_t> wake_epoch{0};
+
     // Executor-only state while processing a batch -- exactly one worker
     // executes a shard at a time (the busy flag), and the pool lock
     // orders the handoff between consecutive executors. current_seq is
-    // stamped per event by the operator's batch-event hook (base_seq +
-    // in-batch index) so recorded matches carry exact sequence numbers
-    // even though the whole batch runs as one matcher sweep.
+    // stamped per event by the operator's batch-event hook (batch_seqs
+    // for a routed sub-batch, else base_seq + in-batch index) so
+    // recorded matches carry exact sequence numbers even though the
+    // whole batch runs as one matcher sweep.
     uint64_t batch_base_seq = 0;
     uint64_t current_seq = 0;
+    const std::vector<uint64_t>* batch_seqs = nullptr;
     std::vector<PendingMatch> local;
 
     std::mutex mu;  // guards pending and status
@@ -408,6 +513,10 @@ class ShardedEngine {
     /// Derived-event identity feeding composite epochs (base queries).
     double tag = 0;
     double session_tag = 0;
+    /// The query provably matches only events whose routing-field value
+    /// equals session_tag (see QuerySpec::session_scoped); drives both
+    /// the interest filter and kSessionAffinity placement.
+    bool session_scoped = false;
   };
 
   /// Creates a shard with its batch-event hook installed, pre-advanced to
@@ -426,8 +535,29 @@ class ShardedEngine {
   /// shard is parked (all prior events fully processed).
   void PauseWorkers();
   void ResumeWorkers();
-  /// Enqueues the pending partial batch to every shard.
+  /// Routes the pending partial batch: a full-window share to every
+  /// interested shard (or a routed sub-batch when only part of the
+  /// window is), an advance token to the rest.
   void FlushBatch();
+  /// Splits `batch` by routing key and enqueues per-shard work. Computes
+  /// destinations from the interest index (control_mu_ held), then
+  /// enqueues and wakes only destination shards.
+  void DistributeBatch(std::shared_ptr<const Batch> batch);
+  /// Advances a skipped shard's watermark to `end_seq`: a direct
+  /// processed_events store when the shard is idle (no wakeup at all),
+  /// else a coalescing advance token behind its in-flight work
+  /// (pool_mu_ held).
+  void EnqueueAdvanceLocked(Shard* shard, uint64_t end_seq);
+  /// Work-availability wakeup of one shard's worker (pool_mu_ held).
+  void WakeShardLocked(Shard* shard);
+  /// Wakes every worker (control transitions: pause/resume/retire/
+  /// shutdown; not counted in worker_wakeups). pool_mu_ held.
+  void WakeAllWorkersLocked();
+  /// Wakes workers whose shard has no queued work -- the candidates
+  /// parked with nothing of their own to do; work stealing uses it to
+  /// recruit thieves when a destination shard has claimable backlog.
+  /// pool_mu_ held.
+  void WakeIdleWorkersLocked();
   /// Delivers every merged match below the fleet watermark.
   void DrainAndDeliver();
   uint64_t MinProcessed() const;
@@ -446,9 +576,27 @@ class ShardedEngine {
       const std::vector<std::unordered_map<int, int>>& local_index);
   /// Total query cost weight per shard (control_mu_ held).
   std::vector<uint64_t> ShardWeightsLocked() const;
-  /// Tolerated heaviest-lightest gap: max_query_skew average weights.
+  /// Tolerated heaviest-lightest gap: max_query_skew average weights of
+  /// the placement unit -- a query under kBalanced, a whole session group
+  /// under kSessionAffinity (a budget sized to single queries could never
+  /// admit packing a multi-query session onto one shard).
   uint64_t SkewBudget() const;
   int LeastLoadedShard() const;
+  /// Placement of a new base query: the session's home shard under
+  /// kSessionAffinity when the skew budget allows, else least-loaded.
+  int PlaceQueryLocked(const QueryInfo& info) const;
+  /// Moves one base query (live matcher, partial runs, statistics) to
+  /// `destination_index`, rebinding its recorder (control_mu_ held,
+  /// workers quiesced when live).
+  void MoveQueryLocked(int query_id, int destination_index);
+  /// Packs each session split across shards back onto its majority shard
+  /// when the move keeps the fleet inside the skew budget
+  /// (kSessionAffinity only; increments affinity_moves).
+  void ConsolidateAffinityLocked(uint64_t budget);
+  /// Rebuilds the interest index (interest_ / wildcard_shards_) from the
+  /// current placement. Runs at the end of every Rebalance, which every
+  /// placement-mutating path funnels through.
+  void RebuildInterestLocked();
   void Rebalance();
   DetectionCallback MakeRecorder(Shard* shard, int query_id);
   Status FirstShardError();
@@ -473,6 +621,17 @@ class ShardedEngine {
   std::atomic<std::thread::id> delivering_thread_{};
 
   std::map<int, QueryInfo> queries_;
+  // Interest index (control_mu_), rebuilt by RebuildInterestLocked():
+  // routing key (bitwise session_tag) -> sorted shard ids hosting a
+  // session-scoped query for it, plus the shards hosting at least one
+  // non-scoped query (which must see every event).
+  std::unordered_map<uint64_t, std::vector<int>> interest_;
+  std::vector<int> wildcard_shards_;
+  // DistributeBatch scratch (control_mu_): per shard, the window indices
+  // it is interested in.
+  std::vector<std::vector<uint32_t>> route_scratch_;
+  // Fan-out counters (control_mu_; worker_wakeups is the atomic below).
+  EngineStats stats_;
   // Composite (level >= 1) queries, keyed by engine query id; null until
   // the first one is deployed (zero flat-path cost without composites).
   std::unique_ptr<CompositeRunner> composite_;
@@ -488,17 +647,15 @@ class ShardedEngine {
 
   // Shared scheduler pool. pool_mu_ guards every Shard's scheduler state
   // (queue/busy/parked/retired), the shards_ vector shape, and shutdown_.
-  // work_cv_ wakes workers (new batch, resume, retire, shutdown);
-  // control_cv_ wakes the producer/control side (backpressure space,
-  // progress toward a watermark, a shard parking). work_epoch_ increments
-  // on every worker-visible wakeup so idle workers can spin on it outside
-  // the lock before parking (spin-then-park).
+  // Worker wakeups are per shard (Shard::cv / Shard::wake_epoch, the
+  // spin-then-park channel) so a routed window only disturbs the shards
+  // it targets; control_cv_ wakes the producer/control side
+  // (backpressure space, progress toward a watermark, a shard parking).
   mutable std::mutex pool_mu_;
-  std::condition_variable work_cv_;
   std::condition_variable control_cv_;
-  std::atomic<uint64_t> work_epoch_{0};
   bool shutdown_ = false;
   std::atomic<uint64_t> stolen_batches_{0};
+  std::atomic<uint64_t> wakeups_signaled_{0};
   std::atomic<int> pin_failures_{0};
   // PickRunnableLocked scratch (pool_mu_ held by every caller).
   std::vector<size_t> steal_backlogs_;

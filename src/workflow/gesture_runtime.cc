@@ -305,6 +305,25 @@ Result<std::string> GestureRuntime::SessionViewStream(SessionId session) const {
   return found->view_stream;
 }
 
+cep::ShardedEngine::EngineStats GestureRuntime::ShardedStats() const {
+  cep::ShardedEngine::EngineStats total;
+  for (const auto& [stream, channel] : channels_) {
+    if (channel.sharded.engine == nullptr) {
+      continue;
+    }
+    const cep::ShardedEngine::EngineStats stats =
+        channel.sharded.engine->engine_stats();
+    total.fanout_batches += stats.fanout_batches;
+    total.fanout_subbatches += stats.fanout_subbatches;
+    total.events_routed += stats.events_routed;
+    total.events_skipped_by_filter += stats.events_skipped_by_filter;
+    total.advance_tokens += stats.advance_tokens;
+    total.affinity_moves += stats.affinity_moves;
+    total.worker_wakeups += stats.worker_wakeups;
+  }
+  return total;
+}
+
 Result<GestureRuntime::Channel*> GestureRuntime::EnsureChannel(
     const std::string& stream) {
   auto it = channels_.find(stream);
@@ -327,6 +346,15 @@ Result<GestureRuntime::Channel*> GestureRuntime::EnsureChannel(
     sharded.pin_workers = options_.pin_workers;
     sharded.spin_wait_iterations = options_.spin_wait_iterations;
     sharded.adaptive = options_.adaptive_shards;
+    sharded.placement = options_.shard_placement;
+    if (options_.route_session_events && stream == kSessionStreamName) {
+      // The merge tap appends the session id as the stream's last field;
+      // routing on it lets the engine skip shards hosting no query for
+      // that session (detections stay bit-identical either way).
+      EPL_ASSIGN_OR_RETURN(stream::Schema schema, engine_->GetSchema(stream));
+      EPL_ASSIGN_OR_RETURN(sharded.routing_field,
+                           schema.FieldIndex(kSessionFieldName));
+    }
     EPL_ASSIGN_OR_RETURN(
         channel.sharded,
         query::DeployShardedOperator(engine_, stream, sharded));
@@ -448,6 +476,10 @@ Status GestureRuntime::DoDeploy(SessionId session,
   // any gesture that was live before it.
   spec.tag = cep::GestureTag(definition.name);
   spec.session_tag = static_cast<double>(session);
+  // A gated query only matches events whose session field equals
+  // session_tag; telling the engine lets it route fan-out and co-locate
+  // the session's queries.
+  spec.session_scoped = found != nullptr;
   EPL_ASSIGN_OR_RETURN(Channel * channel, EnsureChannel(stream));
   if (existing != gestures_.end()) {
     EPL_RETURN_IF_ERROR(Retire(existing->second));
@@ -930,6 +962,7 @@ Status GestureRuntime::RestoreQuery(const durability::QueryState& state,
   // same snapshot (and WAL replay) keep re-deriving from this query.
   spec.tag = cep::GestureTag(state.name);
   spec.session_tag = static_cast<double>(state.session);
+  spec.session_scoped = gate != nullptr;
   const std::string stream = parsed.pattern->SourceStream();
   EPL_ASSIGN_OR_RETURN(Channel * channel, EnsureChannel(stream));
   Result<int> id =

@@ -150,6 +150,19 @@ struct GestureRuntimeOptions {
   /// Sharded backend: adaptive fleet sizing from observed per-shard busy
   /// time (see AdaptiveShardOptions; num_shards is the starting size).
   cep::AdaptiveShardOptions adaptive_shards;
+  /// Sharded backend: interest-routed fan-out on the merged session
+  /// stream. Each session event is fanned out only to the shards hosting
+  /// that session's queries (plus shards with unscoped queries), instead
+  /// of broadcast to every shard -- the session id the merge tap appends
+  /// becomes the engine's routing field (ShardedEngineOptions::
+  /// routing_field). Detections are bit-identical either way; off
+  /// reverts to broadcast.
+  bool route_session_events = true;
+  /// Sharded backend: base-query placement. kSessionAffinity (default)
+  /// packs each session's queries onto the fewest shards that fit the
+  /// measured-cost skew budget, which is what makes routed fan-out touch
+  /// ~1 shard per event; kBalanced spreads purely by weight.
+  cep::ShardPlacement shard_placement = cep::ShardPlacement::kSessionAffinity;
   /// Give every session its own kinect_t transformation view and merge the
   /// transformed events. Off: raw kinect events merge directly (workloads
   /// that are already transformed, e.g. benchmarks).
@@ -204,6 +217,12 @@ class GestureRuntime {
   /// The stream carrying the session's transformed (or raw) events --
   /// where a controller attaches its recorder tap.
   Result<std::string> SessionViewStream(SessionId session) const;
+
+  /// Fan-out and placement counters summed over every sharded channel
+  /// (all zeros under the fused/legacy backends): how many event copies
+  /// routing delivered vs skipped, sub-batch enqueues, advance tokens,
+  /// affinity moves, worker wakeups. See ShardedEngine::EngineStats.
+  cep::ShardedEngine::EngineStats ShardedStats() const;
 
   /// Deploys (or, if `name` is already live in this session, atomically
   /// re-deploys) the gesture's generated query under its definition name.

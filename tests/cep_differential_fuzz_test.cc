@@ -887,6 +887,372 @@ TEST(DifferentialFuzzTest, ScalarAndAvx2DispatchAreBitIdentical) {
       << "dispatch fuzz produced no matches (seed " << base_seed << ")";
 }
 
+/// Interest-routing differential: a random multi-session workload --
+/// session-gated base queries (plus sometimes an unscoped one, which
+/// keeps its shard wildcard-interested), a 2-level composite ladder,
+/// query churn, and a mid-stream Resize. The reference leg is the fused
+/// operator (itself validated against oracles by the other scenarios);
+/// the broadcast sharded engine and the interest-routed engine at 1 and
+/// 4 shards must agree with it bit-identically. A final mutation leg
+/// flips one true interest bit and must visibly lose that session's
+/// matches, proving the equality checks have teeth. Returns the fused
+/// leg's total match count.
+size_t RunRoutedScenario(uint64_t scenario_seed, MatcherOptions::Mode mode) {
+  std::mt19937_64 rng(scenario_seed ^ 0xF407B17E50C1A1ull);
+  static const stream::Schema* routed_schema = new stream::Schema(
+      std::vector<std::string>{"a", "b", "c", "session"});
+  constexpr int kSessionField = 3;
+  const int num_sessions = UniformInt(rng, 2, 4);
+  const int num_events =
+      mode == MatcherOptions::Mode::kExhaustive ? 140 : 320;
+
+  struct BaseQuery {
+    PatternExprPtr expr;
+    int session = -1;  // -1: unscoped (wildcard interest)
+    double tag = 0;
+    int add_at = 0;
+    int remove_at = 0;
+  };
+  std::vector<BaseQuery> bases;
+  for (int k = 0; k < num_sessions; ++k) {
+    const int per_session = UniformInt(rng, 1, 2);
+    for (int q = 0; q < per_session; ++q) {
+      BaseQuery base;
+      base.expr = RandomPattern(rng);
+      base.session = k;
+      bases.push_back(std::move(base));
+    }
+  }
+  if (UniformInt(rng, 0, 1) == 0) {
+    BaseQuery base;
+    base.expr = RandomPattern(rng);
+    bases.push_back(std::move(base));  // unscoped: events reach its shard
+  }
+  const int num_base = static_cast<int>(bases.size());
+  std::vector<double> base_tags;
+  for (int q = 0; q < num_base; ++q) {
+    bases[static_cast<size_t>(q)].tag = GestureTag("rb_" + std::to_string(q));
+    base_tags.push_back(bases[static_cast<size_t>(q)].tag);
+    // Churn window: half the queries live the whole stream, the rest get
+    // random [add_at, remove_at) -- every add/remove rebuilds the
+    // interest index mid-stream.
+    bases[static_cast<size_t>(q)].add_at =
+        UniformInt(rng, 0, 1) == 0 ? 0 : UniformInt(rng, 0, num_events - 1);
+    bases[static_cast<size_t>(q)].remove_at =
+        UniformInt(rng, 0, 1) == 0
+            ? num_events
+            : UniformInt(rng, bases[static_cast<size_t>(q)].add_at,
+                         num_events);
+  }
+
+  // 2-level composite ladder over the base tags, live the whole stream:
+  // detections re-enter as derived events regardless of which shard (or
+  // sub-batch) produced them.
+  struct CompositeSpec {
+    int level = 1;
+    double tag = 0;
+    PatternExprPtr expr;
+  };
+  auto random_composite = [&](const std::vector<double>& input_tags) {
+    const int num_states = UniformInt(rng, 1, 2);
+    std::vector<PatternExprPtr> poses;
+    for (int s = 0; s < num_states; ++s) {
+      const double tag = input_tags[static_cast<size_t>(UniformInt(
+          rng, 0, static_cast<int>(input_tags.size()) - 1))];
+      poses.push_back(PatternExpr::Pose(
+          kDetectionStreamName,
+          Expr::RangePredicate(kDetectionGestureField, tag, 0.5)));
+    }
+    return PatternExpr::Sequence(std::move(poses), std::nullopt,
+                                 WithinMode::kSpan);
+  };
+  std::vector<CompositeSpec> composites;
+  {
+    CompositeSpec l1;
+    l1.level = 1;
+    l1.tag = GestureTag("rl1");
+    l1.expr = random_composite(base_tags);
+    composites.push_back(std::move(l1));
+    if (UniformInt(rng, 0, 1) == 0) {
+      std::vector<double> lower = base_tags;
+      lower.push_back(GestureTag("rl1"));
+      CompositeSpec l2;
+      l2.level = 2;
+      l2.tag = GestureTag("rl2");
+      l2.expr = random_composite(lower);
+      composites.push_back(std::move(l2));
+    }
+  }
+  const int total_queries = num_base + static_cast<int>(composites.size());
+
+  // Events: the fuzz stream plus a trailing session id. Mostly ids with
+  // resident queries; occasionally an orphan session nobody hosts (the
+  // interest-miss path) and, for session 0, a -0.0 spelling (RoutingKey
+  // canonicalizes signed zero).
+  std::vector<Event> events = RandomEvents(rng, num_events);
+  for (Event& event : events) {
+    double session;
+    if (UniformInt(rng, 0, 49) == 0) {
+      session = static_cast<double>(num_sessions);  // orphan
+    } else {
+      session = static_cast<double>(UniformInt(rng, 0, num_sessions - 1));
+      if (session == 0.0 && UniformInt(rng, 0, 19) == 0) {
+        session = -0.0;
+      }
+    }
+    event.values.push_back(session);
+  }
+
+  // Mid-stream resizes, applied at the same event boundaries in every
+  // sharded leg.
+  const int resize1_at = UniformInt(rng, 1, num_events - 1);
+  const int resize1_to = UniformInt(rng, 1, 4);
+  const int resize2_at = UniformInt(rng, resize1_at, num_events);
+  const int resize2_to = UniformInt(rng, 1, 4);
+
+  MatcherOptions options;
+  options.mode = mode;
+  options.max_runs = 256;
+
+  std::vector<std::shared_ptr<const CompiledPattern>> gates;
+  for (int k = 0; k < num_sessions; ++k) {
+    Result<CompiledPattern> gate = CompiledPattern::Compile(
+        *PatternExpr::Pose("fuzz",
+                           Expr::RangePredicate(
+                               "session", static_cast<double>(k), 0.5)),
+        *routed_schema);
+    EPL_CHECK(gate.ok()) << gate.status();
+    gates.push_back(
+        std::make_shared<const CompiledPattern>(std::move(gate).value()));
+  }
+  auto build_spec = [&](int q) {
+    MultiMatchOperator::QuerySpec spec;
+    if (q < num_base) {
+      const BaseQuery& base = bases[static_cast<size_t>(q)];
+      spec.output_name = "rb" + std::to_string(q);
+      Result<CompiledPattern> compiled =
+          CompiledPattern::Compile(*base.expr, *routed_schema);
+      EPL_CHECK(compiled.ok()) << compiled.status();
+      spec.pattern = std::move(compiled).value();
+      spec.tag = base.tag;
+      if (base.session >= 0) {
+        spec.gate = gates[static_cast<size_t>(base.session)];
+        spec.session_tag = static_cast<double>(base.session);
+        spec.session_scoped = true;
+      }
+    } else {
+      const CompositeSpec& composite =
+          composites[static_cast<size_t>(q - num_base)];
+      spec.output_name = "rc" + std::to_string(q - num_base);
+      Result<CompiledPattern> compiled =
+          CompiledPattern::Compile(*composite.expr, DetectionSchema());
+      EPL_CHECK(compiled.ok()) << compiled.status();
+      spec.pattern = std::move(compiled).value();
+      spec.level = composite.level;
+      spec.tag = composite.tag;
+    }
+    return spec;
+  };
+  auto add_at = [&](int q) {
+    return q < num_base ? bases[static_cast<size_t>(q)].add_at : 0;
+  };
+  auto remove_at = [&](int q) {
+    return q < num_base ? bases[static_cast<size_t>(q)].remove_at
+                        : num_events;
+  };
+  auto record_into = [](MatchLists* lists, int q) {
+    return [lists, q](const Detection& detection) {
+      PatternMatch match;
+      match.state_times = detection.pose_times;
+      (*lists)[static_cast<size_t>(q)].push_back(std::move(match));
+    };
+  };
+
+  // Per-leg batch sizes drawn up front so leg internals cannot skew the
+  // shared rng sequence.
+  const size_t fused_batch = static_cast<size_t>(UniformInt(rng, 1, 8));
+  const size_t broadcast_batch = static_cast<size_t>(UniformInt(rng, 1, 8));
+  const int broadcast_shards = UniformInt(rng, 1, 4);
+  const size_t routed_batch = static_cast<size_t>(UniformInt(rng, 1, 8));
+  const size_t mutation_batch = static_cast<size_t>(UniformInt(rng, 1, 8));
+
+  // Reference leg: the fused operator with the same churn schedule
+  // (resizes are sharded-only and must be transparent).
+  MatchLists fused(static_cast<size_t>(total_queries));
+  {
+    MultiMatchOperator op(options, fused_batch);
+    std::vector<int> ids(static_cast<size_t>(total_queries), -1);
+    for (int i = 0; i <= num_events; ++i) {
+      for (int q = 0; q < total_queries; ++q) {
+        if (add_at(q) == i && i < num_events) {
+          MultiMatchOperator::QuerySpec spec = build_spec(q);
+          spec.callback = record_into(&fused, q);
+          ids[static_cast<size_t>(q)] = op.AddQuery(std::move(spec));
+        }
+      }
+      for (int q = 0; q < total_queries; ++q) {
+        if (remove_at(q) == i && ids[static_cast<size_t>(q)] >= 0 &&
+            i < num_events) {
+          EPL_CHECK(op.RemoveQuery(ids[static_cast<size_t>(q)]).ok());
+        }
+      }
+      if (i < num_events) {
+        EPL_CHECK(op.Process(events[static_cast<size_t>(i)]).ok());
+      }
+    }
+    EPL_CHECK(op.Close().ok());
+  }
+
+  auto run_sharded = [&](int num_shards, bool routed, size_t batch) {
+    MatchLists lists(static_cast<size_t>(total_queries));
+    ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = num_shards;
+    sharded_options.batch_size = batch;
+    sharded_options.matcher = options;
+    if (routed) {
+      sharded_options.routing_field = kSessionField;
+      sharded_options.placement = ShardPlacement::kSessionAffinity;
+    }
+    ShardedEngine engine(sharded_options);
+    EPL_CHECK(engine.Start().ok());
+    std::vector<int> ids(static_cast<size_t>(total_queries), -1);
+    for (int i = 0; i <= num_events; ++i) {
+      if (i == resize1_at) {
+        EPL_CHECK(engine.Resize(resize1_to).ok());
+      }
+      if (i == resize2_at && i < num_events) {
+        EPL_CHECK(engine.Resize(resize2_to).ok());
+      }
+      for (int q = 0; q < total_queries; ++q) {
+        if (add_at(q) == i && i < num_events) {
+          MultiMatchOperator::QuerySpec spec = build_spec(q);
+          spec.callback = record_into(&lists, q);
+          ids[static_cast<size_t>(q)] = engine.AddQuery(std::move(spec));
+        }
+      }
+      for (int q = 0; q < total_queries; ++q) {
+        if (remove_at(q) == i && ids[static_cast<size_t>(q)] >= 0 &&
+            i < num_events) {
+          EPL_CHECK(engine.RemoveQuery(ids[static_cast<size_t>(q)]).ok());
+        }
+      }
+      if (i < num_events) {
+        EPL_CHECK(engine.Push(events[static_cast<size_t>(i)]));
+      }
+    }
+    EPL_CHECK(engine.Stop().ok());
+    return lists;
+  };
+  const MatchLists broadcast =
+      run_sharded(broadcast_shards, false, broadcast_batch);
+  const MatchLists routed1 = run_sharded(1, true, routed_batch);
+  const MatchLists routed4 = run_sharded(4, true, routed_batch);
+
+  std::string diff;
+  EXPECT_TRUE(SameMatches(fused, broadcast, &diff))
+      << "broadcast sharded diverged from fused (" << diff
+      << "); reproduce with EPL_FUZZ_SEED=" << scenario_seed
+      << " EPL_FUZZ_SCENARIOS=1";
+  EXPECT_TRUE(SameMatches(fused, routed1, &diff))
+      << "routed sharded(1) diverged from fused (" << diff
+      << "); reproduce with EPL_FUZZ_SEED=" << scenario_seed
+      << " EPL_FUZZ_SCENARIOS=1";
+  EXPECT_TRUE(SameMatches(fused, routed4, &diff))
+      << "routed sharded(4) diverged from fused (" << diff
+      << "); reproduce with EPL_FUZZ_SEED=" << scenario_seed
+      << " EPL_FUZZ_SCENARIOS=1";
+
+  // Mutation leg: scoped bases only (an unscoped co-resident would keep
+  // its shard wildcard-interested and mask the flip), full windows, no
+  // churn or resize (both rebuild the interest index and would undo the
+  // flip). One wrong interest bit must erase the victim's matches.
+  auto run_mutation = [&](int flip_victim) {
+    MatchLists lists(static_cast<size_t>(num_base));
+    ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = 4;
+    sharded_options.batch_size = mutation_batch;
+    sharded_options.matcher = options;
+    sharded_options.routing_field = kSessionField;
+    sharded_options.placement = ShardPlacement::kSessionAffinity;
+    ShardedEngine engine(sharded_options);
+    std::vector<int> ids(static_cast<size_t>(num_base), -1);
+    for (int q = 0; q < num_base; ++q) {
+      if (bases[static_cast<size_t>(q)].session < 0) {
+        continue;
+      }
+      MultiMatchOperator::QuerySpec spec = build_spec(q);
+      spec.level = 0;
+      spec.callback = record_into(&lists, q);
+      ids[static_cast<size_t>(q)] = engine.AddQuery(std::move(spec));
+    }
+    if (flip_victim >= 0) {
+      engine.TestOnlyFlipInterestBit(
+          static_cast<double>(bases[static_cast<size_t>(flip_victim)].session),
+          engine.shard_of(ids[static_cast<size_t>(flip_victim)]));
+    }
+    EPL_CHECK(engine.Start().ok());
+    for (const Event& event : events) {
+      EPL_CHECK(engine.Push(event));
+    }
+    EPL_CHECK(engine.Stop().ok());
+    return lists;
+  };
+  const MatchLists intact = run_mutation(-1);
+  int victim = -1;
+  for (int q = 0; q < num_base; ++q) {
+    if (bases[static_cast<size_t>(q)].session >= 0 &&
+        !intact[static_cast<size_t>(q)].empty()) {
+      victim = q;
+      break;
+    }
+  }
+  if (victim >= 0) {
+    const MatchLists mutated = run_mutation(victim);
+    EXPECT_TRUE(mutated[static_cast<size_t>(victim)].empty())
+        << "flipping the interest bit of session "
+        << bases[static_cast<size_t>(victim)].session
+        << " did not starve query " << victim
+        << "; reproduce with EPL_FUZZ_SEED=" << scenario_seed
+        << " EPL_FUZZ_SCENARIOS=1";
+  }
+
+  size_t total = 0;
+  for (const std::vector<PatternMatch>& matches : fused) {
+    total += matches.size();
+  }
+  return total;
+}
+
+TEST(DifferentialFuzzTest, RoutedShardingAgreesWithBroadcastAndFused) {
+  const uint64_t base_seed = EnvSeed();
+  const int64_t budget_ms = EnvTimeBudgetMs();
+  const int scenarios = EnvScenarios();
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&start] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  size_t total_matches = 0;
+  int ran = 0;
+  for (int i = 0; budget_ms > 0 ? elapsed_ms() < budget_ms : i < scenarios;
+       ++i) {
+    const uint64_t scenario_seed = base_seed + static_cast<uint64_t>(i);
+    SCOPED_TRACE("scenario seed " + std::to_string(scenario_seed));
+    total_matches +=
+        RunRoutedScenario(scenario_seed, MatcherOptions::Mode::kDominant);
+    total_matches +=
+        RunRoutedScenario(scenario_seed, MatcherOptions::Mode::kExhaustive);
+    ++ran;
+    if (::testing::Test::HasFailure()) {
+      break;  // the first failing seed is the actionable one
+    }
+  }
+  EXPECT_GT(total_matches, 0u) << "routed fuzz produced no matches in " << ran
+                               << " scenarios (seed " << base_seed << ")";
+}
+
 TEST(DifferentialFuzzTest, ChurnAndShardedAgreeWithOracle) {
   const uint64_t base_seed = EnvSeed();
   const int64_t budget_ms = EnvTimeBudgetMs();

@@ -5,6 +5,7 @@
 // ingestion path. Plus shard bookkeeping: partitioning, rebalancing on
 // skew, lifecycle errors.
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -937,6 +938,323 @@ TEST(ShardedEngineTest, AdaptiveSizingFollowsForcedPolicyEndToEnd) {
   EXPECT_EQ(shrinking.num_shards(), 1);
   EPL_ASSERT_OK(shrinking.Stop());
   EXPECT_TRUE(shrink_records == expected);
+}
+
+// ---------------------------------------------------------------------------
+// Interest-routed fan-out + session-affinity placement: events reach only
+// the shards hosting their session's queries, skipped shards advance by
+// token, and detections stay bit-identical to broadcast and to the fused
+// operator.
+
+constexpr int kRoutedSessions = 4;
+constexpr int kRoutedSessionField = 1;
+
+/// An n-state chain over {"x", "session"} gated to one session: the gate
+/// admits only events whose trailing session field equals `session`, and
+/// the spec carries the engine's (session_tag, session_scoped) routing
+/// contract -- exactly what GestureRuntime stamps on session deploys.
+MultiMatchOperator::QuerySpec SessionChainSpec(const std::string& name,
+                                               int session, int states,
+                                               double center, double width,
+                                               DetectionCallback callback) {
+  static const stream::Schema* schema =
+      new stream::Schema(std::vector<std::string>{"x", "session"});
+  std::vector<PatternExprPtr> poses;
+  for (int s = 0; s < states; ++s) {
+    poses.push_back(PatternExpr::Pose(
+        "s", Expr::RangePredicate("x", center + 0.001 * s, width)));
+  }
+  Result<CompiledPattern> compiled = CompiledPattern::Compile(
+      *PatternExpr::Sequence(std::move(poses), std::nullopt, WithinMode::kGap),
+      *schema);
+  EPL_CHECK(compiled.ok()) << compiled.status();
+  Result<CompiledPattern> gate = CompiledPattern::Compile(
+      *PatternExpr::Pose("s", Expr::RangePredicate(
+                                  "session", static_cast<double>(session),
+                                  0.5)),
+      *schema);
+  EPL_CHECK(gate.ok()) << gate.status();
+  MultiMatchOperator::QuerySpec spec;
+  spec.output_name = name;
+  spec.pattern = std::move(compiled).value();
+  spec.gate =
+      std::make_shared<const CompiledPattern>(std::move(gate).value());
+  spec.session_tag = static_cast<double>(session);
+  spec.session_scoped = true;
+  spec.callback = std::move(callback);
+  return spec;
+}
+
+/// Two chains per session, all firing on the same x-range so every
+/// session produces detections. Weights are equal across sessions (6 + 8),
+/// which lets kSessionAffinity pack one session per shard at 4 shards.
+std::vector<MultiMatchOperator::QuerySpec> SessionFleet(
+    std::vector<DetectionRecord>* records) {
+  std::vector<MultiMatchOperator::QuerySpec> fleet;
+  for (int k = 0; k < kRoutedSessions; ++k) {
+    const std::string tag = "_s" + std::to_string(k);
+    fleet.push_back(
+        SessionChainSpec("chain_a" + tag, k, 3, 1.0, 50.0, Recorder(records)));
+    fleet.push_back(
+        SessionChainSpec("chain_b" + tag, k, 4, 1.2, 40.0, Recorder(records)));
+  }
+  return fleet;
+}
+
+/// Pseudo-random x stream with the session id cycling through `sessions`
+/// as the trailing field (sessions == 1 pins every event to session 0).
+std::vector<Event> SessionStream(int count, int sessions) {
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(count));
+  uint64_t state = 7;
+  for (int i = 0; i < count; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double x = 4.0 * static_cast<double>(state >> 40) /
+                     static_cast<double>(1 << 24);
+    events.push_back(Event(DurationFromMillis(5.0 * i),
+                           {x, static_cast<double>(i % sessions)}));
+  }
+  return events;
+}
+
+std::vector<DetectionRecord> SessionBaseline(const std::vector<Event>& events) {
+  std::vector<DetectionRecord> records;
+  MultiMatchOperator fused((MatcherOptions()));
+  for (MultiMatchOperator::QuerySpec& spec : SessionFleet(&records)) {
+    fused.AddQuery(std::move(spec));
+  }
+  for (const Event& event : events) {
+    EPL_EXPECT_OK(fused.Process(event));
+  }
+  return records;
+}
+
+struct RoutedRun {
+  std::vector<DetectionRecord> records;
+  ShardedEngine::EngineStats stats;
+  uint64_t processed = 0;
+};
+
+RoutedRun RunSessionFleet(const std::vector<Event>& events,
+                          const ShardedEngineOptions& options) {
+  ShardedEngine sharded(options);
+  RoutedRun run;
+  for (MultiMatchOperator::QuerySpec& spec : SessionFleet(&run.records)) {
+    sharded.AddQuery(std::move(spec));
+  }
+  EPL_CHECK(sharded.Start().ok());
+  for (const Event& event : events) {
+    EPL_CHECK(sharded.Push(event));
+  }
+  Status stopped = sharded.Stop();
+  EPL_CHECK(stopped.ok()) << stopped;
+  run.stats = sharded.engine_stats();
+  run.processed = sharded.processed();
+  return run;
+}
+
+TEST(InterestRoutingTest, RoutedMatchesBroadcastBitIdentically) {
+  const std::vector<Event> events = SessionStream(2000, kRoutedSessions);
+  const std::vector<DetectionRecord> expected = SessionBaseline(events);
+  ASSERT_FALSE(expected.empty());
+
+  for (int num_shards : {1, 4}) {
+    ShardedEngineOptions broadcast;
+    broadcast.num_shards = num_shards;
+    broadcast.batch_size = 8;
+    const RoutedRun off = RunSessionFleet(events, broadcast);
+
+    ShardedEngineOptions routed = broadcast;
+    routed.routing_field = kRoutedSessionField;
+    routed.placement = ShardPlacement::kSessionAffinity;
+    const RoutedRun on = RunSessionFleet(events, routed);
+
+    EXPECT_EQ(on.processed, events.size());
+    ASSERT_TRUE(off.records == expected)
+        << off.records.size() << " vs " << expected.size()
+        << " broadcast detections at " << num_shards << " shards";
+    ASSERT_TRUE(on.records == expected)
+        << on.records.size() << " vs " << expected.size()
+        << " routed detections at " << num_shards << " shards";
+    if (num_shards == 1) {
+      // One shard hosts every session: routing degenerates to full
+      // windows sharing the producer's batch, with nothing to skip.
+      EXPECT_EQ(on.stats.fanout_subbatches, 0u);
+      EXPECT_EQ(on.stats.events_skipped_by_filter, 0u);
+      EXPECT_EQ(on.stats.events_routed, off.stats.events_routed);
+    } else {
+      // Affinity packs one session per shard, so each 8-event round-robin
+      // window splits into 2-event sub-batches: 4x fewer copies.
+      EXPECT_GT(on.stats.fanout_subbatches, 0u);
+      EXPECT_GT(on.stats.events_skipped_by_filter, 0u);
+      EXPECT_LT(on.stats.events_routed, off.stats.events_routed);
+      EXPECT_EQ(on.stats.events_routed + on.stats.events_skipped_by_filter,
+                off.stats.events_routed);
+    }
+  }
+}
+
+TEST(InterestRoutingTest, AffinityPacksSessionsBalancedSpreadsThem) {
+  ShardedEngineOptions options;
+  options.num_shards = kRoutedSessions;
+  options.routing_field = kRoutedSessionField;
+  options.placement = ShardPlacement::kSessionAffinity;
+  ShardedEngine sharded(options);
+  std::vector<std::pair<int, int>> ids;  // (session, query id)
+  for (int k = 0; k < kRoutedSessions; ++k) {
+    const std::string tag = "_s" + std::to_string(k);
+    ids.emplace_back(
+        k, sharded.AddQuery(SessionChainSpec("a" + tag, k, 3, 1.0, 50.0,
+                                             nullptr)));
+    ids.emplace_back(
+        k, sharded.AddQuery(SessionChainSpec("b" + tag, k, 4, 1.2, 40.0,
+                                             nullptr)));
+  }
+  // Every session's queries share one shard, and the four equal-weight
+  // sessions land on four distinct shards (no skew to pay for packing).
+  std::vector<int> session_shard(kRoutedSessions, -1);
+  for (const auto& [session, id] : ids) {
+    const int shard = sharded.shard_of(id);
+    if (session_shard[static_cast<size_t>(session)] < 0) {
+      session_shard[static_cast<size_t>(session)] = shard;
+    }
+    EXPECT_EQ(shard, session_shard[static_cast<size_t>(session)])
+        << "session " << session << " split across shards";
+  }
+  std::vector<int> sorted = session_shard;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sharded.shard_weights(),
+            (std::vector<uint64_t>{14, 14, 14, 14}));
+}
+
+TEST(InterestRoutingTest, SkippedShardsAdvanceByTokenWithoutWakeups) {
+  // Every event belongs to session 0, so with affinity placement three of
+  // the four shards host no interested query at all.
+  const std::vector<Event> events = SessionStream(2000, 1);
+  const std::vector<DetectionRecord> expected = SessionBaseline(events);
+  ASSERT_FALSE(expected.empty());
+
+  ShardedEngineOptions broadcast;
+  broadcast.num_shards = 4;
+  broadcast.batch_size = 8;
+  const RoutedRun off = RunSessionFleet(events, broadcast);
+  ASSERT_TRUE(off.records == expected);
+
+  ShardedEngineOptions routed = broadcast;
+  routed.routing_field = kRoutedSessionField;
+  routed.placement = ShardPlacement::kSessionAffinity;
+  const RoutedRun on = RunSessionFleet(events, routed);
+
+  ASSERT_TRUE(on.records == expected)
+      << on.records.size() << " vs " << expected.size()
+      << " detections with three fully skipped shards";
+  // The skipped shards' watermarks advanced without queue traffic: every
+  // window hands 3 advance tokens out, and the producer signalled far
+  // fewer worker wakeups than the 4-destinations-per-window broadcast.
+  EXPECT_EQ(on.processed, events.size());
+  EXPECT_GT(on.stats.advance_tokens, 0u);
+  EXPECT_EQ(on.stats.events_routed, events.size());
+  EXPECT_EQ(on.stats.events_skipped_by_filter, 3 * events.size());
+  EXPECT_LT(on.stats.worker_wakeups, off.stats.worker_wakeups);
+}
+
+TEST(InterestRoutingTest, FlippedInterestBitLosesExactlyThatSession) {
+  // Mutation test backing the differential-fuzz leg: routing is only
+  // trustworthy if a single wrong interest bit visibly diverges.
+  const std::vector<Event> events = SessionStream(2000, kRoutedSessions);
+  const std::vector<DetectionRecord> expected = SessionBaseline(events);
+  ASSERT_FALSE(expected.empty());
+
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  options.batch_size = 8;
+  options.routing_field = kRoutedSessionField;
+  options.placement = ShardPlacement::kSessionAffinity;
+  ShardedEngine sharded(options);
+  std::vector<DetectionRecord> actual;
+  int mutated_session_query = -1;
+  for (MultiMatchOperator::QuerySpec& spec : SessionFleet(&actual)) {
+    const bool mutated = spec.session_tag == 2.0;
+    const int id = sharded.AddQuery(std::move(spec));
+    if (mutated && mutated_session_query < 0) {
+      mutated_session_query = id;
+    }
+  }
+  ASSERT_GE(mutated_session_query, 0);
+  // Drop session 2's true interest bit: its events now bypass the shard
+  // hosting its queries (no rebuild runs during a pure Push stream).
+  sharded.TestOnlyFlipInterestBit(2.0, sharded.shard_of(
+                                           mutated_session_query));
+  EPL_ASSERT_OK(sharded.Start());
+  for (const Event& event : events) {
+    ASSERT_TRUE(sharded.Push(event));
+  }
+  EPL_ASSERT_OK(sharded.Stop());
+
+  // Session 2's detections vanish; every other session is untouched.
+  std::vector<DetectionRecord> without_s2;
+  for (const DetectionRecord& record : expected) {
+    if (record.name.find("_s2") == std::string::npos) {
+      without_s2.push_back(record);
+    }
+  }
+  ASSERT_LT(without_s2.size(), expected.size())
+      << "baseline produced no session-2 detections to lose";
+  EXPECT_TRUE(actual == without_s2)
+      << actual.size() << " vs " << without_s2.size()
+      << " detections after dropping session 2's interest bit";
+}
+
+TEST(InterestRoutingTest, ResizePreservesRoutingAndAffinity) {
+  const std::vector<Event> events = SessionStream(2100, kRoutedSessions);
+  const std::vector<DetectionRecord> expected = SessionBaseline(events);
+  ASSERT_FALSE(expected.empty());
+
+  ShardedEngineOptions options;
+  options.num_shards = 1;
+  options.batch_size = 8;
+  options.routing_field = kRoutedSessionField;
+  options.placement = ShardPlacement::kSessionAffinity;
+  ShardedEngine sharded(options);
+  std::vector<DetectionRecord> actual;
+  std::vector<std::pair<int, int>> ids;  // (session, query id)
+  {
+    std::vector<MultiMatchOperator::QuerySpec> fleet = SessionFleet(&actual);
+    for (size_t q = 0; q < fleet.size(); ++q) {
+      const int session = static_cast<int>(fleet[q].session_tag);
+      ids.emplace_back(session, sharded.AddQuery(std::move(fleet[q])));
+    }
+  }
+  EPL_ASSERT_OK(sharded.Start());
+  const size_t third = events.size() / 3;
+  for (size_t i = 0; i < third; ++i) {
+    ASSERT_TRUE(sharded.Push(events[i]));
+  }
+  EPL_ASSERT_OK(sharded.Resize(4));  // grow: interest index must follow
+  for (size_t i = third; i < 2 * third; ++i) {
+    ASSERT_TRUE(sharded.Push(events[i]));
+  }
+  EPL_ASSERT_OK(sharded.Resize(2));  // shrink: sessions re-pack onto survivors
+  for (size_t i = 2 * third; i < events.size(); ++i) {
+    ASSERT_TRUE(sharded.Push(events[i]));
+  }
+  EPL_ASSERT_OK(sharded.Stop());
+
+  ASSERT_TRUE(actual == expected)
+      << actual.size() << " vs " << expected.size()
+      << " detections across routed grow + shrink";
+  // Post-shrink the four sessions still live un-split on the two
+  // survivors (affinity-preserving migration).
+  std::vector<int> session_shard(kRoutedSessions, -1);
+  for (const auto& [session, id] : ids) {
+    const int shard = sharded.shard_of(id);
+    if (session_shard[static_cast<size_t>(session)] < 0) {
+      session_shard[static_cast<size_t>(session)] = shard;
+    }
+    EXPECT_EQ(shard, session_shard[static_cast<size_t>(session)])
+        << "session " << session << " split across shards after shrink";
+  }
 }
 
 }  // namespace
